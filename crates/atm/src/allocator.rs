@@ -1,0 +1,148 @@
+//! The per-output-port rate-allocation hook.
+//!
+//! This is the seam between the algorithm-agnostic switch and the
+//! flow-control algorithms being compared. Phantom (`phantom-core`),
+//! EPRCA, APRC and CAPC (`phantom-baselines`) each implement
+//! [`RateAllocator`]; the switch calls the hooks and otherwise knows
+//! nothing about the algorithm.
+//!
+//! The paper's taxonomy — *constant space* algorithms keep O(1) state per
+//! port regardless of how many sessions cross it — is enforced socially by
+//! this trait: the hooks receive no per-session storage, only the cell in
+//! hand and the port's aggregate measurements. A size test in each
+//! implementing crate pins the state to a few machine words.
+
+use crate::cell::{RmCell, VcId};
+use std::any::Any;
+
+/// Aggregate measurements of one port over one measurement interval.
+#[derive(Clone, Copy, Debug)]
+pub struct PortMeasurement {
+    /// Interval length in seconds.
+    pub dt: f64,
+    /// Cells that *arrived* at the port during the interval (queued or
+    /// dropped). Arrival rate is what Phantom measures residual bandwidth
+    /// against.
+    pub arrivals: u64,
+    /// Cells transmitted during the interval.
+    pub departures: u64,
+    /// Queue length (cells) at the end of the interval.
+    pub queue: usize,
+    /// Link capacity in cells/s.
+    pub capacity: f64,
+}
+
+impl PortMeasurement {
+    /// Arrival rate over the interval, cells/s.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrivals as f64 / self.dt
+    }
+
+    /// Departure (service) rate over the interval, cells/s.
+    pub fn departure_rate(&self) -> f64 {
+        self.departures as f64 / self.dt
+    }
+}
+
+/// A constant-space per-port rate-control algorithm.
+pub trait RateAllocator: Any {
+    /// Called at the end of every measurement interval.
+    fn on_interval(&mut self, m: &PortMeasurement);
+
+    /// Called for every *forward* RM cell leaving through this port, with
+    /// the session id and the current queue length. EPRCA-family
+    /// algorithms read CCR here; unbounded-space algorithms (ERICA) track
+    /// per-VC state; algorithms may also set CI/NI on the forward cell
+    /// (it will be carried to the destination and turned around).
+    fn forward_rm(&mut self, vc: VcId, rm: &mut RmCell, queue: usize);
+
+    /// Called for every *backward* RM cell of a session whose forward
+    /// direction crosses this port. This is where ER is stamped.
+    fn backward_rm(&mut self, vc: VcId, rm: &mut RmCell, queue: usize);
+
+    /// Should arriving data cells have their EFCI bit set right now?
+    /// (Used by binary-feedback modes; default: never.)
+    fn mark_efci(&self, _queue: usize) -> bool {
+        false
+    }
+
+    /// The algorithm's current fair-share estimate (MACR or equivalent),
+    /// recorded each interval for the figures.
+    fn fair_share(&self) -> f64;
+
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A pass-through allocator: no control at all. Sources stay at whatever
+/// ACR their own rules produce (ER remains PCR). Useful as an experimental
+/// control and for substrate tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoControl;
+
+impl RateAllocator for NoControl {
+    fn on_interval(&mut self, _m: &PortMeasurement) {}
+    fn forward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {}
+    fn backward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {}
+    fn fair_share(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Stamps a fixed ER on every backward RM cell. Used by substrate tests to
+/// verify the feedback plumbing end to end.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedEr(pub f64);
+
+impl RateAllocator for FixedEr {
+    fn on_interval(&mut self, _m: &PortMeasurement) {}
+    fn forward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {}
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, _queue: usize) {
+        rm.limit_er(self.0);
+    }
+    fn fair_share(&self) -> f64 {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "fixed-er"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::RmCell;
+
+    #[test]
+    fn measurement_rates() {
+        let m = PortMeasurement {
+            dt: 0.001,
+            arrivals: 100,
+            departures: 80,
+            queue: 20,
+            capacity: 353_773.6,
+        };
+        assert_eq!(m.arrival_rate(), 100_000.0);
+        assert_eq!(m.departure_rate(), 80_000.0);
+    }
+
+    #[test]
+    fn no_control_leaves_er_alone() {
+        let mut a = NoControl;
+        let mut rm = RmCell::forward(1.0, 1000.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 50);
+        assert_eq!(rm.er, 1000.0);
+        assert!(!a.mark_efci(10_000));
+    }
+
+    #[test]
+    fn fixed_er_stamps() {
+        let mut a = FixedEr(250.0);
+        let mut rm = RmCell::forward(1.0, 1000.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 250.0);
+    }
+}

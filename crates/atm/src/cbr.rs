@@ -1,0 +1,123 @@
+//! A constant-bit-rate (CBR/VBR-style) source: unresponsive background
+//! traffic.
+//!
+//! Real ATM links carry CBR and VBR circuits that reserve bandwidth and
+//! ignore ABR feedback entirely. Phantom handles them for free — the
+//! residual-bandwidth measurement simply sees less capacity — but
+//! demonstrating that requires sources that send at a fixed rate, emit
+//! no RM cells, and never react to anything. The `burst` option makes
+//! the source alternate between its rate and silence (a crude VBR),
+//! driving the adaptation experiments.
+
+use crate::cell::{Cell, VcId};
+use crate::msg::{AtmMsg, Timer};
+use crate::traffic::{Traffic, TrafficGate};
+use crate::units::pacing_interval;
+use phantom_sim::{Ctx, Node, NodeId, SimDuration};
+
+/// An unresponsive fixed-rate source.
+pub struct CbrSource {
+    vc: VcId,
+    rate: f64, // cells/s
+    gate: TrafficGate,
+    next_hop: NodeId,
+    prop: SimDuration,
+    /// Cells transmitted.
+    pub cells_sent: u64,
+}
+
+impl CbrSource {
+    /// A CBR source for `vc` sending at `rate` cells/s whenever `traffic`
+    /// says it is active.
+    pub fn new(
+        vc: VcId,
+        rate: f64,
+        traffic: Traffic,
+        next_hop: NodeId,
+        prop: SimDuration,
+    ) -> Self {
+        assert!(rate > 0.0, "CBR rate must be positive");
+        CbrSource {
+            vc,
+            rate,
+            gate: TrafficGate::new(traffic),
+            next_hop,
+            prop,
+            cells_sent: 0,
+        }
+    }
+
+    /// The configured rate, cells/s.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The session id.
+    pub fn vc(&self) -> VcId {
+        self.vc
+    }
+}
+
+impl Node<AtmMsg> for CbrSource {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, AtmMsg>, msg: AtmMsg) {
+        match msg {
+            AtmMsg::Timer(Timer::SourceTx) => {
+                let now = ctx.now();
+                let (active, wake) = {
+                    let mut gate = self.gate;
+                    let r = gate.poll(now, ctx.rng());
+                    self.gate = gate;
+                    r
+                };
+                if !active {
+                    if let Some(t) = wake {
+                        debug_assert!(t > now);
+                        ctx.send_at(ctx.self_id(), t, AtmMsg::Timer(Timer::SourceTx));
+                    }
+                    return;
+                }
+                self.cells_sent += 1;
+                ctx.send(
+                    self.next_hop,
+                    self.prop,
+                    AtmMsg::Cell(Cell::data(self.vc, now).cbr_class()),
+                );
+                ctx.send_self(pacing_interval(self.rate), AtmMsg::Timer(Timer::SourceTx));
+            }
+            AtmMsg::Cell(_) => {
+                // Unresponsive by definition: any stray feedback is ignored.
+            }
+            AtmMsg::Timer(t) => unreachable!("CBR source received {t:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_rate() {
+        let s = CbrSource::new(
+            VcId(9),
+            1000.0,
+            Traffic::greedy(),
+            NodeId(0),
+            SimDuration::from_micros(1),
+        );
+        assert_eq!(s.rate(), 1000.0);
+        assert_eq!(s.vc(), VcId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = CbrSource::new(
+            VcId(0),
+            0.0,
+            Traffic::greedy(),
+            NodeId(0),
+            SimDuration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The ABR destination end system.
+//!
+//! Per TM 4.0 the destination turns forward RM cells around (flipping the
+//! direction bit) and echoes congestion experienced by data cells: if any
+//! data cell since the last RM arrived with its EFCI bit set, the
+//! turned-around RM cell carries CI=1. The destination also meters the
+//! session's delivered rate — the "measured rate" lines in the paper's
+//! TCP-style figures.
+
+use crate::cell::{Cell, CellKind, VcId};
+use crate::msg::{AtmMsg, Timer};
+use phantom_sim::stats::{Histogram, TimeSeries};
+use phantom_sim::{Ctx, Node, NodeId, SimDuration};
+
+/// An ABR destination end system.
+pub struct AbrDest {
+    vc: VcId,
+    reply_to: NodeId,
+    prop: SimDuration,
+    efci_seen: bool,
+    /// Total cells received (data + RM).
+    pub cells_received: u64,
+    /// Data cells received.
+    pub data_received: u64,
+    /// Forward RM cells turned around.
+    pub rm_turned: u64,
+    /// Delivered goodput (cells/s), sampled every `sample_interval`.
+    pub rate_series: TimeSeries,
+    /// End-to-end delay of delivered data cells, milliseconds (1 ms bins
+    /// up to 1 s) — the session's cell-delay statistics.
+    pub delay_hist: Histogram,
+    sample_interval: SimDuration,
+    data_in_window: u64,
+}
+
+impl AbrDest {
+    /// A destination for `vc`, sending backward RM cells to `reply_to`
+    /// (its attached switch) over a link with propagation delay `prop`,
+    /// sampling goodput every `sample_interval`.
+    pub fn new(
+        vc: VcId,
+        reply_to: NodeId,
+        prop: SimDuration,
+        sample_interval: SimDuration,
+    ) -> Self {
+        assert!(!sample_interval.is_zero());
+        AbrDest {
+            vc,
+            reply_to,
+            prop,
+            efci_seen: false,
+            cells_received: 0,
+            data_received: 0,
+            rm_turned: 0,
+            rate_series: TimeSeries::new(),
+            delay_hist: Histogram::new(0.1, 10_000),
+            sample_interval,
+            data_in_window: 0,
+        }
+    }
+
+    /// The session id.
+    pub fn vc(&self) -> VcId {
+        self.vc
+    }
+
+    /// Mean delivered rate over the whole run so far, cells/s.
+    pub fn mean_rate(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.data_received as f64 / elapsed_secs
+        }
+    }
+}
+
+impl Node<AtmMsg> for AbrDest {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, AtmMsg>, msg: AtmMsg) {
+        match msg {
+            AtmMsg::Cell(cell) => {
+                debug_assert_eq!(cell.vc, self.vc, "mis-routed cell");
+                self.cells_received += 1;
+                match cell.kind {
+                    CellKind::Data => {
+                        self.data_received += 1;
+                        self.data_in_window += 1;
+                        let delay_ms =
+                            ctx.now().saturating_sub(cell.created).as_millis_f64();
+                        self.delay_hist.record(delay_ms);
+                        if cell.efci {
+                            self.efci_seen = true;
+                        }
+                    }
+                    CellKind::Rm(rm) => {
+                        debug_assert!(
+                            matches!(rm.dir, crate::cell::Dir::Forward),
+                            "destination received a backward RM cell"
+                        );
+                        let mut back = rm.turned_around();
+                        if self.efci_seen {
+                            back.ci = true;
+                            self.efci_seen = false;
+                        }
+                        self.rm_turned += 1;
+                        ctx.send(
+                            self.reply_to,
+                            self.prop,
+                            AtmMsg::Cell(Cell::rm(self.vc, back, ctx.now())),
+                        );
+                    }
+                }
+            }
+            AtmMsg::Timer(Timer::Measure { .. }) => {
+                let rate = self.data_in_window as f64 / self.sample_interval.as_secs_f64();
+                self.rate_series.push(ctx.now(), rate);
+                self.data_in_window = 0;
+                ctx.send_self(
+                    self.sample_interval,
+                    AtmMsg::Timer(Timer::Measure { port: 0 }),
+                );
+            }
+            AtmMsg::Timer(t) => unreachable!("destination received {t:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_rate_requires_elapsed_time() {
+        let d = AbrDest::new(
+            VcId(1),
+            NodeId(0),
+            SimDuration::from_micros(1),
+            SimDuration::from_millis(5),
+        );
+        assert_eq!(d.mean_rate(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sample_interval_rejected() {
+        let _ = AbrDest::new(VcId(1), NodeId(0), SimDuration::ZERO, SimDuration::ZERO);
+    }
+}

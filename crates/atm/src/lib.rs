@@ -1,0 +1,55 @@
+//! # phantom-atm — ATM ABR substrate
+//!
+//! The Phantom paper evaluates its algorithm on ATM Available Bit Rate
+//! (ABR) traffic, with end systems following the ATM Forum Traffic
+//! Management 4.0 specification (\[Sat96\] Appendix I in the paper's
+//! references). This crate is that substrate, rebuilt from scratch on the
+//! [`phantom_sim`] kernel:
+//!
+//! * [`cell`] — ATM cells and resource-management (RM) cells with the TM4.0
+//!   fields the flow-control loop uses: direction, CCR, ER, CI, NI.
+//! * [`params`] — end-system parameters with the paper's values
+//!   (Nrm=32, AIR·Nrm=42.5 Mb/s, RDF=256, PCR=150 Mb/s, ICR=8.5 Mb/s,
+//!   TCR=10 cells/s).
+//! * [`cbr`] — unresponsive CBR/VBR-style background sources.
+//! * [`source`] / [`dest`] — ABR source and destination end systems: the
+//!   source paces cells at ACR, inserts a forward RM cell every Nrm cells,
+//!   and adjusts ACR on every backward RM cell; the destination turns RM
+//!   cells around.
+//! * [`traffic`] — greedy, staggered and on/off workload models used by the
+//!   paper's scenarios.
+//! * [`allocator`] — the constant-space per-port rate-allocation hook that
+//!   Phantom, EPRCA, APRC and CAPC all implement; the switch is
+//!   algorithm-agnostic.
+//! * [`port`] / [`switch`] — output-queued switches: per-port FIFO,
+//!   cell-by-cell transmission at link rate, periodic measurement
+//!   intervals, ER stamping of backward RM cells at the forward port.
+//! * [`network`] — a topology builder that wires sources, switches and
+//!   destinations into an [`phantom_sim::Engine`] and exposes handles for
+//!   reading traces back out.
+//!
+//! Rates are `f64` cells/second throughout; [`units`] converts to and from
+//! Mb/s (1 cell = 53 bytes = 424 bits).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod cbr;
+pub mod cell;
+pub mod dest;
+pub mod msg;
+pub mod network;
+pub mod params;
+pub mod port;
+pub mod source;
+pub mod switch;
+pub mod traffic;
+pub mod units;
+
+pub use allocator::{PortMeasurement, RateAllocator};
+pub use cell::{Cell, CellKind, Dir, RmCell, VcId};
+pub use msg::AtmMsg;
+pub use network::{Network, NetworkBuilder, SessionHandle, SwitchHandle};
+pub use params::AtmParams;
+pub use traffic::Traffic;

@@ -1,0 +1,29 @@
+//! The message type of the ATM simulation domain.
+
+use crate::cell::Cell;
+
+/// Everything that can be delivered to an ATM node.
+#[derive(Clone, Copy, Debug)]
+pub enum AtmMsg {
+    /// A cell arriving over a link.
+    Cell(Cell),
+    /// A node-internal timer.
+    Timer(Timer),
+}
+
+/// Timer kinds, multiplexed per node.
+#[derive(Clone, Copy, Debug)]
+pub enum Timer {
+    /// Source: time to (attempt to) transmit the next cell.
+    SourceTx,
+    /// Switch: the cell at the head of `port`'s queue finished serializing.
+    TxDone {
+        /// Output-port index within the switch.
+        port: usize,
+    },
+    /// Switch: end of a measurement interval on `port`.
+    Measure {
+        /// Output-port index within the switch.
+        port: usize,
+    },
+}

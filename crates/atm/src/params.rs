@@ -1,0 +1,183 @@
+//! TM 4.0 end-system parameters, with the paper's values as defaults.
+//!
+//! From the paper (Section "simulation configuration", quoting the ATM
+//! Forum TM 4.0 end systems of \[Sat96\] Appendix I):
+//!
+//! > Nrm = 32, AIR·Nrm = 42.5 Mb/s, RDF = 256, PCR = 150 Mb/s, TOF = 2,
+//! > TCR = 10 cells/s (4.24 Kb/s) and ICR = 8.5 Mb/s.
+//!
+//! Interpretation notes (recorded in DESIGN.md): AIR is the additive
+//! increase applied per backward RM cell, so `AIR = 42.5/32 Mb/s`; RDF is
+//! the divisor of the multiplicative decrease applied per CI-marked
+//! backward RM cell (`ACR -= ACR/RDF`); TOF guards the idle timeout —
+//! we implement the TM 4.0 ADTF-style rule "after an idle period the
+//! source restarts from ICR".
+
+use crate::units::mbps_to_cps;
+use phantom_sim::SimDuration;
+
+/// ABR end-system parameters (all rates in cells/s).
+#[derive(Clone, Copy, Debug)]
+pub struct AtmParams {
+    /// Peak Cell Rate: the line rate and the hard ceiling of ACR.
+    pub pcr: f64,
+    /// Initial Cell Rate: ACR at session start and after long idles.
+    pub icr: f64,
+    /// Minimum Cell Rate floor (the paper's TCR, 10 cells/s).
+    pub mcr: f64,
+    /// Cells between consecutive forward RM cells.
+    pub nrm: u32,
+    /// Additive increase per unmarked backward RM cell, cells/s.
+    pub air: f64,
+    /// Divisor of the multiplicative decrease per CI-marked backward RM
+    /// cell: `ACR -= ACR / rdf`.
+    pub rdf: f64,
+    /// Idle interval after which ACR is reset towards ICR (stands in for
+    /// the TOF/ADTF use-it-or-lose-it rule).
+    pub adtf: SimDuration,
+    /// Missing-RM-cell limit: after this many forward RM cells with no
+    /// backward RM received, the source starts decreasing (TM 4.0's CRM).
+    pub crm: u32,
+    /// Multiplicative decrease applied per forward RM while the CRM limit
+    /// is exceeded (TM 4.0's CDF, as a fraction).
+    pub cdf: f64,
+}
+
+impl Default for AtmParams {
+    fn default() -> Self {
+        AtmParams {
+            pcr: mbps_to_cps(150.0),
+            icr: mbps_to_cps(8.5),
+            mcr: 10.0,
+            nrm: 32,
+            air: mbps_to_cps(42.5 / 32.0),
+            rdf: 256.0,
+            adtf: SimDuration::from_millis(500),
+            crm: 32,
+            cdf: 1.0 / 16.0,
+        }
+    }
+}
+
+impl AtmParams {
+    /// The paper's configuration (alias of `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Override PCR, given in Mb/s.
+    pub fn with_pcr_mbps(mut self, mbps: f64) -> Self {
+        self.pcr = mbps_to_cps(mbps);
+        self
+    }
+
+    /// Override ICR, given in Mb/s.
+    pub fn with_icr_mbps(mut self, mbps: f64) -> Self {
+        self.icr = mbps_to_cps(mbps);
+        self
+    }
+
+    /// Override the additive increase, given as AIR·Nrm in Mb/s (the
+    /// paper's way of quoting it).
+    pub fn with_air_nrm_mbps(mut self, mbps: f64) -> Self {
+        self.air = mbps_to_cps(mbps / self.nrm as f64);
+        self
+    }
+
+    /// Override Nrm.
+    pub fn with_nrm(mut self, nrm: u32) -> Self {
+        assert!(nrm >= 2, "Nrm must be at least 2");
+        self.nrm = nrm;
+        self
+    }
+
+    /// Override RDF.
+    pub fn with_rdf(mut self, rdf: f64) -> Self {
+        assert!(rdf > 1.0, "RDF must exceed 1");
+        self.rdf = rdf;
+        self
+    }
+
+    /// Sanity-check the invariants the end system relies on.
+    // `!(x > 0)`-style checks are deliberate: they reject NaN as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.pcr > 0.0) {
+            return Err("PCR must be positive".into());
+        }
+        if !(self.icr > 0.0 && self.icr <= self.pcr) {
+            return Err("ICR must be in (0, PCR]".into());
+        }
+        if !(self.mcr >= 0.0 && self.mcr <= self.icr) {
+            return Err("MCR must be in [0, ICR]".into());
+        }
+        if self.nrm < 2 {
+            return Err("Nrm must be at least 2".into());
+        }
+        if !(self.air > 0.0) {
+            return Err("AIR must be positive".into());
+        }
+        if !(self.rdf > 1.0) {
+            return Err("RDF must exceed 1".into());
+        }
+        if self.crm == 0 {
+            return Err("CRM must be positive".into());
+        }
+        if !(self.cdf > 0.0 && self.cdf < 1.0) {
+            return Err("CDF must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::cps_to_mbps;
+
+    #[test]
+    fn paper_defaults_match_quoted_values() {
+        let p = AtmParams::paper();
+        assert!((cps_to_mbps(p.pcr) - 150.0).abs() < 1e-9);
+        assert!((cps_to_mbps(p.icr) - 8.5).abs() < 1e-9);
+        assert_eq!(p.mcr, 10.0);
+        assert_eq!(p.nrm, 32);
+        assert!((cps_to_mbps(p.air) * 32.0 - 42.5).abs() < 1e-9);
+        assert_eq!(p.rdf, 256.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = AtmParams::paper()
+            .with_pcr_mbps(155.0)
+            .with_icr_mbps(10.0)
+            .with_nrm(16)
+            .with_air_nrm_mbps(32.0)
+            .with_rdf(64.0);
+        assert!((cps_to_mbps(p.pcr) - 155.0).abs() < 1e-9);
+        assert_eq!(p.nrm, 16);
+        assert!((cps_to_mbps(p.air) * 16.0 - 32.0).abs() < 1e-9);
+        assert_eq!(p.rdf, 64.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut p = AtmParams::paper();
+        p.icr = p.pcr * 2.0;
+        assert!(p.validate().is_err());
+        let mut p = AtmParams::paper();
+        p.mcr = p.icr * 2.0;
+        assert!(p.validate().is_err());
+        let mut p = AtmParams::paper();
+        p.air = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "Nrm must be at least 2")]
+    fn nrm_builder_asserts() {
+        let _ = AtmParams::paper().with_nrm(1);
+    }
+}

@@ -1,0 +1,226 @@
+//! A switch output port: bounded FIFO, cell-by-cell transmission at link
+//! rate, periodic measurement intervals, and the per-port allocator.
+//!
+//! The port is where everything the paper plots lives: the queue-length
+//! trace, the MACR trace (the allocator's fair-share estimate) and the
+//! utilization counters.
+
+use crate::allocator::{PortMeasurement, RateAllocator};
+use crate::cell::{Cell, CellKind, ServiceClass};
+use crate::msg::{AtmMsg, Timer};
+use crate::units::cell_time;
+use phantom_sim::stats::{TimeSeries, TimeWeighted};
+use phantom_sim::{BoundedFifo, Ctx, NodeId, SimDuration};
+
+/// One output port of a switch.
+pub struct Port {
+    queue: BoundedFifo<Cell>,
+    /// High-priority queue for CBR-class cells (None = single FIFO).
+    high: Option<BoundedFifo<Cell>>,
+    link_to: NodeId,
+    prop: SimDuration,
+    capacity: f64,
+    cell_time: SimDuration,
+    busy: bool,
+    allocator: Box<dyn RateAllocator>,
+    measure_interval: SimDuration,
+    arrivals: u64,
+    departures: u64,
+    /// Probability that a departing cell is lost on the wire (models
+    /// link-level corruption; 0 = perfect link). Uses the owning
+    /// switch's deterministic RNG stream.
+    loss_prob: f64,
+    /// Cells lost to injected link errors.
+    pub wire_losses: u64,
+    /// Time-weighted queue occupancy (exact).
+    pub queue_tw: TimeWeighted,
+    /// Fair-share (MACR) samples, one per measurement interval.
+    pub macr_series: TimeSeries,
+    /// Queue-length samples, one per measurement interval.
+    pub queue_series: TimeSeries,
+    /// Departure-rate samples (cells/s), one per measurement interval —
+    /// the utilization trace.
+    pub throughput_series: TimeSeries,
+}
+
+impl Port {
+    /// A port transmitting to `link_to` at `capacity` cells/s with
+    /// propagation delay `prop`, queue bound `queue_cap` cells, running
+    /// `allocator` every `measure_interval`.
+    pub fn new(
+        link_to: NodeId,
+        capacity: f64,
+        prop: SimDuration,
+        queue_cap: usize,
+        allocator: Box<dyn RateAllocator>,
+        measure_interval: SimDuration,
+    ) -> Self {
+        assert!(capacity > 0.0, "port capacity must be positive");
+        Port {
+            queue: BoundedFifo::new(queue_cap),
+            high: None,
+            link_to,
+            prop,
+            capacity,
+            cell_time: cell_time(capacity),
+            busy: false,
+            allocator,
+            measure_interval,
+            arrivals: 0,
+            departures: 0,
+            loss_prob: 0.0,
+            wire_losses: 0,
+            queue_tw: TimeWeighted::new(),
+            macr_series: TimeSeries::new(),
+            queue_series: TimeSeries::new(),
+            throughput_series: TimeSeries::new(),
+        }
+    }
+
+    /// Serve CBR-class cells from a separate strict-priority queue
+    /// (capacity `cap` cells). Real switches isolate reserved traffic
+    /// from ABR queueing this way.
+    pub fn enable_cbr_priority(&mut self, cap: usize) {
+        self.high = Some(BoundedFifo::new(cap));
+    }
+
+    /// Inject link-level loss: each departing cell is dropped with
+    /// probability `p` (failure injection for resilience tests).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss probability in [0, 1)");
+        self.loss_prob = p;
+    }
+
+    /// Current queue length in cells (both classes).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + self.high.as_ref().map_or(0, |h| h.len())
+    }
+
+    /// Current ABR-class (low-priority) queue length.
+    pub fn abr_queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cells dropped at this port (queue overflow, both classes).
+    pub fn drops(&self) -> u64 {
+        self.queue.drops() + self.high.as_ref().map_or(0, |h| h.drops())
+    }
+
+    /// Total cells transmitted.
+    pub fn total_departures(&self) -> u64 {
+        self.queue.departures()
+    }
+
+    /// Link capacity in cells/s.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The allocator's current fair-share estimate.
+    pub fn fair_share(&self) -> f64 {
+        self.allocator.fair_share()
+    }
+
+    /// Immutable access to the allocator (downcast with `Any` if needed).
+    pub fn allocator(&self) -> &dyn RateAllocator {
+        self.allocator.as_ref()
+    }
+
+    /// Mutable access to the allocator.
+    pub fn allocator_mut(&mut self) -> &mut dyn RateAllocator {
+        self.allocator.as_mut()
+    }
+
+    /// Largest (combined) queue length seen.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water() + self.high.as_ref().map_or(0, |h| h.high_water())
+    }
+
+    /// Enqueue `cell` for transmission; `me` is this port's index within
+    /// the owning switch, used to address the TxDone timer.
+    pub fn enqueue(&mut self, ctx: &mut Ctx<'_, AtmMsg>, me: usize, mut cell: Cell) {
+        self.arrivals += 1;
+        if matches!(cell.kind, CellKind::Data) && self.allocator.mark_efci(self.queue.len()) {
+            cell.efci = true;
+        }
+        let accepted = match (&mut self.high, cell.class) {
+            (Some(high), ServiceClass::Cbr) => high.push(cell),
+            _ => self.queue.push(cell),
+        };
+        if accepted == phantom_sim::fifo::EnqueueResult::Accepted {
+            self.queue_tw.set(ctx.now(), self.queue_len() as f64);
+            if !self.busy {
+                self.busy = true;
+                ctx.send_self(self.cell_time, AtmMsg::Timer(Timer::TxDone { port: me }));
+            }
+        }
+    }
+
+    /// The head-of-line cell finished serializing: deliver it and start on
+    /// the next one.
+    pub fn tx_done(&mut self, ctx: &mut Ctx<'_, AtmMsg>, me: usize) {
+        // Strict priority: CBR-class cells first.
+        let cell = match &mut self.high {
+            Some(high) if !high.is_empty() => high.pop(),
+            _ => self.queue.pop(),
+        }
+        .expect("TxDone fired with an empty queue");
+        self.departures += 1;
+        self.queue_tw.set(ctx.now(), self.queue_len() as f64);
+        let lost = self.loss_prob > 0.0 && {
+            use rand::Rng;
+            ctx.rng().gen::<f64>() < self.loss_prob
+        };
+        if lost {
+            self.wire_losses += 1;
+        } else {
+            ctx.send(self.link_to, self.prop, AtmMsg::Cell(cell));
+        }
+        if self.queue_len() == 0 {
+            self.busy = false;
+        } else {
+            ctx.send_self(self.cell_time, AtmMsg::Timer(Timer::TxDone { port: me }));
+        }
+    }
+
+    /// End of a measurement interval: feed the allocator, record traces,
+    /// reschedule.
+    pub fn measure(&mut self, ctx: &mut Ctx<'_, AtmMsg>, me: usize) {
+        let m = PortMeasurement {
+            dt: self.measure_interval.as_secs_f64(),
+            arrivals: self.arrivals,
+            departures: self.departures,
+            queue: self.queue_len(),
+            capacity: self.capacity,
+        };
+        self.allocator.on_interval(&m);
+        self.macr_series.push(ctx.now(), self.allocator.fair_share());
+        self.queue_series.push(ctx.now(), self.queue_len() as f64);
+        self.throughput_series.push(ctx.now(), m.departure_rate());
+        self.arrivals = 0;
+        self.departures = 0;
+        ctx.send_self(
+            self.measure_interval,
+            AtmMsg::Timer(Timer::Measure { port: me }),
+        );
+    }
+
+    /// Stamp a backward RM cell of a session whose forward path crosses
+    /// this port (ER reduction happens against *this* port's congestion
+    /// state, per the standard ATM practice the paper follows).
+    pub fn stamp_backward(&mut self, vc: crate::cell::VcId, rm: &mut crate::cell::RmCell) {
+        let q = self.queue.len();
+        self.allocator.backward_rm(vc, rm, q);
+    }
+
+    /// Observe a forward RM cell about to be queued on this port.
+    pub fn observe_forward(&mut self, vc: crate::cell::VcId, rm: &mut crate::cell::RmCell) {
+        let q = self.queue.len();
+        self.allocator.forward_rm(vc, rm, q);
+    }
+
+    /// The measurement interval this port was built with.
+    pub fn measure_interval(&self) -> SimDuration {
+        self.measure_interval
+    }
+}

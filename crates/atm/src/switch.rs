@@ -1,0 +1,111 @@
+//! An output-queued ATM switch.
+//!
+//! The switch is algorithm-agnostic: it routes cells by VC, queues them on
+//! output ports, and calls the port allocator's hooks. Backward RM cells
+//! are stamped by the allocator of the session's **forward-direction**
+//! output port — the queueing point whose congestion the feedback must
+//! reflect — and then forwarded through the backward-direction port.
+
+use crate::cell::{Cell, VcId};
+use crate::msg::{AtmMsg, Timer};
+use crate::port::Port;
+use phantom_sim::{Ctx, Node};
+use std::collections::HashMap;
+
+/// Per-VC routing state: which output port the forward and backward
+/// directions of the session use.
+#[derive(Clone, Copy, Debug)]
+pub struct VcRoute {
+    /// Output port for source→destination cells.
+    pub fwd_port: usize,
+    /// Output port for destination→source (backward RM) cells.
+    pub bwd_port: usize,
+}
+
+/// An output-queued switch with per-port allocators.
+pub struct Switch {
+    name: String,
+    ports: Vec<Port>,
+    routes: HashMap<VcId, VcRoute>,
+}
+
+impl Switch {
+    /// An empty switch (ports and routes are added by the builder).
+    pub fn new(name: &str) -> Self {
+        Switch {
+            name: name.to_string(),
+            ports: Vec::new(),
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Switch name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add an output port, returning its index.
+    pub fn add_port(&mut self, port: Port) -> usize {
+        self.ports.push(port);
+        self.ports.len() - 1
+    }
+
+    /// Install the route for `vc`.
+    pub fn add_route(&mut self, vc: VcId, route: VcRoute) {
+        assert!(route.fwd_port < self.ports.len(), "fwd port out of range");
+        assert!(route.bwd_port < self.ports.len(), "bwd port out of range");
+        let prev = self.routes.insert(vc, route);
+        assert!(prev.is_none(), "duplicate route for {vc:?}");
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Access a port's state (traces, counters).
+    pub fn port(&self, idx: usize) -> &Port {
+        &self.ports[idx]
+    }
+
+    /// Mutable access to a port.
+    pub fn port_mut(&mut self, idx: usize) -> &mut Port {
+        &mut self.ports[idx]
+    }
+
+    fn handle_cell(&mut self, ctx: &mut Ctx<'_, AtmMsg>, mut cell: Cell) {
+        let route = *self
+            .routes
+            .get(&cell.vc)
+            .unwrap_or_else(|| panic!("switch {}: no route for {:?}", self.name, cell.vc));
+        let vc = cell.vc;
+        if cell.is_backward_rm() {
+            // Feedback for the forward direction: stamp at the forward
+            // port, transmit through the backward port.
+            if let Some(rm) = cell.as_rm_mut() {
+                self.ports[route.fwd_port].stamp_backward(vc, rm);
+            }
+            self.ports[route.bwd_port].enqueue(ctx, route.bwd_port, cell);
+        } else {
+            if cell.is_forward_rm() {
+                if let Some(rm) = cell.as_rm_mut() {
+                    self.ports[route.fwd_port].observe_forward(vc, rm);
+                }
+            }
+            self.ports[route.fwd_port].enqueue(ctx, route.fwd_port, cell);
+        }
+    }
+}
+
+impl Node<AtmMsg> for Switch {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, AtmMsg>, msg: AtmMsg) {
+        match msg {
+            AtmMsg::Cell(cell) => self.handle_cell(ctx, cell),
+            AtmMsg::Timer(Timer::TxDone { port }) => self.ports[port].tx_done(ctx, port),
+            AtmMsg::Timer(Timer::Measure { port }) => self.ports[port].measure(ctx, port),
+            AtmMsg::Timer(Timer::SourceTx) => {
+                unreachable!("switch received a source timer")
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Workload models for ABR sources.
+//!
+//! The paper's scenarios use three source behaviors: *greedy* sources that
+//! always have cells to send, *staggered* greedy sources that join (and
+//! possibly leave) at given times, and *on/off* (bursty) sources that
+//! alternate between active and silent periods. All are deterministic so
+//! that runs reproduce exactly; randomized burst lengths can be layered on
+//! by the scenario if needed.
+
+use phantom_sim::{SimDuration, SimTime};
+
+/// When a source is allowed to transmit.
+#[derive(Clone, Copy, Debug)]
+pub enum Traffic {
+    /// Always active from `start` until `stop`.
+    Greedy {
+        /// First instant the source may send.
+        start: SimTime,
+        /// Instant the source stops (use [`SimTime::MAX`] for "never").
+        stop: SimTime,
+    },
+    /// Periodic bursts: active for `on`, silent for `off`, starting (in the
+    /// active state) at `start`.
+    OnOff {
+        /// Beginning of the first active period.
+        start: SimTime,
+        /// Length of each active period.
+        on: SimDuration,
+        /// Length of each silent period.
+        off: SimDuration,
+    },
+    /// Stochastic bursts: on/off phases with exponentially distributed
+    /// durations, drawn from the source node's seeded RNG. Evaluate
+    /// through a [`TrafficGate`]; the pure [`Traffic::is_active`] /
+    /// [`Traffic::next_active`] cannot answer for this variant.
+    Random {
+        /// Mean active-phase duration.
+        mean_on: SimDuration,
+        /// Mean silent-phase duration.
+        mean_off: SimDuration,
+    },
+}
+
+impl Traffic {
+    /// A source that is always on.
+    pub fn greedy() -> Self {
+        Traffic::Greedy {
+            start: SimTime::ZERO,
+            stop: SimTime::MAX,
+        }
+    }
+
+    /// A greedy source active only during `[start, stop)`.
+    pub fn window(start: SimTime, stop: SimTime) -> Self {
+        assert!(stop > start, "empty activity window");
+        Traffic::Greedy { start, stop }
+    }
+
+    /// A periodic on/off source.
+    pub fn on_off(start: SimTime, on: SimDuration, off: SimDuration) -> Self {
+        assert!(!on.is_zero(), "on period must be positive");
+        assert!(!off.is_zero(), "off period must be positive");
+        Traffic::OnOff { start, on, off }
+    }
+
+    /// A stochastic on/off source with exponential phase durations.
+    pub fn random(mean_on: SimDuration, mean_off: SimDuration) -> Self {
+        assert!(!mean_on.is_zero(), "mean on period must be positive");
+        assert!(!mean_off.is_zero(), "mean off period must be positive");
+        Traffic::Random { mean_on, mean_off }
+    }
+
+    /// Is the source allowed to send at time `t`?
+    pub fn is_active(&self, t: SimTime) -> bool {
+        match *self {
+            Traffic::Greedy { start, stop } => t >= start && t < stop,
+            Traffic::OnOff { start, on, off } => {
+                if t < start {
+                    return false;
+                }
+                let period = (on + off).as_nanos();
+                let phase = (t - start).as_nanos() % period;
+                phase < on.as_nanos()
+            }
+            Traffic::Random { .. } => {
+                panic!("Traffic::Random is stateful; evaluate it through a TrafficGate")
+            }
+        }
+    }
+
+    /// The next time at or after `t` when the source becomes (or still is
+    /// about to become) active. Returns `None` if it never will be.
+    pub fn next_active(&self, t: SimTime) -> Option<SimTime> {
+        match *self {
+            Traffic::Greedy { start, stop } => {
+                if t < start {
+                    Some(start)
+                } else if t < stop {
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+            Traffic::OnOff { start, on, off } => {
+                if t < start {
+                    return Some(start);
+                }
+                if self.is_active(t) {
+                    return Some(t);
+                }
+                let period = (on + off).as_nanos();
+                let phase = (t - start).as_nanos() % period;
+                Some(t + SimDuration::from_nanos(period - phase))
+            }
+            Traffic::Random { .. } => {
+                panic!("Traffic::Random is stateful; evaluate it through a TrafficGate")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_always_on() {
+        let t = Traffic::greedy();
+        assert!(t.is_active(SimTime::ZERO));
+        assert!(t.is_active(SimTime::from_secs(100)));
+        assert_eq!(t.next_active(SimTime::from_secs(5)), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn window_respects_bounds() {
+        let t = Traffic::window(SimTime::from_millis(10), SimTime::from_millis(20));
+        assert!(!t.is_active(SimTime::from_millis(5)));
+        assert!(t.is_active(SimTime::from_millis(10)));
+        assert!(t.is_active(SimTime::from_millis(19)));
+        assert!(!t.is_active(SimTime::from_millis(20)));
+        assert_eq!(
+            t.next_active(SimTime::from_millis(5)),
+            Some(SimTime::from_millis(10))
+        );
+        assert_eq!(t.next_active(SimTime::from_millis(25)), None);
+    }
+
+    #[test]
+    fn on_off_cycles() {
+        let t = Traffic::on_off(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(70),
+        );
+        assert!(!t.is_active(SimTime::from_millis(50)));
+        assert!(t.is_active(SimTime::from_millis(100)));
+        assert!(t.is_active(SimTime::from_millis(129)));
+        assert!(!t.is_active(SimTime::from_millis(130)));
+        assert!(!t.is_active(SimTime::from_millis(199)));
+        assert!(t.is_active(SimTime::from_millis(200))); // next period
+        // second period's on-phase
+        assert!(t.is_active(SimTime::from_millis(229)));
+        assert!(!t.is_active(SimTime::from_millis(230)));
+    }
+
+    #[test]
+    fn on_off_next_active_jumps_to_period_start() {
+        let t = Traffic::on_off(
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(90),
+        );
+        assert_eq!(
+            t.next_active(SimTime::from_millis(50)),
+            Some(SimTime::from_millis(100))
+        );
+        assert_eq!(
+            t.next_active(SimTime::from_millis(5)),
+            Some(SimTime::from_millis(5))
+        );
+        // before start
+        let t2 = Traffic::on_off(
+            SimTime::from_millis(7),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(1),
+        );
+        assert_eq!(t2.next_active(SimTime::ZERO), Some(SimTime::from_millis(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty activity window")]
+    fn bad_window_panics() {
+        let _ = Traffic::window(SimTime::from_secs(2), SimTime::from_secs(1));
+    }
+}
+
+/// Runtime gate a source drives its traffic model through. Deterministic
+/// models ([`Traffic::Greedy`], [`Traffic::OnOff`]) delegate to the pure
+/// methods; [`Traffic::Random`] keeps the sampled phase state here and
+/// draws exponential on/off durations from the node's seeded RNG.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficGate {
+    traffic: Traffic,
+    /// Random-mode state: current phase and when it ends.
+    random: Option<(bool, SimTime)>,
+}
+
+impl TrafficGate {
+    /// A gate for `traffic`; Random mode starts in the off phase at t = 0
+    /// with a sampled duration on first poll.
+    pub fn new(traffic: Traffic) -> Self {
+        TrafficGate {
+            traffic,
+            random: None,
+        }
+    }
+
+    /// The model this gate drives.
+    pub fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    /// Is the source allowed to send at `now`? When inactive, also
+    /// returns the wake-up time (if the model ever resumes).
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> (bool, Option<SimTime>) {
+        match self.traffic {
+            Traffic::Random { mean_on, mean_off } => {
+                let (mut active, mut until) = self.random.unwrap_or((false, now));
+                while now >= until {
+                    active = !active;
+                    let mean = if active { mean_on } else { mean_off };
+                    until += exp_sample(mean, rng);
+                }
+                self.random = Some((active, until));
+                if active {
+                    (true, None)
+                } else {
+                    (false, Some(until))
+                }
+            }
+            t => {
+                if t.is_active(now) {
+                    (true, None)
+                } else {
+                    (false, t.next_active(now).filter(|&w| w > now))
+                }
+            }
+        }
+    }
+}
+
+/// One exponential duration with the given mean (never zero).
+fn exp_sample(mean: SimDuration, rng: &mut rand::rngs::SmallRng) -> SimDuration {
+    use rand::Rng;
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    let secs = -mean.as_secs_f64() * u.ln();
+    SimDuration::from_secs_f64(secs.max(1e-9))
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_models_pass_through() {
+        let mut g = TrafficGate::new(Traffic::window(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        ));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let (active, wake) = g.poll(SimTime::ZERO, &mut rng);
+        assert!(!active);
+        assert_eq!(wake, Some(SimTime::from_millis(10)));
+        let (active, _) = g.poll(SimTime::from_millis(15), &mut rng);
+        assert!(active);
+        let (active, wake) = g.poll(SimTime::from_millis(25), &mut rng);
+        assert!(!active);
+        assert_eq!(wake, None, "window never reopens");
+    }
+
+    #[test]
+    fn random_gate_duty_cycle_matches_means() {
+        // Poll a random gate on a fine grid and check the long-run duty
+        // cycle ≈ mean_on / (mean_on + mean_off).
+        let traffic = Traffic::Random {
+            mean_on: SimDuration::from_millis(30),
+            mean_off: SimDuration::from_millis(10),
+        };
+        let mut g = TrafficGate::new(traffic);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut active_ticks = 0u64;
+        let ticks = 400_000u64;
+        for i in 0..ticks {
+            let (active, _) = g.poll(SimTime::from_micros(i * 10), &mut rng);
+            if active {
+                active_ticks += 1;
+            }
+        }
+        let duty = active_ticks as f64 / ticks as f64;
+        assert!(
+            (duty - 0.75).abs() < 0.05,
+            "duty cycle {duty:.3} vs expected 0.75"
+        );
+    }
+
+    #[test]
+    fn random_gate_is_seed_dependent_but_reproducible() {
+        let traffic = Traffic::Random {
+            mean_on: SimDuration::from_millis(5),
+            mean_off: SimDuration::from_millis(5),
+        };
+        let trace = |seed: u64| -> Vec<bool> {
+            let mut g = TrafficGate::new(traffic);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..1000)
+                .map(|i| g.poll(SimTime::from_micros(i * 100), &mut rng).0)
+                .collect()
+        };
+        assert_eq!(trace(1), trace(1), "same seed, same phases");
+        assert_ne!(trace(1), trace(2), "different seeds differ");
+    }
+
+    #[test]
+    fn exp_samples_are_positive_with_roughly_the_right_mean() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mean = SimDuration::from_millis(20);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let d = exp_sample(mean, &mut rng);
+            assert!(d.as_nanos() > 0);
+            sum += d.as_secs_f64();
+        }
+        let measured = sum / n as f64;
+        assert!(
+            (measured - 0.020).abs() < 0.001,
+            "mean {measured:.4}s vs 0.020s"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Unit conversions for ATM rates.
+//!
+//! Throughout the crate rates are `f64` **cells per second**. The paper
+//! quotes parameters in Mb/s; an ATM cell is 53 bytes = 424 bits, so
+//! 150 Mb/s ≈ 353 773.6 cells/s.
+
+use phantom_sim::SimDuration;
+
+/// Bytes in one ATM cell (48 payload + 5 header).
+pub const CELL_BYTES: u64 = 53;
+
+/// Bits in one ATM cell.
+pub const CELL_BITS: u64 = CELL_BYTES * 8;
+
+/// Convert megabits per second to cells per second.
+pub fn mbps_to_cps(mbps: f64) -> f64 {
+    mbps * 1e6 / CELL_BITS as f64
+}
+
+/// Convert cells per second to megabits per second.
+pub fn cps_to_mbps(cps: f64) -> f64 {
+    cps * CELL_BITS as f64 / 1e6
+}
+
+/// Serialization time of one cell on a link of `cps` cells/s.
+pub fn cell_time(cps: f64) -> SimDuration {
+    debug_assert!(cps > 0.0);
+    SimDuration::from_secs_f64(1.0 / cps)
+}
+
+/// Inter-cell spacing for a source sending at `rate` cells/s, clamped so a
+/// (nearly) zero rate cannot produce an unschedulable interval.
+pub fn pacing_interval(rate: f64) -> SimDuration {
+    let r = rate.max(1e-3); // floor: one cell per ~17 minutes
+    SimDuration::from_secs_f64(1.0 / r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_round_trip() {
+        let cps = mbps_to_cps(150.0);
+        assert!((cps - 353_773.58).abs() < 0.1);
+        assert!((cps_to_mbps(cps) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_time_on_oc3() {
+        let t = cell_time(mbps_to_cps(150.0));
+        // 424 bits / 150 Mb/s = 2.8267 us
+        assert_eq!(t.as_nanos(), 2_827);
+    }
+
+    #[test]
+    fn pacing_handles_tiny_rates() {
+        let d = pacing_interval(0.0);
+        assert!(d.as_secs_f64() <= 1000.0 + 1.0);
+        let d2 = pacing_interval(1000.0);
+        assert_eq!(d2, SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the ATM substrate's pure pieces.
+
+use phantom_atm::cell::RmCell;
+use phantom_atm::params::AtmParams;
+use phantom_atm::traffic::Traffic;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Unit conversion round-trips.
+    #[test]
+    fn units_round_trip(mbps in 0.001f64..10_000.0) {
+        let back = cps_to_mbps(mbps_to_cps(mbps));
+        prop_assert!((back - mbps).abs() < 1e-9 * mbps);
+    }
+
+    /// On/off traffic is periodic and next_active always lands on an
+    /// active instant at or after the query.
+    #[test]
+    fn on_off_periodicity(
+        start_ms in 0u64..100,
+        on_ms in 1u64..100,
+        off_ms in 1u64..100,
+        t_ms in 0u64..10_000,
+    ) {
+        let tr = Traffic::on_off(
+            SimTime::from_millis(start_ms),
+            SimDuration::from_millis(on_ms),
+            SimDuration::from_millis(off_ms),
+        );
+        let t = SimTime::from_millis(t_ms);
+        let period = SimDuration::from_millis(on_ms + off_ms);
+        if t >= SimTime::from_millis(start_ms) {
+            prop_assert_eq!(tr.is_active(t), tr.is_active(t + period));
+        }
+        let next = tr.next_active(t).expect("on/off never dies");
+        prop_assert!(next >= t);
+        prop_assert!(tr.is_active(next), "next_active returned an inactive instant");
+        // no active instant in (t, next) — spot-check the midpoint
+        if next > t {
+            let mid = SimTime((t.as_nanos() + next.as_nanos()) / 2);
+            if mid > t && mid < next {
+                prop_assert!(!tr.is_active(mid));
+            }
+        }
+    }
+
+    /// Greedy windows: active exactly inside [start, stop).
+    #[test]
+    fn window_activity(start in 0u64..1000, len in 1u64..1000, t in 0u64..3000) {
+        let tr = Traffic::window(
+            SimTime::from_millis(start),
+            SimTime::from_millis(start + len),
+        );
+        let active = tr.is_active(SimTime::from_millis(t));
+        prop_assert_eq!(active, t >= start && t < start + len);
+    }
+
+    /// ER can only decrease through any sequence of limit operations.
+    #[test]
+    fn er_never_increases(limits in proptest::collection::vec(0.0f64..1e7, 1..100)) {
+        let mut rm = RmCell::forward(0.0, 1e7).turned_around();
+        let mut floor = 1e7f64;
+        for l in limits {
+            rm.limit_er(l);
+            floor = floor.min(l);
+            prop_assert!((rm.er - floor).abs() < 1e-9);
+        }
+    }
+
+    /// The TM4.0 source arithmetic keeps ACR inside [MCR, min(ER, PCR)]
+    /// for any backward-RM sequence (replicates the source's update rule).
+    #[test]
+    fn acr_stays_in_bounds(
+        events in proptest::collection::vec((any::<bool>(), any::<bool>(), 0.0f64..500_000.0), 1..300),
+    ) {
+        let p = AtmParams::paper();
+        let mut acr = p.icr;
+        for (ci, ni, er) in events {
+            if ci {
+                acr -= acr / p.rdf;
+            } else if !ni {
+                acr += p.air;
+            }
+            acr = acr.min(er).min(p.pcr).max(p.mcr);
+            prop_assert!(acr >= p.mcr - 1e-9);
+            prop_assert!(acr <= p.pcr + 1e-9);
+            prop_assert!(acr.is_finite());
+        }
+    }
+
+    /// Parameter validation: ICR above PCR or MCR above ICR always fails.
+    #[test]
+    fn params_validation_ordering(a in 1.0f64..1e6, b in 1.0f64..1e6) {
+        let mut p = AtmParams::paper();
+        p.pcr = a.min(b);
+        p.icr = a.max(b) + 1.0;
+        prop_assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! APRC — Adaptive Proportional Rate Control \[ST94\].
+//!
+//! Siu and Tzeng's modification of EPRCA: "rather than being a function of
+//! the queue length, [the congested state] is now a function of the rate
+//! at which the queue length is changing" — the switch is *congested*
+//! while the queue is growing, which reacts earlier than a fixed
+//! threshold. The *very congested* state remains a queue threshold; the
+//! paper quotes 300 cells and notes that "in some scenarios the queue
+//! length might often exceed the very congested threshold".
+//!
+//! MACR estimation and the ER/CI actions are inherited from EPRCA.
+
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+
+/// APRC parameters (\[ST94\] recommendations; thresholds per the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct AprcConfig {
+    /// Averaging factor for the MACR update (1/16).
+    pub av: f64,
+    /// Explicit Reduction Factor (0.95).
+    pub erf: f64,
+    /// Down-Pressure Factor (7/8).
+    pub dpf: f64,
+    /// Queue growth (cells per measurement interval) above which the port
+    /// counts as congested. 0 = "any growth".
+    pub growth_threshold: i64,
+    /// Very-congested queue threshold: 300 cells (quoted by the paper).
+    pub dqt: usize,
+    /// Initial MACR, cells/s.
+    pub init_macr: f64,
+}
+
+impl Default for AprcConfig {
+    fn default() -> Self {
+        AprcConfig {
+            av: 1.0 / 16.0,
+            erf: 0.95,
+            dpf: 7.0 / 8.0,
+            growth_threshold: 0,
+            dqt: 300,
+            init_macr: phantom_atm::units::mbps_to_cps(8.5),
+        }
+    }
+}
+
+/// The APRC per-port allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct Aprc {
+    cfg: AprcConfig,
+    macr: f64,
+    queue: usize,
+    prev_queue: usize,
+    congested: bool,
+}
+
+impl Aprc {
+    /// An APRC instance with the given parameters.
+    pub fn new(cfg: AprcConfig) -> Self {
+        assert!(cfg.av > 0.0 && cfg.av <= 1.0);
+        assert!(cfg.erf > 0.0 && cfg.erf <= 1.0);
+        assert!(cfg.dpf > 0.0 && cfg.dpf <= 1.0);
+        Aprc {
+            cfg,
+            macr: cfg.init_macr,
+            queue: 0,
+            prev_queue: 0,
+            congested: false,
+        }
+    }
+
+    /// Recommended parameters.
+    pub fn recommended() -> Self {
+        Self::new(AprcConfig::default())
+    }
+
+    fn very_congested(&self) -> bool {
+        self.queue > self.cfg.dqt
+    }
+}
+
+impl RateAllocator for Aprc {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        // Intelligent congestion indication: congested while the queue is
+        // growing faster than the threshold (and non-empty).
+        let growth = m.queue as i64 - self.prev_queue as i64;
+        self.congested = m.queue > 0 && growth > self.cfg.growth_threshold;
+        self.prev_queue = m.queue;
+        self.queue = m.queue;
+    }
+
+    fn forward_rm(&mut self, _vc: VcId, rm: &mut RmCell, queue: usize) {
+        self.queue = queue;
+        if !self.congested || rm.ccr < self.macr {
+            self.macr += (rm.ccr - self.macr) * self.cfg.av;
+        }
+    }
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, queue: usize) {
+        self.queue = queue;
+        if self.very_congested() {
+            rm.ci = true;
+        } else if self.congested && rm.ccr > self.cfg.dpf * self.macr {
+            rm.limit_er(self.cfg.erf * self.macr);
+        }
+    }
+
+    fn fair_share(&self) -> f64 {
+        self.macr
+    }
+
+    fn name(&self) -> &'static str {
+        "aprc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(queue: usize) -> PortMeasurement {
+        PortMeasurement {
+            dt: 0.001,
+            arrivals: 0,
+            departures: 0,
+            queue,
+            capacity: 100_000.0,
+        }
+    }
+
+    fn bwd(ccr: f64) -> RmCell {
+        RmCell::forward(ccr, 1e9).turned_around()
+    }
+
+    #[test]
+    fn congestion_follows_queue_growth_not_level() {
+        let mut a = Aprc::recommended();
+        // large but *shrinking* queue -> not congested
+        a.on_interval(&meas(250));
+        a.on_interval(&meas(200));
+        let mut rm = bwd(1e9);
+        a.backward_rm(VcId(0), &mut rm, 200);
+        assert_eq!(rm.er, 1e9, "shrinking queue must not stamp ER");
+        // small but *growing* queue -> congested
+        a.on_interval(&meas(10));
+        a.on_interval(&meas(20));
+        let mut rm = bwd(1e9);
+        a.backward_rm(VcId(0), &mut rm, 20);
+        assert!(rm.er < 1e9, "growing queue must stamp ER");
+    }
+
+    #[test]
+    fn very_congested_at_300_cells_sets_ci() {
+        let mut a = Aprc::recommended();
+        a.on_interval(&meas(200));
+        a.on_interval(&meas(301));
+        let mut rm = bwd(1.0);
+        a.backward_rm(VcId(0), &mut rm, 301);
+        assert!(rm.ci);
+        let mut rm = bwd(1.0);
+        a.backward_rm(VcId(0), &mut rm, 300);
+        assert!(!rm.ci, "exactly at threshold is not 'very congested'");
+    }
+
+    #[test]
+    fn macr_average_matches_eprca_semantics() {
+        let mut a = Aprc::recommended();
+        for _ in 0..500 {
+            a.forward_rm(VcId(0), &mut RmCell::forward(42_000.0, 1e9), 0);
+        }
+        assert!((a.fair_share() - 42_000.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn constant_space() {
+        assert!(std::mem::size_of::<Aprc>() <= 128);
+    }
+}

@@ -1,0 +1,228 @@
+//! CAPC — Congestion Avoidance using Proportional Control \[Bar94\].
+//!
+//! Barnhart's scheme "uses the *fraction* of unused capacity to control
+//! the algorithm actions — in this respect it is analogous to Phantom,
+//! which uses the *absolute amount* of unused bandwidth" (paper, §5.2).
+//! Per interval the port measures the load factor against a target
+//! utilization and scales its explicit-rate setpoint multiplicatively:
+//!
+//! ```text
+//! z = input_rate / (target_util · C)
+//! z < 1:  ERS *= min(ERU, 1 + (1 − z)·Rup)      # gentle increase
+//! z ≥ 1:  ERS *= max(ERD, 1 − (z − 1)·Rdn)      # proportional decrease
+//! ER := min(ER, ERS) on backward RM cells
+//! ```
+//!
+//! CI is set (on everyone) when the queue exceeds a threshold — the
+//! binary "very congested" mode that, per the paper, makes CAPC prone to
+//! the beat-down unfairness of \[BdJ94\].
+//!
+//! Expected comparative shape (paper Fig. 22): **longer convergence time
+//! than Phantom, smaller transient queue**, because the multiplicative
+//! steps are conservative while Phantom's measurement-driven MACR moves
+//! as fast as the measurement does.
+
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+
+/// CAPC parameters (\[Bar94\] recommendations).
+#[derive(Clone, Copy, Debug)]
+pub struct CapcConfig {
+    /// Target utilization of the link (0.95).
+    pub target_util: f64,
+    /// Gain of the increase step (0.1).
+    pub rup: f64,
+    /// Gain of the decrease step (0.8).
+    pub rdn: f64,
+    /// Upper bound of a single increase step (1.5).
+    pub eru: f64,
+    /// Lower bound of a single decrease step (0.5).
+    pub erd: f64,
+    /// Queue threshold above which CI is set on all backward RM cells.
+    pub ci_threshold: usize,
+    /// Initial ERS as a fraction of capacity.
+    pub init_frac: f64,
+}
+
+impl Default for CapcConfig {
+    fn default() -> Self {
+        CapcConfig {
+            target_util: 0.95,
+            rup: 0.1,
+            rdn: 0.8,
+            eru: 1.5,
+            erd: 0.5,
+            ci_threshold: 300,
+            init_frac: 0.05,
+        }
+    }
+}
+
+/// The CAPC per-port allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct Capc {
+    cfg: CapcConfig,
+    ers: f64,
+    queue: usize,
+    capacity: f64,
+}
+
+impl Capc {
+    /// A CAPC instance with the given parameters.
+    pub fn new(cfg: CapcConfig) -> Self {
+        assert!(cfg.target_util > 0.0 && cfg.target_util <= 1.0);
+        assert!(cfg.rup > 0.0 && cfg.rdn > 0.0);
+        assert!(cfg.eru > 1.0 && cfg.erd > 0.0 && cfg.erd < 1.0);
+        assert!(cfg.init_frac > 0.0 && cfg.init_frac <= 1.0);
+        Capc {
+            cfg,
+            ers: 0.0, // initialized at the first interval
+            queue: 0,
+            capacity: 0.0,
+        }
+    }
+
+    /// Recommended parameters.
+    pub fn recommended() -> Self {
+        Self::new(CapcConfig::default())
+    }
+
+    /// Current explicit-rate setpoint.
+    pub fn ers(&self) -> f64 {
+        self.ers
+    }
+}
+
+impl RateAllocator for Capc {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        if self.capacity == 0.0 {
+            self.capacity = m.capacity;
+            self.ers = self.cfg.init_frac * m.capacity;
+        }
+        self.queue = m.queue;
+        let target = self.cfg.target_util * m.capacity;
+        let z = m.arrival_rate() / target;
+        let factor = if z < 1.0 {
+            (1.0 + (1.0 - z) * self.cfg.rup).min(self.cfg.eru)
+        } else {
+            (1.0 - (z - 1.0) * self.cfg.rdn).max(self.cfg.erd)
+        };
+        self.ers = (self.ers * factor).clamp(1.0, m.capacity);
+    }
+
+    fn forward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {}
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, queue: usize) {
+        self.queue = queue;
+        if self.capacity == 0.0 {
+            return; // not initialized yet
+        }
+        rm.limit_er(self.ers);
+        if self.queue > self.cfg.ci_threshold {
+            rm.ci = true; // indiscriminate binary pressure
+        }
+    }
+
+    fn fair_share(&self) -> f64 {
+        self.ers
+    }
+
+    fn name(&self) -> &'static str {
+        "capc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(arrival_rate: f64, queue: usize) -> PortMeasurement {
+        let dt = 0.001;
+        PortMeasurement {
+            dt,
+            arrivals: (arrival_rate * dt) as u64,
+            departures: 0,
+            queue,
+            capacity: 100_000.0,
+        }
+    }
+
+    #[test]
+    fn underload_raises_ers_overload_lowers_it() {
+        let mut c = Capc::recommended();
+        c.on_interval(&meas(0.0, 0));
+        let e0 = c.ers();
+        c.on_interval(&meas(0.0, 0)); // z = 0 -> max increase step
+        assert!((c.ers() - e0 * 1.1).abs() < 1e-6, "1 + (1-0)*0.1 = 1.1");
+        // grossly overloaded: z = 2 -> factor max(0.5, 1-0.8) = 0.5
+        let e1 = c.ers();
+        c.on_interval(&meas(200_000.0, 0));
+        assert!((c.ers() - e1 * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn at_target_load_ers_is_stationary() {
+        let mut c = Capc::recommended();
+        c.on_interval(&meas(0.0, 0));
+        let before = c.ers();
+        c.on_interval(&meas(95_000.0, 0)); // exactly target
+        assert!((c.ers() - before).abs() < 1e-9 * before);
+    }
+
+    #[test]
+    fn convergence_to_target_with_closed_loop() {
+        // n sessions obeying ERS: input = n * ERS. Fixed point: ERS such
+        // that n·ERS = target -> ERS = 0.95·C/n.
+        let n = 4.0;
+        let mut c = Capc::recommended();
+        let mut input = 1000.0;
+        for _ in 0..5000 {
+            c.on_interval(&meas(input, 0));
+            input = n * c.ers();
+        }
+        let expected = 0.95 * 100_000.0 / n;
+        assert!(
+            (c.ers() - expected).abs() < 0.02 * expected,
+            "ers {} vs {}",
+            c.ers(),
+            expected
+        );
+    }
+
+    #[test]
+    fn er_stamped_unconditionally_ci_only_over_threshold() {
+        let mut c = Capc::recommended();
+        c.on_interval(&meas(0.0, 0));
+        let mut rm = RmCell::forward(1.0, 1e9).turned_around();
+        c.backward_rm(VcId(0), &mut rm, 0);
+        assert!(rm.er < 1e9, "CAPC always stamps its ERS");
+        assert!(!rm.ci);
+        let mut rm = RmCell::forward(1.0, 1e9).turned_around();
+        c.backward_rm(VcId(0), &mut rm, 301);
+        assert!(rm.ci);
+    }
+
+    #[test]
+    fn silent_before_initialization() {
+        let mut c = Capc::recommended();
+        let mut rm = RmCell::forward(1.0, 1e9).turned_around();
+        c.backward_rm(VcId(0), &mut rm, 1000);
+        assert_eq!(rm.er, 1e9);
+        assert!(!rm.ci);
+    }
+
+    #[test]
+    fn step_bounds_are_respected() {
+        let mut c = Capc::recommended();
+        c.on_interval(&meas(0.0, 0));
+        // even an absurd overload cannot shrink by more than ERD per step
+        let before = c.ers();
+        c.on_interval(&meas(10_000_000.0, 0));
+        assert!(c.ers() >= before * 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn constant_space() {
+        assert!(std::mem::size_of::<Capc>() <= 128);
+    }
+}

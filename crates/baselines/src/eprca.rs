@@ -1,0 +1,216 @@
+//! EPRCA — Enhanced Proportional Rate Control Algorithm \[Rob94\].
+//!
+//! Proposed by Roberts at the July 1994 ATM Forum meeting. Per output
+//! port the switch keeps a MACR that is an exponential running average of
+//! the CCR values carried by **forward** RM cells:
+//!
+//! ```text
+//! MACR += (CCR − MACR) · AV          (AV = 1/16)
+//! ```
+//!
+//! with *intelligent marking*: while congested, only cells with
+//! `CCR < MACR` update the average (so the estimate ratchets down).
+//! Congestion is binary, from the instantaneous queue length:
+//!
+//! * `queue > qt`  (congested): backward RM cells of sessions with
+//!   `CCR > DPF·MACR` get `ER := min(ER, ERF·MACR)` (DPF = 7/8,
+//!   ERF = 0.95).
+//! * `queue > dqt` (very congested): **all** backward RM cells get CI=1 —
+//!   the indiscriminate pressure responsible for the "beat-down"
+//!   unfairness the paper discusses (\[BdJ94\]).
+//!
+//! Weaknesses the paper demonstrates (and our scenarios reproduce): the
+//! MACR is an average of *rates*, not a measurement of the link, so it
+//! tracks whatever the sources happen to be doing; queue-threshold binary
+//! feedback plus control-loop delay causes oscillation; and sessions with
+//! long paths are beaten down in very-congested states.
+
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+
+/// EPRCA parameters (\[Rob94\] recommendations).
+#[derive(Clone, Copy, Debug)]
+pub struct EprcaConfig {
+    /// Averaging factor for the MACR update (1/16).
+    pub av: f64,
+    /// Explicit Reduction Factor: ER is stamped to `erf × MACR` (0.95).
+    pub erf: f64,
+    /// Down-Pressure Factor: only sessions above `dpf × MACR` are pushed
+    /// down (7/8).
+    pub dpf: f64,
+    /// Congested queue threshold, cells.
+    pub qt: usize,
+    /// Very-congested queue threshold, cells.
+    pub dqt: usize,
+    /// Initial MACR, cells/s (EPRCA seeds from the first CCRs quickly, so
+    /// this matters little; we start at the paper's ICR).
+    pub init_macr: f64,
+}
+
+impl Default for EprcaConfig {
+    fn default() -> Self {
+        EprcaConfig {
+            av: 1.0 / 16.0,
+            erf: 0.95,
+            dpf: 7.0 / 8.0,
+            qt: 100,
+            dqt: 1000,
+            init_macr: phantom_atm::units::mbps_to_cps(8.5),
+        }
+    }
+}
+
+/// The EPRCA per-port allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct Eprca {
+    cfg: EprcaConfig,
+    macr: f64,
+    queue: usize,
+}
+
+impl Eprca {
+    /// An EPRCA instance with the given parameters.
+    pub fn new(cfg: EprcaConfig) -> Self {
+        assert!(cfg.av > 0.0 && cfg.av <= 1.0);
+        assert!(cfg.erf > 0.0 && cfg.erf <= 1.0);
+        assert!(cfg.dpf > 0.0 && cfg.dpf <= 1.0);
+        assert!(cfg.qt < cfg.dqt, "qt must be below dqt");
+        Eprca {
+            cfg,
+            macr: cfg.init_macr,
+            queue: 0,
+        }
+    }
+
+    /// Recommended parameters.
+    pub fn recommended() -> Self {
+        Self::new(EprcaConfig::default())
+    }
+
+    fn congested(&self) -> bool {
+        self.queue > self.cfg.qt
+    }
+
+    fn very_congested(&self) -> bool {
+        self.queue > self.cfg.dqt
+    }
+}
+
+impl RateAllocator for Eprca {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        // EPRCA has no interval measurement; we only refresh the queue
+        // snapshot (the RM hooks also receive the live queue).
+        self.queue = m.queue;
+    }
+
+    fn forward_rm(&mut self, _vc: VcId, rm: &mut RmCell, queue: usize) {
+        self.queue = queue;
+        // Intelligent marking: in congestion only average downwards.
+        if !self.congested() || rm.ccr < self.macr {
+            self.macr += (rm.ccr - self.macr) * self.cfg.av;
+        }
+    }
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, queue: usize) {
+        self.queue = queue;
+        if self.very_congested() {
+            rm.ci = true; // indiscriminate: the beat-down mechanism
+        } else if self.congested() && rm.ccr > self.cfg.dpf * self.macr {
+            rm.limit_er(self.cfg.erf * self.macr);
+        }
+    }
+
+    fn fair_share(&self) -> f64 {
+        self.macr
+    }
+
+    fn name(&self) -> &'static str {
+        "eprca"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(ccr: f64) -> RmCell {
+        RmCell::forward(ccr, 1e9)
+    }
+
+    fn bwd(ccr: f64) -> RmCell {
+        RmCell::forward(ccr, 1e9).turned_around()
+    }
+
+    #[test]
+    fn macr_tracks_mean_ccr_when_uncongested() {
+        let mut e = Eprca::recommended();
+        for _ in 0..500 {
+            let mut rm = fwd(50_000.0);
+            e.forward_rm(VcId(0), &mut rm, 0);
+        }
+        assert!((e.fair_share() - 50_000.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn intelligent_marking_only_averages_down_in_congestion() {
+        let mut e = Eprca::recommended();
+        for _ in 0..500 {
+            e.forward_rm(VcId(0), &mut fwd(10_000.0), 0);
+        }
+        let before = e.fair_share();
+        // Congested: higher CCRs must NOT raise the estimate…
+        for _ in 0..100 {
+            e.forward_rm(VcId(0), &mut fwd(100_000.0), 200);
+        }
+        assert_eq!(e.fair_share(), before);
+        // …but lower CCRs still pull it down.
+        for _ in 0..100 {
+            e.forward_rm(VcId(0), &mut fwd(1_000.0), 200);
+        }
+        assert!(e.fair_share() < before);
+    }
+
+    #[test]
+    fn er_stamped_only_in_congestion_and_only_above_dpf() {
+        let mut e = Eprca::recommended();
+        for _ in 0..500 {
+            e.forward_rm(VcId(0), &mut fwd(10_000.0), 0);
+        }
+        // Not congested: untouched.
+        let mut rm = bwd(20_000.0);
+        e.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 1e9);
+        // Congested, CCR above DPF·MACR: stamped to ERF·MACR.
+        let mut rm = bwd(20_000.0);
+        e.backward_rm(VcId(0), &mut rm, 200);
+        assert!((rm.er - 0.95 * e.fair_share()).abs() < 1e-6);
+        // Congested, CCR below DPF·MACR: spared.
+        let mut rm = bwd(1_000.0);
+        e.backward_rm(VcId(0), &mut rm, 200);
+        assert_eq!(rm.er, 1e9);
+    }
+
+    #[test]
+    fn very_congested_sets_ci_on_everyone() {
+        let mut e = Eprca::recommended();
+        let mut rm = bwd(1.0); // even the tiniest session
+        e.backward_rm(VcId(0), &mut rm, 1500);
+        assert!(rm.ci, "beat-down: CI hits all sessions");
+    }
+
+    #[test]
+    fn constant_space() {
+        assert!(std::mem::size_of::<Eprca>() <= 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "qt must be below dqt")]
+    fn threshold_ordering_enforced() {
+        let cfg = EprcaConfig {
+            qt: 500,
+            dqt: 100,
+            ..EprcaConfig::default()
+        };
+        let _ = Eprca::new(cfg);
+    }
+}

@@ -1,0 +1,253 @@
+//! ERICA — Explicit Rate Indication for Congestion Avoidance
+//! \[JKV94, JKVG95\].
+//!
+//! The paper's Section 5 names ERICA as the well-known representative of
+//! the **unbounded-space** class: "its advanced versions — ERICA/ERICA+
+//! maintain a counter per session" — the opposite end of the taxonomy
+//! from Phantom's O(1) state. Implemented here so the reproduction can
+//! quantify the space/quality trade the paper's taxonomy is about.
+//!
+//! Per output port and measurement interval:
+//!
+//! ```text
+//! N         = number of distinct active VCs seen in the interval
+//! z         = input_rate / (target_util · C)          # load factor
+//! fairshare = target_util · C / N
+//! ```
+//!
+//! On each backward RM cell: `ER := min(ER, max(fairshare, CCR / z))` —
+//! every session is offered at least the equal split, and overloaded
+//! links scale everyone's rate down proportionally, which converges to
+//! max-min fairness. The per-VC activity set is the unbounded state
+//! ([`Erica::state_bytes`] reports its size so experiments can plot the
+//! cost).
+
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+use std::collections::HashSet;
+
+/// ERICA parameters (\[JKVG95\] sample-switch recommendations).
+#[derive(Clone, Copy, Debug)]
+pub struct EricaConfig {
+    /// Target utilization of the link (0.9 in the OSU contributions).
+    pub target_util: f64,
+    /// Floor of the load factor, guarding the division.
+    pub min_z: f64,
+    /// Initial fair share as a fraction of capacity (until the first
+    /// interval has counted sessions).
+    pub init_frac: f64,
+}
+
+impl Default for EricaConfig {
+    fn default() -> Self {
+        EricaConfig {
+            target_util: 0.9,
+            min_z: 0.05,
+            init_frac: 0.05,
+        }
+    }
+}
+
+/// The ERICA per-port allocator (unbounded space: O(active VCs)).
+#[derive(Clone, Debug)]
+pub struct Erica {
+    cfg: EricaConfig,
+    capacity: f64,
+    z: f64,
+    fairshare: f64,
+    /// VCs seen since the last interval boundary.
+    active: HashSet<VcId>,
+    /// Session count used for the current fairshare.
+    n_active: usize,
+}
+
+impl Erica {
+    /// An ERICA instance with the given parameters.
+    pub fn new(cfg: EricaConfig) -> Self {
+        assert!(cfg.target_util > 0.0 && cfg.target_util <= 1.0);
+        assert!(cfg.min_z > 0.0);
+        assert!(cfg.init_frac > 0.0 && cfg.init_frac <= 1.0);
+        Erica {
+            cfg,
+            capacity: 0.0,
+            z: 1.0,
+            fairshare: 0.0,
+            active: HashSet::new(),
+            n_active: 0,
+        }
+    }
+
+    /// Recommended parameters.
+    pub fn recommended() -> Self {
+        Self::new(EricaConfig::default())
+    }
+
+    /// Number of sessions currently tracked (the unbounded part).
+    pub fn tracked_sessions(&self) -> usize {
+        self.n_active.max(self.active.len())
+    }
+
+    /// Approximate heap footprint of the per-VC state, in bytes — the
+    /// quantity the constant-space taxonomy is about.
+    pub fn state_bytes(&self) -> usize {
+        self.active.capacity() * std::mem::size_of::<VcId>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.z
+    }
+}
+
+impl RateAllocator for Erica {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        if self.capacity == 0.0 {
+            self.capacity = m.capacity;
+            self.fairshare = self.cfg.init_frac * m.capacity;
+        }
+        let target = self.cfg.target_util * m.capacity;
+        self.z = (m.arrival_rate() / target).max(self.cfg.min_z);
+        self.n_active = self.active.len().max(1);
+        self.fairshare = target / self.n_active as f64;
+        self.active.clear();
+    }
+
+    fn forward_rm(&mut self, vc: VcId, _rm: &mut RmCell, _queue: usize) {
+        self.active.insert(vc);
+    }
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, _queue: usize) {
+        if self.capacity == 0.0 {
+            return; // not initialized
+        }
+        let vcshare = rm.ccr / self.z;
+        rm.limit_er(self.fairshare.max(vcshare));
+    }
+
+    fn fair_share(&self) -> f64 {
+        self.fairshare
+    }
+
+    fn name(&self) -> &'static str {
+        "erica"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(arrival_rate: f64, capacity: f64) -> PortMeasurement {
+        let dt = 0.001;
+        PortMeasurement {
+            dt,
+            arrivals: (arrival_rate * dt).round() as u64,
+            departures: 0,
+            queue: 0,
+            capacity,
+        }
+    }
+
+    fn bwd(ccr: f64) -> RmCell {
+        RmCell::forward(ccr, 1e12).turned_around()
+    }
+
+    #[test]
+    fn fairshare_divides_target_by_active_count() {
+        let mut e = Erica::recommended();
+        for i in 0..3 {
+            e.forward_rm(VcId(i), &mut RmCell::forward(1.0, 1e12), 0);
+        }
+        e.on_interval(&meas(0.0, 100_000.0));
+        assert!((e.fair_share() - 0.9 * 100_000.0 / 3.0).abs() < 1e-6);
+        assert_eq!(e.tracked_sessions(), 3);
+    }
+
+    #[test]
+    fn overload_scales_vc_share_down() {
+        let mut e = Erica::recommended();
+        e.forward_rm(VcId(0), &mut RmCell::forward(1.0, 1e12), 0);
+        // z = 180k / 90k = 2
+        e.on_interval(&meas(180_000.0, 100_000.0));
+        assert!((e.load_factor() - 2.0).abs() < 0.05);
+        // a session at CCR 80k is told max(fairshare=90k, 80k/2=40k) = 90k
+        let mut rm = bwd(80_000.0);
+        e.backward_rm(VcId(0), &mut rm, 0);
+        assert!((rm.er - 90_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underload_lets_fast_sessions_keep_their_rate() {
+        let mut e = Erica::recommended();
+        for i in 0..2 {
+            e.forward_rm(VcId(i), &mut RmCell::forward(1.0, 1e12), 0);
+        }
+        // z = 45k/90k = 0.5: a session at 80k gets max(45k, 160k) = 160k
+        e.on_interval(&meas(45_000.0, 100_000.0));
+        let mut rm = bwd(80_000.0);
+        e.backward_rm(VcId(0), &mut rm, 0);
+        assert!((rm.er - 160_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn er_never_raised() {
+        let mut e = Erica::recommended();
+        e.forward_rm(VcId(0), &mut RmCell::forward(1.0, 1e12), 0);
+        e.on_interval(&meas(45_000.0, 100_000.0));
+        let mut rm = RmCell::forward(80_000.0, 10.0).turned_around(); // ER already tiny
+        e.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 10.0);
+    }
+
+    #[test]
+    fn silent_before_initialization() {
+        let mut e = Erica::recommended();
+        let mut rm = bwd(1.0);
+        e.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 1e12);
+    }
+
+    #[test]
+    fn state_grows_with_session_count_unbounded_space() {
+        // The defining contrast with Phantom: per-VC state.
+        let mut e = Erica::recommended();
+        let before = e.state_bytes();
+        for i in 0..10_000 {
+            e.forward_rm(VcId(i), &mut RmCell::forward(1.0, 1e12), 0);
+        }
+        assert!(
+            e.state_bytes() > before + 10_000 * std::mem::size_of::<VcId>() / 2,
+            "ERICA's state must grow with the number of sessions"
+        );
+        assert_eq!(e.tracked_sessions(), 10_000);
+    }
+
+    #[test]
+    fn closed_loop_converges_to_equal_split_at_target() {
+        // n sessions obeying ER with one interval of delay.
+        let n = 4u32;
+        let c = 100_000.0;
+        let mut e = Erica::recommended();
+        let mut offered = vec![1_000.0f64; n as usize];
+        for _ in 0..3000 {
+            for vc in 0..n {
+                e.forward_rm(VcId(vc), &mut RmCell::forward(offered[vc as usize], 1e12), 0);
+            }
+            let total: f64 = offered.iter().sum();
+            e.on_interval(&meas(total, c));
+            for vc in 0..n {
+                let mut rm = bwd(offered[vc as usize]);
+                e.backward_rm(VcId(vc), &mut rm, 0);
+                offered[vc as usize] = rm.er.min(c);
+            }
+        }
+        for r in &offered {
+            assert!(
+                (r - 0.9 * c / n as f64).abs() < 0.05 * c,
+                "rate {r} vs equal split {}",
+                0.9 * c / n as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # phantom-baselines — EPRCA, APRC and CAPC
+//!
+//! The three constant-space ATM-forum rate-based flow-control algorithms
+//! the paper compares Phantom against (its Section 5):
+//!
+//! * [`eprca`] — Roberts' Enhanced Proportional Rate Control Algorithm
+//!   \[Rob94\]: per-port MACR is an exponential average of the CCR values
+//!   read from forward RM cells; binary congestion (queue thresholds)
+//!   gates when ER is stamped and when CI beats everyone down.
+//! * [`aprc`] — Siu and Tzeng's Adaptive Proportional Rate Control
+//!   \[ST94\]: EPRCA with "intelligent congestion indication" — congestion
+//!   is a function of the *queue growth rate* rather than the queue
+//!   length; the very-congested threshold is 300 cells (the value the
+//!   paper quotes).
+//! * [`capc`] — Barnhart's Congestion Avoidance using Proportional
+//!   Control \[Bar94\]: a target-utilization controller that scales its
+//!   explicit-rate setpoint (ERS) multiplicatively by the measured load
+//!   factor; the paper's observed shape is slower convergence than
+//!   Phantom with a smaller transient queue.
+//! * [`osu`] — the basic OSU load-factor scheme \[JKV94\], constant space,
+//!   fast congestion control without fairness equalization.
+//! * [`erica`] — OSU's successor ERICA \[JKVG95\], the paper's example of
+//!   the *unbounded-space* class (per-VC state); included so the
+//!   space/quality trade of the paper's taxonomy can be measured.
+//!
+//! All three implement [`phantom_atm::RateAllocator`], so every scenario
+//! can swap algorithms without touching the topology. Parameters default
+//! to the values recommended in the respective ATM-forum contributions
+//! (documented per field); the paper states it used those
+//! recommendations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aprc;
+pub mod capc;
+pub mod eprca;
+pub mod erica;
+pub mod osu;
+
+pub use aprc::{Aprc, AprcConfig};
+pub use capc::{Capc, CapcConfig};
+pub use eprca::{Eprca, EprcaConfig};
+pub use erica::{Erica, EricaConfig};
+pub use osu::{Osu, OsuConfig};

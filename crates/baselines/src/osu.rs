@@ -1,0 +1,199 @@
+//! OSU — the Ohio State explicit-rate scheme \[JKV94\].
+//!
+//! "Another well known constant space rate-based flow control algorithm
+//! is OSU, suggested by Jain et al." (paper §5). The switch measures the
+//! load factor over an averaging interval,
+//!
+//! ```text
+//! z = input_rate / (target_util · C)
+//! ```
+//!
+//! and tells every session to scale itself by it: backward RM cells get
+//! `ER := min(ER, CCR / z)`. The aggregate then converges geometrically
+//! to the target utilization. The textbook weakness (which motivated the
+//! ERICA successor): plain load-factor scaling preserves whatever rate
+//! *proportions* the sessions happen to have — it controls congestion
+//! but does not equalize; the fairness logic of the full proposal needs
+//! an active-source count, which is where ERICA's per-VC state crept
+//! in. We implement the basic constant-space scheme plus the customary
+//! dead band: while |z − 1| ≤ δ rates are left alone, which damps
+//! oscillation around the target.
+
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+
+/// OSU parameters (\[JKV94\] recommendations).
+#[derive(Clone, Copy, Debug)]
+pub struct OsuConfig {
+    /// Target utilization (0.95).
+    pub target_util: f64,
+    /// Load factor floor, guarding the division.
+    pub min_z: f64,
+    /// Half-width of the "in-band" region around z = 1 where rates are
+    /// left alone (reduces oscillation).
+    pub band: f64,
+}
+
+impl Default for OsuConfig {
+    fn default() -> Self {
+        OsuConfig {
+            target_util: 0.95,
+            min_z: 0.05,
+            band: 0.05,
+        }
+    }
+}
+
+/// The OSU per-port allocator (constant space).
+#[derive(Clone, Copy, Debug)]
+pub struct Osu {
+    cfg: OsuConfig,
+    z: f64,
+    capacity: f64,
+}
+
+impl Osu {
+    /// An OSU instance with the given parameters.
+    pub fn new(cfg: OsuConfig) -> Self {
+        assert!(cfg.target_util > 0.0 && cfg.target_util <= 1.0);
+        assert!(cfg.min_z > 0.0);
+        assert!(cfg.band >= 0.0 && cfg.band < 1.0);
+        Osu {
+            cfg,
+            z: 1.0,
+            capacity: 0.0,
+        }
+    }
+
+    /// Recommended parameters.
+    pub fn recommended() -> Self {
+        Self::new(OsuConfig::default())
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.z
+    }
+}
+
+impl RateAllocator for Osu {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        self.capacity = m.capacity;
+        let target = self.cfg.target_util * m.capacity;
+        self.z = (m.arrival_rate() / target).max(self.cfg.min_z);
+    }
+
+    fn forward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {}
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, _queue: usize) {
+        if self.capacity == 0.0 {
+            return;
+        }
+        if (self.z - 1.0).abs() <= self.cfg.band {
+            return; // in band: leave rates alone
+        }
+        rm.limit_er(rm.ccr / self.z);
+    }
+
+    fn fair_share(&self) -> f64 {
+        // OSU has no fair-share variable; report the per-unit-CCR scale,
+        // expressed against capacity so the trace is comparable.
+        self.cfg.target_util * self.capacity / self.z.max(self.cfg.min_z)
+    }
+
+    fn name(&self) -> &'static str {
+        "osu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(arrival_rate: f64, capacity: f64) -> PortMeasurement {
+        let dt = 0.001;
+        PortMeasurement {
+            dt,
+            arrivals: (arrival_rate * dt).round() as u64,
+            departures: 0,
+            queue: 0,
+            capacity,
+        }
+    }
+
+    fn bwd(ccr: f64) -> RmCell {
+        RmCell::forward(ccr, 1e12).turned_around()
+    }
+
+    #[test]
+    fn overload_scales_sessions_down_by_z() {
+        let mut o = Osu::recommended();
+        o.on_interval(&meas(190_000.0, 100_000.0)); // z = 2
+        assert!((o.load_factor() - 2.0).abs() < 0.02);
+        let mut rm = bwd(60_000.0);
+        o.backward_rm(VcId(0), &mut rm, 0);
+        assert!((rm.er - 30_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn underload_lets_sessions_grow_by_z() {
+        let mut o = Osu::recommended();
+        o.on_interval(&meas(47_500.0, 100_000.0)); // z = 0.5
+        let mut rm = bwd(20_000.0);
+        o.backward_rm(VcId(0), &mut rm, 0);
+        assert!((rm.er - 40_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn in_band_rates_are_left_alone() {
+        let mut o = Osu::recommended();
+        o.on_interval(&meas(95_000.0, 100_000.0)); // z = 1
+        let mut rm = bwd(60_000.0);
+        o.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 1e12, "in the band, ER untouched");
+    }
+
+    #[test]
+    fn scaling_preserves_proportions_the_known_weakness() {
+        // Two sessions at a 3:1 ratio; closed loop converges to the
+        // target but keeps the 3:1 split.
+        let mut o = Osu::recommended();
+        let c = 100_000.0;
+        let mut rates = [60_000.0, 20_000.0];
+        for _ in 0..200 {
+            o.on_interval(&meas(rates.iter().sum::<f64>(), c));
+            for r in rates.iter_mut() {
+                let mut rm = bwd(*r);
+                o.backward_rm(VcId(0), &mut rm, 0);
+                // A stamped ER is the new allowed rate; an untouched ER
+                // (in band) means "hold".
+                if rm.er < 1e11 {
+                    *r = rm.er.min(c);
+                }
+            }
+        }
+        let total: f64 = rates.iter().sum();
+        assert!(
+            (total - 95_000.0).abs() < 7_000.0,
+            "total {total} should settle near the 95k target"
+        );
+        let ratio = rates[0] / rates[1];
+        assert!(
+            (ratio - 3.0).abs() < 0.3,
+            "proportions should persist (no equalization): {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn silent_before_initialization() {
+        let mut o = Osu::recommended();
+        let mut rm = bwd(1.0);
+        o.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 1e12);
+    }
+
+    #[test]
+    fn constant_space() {
+        assert!(std::mem::size_of::<Osu>() <= 64);
+    }
+}

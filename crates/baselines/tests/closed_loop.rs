@@ -1,0 +1,89 @@
+//! Closed-loop sanity tests for the baseline algorithms over the real ATM
+//! substrate: each must actually control the link (bounded queue, decent
+//! utilization, rough fairness) so that the paper's comparisons measure
+//! algorithm quality, not implementation breakage.
+
+use phantom_atm::allocator::RateAllocator;
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::mbps_to_cps;
+use phantom_atm::{AtmMsg, NetworkBuilder, Traffic};
+use phantom_baselines::{Aprc, Capc, Eprca};
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+fn run_two_sessions(
+    alloc: &mut dyn FnMut() -> Box<dyn RateAllocator>,
+    seed: u64,
+) -> (Engine<AtmMsg>, phantom_atm::Network) {
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    for _ in 0..2 {
+        b.session(&[s1, s2], Traffic::greedy());
+    }
+    let mut engine = Engine::new(seed);
+    let net = b.build(&mut engine, alloc);
+    engine.run_until(SimTime::from_millis(800));
+    (engine, net)
+}
+
+fn assert_controls_the_link(
+    name: &str,
+    engine: &Engine<AtmMsg>,
+    net: &phantom_atm::Network,
+    min_util: f64,
+) {
+    let port = net.trunk_port(engine, TrunkIdx(0));
+    assert_eq!(port.drops(), 0, "{name}: dropped cells (queue cap 16k)");
+    let tail_q = net.trunk_queue(engine, TrunkIdx(0)).mean_after(0.5);
+    assert!(
+        tail_q < 2000.0,
+        "{name}: steady-state queue runaway ({tail_q:.0} cells)"
+    );
+    let util =
+        net.trunk_throughput(engine, TrunkIdx(0)).mean_after(0.5) / mbps_to_cps(150.0);
+    assert!(
+        util > min_util && util <= 1.001,
+        "{name}: utilization {util:.3} out of range"
+    );
+    let r0 = net.session_rate(engine, 0).mean_after(0.5);
+    let r1 = net.session_rate(engine, 1).mean_after(0.5);
+    let jain = phantom_metrics::jain_index(&[r0, r1]);
+    assert!(
+        jain > 0.9,
+        "{name}: unfair between equals ({r0:.0} vs {r1:.0}, jain {jain:.3})"
+    );
+}
+
+#[test]
+fn eprca_controls_two_greedy_sessions() {
+    let (engine, net) = run_two_sessions(&mut || Box::new(Eprca::recommended()), 21);
+    assert_controls_the_link("eprca", &engine, &net, 0.80);
+}
+
+#[test]
+fn aprc_controls_two_greedy_sessions() {
+    let (engine, net) = run_two_sessions(&mut || Box::new(Aprc::recommended()), 22);
+    assert_controls_the_link("aprc", &engine, &net, 0.80);
+}
+
+#[test]
+fn capc_controls_two_greedy_sessions() {
+    let (engine, net) = run_two_sessions(&mut || Box::new(Capc::recommended()), 23);
+    assert_controls_the_link("capc", &engine, &net, 0.80);
+}
+
+#[test]
+fn capc_queue_is_smaller_than_eprca_queue() {
+    // The paper's qualitative ranking: CAPC's congestion-avoidance target
+    // keeps queues near zero, while EPRCA oscillates around its queue
+    // threshold.
+    let (e1, n1) = run_two_sessions(&mut || Box::new(Eprca::recommended()), 31);
+    let (e2, n2) = run_two_sessions(&mut || Box::new(Capc::recommended()), 31);
+    let q_eprca = n1.trunk_queue(&e1, TrunkIdx(0)).mean_after(0.4);
+    let q_capc = n2.trunk_queue(&e2, TrunkIdx(0)).mean_after(0.4);
+    assert!(
+        q_capc < q_eprca,
+        "CAPC queue {q_capc:.0} should undercut EPRCA queue {q_eprca:.0}"
+    );
+}

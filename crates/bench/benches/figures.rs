@@ -1,0 +1,31 @@
+//! End-to-end regeneration benches: one Criterion benchmark per paper
+//! figure/table (the benchmark body runs the full deterministic
+//! simulation behind that figure). Useful both as a performance
+//! regression net for the simulator and as a single `cargo bench`
+//! entry point that exercises every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phantom_bench::{experiments, DEFAULT_SEED};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    // Full experiments are seconds-long simulations: keep the sample
+    // count at criterion's minimum and the measurement window tight.
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for e in experiments() {
+        group.bench_function(e.id, |b| {
+            b.iter(|| {
+                let out = (e.run)(DEFAULT_SEED);
+                criterion::black_box(out.id().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Micro-benches of the hot paths: per-interval and per-RM-cell cost of
+//! every rate allocator, per-packet decision cost of every queue
+//! discipline (the paper's Fig. 18 pseudo-code among them — bench target
+//! `fig_seldiscard_cost` of DESIGN.md), and the raw event throughput of
+//! the simulation kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+use phantom_baselines::{Aprc, Capc, Eprca, Erica};
+use phantom_core::{PhantomAllocator, PhantomNi};
+use phantom_sim::{Ctx, Engine, Node, SimDuration, SimTime};
+use phantom_tcp::packet::{FlowId, Packet};
+use phantom_tcp::qdisc::{
+    DropTail, QueueDiscipline, Red, SelectiveDiscard, SelectiveQuench,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn meas() -> PortMeasurement {
+    PortMeasurement {
+        dt: 0.001,
+        arrivals: 300,
+        departures: 290,
+        queue: 42,
+        capacity: 353_773.6,
+    }
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    let m = meas();
+    let allocators: Vec<(&str, Box<dyn RateAllocator>)> = vec![
+        ("phantom", Box::new(PhantomAllocator::paper())),
+        ("phantom-ni", Box::new(PhantomNi::paper())),
+        ("eprca", Box::new(Eprca::recommended())),
+        ("aprc", Box::new(Aprc::recommended())),
+        ("capc", Box::new(Capc::recommended())),
+        ("erica", Box::new(Erica::recommended())),
+    ];
+    for (name, mut alloc) in allocators {
+        alloc.on_interval(&m);
+        group.bench_function(format!("{name}/on_interval"), |b| {
+            b.iter(|| alloc.on_interval(criterion::black_box(&m)))
+        });
+        group.bench_function(format!("{name}/backward_rm"), |b| {
+            b.iter_batched(
+                || RmCell::forward(100_000.0, 353_773.6).turned_around(),
+                |mut rm| {
+                    alloc.backward_rm(VcId(0), &mut rm, 42);
+                    rm.er
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_qdiscs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qdisc");
+    let m = phantom_tcp::qdisc::RouterMeasurement {
+        dt: 0.01,
+        arrival_bytes: 10_000,
+        departure_bytes: 10_000,
+        queue_pkts: 20,
+        queue_bytes: 11_040,
+        capacity: 1.25e6,
+    };
+    let qdiscs: Vec<(&str, Box<dyn QueueDiscipline>)> = vec![
+        ("drop-tail", Box::new(DropTail)),
+        ("red", Box::new(Red::recommended())),
+        // fig_seldiscard_cost: the per-packet price of the paper's
+        // Fig. 18 predicate.
+        ("selective-discard", Box::new(SelectiveDiscard::paper())),
+        ("selective-quench", Box::new(SelectiveQuench::paper())),
+    ];
+    for (name, mut q) in qdiscs {
+        q.on_interval(&m);
+        let pkt = Packet::data(FlowId(0), 0, 512, 900_000.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.bench_function(format!("{name}/on_arrival"), |b| {
+            b.iter(|| q.on_arrival(criterion::black_box(&pkt), 20, 11_040, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// A node that forwards an event to its peer forever; measures raw
+/// engine dispatch throughput.
+struct PingPong {
+    peer: phantom_sim::NodeId,
+}
+
+impl Node<u32> for PingPong {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+        ctx.send(self.peer, SimDuration::from_nanos(100), msg);
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/dispatch_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::<u32>::new(1);
+                let a = e.add_node(PingPong {
+                    peer: phantom_sim::NodeId(1),
+                });
+                let p = e.add_node(PingPong { peer: a });
+                e.schedule(SimTime::ZERO, p, 0);
+                e
+            },
+            |mut e| e.run_to_completion(100_000),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_allocators, bench_qdiscs, bench_engine);
+criterion_main!(benches);

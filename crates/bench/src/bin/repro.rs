@@ -1,0 +1,171 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro list                 # show every experiment id + description
+//! repro all [--seed N]       # run everything, print reports, write CSV
+//! repro fig9 table1 [...]    # run selected experiments
+//! repro all --csv-dir DIR    # override the artifact directory
+//! repro all --steps 60       # width of the ASCII charts (0 = no charts)
+//! ```
+//!
+//! Artifacts land in `target/experiments/<id>.csv` (long format:
+//! `series,t,value`) for plotting; the terminal output carries the same
+//! series as coarse ASCII charts plus the summary metrics that
+//! EXPERIMENTS.md records.
+
+use phantom_bench::DEFAULT_SEED;
+use phantom_scenarios::registry::{all_experiments, run_experiment};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    seed: u64,
+    seeds: u64,
+    csv_dir: PathBuf,
+    steps: usize,
+    list: bool,
+    gnuplot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        seed: DEFAULT_SEED,
+        seeds: 1,
+        csv_dir: PathBuf::from("target/experiments"),
+        steps: 60,
+        list: false,
+        gnuplot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "list" => args.list = true,
+            "all" => args
+                .ids
+                .extend(all_experiments().iter().map(|e| e.id.to_string())),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                args.seeds = v.parse().map_err(|_| format!("bad seeds: {v}"))?;
+                if args.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--csv-dir" => {
+                args.csv_dir = PathBuf::from(it.next().ok_or("--csv-dir needs a value")?);
+            }
+            "--gnuplot" => args.gnuplot = true,
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                args.steps = v.parse().map_err(|_| format!("bad steps: {v}"))?;
+            }
+            id if !id.starts_with('-') => args.ids.push(id.to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--csv-dir DIR] [--steps N] [--gnuplot]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list || args.ids.is_empty() {
+        println!("experiments (run with `repro all` or `repro <id>...`):");
+        for e in all_experiments() {
+            println!("  {:8} {}", e.id, e.describe);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    for id in &args.ids {
+        if args.seeds > 1 {
+            // Robustness mode: run the experiment across consecutive
+            // seeds and print the aggregated metric table.
+            let mut runs = Vec::new();
+            let start = std::time::Instant::now();
+            for s in 0..args.seeds {
+                match run_experiment(id, args.seed + s) {
+                    Some(phantom_scenarios::ExperimentOutput::Figure(r)) => runs.push(r),
+                    Some(phantom_scenarios::ExperimentOutput::Table(_)) => {
+                        eprintln!("note: {id} is a table; --seeds aggregates figures only");
+                        break;
+                    }
+                    None => {
+                        eprintln!("error: unknown experiment '{id}'");
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !runs.is_empty() {
+                let t = phantom_metrics::aggregate_runs(
+                    &format!("{id}-x{}", args.seeds),
+                    &format!("{id} across {} seeds ({}..{})", args.seeds, args.seed,
+                             args.seed + args.seeds - 1),
+                    &runs,
+                );
+                print!("{}", t.render());
+                println!(
+                    "   [{} × {} seeds in {:.2}s]",
+                    id,
+                    runs.len(),
+                    start.elapsed().as_secs_f64()
+                );
+                if let Err(e) = t.write_csv(&args.csv_dir) {
+                    eprintln!("warning: could not write CSV: {e}");
+                }
+                println!();
+            }
+            continue;
+        }
+        let start = std::time::Instant::now();
+        match run_experiment(id, args.seed) {
+            Some(out) => {
+                print!("{}", out.render(args.steps));
+                println!(
+                    "   [{} regenerated in {:.2}s, seed {}]",
+                    id,
+                    start.elapsed().as_secs_f64(),
+                    args.seed
+                );
+                if let Err(e) = out.write_csv(&args.csv_dir) {
+                    eprintln!("warning: could not write CSV for {id}: {e}");
+                } else {
+                    println!("   [csv: {}/{}.csv]", args.csv_dir.display(), id);
+                }
+                if args.gnuplot {
+                    if let phantom_scenarios::ExperimentOutput::Figure(r) = &out {
+                        if let Err(e) = r.write_gnuplot(&args.csv_dir) {
+                            eprintln!("warning: gnuplot script for {id}: {e}");
+                        } else {
+                            println!("   [gp:  {}/{}.gp]", args.csv_dir.display(), id);
+                        }
+                    }
+                }
+                println!();
+            }
+            None => {
+                eprintln!("error: unknown experiment '{id}' (try `repro list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,38 @@
+//! # phantom-bench — the reproduction harness
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run -p phantom-bench --release --bin
+//!   repro -- all`): regenerates every figure and table of the paper —
+//!   prints the series/rows the paper reports and writes CSV artifacts
+//!   under `target/experiments/`.
+//! * the **criterion benches** (`cargo bench -p phantom-bench`):
+//!   `benches/figures.rs` times the end-to-end regeneration of each
+//!   figure/table (one benchmark per experiment id), and
+//!   `benches/micro.rs` times the per-cell / per-packet hot paths of
+//!   every allocator and queue discipline plus the raw event-loop
+//!   throughput of the simulation kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use phantom_scenarios::registry::{all_experiments, Experiment};
+
+/// The default seed used by the harness (any seed reproduces the same
+/// qualitative shapes; this one matches EXPERIMENTS.md).
+pub const DEFAULT_SEED: u64 = 1996;
+
+/// All experiments, re-exported for the benches.
+pub fn experiments() -> Vec<Experiment> {
+    all_experiments()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_sees_every_experiment() {
+        assert_eq!(experiments().len(), 31);
+    }
+}

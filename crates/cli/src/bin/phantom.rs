@@ -1,0 +1,80 @@
+//! `phantom` — simulate a topology file.
+//!
+//! ```text
+//! phantom run <file>        simulate and report
+//! phantom predict <file>    closed-form phantom fixed point (no simulation)
+//! phantom check <file>      parse + validate only
+//! ```
+
+use phantom_cli::{compare_algorithms, parse_str, predict, run_spec, sweep_u};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: phantom <run|predict|check> <topology-file>");
+    eprintln!("       phantom sweep <topology-file> <u,u,...>   # e.g. sweep t.phantom 2,5,10");
+    eprintln!("       phantom compare <topology-file>           # every algorithm, one table");
+    eprintln!();
+    eprintln!("topology file format:");
+    eprintln!("  switch <name>");
+    eprintln!("  trunk <a> <b> <rate: 150mbps> <prop: 10us>");
+    eprintln!("  session <sw>... <greedy|window|onoff|random> [start=|stop=|on=|off=|rtt=]");
+    eprintln!("  cbr <sw>... <rate> [on=|off=|rtt=]        # unresponsive background");
+    eprintln!("  priority cbr                              # strict-priority CBR queues");
+    eprintln!("  algorithm <phantom|phantom-ni|eprca|aprc|capc|erica> [u=5]");
+    eprintln!("  run <duration: 500ms> [seed=1996]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, extra) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), None),
+        [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.clone())),
+        _ => return usage(),
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match parse_str(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match cmd {
+        "check" => {
+            println!(
+                "{path}: ok ({} switches, {} trunks, {} sessions)",
+                spec.switches.len(),
+                spec.trunks.len(),
+                spec.sessions.len()
+            );
+            Ok(())
+        }
+        "predict" => predict(&spec).map(|text| print!("{text}")),
+        "compare" => compare_algorithms(&spec).map(|t| print!("{}", t.render())),
+        "run" => run_spec(&spec).map(|report| print!("{}", report.render(&spec))),
+        "sweep" => {
+            let spec_list = extra.unwrap_or_else(|| "2,5,10".to_string());
+            let us: Result<Vec<f64>, _> =
+                spec_list.split(',').map(|x| x.trim().parse::<f64>()).collect();
+            match us {
+                Ok(us) => sweep_u(&spec, &us).map(|t| print!("{}", t.render())),
+                Err(_) => Err(format!("bad u list: {spec_list}")),
+            }
+        }
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

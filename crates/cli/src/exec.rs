@@ -1,0 +1,349 @@
+//! Execute a parsed topology: simulate it, or compute the closed-form
+//! phantom prediction.
+
+use crate::spec::{AlgorithmSpec, TopologySpec, TrafficSpec};
+use phantom_atm::allocator::RateAllocator;
+use phantom_atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_atm::units::cps_to_mbps;
+use phantom_atm::Traffic;
+use phantom_baselines::{Aprc, Capc, Eprca, Erica, Osu};
+use phantom_core::{PhantomAllocator, PhantomConfig, PhantomNi};
+use phantom_metrics::fairness::Session;
+use phantom_metrics::{jain_index, phantom_prediction, Table};
+use phantom_sim::{Engine, SimTime};
+use std::fmt::Write as _;
+
+/// Results of one simulated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-session mean delivered rate over the tail half of the run, Mb/s.
+    pub session_rates_mbps: Vec<f64>,
+    /// Per-trunk (a→b direction) MACR tail mean, Mb/s.
+    pub trunk_macr_mbps: Vec<f64>,
+    /// Per-trunk utilization over the tail.
+    pub trunk_utilization: Vec<f64>,
+    /// Per-trunk mean queue (cells) over the tail.
+    pub trunk_mean_queue: Vec<f64>,
+    /// Per-trunk peak queue (cells).
+    pub trunk_peak_queue: Vec<usize>,
+    /// Jain index of the session rates.
+    pub jain: f64,
+    /// Events the engine dispatched.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Terminal rendering.
+    pub fn render(&self, spec: &TopologySpec) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simulated {} under {:?} (seed {}) — {} events",
+            spec.duration, spec.algorithm, spec.seed, self.events
+        );
+        for (i, r) in self.session_rates_mbps.iter().enumerate() {
+            let path = spec.sessions[i].path.join("→");
+            let _ = writeln!(out, "  session {i} [{path}]: {r:8.2} Mb/s");
+        }
+        let _ = writeln!(out, "  jain index: {:.4}", self.jain);
+        for (i, t) in spec.trunks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  trunk {}–{}: macr {:6.2} Mb/s, util {:5.3}, queue mean {:6.1} / peak {} cells",
+                t.a,
+                t.b,
+                self.trunk_macr_mbps[i],
+                self.trunk_utilization[i],
+                self.trunk_mean_queue[i],
+                self.trunk_peak_queue[i]
+            );
+        }
+        out
+    }
+}
+
+fn allocator_for(alg: AlgorithmSpec) -> Box<dyn RateAllocator> {
+    match alg {
+        AlgorithmSpec::Phantom { u } => Box::new(PhantomAllocator::new(
+            PhantomConfig::paper().with_utilization_factor(u),
+        )),
+        AlgorithmSpec::PhantomNi => Box::new(PhantomNi::paper()),
+        AlgorithmSpec::Eprca => Box::new(Eprca::recommended()),
+        AlgorithmSpec::Aprc => Box::new(Aprc::recommended()),
+        AlgorithmSpec::Capc => Box::new(Capc::recommended()),
+        AlgorithmSpec::Erica => Box::new(Erica::recommended()),
+        AlgorithmSpec::Osu => Box::new(Osu::recommended()),
+    }
+}
+
+fn traffic_for(t: TrafficSpec) -> Traffic {
+    match t {
+        TrafficSpec::Greedy => Traffic::greedy(),
+        TrafficSpec::Window { start, stop } => Traffic::window(start, stop),
+        TrafficSpec::OnOff { start, on, off } => Traffic::on_off(start, on, off),
+        TrafficSpec::Random { mean_on, mean_off } => Traffic::random(mean_on, mean_off),
+    }
+}
+
+/// Simulate the topology and collect the report.
+pub fn run_spec(spec: &TopologySpec) -> Result<RunReport, String> {
+    spec.validate()?;
+    let mut b = NetworkBuilder::new().cbr_priority(spec.cbr_priority);
+    let switches: Vec<_> = spec.switches.iter().map(|n| b.switch(n)).collect();
+    for t in &spec.trunks {
+        b.trunk(
+            switches[spec.switch_index(&t.a)],
+            switches[spec.switch_index(&t.b)],
+            t.mbps,
+            t.prop,
+        );
+        if t.loss > 0.0 {
+            b.last_trunk_loss(t.loss);
+        }
+    }
+    for s in &spec.sessions {
+        let path: Vec<_> = s
+            .path
+            .iter()
+            .map(|n| switches[spec.switch_index(n)])
+            .collect();
+        match s.cbr_mbps {
+            Some(mbps) => {
+                b.cbr_session(&path, mbps, traffic_for(s.traffic));
+            }
+            None => {
+                b.session(&path, traffic_for(s.traffic));
+            }
+        }
+        b.last_session_access_prop(s.access_prop);
+    }
+    let mut engine = Engine::new(spec.seed);
+    let alg = spec.algorithm;
+    let net = b.build(&mut engine, &mut || allocator_for(alg));
+    engine.run_until(SimTime::ZERO + spec.duration);
+
+    let tail = spec.duration.as_secs_f64() / 2.0;
+    let session_rates_mbps: Vec<f64> = (0..spec.sessions.len())
+        .map(|i| cps_to_mbps(net.session_rate(&engine, i).mean_after(tail)))
+        .collect();
+    let mut trunk_macr_mbps = Vec::new();
+    let mut trunk_utilization = Vec::new();
+    let mut trunk_mean_queue = Vec::new();
+    let mut trunk_peak_queue = Vec::new();
+    for i in 0..spec.trunks.len() {
+        let t = TrunkIdx(i);
+        trunk_macr_mbps.push(cps_to_mbps(net.trunk_macr(&engine, t).mean_after(tail)));
+        let port = net.trunk_port(&engine, t);
+        trunk_utilization
+            .push(net.trunk_throughput(&engine, t).mean_after(tail) / port.capacity());
+        trunk_mean_queue.push(net.trunk_queue(&engine, t).mean_after(tail));
+        trunk_peak_queue.push(port.queue_high_water());
+    }
+    let jain = jain_index(&session_rates_mbps);
+    Ok(RunReport {
+        session_rates_mbps,
+        trunk_macr_mbps,
+        trunk_utilization,
+        trunk_mean_queue,
+        trunk_peak_queue,
+        jain,
+        events: engine.events_processed(),
+    })
+}
+
+/// Closed-form phantom prediction for the topology (ignores traffic
+/// windows — every session is treated as greedy — and non-Phantom
+/// algorithm lines; the CLI warns accordingly).
+pub fn predict(spec: &TopologySpec) -> Result<String, String> {
+    spec.validate()?;
+    let u = match spec.algorithm {
+        AlgorithmSpec::Phantom { u } => u,
+        _ => 5.0,
+    };
+    let caps: Vec<f64> = spec
+        .trunks
+        .iter()
+        .map(|t| phantom_atm::units::mbps_to_cps(t.mbps))
+        .collect();
+    let trunk_of = |a: &str, b: &str| -> usize {
+        spec.trunks
+            .iter()
+            .position(|t| (t.a == a && t.b == b) || (t.a == b && t.b == a))
+            .expect("validated connectivity")
+    };
+    let sessions: Vec<Session> = spec
+        .sessions
+        .iter()
+        .map(|s| {
+            let links = s
+                .path
+                .windows(2)
+                .map(|w| trunk_of(&w[0], &w[1]))
+                .collect();
+            Session::on(links)
+        })
+        .collect();
+    let (rates, macrs) = phantom_prediction(&caps, &sessions, u);
+    let mut out = String::new();
+    let _ = writeln!(out, "phantom fixed point (u = {u}, all sessions greedy):");
+    for (i, r) in rates.iter().enumerate() {
+        let path = spec.sessions[i].path.join("→");
+        let _ = writeln!(out, "  session {i} [{path}]: {:8.2} Mb/s", cps_to_mbps(*r));
+    }
+    for (i, m) in macrs.iter().enumerate() {
+        let t = &spec.trunks[i];
+        let _ = writeln!(
+            out,
+            "  trunk {}–{}: MACR {:6.2} Mb/s",
+            t.a,
+            t.b,
+            cps_to_mbps(*m)
+        );
+    }
+    Ok(out)
+}
+
+/// Run the topology under every implemented algorithm and tabulate the
+/// headline quantities.
+pub fn compare_algorithms(spec: &TopologySpec) -> Result<Table, String> {
+    spec.validate()?;
+    let mut t = Table::new(
+        "compare",
+        "all algorithms on this topology",
+        &["algorithm", "total_mbps", "jain", "bottleneck_util", "max_q_cells"],
+    );
+    for alg in [
+        AlgorithmSpec::Phantom { u: 5.0 },
+        AlgorithmSpec::PhantomNi,
+        AlgorithmSpec::Eprca,
+        AlgorithmSpec::Aprc,
+        AlgorithmSpec::Capc,
+        AlgorithmSpec::Osu,
+        AlgorithmSpec::Erica,
+    ] {
+        let mut s2 = spec.clone();
+        s2.algorithm = alg;
+        let report = run_spec(&s2)?;
+        let total: f64 = report.session_rates_mbps.iter().sum();
+        let util = report
+            .trunk_utilization
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        let max_q = report
+            .trunk_peak_queue
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64;
+        let label = match alg {
+            AlgorithmSpec::Phantom { .. } => "phantom",
+            AlgorithmSpec::PhantomNi => "phantom-ni",
+            AlgorithmSpec::Eprca => "eprca",
+            AlgorithmSpec::Aprc => "aprc",
+            AlgorithmSpec::Capc => "capc",
+            AlgorithmSpec::Osu => "osu",
+            AlgorithmSpec::Erica => "erica",
+        };
+        t.add_row(label, vec![total, report.jain, util, max_q]);
+    }
+    Ok(t)
+}
+
+/// Sweep the Phantom utilization factor over the topology: one row per
+/// `u`, columns for total throughput, fairness, utilization and queueing.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // rejects NaN too
+pub fn sweep_u(spec: &TopologySpec, us: &[f64]) -> Result<Table, String> {
+    spec.validate()?;
+    let mut t = Table::new(
+        "sweep-u",
+        "utilization-factor sweep",
+        &["u", "total_mbps", "jain", "bottleneck_util", "max_q_cells"],
+    );
+    for &u in us {
+        if !(u > 0.0) {
+            return Err(format!("u must be positive, got {u}"));
+        }
+        let mut s2 = spec.clone();
+        s2.algorithm = AlgorithmSpec::Phantom { u };
+        let report = run_spec(&s2)?;
+        let total: f64 = report.session_rates_mbps.iter().sum();
+        let util = report
+            .trunk_utilization
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        let max_q = report
+            .trunk_peak_queue
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64;
+        t.add_row(&format!("{u}"), vec![total, report.jain, util, max_q]);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    const DUMBBELL: &str = "\
+switch s1
+switch s2
+trunk s1 s2 150mbps 10us
+session s1 s2 greedy
+session s1 s2 greedy
+algorithm phantom u=5
+run 400ms seed=3
+";
+
+    #[test]
+    fn run_matches_prediction_on_the_dumbbell() {
+        let spec = parse_str(DUMBBELL).unwrap();
+        let report = run_spec(&spec).unwrap();
+        assert_eq!(report.session_rates_mbps.len(), 2);
+        // fixed point: 68.18 Mb/s per session, MACR 13.64
+        for r in &report.session_rates_mbps {
+            assert!((r - 68.18).abs() < 5.0, "rate {r}");
+        }
+        assert!((report.trunk_macr_mbps[0] - 13.64).abs() < 1.5);
+        assert!(report.jain > 0.99);
+        assert!(report.events > 100_000);
+        let rendered = report.render(&spec);
+        assert!(rendered.contains("session 0"));
+        assert!(rendered.contains("trunk s1–s2"));
+    }
+
+    #[test]
+    fn predict_without_simulation() {
+        let spec = parse_str(DUMBBELL).unwrap();
+        let text = predict(&spec).unwrap();
+        assert!(text.contains("68.18"));
+        assert!(text.contains("13.64"));
+    }
+
+    #[test]
+    fn sweep_u_shows_the_utilization_dial() {
+        let spec = parse_str(DUMBBELL).unwrap();
+        let t = sweep_u(&spec, &[2.0, 5.0, 20.0]).unwrap();
+        let u2 = t.cell("2", "bottleneck_util").unwrap();
+        let u20 = t.cell("20", "bottleneck_util").unwrap();
+        assert!(u20 > u2, "higher u buys utilization: {u2:.3} vs {u20:.3}");
+        assert!((u2 - 0.80).abs() < 0.05, "u=2 with n=2 targets 4/5");
+        assert!(t.cell("5", "jain").unwrap() > 0.99);
+        assert!(sweep_u(&spec, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_runs() {
+        for alg in ["phantom-ni", "eprca", "aprc", "capc", "erica", "osu"] {
+            let src = DUMBBELL.replace("phantom u=5", alg);
+            let spec = parse_str(&src).unwrap();
+            let report = run_spec(&spec).unwrap();
+            let total: f64 = report.session_rates_mbps.iter().sum();
+            assert!(total > 60.0, "{alg} collapsed: {total:.1} Mb/s");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # phantom-cli — run Phantom experiments from a topology file
+//!
+//! A small line-oriented DSL describes switches, trunks and sessions;
+//! the CLI simulates the topology under any implemented flow-control
+//! algorithm, prints per-session rates and per-trunk statistics, and can
+//! also print the *analytic* phantom prediction (weighted max-min with
+//! one imaginary session per link) without simulating at all.
+//!
+//! ```text
+//! # dumbbell.phantom — two greedy sessions over one OC-3
+//! switch s1
+//! switch s2
+//! trunk s1 s2 150mbps 10us
+//! session s1 s2 greedy
+//! session s1 s2 greedy rtt=5ms
+//! algorithm phantom u=5
+//! run 500ms seed=42
+//! ```
+//!
+//! ```sh
+//! phantom run dumbbell.phantom          # simulate, print the report
+//! phantom predict dumbbell.phantom     # closed-form fixed point only
+//! phantom check dumbbell.phantom       # parse + validate, no run
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod parse;
+pub mod spec;
+
+pub use exec::{compare_algorithms, predict, run_spec, sweep_u, RunReport};
+pub use parse::{parse_str, ParseError};
+pub use spec::{AlgorithmSpec, SessionSpec, TopologySpec};

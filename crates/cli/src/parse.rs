@@ -1,0 +1,457 @@
+//! The topology-file parser.
+//!
+//! Line-oriented: `#` starts a comment, blank lines are skipped, each
+//! line is `keyword arg…` with optional `key=value` options at the end.
+//! Durations accept `us|ms|s` suffixes; rates accept `mbps|kbps`.
+
+use crate::spec::{AlgorithmSpec, SessionSpec, TopologySpec, TrafficSpec, TrunkSpec};
+use phantom_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parse a duration token: `10us`, `30ms`, `2s`, `0.5s`.
+pub fn parse_duration(tok: &str) -> Result<SimDuration, String> {
+    let (num, unit) = split_unit(tok)?;
+    let secs = match unit {
+        "us" => num * 1e-6,
+        "ms" => num * 1e-3,
+        "s" => num,
+        other => return Err(format!("unknown time unit '{other}' (use us/ms/s)")),
+    };
+    if secs < 0.0 {
+        return Err("durations cannot be negative".into());
+    }
+    Ok(SimDuration::from_secs_f64(secs))
+}
+
+/// Parse a rate token: `150mbps`, `64kbps`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // rejects NaN too
+pub fn parse_rate_mbps(tok: &str) -> Result<f64, String> {
+    let (num, unit) = split_unit(tok)?;
+    let mbps = match unit {
+        "mbps" => num,
+        "kbps" => num / 1e3,
+        "gbps" => num * 1e3,
+        other => return Err(format!("unknown rate unit '{other}' (use kbps/mbps/gbps)")),
+    };
+    if !(mbps > 0.0) {
+        return Err("rates must be positive".into());
+    }
+    Ok(mbps)
+}
+
+fn split_unit(tok: &str) -> Result<(f64, &str), String> {
+    let split = tok
+        .char_indices()
+        .find(|&(_, c)| c.is_ascii_alphabetic())
+        .map(|(i, _)| i)
+        .ok_or_else(|| format!("'{tok}' is missing a unit"))?;
+    let (num, unit) = tok.split_at(split);
+    let value: f64 = num
+        .parse()
+        .map_err(|_| format!("'{num}' is not a number"))?;
+    Ok((value, unit))
+}
+
+/// Split trailing `key=value` options off an argument list.
+fn split_opts<'a>(args: &'a [&'a str]) -> (&'a [&'a str], Vec<(&'a str, &'a str)>) {
+    let first_opt = args
+        .iter()
+        .position(|a| a.contains('='))
+        .unwrap_or(args.len());
+    let opts = args[first_opt..]
+        .iter()
+        .filter_map(|a| a.split_once('='))
+        .collect();
+    (&args[..first_opt], opts)
+}
+
+/// Parse a whole topology file.
+///
+/// ```
+/// let spec = phantom_cli::parse_str(
+///     "switch a\nswitch b\ntrunk a b 150mbps 10us\nsession a b greedy\n",
+/// )
+/// .unwrap();
+/// assert_eq!(spec.switches.len(), 2);
+/// assert_eq!(spec.sessions.len(), 1);
+/// ```
+pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
+    let mut spec = TopologySpec {
+        duration: SimDuration::from_millis(500),
+        seed: 1996,
+        ..TopologySpec::default()
+    };
+    let mut saw_run = false;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let (kw, rest) = (toks[0], &toks[1..]);
+        match kw {
+            "switch" => {
+                let (pos, opts) = split_opts(rest);
+                if pos.len() != 1 || !opts.is_empty() {
+                    return err(lineno, "usage: switch <name>");
+                }
+                spec.switches.push(pos[0].to_string());
+            }
+            "trunk" => {
+                let (pos, opts) = split_opts(rest);
+                if pos.len() != 4 {
+                    return err(lineno, "usage: trunk <a> <b> <rate> <prop> [loss=0.01]");
+                }
+                let mbps =
+                    parse_rate_mbps(pos[2]).map_err(|m| ParseError { line: lineno, msg: m })?;
+                let prop =
+                    parse_duration(pos[3]).map_err(|m| ParseError { line: lineno, msg: m })?;
+                let mut loss = 0.0;
+                for (k, v) in &opts {
+                    match *k {
+                        "loss" => {
+                            loss = v.parse().map_err(|_| ParseError {
+                                line: lineno,
+                                msg: format!("'{v}' is not a probability"),
+                            })?
+                        }
+                        other => return err(lineno, format!("unknown option '{other}'")),
+                    }
+                }
+                spec.trunks.push(TrunkSpec {
+                    a: pos[0].to_string(),
+                    b: pos[1].to_string(),
+                    mbps,
+                    prop,
+                    loss,
+                });
+            }
+            "priority" => {
+                let (pos, opts) = split_opts(rest);
+                if pos != ["cbr"] || !opts.is_empty() {
+                    return err(lineno, "usage: priority cbr");
+                }
+                spec.cbr_priority = true;
+            }
+            "cbr" => {
+                // cbr <sw>... <rate> [on=|off= (periodic) | rtt=]
+                let (pos, opts) = split_opts(rest);
+                if pos.len() < 3 {
+                    return err(lineno, "usage: cbr <sw>... <rate> [on=|off=|start=|rtt=]");
+                }
+                let mbps = parse_rate_mbps(pos[pos.len() - 1])
+                    .map_err(|m| ParseError { line: lineno, msg: m })?;
+                let path: Vec<String> =
+                    pos[..pos.len() - 1].iter().map(|s| s.to_string()).collect();
+                let mut start = SimTime::ZERO;
+                let mut on = None;
+                let mut off = None;
+                let mut access_prop = SimDuration::from_micros(10);
+                for (k, v) in &opts {
+                    let d =
+                        parse_duration(v).map_err(|m| ParseError { line: lineno, msg: m })?;
+                    match *k {
+                        "start" => start = SimTime(d.as_nanos()),
+                        "on" => on = Some(d),
+                        "off" => off = Some(d),
+                        "rtt" => access_prop = d,
+                        other => return err(lineno, format!("unknown option '{other}'")),
+                    }
+                }
+                let traffic = match (on, off) {
+                    (Some(on), Some(off)) => TrafficSpec::OnOff { start, on, off },
+                    (None, None) => TrafficSpec::Greedy,
+                    _ => return err(lineno, "cbr needs both on= and off= (or neither)"),
+                };
+                spec.sessions.push(SessionSpec {
+                    path,
+                    traffic,
+                    access_prop,
+                    cbr_mbps: Some(mbps),
+                });
+            }
+            "session" => {
+                let (pos, opts) = split_opts(rest);
+                if pos.len() < 3 {
+                    return err(
+                        lineno,
+                        "usage: session <sw>... <greedy|window|onoff> [key=value...]",
+                    );
+                }
+                let model = pos[pos.len() - 1];
+                let path: Vec<String> =
+                    pos[..pos.len() - 1].iter().map(|s| s.to_string()).collect();
+                let mut start = SimTime::ZERO;
+                let mut stop = SimTime::MAX;
+                let mut on = SimDuration::from_millis(30);
+                let mut off = SimDuration::from_millis(30);
+                let mut access_prop = SimDuration::from_micros(10);
+                for (k, v) in &opts {
+                    let d =
+                        parse_duration(v).map_err(|m| ParseError { line: lineno, msg: m })?;
+                    match *k {
+                        "start" => start = SimTime(d.as_nanos()),
+                        "stop" => stop = SimTime(d.as_nanos()),
+                        "on" => on = d,
+                        "off" => off = d,
+                        "rtt" => access_prop = d,
+                        other => return err(lineno, format!("unknown option '{other}'")),
+                    }
+                }
+                let traffic = match model {
+                    "greedy" => TrafficSpec::Greedy,
+                    "window" => TrafficSpec::Window { start, stop },
+                    "onoff" => TrafficSpec::OnOff { start, on, off },
+                    "random" => TrafficSpec::Random {
+                        mean_on: on,
+                        mean_off: off,
+                    },
+                    other => {
+                        return err(
+                            lineno,
+                            format!(
+                                "unknown traffic model '{other}' (greedy/window/onoff/random)"
+                            ),
+                        )
+                    }
+                };
+                spec.sessions.push(SessionSpec {
+                    path,
+                    traffic,
+                    access_prop,
+                    cbr_mbps: None,
+                });
+            }
+            "algorithm" => {
+                let (pos, opts) = split_opts(rest);
+                if pos.len() != 1 {
+                    return err(lineno, "usage: algorithm <name> [u=<factor>]");
+                }
+                let mut u = 5.0;
+                for (k, v) in &opts {
+                    match *k {
+                        "u" => {
+                            u = v.parse().map_err(|_| ParseError {
+                                line: lineno,
+                                msg: format!("'{v}' is not a number"),
+                            })?
+                        }
+                        other => return err(lineno, format!("unknown option '{other}'")),
+                    }
+                }
+                spec.algorithm = match pos[0] {
+                    "phantom" => AlgorithmSpec::Phantom { u },
+                    "phantom-ni" => AlgorithmSpec::PhantomNi,
+                    "eprca" => AlgorithmSpec::Eprca,
+                    "aprc" => AlgorithmSpec::Aprc,
+                    "capc" => AlgorithmSpec::Capc,
+                    "erica" => AlgorithmSpec::Erica,
+                    "osu" => AlgorithmSpec::Osu,
+                    other => return err(lineno, format!("unknown algorithm '{other}'")),
+                };
+            }
+            "run" => {
+                let (pos, opts) = split_opts(rest);
+                if pos.len() != 1 {
+                    return err(lineno, "usage: run <duration> [seed=<n>]");
+                }
+                spec.duration =
+                    parse_duration(pos[0]).map_err(|m| ParseError { line: lineno, msg: m })?;
+                for (k, v) in &opts {
+                    match *k {
+                        "seed" => {
+                            spec.seed = v.parse().map_err(|_| ParseError {
+                                line: lineno,
+                                msg: format!("'{v}' is not a seed"),
+                            })?
+                        }
+                        other => return err(lineno, format!("unknown option '{other}'")),
+                    }
+                }
+                saw_run = true;
+            }
+            other => return err(lineno, format!("unknown keyword '{other}'")),
+        }
+    }
+    if !saw_run {
+        // keep the default duration; that's fine
+    }
+    spec.validate()
+        .map_err(|m| ParseError { line: 0, msg: m })?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# a dumbbell
+switch s1
+switch s2
+trunk s1 s2 150mbps 10us
+session s1 s2 greedy
+session s1 s2 onoff start=100ms on=30ms off=30ms
+session s1 s2 greedy rtt=5ms
+algorithm phantom u=8
+run 500ms seed=7
+";
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let spec = parse_str(GOOD).unwrap();
+        assert_eq!(spec.switches, vec!["s1", "s2"]);
+        assert_eq!(spec.trunks.len(), 1);
+        assert_eq!(spec.trunks[0].mbps, 150.0);
+        assert_eq!(spec.trunks[0].prop, SimDuration::from_micros(10));
+        assert_eq!(spec.sessions.len(), 3);
+        assert_eq!(spec.sessions[0].traffic, TrafficSpec::Greedy);
+        assert_eq!(
+            spec.sessions[1].traffic,
+            TrafficSpec::OnOff {
+                start: SimTime::from_millis(100),
+                on: SimDuration::from_millis(30),
+                off: SimDuration::from_millis(30),
+            }
+        );
+        assert_eq!(spec.sessions[2].access_prop, SimDuration::from_millis(5));
+        assert_eq!(spec.algorithm, AlgorithmSpec::Phantom { u: 8.0 });
+        assert_eq!(spec.duration, SimDuration::from_millis(500));
+        assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_str(
+            "switch a\n\n# comment\nswitch b\ntrunk a b 1mbps 1ms # inline\nsession a b greedy\n",
+        )
+        .unwrap();
+        assert_eq!(spec.switches.len(), 2);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse_str("switch a\nbogus line here\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("unknown keyword"));
+    }
+
+    #[test]
+    fn bad_units_are_rejected() {
+        assert!(parse_duration("10parsecs").is_err());
+        assert!(parse_duration("ms").is_err());
+        assert!(parse_rate_mbps("100").is_err());
+        assert!(parse_rate_mbps("-5mbps").is_err());
+        assert!(parse_duration("10us").unwrap() == SimDuration::from_micros(10));
+        assert!((parse_rate_mbps("64kbps").unwrap() - 0.064).abs() < 1e-12);
+        assert!((parse_rate_mbps("1gbps").unwrap() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_algorithm_or_model_rejected() {
+        let e =
+            parse_str("switch a\nswitch b\ntrunk a b 1mbps 1ms\nsession a b tcp\n").unwrap_err();
+        assert!(e.msg.contains("unknown traffic model"));
+        let e = parse_str(
+            "switch a\nswitch b\ntrunk a b 1mbps 1ms\nsession a b greedy\nalgorithm bgp\n",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        let e = parse_str("switch a\nswitch b\nsession a b greedy\n").unwrap_err();
+        assert!(e.msg.contains("no trunk"));
+    }
+
+    #[test]
+    fn all_algorithms_parse() {
+        for alg in ["phantom", "phantom-ni", "eprca", "aprc", "capc", "erica", "osu"] {
+            let src = format!(
+                "switch a\nswitch b\ntrunk a b 1mbps 1ms\nsession a b greedy\nalgorithm {alg}\n"
+            );
+            assert!(parse_str(&src).is_ok(), "{alg} failed to parse");
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_grammar_tests {
+    use super::*;
+    use crate::spec::TrafficSpec;
+
+    const FULL: &str = "\
+switch s1
+switch s2
+trunk s1 s2 150mbps 10us loss=0.01
+session s1 s2 random on=20ms off=60ms
+cbr s1 s2 20mbps
+cbr s1 s2 10mbps on=100ms off=100ms
+priority cbr
+algorithm phantom
+run 300ms seed=9
+";
+
+    #[test]
+    fn parses_cbr_loss_priority_and_random() {
+        let spec = parse_str(FULL).unwrap();
+        assert_eq!(spec.trunks[0].loss, 0.01);
+        assert!(spec.cbr_priority);
+        assert_eq!(spec.sessions.len(), 3);
+        assert!(matches!(
+            spec.sessions[0].traffic,
+            TrafficSpec::Random { .. }
+        ));
+        assert_eq!(spec.sessions[1].cbr_mbps, Some(20.0));
+        assert!(matches!(spec.sessions[2].traffic, TrafficSpec::OnOff { .. }));
+    }
+
+    #[test]
+    fn cbr_needs_matching_on_off() {
+        let bad = "switch a\nswitch b\ntrunk a b 1mbps 1ms\ncbr a b 1mbps on=5ms\n";
+        let e = parse_str(bad).unwrap_err();
+        assert!(e.msg.contains("both on= and off="));
+    }
+
+    #[test]
+    fn full_grammar_file_actually_runs() {
+        let spec = parse_str(FULL).unwrap();
+        let report = crate::exec::run_spec(&spec).unwrap();
+        // 3 sessions (1 ABR random + 2 CBR): everyone reported.
+        assert_eq!(report.session_rates_mbps.len(), 3);
+        // The greedy CBR delivers close to its configured 20 Mb/s minus
+        // the 1% wire loss.
+        assert!(
+            (report.session_rates_mbps[1] - 20.0).abs() < 2.0,
+            "cbr rate {:.1}",
+            report.session_rates_mbps[1]
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! The parsed topology description (pure data, validated).
+
+use phantom_sim::{SimDuration, SimTime};
+
+/// Traffic model of one session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficSpec {
+    /// Always sending.
+    Greedy,
+    /// Active during `[start, stop)`.
+    Window {
+        /// First active instant.
+        start: SimTime,
+        /// End of activity.
+        stop: SimTime,
+    },
+    /// Periodic bursts.
+    OnOff {
+        /// First active instant.
+        start: SimTime,
+        /// Active period.
+        on: SimDuration,
+        /// Silent period.
+        off: SimDuration,
+    },
+    /// Stochastic bursts with exponential phase durations.
+    Random {
+        /// Mean active-phase duration.
+        mean_on: SimDuration,
+        /// Mean silent-phase duration.
+        mean_off: SimDuration,
+    },
+}
+
+/// One session line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSpec {
+    /// Switch names along the forward path (≥ 2 entries... ≥ 1).
+    pub path: Vec<String>,
+    /// Traffic model.
+    pub traffic: TrafficSpec,
+    /// Access-link one-way propagation delay (the session's RTT knob).
+    pub access_prop: SimDuration,
+    /// `Some(mbps)` = an unresponsive CBR circuit at that rate instead of
+    /// an ABR session.
+    pub cbr_mbps: Option<f64>,
+}
+
+/// One trunk line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrunkSpec {
+    /// First endpoint (switch name).
+    pub a: String,
+    /// Second endpoint.
+    pub b: String,
+    /// Capacity, Mb/s.
+    pub mbps: f64,
+    /// One-way propagation delay.
+    pub prop: SimDuration,
+    /// Per-cell wire loss probability (failure injection).
+    pub loss: f64,
+}
+
+/// Which algorithm runs on the trunk ports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AlgorithmSpec {
+    /// Phantom, explicit rate, with a utilization factor.
+    Phantom {
+        /// The `u` parameter (paper default 5).
+        u: f64,
+    },
+    /// Phantom, binary NI/CI mode.
+    PhantomNi,
+    /// EPRCA.
+    Eprca,
+    /// APRC.
+    Aprc,
+    /// CAPC.
+    Capc,
+    /// ERICA (unbounded space).
+    Erica,
+    /// OSU load-factor scaling.
+    Osu,
+}
+
+impl Default for AlgorithmSpec {
+    fn default() -> Self {
+        AlgorithmSpec::Phantom { u: 5.0 }
+    }
+}
+
+/// The whole file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopologySpec {
+    /// Declared switch names, in order.
+    pub switches: Vec<String>,
+    /// Trunk lines.
+    pub trunks: Vec<TrunkSpec>,
+    /// Session lines.
+    pub sessions: Vec<SessionSpec>,
+    /// The algorithm under test.
+    pub algorithm: AlgorithmSpec,
+    /// Serve CBR cells from strict-priority queues.
+    pub cbr_priority: bool,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TopologySpec {
+    /// Cross-reference validation (names resolve, paths are connected,
+    /// something actually runs).
+    // `!(x > 0)`-style checks are deliberate: they reject NaN as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if self.switches.is_empty() {
+            return Err("no switches declared".into());
+        }
+        {
+            let mut names = self.switches.clone();
+            names.sort();
+            names.dedup();
+            if names.len() != self.switches.len() {
+                return Err("duplicate switch name".into());
+            }
+        }
+        let know = |n: &String| self.switches.contains(n);
+        for t in &self.trunks {
+            if !know(&t.a) || !know(&t.b) {
+                return Err(format!("trunk references unknown switch: {} {}", t.a, t.b));
+            }
+            if t.a == t.b {
+                return Err(format!("trunk from {} to itself", t.a));
+            }
+            if !(t.mbps > 0.0) {
+                return Err("trunk capacity must be positive".into());
+            }
+            if !(0.0..1.0).contains(&t.loss) {
+                return Err("trunk loss must be in [0, 1)".into());
+            }
+        }
+        if self.sessions.is_empty() {
+            return Err("no sessions declared".into());
+        }
+        for s in &self.sessions {
+            if let Some(m) = s.cbr_mbps {
+                if !(m > 0.0) {
+                    return Err("cbr rate must be positive".into());
+                }
+            }
+            if s.path.len() < 2 {
+                return Err("session path needs at least two switches".into());
+            }
+            for n in &s.path {
+                if !know(n) {
+                    return Err(format!("session references unknown switch: {n}"));
+                }
+            }
+            for w in s.path.windows(2) {
+                let connected = self.trunks.iter().any(|t| {
+                    (t.a == w[0] && t.b == w[1]) || (t.a == w[1] && t.b == w[0])
+                });
+                if !connected {
+                    return Err(format!("no trunk between {} and {}", w[0], w[1]));
+                }
+            }
+        }
+        if self.duration.is_zero() {
+            return Err("run duration must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Index of a switch by name (after validation).
+    pub fn switch_index(&self, name: &str) -> usize {
+        self.switches
+            .iter()
+            .position(|n| n == name)
+            .expect("validated name")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> TopologySpec {
+        TopologySpec {
+            switches: vec!["a".into(), "b".into()],
+            trunks: vec![TrunkSpec {
+                a: "a".into(),
+                b: "b".into(),
+                mbps: 150.0,
+                prop: SimDuration::from_micros(10),
+                loss: 0.0,
+            }],
+            sessions: vec![SessionSpec {
+                path: vec!["a".into(), "b".into()],
+                traffic: TrafficSpec::Greedy,
+                access_prop: SimDuration::from_micros(10),
+                cbr_mbps: None,
+            }],
+            algorithm: AlgorithmSpec::default(),
+            cbr_priority: false,
+            duration: SimDuration::from_millis(100),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn minimal_topology_validates() {
+        assert!(minimal().validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_switch_in_trunk_rejected() {
+        let mut t = minimal();
+        t.trunks[0].b = "zzz".into();
+        assert!(t.validate().unwrap_err().contains("unknown switch"));
+    }
+
+    #[test]
+    fn disconnected_session_rejected() {
+        let mut t = minimal();
+        t.switches.push("c".into());
+        t.sessions[0].path = vec!["a".into(), "c".into()];
+        assert!(t.validate().unwrap_err().contains("no trunk"));
+    }
+
+    #[test]
+    fn duplicate_switch_rejected() {
+        let mut t = minimal();
+        t.switches.push("a".into());
+        assert!(t.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_pieces_rejected() {
+        let mut t = minimal();
+        t.sessions.clear();
+        assert!(t.validate().is_err());
+        let mut t = minimal();
+        t.duration = SimDuration::ZERO;
+        assert!(t.validate().is_err());
+    }
+}

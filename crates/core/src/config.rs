@@ -1,0 +1,207 @@
+//! Configuration of the Phantom algorithm.
+//!
+//! Defaults follow the paper where the paper pins a value
+//! (`utilization_factor = 5`, measurement interval Δt = 1 ms via the port)
+//! and are conservative engineering choices elsewhere; every knob is an
+//! ablation axis in the benchmark harness (`repro table3`).
+
+/// How the residual bandwidth Δ is measured each interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResidualMode {
+    /// `Δ = C − arrival_rate`. Can go negative in overload, which makes
+    /// MACR react *during* congestion, not only after the queue drains.
+    /// This is the default and the behavior the paper's fast reaction
+    /// implies.
+    Arrivals,
+    /// `Δ = C − departure_rate` — the literally "unused" capacity. While a
+    /// standing queue keeps the link busy, Δ stays 0 even if arrivals have
+    /// already dropped, so MACR undershoots; kept as an ablation.
+    Departures,
+}
+
+/// Parameters of the MACR estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct MacrConfig {
+    /// Gain applied when the residual is above MACR (estimate grows).
+    pub alpha_inc: f64,
+    /// Gain applied when the residual is below MACR (estimate shrinks).
+    /// Larger than `alpha_inc` so congestion is reacted to faster — the
+    /// paper attributes Phantom's larger transient queue vs CAPC to this
+    /// fast reaction.
+    pub alpha_dec: f64,
+    /// Gain of the mean-deviation filter (Jacobson's h, default 1/4).
+    pub dev_gain: f64,
+    /// When `true`, updates whose error is within the current mean
+    /// deviation are treated as noise and damped by `slow_scale` — the
+    /// paper's "approximate the standard deviation in Δ and take it into
+    /// consideration in the calculation of α_inc and α_dec".
+    pub adaptive: bool,
+    /// Damping factor applied to α when `|err| ≤ dev` (adaptive mode).
+    pub slow_scale: f64,
+    /// Stability normalization: α is additionally capped at
+    /// `norm_gain × MACR / C`. Near the fixed point `MACR* = C/(1+n·u)`
+    /// the loop gain is `α·C/MACR*`, so this cap keeps the loop stable
+    /// for *any* number of sessions without per-session state. Set to
+    /// `f64::INFINITY` to disable (ablation).
+    pub norm_gain: f64,
+    /// Residual measurement mode.
+    pub residual: ResidualMode,
+    /// Floor of the estimate, as a fraction of link capacity (MACR must
+    /// stay positive so sessions can probe upward again).
+    pub min_frac: f64,
+    /// Initial estimate, as a fraction of link capacity.
+    pub init_frac: f64,
+}
+
+impl Default for MacrConfig {
+    fn default() -> Self {
+        MacrConfig {
+            alpha_inc: 1.0 / 16.0,
+            alpha_dec: 1.0 / 4.0,
+            dev_gain: 0.25,
+            adaptive: true,
+            slow_scale: 0.25,
+            norm_gain: 0.5,
+            residual: ResidualMode::Arrivals,
+            min_frac: 0.001,
+            init_frac: 0.02,
+        }
+    }
+}
+
+impl MacrConfig {
+    /// Validate parameter invariants.
+    // `!(x > 0)`-style checks are deliberate: they reject NaN as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("alpha_inc", self.alpha_inc),
+            ("alpha_dec", self.alpha_dec),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(format!("{name} must be in (0, 1]"));
+            }
+        }
+        if !(self.dev_gain > 0.0 && self.dev_gain <= 1.0) {
+            return Err("dev_gain must be in (0, 1]".into());
+        }
+        if !(self.slow_scale > 0.0 && self.slow_scale <= 1.0) {
+            return Err("slow_scale must be in (0, 1]".into());
+        }
+        if !(self.norm_gain > 0.0) {
+            return Err("norm_gain must be positive".into());
+        }
+        if !(self.min_frac > 0.0 && self.min_frac < 1.0) {
+            return Err("min_frac must be in (0, 1)".into());
+        }
+        if !(self.init_frac > 0.0 && self.init_frac <= 1.0) {
+            return Err("init_frac must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// Non-adaptive variant (fixed gains) — the Fig. 12 ablation.
+    pub fn fixed_gains(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+}
+
+/// Full Phantom port configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PhantomConfig {
+    /// The estimator parameters.
+    pub macr: MacrConfig,
+    /// The paper's `utilization_factor` u: sessions may send at `u × MACR`.
+    /// The paper's figures use u = 5 (91% utilization with 2 sessions).
+    pub utilization_factor: f64,
+}
+
+impl Default for PhantomConfig {
+    fn default() -> Self {
+        PhantomConfig {
+            macr: MacrConfig::default(),
+            utilization_factor: 5.0,
+        }
+    }
+}
+
+impl PhantomConfig {
+    /// The paper's configuration (alias of `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Override the utilization factor.
+    pub fn with_utilization_factor(mut self, u: f64) -> Self {
+        assert!(u > 0.0);
+        self.utilization_factor = u;
+        self
+    }
+
+    /// Override the estimator config.
+    pub fn with_macr(mut self, m: MacrConfig) -> Self {
+        self.macr = m;
+        self
+    }
+
+    /// Validate parameter invariants.
+    // `!(x > 0)`-style checks are deliberate: they reject NaN as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.utilization_factor > 0.0) {
+            return Err("utilization_factor must be positive".into());
+        }
+        self.macr.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper() {
+        let c = PhantomConfig::paper();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.utilization_factor, 5.0);
+        assert!(c.macr.adaptive);
+        assert!(c.macr.alpha_dec > c.macr.alpha_inc, "decrease reacts faster");
+        assert_eq!(c.macr.residual, ResidualMode::Arrivals);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let c = MacrConfig {
+            alpha_inc: 0.0,
+            ..MacrConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MacrConfig {
+            alpha_dec: 1.5,
+            ..MacrConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MacrConfig {
+            min_frac: 1.0,
+            ..MacrConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut p = PhantomConfig::paper();
+        p.utilization_factor = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fixed_gains_disables_adaptation_only() {
+        let c = MacrConfig::default().fixed_gains();
+        assert!(!c.adaptive);
+        assert_eq!(c.alpha_inc, MacrConfig::default().alpha_inc);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_utilization_factor_panics_in_builder() {
+        let _ = PhantomConfig::paper().with_utilization_factor(0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Phantom with binary feedback — the paper's Fig. 9 → Fig. 11 variant.
+//!
+//! Some networks cannot carry an explicit rate (e.g. an EFCI-only ATM
+//! region, or an IP header with a single congestion bit). The paper shows
+//! Phantom still works there: instead of stamping ER, the switch sets the
+//! **NI (no increase)** bit on backward RM cells of sessions whose current
+//! rate exceeds `u × MACR` — "any source that observes this bit set may
+//! not increase its rate".
+//!
+//! NI alone can only freeze rates; if the aggregate overshoots the link a
+//! decrease signal is needed too, so when the port queue exceeds a
+//! congestion threshold the switch additionally sets **CI** on those
+//! same over-limit sessions (selective pressure — unlike EPRCA's
+//! indiscriminate "very congested" CI that causes beat-down).
+
+use crate::config::{PhantomConfig, ResidualMode};
+use crate::macr::MacrEstimator;
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+
+/// Phantom in binary-feedback (NI/CI) mode.
+#[derive(Clone, Copy, Debug)]
+pub struct PhantomNi {
+    cfg: PhantomConfig,
+    est: Option<MacrEstimator>,
+    /// Queue length (cells) above which over-limit sessions also get CI.
+    pub ci_queue_threshold: usize,
+}
+
+impl PhantomNi {
+    /// A binary-feedback Phantom with the given config and CI threshold.
+    pub fn new(cfg: PhantomConfig, ci_queue_threshold: usize) -> Self {
+        cfg.validate().expect("invalid Phantom configuration");
+        PhantomNi {
+            cfg,
+            est: None,
+            ci_queue_threshold,
+        }
+    }
+
+    /// Paper-default configuration with a 300-cell CI threshold (matching
+    /// the congestion threshold scale used by the baselines).
+    pub fn paper() -> Self {
+        Self::new(PhantomConfig::paper(), 300)
+    }
+
+    /// Current MACR (0 before the first interval).
+    pub fn macr(&self) -> f64 {
+        self.est.map(|e| e.macr()).unwrap_or(0.0)
+    }
+
+    fn limit(&self) -> f64 {
+        match &self.est {
+            Some(e) => self.cfg.utilization_factor * e.macr(),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl RateAllocator for PhantomNi {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        let est = self
+            .est
+            .get_or_insert_with(|| MacrEstimator::new(self.cfg.macr, m.capacity));
+        let used = match self.cfg.macr.residual {
+            ResidualMode::Arrivals => m.arrival_rate(),
+            ResidualMode::Departures => m.departure_rate(),
+        };
+        est.update(m.capacity - used, m.capacity);
+    }
+
+    fn forward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {}
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, queue: usize) {
+        let limit = self.limit();
+        if !limit.is_finite() {
+            return;
+        }
+        // Sessions at or below their guaranteed MCR are never pressured.
+        if rm.ccr > limit && rm.ccr > rm.mcr {
+            rm.ni = true;
+            if queue > self.ci_queue_threshold {
+                rm.ci = true;
+            }
+        }
+    }
+
+    fn fair_share(&self) -> f64 {
+        self.macr()
+    }
+
+    fn name(&self) -> &'static str {
+        "phantom-ni"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settled() -> PhantomNi {
+        let mut a = PhantomNi::paper();
+        // capacity 1000, arrivals 800/s -> MACR ~ 200, limit ~ 1000
+        for _ in 0..3000 {
+            a.on_interval(&PortMeasurement {
+                dt: 0.01,
+                arrivals: 8,
+                departures: 8,
+                queue: 0,
+                capacity: 1000.0,
+            });
+        }
+        a
+    }
+
+    #[test]
+    fn under_limit_sessions_untouched() {
+        let mut a = settled();
+        let mut rm = RmCell::forward(500.0, 9999.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 0);
+        assert!(!rm.ni && !rm.ci);
+        assert_eq!(rm.er, 9999.0, "NI mode never touches ER");
+    }
+
+    #[test]
+    fn over_limit_sessions_get_ni() {
+        let mut a = settled();
+        let mut rm = RmCell::forward(5000.0, 9999.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 0);
+        assert!(rm.ni);
+        assert!(!rm.ci, "CI only under queue pressure");
+    }
+
+    #[test]
+    fn congested_queue_escalates_to_ci() {
+        let mut a = settled();
+        let mut rm = RmCell::forward(5000.0, 9999.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 301);
+        assert!(rm.ni && rm.ci);
+        // but an under-limit session is spared even under pressure
+        let mut rm2 = RmCell::forward(10.0, 9999.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm2, 301);
+        assert!(!rm2.ni && !rm2.ci, "selective pressure, no beat-down");
+    }
+
+    #[test]
+    fn silent_before_first_interval() {
+        let mut a = PhantomNi::paper();
+        let mut rm = RmCell::forward(1e9, 9999.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 1000);
+        assert!(!rm.ni && !rm.ci);
+    }
+
+    #[test]
+    fn constant_space() {
+        assert!(std::mem::size_of::<PhantomNi>() <= 256);
+    }
+}

@@ -1,0 +1,62 @@
+//! Closed-form fixed points of the Phantom dynamics on a single link.
+//!
+//! Used by the tests and the experiment harness to compute what the
+//! simulation *should* converge to. For arbitrary topologies use
+//! `phantom_metrics::phantom_prediction` (weighted max-min with one
+//! phantom session per link).
+
+/// MACR fixed point: `C / (1 + n·u)` for `n` greedy sessions on a link of
+/// capacity `c` with utilization factor `u`.
+pub fn single_link_macr(c: f64, n: usize, u: f64) -> f64 {
+    assert!(c >= 0.0 && u > 0.0);
+    c / (1.0 + n as f64 * u)
+}
+
+/// Per-session rate fixed point: `u·C / (1 + n·u)`.
+pub fn single_link_rate(c: f64, n: usize, u: f64) -> f64 {
+    u * single_link_macr(c, n, u)
+}
+
+/// Link utilization at the fixed point: `n·u / (1 + n·u)`.
+pub fn single_link_utilization(n: usize, u: f64) -> f64 {
+    assert!(u > 0.0);
+    let nu = n as f64 * u;
+    nu / (1.0 + nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computation() {
+        // u=5, n=2, C=150: MACR = 150/11, rate = 750/11, util = 10/11.
+        assert!((single_link_macr(150.0, 2, 5.0) - 150.0 / 11.0).abs() < 1e-12);
+        assert!((single_link_rate(150.0, 2, 5.0) - 750.0 / 11.0).abs() < 1e-12);
+        assert!((single_link_utilization(2, 5.0) - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_grows_with_sessions_and_u() {
+        assert!(single_link_utilization(1, 5.0) < single_link_utilization(2, 5.0));
+        assert!(single_link_utilization(2, 5.0) < single_link_utilization(2, 10.0));
+        assert!(single_link_utilization(50, 5.0) > 0.99);
+    }
+
+    #[test]
+    fn conservation_rates_plus_macr_equal_capacity() {
+        // n sessions at the session rate plus the phantom at MACR fill the
+        // link exactly.
+        for n in 1..10 {
+            let c = 150.0;
+            let total = n as f64 * single_link_rate(c, n, 5.0) + single_link_macr(c, n, 5.0);
+            assert!((total - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_sessions_means_phantom_owns_the_link() {
+        assert_eq!(single_link_macr(100.0, 0, 5.0), 100.0);
+        assert_eq!(single_link_utilization(0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # phantom-core — the Phantom flow-control algorithm
+//!
+//! This crate implements the contribution of *Afek, Mansour, Ostfeld,
+//! "Phantom: A Simple and Effective Flow Control Scheme", SIGCOMM 1996*:
+//! a constant-space, rate-based flow-control algorithm for switch output
+//! ports and routers.
+//!
+//! ## The idea
+//!
+//! Treat the **residual (unused) bandwidth of the link as the rate of one
+//! extra, imaginary session** — the *phantom session*. If the phantom
+//! session's rate settles at `MACR`, then allowing every real session to
+//! send at `utilization_factor × MACR` (u × MACR) makes the allocation
+//! behave exactly like max-min fairness over `n + 1/u` sessions: on a link
+//! of capacity `C` crossed by `n` greedy sessions the fixed point is
+//!
+//! ```text
+//! MACR = C / (1 + n·u)      rate per session = u·C / (1 + n·u)
+//! utilization = n·u / (1 + n·u)            (u = 5 ⇒ 91% at n = 2)
+//! ```
+//!
+//! and in a general network the allocation converges to weighted max-min
+//! fairness where each link contributes one phantom session of weight
+//! `1/u` ([`fixed_point`], and `phantom_metrics::phantom_prediction` for
+//! arbitrary topologies).
+//!
+//! ## The algorithm (constant space)
+//!
+//! Per output port, the algorithm keeps two floats — `MACR` and a mean
+//! deviation `dev` — and updates them once per measurement interval Δt
+//! from a single aggregate counter (cell arrivals):
+//!
+//! ```text
+//! Δ    = C − arrivals/Δt            # residual bandwidth
+//! err  = Δ − MACR
+//! α    = α_inc if err > 0 else α_dec
+//! if adaptive and |err| ≤ dev: α *= slow_scale   # Jacobson-style damping
+//! dev  = dev + dev_gain·(|err| − dev)
+//! MACR = clamp(MACR + α·err, macr_min, C)
+//! ```
+//!
+//! Feedback is carried to sources by stamping `ER := min(ER, u·MACR)` on
+//! backward RM cells ([`PhantomAllocator`]), or — for networks that only
+//! have a binary bit — by setting NI/CI on sessions whose `CCR > u·MACR`
+//! ([`efci::PhantomNi`], the paper's Fig. 9 vs Fig. 11 comparison).
+//!
+//! The same estimator drives the paper's TCP router mechanisms (Selective
+//! Discard and friends) in the `phantom-tcp` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod efci;
+pub mod fixed_point;
+pub mod fluid;
+pub mod macr;
+pub mod phantom;
+
+pub use config::{MacrConfig, PhantomConfig, ResidualMode};
+pub use efci::PhantomNi;
+pub use fluid::FluidModel;
+pub use macr::MacrEstimator;
+pub use phantom::PhantomAllocator;

@@ -1,0 +1,232 @@
+//! The MACR estimator — Phantom's entire per-port state.
+//!
+//! Constant space by construction: one `f64` for the estimate, one for the
+//! mean deviation, plus the (immutable) configuration. The estimator knows
+//! nothing about sessions; it sees only the aggregate residual bandwidth
+//! measured over each interval.
+
+use crate::config::MacrConfig;
+
+/// Exponentially weighted estimator of the residual bandwidth with
+/// asymmetric, deviation-gated, stability-normalized gains.
+///
+/// ```
+/// use phantom_core::{MacrConfig, MacrEstimator};
+///
+/// let mut est = MacrEstimator::new(MacrConfig::default(), 1000.0);
+/// for _ in 0..2000 {
+///     est.update(200.0, 1000.0); // constant residual of 200 units/s
+/// }
+/// assert!((est.macr() - 200.0).abs() < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MacrEstimator {
+    cfg: MacrConfig,
+    macr: f64,
+    dev: f64,
+}
+
+impl MacrEstimator {
+    /// A fresh estimator for a link of `capacity` (cells/s or any
+    /// consistent rate unit); the initial estimate is
+    /// `cfg.init_frac × capacity`.
+    pub fn new(cfg: MacrConfig, capacity: f64) -> Self {
+        cfg.validate().expect("invalid MACR configuration");
+        assert!(capacity > 0.0, "capacity must be positive");
+        MacrEstimator {
+            cfg,
+            macr: cfg.init_frac * capacity,
+            dev: 0.0,
+        }
+    }
+
+    /// Current estimate.
+    pub fn macr(&self) -> f64 {
+        self.macr
+    }
+
+    /// Current mean deviation of the residual.
+    pub fn dev(&self) -> f64 {
+        self.dev
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MacrConfig {
+        &self.cfg
+    }
+
+    /// Feed one interval's residual-bandwidth measurement (`residual` may
+    /// be negative in overload when measuring against arrivals).
+    /// `capacity` bounds the estimate from above.
+    pub fn update(&mut self, residual: f64, capacity: f64) {
+        let err = residual - self.macr;
+        let mut alpha = if err > 0.0 {
+            self.cfg.alpha_inc
+        } else {
+            self.cfg.alpha_dec
+        };
+        if self.cfg.adaptive && err.abs() <= self.dev {
+            alpha *= self.cfg.slow_scale;
+        }
+        // Stability normalization: cap the loop gain (see MacrConfig docs).
+        let cap = self.cfg.norm_gain * self.macr / capacity;
+        if alpha > cap {
+            alpha = cap;
+        }
+        self.dev += self.cfg.dev_gain * (err.abs() - self.dev);
+        self.macr += alpha * err;
+        let floor = self.cfg.min_frac * capacity;
+        self.macr = self.macr.clamp(floor, capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResidualMode;
+
+    fn est() -> MacrEstimator {
+        MacrEstimator::new(MacrConfig::default(), 1000.0)
+    }
+
+    #[test]
+    fn starts_at_init_fraction() {
+        let e = est();
+        assert!((e.macr() - 20.0).abs() < 1e-12); // 0.02 * 1000
+        assert_eq!(e.dev(), 0.0);
+    }
+
+    #[test]
+    fn converges_to_constant_residual() {
+        let mut e = est();
+        for _ in 0..2000 {
+            e.update(200.0, 1000.0);
+        }
+        assert!(
+            (e.macr() - 200.0).abs() < 1.0,
+            "MACR should track the residual, got {}",
+            e.macr()
+        );
+    }
+
+    #[test]
+    fn decrease_is_faster_than_increase() {
+        // Feed a step up and a step down of equal size; the step down must
+        // close more ground per update (alpha_dec > alpha_inc), once MACR
+        // is large enough for the normalization cap not to bind.
+        let cfg = MacrConfig {
+            adaptive: false,
+            norm_gain: f64::INFINITY,
+            ..MacrConfig::default()
+        };
+        let mut up = MacrEstimator::new(cfg, 1000.0);
+        // settle at 500 first
+        for _ in 0..3000 {
+            up.update(500.0, 1000.0);
+        }
+        let mut down = up;
+        up.update(600.0, 1000.0);
+        down.update(400.0, 1000.0);
+        let up_move = up.macr() - 500.0;
+        let down_move = 500.0 - down.macr();
+        assert!(
+            down_move > up_move * 2.0,
+            "down {down_move} should outpace up {up_move}"
+        );
+    }
+
+    #[test]
+    fn negative_residual_pulls_estimate_to_floor() {
+        let mut e = est();
+        for _ in 0..500 {
+            e.update(-500.0, 1000.0);
+        }
+        assert!((e.macr() - 1.0).abs() < 1e-9, "floor = min_frac * capacity");
+    }
+
+    #[test]
+    fn estimate_never_exceeds_capacity() {
+        let mut e = est();
+        for _ in 0..5000 {
+            e.update(10_000.0, 1000.0); // absurdly large residual
+        }
+        assert!(e.macr() <= 1000.0);
+    }
+
+    #[test]
+    fn adaptive_damping_reduces_steady_state_wobble() {
+        // Alternate residual between 190 and 210 around a 200 mean.
+        let run = |adaptive: bool| {
+            let cfg = MacrConfig {
+                adaptive,
+                ..MacrConfig::default()
+            };
+            let mut e = MacrEstimator::new(cfg, 1000.0);
+            for _ in 0..3000 {
+                e.update(200.0, 1000.0);
+            }
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for i in 0..2000 {
+                let r = if i % 2 == 0 { 190.0 } else { 210.0 };
+                e.update(r, 1000.0);
+                if i > 500 {
+                    lo = lo.min(e.macr());
+                    hi = hi.max(e.macr());
+                }
+            }
+            hi - lo
+        };
+        let wobble_adaptive = run(true);
+        let wobble_fixed = run(false);
+        assert!(
+            wobble_adaptive < wobble_fixed,
+            "adaptive {wobble_adaptive} vs fixed {wobble_fixed}"
+        );
+    }
+
+    #[test]
+    fn normalization_caps_gain_when_estimate_is_small() {
+        // With MACR near the floor a huge error must not overshoot:
+        // one update moves at most norm_gain * macr.
+        let mut e = est(); // macr = 20
+        let before = e.macr();
+        e.update(1000.0, 1000.0);
+        let moved = e.macr() - before;
+        assert!(moved <= 0.5 * before * (1000.0 - before) / before + 1e-9);
+        // concretely: alpha <= 0.5*20/1000 = 0.01, err = 980 -> move <= 9.8
+        assert!(moved <= 9.8 + 1e-9);
+    }
+
+    #[test]
+    fn constant_space_a_few_machine_words() {
+        // The paper's headline taxonomy: Phantom is O(1) per port.
+        assert!(
+            std::mem::size_of::<MacrEstimator>() <= 128,
+            "estimator grew beyond constant-space credibility: {} bytes",
+            std::mem::size_of::<MacrEstimator>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MACR configuration")]
+    fn invalid_config_is_rejected() {
+        let cfg = MacrConfig {
+            alpha_inc: 0.0,
+            ..MacrConfig::default()
+        };
+        let _ = MacrEstimator::new(cfg, 1.0);
+    }
+
+    #[test]
+    fn departures_mode_is_just_a_tag() {
+        // ResidualMode is consumed by the allocator, not the estimator;
+        // make sure the config carries it through.
+        let cfg = MacrConfig {
+            residual: ResidualMode::Departures,
+            ..MacrConfig::default()
+        };
+        let e = MacrEstimator::new(cfg, 10.0);
+        assert_eq!(e.config().residual, ResidualMode::Departures);
+    }
+}

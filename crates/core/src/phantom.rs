@@ -1,0 +1,191 @@
+//! The Phantom rate allocator (explicit-rate mode).
+//!
+//! Plugs the [`MacrEstimator`] into a switch output port: every
+//! measurement interval it feeds the estimator the measured residual
+//! bandwidth, and every backward RM cell is stamped with
+//! `ER := min(ER, u × MACR)`.
+
+use crate::config::{PhantomConfig, ResidualMode};
+use crate::macr::MacrEstimator;
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+
+/// Phantom in explicit-rate mode — the paper's primary mechanism.
+#[derive(Clone, Copy, Debug)]
+pub struct PhantomAllocator {
+    cfg: PhantomConfig,
+    est: Option<MacrEstimator>,
+    capacity: f64,
+}
+
+impl PhantomAllocator {
+    /// An allocator with the given configuration. The estimator
+    /// initializes lazily on the first measurement interval, when the
+    /// port's capacity is first observed.
+    pub fn new(cfg: PhantomConfig) -> Self {
+        cfg.validate().expect("invalid Phantom configuration");
+        PhantomAllocator {
+            cfg,
+            est: None,
+            capacity: 0.0,
+        }
+    }
+
+    /// The paper's default configuration (u = 5).
+    pub fn paper() -> Self {
+        Self::new(PhantomConfig::paper())
+    }
+
+    /// Current MACR (0 before the first interval).
+    pub fn macr(&self) -> f64 {
+        self.est.map(|e| e.macr()).unwrap_or(0.0)
+    }
+
+    /// The configured utilization factor.
+    pub fn utilization_factor(&self) -> f64 {
+        self.cfg.utilization_factor
+    }
+
+    /// The rate limit currently offered to sessions (`u × MACR`).
+    /// Infinity before the first measurement interval, so sessions are
+    /// not spuriously throttled at startup.
+    pub fn allowed_rate(&self) -> f64 {
+        match &self.est {
+            Some(e) => self.cfg.utilization_factor * e.macr(),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl RateAllocator for PhantomAllocator {
+    fn on_interval(&mut self, m: &PortMeasurement) {
+        self.capacity = m.capacity;
+        let est = self
+            .est
+            .get_or_insert_with(|| MacrEstimator::new(self.cfg.macr, m.capacity));
+        let used = match self.cfg.macr.residual {
+            ResidualMode::Arrivals => m.arrival_rate(),
+            ResidualMode::Departures => m.departure_rate(),
+        };
+        let residual = m.capacity - used;
+        est.update(residual, m.capacity);
+    }
+
+    fn forward_rm(&mut self, _vc: VcId, _rm: &mut RmCell, _queue: usize) {
+        // Phantom reads nothing from forward RM cells: its measurement is
+        // the aggregate arrival counter. (This is what makes it immune to
+        // the CCR-averaging pathologies of EPRCA.)
+    }
+
+    fn backward_rm(&mut self, _vc: VcId, rm: &mut RmCell, _queue: usize) {
+        let limit = self.allowed_rate();
+        if limit.is_finite() {
+            rm.limit_er(limit);
+        }
+    }
+
+    fn fair_share(&self) -> f64 {
+        self.macr()
+    }
+
+    fn name(&self) -> &'static str {
+        "phantom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(arrivals: u64, capacity: f64, dt: f64) -> PortMeasurement {
+        PortMeasurement {
+            dt,
+            arrivals,
+            departures: arrivals,
+            queue: 0,
+            capacity,
+        }
+    }
+
+    #[test]
+    fn lazily_initializes_and_tracks_residual() {
+        let mut a = PhantomAllocator::paper();
+        assert_eq!(a.macr(), 0.0);
+        assert_eq!(a.allowed_rate(), f64::INFINITY);
+        // 1000 cells/s capacity, 800 arriving -> residual 200
+        for _ in 0..3000 {
+            a.on_interval(&meas(8, 1000.0, 0.01));
+        }
+        assert!((a.macr() - 200.0).abs() < 2.0, "macr={}", a.macr());
+        assert!((a.allowed_rate() - 1000.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn stamps_er_with_u_times_macr() {
+        let mut a = PhantomAllocator::paper();
+        for _ in 0..3000 {
+            a.on_interval(&meas(8, 1000.0, 0.01));
+        }
+        let mut rm = RmCell::forward(500.0, 10_000.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 0);
+        assert!((rm.er - 5.0 * a.macr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn does_not_stamp_before_first_interval() {
+        let mut a = PhantomAllocator::paper();
+        let mut rm = RmCell::forward(500.0, 10_000.0).turned_around();
+        a.backward_rm(VcId(0), &mut rm, 0);
+        assert_eq!(rm.er, 10_000.0, "ER must be untouched before init");
+    }
+
+    #[test]
+    fn fixed_point_with_closed_loop_sources() {
+        // Emulate n greedy sessions that obey ER exactly with one interval
+        // of delay: arrivals_k = n * min(u*MACR_{k-1}, a lot).
+        let n = 2.0;
+        let c = 100_000.0;
+        let dt = 0.001;
+        let mut a = PhantomAllocator::paper();
+        let mut offered: f64 = 100.0; // cells/s aggregate
+        for _ in 0..20_000 {
+            let arrivals = (offered * dt).round() as u64;
+            a.on_interval(&meas(arrivals, c, dt));
+            offered = n * a.allowed_rate().min(c);
+        }
+        let expected_macr = c / (1.0 + n * 5.0);
+        assert!(
+            (a.macr() - expected_macr).abs() < 0.05 * expected_macr,
+            "macr {} vs predicted {}",
+            a.macr(),
+            expected_macr
+        );
+    }
+
+    #[test]
+    fn forward_rm_is_ignored() {
+        let mut a = PhantomAllocator::paper();
+        a.on_interval(&meas(0, 1000.0, 0.01));
+        let before = a.macr();
+        let mut rm = RmCell::forward(999.0, 1.0);
+        for _ in 0..100 {
+            a.forward_rm(VcId(0), &mut rm, 500);
+        }
+        assert_eq!(a.macr(), before);
+        assert_eq!(rm.er, 1.0);
+    }
+
+    #[test]
+    fn constant_space_guarantee() {
+        assert!(
+            std::mem::size_of::<PhantomAllocator>() <= 256,
+            "allocator state must be O(1): {} bytes",
+            std::mem::size_of::<PhantomAllocator>()
+        );
+    }
+
+    #[test]
+    fn name_is_phantom() {
+        assert_eq!(PhantomAllocator::paper().name(), "phantom");
+    }
+}

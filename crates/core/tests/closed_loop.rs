@@ -1,0 +1,178 @@
+//! Closed-loop tests: Phantom driving real TM 4.0 sources over the ATM
+//! substrate. These pin the paper's headline claims at small scale before
+//! the full scenario suite builds on them.
+
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::source::AbrSource;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_atm::{AtmMsg, NetworkBuilder, Traffic};
+use phantom_core::fixed_point::{single_link_macr, single_link_rate};
+use phantom_core::{PhantomAllocator, PhantomConfig, PhantomNi};
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+fn phantom_net(
+    n_sessions: usize,
+    seed: u64,
+) -> (Engine<AtmMsg>, phantom_atm::Network) {
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    for _ in 0..n_sessions {
+        b.session(&[s1, s2], Traffic::greedy());
+    }
+    let mut engine = Engine::new(seed);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::paper()));
+    (engine, net)
+}
+
+#[test]
+fn two_sessions_converge_to_the_phantom_fixed_point() {
+    let (mut engine, net) = phantom_net(2, 1);
+    engine.run_until(SimTime::from_millis(500));
+    let c = mbps_to_cps(150.0);
+    let macr_pred = single_link_macr(c, 2, 5.0);
+    let rate_pred = single_link_rate(c, 2, 5.0);
+
+    let macr = net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.3);
+    assert!(
+        (macr - macr_pred).abs() < 0.1 * macr_pred,
+        "MACR {:.1} vs predicted {:.1} ({} vs {} Mb/s)",
+        macr,
+        macr_pred,
+        cps_to_mbps(macr),
+        cps_to_mbps(macr_pred)
+    );
+    for s in 0..2 {
+        let acr = engine.node::<AbrSource>(net.sessions[s].source).acr();
+        assert!(
+            (acr - rate_pred).abs() < 0.1 * rate_pred,
+            "session {s} ACR {:.1} Mb/s vs predicted {:.1} Mb/s",
+            cps_to_mbps(acr),
+            cps_to_mbps(rate_pred)
+        );
+    }
+}
+
+#[test]
+fn convergence_is_fast_tens_of_milliseconds() {
+    let (mut engine, net) = phantom_net(2, 2);
+    engine.run_until(SimTime::from_millis(500));
+    let c = mbps_to_cps(150.0);
+    let macr_pred = single_link_macr(c, 2, 5.0);
+    let t = phantom_metrics::convergence_time(
+        net.trunk_macr(&engine, TrunkIdx(0)),
+        macr_pred,
+        0.15,
+    )
+    .expect("MACR never converged");
+    assert!(
+        t < 0.150,
+        "paper claims fast convergence; measured {:.1} ms",
+        t * 1e3
+    );
+}
+
+#[test]
+fn queue_stays_moderate() {
+    let (mut engine, net) = phantom_net(2, 3);
+    engine.run_until(SimTime::from_millis(500));
+    let port = net.trunk_port(&engine, TrunkIdx(0));
+    assert_eq!(port.drops(), 0, "phantom should not overflow a 16k buffer");
+    assert!(
+        port.queue_high_water() < 2000,
+        "transient queue too large: {} cells",
+        port.queue_high_water()
+    );
+    // steady state: queue drains (equilibrium utilization < 1)
+    let tail_q = net.trunk_queue(&engine, TrunkIdx(0)).mean_after(0.3);
+    assert!(tail_q < 100.0, "standing queue: {tail_q} cells");
+}
+
+#[test]
+fn utilization_matches_n_u_over_1_plus_n_u() {
+    for (n, seed) in [(1usize, 10u64), (2, 11), (5, 12)] {
+        let (mut engine, net) = phantom_net(n, seed);
+        engine.run_until(SimTime::from_millis(600));
+        let tp = net.trunk_throughput(&engine, TrunkIdx(0)).mean_after(0.4);
+        let util = tp / mbps_to_cps(150.0);
+        let pred = phantom_core::fixed_point::single_link_utilization(n, 5.0);
+        assert!(
+            (util - pred).abs() < 0.06,
+            "n={n}: utilization {util:.3} vs predicted {pred:.3}"
+        );
+    }
+}
+
+#[test]
+fn allocation_is_fair_across_ten_sessions() {
+    let (mut engine, net) = phantom_net(10, 4);
+    engine.run_until(SimTime::from_millis(800));
+    let rates: Vec<f64> = (0..10)
+        .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+        .collect();
+    let jain = phantom_metrics::jain_index(&rates);
+    assert!(jain > 0.99, "Jain index {jain:.4} for rates {rates:?}");
+}
+
+#[test]
+fn late_joiner_squeezes_the_allocation_down() {
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    b.session(&[s1, s2], Traffic::greedy());
+    b.session(
+        &[s1, s2],
+        Traffic::window(SimTime::from_millis(300), SimTime::MAX),
+    );
+    let mut engine = Engine::new(5);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::paper()));
+    let c = mbps_to_cps(150.0);
+
+    engine.run_until(SimTime::from_millis(290));
+    let macr_alone = net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.2);
+    let pred_alone = single_link_macr(c, 1, 5.0);
+    assert!((macr_alone - pred_alone).abs() < 0.1 * pred_alone);
+
+    engine.run_until(SimTime::from_millis(800));
+    let macr_both = net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.6);
+    let pred_both = single_link_macr(c, 2, 5.0);
+    assert!(
+        (macr_both - pred_both).abs() < 0.1 * pred_both,
+        "after join: MACR {macr_both:.0} vs {pred_both:.0}"
+    );
+    // and the first session actually gave up bandwidth
+    let s0_late = net.session_acr(&engine, 0).mean_after(0.6);
+    assert!(s0_late < 0.8 * 5.0 * macr_alone);
+}
+
+#[test]
+fn ni_mode_also_controls_the_link_but_coarser() {
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    for _ in 0..2 {
+        b.session(&[s1, s2], Traffic::greedy());
+    }
+    let mut engine = Engine::new(6);
+    let net = b.build(&mut engine, &mut || {
+        Box::new(PhantomNi::new(PhantomConfig::paper(), 300))
+    });
+    engine.run_until(SimTime::from_millis(800));
+    let port = net.trunk_port(&engine, TrunkIdx(0));
+    // binary feedback must still keep the system out of overload collapse
+    assert_eq!(port.drops(), 0, "NI mode dropped cells");
+    let tp = net.trunk_throughput(&engine, TrunkIdx(0)).mean_after(0.5);
+    let util = tp / mbps_to_cps(150.0);
+    assert!(util > 0.5, "NI-mode utilization collapsed: {util:.2}");
+    // rates stay bounded: the queue cannot be growing without bound
+    let q_tail = net.trunk_queue(&engine, TrunkIdx(0)).mean_after(0.5);
+    assert!(q_tail < 5000.0, "NI-mode queue runaway: {q_tail} cells");
+    // fairness is preserved (both sessions get NI'd symmetrically)
+    let r0 = net.session_rate(&engine, 0).mean_after(0.5);
+    let r1 = net.session_rate(&engine, 1).mean_after(0.5);
+    let jain = phantom_metrics::jain_index(&[r0, r1]);
+    assert!(jain > 0.95, "NI-mode unfair: {r0} vs {r1}");
+}

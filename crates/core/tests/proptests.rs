@@ -1,0 +1,112 @@
+//! Property-based tests of the Phantom estimator and allocator.
+
+use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::cell::{RmCell, VcId};
+use phantom_core::{MacrConfig, MacrEstimator, PhantomAllocator, PhantomConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = MacrConfig> {
+    (
+        0.01f64..1.0,  // alpha_inc
+        0.01f64..1.0,  // alpha_dec
+        0.05f64..1.0,  // dev_gain
+        any::<bool>(), // adaptive
+        0.05f64..1.0,  // slow_scale
+        prop_oneof![Just(f64::INFINITY), 0.1f64..2.0], // norm_gain
+        1e-4f64..0.2,  // min_frac
+        1e-3f64..1.0,  // init_frac
+    )
+        .prop_map(
+            |(alpha_inc, alpha_dec, dev_gain, adaptive, slow_scale, norm_gain, min_frac, init_frac)| {
+                MacrConfig {
+                    alpha_inc,
+                    alpha_dec,
+                    dev_gain,
+                    adaptive,
+                    slow_scale,
+                    norm_gain,
+                    residual: phantom_core::ResidualMode::Arrivals,
+                    min_frac,
+                    init_frac,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The estimate always stays within [floor, capacity], whatever the
+    /// residual sequence — including absurd negatives and positives.
+    #[test]
+    fn estimator_bounded(
+        cfg in arb_config(),
+        capacity in 1.0f64..1e7,
+        residuals in proptest::collection::vec(-1e9f64..1e9, 1..500),
+    ) {
+        let mut e = MacrEstimator::new(cfg, capacity);
+        for &r in &residuals {
+            e.update(r, capacity);
+            prop_assert!(e.macr() >= cfg.min_frac * capacity - 1e-9);
+            prop_assert!(e.macr() <= capacity + 1e-9);
+            prop_assert!(e.dev() >= 0.0);
+            prop_assert!(e.macr().is_finite() && e.dev().is_finite());
+        }
+    }
+
+    /// Fed a constant residual long enough, the estimate lands within a
+    /// few percent of it (when the residual is inside the clamp range
+    /// and comfortably above the floor).
+    #[test]
+    fn estimator_converges_to_constant(
+        cfg in arb_config(),
+        capacity in 100.0f64..1e6,
+        frac in 0.25f64..0.9,
+    ) {
+        let target = frac * capacity;
+        prop_assume!(target > 2.0 * cfg.min_frac * capacity);
+        let mut e = MacrEstimator::new(cfg, capacity);
+        for _ in 0..30_000 {
+            e.update(target, capacity);
+        }
+        prop_assert!(
+            (e.macr() - target).abs() < 0.05 * target,
+            "macr {} vs target {target}",
+            e.macr()
+        );
+    }
+
+    /// The allocator never *raises* the ER field of an RM cell, and the
+    /// stamped value is exactly min(er, u × MACR).
+    #[test]
+    fn er_stamp_is_monotone_decreasing(
+        er0 in 1.0f64..1e7,
+        arrivals in proptest::collection::vec(0u64..2000, 1..200),
+    ) {
+        let mut a = PhantomAllocator::paper();
+        for &n in &arrivals {
+            a.on_interval(&PortMeasurement {
+                dt: 0.001,
+                arrivals: n,
+                departures: n,
+                queue: 0,
+                capacity: 353_773.6,
+            });
+            let mut rm = RmCell::forward(1000.0, er0).turned_around();
+            let before = rm.er;
+            a.backward_rm(VcId(0), &mut rm, 0);
+            prop_assert!(rm.er <= before);
+            let expect = before.min(5.0 * a.macr());
+            prop_assert!((rm.er - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Validation accepts everything `arb_config` generates (i.e. the
+    /// constructor never panics on parameters within documented ranges).
+    #[test]
+    fn valid_configs_construct(cfg in arb_config(), cap in 1.0f64..1e9) {
+        let _ = MacrEstimator::new(cfg, cap);
+        let _ = PhantomAllocator::new(PhantomConfig {
+            macr: cfg,
+            utilization_factor: 5.0,
+        });
+    }
+}

@@ -1,0 +1,150 @@
+//! Convergence-time detection and steady-state oscillation measurement.
+//!
+//! The paper's headline comparison ("Phantom converges fast … CAPC has
+//! longer convergence time") needs a precise, algorithm-neutral definition.
+//! We use: the earliest time `t*` such that the trace stays within a
+//! relative tolerance band around the target for *all* later samples.
+
+use phantom_sim::stats::TimeSeries;
+
+/// Earliest time (seconds) after which the trace stays within
+/// `tol × target` of `target` forever. `None` if the trace never settles
+/// (or is empty / target is zero and trace is not).
+pub fn convergence_time(ts: &TimeSeries, target: f64, tol: f64) -> Option<f64> {
+    assert!(tol > 0.0, "tolerance must be positive");
+    if ts.is_empty() {
+        return None;
+    }
+    let band = tol * target.abs().max(f64::MIN_POSITIVE);
+    // Scan backwards for the last out-of-band sample.
+    let mut last_bad: Option<usize> = None;
+    for i in (0..ts.len()).rev() {
+        if (ts.values()[i] - target).abs() > band {
+            last_bad = Some(i);
+            break;
+        }
+    }
+    match last_bad {
+        None => Some(ts.times()[0]), // inside the band from the start
+        Some(i) if i + 1 < ts.len() => Some(ts.times()[i + 1]),
+        Some(_) => None, // the final sample is still out of band
+    }
+}
+
+/// Convergence time of a *set* of traces toward per-trace targets: the
+/// latest individual convergence time, or `None` if any trace fails.
+pub fn joint_convergence_time(
+    traces: &[(&TimeSeries, f64)],
+    tol: f64,
+) -> Option<f64> {
+    let mut worst = 0.0f64;
+    for (ts, target) in traces {
+        worst = worst.max(convergence_time(ts, *target, tol)?);
+    }
+    Some(worst)
+}
+
+/// Peak-to-peak amplitude of the trace after time `from` (seconds) —
+/// the steady-state oscillation the paper's MACR plots show.
+pub fn oscillation_amplitude(ts: &TimeSeries, from: f64) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (t, v) in ts.iter() {
+        if t >= from {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if hi < lo {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_sim::SimTime;
+
+    fn ramp_then_flat() -> TimeSeries {
+        // climbs 0..100 over 10 samples, then flat at 100
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(SimTime::from_millis(i), i as f64 * 10.0);
+        }
+        for i in 10..20 {
+            ts.push(SimTime::from_millis(i), 100.0);
+        }
+        ts
+    }
+
+    #[test]
+    fn detects_settling_point() {
+        let ts = ramp_then_flat();
+        // within 5% of 100 from the 96-sample on; first in-band sample is
+        // v=100 at t=10ms (v=90 at 9ms is exactly on the 10% edge).
+        let t = convergence_time(&ts, 100.0, 0.05).unwrap();
+        assert!((t - 0.010).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn tolerance_widens_the_band() {
+        let ts = ramp_then_flat();
+        let tight = convergence_time(&ts, 100.0, 0.01).unwrap();
+        let loose = convergence_time(&ts, 100.0, 0.25).unwrap();
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn never_converges_when_tail_out_of_band() {
+        let mut ts = ramp_then_flat();
+        ts.push(SimTime::from_millis(30), 0.0); // final excursion
+        assert_eq!(convergence_time(&ts, 100.0, 0.05), None);
+    }
+
+    #[test]
+    fn immediate_convergence_reports_first_sample_time() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(5), 100.0);
+        ts.push(SimTime::from_millis(6), 101.0);
+        let t = convergence_time(&ts, 100.0, 0.05).unwrap();
+        assert!((t - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_has_no_convergence() {
+        assert_eq!(convergence_time(&TimeSeries::new(), 1.0, 0.1), None);
+    }
+
+    #[test]
+    fn joint_convergence_takes_the_worst() {
+        let fast = {
+            let mut ts = TimeSeries::new();
+            ts.push(SimTime::from_millis(1), 10.0);
+            ts.push(SimTime::from_millis(2), 10.0);
+            ts
+        };
+        let slow = ramp_then_flat();
+        let t = joint_convergence_time(&[(&fast, 10.0), (&slow, 100.0)], 0.05).unwrap();
+        assert!((t - 0.010).abs() < 1e-9);
+        // one diverging trace poisons the joint result
+        let mut bad = TimeSeries::new();
+        bad.push(SimTime::from_millis(1), 0.0);
+        assert_eq!(
+            joint_convergence_time(&[(&fast, 10.0), (&bad, 100.0)], 0.05),
+            None
+        );
+    }
+
+    #[test]
+    fn oscillation_peak_to_peak() {
+        let mut ts = TimeSeries::new();
+        for i in 0..100u64 {
+            let v = 50.0 + if i % 2 == 0 { 5.0 } else { -5.0 };
+            ts.push(SimTime::from_millis(i), v);
+        }
+        assert_eq!(oscillation_amplitude(&ts, 0.0), 10.0);
+        assert_eq!(oscillation_amplitude(&ts, 1.0), 0.0); // nothing after 1s
+    }
+}

@@ -1,0 +1,432 @@
+//! Fairness measures and reference allocations.
+//!
+//! The paper's fairness yardstick is max-min fairness \[BG87\]: an allocation
+//! is max-min fair if no session's rate can be increased without decreasing
+//! the rate of a session with an equal or smaller rate. We implement the
+//! classic water-filling algorithm (and a weighted generalization) to
+//! compute the reference allocation for any topology, plus Jain's fairness
+//! index to score measured allocations, and the *phantom prediction* — the
+//! fixed point the Phantom algorithm converges to, where every link carries
+//! one extra imaginary session.
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 is perfectly
+/// fair. Empty or all-zero inputs score 0.
+///
+/// ```
+/// assert_eq!(phantom_metrics::jain_index(&[5.0, 5.0]), 1.0);
+/// assert_eq!(phantom_metrics::jain_index(&[1.0, 0.0]), 0.5);
+/// ```
+pub fn jain_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (rates.len() as f64 * sq)
+}
+
+/// Jain's index of the ratios `measured[i] / reference[i]` — fairness with
+/// respect to a (possibly unequal) reference such as weighted max-min.
+/// Reference entries of 0 are skipped.
+pub fn normalized_jain_index(measured: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(measured.len(), reference.len());
+    let ratios: Vec<f64> = measured
+        .iter()
+        .zip(reference)
+        .filter(|&(_, &r)| r > 0.0)
+        .map(|(&m, &r)| m / r)
+        .collect();
+    jain_index(&ratios)
+}
+
+/// One session in a max-min computation: the links it crosses and its
+/// weight (1.0 for plain max-min).
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Indices into the capacity vector of every link the session crosses.
+    pub path: Vec<usize>,
+    /// Relative weight; at a shared bottleneck rates are proportional to
+    /// weights.
+    pub weight: f64,
+    /// Optional externally imposed rate cap (e.g. the session's PCR or an
+    /// upstream restriction). `f64::INFINITY` when uncapped.
+    pub cap: f64,
+    /// Guaranteed minimum rate (TM 4.0 MCR); allocated before the fair
+    /// sharing starts. 0 when unguaranteed. The caller must ensure the
+    /// floors are feasible (per-link floor sums within capacity).
+    pub floor: f64,
+}
+
+impl Session {
+    /// An unweighted, uncapped session over `path`.
+    pub fn on(path: Vec<usize>) -> Self {
+        Session {
+            path,
+            weight: 1.0,
+            cap: f64::INFINITY,
+            floor: 0.0,
+        }
+    }
+
+    /// Set the weight.
+    pub fn weight(mut self, w: f64) -> Self {
+        self.weight = w;
+        self
+    }
+
+    /// Set the rate cap.
+    pub fn cap(mut self, c: f64) -> Self {
+        self.cap = c;
+        self
+    }
+
+    /// Set the guaranteed minimum rate.
+    pub fn floor(mut self, f: f64) -> Self {
+        assert!(f >= 0.0);
+        self.floor = f;
+        self
+    }
+}
+
+/// Weighted max-min fair allocation by progressive filling.
+///
+/// Returns one rate per session. Repeatedly finds the link (or session cap)
+/// that saturates first when all unfrozen sessions grow in proportion to
+/// their weights, freezes the affected sessions, and continues until every
+/// session is frozen.
+///
+/// # Panics
+/// Panics if a session references a link index out of range, a capacity is
+/// negative, or a weight is non-positive.
+pub fn weighted_max_min(capacities: &[f64], sessions: &[Session]) -> Vec<f64> {
+    for c in capacities {
+        assert!(*c >= 0.0, "negative link capacity");
+    }
+    for s in sessions {
+        assert!(s.weight > 0.0, "session weight must be positive");
+        for &l in &s.path {
+            assert!(l < capacities.len(), "session path references unknown link");
+        }
+    }
+
+    let n = sessions.len();
+    // Floors (MCR guarantees) are allocated up front; fair sharing then
+    // grows every session from its floor.
+    let mut rate: Vec<f64> = sessions.iter().map(|s| s.floor).collect();
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    for (s, &r) in sessions.iter().zip(&rate) {
+        assert!(
+            s.cap >= s.floor,
+            "session cap below its guaranteed floor"
+        );
+        for &l in &s.path {
+            remaining[l] -= r;
+            assert!(
+                remaining[l] >= -1e-9 * capacities[l].max(1.0),
+                "infeasible floors: link {l} over-committed"
+            );
+        }
+    }
+
+    loop {
+        // Weight of unfrozen sessions per link.
+        let mut link_weight = vec![0.0f64; capacities.len()];
+        for (i, s) in sessions.iter().enumerate() {
+            if !frozen[i] {
+                for &l in &s.path {
+                    link_weight[l] += s.weight;
+                }
+            }
+        }
+
+        // The per-weight-unit increment at which the first constraint binds.
+        // Constraints: each link with unfrozen sessions (remaining / weight),
+        // each unfrozen session's cap ((cap - rate) / weight).
+        let mut min_share = f64::INFINITY;
+        for (l, &w) in link_weight.iter().enumerate() {
+            if w > 0.0 {
+                min_share = min_share.min(remaining[l].max(0.0) / w);
+            }
+        }
+        for (i, s) in sessions.iter().enumerate() {
+            if !frozen[i] && s.cap.is_finite() {
+                min_share = min_share.min((s.cap - rate[i]).max(0.0) / s.weight);
+            }
+        }
+        if !min_share.is_finite() {
+            break; // no unfrozen sessions left
+        }
+
+        // Grow all unfrozen sessions by weight * min_share.
+        for (i, s) in sessions.iter().enumerate() {
+            if !frozen[i] {
+                let inc = s.weight * min_share;
+                rate[i] += inc;
+                for &l in &s.path {
+                    remaining[l] -= inc;
+                }
+            }
+        }
+
+        // Freeze sessions on saturated links or at their caps.
+        let eps = 1e-9;
+        let mut any_frozen = false;
+        for (i, s) in sessions.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let at_cap = s.cap.is_finite() && rate[i] >= s.cap - eps;
+            let at_link = s
+                .path
+                .iter()
+                .any(|&l| remaining[l] <= eps * capacities[l].max(1.0));
+            if at_cap || at_link {
+                frozen[i] = true;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            // min_share == 0 with nothing newly frozen can only happen when
+            // every remaining session sits on a zero-capacity link; freeze
+            // them all to terminate.
+            for (i, f) in frozen.iter_mut().enumerate() {
+                if !*f && rate[i] == 0.0 {
+                    *f = true;
+                }
+            }
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    rate
+}
+
+/// Plain (unweighted, uncapped) max-min fair allocation.
+pub fn max_min_fair(capacities: &[f64], paths: &[Vec<usize>]) -> Vec<f64> {
+    let sessions: Vec<Session> = paths.iter().cloned().map(Session::on).collect();
+    weighted_max_min(capacities, &sessions)
+}
+
+/// The Phantom fixed point for a topology.
+///
+/// Phantom behaves as if every link carried one extra imaginary session of
+/// weight `1/u` relative to real sessions (`u` = utilization factor).
+/// Equivalently: give every real session weight `u`, add a single-link
+/// phantom session of weight 1 per link, and compute weighted max-min.
+///
+/// Returns `(session_rates, link_macr)` where `link_macr[l]` is the rate of
+/// link `l`'s phantom session — the value the link's MACR variable should
+/// converge to. For a single link of capacity `C` with `n` greedy sessions
+/// this gives `MACR = C/(1+n·u)` and `rate = u·C/(1+n·u)`.
+///
+/// ```
+/// use phantom_metrics::fairness::{phantom_prediction, Session};
+///
+/// let sessions = vec![Session::on(vec![0]), Session::on(vec![0])];
+/// let (rates, macr) = phantom_prediction(&[150.0], &sessions, 5.0);
+/// assert!((macr[0] - 150.0 / 11.0).abs() < 1e-9);
+/// assert!((rates[0] - 5.0 * 150.0 / 11.0).abs() < 1e-9);
+/// ```
+pub fn phantom_prediction(
+    capacities: &[f64],
+    sessions: &[Session],
+    utilization_factor: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(utilization_factor > 0.0);
+    let n = sessions.len();
+    let mut all: Vec<Session> = sessions
+        .iter()
+        .map(|s| Session {
+            path: s.path.clone(),
+            weight: s.weight * utilization_factor,
+            cap: s.cap,
+            floor: s.floor,
+        })
+        .collect();
+    for l in 0..capacities.len() {
+        all.push(Session::on(vec![l])); // phantom session, weight 1, uncapped
+    }
+    let rates = weighted_max_min(capacities, &all);
+    let (real, phantom) = rates.split_at(n);
+    (real.to_vec(), phantom.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+        assert!(close(jain_index(&[5.0, 5.0, 5.0]), 1.0));
+        // one session hogging everything among n -> 1/n
+        assert!(close(jain_index(&[1.0, 0.0, 0.0, 0.0]), 0.25));
+    }
+
+    #[test]
+    fn jain_index_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!(close(a, b));
+    }
+
+    #[test]
+    fn normalized_jain_uses_reference() {
+        // measured exactly proportional to an unequal reference -> 1.0
+        let m = [2.0, 4.0];
+        let r = [1.0, 2.0];
+        assert!(close(normalized_jain_index(&m, &r), 1.0));
+    }
+
+    #[test]
+    fn single_link_equal_split() {
+        let rates = max_min_fair(&[150.0], &[vec![0], vec![0], vec![0]]);
+        for r in rates {
+            assert!(close(r, 50.0));
+        }
+    }
+
+    #[test]
+    fn parking_lot_classic() {
+        // Links: 0 and 1, both capacity 1. Session A crosses both; B on 0;
+        // C on 1. Max-min: everyone gets 1/2.
+        let rates = max_min_fair(&[1.0, 1.0], &[vec![0, 1], vec![0], vec![1]]);
+        assert!(close(rates[0], 0.5));
+        assert!(close(rates[1], 0.5));
+        assert!(close(rates[2], 0.5));
+    }
+
+    #[test]
+    fn bottleneck_leftover_goes_to_others() {
+        // Link 0 cap 1 shared by A and B; B also crosses link 1 of cap 0.2.
+        // B is limited to 0.2; A picks up the remaining 0.8.
+        let rates = max_min_fair(&[1.0, 0.2], &[vec![0], vec![0, 1]]);
+        assert!(close(rates[0], 0.8));
+        assert!(close(rates[1], 0.2));
+    }
+
+    #[test]
+    fn caps_behave_like_private_bottlenecks() {
+        let sessions = vec![
+            Session::on(vec![0]),
+            Session::on(vec![0]).cap(0.1),
+        ];
+        let rates = weighted_max_min(&[1.0], &sessions);
+        assert!(close(rates[1], 0.1));
+        assert!(close(rates[0], 0.9));
+    }
+
+    #[test]
+    fn weights_split_proportionally() {
+        let sessions = vec![
+            Session::on(vec![0]).weight(3.0),
+            Session::on(vec![0]).weight(1.0),
+        ];
+        let rates = weighted_max_min(&[8.0], &sessions);
+        assert!(close(rates[0], 6.0));
+        assert!(close(rates[1], 2.0));
+    }
+
+    #[test]
+    fn phantom_fixed_point_single_link() {
+        // n=2 sessions, u=5, C=150: MACR = 150/11, session = 5*150/11.
+        let sessions = vec![Session::on(vec![0]), Session::on(vec![0])];
+        let (rates, macr) = phantom_prediction(&[150.0], &sessions, 5.0);
+        assert!(close(macr[0], 150.0 / 11.0));
+        assert!(close(rates[0], 5.0 * 150.0 / 11.0));
+        assert!(close(rates[1], 5.0 * 150.0 / 11.0));
+        // utilization = sum(real)/C = 10/11
+        let util: f64 = rates.iter().sum::<f64>() / 150.0;
+        assert!(close(util, 10.0 / 11.0));
+    }
+
+    #[test]
+    fn phantom_fixed_point_respects_upstream_restriction() {
+        // Session B capped at C/30 upstream; A absorbs the leftover:
+        // link: A*u*m + B + m = C with A's share = u*MACR.
+        let sessions = vec![
+            Session::on(vec![0]),
+            Session::on(vec![0]).cap(5.0),
+        ];
+        let (rates, macr) = phantom_prediction(&[150.0], &sessions, 5.0);
+        assert!(close(rates[1], 5.0));
+        // remaining 145 split 5:1 between A and phantom
+        assert!(close(rates[0], 145.0 * 5.0 / 6.0));
+        assert!(close(macr[0], 145.0 / 6.0));
+    }
+
+    #[test]
+    fn floors_are_guaranteed_then_shared() {
+        // A guaranteed 0.6 on a unit link with one best-effort peer:
+        // the leftover 0.4 splits equally (0.2 each), so the guaranteed
+        // session ends at 0.8.
+        let sessions = vec![
+            Session::on(vec![0]).floor(0.6),
+            Session::on(vec![0]),
+        ];
+        let rates = weighted_max_min(&[1.0], &sessions);
+        assert!(close(rates[0], 0.8));
+        assert!(close(rates[1], 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible floors")]
+    fn over_committed_floors_panic() {
+        let sessions = vec![
+            Session::on(vec![0]).floor(0.7),
+            Session::on(vec![0]).floor(0.7),
+        ];
+        let _ = weighted_max_min(&[1.0], &sessions);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_min_fair(&[1.0], &[]).is_empty());
+        let (r, m) = phantom_prediction(&[10.0], &[], 5.0);
+        assert!(r.is_empty());
+        // with no real sessions the phantom eats the whole link
+        assert!(close(m[0], 10.0));
+    }
+
+    #[test]
+    fn zero_capacity_link_gives_zero_rates() {
+        let rates = max_min_fair(&[0.0], &[vec![0], vec![0]]);
+        assert_eq!(rates, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn three_link_chain_with_cross_traffic() {
+        // Chain of 3 links cap 1; long session over all; one cross session
+        // per link. Max-min: 0.5 everywhere.
+        let caps = [1.0, 1.0, 1.0];
+        let paths = vec![vec![0, 1, 2], vec![0], vec![1], vec![2]];
+        let rates = max_min_fair(&caps, &paths);
+        for r in &rates {
+            assert!(close(*r, 0.5));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_chain_water_fills() {
+        // Link caps 1.0 and 0.4; long session over both, cross on each.
+        // Bottleneck link 1: long and cross1 get 0.2 each; cross0 then gets
+        // 0.8 on link 0.
+        let rates = max_min_fair(&[1.0, 0.4], &[vec![0, 1], vec![0], vec![1]]);
+        assert!(close(rates[0], 0.2));
+        assert!(close(rates[1], 0.8));
+        assert!(close(rates[2], 0.2));
+    }
+}

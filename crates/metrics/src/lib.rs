@@ -1,0 +1,26 @@
+//! # phantom-metrics — fairness, convergence and reporting
+//!
+//! Everything the paper's evaluation measures, reusable across the ATM and
+//! TCP experiments:
+//!
+//! * [`fairness`] — Jain's fairness index and a (weighted) max-min
+//!   water-filling reference allocator, including the *phantom prediction*:
+//!   the fixed point the Phantom algorithm should converge to, obtained by
+//!   adding one imaginary session of weight `1/u` to every link.
+//! * [`convergence`] — convergence-time detection on rate traces and
+//!   steady-state oscillation measurement.
+//! * [`series`] — resampling and smoothing helpers for recorded traces.
+//! * [`report`] — structured experiment results and their ASCII/CSV
+//!   rendering, used by the `repro` binary to "print" each figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod fairness;
+pub mod report;
+pub mod series;
+
+pub use convergence::{convergence_time, oscillation_amplitude};
+pub use fairness::{jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min};
+pub use report::{aggregate_runs, ExperimentResult, Table};

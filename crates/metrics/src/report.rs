@@ -1,0 +1,465 @@
+//! Structured experiment results and their textual rendering.
+//!
+//! Every scenario runner returns an [`ExperimentResult`]: named traces
+//! (the lines of the paper's figure) plus scalar summary metrics. The
+//! `repro` binary renders results as ASCII — a metric block, a downsampled
+//! series table, and a coarse line chart — and can dump the raw traces to
+//! CSV for real plotting.
+
+use phantom_sim::stats::TimeSeries;
+use phantom_sim::trace::{downsample, write_long_csv};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// The outcome of one experiment (one paper figure).
+#[derive(Debug, Default)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. "fig9".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Named traces: the lines of the figure.
+    pub series: Vec<(String, TimeSeries)>,
+    /// Scalar summary metrics, e.g. ("convergence_time_ms", 23.0).
+    pub metrics: Vec<(String, f64)>,
+    /// Free-form notes (assumptions, expected shape).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// A new, empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Attach a trace.
+    pub fn add_series(&mut self, name: &str, ts: TimeSeries) {
+        self.series.push((name.to_string(), ts));
+    }
+
+    /// Attach a scalar metric.
+    pub fn add_metric(&mut self, name: &str, v: f64) {
+        self.metrics.push((name.to_string(), v));
+    }
+
+    /// Attach a note.
+    pub fn add_note(&mut self, s: &str) {
+        self.notes.push(s.to_string());
+    }
+
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a series by name.
+    pub fn get_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ts)| ts)
+    }
+
+    /// Render the result as a terminal-friendly report. `steps` controls
+    /// the downsampling of each trace (0 to omit the series table).
+    pub fn render(&self, steps: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   note: {n}");
+        }
+        let width = self
+            .metrics
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (n, v) in &self.metrics {
+            let _ = writeln!(out, "   {n:width$} = {v:.4}");
+        }
+        if steps > 0 {
+            for (name, ts) in &self.series {
+                let _ = writeln!(out, "   -- {name} ({} samples) --", ts.len());
+                let _ = writeln!(out, "{}", ascii_chart(ts, steps, 12));
+            }
+        }
+        out
+    }
+
+    /// Dump all traces to `dir/<id>.csv` in long format.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        let refs: Vec<(&str, &TimeSeries)> = self
+            .series
+            .iter()
+            .map(|(n, ts)| (n.as_str(), ts))
+            .collect();
+        write_long_csv(&dir.join(format!("{}.csv", self.id)), &refs)
+    }
+}
+
+/// Render a trace as a coarse ASCII line chart: `cols` time steps wide,
+/// `rows` value levels tall, with axis annotations.
+pub fn ascii_chart(ts: &TimeSeries, cols: usize, rows: usize) -> String {
+    let pts = downsample(ts, cols);
+    if pts.is_empty() || rows == 0 {
+        return String::from("      (no data)");
+    }
+    let vmin = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let vmax = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span = (vmax - vmin).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![b' '; pts.len()]; rows];
+    for (x, &(_, v)) in pts.iter().enumerate() {
+        let y = ((v - vmin) / span * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - y][x] = b'*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{vmax:10.2}")
+        } else if i == rows - 1 {
+            format!("{vmin:10.2}")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "   {label} |{}", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(
+        out,
+        "   {:10} +{}",
+        "",
+        "-".repeat(pts.len())
+    );
+    let _ = writeln!(
+        out,
+        "   {:10}  t: {:.4}s .. {:.4}s",
+        "",
+        pts[0].0,
+        pts.last().unwrap().0
+    );
+    out
+}
+
+/// A comparison table (for the paper-style algorithm comparisons).
+#[derive(Debug, Default)]
+pub struct Table {
+    /// Table id, e.g. "table1".
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub headers: Vec<String>,
+    /// Rows: label + one value per remaining header.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// A new table with the given headers.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn add_row(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(
+            values.len() + 1,
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push((label.to_string(), values));
+    }
+
+    /// Fetch a cell by row label and column header.
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        let ci = self.headers.iter().position(|h| h == col)?;
+        let (_, vals) = self.rows.iter().find(|(l, _)| l == row)?;
+        vals.get(ci - 1).copied()
+    }
+
+    /// Render as aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(self.headers[0].len()))
+            .max()
+            .unwrap_or(8);
+        let col_w = 14usize;
+        let _ = write!(out, "   {:label_w$}", self.headers[0]);
+        for h in &self.headers[1..] {
+            let _ = write!(out, " {h:>col_w$}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "   {label:label_w$}");
+            for v in vals {
+                let _ = write!(out, " {v:>col_w$.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Write the table as CSV to `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut body = self.headers.join(",");
+        body.push('\n');
+        for (label, vals) in &self.rows {
+            body.push_str(label);
+            for v in vals {
+                let _ = write!(body, ",{v}");
+            }
+            body.push('\n');
+        }
+        std::fs::write(dir.join(format!("{}.csv", self.id)), body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_sim::SimTime;
+
+    fn trace() -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for i in 0..50u64 {
+            ts.push(SimTime::from_millis(i), (i as f64 / 5.0).sin() * 10.0 + 20.0);
+        }
+        ts
+    }
+
+    #[test]
+    fn result_metrics_and_lookup() {
+        let mut r = ExperimentResult::new("fig9", "canonical");
+        r.add_metric("jain", 0.99);
+        r.add_series("macr", trace());
+        assert_eq!(r.metric("jain"), Some(0.99));
+        assert_eq!(r.metric("nope"), None);
+        assert!(r.get_series("macr").is_some());
+        assert!(r.get_series("nope").is_none());
+    }
+
+    #[test]
+    fn render_contains_all_parts() {
+        let mut r = ExperimentResult::new("figX", "title here");
+        r.add_note("a note");
+        r.add_metric("m1", 1.5);
+        r.add_series("s1", trace());
+        let text = r.render(20);
+        assert!(text.contains("figX"));
+        assert!(text.contains("title here"));
+        assert!(text.contains("a note"));
+        assert!(text.contains("m1"));
+        assert!(text.contains("s1"));
+        assert!(text.contains("*"));
+    }
+
+    #[test]
+    fn render_without_series_table() {
+        let mut r = ExperimentResult::new("figX", "t");
+        r.add_series("s1", trace());
+        let text = r.render(0);
+        assert!(!text.contains("-- s1"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_flat_and_empty() {
+        let empty = ascii_chart(&TimeSeries::new(), 10, 5);
+        assert!(empty.contains("no data"));
+        let mut flat = TimeSeries::new();
+        flat.push(SimTime::from_millis(0), 5.0);
+        flat.push(SimTime::from_millis(1), 5.0);
+        let c = ascii_chart(&flat, 10, 5);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn table_render_and_cell() {
+        let mut t = Table::new("t1", "cmp", &["alg", "conv_ms", "jain"]);
+        t.add_row("phantom", vec![12.0, 0.99]);
+        t.add_row("eprca", vec![55.0, 0.91]);
+        assert_eq!(t.cell("phantom", "jain"), Some(0.99));
+        assert_eq!(t.cell("eprca", "conv_ms"), Some(55.0));
+        assert_eq!(t.cell("nope", "jain"), None);
+        let s = t.render();
+        assert!(s.contains("phantom"));
+        assert!(s.contains("0.9900"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_mismatched_rows() {
+        let mut t = Table::new("t", "t", &["a", "b"]);
+        t.add_row("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_outputs() {
+        let dir = std::env::temp_dir().join("phantom_metrics_report_test");
+        let mut r = ExperimentResult::new("figZ", "t");
+        r.add_series("s", trace());
+        r.write_csv(&dir).unwrap();
+        assert!(dir.join("figZ.csv").exists());
+        let mut t = Table::new("tZ", "t", &["alg", "v"]);
+        t.add_row("p", vec![1.0]);
+        t.write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("tZ.csv")).unwrap();
+        assert!(body.starts_with("alg,v"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Aggregate the scalar metrics of several runs of the *same* experiment
+/// (different seeds) into a mean/min/max table — the robustness check the
+/// `repro --seeds N` flag prints.
+///
+/// Metrics are matched by name; a metric missing from some runs is
+/// aggregated over the runs that have it.
+pub fn aggregate_runs(id: &str, title: &str, runs: &[ExperimentResult]) -> Table {
+    let mut names: Vec<String> = Vec::new();
+    for r in runs {
+        for (n, _) in &r.metrics {
+            if !names.contains(n) {
+                names.push(n.clone());
+            }
+        }
+    }
+    let mut t = Table::new(
+        id,
+        title,
+        &["metric", "mean", "min", "max", "spread_pct"],
+    );
+    for name in &names {
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.metric(name))
+            .filter(|v| v.is_finite())
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let spread = if mean.abs() > 1e-12 {
+            100.0 * (max - min) / mean.abs()
+        } else {
+            0.0
+        };
+        t.add_row(name, vec![mean, min, max, spread]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+
+    fn run_with(jain: f64, conv: f64) -> ExperimentResult {
+        let mut r = ExperimentResult::new("figX", "t");
+        r.add_metric("jain", jain);
+        r.add_metric("conv_ms", conv);
+        r
+    }
+
+    #[test]
+    fn aggregates_mean_min_max_spread() {
+        let runs = vec![run_with(0.98, 20.0), run_with(1.0, 30.0), run_with(0.99, 25.0)];
+        let t = aggregate_runs("figX-seeds", "robustness", &runs);
+        assert!((t.cell("jain", "mean").unwrap() - 0.99).abs() < 1e-9);
+        assert_eq!(t.cell("conv_ms", "min").unwrap(), 20.0);
+        assert_eq!(t.cell("conv_ms", "max").unwrap(), 30.0);
+        assert!((t.cell("conv_ms", "spread_pct").unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_and_nan_metrics_are_skipped() {
+        let mut a = run_with(1.0, 10.0);
+        a.add_metric("weird", f64::NAN);
+        let b = run_with(1.0, 12.0);
+        let t = aggregate_runs("x", "t", &[a, b]);
+        assert!(t.cell("weird", "mean").is_none(), "all-NaN metric dropped");
+        assert!(t.cell("conv_ms", "mean").is_some());
+    }
+}
+
+impl ExperimentResult {
+    /// Emit a gnuplot script next to the CSV (`dir/<id>.gp`): one line
+    /// per series, read from the long-format CSV this result writes.
+    /// `gnuplot <id>.gp` produces `<id>.png`.
+    pub fn write_gnuplot(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        let _ = writeln!(s, "# generated by the phantom reproduction harness");
+        let _ = writeln!(s, "set datafile separator ','");
+        let _ = writeln!(s, "set terminal pngcairo size 1000,600");
+        let _ = writeln!(s, "set output '{}.png'", self.id);
+        let _ = writeln!(s, "set title \"{} — {}\"", self.id, self.title.replace('"', "'"));
+        let _ = writeln!(s, "set xlabel 'time (s)'");
+        let _ = writeln!(s, "set key outside right");
+        let _ = writeln!(s, "set grid");
+        let lines: Vec<String> = self
+            .series
+            .iter()
+            .map(|(name, _)| {
+                format!(
+                    "'< grep \"^{name},\" {id}.csv' using 2:3 with lines title '{name}'",
+                    id = self.id
+                )
+            })
+            .collect();
+        if !lines.is_empty() {
+            let _ = writeln!(s, "plot {}", lines.join(", \\\n     "));
+        }
+        std::fs::write(dir.join(format!("{}.gp", self.id)), s)
+    }
+}
+
+#[cfg(test)]
+mod gnuplot_tests {
+    use super::*;
+    use phantom_sim::SimTime;
+
+    #[test]
+    fn gnuplot_script_references_every_series() {
+        let dir = std::env::temp_dir().join("phantom_gnuplot_test");
+        let mut r = ExperimentResult::new("figG", "gnuplot check");
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(1), 1.0);
+        r.add_series("alpha", ts.clone());
+        r.add_series("beta", ts);
+        r.write_gnuplot(&dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("figG.gp")).unwrap();
+        assert!(body.contains("figG.csv"));
+        assert!(body.contains("'alpha'"));
+        assert!(body.contains("'beta'"));
+        assert!(body.contains("set output 'figG.png'"));
+        assert!(!body.trim_end().ends_with('\\'), "no dangling continuation");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gnuplot_with_no_series_still_writes_a_header() {
+        let dir = std::env::temp_dir().join("phantom_gnuplot_empty");
+        let r = ExperimentResult::new("figE", "empty");
+        r.write_gnuplot(&dir).unwrap();
+        assert!(dir.join("figE.gp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace post-processing: resampling, smoothing, tail statistics.
+
+use phantom_sim::stats::TimeSeries;
+use phantom_sim::SimTime;
+
+/// Resample a trace onto a fixed grid `t0, t0+dt, …` up to its last sample,
+/// using sample-and-hold interpolation. Grid points before the first sample
+/// are skipped.
+pub fn resample(ts: &TimeSeries, dt: f64) -> TimeSeries {
+    assert!(dt > 0.0);
+    let mut out = TimeSeries::new();
+    if ts.is_empty() {
+        return out;
+    }
+    let t_end = *ts.times().last().unwrap();
+    let mut t = 0.0;
+    while t <= t_end + 1e-12 {
+        if let Some(v) = ts.value_at(t) {
+            out.push(SimTime::from_secs_f64(t), v);
+        }
+        t += dt;
+    }
+    out
+}
+
+/// Centered moving average over `window` samples (clamped at the edges).
+/// `window` is forced odd so the filter is symmetric.
+pub fn smooth(ts: &TimeSeries, window: usize) -> TimeSeries {
+    let w = window.max(1) | 1; // force odd
+    let half = w / 2;
+    let n = ts.len();
+    let mut out = TimeSeries::new();
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let mean =
+            ts.values()[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        out.push(SimTime::from_secs_f64(ts.times()[i]), mean);
+    }
+    out
+}
+
+/// Mean and peak-to-peak of the trace restricted to `t >= from` seconds.
+pub fn tail_stats(ts: &TimeSeries, from: f64) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (t, v) in ts.iter() {
+        if t >= from {
+            sum += v;
+            n += 1;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum / n as f64, hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(pts: &[(u64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for &(ms, v) in pts {
+            ts.push(SimTime::from_millis(ms), v);
+        }
+        ts
+    }
+
+    #[test]
+    fn resample_holds_last_value() {
+        let ts = mk(&[(0, 1.0), (10, 2.0)]);
+        let r = resample(&ts, 0.005);
+        assert_eq!(r.values(), &[1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_skips_before_first_sample() {
+        let ts = mk(&[(7, 3.0), (10, 4.0)]);
+        let r = resample(&ts, 0.005);
+        // grid 0, 5ms skipped; 10ms -> 4.0
+        assert_eq!(r.values(), &[4.0]);
+    }
+
+    #[test]
+    fn resample_empty() {
+        assert!(resample(&TimeSeries::new(), 0.1).is_empty());
+    }
+
+    #[test]
+    fn smooth_flattens_alternation() {
+        let ts = mk(&[(0, 0.0), (1, 10.0), (2, 0.0), (3, 10.0), (4, 0.0)]);
+        let s = smooth(&ts, 3);
+        // interior samples average to ~[3.33, 6.67, 3.33...]
+        assert!((s.values()[2] - 20.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.len(), ts.len());
+    }
+
+    #[test]
+    fn smooth_window_one_is_identity() {
+        let ts = mk(&[(0, 1.0), (1, 2.0)]);
+        let s = smooth(&ts, 1);
+        assert_eq!(s.values(), ts.values());
+    }
+
+    #[test]
+    fn tail_stats_window() {
+        let ts = mk(&[(0, 100.0), (10, 4.0), (20, 6.0)]);
+        let (mean, p2p) = tail_stats(&ts, 0.005);
+        assert_eq!(mean, 5.0);
+        assert_eq!(p2p, 2.0);
+        assert_eq!(tail_stats(&ts, 1.0), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! T3 — ablations of Phantom's design choices (DESIGN.md §4.1).
+//!
+//! Four axes, each on the two-greedy-session scenario:
+//!
+//! * **Residual mode** — arrivals vs departures: measuring literal idle
+//!   capacity stalls at zero while a standing queue drains.
+//! * **Measurement interval Δt** — shorter reacts faster but measures
+//!   noisier residuals.
+//! * **Utilization factor u** — trades utilization against the phantom
+//!   session's (i.e. headroom's) share: `util = n·u/(1+n·u)`.
+//! * **Adaptive gains** — the paper's deviation damping vs fixed gains.
+
+use crate::common::{single_bottleneck, AtmAlgorithm};
+use phantom_atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_atm::units::cps_to_mbps;
+use phantom_atm::{AtmMsg, Network, Traffic};
+use phantom_core::{MacrConfig, PhantomAllocator, PhantomConfig};
+use phantom_metrics::{oscillation_amplitude, Table};
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+fn run_config(
+    cfg: PhantomConfig,
+    dt: SimDuration,
+    seed: u64,
+) -> (Engine<AtmMsg>, Network) {
+    let mut b = NetworkBuilder::new().measure_interval(dt);
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    for _ in 0..2 {
+        b.session(&[s1, s2], Traffic::greedy());
+    }
+    let mut engine = Engine::new(seed);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::new(cfg)));
+    engine.run_until(SimTime::from_millis(700));
+    (engine, net)
+}
+
+fn row(engine: &Engine<AtmMsg>, net: &Network) -> Vec<f64> {
+    let util = crate::common::trunk_utilization(engine, net, TrunkIdx(0), 0.4);
+    let q = net.trunk_queue(engine, TrunkIdx(0));
+    let macr = net.trunk_macr(engine, TrunkIdx(0));
+    vec![
+        util,
+        q.mean_after(0.4),
+        net.trunk_port(engine, TrunkIdx(0)).queue_high_water() as f64,
+        cps_to_mbps(oscillation_amplitude(macr, 0.4)),
+        cps_to_mbps(macr.mean_after(0.4)),
+    ]
+}
+
+/// Run T3.
+pub fn table_ablation(seed: u64) -> Table {
+    let mut t = Table::new(
+        "table3",
+        "Phantom ablations (2 greedy sessions, 150 Mb/s)",
+        &[
+            "variant",
+            "utilization",
+            "mean_q",
+            "max_q",
+            "macr_osc_mbps",
+            "macr_mbps",
+        ],
+    );
+
+    // Baseline.
+    let (e, n) = run_config(PhantomConfig::paper(), SimDuration::from_millis(1), seed);
+    t.add_row("baseline(u5,dt1ms,adaptive,arrivals)", row(&e, &n));
+
+    // Residual mode.
+    let (e, n) = {
+        let (mut engine, net) = single_bottleneck(
+            &[Traffic::greedy(), Traffic::greedy()],
+            AtmAlgorithm::PhantomDepartures,
+            seed,
+        );
+        engine.run_until(SimTime::from_millis(700));
+        (engine, net)
+    };
+    t.add_row("residual=departures", row(&e, &n));
+
+    // Δt sweep.
+    for (label, us) in [("dt=0.5ms", 500u64), ("dt=2ms", 2000), ("dt=5ms", 5000)] {
+        let (e, n) = run_config(
+            PhantomConfig::paper(),
+            SimDuration::from_micros(us),
+            seed,
+        );
+        t.add_row(label, row(&e, &n));
+    }
+
+    // Utilization factor sweep.
+    for u in [2.0, 10.0, 20.0] {
+        let (e, n) = run_config(
+            PhantomConfig::paper().with_utilization_factor(u),
+            SimDuration::from_millis(1),
+            seed,
+        );
+        t.add_row(&format!("u={u}"), row(&e, &n));
+    }
+
+    // Fixed gains.
+    let (e, n) = run_config(
+        PhantomConfig::paper().with_macr(MacrConfig::default().fixed_gains()),
+        SimDuration::from_millis(1),
+        seed,
+    );
+    t.add_row("fixed-gains", row(&e, &n));
+
+    // No normalization cap (pure alpha).
+    let (e, n) = run_config(
+        PhantomConfig::paper().with_macr(MacrConfig {
+            norm_gain: f64::INFINITY,
+            ..MacrConfig::default()
+        }),
+        SimDuration::from_millis(1),
+        seed,
+    );
+    t.add_row("no-gain-normalization", row(&e, &n));
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_ablation_shapes() {
+        let t = table_ablation(103);
+        // higher u buys utilization
+        let u2 = t.cell("u=2", "utilization").unwrap();
+        let u20 = t.cell("u=20", "utilization").unwrap();
+        assert!(u20 > u2, "u=20 util {u20:.3} should exceed u=2 util {u2:.3}");
+        // theory: n=2 -> u=2: 80%, u=20: 97.6%
+        assert!((u2 - 0.80).abs() < 0.06, "u2 util {u2}");
+        assert!((u20 - 0.976).abs() < 0.03, "u20 util {u20}");
+        // every variant keeps the link controlled
+        for label in [
+            "baseline(u5,dt1ms,adaptive,arrivals)",
+            "residual=departures",
+            "dt=0.5ms",
+            "dt=2ms",
+            "dt=5ms",
+            "fixed-gains",
+            "no-gain-normalization",
+        ] {
+            let q = t.cell(label, "mean_q").unwrap();
+            assert!(q < 4000.0, "{label}: queue runaway {q}");
+        }
+    }
+}

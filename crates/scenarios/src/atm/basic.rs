@@ -1,0 +1,61 @@
+//! F2 — basic convergence `[reconstructed §2]`.
+//!
+//! Two greedy ABR sessions with negligible RTT (0.01 ms links) share one
+//! 150 Mb/s bottleneck under Phantom. The paper's introductory figure:
+//! MACR climbs to `C/(1+2u) = 150/11 ≈ 13.6 Mb/s`, both sessions settle
+//! at `5 × MACR ≈ 68 Mb/s`, the queue stays moderate and drains.
+
+use super::collect_standard;
+use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_core::fixed_point::{single_link_macr, single_link_rate};
+use phantom_metrics::{convergence_time, ExperimentResult};
+use phantom_sim::SimTime;
+
+/// Run F2.
+pub fn run(seed: u64) -> ExperimentResult {
+    let (mut engine, net) = greedy_bottleneck(2, AtmAlgorithm::Phantom, seed);
+    engine.run_until(SimTime::from_millis(500));
+
+    let mut r = ExperimentResult::new(
+        "fig2",
+        "two greedy sessions, negligible RTT, one 150 Mb/s link (Phantom)",
+    );
+    r.add_note("reconstructed from Section 2's introductory configuration");
+    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.3);
+
+    let c = mbps_to_cps(150.0);
+    let macr_pred = single_link_macr(c, 2, 5.0);
+    r.add_metric("macr_predicted_mbps", cps_to_mbps(macr_pred));
+    r.add_metric(
+        "macr_measured_mbps",
+        cps_to_mbps(net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.3)),
+    );
+    r.add_metric(
+        "session_rate_predicted_mbps",
+        cps_to_mbps(single_link_rate(c, 2, 5.0)),
+    );
+    let conv =
+        convergence_time(net.trunk_macr(&engine, TrunkIdx(0)), macr_pred, 0.15).unwrap_or(f64::NAN);
+    r.add_metric("convergence_time_ms", conv * 1e3);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reproduces_the_fixed_point() {
+        let r = run(2);
+        let pred = r.metric("macr_predicted_mbps").unwrap();
+        let meas = r.metric("macr_measured_mbps").unwrap();
+        assert!((meas - pred).abs() < 0.1 * pred, "{meas} vs {pred}");
+        assert!(r.metric("jain_index").unwrap() > 0.99);
+        assert!(r.metric("convergence_time_ms").unwrap() < 150.0);
+        assert_eq!(r.metric("cell_drops").unwrap(), 0.0);
+        assert!(r.get_series("macr_mbps").is_some());
+        assert!(r.get_series("acr_mbps_s1").is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! F9 — the canonical utilization-factor-5 figure `[explicit]`.
+//!
+//! The paper's contexts show the triple panel "Queue length / MACR and
+//! rate of an arbitrary session" with "utilization factor = 5". Five
+//! greedy sessions on the 150 Mb/s link; the panels are queue, MACR and
+//! session 0's allowed rate. F11 repeats it with the NI bit.
+
+use super::collect_standard;
+use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_core::fixed_point::{single_link_macr, single_link_rate, single_link_utilization};
+use phantom_metrics::{convergence_time, ExperimentResult};
+use phantom_sim::SimTime;
+
+/// Number of sessions in the canonical scenario.
+pub const N_SESSIONS: usize = 5;
+
+/// Run the canonical scenario with a chosen algorithm (F11 reuses it).
+pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
+    let (mut engine, net) = greedy_bottleneck(N_SESSIONS, alg, seed);
+    engine.run_until(SimTime::from_millis(600));
+
+    let mut r = ExperimentResult::new(
+        id,
+        &format!(
+            "canonical u=5 scenario: five greedy sessions, 150 Mb/s, {}",
+            alg.name()
+        ),
+    );
+    r.add_note("explicit: 'utilization factor = 5' figure");
+    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0], 0.4);
+
+    let c = mbps_to_cps(150.0);
+    let macr_pred = single_link_macr(c, N_SESSIONS, 5.0);
+    r.add_metric("macr_predicted_mbps", cps_to_mbps(macr_pred));
+    r.add_metric(
+        "macr_measured_mbps",
+        cps_to_mbps(net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.4)),
+    );
+    r.add_metric(
+        "rate_predicted_mbps",
+        cps_to_mbps(single_link_rate(c, N_SESSIONS, 5.0)),
+    );
+    r.add_metric(
+        "utilization_predicted",
+        single_link_utilization(N_SESSIONS, 5.0),
+    );
+    let conv = convergence_time(net.trunk_macr(&engine, TrunkIdx(0)), macr_pred, 0.15)
+        .unwrap_or(f64::NAN);
+    r.add_metric("convergence_time_ms", conv * 1e3);
+    r
+}
+
+/// Run F9 (Phantom, explicit rate).
+pub fn run(seed: u64) -> ExperimentResult {
+    run_with(AtmAlgorithm::Phantom, "fig9", seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_canonical_panels_match_theory() {
+        let r = run(9);
+        let m = r.metric("macr_measured_mbps").unwrap();
+        let p = r.metric("macr_predicted_mbps").unwrap();
+        assert!((m - p).abs() < 0.12 * p, "MACR {m:.2} vs {p:.2}");
+        let util = r.metric("utilization").unwrap();
+        let up = r.metric("utilization_predicted").unwrap();
+        assert!((util - up).abs() < 0.05);
+        assert!(r.metric("convergence_time_ms").unwrap() < 200.0);
+        assert!(r.metric("jain_index").unwrap() > 0.99);
+    }
+}

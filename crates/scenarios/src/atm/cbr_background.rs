@@ -1,0 +1,139 @@
+//! EXT4 — ABR under unresponsive CBR/VBR background traffic.
+//!
+//! Real ATM links carry reserved-bandwidth circuits that ignore ABR
+//! feedback. Phantom needs no special case: the residual-bandwidth
+//! measurement simply sees a smaller effective capacity, so the fixed
+//! point becomes `MACR = (C − r_cbr) / (1 + n·u)` with each ABR session
+//! at `u × MACR` of what the background leaves. When the background is
+//! bursty (a square-wave VBR), MACR must track both edges.
+
+use crate::common::AtmAlgorithm;
+use phantom_atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_atm::Traffic;
+use phantom_metrics::ExperimentResult;
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+/// Run EXT4.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "ext4",
+        "two ABR sessions sharing 150 Mb/s with unresponsive CBR/VBR background",
+    );
+    r.add_note("Phantom vs reserved traffic: the residual measurement adapts for free");
+
+    // Phase A: constant 60 Mb/s CBR.
+    let build = |vbr: bool, seed: u64| {
+        let mut b = NetworkBuilder::new();
+        let s1 = b.switch("s1");
+        let s2 = b.switch("s2");
+        b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+        b.session(&[s1, s2], Traffic::greedy());
+        b.session(&[s1, s2], Traffic::greedy());
+        let traffic = if vbr {
+            Traffic::on_off(
+                SimTime::from_millis(300),
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(100),
+            )
+        } else {
+            Traffic::greedy()
+        };
+        b.cbr_session(&[s1, s2], 60.0, traffic);
+        let mut engine = Engine::new(seed);
+        let net = b.build(&mut engine, &mut || AtmAlgorithm::Phantom.boxed());
+        engine.run_until(SimTime::from_millis(1000));
+        (engine, net)
+    };
+
+    // Constant background: fixed point on the leftover 90 Mb/s.
+    let (engine, net) = build(false, seed);
+    let c = mbps_to_cps(150.0);
+    let cbr = mbps_to_cps(60.0);
+    let macr_pred = (c - cbr) / (1.0 + 2.0 * 5.0);
+    let macr = net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.6);
+    r.add_metric("cbr_macr_measured_mbps", cps_to_mbps(macr));
+    r.add_metric("cbr_macr_predicted_mbps", cps_to_mbps(macr_pred));
+    for s in 0..2 {
+        r.add_metric(
+            &format!("cbr_abr{s}_measured_mbps"),
+            cps_to_mbps(net.session_rate(&engine, s).mean_after(0.6)),
+        );
+    }
+    r.add_metric(
+        "cbr_abr_predicted_mbps",
+        cps_to_mbps(5.0 * macr_pred),
+    );
+    r.add_metric(
+        "cbr_utilization",
+        crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 0.6),
+    );
+    r.add_metric(
+        "cbr_drops",
+        net.trunk_port(&engine, TrunkIdx(0)).drops() as f64,
+    );
+
+    // Bursty background: the ABR pair must swing between the two fixed
+    // points (background on: 90/11, background off: 150/11 per MACR).
+    let (engine, net) = build(true, seed);
+    let macr_series = net.trunk_macr(&engine, TrunkIdx(0));
+    let mut mbps = phantom_sim::stats::TimeSeries::new();
+    for (t, v) in macr_series.iter() {
+        mbps.push(SimTime::from_secs_f64(t), cps_to_mbps(v));
+    }
+    r.add_series("macr_mbps_vbr", mbps);
+    r.add_series("queue_cells_vbr", net.trunk_queue(&engine, TrunkIdx(0)).clone());
+    // MACR range over the steady alternation.
+    let hi = macr_series.max_after(0.5);
+    let lo = {
+        let mut lo = f64::INFINITY;
+        for (t, v) in macr_series.iter() {
+            if t >= 0.5 {
+                lo = lo.min(v);
+            }
+        }
+        lo
+    };
+    r.add_metric("vbr_macr_low_mbps", cps_to_mbps(lo));
+    r.add_metric("vbr_macr_high_mbps", cps_to_mbps(hi));
+    r.add_metric("vbr_macr_low_predicted_mbps", cps_to_mbps((c - cbr) / 11.0));
+    r.add_metric("vbr_macr_high_predicted_mbps", cps_to_mbps(c / 11.0));
+    r.add_metric(
+        "vbr_max_queue_cells",
+        net.trunk_port(&engine, TrunkIdx(0)).queue_high_water() as f64,
+    );
+    r.add_metric(
+        "vbr_drops",
+        net.trunk_port(&engine, TrunkIdx(0)).drops() as f64,
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext4_phantom_adapts_to_reserved_traffic() {
+        let r = run(44);
+        // Constant background: fixed point on the leftover bandwidth.
+        let m = r.metric("cbr_macr_measured_mbps").unwrap();
+        let p = r.metric("cbr_macr_predicted_mbps").unwrap();
+        assert!((m - p).abs() < 0.15 * p, "MACR {m:.2} vs {p:.2}");
+        let a0 = r.metric("cbr_abr0_measured_mbps").unwrap();
+        let ap = r.metric("cbr_abr_predicted_mbps").unwrap();
+        assert!((a0 - ap).abs() < 0.15 * ap, "ABR rate {a0:.1} vs {ap:.1}");
+        assert_eq!(r.metric("cbr_drops").unwrap(), 0.0);
+        // Bursty background: MACR swings between (roughly) the two fixed
+        // points.
+        let lo = r.metric("vbr_macr_low_mbps").unwrap();
+        let hi = r.metric("vbr_macr_high_mbps").unwrap();
+        let lo_p = r.metric("vbr_macr_low_predicted_mbps").unwrap();
+        let hi_p = r.metric("vbr_macr_high_predicted_mbps").unwrap();
+        assert!(lo < lo_p * 1.4, "MACR low {lo:.2} never reaches {lo_p:.2}");
+        assert!(hi > hi_p * 0.75, "MACR high {hi:.2} never reaches {hi_p:.2}");
+        // The 60 Mb/s step is absorbed without loss.
+        assert_eq!(r.metric("vbr_drops").unwrap(), 0.0);
+        assert!(r.metric("vbr_max_queue_cells").unwrap() < 4000.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! F11 — the NI/EFCI-bit variant of the canonical scenario `[explicit]`.
+//!
+//! "Any source that observes this bit set may not increase its rate …
+//! Fig. 11 illustrates the effect of this method on the same scenario as
+//! in Fig. 9." Binary feedback replaces the explicit rate: Phantom sets
+//! NI (and CI under queue pressure) on sessions above `u × MACR`. The
+//! expected shape: the link is still controlled and roughly fair, but
+//! the rate traces are coarser and utilization a bit lower or the queue
+//! larger than the ER mode of F9.
+
+use super::canonical::{run_with, N_SESSIONS};
+use crate::common::AtmAlgorithm;
+use phantom_metrics::ExperimentResult;
+
+/// Run F11.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut r = run_with(AtmAlgorithm::PhantomNi, "fig11", seed);
+    r.add_note("binary NI/CI feedback instead of explicit rate (same scenario as fig9)");
+    let _ = N_SESSIONS;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atm::canonical;
+
+    #[test]
+    fn fig11_binary_mode_controls_but_coarser_than_fig9() {
+        let er = canonical::run(11);
+        let ni = run(11);
+        // Both control the link…
+        assert_eq!(ni.metric("cell_drops").unwrap(), 0.0);
+        assert!(ni.metric("utilization").unwrap() > 0.55);
+        assert!(ni.metric("jain_index").unwrap() > 0.95);
+        // …but the binary mode is coarser: its queue excursions are at
+        // least as large as ER mode's, or its utilization lower.
+        let coarser = ni.metric("max_queue_cells").unwrap()
+            >= er.metric("max_queue_cells").unwrap()
+            || ni.metric("utilization").unwrap() < er.metric("utilization").unwrap();
+        assert!(coarser, "NI mode unexpectedly dominated ER mode");
+    }
+}

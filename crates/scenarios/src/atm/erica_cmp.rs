@@ -1,0 +1,134 @@
+//! EXT2 — constant space vs unbounded space: Phantom vs ERICA.
+//!
+//! The paper's taxonomy partitions flow-control proposals into constant-
+//! space algorithms (Phantom, EPRCA, APRC, CAPC) and algorithms whose
+//! state grows with the number of connections ("ERICA/ERICA+ maintain a
+//! counter per session"). This experiment quantifies what the per-VC
+//! state buys and what it costs: both algorithms run the basic and the
+//! staggered-join scenarios; the report carries convergence, fairness,
+//! utilization, queueing — and the bytes of per-port state.
+
+use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::cps_to_mbps;
+use phantom_baselines::Erica;
+use phantom_core::PhantomAllocator;
+use phantom_metrics::{convergence_time, jain_index, ExperimentResult};
+use phantom_sim::SimTime;
+
+/// Run EXT2.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "ext2",
+        "constant space (Phantom) vs per-VC state (ERICA), 5 greedy sessions",
+    );
+    r.add_note("the paper's space taxonomy, quantified");
+
+    for alg in [AtmAlgorithm::Phantom, AtmAlgorithm::Erica] {
+        let (mut engine, net) = greedy_bottleneck(5, alg, seed);
+        engine.run_until(SimTime::from_millis(800));
+        let name = alg.name();
+
+        let tp = net.trunk_throughput(&engine, TrunkIdx(0));
+        let target = tp.mean_after(0.6);
+        let conv = convergence_time(tp, target, 0.10).unwrap_or(f64::NAN) * 1e3;
+        let rates: Vec<f64> = (0..5)
+            .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+            .collect();
+        let port = net.trunk_port(&engine, TrunkIdx(0));
+
+        r.add_metric(&format!("{name}_convergence_ms"), conv);
+        r.add_metric(&format!("{name}_jain"), jain_index(&rates));
+        r.add_metric(
+            &format!("{name}_utilization"),
+            crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 0.5),
+        );
+        r.add_metric(
+            &format!("{name}_mean_queue_cells"),
+            net.trunk_queue(&engine, TrunkIdx(0)).mean_after(0.5),
+        );
+        r.add_metric(
+            &format!("{name}_macr_mbps"),
+            cps_to_mbps(net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.5)),
+        );
+        let _ = port;
+
+        let mut series = phantom_sim::stats::TimeSeries::new();
+        for (t, v) in net.trunk_macr(&engine, TrunkIdx(0)).iter() {
+            series.push(phantom_sim::SimTime::from_secs_f64(t), cps_to_mbps(v));
+        }
+        r.add_series(&format!("fair_share_mbps_{name}"), series);
+    }
+
+    // The taxonomy metric: how per-port state scales with the session
+    // count. Run both allocators at n = 5 and n = 50 and report bytes.
+    for n in [5usize, 50] {
+        for alg in [AtmAlgorithm::Phantom, AtmAlgorithm::Erica] {
+            let (mut engine, net) = greedy_bottleneck(n, alg, seed);
+            engine.run_until(SimTime::from_millis(100));
+            let port = net.trunk_port(&engine, TrunkIdx(0));
+            let bytes = if let Some(a) = port.allocator().as_phantom() {
+                std::mem::size_of_val(a)
+            } else if let Some(a) = port.allocator().as_erica() {
+                a.state_bytes()
+            } else {
+                unreachable!()
+            };
+            r.add_metric(&format!("{}_state_bytes_n{n}", alg.name()), bytes as f64);
+        }
+    }
+    r
+}
+
+/// Downcast helpers so the experiment can read algorithm internals
+/// through the trait object.
+trait AllocatorDowncast {
+    fn as_phantom(&self) -> Option<&PhantomAllocator>;
+    fn as_erica(&self) -> Option<&Erica>;
+}
+
+impl AllocatorDowncast for dyn phantom_atm::RateAllocator {
+    fn as_phantom(&self) -> Option<&PhantomAllocator> {
+        let any: &dyn std::any::Any = self;
+        any.downcast_ref()
+    }
+
+    fn as_erica(&self) -> Option<&Erica> {
+        let any: &dyn std::any::Any = self;
+        any.downcast_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext2_erica_buys_utilization_with_per_vc_state() {
+        let r = run(42);
+        // ERICA targets 90% with no phantom headroom; Phantom targets
+        // nu/(1+nu) = 96.2% for n=5 — both deliver their design points.
+        let pu = r.metric("phantom_utilization").unwrap();
+        let eu = r.metric("erica_utilization").unwrap();
+        assert!((pu - 0.962).abs() < 0.05, "phantom util {pu}");
+        assert!((eu - 0.90).abs() < 0.06, "erica util {eu}");
+        // Both are fair between equals.
+        assert!(r.metric("phantom_jain").unwrap() > 0.99);
+        assert!(r.metric("erica_jain").unwrap() > 0.99);
+        // The taxonomy: Phantom's state is O(1) — identical at n=5 and
+        // n=50 — while ERICA's grows with the session count.
+        let p5 = r.metric("phantom_state_bytes_n5").unwrap();
+        let p50 = r.metric("phantom_state_bytes_n50").unwrap();
+        let e5 = r.metric("erica_state_bytes_n5").unwrap();
+        let e50 = r.metric("erica_state_bytes_n50").unwrap();
+        assert_eq!(p5, p50, "phantom state must not depend on n");
+        assert!(p5 <= 256.0, "phantom state {p5} bytes");
+        assert!(
+            e50 > e5 && e50 > p50,
+            "erica state must grow with sessions: n5={e5}, n50={e50}, phantom={p50}"
+        );
+        // Neither runs away on queueing.
+        assert!(r.metric("phantom_mean_queue_cells").unwrap() < 100.0);
+        assert!(r.metric("erica_mean_queue_cells").unwrap() < 1000.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! EXT7 — Phantom under injected link loss.
+//!
+//! The control loop lives on RM cells; when the wire corrupts cells
+//! (data *and* RM alike), feedback goes missing. The TM 4.0 end system
+//! degrades gracefully — the CRM rule decreases when too many forward RM
+//! cells go unanswered, and the additive increase probes back — while
+//! Phantom's port measurement is loss-agnostic (it counts arrivals it
+//! actually sees). This sweep measures throughput, fairness and queueing
+//! at 0% / 0.1% / 1% / 5% per-cell loss on the bottleneck.
+
+use crate::common::AtmAlgorithm;
+use phantom_atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_atm::units::cps_to_mbps;
+use phantom_atm::Traffic;
+use phantom_metrics::ExperimentResult;
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+/// Run EXT7.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "ext7",
+        "Phantom under injected link loss (two greedy sessions, 150 Mb/s)",
+    );
+    r.add_note("failure injection: per-cell wire loss on the bottleneck, both directions");
+
+    for (label, p) in [("p0", 0.0), ("p0.1", 0.001), ("p1", 0.01), ("p5", 0.05)] {
+        let mut b = NetworkBuilder::new();
+        let s1 = b.switch("s1");
+        let s2 = b.switch("s2");
+        b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+        if p > 0.0 {
+            b.last_trunk_loss(p);
+        }
+        for _ in 0..2 {
+            b.session(&[s1, s2], Traffic::greedy());
+        }
+        let mut engine = Engine::new(seed);
+        let net = b.build(&mut engine, &mut || AtmAlgorithm::Phantom.boxed());
+        engine.run_until(SimTime::from_millis(800));
+
+        let rates: Vec<f64> = (0..2)
+            .map(|s| net.session_rate(&engine, s).mean_after(0.4))
+            .collect();
+        r.add_metric(
+            &format!("{label}_goodput_mbps"),
+            cps_to_mbps(rates.iter().sum()),
+        );
+        r.add_metric(&format!("{label}_jain"), phantom_metrics::jain_index(&rates));
+        r.add_metric(
+            &format!("{label}_wire_losses"),
+            net.trunk_port(&engine, TrunkIdx(0)).wire_losses as f64,
+        );
+        r.add_metric(
+            &format!("{label}_mean_queue"),
+            net.trunk_queue(&engine, TrunkIdx(0)).mean_after(0.4),
+        );
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext7_graceful_degradation_under_loss() {
+        let r = run(70);
+        let g0 = r.metric("p0_goodput_mbps").unwrap();
+        let g01 = r.metric("p0.1_goodput_mbps").unwrap();
+        let g1 = r.metric("p1_goodput_mbps").unwrap();
+        let g5 = r.metric("p5_goodput_mbps").unwrap();
+        // Lossless baseline near the fixed point.
+        assert!((g0 - 132.0).abs() < 8.0, "baseline {g0:.1}");
+        // 0.1% loss barely dents goodput; higher loss degrades
+        // monotonically but never collapses the loop.
+        assert!(g01 > 0.95 * g0);
+        assert!(g1 < g01 + 1.0 && g1 > 0.5 * g0, "1% loss: {g1:.1}");
+        assert!(g5 < g1 + 1.0 && g5 > 0.2 * g0, "5% loss: {g5:.1}");
+        // Fairness survives loss (losses hit both sessions alike).
+        for label in ["p0", "p0.1", "p1", "p5"] {
+            assert!(
+                r.metric(&format!("{label}_jain")).unwrap() > 0.9,
+                "{label} unfair"
+            );
+        }
+        assert!(r.metric("p1_wire_losses").unwrap() > 100.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! F8 — scale: fifty sessions `[reconstructed]`.
+//!
+//! Fifty greedy sessions on one 150 Mb/s link. Constant-space algorithms
+//! must stay stable as `n` grows; Phantom's normalized gain keeps the
+//! loop stable at any session count (MacrConfig::norm_gain), and
+//! utilization approaches `n·u/(1+n·u) → 99.6%`.
+
+use super::collect_standard;
+use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_core::fixed_point::{single_link_macr, single_link_utilization};
+use phantom_metrics::ExperimentResult;
+use phantom_sim::SimTime;
+
+/// Run F8.
+pub fn run(seed: u64) -> ExperimentResult {
+    let n = 50;
+    let (mut engine, net) = greedy_bottleneck(n, AtmAlgorithm::Phantom, seed);
+    engine.run_until(SimTime::from_millis(800));
+
+    let mut r = ExperimentResult::new("fig8", "fifty greedy sessions on one 150 Mb/s link (Phantom)");
+    r.add_note("reconstructed: scalability of the constant-space estimator");
+    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 25, 49], 0.5);
+
+    let c = mbps_to_cps(150.0);
+    r.add_metric(
+        "macr_predicted_mbps",
+        cps_to_mbps(single_link_macr(c, n, 5.0)),
+    );
+    r.add_metric(
+        "macr_measured_mbps",
+        cps_to_mbps(net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.5)),
+    );
+    r.add_metric("utilization_predicted", single_link_utilization(n, 5.0));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_fifty_sessions_stay_stable_and_fair() {
+        let r = run(8);
+        assert!(r.metric("jain_index").unwrap() > 0.97);
+        let util = r.metric("utilization").unwrap();
+        let pred = r.metric("utilization_predicted").unwrap();
+        assert!(
+            (util - pred).abs() < 0.05,
+            "utilization {util:.3} vs predicted {pred:.3}"
+        );
+        // the queue must not run away at scale
+        assert!(r.metric("mean_queue_cells").unwrap() < 2000.0);
+        assert_eq!(r.metric("cell_drops").unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! F4 — on/off (bursty) sessions `[explicit]`.
+//!
+//! "Fig. 22 illustrates the behavior of CAPC in an environment with
+//! on/off sessions … The configuration is analogous to that in Fig. 4,
+//! Section 2." One greedy background session shares the bottleneck with
+//! two bursty sessions (30 ms on / 30 ms off, half-period offset).
+//! Phantom must re-converge within each burst phase; its fast reaction
+//! buys a larger transient queue than CAPC (checked in F22).
+
+use super::collect_standard;
+use crate::common::{onoff_bottleneck, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_metrics::ExperimentResult;
+use phantom_sim::SimTime;
+
+/// Run F4 with a choice of algorithm (reused by F20–F22).
+pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
+    let (mut engine, net) = onoff_bottleneck(alg, seed);
+    engine.run_until(SimTime::from_millis(800));
+
+    let mut r = ExperimentResult::new(
+        id,
+        &format!(
+            "greedy + two on/off sessions (30 ms on / 30 ms off) under {}",
+            alg.name()
+        ),
+    );
+    r.add_note("configuration 'analogous to Fig. 4' per the paper's Section 5 contexts");
+    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.2);
+
+    // How hard does the transient hit the queue, and does the background
+    // session absorb the idle bandwidth during off phases?
+    let q = net.trunk_queue(&engine, TrunkIdx(0));
+    r.add_metric("queue_p99_proxy_cells", q.max_after(0.2));
+    let greedy_rate = net.session_rate(&engine, 0).mean_after(0.2);
+    let bursty_rate = net.session_rate(&engine, 1).mean_after(0.2);
+    r.add_metric("greedy_mean_mbps", phantom_atm::units::cps_to_mbps(greedy_rate));
+    r.add_metric("bursty_mean_mbps", phantom_atm::units::cps_to_mbps(bursty_rate));
+    r
+}
+
+/// Run F4 (Phantom).
+pub fn run(seed: u64) -> ExperimentResult {
+    run_with(AtmAlgorithm::Phantom, "fig4", seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_phantom_absorbs_bursts() {
+        let r = run(4);
+        // the link must stay well used despite the on/off churn
+        assert!(r.metric("utilization").unwrap() > 0.75);
+        assert_eq!(r.metric("cell_drops").unwrap(), 0.0);
+        // the greedy session gets more than the half-duty bursty ones
+        assert!(
+            r.metric("greedy_mean_mbps").unwrap() > r.metric("bursty_mean_mbps").unwrap()
+        );
+        // bursty sessions still make real progress
+        assert!(r.metric("bursty_mean_mbps").unwrap() > 5.0);
+    }
+}

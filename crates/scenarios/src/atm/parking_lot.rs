@@ -1,0 +1,73 @@
+//! F6 — parking lot / max-min fairness `[reconstructed]`.
+//!
+//! Three switches in a chain, one long session crossing both trunks and
+//! one cross session per trunk. Max-min fairness gives everyone C/2; a
+//! scheme with beat-down bias would starve the long session. The phantom
+//! prediction (one imaginary session per link) is computed with the
+//! weighted water-filler from `phantom_metrics`.
+
+use crate::common::{parking_lot, parking_lot_paths, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::cps_to_mbps;
+use phantom_metrics::fairness::Session;
+use phantom_metrics::{normalized_jain_index, phantom_prediction, ExperimentResult};
+use phantom_sim::SimTime;
+
+/// Run F6.
+pub fn run(seed: u64) -> ExperimentResult {
+    let (mut engine, net) = parking_lot(AtmAlgorithm::Phantom, seed);
+    engine.run_until(SimTime::from_millis(800));
+
+    let mut r = ExperimentResult::new(
+        "fig6",
+        "parking lot: long session vs per-trunk cross sessions (Phantom)",
+    );
+    r.add_note("reconstructed: max-min fairness and beat-down resistance");
+    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1, 2], 0.5);
+
+    // Phantom's own fixed point for this topology.
+    let (caps, paths) = parking_lot_paths();
+    let sessions: Vec<Session> = paths.iter().cloned().map(Session::on).collect();
+    let (pred_rates, pred_macr) = phantom_prediction(&caps, &sessions, 5.0);
+
+    let measured: Vec<f64> = (0..3)
+        .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+        .collect();
+    for (i, (&m, &p)) in measured.iter().zip(&pred_rates).enumerate() {
+        r.add_metric(&format!("rate_s{i}_measured_mbps"), cps_to_mbps(m));
+        r.add_metric(&format!("rate_s{i}_predicted_mbps"), cps_to_mbps(p));
+    }
+    r.add_metric(
+        "macr_trunk0_predicted_mbps",
+        cps_to_mbps(pred_macr[0]),
+    );
+    r.add_metric(
+        "normalized_jain",
+        normalized_jain_index(&measured, &pred_rates),
+    );
+    r.add_metric(
+        "long_over_cross_ratio",
+        measured[0] / measured[1].max(1.0),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_no_beat_down() {
+        let r = run(6);
+        // every session within 15% of its phantom-predicted rate
+        for i in 0..3 {
+            let m = r.metric(&format!("rate_s{i}_measured_mbps")).unwrap();
+            let p = r.metric(&format!("rate_s{i}_predicted_mbps")).unwrap();
+            assert!((m - p).abs() < 0.15 * p, "s{i}: {m:.1} vs {p:.1}");
+        }
+        assert!(r.metric("normalized_jain").unwrap() > 0.98);
+        // the long session is NOT beaten down below the cross sessions
+        let ratio = r.metric("long_over_cross_ratio").unwrap();
+        assert!(ratio > 0.8, "beat-down: long/cross = {ratio:.2}");
+    }
+}

@@ -1,0 +1,84 @@
+//! F7 — a session restricted elsewhere `[explicit]`.
+//!
+//! The paper's contexts show a figure where "the ratio between MACR and
+//! the link restriction is 5": one session is capped by a *different*
+//! bottleneck, and the Phantom link's MACR rises so that the unrestricted
+//! sessions absorb the leftover — the behavior that distinguishes a
+//! measurement-based fair share from a CCR-averaging one.
+//!
+//! Topology: trunk s1→s2 at 150 Mb/s (the Phantom link under study);
+//! session B additionally crosses a 30 Mb/s trunk s2→s3, which caps it
+//! near `u/(1+u) × 30 = 25 Mb/s`. Session A (s1→s2 only) should absorb
+//! the rest: the s1→s2 link settles at `A + B + MACR = C` with
+//! `A = 5·MACR`.
+
+use crate::common::AtmAlgorithm;
+use phantom_atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_atm::Traffic;
+use phantom_metrics::fairness::Session;
+use phantom_metrics::{phantom_prediction, ExperimentResult};
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+/// Run F7.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    let s3 = b.switch("s3");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    b.trunk(s2, s3, 30.0, SimDuration::from_micros(10));
+    b.session(&[s1, s2], Traffic::greedy()); // A: unrestricted
+    b.session(&[s1, s2, s3], Traffic::greedy()); // B: restricted at trunk 2
+    let mut engine = Engine::new(seed);
+    let net = b.build(&mut engine, &mut || AtmAlgorithm::Phantom.boxed());
+    engine.run_until(SimTime::from_millis(1000));
+
+    let mut r = ExperimentResult::new(
+        "fig7",
+        "one session restricted by a 30 Mb/s downstream bottleneck (Phantom)",
+    );
+    r.add_note("explicit: 'the ratio between MACR and the link restriction is 5'");
+    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.5);
+
+    // Reference: weighted max-min with one phantom per link.
+    let caps = vec![mbps_to_cps(150.0), mbps_to_cps(30.0)];
+    let sessions = vec![Session::on(vec![0]), Session::on(vec![0, 1])];
+    let (pred, macrs) = phantom_prediction(&caps, &sessions, 5.0);
+
+    let a = net.session_rate(&engine, 0).mean_after(0.5);
+    let bm = net.session_rate(&engine, 1).mean_after(0.5);
+    r.add_metric("a_measured_mbps", cps_to_mbps(a));
+    r.add_metric("a_predicted_mbps", cps_to_mbps(pred[0]));
+    r.add_metric("b_measured_mbps", cps_to_mbps(bm));
+    r.add_metric("b_predicted_mbps", cps_to_mbps(pred[1]));
+    r.add_metric("macr0_predicted_mbps", cps_to_mbps(macrs[0]));
+    r.add_metric(
+        "macr0_measured_mbps",
+        cps_to_mbps(net.trunk_macr(&engine, TrunkIdx(0)).mean_after(0.5)),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_leftover_goes_to_the_unrestricted_session() {
+        let r = run(7);
+        let a = r.metric("a_measured_mbps").unwrap();
+        let b = r.metric("b_measured_mbps").unwrap();
+        let ap = r.metric("a_predicted_mbps").unwrap();
+        let bp = r.metric("b_predicted_mbps").unwrap();
+        assert!((a - ap).abs() < 0.15 * ap, "A: {a:.1} vs {ap:.1}");
+        assert!((b - bp).abs() < 0.15 * bp, "B: {b:.1} vs {bp:.1}");
+        // A must clearly exceed the equal split (68) by absorbing B's
+        // unused share.
+        assert!(a > 85.0, "A should absorb leftover, got {a:.1} Mb/s");
+        // MACR of the big link tracks its prediction.
+        let m = r.metric("macr0_measured_mbps").unwrap();
+        let mp = r.metric("macr0_predicted_mbps").unwrap();
+        assert!((m - mp).abs() < 0.15 * mp, "MACR {m:.1} vs {mp:.1}");
+    }
+}

@@ -1,0 +1,95 @@
+//! F3 — staggered joins and leaves `[reconstructed]`.
+//!
+//! Ten greedy sessions join one at a time every 50 ms; at 700 ms the five
+//! newest leave. MACR must step down along `C/(1+n·u)` as `n` grows and
+//! recover when sessions depart — the "traffic frequently changes"
+//! adaptivity the paper contrasts against Jaffe's static scheme.
+
+use crate::common::{single_bottleneck, AtmAlgorithm};
+use phantom_atm::network::TrunkIdx;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_atm::Traffic;
+use phantom_core::fixed_point::single_link_macr;
+use phantom_metrics::ExperimentResult;
+use phantom_sim::{SimTime, TimeSeries};
+
+/// Run F3.
+pub fn run(seed: u64) -> ExperimentResult {
+    let mut traffics = Vec::new();
+    for i in 0..10u64 {
+        let start = SimTime::from_millis(50 * i);
+        let stop = if i >= 5 {
+            SimTime::from_millis(700)
+        } else {
+            SimTime::MAX
+        };
+        traffics.push(Traffic::window(start, stop));
+    }
+    let (mut engine, net) = single_bottleneck(&traffics, AtmAlgorithm::Phantom, seed);
+    engine.run_until(SimTime::from_millis(1200));
+
+    let mut r = ExperimentResult::new("fig3", "ten sessions joining every 50 ms, five leaving at 700 ms");
+    r.add_note("reconstructed: adaptivity to joins/leaves");
+    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 5, 9], 0.9);
+
+    let c = mbps_to_cps(150.0);
+    // Windows where the active-session count is stable long enough to read
+    // the MACR plateau.
+    let macr = net.trunk_macr(&engine, TrunkIdx(0));
+    let plateau = |from: f64, to: f64| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for (t, v) in macr.iter() {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    };
+    // 10 active sessions during [500, 700) ms; 5 active after 900 ms.
+    r.add_metric("macr_n10_measured_mbps", cps_to_mbps(plateau(0.60, 0.70)));
+    r.add_metric(
+        "macr_n10_predicted_mbps",
+        cps_to_mbps(single_link_macr(c, 10, 5.0)),
+    );
+    r.add_metric("macr_n5_measured_mbps", cps_to_mbps(plateau(0.95, 1.20)));
+    r.add_metric(
+        "macr_n5_predicted_mbps",
+        cps_to_mbps(single_link_macr(c, 5, 5.0)),
+    );
+    // Make the step trace legible in the rendered figure.
+    let mut steps = TimeSeries::new();
+    for (t, v) in macr.iter() {
+        steps.push(SimTime::from_secs_f64(t), cps_to_mbps(v));
+    }
+    let _ = steps; // already included as macr_mbps by collect_standard
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_macr_steps_track_session_count() {
+        let r = run(3);
+        for n in ["n10", "n5"] {
+            let meas = r.metric(&format!("macr_{n}_measured_mbps")).unwrap();
+            let pred = r.metric(&format!("macr_{n}_predicted_mbps")).unwrap();
+            assert!(
+                (meas - pred).abs() < 0.2 * pred,
+                "{n}: measured {meas:.2} vs predicted {pred:.2}"
+            );
+        }
+        // MACR with 5 sessions must sit clearly above MACR with 10.
+        assert!(
+            r.metric("macr_n5_measured_mbps").unwrap()
+                > 1.5 * r.metric("macr_n10_measured_mbps").unwrap()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! F15 — Selective Source Quench `[reconstructed §4]`.
+//!
+//! Same heterogeneous-RTT topology as F14, with the router sending ICMP
+//! Source Quench to over-limit senders instead of dropping. The paper
+//! notes these messages "might consume scarce network bandwidth at time
+//! of congestion" — the quench-per-goodput metric quantifies that cost —
+//! while the fairness benefit should resemble Selective Discard without
+//! forcing retransmissions.
+
+use super::collect_tcp;
+use crate::common::{tcp_rtt_dumbbell, TcpMechanism};
+use phantom_metrics::ExperimentResult;
+use phantom_sim::{SimDuration, SimTime};
+use phantom_tcp::network::TrunkIdx;
+
+/// Run F15.
+pub fn run(seed: u64) -> ExperimentResult {
+    let (mut engine, net) =
+        tcp_rtt_dumbbell(SimDuration::from_millis(25), TcpMechanism::SelectiveQuench, seed);
+    engine.run_until(SimTime::from_secs(20));
+
+    let mut r = ExperimentResult::new(
+        "fig15",
+        "Selective Source Quench on the heterogeneous-RTT dumbbell",
+    );
+    r.add_note("reconstructed §4: quench variant of the Phantom router mechanism");
+    collect_tcp(&engine, &net, &mut r, TrunkIdx(0), 10.0, "selquench");
+
+    let short = net.flow_goodput(&engine, 0).mean_after(10.0);
+    let long = net.flow_goodput(&engine, 1).mean_after(10.0);
+    r.add_metric("short_mbps", short * 8.0 / 1e6);
+    r.add_metric("long_mbps", long * 8.0 / 1e6);
+    r.add_metric("rate_ratio", short / long.max(1.0));
+
+    let port = net.trunk_port(&engine, TrunkIdx(0));
+    r.add_metric("quenches_sent", port.quenches_sent as f64);
+    r.add_metric("policy_drops", port.policy_drops as f64);
+    let mut cuts = 0;
+    for f in 0..2 {
+        cuts += net.source(&engine, f).cc_stats().quench_cuts;
+    }
+    r.add_metric("window_cuts_taken", cuts as f64);
+    // The signalling overhead the paper warns about: quenches per
+    // delivered megabyte.
+    let delivered_mb = (0..2)
+        .map(|f| net.sink(&engine, f).bytes_delivered as f64)
+        .sum::<f64>()
+        / 1e6;
+    r.add_metric(
+        "quenches_per_mb",
+        port.quenches_sent as f64 / delivered_mb.max(1e-9),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_quench_controls_without_drops() {
+        let r = run(15);
+        assert_eq!(r.metric("policy_drops").unwrap(), 0.0);
+        assert!(r.metric("quenches_sent").unwrap() > 0.0);
+        assert!(r.metric("window_cuts_taken").unwrap() > 0.0);
+        // bias reduced relative to the >3 of drop-tail
+        assert!(
+            r.metric("rate_ratio").unwrap() < 3.5,
+            "ratio {:.2}",
+            r.metric("rate_ratio").unwrap()
+        );
+        assert!(r.metric("aggregate_mbps_selquench").unwrap() > 5.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The event loop: nodes, contexts and the engine itself.
+//!
+//! A simulation is a set of [`Node`]s exchanging messages of a single
+//! domain-specific type `M` (e.g. an ATM message enum). The [`Engine`] owns
+//! the nodes and the pending-event queue; when an event fires, the
+//! destination node's [`Node::on_event`] runs with a [`Ctx`] through which
+//! it can schedule further messages (to itself or to other nodes) and draw
+//! deterministic random numbers.
+//!
+//! Determinism: events are delivered in `(time, insertion order)` order,
+//! each node has its own RNG stream derived from the engine seed and its
+//! node index, and simulated time is integer nanoseconds. Two runs with the
+//! same seed and topology produce identical traces.
+
+use crate::event::EventQueue;
+use crate::rng::derive_seed;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// Identifier of a node within one [`Engine`]; dense indices starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// A simulation actor. Implementors hold all of their own state; the only
+/// way state changes is through [`Node::on_event`].
+pub trait Node<M>: Any {
+    /// Handle a message delivered at `ctx.now()`.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
+}
+
+/// Handle given to a node while it processes an event.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    outbox: &'a mut Vec<(SimTime, NodeId, M)>,
+    rng: &'a mut SmallRng,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node currently executing.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deliver `msg` to `dst` after `delay`.
+    pub fn send(&mut self, dst: NodeId, delay: SimDuration, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Deliver `msg` to `dst` at absolute time `at` (must not be in the past).
+    pub fn send_at(&mut self, dst: NodeId, at: SimTime, msg: M) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.outbox.push((at, dst, msg));
+    }
+
+    /// Deliver `msg` back to the executing node after `delay`.
+    pub fn send_self(&mut self, delay: SimDuration, msg: M) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
+    }
+
+    /// This node's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+/// The simulation engine: owns nodes, the event calendar and the clock.
+pub struct Engine<M> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    rngs: Vec<SmallRng>,
+    seed: u64,
+    outbox: Vec<(SimTime, NodeId, M)>,
+    events_processed: u64,
+}
+
+impl<M: 'static> Engine<M> {
+    /// A fresh engine whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            rngs: Vec::new(),
+            seed,
+            outbox: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Register a node; its id is returned and is stable for the whole run.
+    pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        self.rngs
+            .push(SmallRng::seed_from_u64(derive_seed(self.seed, id.0 as u64)));
+        id
+    }
+
+    /// Schedule an initial message from outside any node.
+    pub fn schedule(&mut self, time: SimTime, dst: NodeId, msg: M) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        self.queue.push(time, dst, msg);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch the next event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        let mut node = self.nodes[ev.dst.0]
+            .take()
+            .expect("node missing or re-entrant dispatch");
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.dst,
+                outbox: &mut self.outbox,
+                rng: &mut self.rngs[ev.dst.0],
+            };
+            node.on_event(&mut ctx, ev.msg);
+        }
+        self.nodes[ev.dst.0] = Some(node);
+        let mut out = std::mem::take(&mut self.outbox);
+        for (t, dst, msg) in out.drain(..) {
+            self.queue.push(t, dst, msg);
+        }
+        self.outbox = out;
+        true
+    }
+
+    /// Run until the clock reaches `t` (inclusive of events at exactly `t`).
+    /// The clock is left at `t` even if the calendar empties earlier.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Run until the calendar is empty or `max_events` have been dispatched.
+    /// Returns the number of events dispatched by this call.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let start = self.events_processed;
+        while self.events_processed - start < max_events {
+            if !self.step() {
+                break;
+            }
+        }
+        self.events_processed - start
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the node is of a different type — an id mix-up is a bug in
+    /// the scenario, not a recoverable condition.
+    pub fn node<N: Node<M>>(&self, id: NodeId) -> &N {
+        let node: &dyn Node<M> = self.nodes[id.0]
+            .as_deref()
+            .expect("node missing (called from within dispatch?)");
+        let any: &dyn Any = node;
+        any.downcast_ref::<N>().expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch, as with [`Engine::node`].
+    pub fn node_mut<N: Node<M>>(&mut self, id: NodeId) -> &mut N {
+        let node: &mut dyn Node<M> = self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node missing (called from within dispatch?)");
+        let any: &mut dyn Any = node;
+        any.downcast_mut::<N>().expect("node type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[derive(Default)]
+    struct Collector {
+        got: Vec<(SimTime, u32)>,
+    }
+
+    impl Node<u32> for Collector {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+            self.got.push((ctx.now(), msg));
+        }
+    }
+
+    struct Relay {
+        dst: NodeId,
+    }
+
+    impl Node<u32> for Relay {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+            ctx.send(self.dst, SimDuration::from_micros(10), msg + 1);
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order_with_delays() {
+        let mut e = Engine::<u32>::new(1);
+        let c = e.add_node(Collector::default());
+        let r = e.add_node(Relay { dst: c });
+        e.schedule(SimTime::from_micros(5), r, 100);
+        e.schedule(SimTime::from_micros(1), c, 0);
+        e.run_until(SimTime::from_millis(1));
+        let got = &e.node::<Collector>(c).got;
+        assert_eq!(
+            got,
+            &vec![
+                (SimTime::from_micros(1), 0),
+                (SimTime::from_micros(15), 101)
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut e = Engine::<u32>::new(1);
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(e.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_is_inclusive_of_boundary_events() {
+        let mut e = Engine::<u32>::new(1);
+        let c = e.add_node(Collector::default());
+        e.schedule(SimTime::from_millis(10), c, 7);
+        e.run_until(SimTime::from_millis(10));
+        assert_eq!(e.node::<Collector>(c).got.len(), 1);
+    }
+
+    #[test]
+    fn self_messages_loop() {
+        struct Ticker {
+            ticks: u32,
+        }
+        impl Node<u32> for Ticker {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+                self.ticks += 1;
+                if self.ticks < 5 {
+                    ctx.send_self(SimDuration::from_millis(1), 0);
+                }
+            }
+        }
+        let mut e = Engine::<u32>::new(1);
+        let t = e.add_node(Ticker { ticks: 0 });
+        e.schedule(SimTime::ZERO, t, 0);
+        e.run_until(SimTime::from_secs(1));
+        assert_eq!(e.node::<Ticker>(t).ticks, 5);
+        assert_eq!(e.events_processed(), 5);
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_independent() {
+        struct R {
+            draws: Vec<u64>,
+        }
+        impl Node<u32> for R {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+                let v = ctx.rng().gen::<u64>();
+                self.draws.push(v);
+            }
+        }
+        let run = |seed| {
+            let mut e = Engine::<u32>::new(seed);
+            let a = e.add_node(R { draws: vec![] });
+            let b = e.add_node(R { draws: vec![] });
+            e.schedule(SimTime::ZERO, a, 0);
+            e.schedule(SimTime::ZERO, b, 0);
+            e.run_until(SimTime::from_secs(1));
+            (
+                e.node::<R>(a).draws.clone(),
+                e.node::<R>(b).draws.clone(),
+            )
+        };
+        let (a1, b1) = run(99);
+        let (a2, b2) = run(99);
+        let (a3, _) = run(100);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1, b1, "streams must differ between nodes");
+        assert_ne!(a1, a3, "streams must differ between seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "node type mismatch")]
+    fn downcast_mismatch_panics() {
+        let mut e = Engine::<u32>::new(1);
+        let c = e.add_node(Collector::default());
+        let _ = e.node::<Relay>(c);
+    }
+
+    #[test]
+    fn run_to_completion_respects_event_cap() {
+        struct Forever;
+        impl Node<u32> for Forever {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+                ctx.send_self(SimDuration::from_micros(1), 0);
+            }
+        }
+        let mut e = Engine::<u32>::new(1);
+        let f = e.add_node(Forever);
+        e.schedule(SimTime::ZERO, f, 0);
+        assert_eq!(e.run_to_completion(1000), 1000);
+    }
+}

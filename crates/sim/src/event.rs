@@ -1,0 +1,149 @@
+//! The pending-event queue.
+//!
+//! A classic calendar for discrete-event simulation: a binary heap ordered
+//! by `(time, sequence)`. The monotonically increasing sequence number makes
+//! the ordering of same-timestamp events FIFO, which keeps runs
+//! deterministic regardless of heap internals.
+
+use crate::engine::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled delivery of a message `M` to a node.
+pub struct Event<M> {
+    /// When the message is delivered.
+    pub time: SimTime,
+    /// Tie-breaker: insertion order among equal timestamps.
+    pub seq: u64,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on
+        // top. Among equal times, the lowest sequence number wins (FIFO).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events, earliest first.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule delivery of `msg` to `dst` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, dst: NodeId, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            dst,
+            msg,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), NodeId(0), "c");
+        q.push(SimTime::from_micros(10), NodeId(0), "a");
+        q.push(SimTime::from_micros(20), NodeId(0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.push(t, NodeId(0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), NodeId(0), 1);
+        q.push(SimTime::from_micros(30), NodeId(0), 3);
+        assert_eq!(q.pop().unwrap().msg, 1);
+        q.push(SimTime::from_micros(20), NodeId(0), 2);
+        assert_eq!(q.pop().unwrap().msg, 2);
+        assert_eq!(q.pop().unwrap().msg, 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(42), NodeId(1), ());
+        q.push(SimTime::from_micros(7), NodeId(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 2);
+    }
+}

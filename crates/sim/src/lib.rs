@@ -1,0 +1,63 @@
+//! # phantom-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate that replaces BONeS, the commercial
+//! block-oriented network simulator the Phantom paper used for all of its
+//! experiments. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulation time, so
+//!   event ordering is exact and runs are bit-reproducible.
+//! * [`Engine`] — a single-threaded event loop dispatching typed messages to
+//!   [`Node`]s through a binary-heap event queue with FIFO tie-breaking.
+//! * [`rng`] — seed-derived per-stream random number generators so that
+//!   adding a node never perturbs the random sequence of another.
+//! * [`stats`] — time series, time-weighted averages, counters and
+//!   histograms used by every experiment to record queue lengths, MACR
+//!   traces and session rates.
+//! * [`fifo`] — a bounded FIFO queue with drop and occupancy accounting,
+//!   the building block of every switch output port and router.
+//! * [`trace`] — CSV export of recorded series for offline plotting.
+//!
+//! The kernel is deliberately synchronous: a flow-control simulation is
+//! CPU-bound and must be deterministic, so an async runtime would add
+//! overhead and nondeterminism without benefit.
+//!
+//! ## Example
+//!
+//! ```
+//! use phantom_sim::{Engine, Node, Ctx, SimTime, SimDuration};
+//!
+//! struct Ping { peer: phantom_sim::NodeId, count: u32 }
+//!
+//! impl Node<u32> for Ping {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+//!         self.count += 1;
+//!         if msg < 10 {
+//!             ctx.send(self.peer, SimDuration::from_micros(5), msg + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::<u32>::new(42);
+//! let a = engine.add_node(Ping { peer: phantom_sim::NodeId(1), count: 0 });
+//! let b = engine.add_node(Ping { peer: a, count: 0 });
+//! engine.schedule(SimTime::ZERO, a, 0);
+//! engine.run_until(SimTime::from_secs_f64(1.0));
+//! assert_eq!(engine.now(), SimTime::from_secs_f64(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod fifo;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, Node, NodeId};
+pub use fifo::BoundedFifo;
+pub use rng::SeedStream;
+pub use stats::{Counter, Histogram, TimeSeries, TimeWeighted};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,81 @@
+//! Seed derivation for independent deterministic RNG streams.
+//!
+//! Each node (and each scenario-level traffic model) gets its own stream
+//! derived from a master seed via SplitMix64 finalization. Streams are
+//! statistically independent for practical purposes, and — crucially —
+//! adding a node never shifts the random sequence observed by another node,
+//! so experiments stay comparable when topologies are extended.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed of stream `stream` from `master`.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    // Two rounds of mixing decorrelate adjacent stream indices.
+    splitmix64(splitmix64(master) ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// A convenience generator of derived seeds, handed out in order.
+pub struct SeedStream {
+    master: u64,
+    next: u64,
+}
+
+impl SeedStream {
+    /// A stream of seeds derived from `master`.
+    pub fn new(master: u64) -> Self {
+        SeedStream { master, next: 0 }
+    }
+
+    /// The next derived seed.
+    pub fn next_seed(&mut self) -> u64 {
+        let s = derive_seed(self.master, self.next);
+        self.next += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        assert_ne!(derive_seed(42, 7), derive_seed(42, 8));
+        assert_ne!(derive_seed(42, 7), derive_seed(43, 7));
+    }
+
+    #[test]
+    fn streams_do_not_collide_for_many_indices() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(derive_seed(123, i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn seed_stream_hands_out_derived_seeds_in_order() {
+        let mut s = SeedStream::new(5);
+        let a = s.next_seed();
+        let b = s.next_seed();
+        assert_eq!(a, derive_seed(5, 0));
+        assert_eq!(b, derive_seed(5, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_master_is_fine() {
+        // SplitMix64 must not map the all-zero input to weak output chains.
+        let a = derive_seed(0, 0);
+        let b = derive_seed(0, 1);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

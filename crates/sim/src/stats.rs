@@ -1,0 +1,382 @@
+//! Measurement primitives used by every experiment.
+//!
+//! * [`TimeSeries`] — explicit `(t, v)` samples, e.g. a MACR trace.
+//! * [`TimeWeighted`] — mean/max of a piecewise-constant signal such as a
+//!   queue length, integrated exactly between updates.
+//! * [`Counter`] — a monotonically increasing event count.
+//! * [`Histogram`] — fixed-width bins with exact mean and approximate
+//!   quantiles, e.g. for packet delays.
+
+use crate::time::SimTime;
+
+/// A recorded sequence of `(time, value)` samples.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample at time `t`. Times must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        let tf = t.as_secs_f64();
+        debug_assert!(
+            self.times.last().is_none_or(|&last| tf >= last),
+            "TimeSeries times must be non-decreasing"
+        );
+        self.times.push(tf);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times, in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Iterate over `(t_seconds, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Arithmetic mean of the sample values (unweighted by time).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Largest sample value, or 0 for an empty series.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest sample value, or 0 for an empty series.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Mean of samples with `t >= from` seconds (unweighted).
+    pub fn mean_after(&self, from: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.iter() {
+            if t >= from {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Largest sample value with `t >= from` seconds.
+    pub fn max_after(&self, from: f64) -> f64 {
+        self.iter()
+            .filter(|&(t, _)| t >= from)
+            .map(|(_, v)| v)
+            .fold(0.0, f64::max)
+    }
+
+    /// Value of the series at time `t` (seconds), treating it as a
+    /// piecewise-constant (sample-and-hold) signal. Returns `None` before
+    /// the first sample.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        match self.times.partition_point(|&x| x <= t) {
+            0 => None,
+            i => Some(self.values[i - 1]),
+        }
+    }
+}
+
+/// Exact time-weighted statistics of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the integral of
+/// the signal between updates is accumulated exactly. Typical use: queue
+/// occupancy.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    max: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// A signal that is 0 until the first [`TimeWeighted::set`].
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_t: SimTime::ZERO,
+            last_v: 0.0,
+            integral: 0.0,
+            max: 0.0,
+            started: false,
+        }
+    }
+
+    /// Record that the signal takes value `v` from time `t` on.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t, "TimeWeighted updates must move forward");
+        if self.started {
+            self.integral += self.last_v * (t - self.last_t).as_secs_f64();
+        }
+        self.started = true;
+        self.last_t = t;
+        self.last_v = v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Largest value the signal has taken.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[0, end]`.
+    pub fn mean_until(&self, end: SimTime) -> f64 {
+        if end == SimTime::ZERO {
+            return 0.0;
+        }
+        let mut integral = self.integral;
+        if self.started && end > self.last_t {
+            integral += self.last_v * (end - self.last_t).as_secs_f64();
+        }
+        integral / end.as_secs_f64()
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-bin histogram with exact count/sum and approximate quantiles.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram of `nbins` bins of width `bin_width`; values at or above
+    /// `nbins * bin_width` land in an overflow bin.
+    pub fn new(bin_width: f64, nbins: usize) -> Self {
+        assert!(bin_width > 0.0 && nbins > 0);
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Record one observation `v >= 0`.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v >= 0.0, "histogram values must be non-negative");
+        let idx = (v / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`), resolved to bin width.
+    /// Returns the upper edge of the bin containing the quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as f64 + 1.0) * self.bin_width;
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_series_basics() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(1), 10.0);
+        ts.push(SimTime::from_millis(2), 20.0);
+        ts.push(SimTime::from_millis(3), 30.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.mean(), 20.0);
+        assert_eq!(ts.max(), 30.0);
+        assert_eq!(ts.min(), 10.0);
+        assert_eq!(ts.last(), Some(30.0));
+    }
+
+    #[test]
+    fn time_series_mean_after_window() {
+        let mut ts = TimeSeries::new();
+        for i in 1..=10 {
+            ts.push(SimTime::from_millis(i), i as f64);
+        }
+        assert_eq!(ts.mean_after(0.006), (6.0 + 7.0 + 8.0 + 9.0 + 10.0) / 5.0);
+        assert_eq!(ts.max_after(0.02), 0.0);
+    }
+
+    #[test]
+    fn time_series_value_at_sample_and_hold() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(10), 1.0);
+        ts.push(SimTime::from_millis(20), 2.0);
+        assert_eq!(ts.value_at(0.005), None);
+        assert_eq!(ts.value_at(0.010), Some(1.0));
+        assert_eq!(ts.value_at(0.015), Some(1.0));
+        assert_eq!(ts.value_at(0.020), Some(2.0));
+        assert_eq!(ts.value_at(99.0), Some(2.0));
+    }
+
+    #[test]
+    fn time_weighted_integrates_exactly() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(1), 10.0); // 0 over [0,1)
+        tw.set(SimTime::from_secs(3), 0.0); // 10 over [1,3)
+        // mean over [0,4] = (0*1 + 10*2 + 0*1)/4 = 5
+        assert!((tw.mean_until(SimTime::from_secs(4)) - 5.0).abs() < 1e-12);
+        assert_eq!(tw.max(), 10.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_with_open_tail() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::ZERO, 4.0);
+        // signal constant at 4, mean over any horizon is 4
+        assert!((tw.mean_until(SimTime::from_secs(10)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_mean_max_quantiles() {
+        let mut h = Histogram::new(1.0, 10);
+        for v in [0.5, 1.5, 2.5, 3.5, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 21.6).abs() < 1e-9);
+        assert_eq!(h.max(), 100.0);
+        // median of 5 values: 3rd smallest (2.5) -> bin upper edge 3.0
+        assert_eq!(h.quantile(0.5), 3.0);
+        // the 100.0 overflows: top quantile returns exact max
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.9), 0.0);
+    }
+}

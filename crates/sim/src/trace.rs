@@ -1,0 +1,96 @@
+//! CSV export of recorded series.
+//!
+//! Experiments write their traces in "long" format — `series,t,value` — so
+//! that any plotting tool can facet by series name without column
+//! alignment. Files land wherever the caller points them (the `repro`
+//! binary uses `target/experiments/`).
+
+use crate::stats::TimeSeries;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Write `series` as long-format CSV (`series,t,value`) to `path`,
+/// creating parent directories as needed.
+pub fn write_long_csv(path: &Path, series: &[(&str, &TimeSeries)]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "series,t,value")?;
+    for (name, ts) in series {
+        for (t, v) in ts.iter() {
+            writeln!(w, "{name},{t},{v}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Render a series as fixed-step downsampled rows for terminal output:
+/// `(t, value)` pairs at roughly `steps` evenly spaced times, using
+/// sample-and-hold interpolation. Useful to "print" a paper figure.
+pub fn downsample(ts: &TimeSeries, steps: usize) -> Vec<(f64, f64)> {
+    if ts.is_empty() || steps == 0 {
+        return Vec::new();
+    }
+    let t0 = ts.times()[0];
+    let t1 = *ts.times().last().unwrap();
+    if steps == 1 || t1 <= t0 {
+        return vec![(t1, ts.last().unwrap())];
+    }
+    let mut out = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let t = t0 + (t1 - t0) * i as f64 / (steps - 1) as f64;
+        if let Some(v) = ts.value_at(t) {
+            out.push((t, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn series(pts: &[(u64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for &(ms, v) in pts {
+            ts.push(SimTime::from_millis(ms), v);
+        }
+        ts
+    }
+
+    #[test]
+    fn long_csv_round_trip() {
+        let dir = std::env::temp_dir().join("phantom_sim_trace_test");
+        let path = dir.join("out.csv");
+        let ts = series(&[(1, 1.0), (2, 2.0)]);
+        write_long_csv(&path, &[("macr", &ts)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = body.lines().collect();
+        assert_eq!(lines[0], "series,t,value");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("macr,0.001,1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn downsample_endpoints_and_hold() {
+        let ts = series(&[(0, 1.0), (100, 2.0)]);
+        let pts = downsample(&ts, 5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].1, 1.0);
+        assert_eq!(pts[4].1, 2.0);
+        // points strictly before the second sample hold the first value
+        assert_eq!(pts[1].1, 1.0);
+    }
+
+    #[test]
+    fn downsample_degenerate_cases() {
+        assert!(downsample(&TimeSeries::new(), 10).is_empty());
+        let ts = series(&[(5, 3.0)]);
+        let pts = downsample(&ts, 10);
+        assert_eq!(pts, vec![(0.005, 3.0)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # phantom-tcp — TCP Reno substrate with Phantom router mechanisms
+//!
+//! Section 4 of the Phantom paper applies the same MACR estimator to
+//! TCP/IP router networks: sources stamp their **current rate (CR)** into
+//! the packet header, and a router running Phantom acts on packets whose
+//! `CR > u × MACR`. This crate provides everything that evaluation needs,
+//! built from scratch on [`phantom_sim`]:
+//!
+//! * [`packet`] — segments with the CR field and the EFCI/ECN bit.
+//! * [`reno`] — a pure TCP Reno congestion-control state machine (slow
+//!   start, congestion avoidance, 3-dupack fast retransmit, fast
+//!   recovery), following the pseudocode of Stevens' *TCP/IP
+//!   Illustrated* ch. 21 as the paper specifies.
+//! * [`vegas`] — TCP Vegas \[BP95\], the delay-based sender whose
+//!   unfairness modes the paper discusses; both plug into the sender via
+//!   the [`cc::CongestionControl`] trait.
+//! * [`rtt`] — Jacobson/Karn RTO estimation.
+//! * [`source`] / [`sink`] — end hosts: a greedy Reno sender with a NIC
+//!   pacing model, CR metering, RTO timer and Source-Quench reaction; a
+//!   cumulative-ACK receiver that echoes congestion marks.
+//! * [`qdisc`] — router queue disciplines: drop-tail, RED \[FJ93\], and
+//!   the paper's four Phantom mechanisms — **Selective Discard** (the
+//!   pseudo-code of the paper's Fig. 18), **Selective Source Quench**,
+//!   **EFCI/ECN marking**, and **Selective RED**.
+//! * [`router`] / [`network`] — output-queued routers and a topology
+//!   builder mirroring the ATM one.
+//!
+//! Rates on the TCP side are bytes/second; packets are 512 bytes as in
+//! the paper's simulations ("greedy sources where size of packets is 512
+//! bytes").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod network;
+pub mod packet;
+pub mod qdisc;
+pub mod reno;
+pub mod router;
+pub mod rtt;
+pub mod sink;
+pub mod source;
+pub mod vegas;
+
+pub use network::{TcpNetwork, TcpNetworkBuilder};
+pub use packet::{FlowId, Packet, PktKind, TcpMsg, TcpTimer};
+pub use qdisc::{QueueDiscipline, RouterMeasurement, Verdict};
+pub use cc::{CcStats, CongestionControl};
+pub use reno::Reno;
+pub use vegas::{Vegas, VegasConfig};

@@ -1,0 +1,228 @@
+//! Property-based tests of the TCP substrate's pure state machines.
+
+use phantom_sim::SimDuration;
+use phantom_tcp::qdisc::{RedConfig, RedCore};
+use phantom_tcp::reno::Reno;
+use phantom_tcp::rtt::RttEstimator;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Arbitrary event stream for the Reno machine.
+#[derive(Clone, Debug)]
+enum Ev {
+    /// Send as much as the window allows.
+    Send,
+    /// ACK up to a fraction of what is outstanding (may be duplicate).
+    Ack { frac: f64, ecn: bool },
+    /// Retransmission timeout.
+    Timeout,
+    /// Source quench.
+    Quench,
+}
+
+fn arb_ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        3 => Just(Ev::Send),
+        4 => (0.0f64..1.2, any::<bool>()).prop_map(|(frac, ecn)| Ev::Ack { frac, ecn }),
+        1 => Just(Ev::Timeout),
+        1 => Just(Ev::Quench),
+    ]
+}
+
+proptest! {
+    /// Core Reno invariants hold under arbitrary event interleavings:
+    /// windows bounded below, sequence numbers ordered and monotone.
+    #[test]
+    fn reno_invariants(evs in proptest::collection::vec(arb_ev(), 1..400)) {
+        let mss = 512u32;
+        let mut r = Reno::new(mss, 1000.0);
+        let mut last_una = 0u64;
+        for ev in evs {
+            match ev {
+                Ev::Send => {
+                    while r.can_send() {
+                        let seq = r.take_segment();
+                        prop_assert_eq!(seq % u64::from(mss), 0);
+                    }
+                }
+                Ev::Ack { frac, ecn } => {
+                    let flight = r.flight();
+                    let acked = ((flight as f64 * frac) as u64) / u64::from(mss) * u64::from(mss);
+                    let ack = r.snd_una() + acked;
+                    let res = r.on_ack(ack, ecn);
+                    if let Some(seq) = res.retransmit {
+                        prop_assert_eq!(seq, r.snd_una());
+                    }
+                }
+                Ev::Timeout => r.on_timeout(),
+                Ev::Quench => r.on_quench(),
+            }
+            prop_assert!(r.cwnd() >= 1.0, "cwnd collapsed below 1");
+            prop_assert!(r.ssthresh() >= 2.0, "ssthresh below 2");
+            prop_assert!(r.snd_una() <= r.snd_nxt(), "una passed nxt");
+            prop_assert!(r.snd_una() >= last_una, "snd_una went backwards");
+            prop_assert!(r.cwnd() <= 1000.0 + 1e-9, "cwnd cap violated");
+            last_una = r.snd_una();
+        }
+    }
+
+    /// An ACK beyond snd_nxt (misbehaving receiver) still cannot break
+    /// ordering invariants.
+    #[test]
+    fn reno_tolerates_wild_acks(acks in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut r = Reno::new(512, 100.0);
+        while r.can_send() {
+            r.take_segment();
+        }
+        for ack in acks {
+            r.on_ack(ack, false);
+            prop_assert!(r.snd_una() <= r.snd_nxt());
+        }
+    }
+
+    /// RTO stays within configured bounds for arbitrary samples and
+    /// backoffs, and srtt stays within the range of observed samples.
+    #[test]
+    fn rtt_estimator_bounded(
+        samples in proptest::collection::vec((0.0f64..10.0, 0u8..4), 1..200),
+    ) {
+        let mut e = RttEstimator::new(
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(4),
+        );
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for (s, backoffs) in samples {
+            e.sample(s);
+            lo = lo.min(s);
+            hi = hi.max(s);
+            prop_assert!(e.srtt() >= lo - 1e-9 && e.srtt() <= hi + 1e-9);
+            for _ in 0..backoffs {
+                e.back_off();
+            }
+            let rto = e.rto();
+            prop_assert!(rto >= SimDuration::from_millis(50));
+            prop_assert!(rto <= SimDuration::from_secs(4));
+        }
+    }
+
+    /// The RED average is a convex combination of observed queue lengths:
+    /// it never leaves [0, max_observed].
+    #[test]
+    fn red_average_bounded(queues in proptest::collection::vec(0usize..5000, 1..500)) {
+        let mut core = RedCore::new(RedConfig::default());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut hi = 0usize;
+        for q in queues {
+            hi = hi.max(q);
+            core.decide(q, &mut rng);
+            prop_assert!(core.avg() >= 0.0);
+            prop_assert!(core.avg() <= hi as f64 + 1e-9);
+        }
+    }
+
+    /// Below min_th RED never drops; above max_th (long enough to drive
+    /// the average there) it always drops.
+    #[test]
+    fn red_threshold_regions(seed in any::<u64>()) {
+        let cfg = RedConfig::default();
+        let mut core = RedCore::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..1000 {
+            prop_assert!(!core.decide(5, &mut rng), "dropped below min_th");
+        }
+        for _ in 0..5000 {
+            core.decide(200, &mut rng);
+        }
+        prop_assert!(core.decide(200, &mut rng), "must drop above max_th");
+    }
+}
+
+mod vegas_props {
+    use super::*;
+    use phantom_tcp::cc::CongestionControl;
+    use phantom_tcp::vegas::{Vegas, VegasConfig};
+
+    #[derive(Clone, Debug)]
+    enum VEv {
+        Send,
+        Ack(f64),
+        Rtt(f64),
+        Timeout,
+        Quench,
+    }
+
+    fn arb_vev() -> impl Strategy<Value = VEv> {
+        prop_oneof![
+            3 => Just(VEv::Send),
+            4 => (0.0f64..1.2).prop_map(VEv::Ack),
+            3 => (0.001f64..2.0).prop_map(VEv::Rtt),
+            1 => Just(VEv::Timeout),
+            1 => Just(VEv::Quench),
+        ]
+    }
+
+    proptest! {
+        /// Vegas invariants under arbitrary interleavings: window floors
+        /// at 2 segments, sequence numbers stay ordered and monotone,
+        /// baseRTT is the minimum of the samples fed.
+        #[test]
+        fn vegas_invariants(evs in proptest::collection::vec(arb_vev(), 1..400)) {
+            let mss = 512u32;
+            let mut v = Vegas::new(mss, VegasConfig::default());
+            let mut last_una = 0u64;
+            let mut min_rtt = f64::INFINITY;
+            for ev in evs {
+                match ev {
+                    VEv::Send => {
+                        while v.can_send() {
+                            v.take_segment();
+                        }
+                    }
+                    VEv::Ack(frac) => {
+                        let flight = v.snd_nxt() - v.snd_una();
+                        let acked =
+                            ((flight as f64 * frac) as u64) / u64::from(mss) * u64::from(mss);
+                        v.on_ack(v.snd_una() + acked, false);
+                    }
+                    VEv::Rtt(r) => {
+                        v.on_rtt_sample(r);
+                        min_rtt = min_rtt.min(r);
+                        prop_assert!((v.base_rtt() - min_rtt).abs() < 1e-12);
+                    }
+                    VEv::Timeout => v.on_timeout(),
+                    VEv::Quench => v.on_quench(),
+                }
+                prop_assert!(v.cwnd() >= 2.0 - 1e-9, "vegas floor is 2 segments");
+                prop_assert!(v.cwnd() <= VegasConfig::default().max_cwnd + 1e-9);
+                prop_assert!(v.snd_una() <= v.snd_nxt());
+                prop_assert!(v.snd_una() >= last_una);
+                last_una = v.snd_una();
+            }
+        }
+
+        /// Once out of slow start, one RTT sample moves the window by at
+        /// most one segment in either direction (Vegas's defining
+        /// gentleness), for any RTT sequence.
+        #[test]
+        fn vegas_moves_at_most_one_segment_per_rtt(
+            rtts in proptest::collection::vec(0.005f64..2.0, 1..100),
+        ) {
+            let mut v = Vegas::new(512, VegasConfig::default());
+            v.on_rtt_sample(0.01); // base
+            v.on_rtt_sample(10.0); // diff >> gamma: exits slow start
+            v.on_rtt_sample(10.0);
+            for rtt in rtts {
+                let before = v.cwnd();
+                v.on_rtt_sample(rtt);
+                prop_assert!(
+                    (v.cwnd() - before).abs() <= 1.0 + 1e-9,
+                    "window jumped {} -> {}",
+                    before,
+                    v.cwnd()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Direct tests of the router machinery: verdict handling (drop, mark,
+//! quench emission), reverse-path routing, pacing, and live capacity
+//! changes.
+
+use phantom_sim::{Ctx, Engine, Node, NodeId, SimDuration, SimTime};
+use phantom_tcp::packet::{FlowId, Packet, PktKind, TcpMsg, TcpTimer};
+use phantom_tcp::qdisc::{DropTail, QueueDiscipline, RouterMeasurement, Verdict};
+use phantom_tcp::router::{FlowRoute, RPort, Router};
+use rand::rngs::SmallRng;
+
+#[derive(Default)]
+struct Collector {
+    pkts: Vec<(SimTime, Packet)>,
+}
+
+impl Node<TcpMsg> for Collector {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, TcpMsg>, msg: TcpMsg) {
+        if let TcpMsg::Pkt(p) = msg {
+            self.pkts.push((ctx.now(), p));
+        }
+    }
+}
+
+/// A discipline with a scripted verdict for data packets.
+struct Scripted(Verdict);
+
+impl QueueDiscipline for Scripted {
+    fn on_arrival(
+        &mut self,
+        pkt: &Packet,
+        _q: usize,
+        _qb: u64,
+        _rng: &mut SmallRng,
+    ) -> Verdict {
+        if pkt.is_data() {
+            self.0
+        } else {
+            Verdict::Enqueue
+        }
+    }
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+fn build(
+    verdict: Verdict,
+) -> (Engine<TcpMsg>, NodeId, NodeId /*fwd sink*/, NodeId /*bwd sink*/) {
+    let mut engine = Engine::new(5);
+    let fwd_sink = engine.add_node(Collector::default());
+    let bwd_sink = engine.add_node(Collector::default());
+    let mut router = Router::new("r");
+    let fwd_port = router.add_port(RPort::new(
+        fwd_sink,
+        55_200.0, // bytes/s: a 552-byte packet takes 10 ms
+        SimDuration::from_millis(1),
+        32,
+        Box::new(Scripted(verdict)),
+        SimDuration::from_millis(10),
+    ));
+    let bwd_port = router.add_port(RPort::new(
+        bwd_sink,
+        55_200.0,
+        SimDuration::from_millis(1),
+        32,
+        Box::new(DropTail),
+        SimDuration::from_millis(10),
+    ));
+    router.add_route(FlowId(1), FlowRoute { fwd_port, bwd_port });
+    let r = engine.add_node(router);
+    (engine, r, fwd_sink, bwd_sink)
+}
+
+fn data() -> Packet {
+    Packet::data(FlowId(1), 0, 512, 1e6)
+}
+
+#[test]
+fn enqueue_verdict_forwards_data() {
+    let (mut engine, r, fwd, bwd) = build(Verdict::Enqueue);
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(data()));
+    engine.run_until(SimTime::from_millis(100));
+    assert_eq!(engine.node::<Collector>(fwd).pkts.len(), 1);
+    assert!(engine.node::<Collector>(bwd).pkts.is_empty());
+}
+
+#[test]
+fn drop_verdict_discards_and_counts() {
+    let (mut engine, r, fwd, _) = build(Verdict::Drop);
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(data()));
+    engine.run_until(SimTime::from_millis(100));
+    assert!(engine.node::<Collector>(fwd).pkts.is_empty());
+    let port = engine.node::<Router>(r).port(0);
+    assert_eq!(port.policy_drops, 1);
+    assert_eq!(port.total_drops(), 1);
+}
+
+#[test]
+fn mark_verdict_sets_ecn_and_forwards() {
+    let (mut engine, r, fwd, _) = build(Verdict::Mark);
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(data()));
+    engine.run_until(SimTime::from_millis(100));
+    let got = &engine.node::<Collector>(fwd).pkts;
+    assert_eq!(got.len(), 1);
+    assert!(got[0].1.ecn);
+    assert_eq!(engine.node::<Router>(r).port(0).marks, 1);
+}
+
+#[test]
+fn quench_verdict_delivers_and_emits_quench_backwards() {
+    let (mut engine, r, fwd, bwd) = build(Verdict::Quench);
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(data()));
+    engine.run_until(SimTime::from_millis(100));
+    assert_eq!(
+        engine.node::<Collector>(fwd).pkts.len(),
+        1,
+        "the packet itself is still delivered"
+    );
+    let back = &engine.node::<Collector>(bwd).pkts;
+    assert_eq!(back.len(), 1, "one quench goes toward the source");
+    assert!(matches!(back[0].1.kind, PktKind::Quench));
+    assert_eq!(engine.node::<Router>(r).port(0).quenches_sent, 1);
+}
+
+#[test]
+fn acks_ride_the_reverse_path_untouched() {
+    // Even with a Drop-everything forward discipline, ACKs pass.
+    let (mut engine, r, fwd, bwd) = build(Verdict::Drop);
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(Packet::ack(FlowId(1), 512, true)));
+    engine.run_until(SimTime::from_millis(100));
+    assert!(engine.node::<Collector>(fwd).pkts.is_empty());
+    let back = &engine.node::<Collector>(bwd).pkts;
+    assert_eq!(back.len(), 1);
+    assert!(matches!(
+        back[0].1.kind,
+        PktKind::Ack { ack: 512, ecn_echo: true }
+    ));
+}
+
+#[test]
+fn set_rate_changes_serialization_spacing() {
+    let (mut engine, r, fwd, _) = build(Verdict::Enqueue);
+    // Two packets at the initial rate: 552 bytes / 55 200 B/s = 10 ms.
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(data()));
+    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(data()));
+    // Double the capacity at t = 50 ms, then two more packets.
+    engine.schedule(
+        SimTime::from_millis(50),
+        r,
+        TcpMsg::Timer(TcpTimer::SetRate {
+            port: 0,
+            bps: 110_400.0,
+        }),
+    );
+    engine.schedule(SimTime::from_millis(60), r, TcpMsg::Pkt(data()));
+    engine.schedule(SimTime::from_millis(60), r, TcpMsg::Pkt(data()));
+    engine.run_until(SimTime::from_millis(200));
+    let t: Vec<u64> = engine
+        .node::<Collector>(fwd)
+        .pkts
+        .iter()
+        .map(|(t, _)| t.as_nanos())
+        .collect();
+    assert_eq!(t.len(), 4);
+    assert_eq!(t[1] - t[0], 10_000_000, "old rate: 10 ms apart");
+    assert_eq!(t[3] - t[2], 5_000_000, "doubled rate: 5 ms apart");
+}
+
+#[test]
+fn measurement_counts_arrival_bytes_including_drops() {
+    let (mut engine, r, _, _) = build(Verdict::Drop);
+    for i in 0..5 {
+        engine.schedule(SimTime::from_millis(i), r, TcpMsg::Pkt(data()));
+    }
+    engine.run_until(SimTime::from_millis(9));
+    // trigger the measurement by hand through the timer path
+    engine.schedule(
+        SimTime::from_millis(10),
+        r,
+        TcpMsg::Timer(TcpTimer::Measure { port: 0 }),
+    );
+    engine.run_until(SimTime::from_millis(11));
+    let port = engine.node::<Router>(r).port(0);
+    // 5 dropped packets of 552 bytes still count as offered load; the
+    // throughput trace has one sample with zero departures.
+    assert_eq!(port.policy_drops, 5);
+    assert_eq!(port.throughput_series.len(), 1);
+    assert_eq!(port.throughput_series.values()[0], 0.0);
+}
+
+/// RouterMeasurement plumbing sanity (direct, no engine).
+#[test]
+fn scripted_discipline_sees_only_data() {
+    let mut s = Scripted(Verdict::Drop);
+    let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(0);
+    assert_eq!(s.on_arrival(&data(), 0, 0, &mut rng), Verdict::Drop);
+    assert_eq!(
+        s.on_arrival(&Packet::ack(FlowId(1), 0, false), 0, 0, &mut rng),
+        Verdict::Enqueue
+    );
+    let _ = RouterMeasurement {
+        dt: 1.0,
+        arrival_bytes: 0,
+        departure_bytes: 0,
+        queue_pkts: 0,
+        queue_bytes: 0,
+        capacity: 1.0,
+    };
+}

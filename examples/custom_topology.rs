@@ -1,0 +1,81 @@
+//! Build a custom multi-bottleneck topology, tune Phantom's parameters,
+//! and check the simulation against the analytic phantom prediction
+//! (weighted max-min with one imaginary session per link).
+//!
+//! ```sh
+//! cargo run --release --example custom_topology
+//! ```
+//!
+//! Topology: a chain of three switches with a fat first trunk
+//! (150 Mb/s) and a thin second trunk (45 Mb/s); two local sessions on
+//! the fat trunk, one long session crossing both, plus one session that
+//! joins late to show the re-convergence.
+
+use phantom_atm::network::NetworkBuilder;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_atm::Traffic;
+use phantom_core::{MacrConfig, PhantomAllocator, PhantomConfig};
+use phantom_metrics::fairness::Session;
+use phantom_metrics::phantom_prediction;
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+fn main() {
+    // A custom Phantom configuration: utilization factor 8 (≈ 94%
+    // utilization with 2 sessions) and a slightly faster increase gain.
+    let cfg = PhantomConfig::paper()
+        .with_utilization_factor(8.0)
+        .with_macr(MacrConfig {
+            alpha_inc: 1.0 / 8.0,
+            ..MacrConfig::default()
+        });
+
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("edge");
+    let s2 = b.switch("core");
+    let s3 = b.switch("far");
+    let fat = b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    let thin = b.trunk(s2, s3, 45.0, SimDuration::from_micros(10));
+    b.session(&[s1, s2], Traffic::greedy()); // local A
+    b.session(&[s1, s2], Traffic::greedy()); // local B
+    b.session(&[s1, s2, s3], Traffic::greedy()); // long
+    b.session(&[s1, s2], Traffic::window(SimTime::from_millis(400), SimTime::MAX)); // late joiner
+
+    let mut engine = Engine::new(2024);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::new(cfg)));
+    engine.run_until(SimTime::from_millis(900));
+
+    // Analytic reference for the final regime (all four sessions active).
+    let caps = vec![mbps_to_cps(150.0), mbps_to_cps(45.0)];
+    let sessions = vec![
+        Session::on(vec![0]),
+        Session::on(vec![0]),
+        Session::on(vec![0, 1]),
+        Session::on(vec![0]),
+    ];
+    let (pred, macrs) = phantom_prediction(&caps, &sessions, 8.0);
+
+    println!("steady state (all sessions active), u = 8:");
+    for (i, name) in ["local A", "local B", "long", "late joiner"].iter().enumerate() {
+        let measured = net.session_rate(&engine, i).mean_after(0.7);
+        println!(
+            "  {name:12} measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
+            cps_to_mbps(measured),
+            cps_to_mbps(pred[i])
+        );
+    }
+    for (t, name, pm) in [(fat, "fat trunk", macrs[0]), (thin, "thin trunk", macrs[1])] {
+        println!(
+            "  MACR {name:10} measured {:6.2} Mb/s, predicted {:6.2} Mb/s (queue peak {})",
+            cps_to_mbps(net.trunk_macr(&engine, t).mean_after(0.7)),
+            cps_to_mbps(pm),
+            net.trunk_port(&engine, t).queue_high_water()
+        );
+    }
+    let before = net.session_rate(&engine, 0).value_at(0.35).unwrap_or(0.0);
+    let after = net.session_rate(&engine, 0).mean_after(0.7);
+    println!(
+        "\nlocal A gave up bandwidth to the late joiner: {:.1} → {:.1} Mb/s",
+        cps_to_mbps(before),
+        cps_to_mbps(after)
+    );
+}

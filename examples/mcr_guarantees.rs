@@ -1,0 +1,68 @@
+//! Guaranteed minimum rates (TM 4.0 MCR) under Phantom.
+//!
+//! ```sh
+//! cargo run --release --example mcr_guarantees
+//! ```
+//!
+//! Ten greedy sessions share a 150 Mb/s link; session 0 carries a
+//! 40 Mb/s MCR guarantee. Switches never stamp ER below a session's MCR
+//! (`RmCell::limit_er`), so the guaranteed session is pinned at its
+//! floor while the other nine fair-share what remains:
+//!
+//! ```text
+//! MACR = (C − m) / (1 + (n−1)·u) ≈ 2.39 Mb/s
+//! best-effort rate = u·MACR ≈ 11.96 Mb/s,  guaranteed ≈ 40 Mb/s
+//! ```
+
+use phantom_atm::network::NetworkBuilder;
+use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
+use phantom_atm::{AtmParams, Traffic};
+use phantom_core::PhantomAllocator;
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+fn main() {
+    let n = 10;
+    let mcr_mbps = 40.0;
+
+    let mut b = NetworkBuilder::new();
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    let trunk = b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    let mut guaranteed = AtmParams::paper().with_icr_mbps(mcr_mbps);
+    guaranteed.mcr = mbps_to_cps(mcr_mbps);
+    b.session_with(&[s1, s2], Traffic::greedy(), guaranteed);
+    for _ in 1..n {
+        b.session(&[s1, s2], Traffic::greedy());
+    }
+
+    let mut engine = Engine::new(7);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::paper()));
+    engine.run_until(SimTime::from_millis(800));
+
+    let c = mbps_to_cps(150.0);
+    let m = mbps_to_cps(mcr_mbps);
+    let macr_pred = (c - m) / (1.0 + (n as f64 - 1.0) * 5.0);
+
+    println!("guaranteed session (MCR {mcr_mbps} Mb/s):");
+    println!(
+        "  measured {:6.2} Mb/s (pinned at its floor)",
+        cps_to_mbps(net.session_rate(&engine, 0).mean_after(0.5))
+    );
+    println!("best-effort sessions:");
+    for s in 1..4 {
+        println!(
+            "  session {s}: {:6.2} Mb/s (predicted {:.2})",
+            cps_to_mbps(net.session_rate(&engine, s).mean_after(0.5)),
+            cps_to_mbps(5.0 * macr_pred)
+        );
+    }
+    println!(
+        "MACR: measured {:.2} Mb/s, predicted {:.2} Mb/s",
+        cps_to_mbps(net.trunk_macr(&engine, trunk).mean_after(0.5)),
+        cps_to_mbps(macr_pred)
+    );
+    println!(
+        "drops: {} (the guarantee is honored without loss)",
+        net.trunk_port(&engine, trunk).drops()
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run Phantom on the simplest topology and check it against
+//! theory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Two greedy ABR sessions share one 150 Mb/s link whose switch port runs
+//! the Phantom algorithm with the paper's parameters (utilization factor
+//! u = 5). The fixed point is MACR = C/(1+2u) ≈ 13.64 Mb/s and
+//! 5 × MACR ≈ 68.2 Mb/s per session.
+
+use phantom_atm::units::cps_to_mbps;
+use phantom_atm::{NetworkBuilder, Traffic};
+use phantom_core::fixed_point::{single_link_macr, single_link_rate};
+use phantom_core::PhantomAllocator;
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+fn main() {
+    // 1. Describe the topology: two switches, one 150 Mb/s trunk,
+    //    two greedy sessions crossing it.
+    let mut builder = NetworkBuilder::new();
+    let s1 = builder.switch("s1");
+    let s2 = builder.switch("s2");
+    let trunk = builder.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    for _ in 0..2 {
+        builder.session(&[s1, s2], Traffic::greedy());
+    }
+
+    // 2. Wire it into a deterministic engine, with Phantom on every
+    //    trunk port.
+    let mut engine = Engine::new(42);
+    let net = builder.build(&mut engine, &mut || Box::new(PhantomAllocator::paper()));
+
+    // 3. Run half a simulated second.
+    engine.run_until(SimTime::from_millis(500));
+
+    // 4. Read the traces back and compare with the closed form.
+    let c = net.trunk_port(&engine, trunk).capacity();
+    let macr = net.trunk_macr(&engine, trunk).mean_after(0.3);
+    println!("MACR:  measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
+        cps_to_mbps(macr),
+        cps_to_mbps(single_link_macr(c, 2, 5.0)));
+    for s in 0..2 {
+        let rate = net.session_rate(&engine, s).mean_after(0.3);
+        println!(
+            "rate s{s}: measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
+            cps_to_mbps(rate),
+            cps_to_mbps(single_link_rate(c, 2, 5.0))
+        );
+    }
+    let q = net.trunk_queue(&engine, trunk);
+    println!(
+        "queue: mean {:.1} cells, peak {} cells, drops {}",
+        q.mean_after(0.3),
+        net.trunk_port(&engine, trunk).queue_high_water(),
+        net.trunk_port(&engine, trunk).drops()
+    );
+    println!("(events simulated: {})", engine.events_processed());
+}

@@ -1,0 +1,48 @@
+//! The paper's Section 4 story in one run: TCP Reno is RTT-unfair under
+//! drop-tail routers, and the Phantom-based Selective Discard mechanism
+//! (the paper's Fig. 18 pseudo-code) restores most of the fairness
+//! without touching the TCP end systems.
+//!
+//! ```sh
+//! cargo run --release --example tcp_fairness
+//! ```
+
+use phantom_scenarios::common::{tcp_rtt_dumbbell, TcpMechanism};
+use phantom_sim::{SimDuration, SimTime};
+use phantom_tcp::network::TrunkIdx;
+
+fn run(mech: TcpMechanism) -> (f64, f64, u64) {
+    let (mut engine, net) = tcp_rtt_dumbbell(SimDuration::from_millis(25), mech, 7);
+    engine.run_until(SimTime::from_secs(20));
+    let short = net.flow_goodput(&engine, 0).mean_after(10.0) * 8.0 / 1e6;
+    let long = net.flow_goodput(&engine, 1).mean_after(10.0) * 8.0 / 1e6;
+    let drops = net.trunk_port(&engine, TrunkIdx(0)).total_drops();
+    (short, long, drops)
+}
+
+fn main() {
+    println!("10 Mb/s bottleneck, two greedy Reno flows: RTT 2 ms vs 52 ms\n");
+    for mech in [
+        TcpMechanism::DropTail,
+        TcpMechanism::Red,
+        TcpMechanism::SelectiveDiscard,
+        TcpMechanism::SelectiveQuench,
+        TcpMechanism::EfciMark,
+    ] {
+        let (short, long, drops) = run(mech);
+        println!(
+            "{:18} short {:5.2} Mb/s | long {:5.2} Mb/s | ratio {:5.2} | jain {:.3} | drops {}",
+            mech.name(),
+            short,
+            long,
+            short / long.max(0.01),
+            phantom_metrics::jain_index(&[short, long]),
+            drops,
+        );
+    }
+    println!("\nThe short-RTT flow dominates under drop-tail (and under plain RED,");
+    println!("whose per-packet drop probability hits both flows equally — TCP");
+    println!("throughput scales as 1/RTT at equal loss). The selective mechanisms");
+    println!("punish only flows whose stamped rate exceeds u × MACR, so the");
+    println!("long-RTT flow is spared and the ratio collapses.");
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the Phantom reproduction workspace.
+pub use phantom_atm as atm;
+pub use phantom_baselines as baselines;
+pub use phantom_core as core;
+pub use phantom_metrics as metrics;
+pub use phantom_scenarios as scenarios;
+pub use phantom_sim as sim;
+pub use phantom_tcp as tcp;

@@ -1,0 +1,144 @@
+//! Workspace-level integration tests: cross-crate behavior that no
+//! single crate can check alone — simulation vs analytic prediction on
+//! composite topologies, registry completeness, end-to-end determinism.
+
+use phantom_repro::atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_repro::atm::units::mbps_to_cps;
+use phantom_repro::atm::Traffic;
+use phantom_repro::core::PhantomAllocator;
+use phantom_repro::metrics::fairness::Session;
+use phantom_repro::metrics::phantom_prediction;
+use phantom_repro::scenarios::registry::{all_experiments, run_experiment, ExperimentOutput};
+use phantom_repro::sim::{Engine, SimDuration, SimTime};
+
+/// Build an arbitrary chain topology, simulate it under Phantom, and
+/// compare every session's rate with the weighted max-min phantom
+/// prediction computed independently in `phantom-metrics`.
+fn check_chain(caps_mbps: &[f64], paths: &[Vec<usize>], seed: u64) {
+    let mut b = NetworkBuilder::new();
+    let switches: Vec<_> = (0..=caps_mbps.len())
+        .map(|i| b.switch(&format!("s{i}")))
+        .collect();
+    for (l, &mbps) in caps_mbps.iter().enumerate() {
+        b.trunk(
+            switches[l],
+            switches[l + 1],
+            mbps,
+            SimDuration::from_micros(10),
+        );
+    }
+    for path in paths {
+        let sw_path: Vec<_> = (path[0]..=path[path.len() - 1] + 1)
+            .map(|i| switches[i])
+            .collect();
+        b.session(&sw_path, Traffic::greedy());
+    }
+    let mut engine = Engine::new(seed);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::paper()));
+    engine.run_until(SimTime::from_millis(900));
+
+    let caps: Vec<f64> = caps_mbps.iter().map(|&m| mbps_to_cps(m)).collect();
+    let sessions: Vec<Session> = paths.iter().cloned().map(Session::on).collect();
+    let (pred, _) = phantom_prediction(&caps, &sessions, 5.0);
+    for (i, &p) in pred.iter().enumerate() {
+        let measured = net.session_rate(&engine, i).mean_after(0.6);
+        assert!(
+            (measured - p).abs() < 0.18 * p,
+            "session {i}: measured {measured:.0} vs predicted {p:.0} cells/s \
+             (caps {caps_mbps:?}, paths {paths:?})"
+        );
+    }
+}
+
+#[test]
+fn simulation_matches_prediction_single_link_three_sessions() {
+    check_chain(&[150.0], &[vec![0], vec![0], vec![0]], 31);
+}
+
+#[test]
+fn simulation_matches_prediction_two_link_chain() {
+    check_chain(&[150.0, 60.0], &[vec![0, 1], vec![0], vec![1]], 32);
+}
+
+#[test]
+fn simulation_matches_prediction_three_link_heterogeneous_chain() {
+    check_chain(
+        &[150.0, 100.0, 50.0],
+        &[vec![0, 1, 2], vec![0], vec![1], vec![2], vec![1, 2]],
+        33,
+    );
+}
+
+#[test]
+fn every_registered_experiment_is_runnable() {
+    // Smoke-run the cheapest experiments end to end through the public
+    // registry; the full set is exercised by the scenario unit tests and
+    // the repro binary.
+    for id in ["fig2", "fig12"] {
+        let out = run_experiment(id, 7).unwrap();
+        match out {
+            ExperimentOutput::Figure(r) => {
+                assert_eq!(r.id, id);
+                assert!(!r.series.is_empty(), "{id} produced no traces");
+                assert!(!r.metrics.is_empty(), "{id} produced no metrics");
+            }
+            ExperimentOutput::Table(_) => panic!("{id} should be a figure"),
+        }
+    }
+}
+
+#[test]
+fn registry_covers_designmd_index() {
+    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    for id in [
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+        "table1", "table2", "table3", "table4", "table5", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+    ] {
+        assert!(ids.contains(&id), "DESIGN.md experiment {id} missing");
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_across_invocations() {
+    let run = || {
+        let out = run_experiment("fig2", 99).unwrap();
+        match out {
+            ExperimentOutput::Figure(r) => r
+                .metrics
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>(),
+            _ => unreachable!(),
+        }
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // The umbrella crate exposes every subsystem under a stable name.
+    let _ = phantom_repro::sim::SimTime::ZERO;
+    let _ = phantom_repro::metrics::jain_index(&[1.0]);
+    let _ = phantom_repro::core::PhantomConfig::paper();
+    let _ = phantom_repro::baselines::Eprca::recommended();
+    let _ = phantom_repro::tcp::qdisc::DropTail;
+    let _ = phantom_repro::atm::AtmParams::paper();
+    assert_eq!(phantom_repro::scenarios::registry::all_experiments().len(), 31);
+}
+
+#[test]
+fn queue_never_exceeds_its_bound_under_phantom() {
+    let mut b = NetworkBuilder::new().queue_cap(500);
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    b.trunk(s1, s2, 150.0, SimDuration::from_micros(10));
+    for _ in 0..8 {
+        b.session(&[s1, s2], Traffic::greedy());
+    }
+    let mut engine = Engine::new(5);
+    let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::paper()));
+    engine.run_until(SimTime::from_millis(400));
+    let port = net.trunk_port(&engine, TrunkIdx(0));
+    assert!(port.queue_high_water() <= 500);
+}
