@@ -29,13 +29,7 @@ pub struct CbrSource {
 impl CbrSource {
     /// A CBR source for `vc` sending at `rate` cells/s whenever `traffic`
     /// says it is active.
-    pub fn new(
-        vc: VcId,
-        rate: f64,
-        traffic: Traffic,
-        next_hop: NodeId,
-        prop: SimDuration,
-    ) -> Self {
+    pub fn new(vc: VcId, rate: f64, traffic: Traffic, next_hop: NodeId, prop: SimDuration) -> Self {
         assert!(rate > 0.0, "CBR rate must be positive");
         CbrSource {
             vc,

@@ -84,8 +84,7 @@ impl Node<AtmMsg> for AbrDest {
                     CellKind::Data => {
                         self.data_received += 1;
                         self.data_in_window += 1;
-                        let delay_ms =
-                            ctx.now().saturating_sub(cell.created).as_millis_f64();
+                        let delay_ms = ctx.now().saturating_sub(cell.created).as_millis_f64();
                         self.delay_hist.record(delay_ms);
                         if cell.efci {
                             self.efci_seen = true;

@@ -173,10 +173,7 @@ impl NetworkBuilder {
 
     /// Like [`NetworkBuilder::session`] with per-session parameters.
     pub fn session_with(&mut self, path: &[SwIdx], traffic: Traffic, params: AtmParams) -> usize {
-        self.push_session(
-            path,
-            SessionKind::Abr { traffic, params },
-        )
+        self.push_session(path, SessionKind::Abr { traffic, params })
     }
 
     /// Declare an *unresponsive* CBR session sending at `mbps` whenever
@@ -194,7 +191,10 @@ impl NetworkBuilder {
     }
 
     fn push_session(&mut self, path: &[SwIdx], kind: SessionKind) -> usize {
-        assert!(!path.is_empty(), "session path must name at least one switch");
+        assert!(
+            !path.is_empty(),
+            "session path must name at least one switch"
+        );
         for w in path.windows(2) {
             assert!(
                 self.find_trunk(w[0].0, w[1].0).is_some(),
@@ -247,20 +247,12 @@ impl NetworkBuilder {
             let first = switch_ids[spec.path[0]];
             let last = switch_ids[*spec.path.last().unwrap()];
             let source = match spec.kind {
-                SessionKind::Abr { traffic, params } => engine.add_node(AbrSource::new(
-                    vc,
-                    params,
-                    traffic,
-                    first,
-                    spec.access_prop,
-                )),
-                SessionKind::Cbr { rate, traffic } => engine.add_node(CbrSource::new(
-                    vc,
-                    rate,
-                    traffic,
-                    first,
-                    spec.access_prop,
-                )),
+                SessionKind::Abr { traffic, params } => {
+                    engine.add_node(AbrSource::new(vc, params, traffic, first, spec.access_prop))
+                }
+                SessionKind::Cbr { rate, traffic } => {
+                    engine.add_node(CbrSource::new(vc, rate, traffic, first, spec.access_prop))
+                }
             };
             let dest = engine.add_node(AbrDest::new(
                 vc,
@@ -456,7 +448,10 @@ impl Network {
     /// MACR (fair-share) trace of trunk `t`'s a→b port.
     pub fn trunk_macr<'e>(&self, engine: &'e Engine<AtmMsg>, t: TrunkIdx) -> &'e TimeSeries {
         let th = &self.trunks[t.0];
-        &engine.node::<Switch>(th.a_switch).port(th.a_port).macr_series
+        &engine
+            .node::<Switch>(th.a_switch)
+            .port(th.a_port)
+            .macr_series
     }
 
     /// Queue-length trace of trunk `t`'s a→b port.
@@ -469,11 +464,7 @@ impl Network {
     }
 
     /// Throughput trace (cells/s) of trunk `t`'s a→b port.
-    pub fn trunk_throughput<'e>(
-        &self,
-        engine: &'e Engine<AtmMsg>,
-        t: TrunkIdx,
-    ) -> &'e TimeSeries {
+    pub fn trunk_throughput<'e>(&self, engine: &'e Engine<AtmMsg>, t: TrunkIdx) -> &'e TimeSeries {
         let th = &self.trunks[t.0];
         &engine
             .node::<Switch>(th.a_switch)

@@ -194,7 +194,8 @@ impl Port {
             capacity: self.capacity,
         };
         self.allocator.on_interval(&m);
-        self.macr_series.push(ctx.now(), self.allocator.fair_share());
+        self.macr_series
+            .push(ctx.now(), self.allocator.fair_share());
         self.queue_series.push(ctx.now(), self.queue_len() as f64);
         self.throughput_series.push(ctx.now(), m.departure_rate());
         self.arrivals = 0;

@@ -222,12 +222,6 @@ mod tests {
     fn invalid_params_rejected() {
         let mut p = AtmParams::paper();
         p.air = -1.0;
-        let _ = AbrSource::new(
-            VcId(1),
-            p,
-            Traffic::greedy(),
-            NodeId(0),
-            SimDuration::ZERO,
-        );
+        let _ = AbrSource::new(VcId(1), p, Traffic::greedy(), NodeId(0), SimDuration::ZERO);
     }
 }

@@ -128,7 +128,10 @@ mod tests {
         let t = Traffic::greedy();
         assert!(t.is_active(SimTime::ZERO));
         assert!(t.is_active(SimTime::from_secs(100)));
-        assert_eq!(t.next_active(SimTime::from_secs(5)), Some(SimTime::from_secs(5)));
+        assert_eq!(
+            t.next_active(SimTime::from_secs(5)),
+            Some(SimTime::from_secs(5))
+        );
     }
 
     #[test]
@@ -158,7 +161,7 @@ mod tests {
         assert!(!t.is_active(SimTime::from_millis(130)));
         assert!(!t.is_active(SimTime::from_millis(199)));
         assert!(t.is_active(SimTime::from_millis(200))); // next period
-        // second period's on-phase
+                                                         // second period's on-phase
         assert!(t.is_active(SimTime::from_millis(229)));
         assert!(!t.is_active(SimTime::from_millis(230)));
     }

@@ -29,9 +29,7 @@ fn one_link(
 
 #[test]
 fn no_control_lets_a_single_source_reach_pcr() {
-    let (mut engine, net) = one_link(1, &mut || {
-        Box::new(phantom_atm::allocator::NoControl)
-    });
+    let (mut engine, net) = one_link(1, &mut || Box::new(phantom_atm::allocator::NoControl));
     engine.run_until(SimTime::from_millis(200));
     let src = engine.node::<AbrSource>(net.sessions[0].source);
     // Additive increase with no ER restriction marches ACR to PCR.
@@ -63,9 +61,7 @@ fn fixed_er_caps_acr_exactly() {
 
 #[test]
 fn rm_cells_are_one_per_nrm_cells() {
-    let (mut engine, net) = one_link(1, &mut || {
-        Box::new(phantom_atm::allocator::NoControl)
-    });
+    let (mut engine, net) = one_link(1, &mut || Box::new(phantom_atm::allocator::NoControl));
     engine.run_until(SimTime::from_millis(100));
     let src = engine.node::<AbrSource>(net.sessions[0].source);
     let nrm = AtmParams::paper().nrm as u64;
@@ -77,9 +73,7 @@ fn rm_cells_are_one_per_nrm_cells() {
 
 #[test]
 fn destination_turns_every_rm_around() {
-    let (mut engine, net) = one_link(2, &mut || {
-        Box::new(phantom_atm::allocator::NoControl)
-    });
+    let (mut engine, net) = one_link(2, &mut || Box::new(phantom_atm::allocator::NoControl));
     engine.run_until(SimTime::from_millis(100));
     for s in &net.sessions {
         let dest = engine.node::<AbrDest>(s.dest);
@@ -94,9 +88,7 @@ fn destination_turns_every_rm_around() {
 
 #[test]
 fn conservation_no_cells_created_or_lost() {
-    let (mut engine, net) = one_link(3, &mut || {
-        Box::new(phantom_atm::allocator::NoControl)
-    });
+    let (mut engine, net) = one_link(3, &mut || Box::new(phantom_atm::allocator::NoControl));
     engine.run_until(SimTime::from_millis(150));
     let mut sent = 0;
     let mut received = 0;
@@ -215,12 +207,7 @@ fn switch_port_traces_are_recorded_each_interval() {
 /// A node that swallows everything — used to test the CRM rule.
 struct BlackHole;
 impl phantom_sim::Node<AtmMsg> for BlackHole {
-    fn on_event(
-        &mut self,
-        _ctx: &mut phantom_sim::Ctx<'_, AtmMsg>,
-        _msg: AtmMsg,
-    ) {
-    }
+    fn on_event(&mut self, _ctx: &mut phantom_sim::Ctx<'_, AtmMsg>, _msg: AtmMsg) {}
 }
 
 #[test]
@@ -237,7 +224,11 @@ fn crm_rule_decays_acr_when_feedback_stops() {
         hole,
         SimDuration::from_micros(10),
     ));
-    engine.schedule(SimTime::ZERO, src, AtmMsg::Timer(phantom_atm::msg::Timer::SourceTx));
+    engine.schedule(
+        SimTime::ZERO,
+        src,
+        AtmMsg::Timer(phantom_atm::msg::Timer::SourceTx),
+    );
     engine.run_until(SimTime::from_secs(3));
     let s = engine.node::<AbrSource>(src);
     // With no backward RM cells ever arriving, the CRM rule must have
@@ -254,9 +245,7 @@ fn crm_rule_decays_acr_when_feedback_stops() {
 
 #[test]
 fn destination_records_cell_delays() {
-    let (mut engine, net) = one_link(2, &mut || {
-        Box::new(phantom_atm::allocator::NoControl)
-    });
+    let (mut engine, net) = one_link(2, &mut || Box::new(phantom_atm::allocator::NoControl));
     engine.run_until(SimTime::from_millis(200));
     let dest = engine.node::<AbrDest>(net.sessions[0].dest);
     assert!(dest.delay_hist.count() > 1000, "no delays recorded");

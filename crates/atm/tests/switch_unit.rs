@@ -55,7 +55,12 @@ impl RateAllocator for MarkAll {
 /// `src`), routing VC 1 between them.
 fn build(
     alloc: Box<dyn RateAllocator>,
-) -> (Engine<AtmMsg>, NodeId /*switch*/, NodeId /*fwd*/, NodeId /*bwd*/) {
+) -> (
+    Engine<AtmMsg>,
+    NodeId, /*switch*/
+    NodeId, /*fwd*/
+    NodeId, /*bwd*/
+) {
     let mut engine = Engine::new(3);
     let fwd_sink = engine.add_node(Collector::default());
     let bwd_sink = engine.add_node(Collector::default());

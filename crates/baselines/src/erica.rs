@@ -90,8 +90,7 @@ impl Erica {
     /// Approximate heap footprint of the per-VC state, in bytes — the
     /// quantity the constant-space taxonomy is about.
     pub fn state_bytes(&self) -> usize {
-        self.active.capacity() * std::mem::size_of::<VcId>()
-            + std::mem::size_of::<Self>()
+        self.active.capacity() * std::mem::size_of::<VcId>() + std::mem::size_of::<Self>()
     }
 
     /// Current load factor.
@@ -232,7 +231,11 @@ mod tests {
         let mut offered = vec![1_000.0f64; n as usize];
         for _ in 0..3000 {
             for vc in 0..n {
-                e.forward_rm(VcId(vc), &mut RmCell::forward(offered[vc as usize], 1e12), 0);
+                e.forward_rm(
+                    VcId(vc),
+                    &mut RmCell::forward(offered[vc as usize], 1e12),
+                    0,
+                );
             }
             let total: f64 = offered.iter().sum();
             e.on_interval(&meas(total, c));

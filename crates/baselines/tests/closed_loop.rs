@@ -40,8 +40,7 @@ fn assert_controls_the_link(
         tail_q < 2000.0,
         "{name}: steady-state queue runaway ({tail_q:.0} cells)"
     );
-    let util =
-        net.trunk_throughput(engine, TrunkIdx(0)).mean_after(0.5) / mbps_to_cps(150.0);
+    let util = net.trunk_throughput(engine, TrunkIdx(0)).mean_after(0.5) / mbps_to_cps(150.0);
     assert!(
         util > min_util && util <= 1.001,
         "{name}: utilization {util:.3} out of range"

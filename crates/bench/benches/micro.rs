@@ -11,9 +11,7 @@ use phantom_baselines::{Aprc, Capc, Eprca, Erica};
 use phantom_core::{PhantomAllocator, PhantomNi};
 use phantom_sim::{Ctx, Engine, Node, SimDuration, SimTime};
 use phantom_tcp::packet::{FlowId, Packet};
-use phantom_tcp::qdisc::{
-    DropTail, QueueDiscipline, Red, SelectiveDiscard, SelectiveQuench,
-};
+use phantom_tcp::qdisc::{DropTail, QueueDiscipline, Red, SelectiveDiscard, SelectiveQuench};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -98,6 +96,26 @@ impl Node<u32> for PingPong {
     }
 }
 
+/// A payload the size of a realistic ATM/TCP message enum. With a deep
+/// calendar this stresses the event queue's key/payload split: only small
+/// keys move during heap sifts, the payload is written once and read once.
+#[derive(Clone, Copy)]
+struct FatMsg([u64; 4]);
+
+/// A node that re-arms itself forever at a fixed period, touching the
+/// payload so delivery is not dead code.
+struct Timer {
+    period: SimDuration,
+    acc: u64,
+}
+
+impl Node<FatMsg> for Timer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, FatMsg>, msg: FatMsg) {
+        self.acc ^= msg.0[0];
+        ctx.send_self(self.period, msg);
+    }
+}
+
 fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/dispatch_100k_events", |b| {
         b.iter_batched(
@@ -108,6 +126,25 @@ fn bench_engine(c: &mut Criterion) {
                 });
                 let p = e.add_node(PingPong { peer: a });
                 e.schedule(SimTime::ZERO, p, 0);
+                e
+            },
+            |mut e| e.run_to_completion(100_000),
+            BatchSize::SmallInput,
+        )
+    });
+    // 256 staggered timers keep the calendar 256 deep with 32-byte
+    // payloads — the regime every multi-source scenario runs in.
+    c.bench_function("engine/dispatch_100k_events_deep_heap", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::<FatMsg>::new(1);
+                for i in 0..256u64 {
+                    let id = e.add_node(Timer {
+                        period: SimDuration::from_nanos(101 + 7 * i),
+                        acc: 0,
+                    });
+                    e.schedule(SimTime(i), id, FatMsg([i; 4]));
+                }
                 e
             },
             |mut e| e.run_to_completion(100_000),

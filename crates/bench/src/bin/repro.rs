@@ -4,6 +4,7 @@
 //! repro list                 # show every experiment id + description
 //! repro all [--seed N]       # run everything, print reports, write CSV
 //! repro fig9 table1 [...]    # run selected experiments
+//! repro all --jobs 8         # fan independent runs across 8 threads
 //! repro all --csv-dir DIR    # override the artifact directory
 //! repro all --steps 60       # width of the ASCII charts (0 = no charts)
 //! ```
@@ -11,10 +12,19 @@
 //! Artifacts land in `target/experiments/<id>.csv` (long format:
 //! `series,t,value`) for plotting; the terminal output carries the same
 //! series as coarse ASCII charts plus the summary metrics that
-//! EXPERIMENTS.md records.
+//! EXPERIMENTS.md records. Every invocation that runs experiments also
+//! writes a machine-readable performance record (`BENCH_phantom.json` by
+//! default; see `--bench-json`) with runs/sec, events/sec and per-run
+//! wall time.
+//!
+//! Runs are pure functions of `(experiment, seed)`, so `--jobs N` changes
+//! only wall-clock time: reports and CSVs are byte-identical to `--jobs 1`.
 
 use phantom_bench::DEFAULT_SEED;
-use phantom_scenarios::registry::{all_experiments, run_experiment};
+use phantom_metrics::{BenchRecord, RunRecord};
+use phantom_scenarios::registry::all_experiments;
+use phantom_scenarios::sweep::{run_sweep, SweepJob, SweepRun};
+use phantom_scenarios::ExperimentOutput;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,7 +32,9 @@ struct Args {
     ids: Vec<String>,
     seed: u64,
     seeds: u64,
+    jobs: usize,
     csv_dir: PathBuf,
+    bench_json: PathBuf,
     steps: usize,
     list: bool,
     gnuplot: bool,
@@ -33,7 +45,9 @@ fn parse_args() -> Result<Args, String> {
         ids: Vec::new(),
         seed: DEFAULT_SEED,
         seeds: 1,
+        jobs: 1,
         csv_dir: PathBuf::from("target/experiments"),
+        bench_json: PathBuf::from("BENCH_phantom.json"),
         steps: 60,
         list: false,
         gnuplot: false,
@@ -56,8 +70,18 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--seeds must be at least 1".into());
                 }
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| format!("bad jobs: {v}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--csv-dir" => {
                 args.csv_dir = PathBuf::from(it.next().ok_or("--csv-dir needs a value")?);
+            }
+            "--bench-json" => {
+                args.bench_json = PathBuf::from(it.next().ok_or("--bench-json needs a value")?);
             }
             "--gnuplot" => args.gnuplot = true,
             "--steps" => {
@@ -71,12 +95,85 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Print one single-seed run the way the serial harness always has.
+fn report_single(run: &SweepRun, args: &Args) -> bool {
+    let Some(out) = &run.output else {
+        eprintln!(
+            "error: unknown experiment '{}' (try `repro list`)",
+            run.job.id
+        );
+        return false;
+    };
+    print!("{}", out.render(args.steps));
+    println!(
+        "   [{} regenerated in {:.2}s, seed {}, {} events]",
+        run.job.id, run.wall_secs, run.job.seed, run.events
+    );
+    if let Err(e) = out.write_csv(&args.csv_dir) {
+        eprintln!("warning: could not write CSV for {}: {e}", run.job.id);
+    } else {
+        println!("   [csv: {}/{}.csv]", args.csv_dir.display(), run.job.id);
+    }
+    if args.gnuplot {
+        if let ExperimentOutput::Figure(r) = out {
+            if let Err(e) = r.write_gnuplot(&args.csv_dir) {
+                eprintln!("warning: gnuplot script for {}: {e}", run.job.id);
+            } else {
+                println!("   [gp:  {}/{}.gp]", args.csv_dir.display(), run.job.id);
+            }
+        }
+    }
+    println!();
+    true
+}
+
+/// Aggregate one experiment's multi-seed batch and print the metric table.
+fn report_multi_seed(id: &str, runs: Vec<SweepRun>, args: &Args) -> bool {
+    let wall: f64 = runs.iter().map(|r| r.wall_secs).sum();
+    let mut figures = Vec::new();
+    for run in runs {
+        match run.output {
+            Some(ExperimentOutput::Figure(r)) => figures.push(r),
+            Some(ExperimentOutput::Table(_)) => {
+                eprintln!("note: {id} is a table; --seeds aggregates figures only");
+                break;
+            }
+            None => {
+                eprintln!("error: unknown experiment '{id}'");
+                return false;
+            }
+        }
+    }
+    if !figures.is_empty() {
+        let t = phantom_metrics::aggregate_runs(
+            &format!("{id}-x{}", args.seeds),
+            &format!(
+                "{id} across {} seeds ({}..{})",
+                args.seeds,
+                args.seed,
+                args.seed + args.seeds - 1
+            ),
+            &figures,
+        );
+        print!("{}", t.render());
+        println!("   [{} × {} seeds in {:.2}s]", id, figures.len(), wall);
+        if let Err(e) = t.write_csv(&args.csv_dir) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+        println!();
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--csv-dir DIR] [--steps N] [--gnuplot]");
+            eprintln!(
+                "usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--jobs N] \
+                 [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -89,80 +186,67 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // One job per (experiment, seed), id-major so each id's seeds are a
+    // contiguous chunk of the (order-preserving) sweep result.
+    let jobs: Vec<SweepJob> = args
+        .ids
+        .iter()
+        .flat_map(|id| {
+            (0..args.seeds).map(move |s| SweepJob {
+                id: id.clone(),
+                seed: args.seed + s,
+            })
+        })
+        .collect();
+
+    let batch_start = std::time::Instant::now();
+    let runs = run_sweep(&jobs, args.jobs);
+    let total_wall_secs = batch_start.elapsed().as_secs_f64();
+
+    let bench = BenchRecord {
+        jobs: args.jobs,
+        total_wall_secs,
+        runs: runs
+            .iter()
+            .filter(|r| r.output.is_some())
+            .map(|r| RunRecord {
+                id: r.job.id.clone(),
+                seed: r.job.seed,
+                wall_secs: r.wall_secs,
+                events: r.events,
+            })
+            .collect(),
+    };
+
     let mut failed = false;
+    let mut it = runs.into_iter();
     for id in &args.ids {
-        if args.seeds > 1 {
-            // Robustness mode: run the experiment across consecutive
-            // seeds and print the aggregated metric table.
-            let mut runs = Vec::new();
-            let start = std::time::Instant::now();
-            for s in 0..args.seeds {
-                match run_experiment(id, args.seed + s) {
-                    Some(phantom_scenarios::ExperimentOutput::Figure(r)) => runs.push(r),
-                    Some(phantom_scenarios::ExperimentOutput::Table(_)) => {
-                        eprintln!("note: {id} is a table; --seeds aggregates figures only");
-                        break;
-                    }
-                    None => {
-                        eprintln!("error: unknown experiment '{id}'");
-                        failed = true;
-                        break;
-                    }
-                }
-            }
-            if !runs.is_empty() {
-                let t = phantom_metrics::aggregate_runs(
-                    &format!("{id}-x{}", args.seeds),
-                    &format!("{id} across {} seeds ({}..{})", args.seeds, args.seed,
-                             args.seed + args.seeds - 1),
-                    &runs,
-                );
-                print!("{}", t.render());
-                println!(
-                    "   [{} × {} seeds in {:.2}s]",
-                    id,
-                    runs.len(),
-                    start.elapsed().as_secs_f64()
-                );
-                if let Err(e) = t.write_csv(&args.csv_dir) {
-                    eprintln!("warning: could not write CSV: {e}");
-                }
-                println!();
-            }
-            continue;
-        }
-        let start = std::time::Instant::now();
-        match run_experiment(id, args.seed) {
-            Some(out) => {
-                print!("{}", out.render(args.steps));
-                println!(
-                    "   [{} regenerated in {:.2}s, seed {}]",
-                    id,
-                    start.elapsed().as_secs_f64(),
-                    args.seed
-                );
-                if let Err(e) = out.write_csv(&args.csv_dir) {
-                    eprintln!("warning: could not write CSV for {id}: {e}");
-                } else {
-                    println!("   [csv: {}/{}.csv]", args.csv_dir.display(), id);
-                }
-                if args.gnuplot {
-                    if let phantom_scenarios::ExperimentOutput::Figure(r) = &out {
-                        if let Err(e) = r.write_gnuplot(&args.csv_dir) {
-                            eprintln!("warning: gnuplot script for {id}: {e}");
-                        } else {
-                            println!("   [gp:  {}/{}.gp]", args.csv_dir.display(), id);
-                        }
-                    }
-                }
-                println!();
-            }
-            None => {
-                eprintln!("error: unknown experiment '{id}' (try `repro list`)");
-                failed = true;
-            }
+        let id_runs: Vec<SweepRun> = it.by_ref().take(args.seeds as usize).collect();
+        let ok = if args.seeds > 1 {
+            report_multi_seed(id, id_runs, &args)
+        } else {
+            report_single(&id_runs[0], &args)
+        };
+        failed |= !ok;
+    }
+
+    if !bench.runs.is_empty() {
+        match bench.write(&args.bench_json) {
+            Ok(()) => println!(
+                "[bench: {} — {} runs in {:.2}s on {} thread(s), {:.0} events/s]",
+                args.bench_json.display(),
+                bench.runs.len(),
+                total_wall_secs,
+                args.jobs,
+                bench.events_per_sec()
+            ),
+            Err(e) => eprintln!(
+                "warning: could not write {}: {e}",
+                args.bench_json.display()
+            ),
         }
     }
+
     if failed {
         ExitCode::FAILURE
     } else {

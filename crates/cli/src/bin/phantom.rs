@@ -13,6 +13,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: phantom <run|predict|check> <topology-file>");
     eprintln!("       phantom sweep <topology-file> <u,u,...>   # e.g. sweep t.phantom 2,5,10");
     eprintln!("       phantom compare <topology-file>           # every algorithm, one table");
+    eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
     eprintln!();
     eprintln!("topology file format:");
     eprintln!("  switch <name>");
@@ -26,7 +27,22 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 1usize;
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --jobs needs a value");
+            return usage();
+        }
+        match args[i + 1].parse::<usize>() {
+            Ok(n) if n >= 1 => jobs = n,
+            _ => {
+                eprintln!("error: bad jobs: {}", args[i + 1]);
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let (cmd, path, extra) = match args.as_slice() {
         [cmd, path] => (cmd.as_str(), path.as_str(), None),
         [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.clone())),
@@ -57,14 +73,16 @@ fn main() -> ExitCode {
             Ok(())
         }
         "predict" => predict(&spec).map(|text| print!("{text}")),
-        "compare" => compare_algorithms(&spec).map(|t| print!("{}", t.render())),
+        "compare" => compare_algorithms(&spec, jobs).map(|t| print!("{}", t.render())),
         "run" => run_spec(&spec).map(|report| print!("{}", report.render(&spec))),
         "sweep" => {
             let spec_list = extra.unwrap_or_else(|| "2,5,10".to_string());
-            let us: Result<Vec<f64>, _> =
-                spec_list.split(',').map(|x| x.trim().parse::<f64>()).collect();
+            let us: Result<Vec<f64>, _> = spec_list
+                .split(',')
+                .map(|x| x.trim().parse::<f64>())
+                .collect();
             match us {
-                Ok(us) => sweep_u(&spec, &us).map(|t| print!("{}", t.render())),
+                Ok(us) => sweep_u(&spec, &us, jobs).map(|t| print!("{}", t.render())),
                 Err(_) => Err(format!("bad u list: {spec_list}")),
             }
         }

@@ -134,8 +134,7 @@ pub fn run_spec(spec: &TopologySpec) -> Result<RunReport, String> {
         let t = TrunkIdx(i);
         trunk_macr_mbps.push(cps_to_mbps(net.trunk_macr(&engine, t).mean_after(tail)));
         let port = net.trunk_port(&engine, t);
-        trunk_utilization
-            .push(net.trunk_throughput(&engine, t).mean_after(tail) / port.capacity());
+        trunk_utilization.push(net.trunk_throughput(&engine, t).mean_after(tail) / port.capacity());
         trunk_mean_queue.push(net.trunk_queue(&engine, t).mean_after(tail));
         trunk_peak_queue.push(port.queue_high_water());
     }
@@ -175,11 +174,7 @@ pub fn predict(spec: &TopologySpec) -> Result<String, String> {
         .sessions
         .iter()
         .map(|s| {
-            let links = s
-                .path
-                .windows(2)
-                .map(|w| trunk_of(&w[0], &w[1]))
-                .collect();
+            let links = s.path.windows(2).map(|w| trunk_of(&w[0], &w[1])).collect();
             Session::on(links)
         })
         .collect();
@@ -203,83 +198,115 @@ pub fn predict(spec: &TopologySpec) -> Result<String, String> {
     Ok(out)
 }
 
+/// Run many independent topology specs, fanning across up to `jobs`
+/// worker threads (plain `std::thread::scope`, no pool dependency).
+/// Each run is a pure function of its spec — including the seed — so the
+/// results, returned in input order, are identical to a serial run.
+fn run_specs(specs: &[TopologySpec], jobs: usize) -> Result<Vec<RunReport>, String> {
+    let workers = jobs.max(1).min(specs.len());
+    if workers <= 1 {
+        return specs.iter().map(run_spec).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, Result<RunReport, String>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        local.push((i, run_spec(spec)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("run_specs worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+fn summary_row(report: &RunReport) -> Vec<f64> {
+    let total: f64 = report.session_rates_mbps.iter().sum();
+    let util = report.trunk_utilization.iter().copied().fold(0.0, f64::max);
+    let max_q = report.trunk_peak_queue.iter().copied().max().unwrap_or(0) as f64;
+    vec![total, report.jain, util, max_q]
+}
+
 /// Run the topology under every implemented algorithm and tabulate the
-/// headline quantities.
-pub fn compare_algorithms(spec: &TopologySpec) -> Result<Table, String> {
+/// headline quantities. `jobs` bounds the worker threads; the table is
+/// the same at any parallelism.
+pub fn compare_algorithms(spec: &TopologySpec, jobs: usize) -> Result<Table, String> {
     spec.validate()?;
+    let algorithms = [
+        (AlgorithmSpec::Phantom { u: 5.0 }, "phantom"),
+        (AlgorithmSpec::PhantomNi, "phantom-ni"),
+        (AlgorithmSpec::Eprca, "eprca"),
+        (AlgorithmSpec::Aprc, "aprc"),
+        (AlgorithmSpec::Capc, "capc"),
+        (AlgorithmSpec::Osu, "osu"),
+        (AlgorithmSpec::Erica, "erica"),
+    ];
+    let specs: Vec<TopologySpec> = algorithms
+        .iter()
+        .map(|(alg, _)| {
+            let mut s2 = spec.clone();
+            s2.algorithm = *alg;
+            s2
+        })
+        .collect();
+    let reports = run_specs(&specs, jobs)?;
     let mut t = Table::new(
         "compare",
         "all algorithms on this topology",
-        &["algorithm", "total_mbps", "jain", "bottleneck_util", "max_q_cells"],
+        &[
+            "algorithm",
+            "total_mbps",
+            "jain",
+            "bottleneck_util",
+            "max_q_cells",
+        ],
     );
-    for alg in [
-        AlgorithmSpec::Phantom { u: 5.0 },
-        AlgorithmSpec::PhantomNi,
-        AlgorithmSpec::Eprca,
-        AlgorithmSpec::Aprc,
-        AlgorithmSpec::Capc,
-        AlgorithmSpec::Osu,
-        AlgorithmSpec::Erica,
-    ] {
-        let mut s2 = spec.clone();
-        s2.algorithm = alg;
-        let report = run_spec(&s2)?;
-        let total: f64 = report.session_rates_mbps.iter().sum();
-        let util = report
-            .trunk_utilization
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
-        let max_q = report
-            .trunk_peak_queue
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
-        let label = match alg {
-            AlgorithmSpec::Phantom { .. } => "phantom",
-            AlgorithmSpec::PhantomNi => "phantom-ni",
-            AlgorithmSpec::Eprca => "eprca",
-            AlgorithmSpec::Aprc => "aprc",
-            AlgorithmSpec::Capc => "capc",
-            AlgorithmSpec::Osu => "osu",
-            AlgorithmSpec::Erica => "erica",
-        };
-        t.add_row(label, vec![total, report.jain, util, max_q]);
+    for ((_, label), report) in algorithms.iter().zip(&reports) {
+        t.add_row(label, summary_row(report));
     }
     Ok(t)
 }
 
 /// Sweep the Phantom utilization factor over the topology: one row per
 /// `u`, columns for total throughput, fairness, utilization and queueing.
+/// `jobs` bounds the worker threads; the table is the same at any
+/// parallelism.
 #[allow(clippy::neg_cmp_op_on_partial_ord)] // rejects NaN too
-pub fn sweep_u(spec: &TopologySpec, us: &[f64]) -> Result<Table, String> {
+pub fn sweep_u(spec: &TopologySpec, us: &[f64], jobs: usize) -> Result<Table, String> {
     spec.validate()?;
+    for &u in us {
+        if !(u > 0.0) {
+            return Err(format!("u must be positive, got {u}"));
+        }
+    }
+    let specs: Vec<TopologySpec> = us
+        .iter()
+        .map(|&u| {
+            let mut s2 = spec.clone();
+            s2.algorithm = AlgorithmSpec::Phantom { u };
+            s2
+        })
+        .collect();
+    let reports = run_specs(&specs, jobs)?;
     let mut t = Table::new(
         "sweep-u",
         "utilization-factor sweep",
         &["u", "total_mbps", "jain", "bottleneck_util", "max_q_cells"],
     );
-    for &u in us {
-        if !(u > 0.0) {
-            return Err(format!("u must be positive, got {u}"));
-        }
-        let mut s2 = spec.clone();
-        s2.algorithm = AlgorithmSpec::Phantom { u };
-        let report = run_spec(&s2)?;
-        let total: f64 = report.session_rates_mbps.iter().sum();
-        let util = report
-            .trunk_utilization
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
-        let max_q = report
-            .trunk_peak_queue
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
-        t.add_row(&format!("{u}"), vec![total, report.jain, util, max_q]);
+    for (&u, report) in us.iter().zip(&reports) {
+        t.add_row(&format!("{u}"), summary_row(report));
     }
     Ok(t)
 }
@@ -327,13 +354,21 @@ run 400ms seed=3
     #[test]
     fn sweep_u_shows_the_utilization_dial() {
         let spec = parse_str(DUMBBELL).unwrap();
-        let t = sweep_u(&spec, &[2.0, 5.0, 20.0]).unwrap();
+        let t = sweep_u(&spec, &[2.0, 5.0, 20.0], 1).unwrap();
         let u2 = t.cell("2", "bottleneck_util").unwrap();
         let u20 = t.cell("20", "bottleneck_util").unwrap();
         assert!(u20 > u2, "higher u buys utilization: {u2:.3} vs {u20:.3}");
         assert!((u2 - 0.80).abs() < 0.05, "u=2 with n=2 targets 4/5");
         assert!(t.cell("5", "jain").unwrap() > 0.99);
-        assert!(sweep_u(&spec, &[0.0]).is_err());
+        assert!(sweep_u(&spec, &[0.0], 1).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte() {
+        let spec = parse_str(DUMBBELL).unwrap();
+        let serial = sweep_u(&spec, &[2.0, 5.0], 1).unwrap();
+        let parallel = sweep_u(&spec, &[2.0, 5.0], 4).unwrap();
+        assert_eq!(serial.render(), parallel.render());
     }
 
     #[test]

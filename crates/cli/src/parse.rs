@@ -128,10 +128,14 @@ pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
                 if pos.len() != 4 {
                     return err(lineno, "usage: trunk <a> <b> <rate> <prop> [loss=0.01]");
                 }
-                let mbps =
-                    parse_rate_mbps(pos[2]).map_err(|m| ParseError { line: lineno, msg: m })?;
-                let prop =
-                    parse_duration(pos[3]).map_err(|m| ParseError { line: lineno, msg: m })?;
+                let mbps = parse_rate_mbps(pos[2]).map_err(|m| ParseError {
+                    line: lineno,
+                    msg: m,
+                })?;
+                let prop = parse_duration(pos[3]).map_err(|m| ParseError {
+                    line: lineno,
+                    msg: m,
+                })?;
                 let mut loss = 0.0;
                 for (k, v) in &opts {
                     match *k {
@@ -165,8 +169,10 @@ pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
                 if pos.len() < 3 {
                     return err(lineno, "usage: cbr <sw>... <rate> [on=|off=|start=|rtt=]");
                 }
-                let mbps = parse_rate_mbps(pos[pos.len() - 1])
-                    .map_err(|m| ParseError { line: lineno, msg: m })?;
+                let mbps = parse_rate_mbps(pos[pos.len() - 1]).map_err(|m| ParseError {
+                    line: lineno,
+                    msg: m,
+                })?;
                 let path: Vec<String> =
                     pos[..pos.len() - 1].iter().map(|s| s.to_string()).collect();
                 let mut start = SimTime::ZERO;
@@ -174,8 +180,10 @@ pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
                 let mut off = None;
                 let mut access_prop = SimDuration::from_micros(10);
                 for (k, v) in &opts {
-                    let d =
-                        parse_duration(v).map_err(|m| ParseError { line: lineno, msg: m })?;
+                    let d = parse_duration(v).map_err(|m| ParseError {
+                        line: lineno,
+                        msg: m,
+                    })?;
                     match *k {
                         "start" => start = SimTime(d.as_nanos()),
                         "on" => on = Some(d),
@@ -213,8 +221,10 @@ pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
                 let mut off = SimDuration::from_millis(30);
                 let mut access_prop = SimDuration::from_micros(10);
                 for (k, v) in &opts {
-                    let d =
-                        parse_duration(v).map_err(|m| ParseError { line: lineno, msg: m })?;
+                    let d = parse_duration(v).map_err(|m| ParseError {
+                        line: lineno,
+                        msg: m,
+                    })?;
                     match *k {
                         "start" => start = SimTime(d.as_nanos()),
                         "stop" => stop = SimTime(d.as_nanos()),
@@ -235,9 +245,7 @@ pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
                     other => {
                         return err(
                             lineno,
-                            format!(
-                                "unknown traffic model '{other}' (greedy/window/onoff/random)"
-                            ),
+                            format!("unknown traffic model '{other}' (greedy/window/onoff/random)"),
                         )
                     }
                 };
@@ -281,8 +289,10 @@ pub fn parse_str(input: &str) -> Result<TopologySpec, ParseError> {
                 if pos.len() != 1 {
                     return err(lineno, "usage: run <duration> [seed=<n>]");
                 }
-                spec.duration =
-                    parse_duration(pos[0]).map_err(|m| ParseError { line: lineno, msg: m })?;
+                spec.duration = parse_duration(pos[0]).map_err(|m| ParseError {
+                    line: lineno,
+                    msg: m,
+                })?;
                 for (k, v) in &opts {
                     match *k {
                         "seed" => {
@@ -393,7 +403,15 @@ run 500ms seed=7
 
     #[test]
     fn all_algorithms_parse() {
-        for alg in ["phantom", "phantom-ni", "eprca", "aprc", "capc", "erica", "osu"] {
+        for alg in [
+            "phantom",
+            "phantom-ni",
+            "eprca",
+            "aprc",
+            "capc",
+            "erica",
+            "osu",
+        ] {
             let src = format!(
                 "switch a\nswitch b\ntrunk a b 1mbps 1ms\nsession a b greedy\nalgorithm {alg}\n"
             );
@@ -430,7 +448,10 @@ run 300ms seed=9
             TrafficSpec::Random { .. }
         ));
         assert_eq!(spec.sessions[1].cbr_mbps, Some(20.0));
-        assert!(matches!(spec.sessions[2].traffic, TrafficSpec::OnOff { .. }));
+        assert!(matches!(
+            spec.sessions[2].traffic,
+            TrafficSpec::OnOff { .. }
+        ));
     }
 
     #[test]

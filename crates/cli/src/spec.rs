@@ -158,9 +158,10 @@ impl TopologySpec {
                 }
             }
             for w in s.path.windows(2) {
-                let connected = self.trunks.iter().any(|t| {
-                    (t.a == w[0] && t.b == w[1]) || (t.a == w[1] && t.b == w[0])
-                });
+                let connected = self
+                    .trunks
+                    .iter()
+                    .any(|t| (t.a == w[0] && t.b == w[1]) || (t.a == w[1] && t.b == w[0]));
                 if !connected {
                     return Err(format!("no trunk between {} and {}", w[0], w[1]));
                 }

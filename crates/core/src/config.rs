@@ -74,10 +74,7 @@ impl MacrConfig {
     // `!(x > 0)`-style checks are deliberate: they reject NaN as well.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in [
-            ("alpha_inc", self.alpha_inc),
-            ("alpha_dec", self.alpha_dec),
-        ] {
+        for (name, v) in [("alpha_inc", self.alpha_inc), ("alpha_dec", self.alpha_dec)] {
             if !(v > 0.0 && v <= 1.0) {
                 return Err(format!("{name} must be in (0, 1]"));
             }
@@ -166,7 +163,10 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.utilization_factor, 5.0);
         assert!(c.macr.adaptive);
-        assert!(c.macr.alpha_dec > c.macr.alpha_inc, "decrease reacts faster");
+        assert!(
+            c.macr.alpha_dec > c.macr.alpha_inc,
+            "decrease reacts faster"
+        );
         assert_eq!(c.macr.residual, ResidualMode::Arrivals);
     }
 

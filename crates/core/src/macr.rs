@@ -60,6 +60,12 @@ impl MacrEstimator {
     /// `capacity` bounds the estimate from above.
     pub fn update(&mut self, residual: f64, capacity: f64) {
         let err = residual - self.macr;
+        // Jacobson order (DESIGN.md §4.1): the mean deviation moves first,
+        // then the adaptive gate compares the error against the *updated*
+        // deviation. For h < 1 the gate decision is the same either way
+        // (|err| > (1−h)·dev + h·|err| ⟺ |err| > dev), but at h = 1 the
+        // orders diverge, so the order is pinned by a regression test.
+        self.dev += self.cfg.dev_gain * (err.abs() - self.dev);
         let mut alpha = if err > 0.0 {
             self.cfg.alpha_inc
         } else {
@@ -73,7 +79,6 @@ impl MacrEstimator {
         if alpha > cap {
             alpha = cap;
         }
-        self.dev += self.cfg.dev_gain * (err.abs() - self.dev);
         self.macr += alpha * err;
         let floor = self.cfg.min_frac * capacity;
         self.macr = self.macr.clamp(floor, capacity);
@@ -196,6 +201,34 @@ mod tests {
         assert!(moved <= 0.5 * before * (1000.0 - before) / before + 1e-9);
         // concretely: alpha <= 0.5*20/1000 = 0.01, err = 980 -> move <= 9.8
         assert!(moved <= 9.8 + 1e-9);
+    }
+
+    #[test]
+    fn adaptive_gate_reads_the_updated_deviation() {
+        // Pins the DESIGN.md §4.1 ordering: dev moves before the gate
+        // reads it. Only h = dev_gain = 1 can tell the orders apart: then
+        // dev' = |err| exactly, so the gate `|err| > dev'` is always
+        // false and every update is damped by slow_scale — whereas gating
+        // on the stale deviation would treat a sudden step as fast-path.
+        let cfg = MacrConfig {
+            dev_gain: 1.0,
+            norm_gain: f64::INFINITY,
+            ..MacrConfig::default()
+        };
+        let mut e = MacrEstimator::new(cfg, 1000.0);
+        for _ in 0..3000 {
+            e.update(500.0, 1000.0); // settle: macr -> 500, dev -> 0
+        }
+        let before = e.macr();
+        e.update(900.0, 1000.0); // step: err = 400, stale dev ~ 0
+        let moved = e.macr() - before;
+        let damped = 400.0 * cfg.alpha_inc * cfg.slow_scale;
+        let undamped = 400.0 * cfg.alpha_inc;
+        assert!(
+            (moved - damped).abs() < 0.1,
+            "gate must read the updated dev (moved {moved}, want {damped}, stale order would give {undamped})"
+        );
+        assert!((e.dev() - 400.0).abs() < 0.1, "h = 1 copies |err| into dev");
     }
 
     #[test]

@@ -10,10 +10,7 @@ use phantom_core::fixed_point::{single_link_macr, single_link_rate};
 use phantom_core::{PhantomAllocator, PhantomConfig, PhantomNi};
 use phantom_sim::{Engine, SimDuration, SimTime};
 
-fn phantom_net(
-    n_sessions: usize,
-    seed: u64,
-) -> (Engine<AtmMsg>, phantom_atm::Network) {
+fn phantom_net(n_sessions: usize, seed: u64) -> (Engine<AtmMsg>, phantom_atm::Network) {
     let mut b = NetworkBuilder::new();
     let s1 = b.switch("s1");
     let s2 = b.switch("s2");
@@ -60,12 +57,9 @@ fn convergence_is_fast_tens_of_milliseconds() {
     engine.run_until(SimTime::from_millis(500));
     let c = mbps_to_cps(150.0);
     let macr_pred = single_link_macr(c, 2, 5.0);
-    let t = phantom_metrics::convergence_time(
-        net.trunk_macr(&engine, TrunkIdx(0)),
-        macr_pred,
-        0.15,
-    )
-    .expect("MACR never converged");
+    let t =
+        phantom_metrics::convergence_time(net.trunk_macr(&engine, TrunkIdx(0)), macr_pred, 0.15)
+            .expect("MACR never converged");
     assert!(
         t < 0.150,
         "paper claims fast convergence; measured {:.1} ms",

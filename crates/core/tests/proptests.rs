@@ -7,17 +7,26 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = MacrConfig> {
     (
-        0.01f64..1.0,  // alpha_inc
-        0.01f64..1.0,  // alpha_dec
-        0.05f64..1.0,  // dev_gain
-        any::<bool>(), // adaptive
-        0.05f64..1.0,  // slow_scale
+        0.01f64..1.0,                                  // alpha_inc
+        0.01f64..1.0,                                  // alpha_dec
+        0.05f64..1.0,                                  // dev_gain
+        any::<bool>(),                                 // adaptive
+        0.05f64..1.0,                                  // slow_scale
         prop_oneof![Just(f64::INFINITY), 0.1f64..2.0], // norm_gain
-        1e-4f64..0.2,  // min_frac
-        1e-3f64..1.0,  // init_frac
+        1e-4f64..0.2,                                  // min_frac
+        1e-3f64..1.0,                                  // init_frac
     )
         .prop_map(
-            |(alpha_inc, alpha_dec, dev_gain, adaptive, slow_scale, norm_gain, min_frac, init_frac)| {
+            |(
+                alpha_inc,
+                alpha_dec,
+                dev_gain,
+                adaptive,
+                slow_scale,
+                norm_gain,
+                min_frac,
+                init_frac,
+            )| {
                 MacrConfig {
                     alpha_inc,
                     alpha_dec,
@@ -108,5 +117,67 @@ proptest! {
             macr: cfg,
             utilization_factor: 5.0,
         });
+    }
+
+    /// The offered limit is `u × MACR` by definition, after *any* sequence
+    /// of measurement intervals (and infinite before the first one).
+    #[test]
+    fn allowed_rate_is_u_times_macr(
+        u in prop_oneof![Just(1.0f64), Just(5.0), Just(10.0), 0.5f64..20.0],
+        measurements in proptest::collection::vec((0u64..5000, 0u64..5000), 1..100),
+    ) {
+        let mut a = PhantomAllocator::new(
+            PhantomConfig::paper().with_utilization_factor(u),
+        );
+        prop_assert!(a.allowed_rate().is_infinite(), "no throttling before init");
+        for &(arrivals, departures) in &measurements {
+            a.on_interval(&PortMeasurement {
+                dt: 0.001,
+                arrivals,
+                departures,
+                queue: 0,
+                capacity: 353_773.6,
+            });
+            let want = u * a.macr();
+            prop_assert!(
+                (a.allowed_rate() - want).abs() <= 1e-9 * want.max(1.0),
+                "allowed_rate {} vs u × MACR {}",
+                a.allowed_rate(),
+                want
+            );
+        }
+    }
+
+    /// Closing the loop — n sessions that obey ER exactly, one interval
+    /// late — lands MACR within 5% of the paper's fixed point
+    /// `C / (1 + n·u)` for every n in 1..=8 and u in {1, 5, 10}.
+    #[test]
+    fn closed_loop_fixed_point_matches_prediction(
+        n in 1u32..=8,
+        u in prop_oneof![Just(1.0f64), Just(5.0), Just(10.0)],
+    ) {
+        let c = 100_000.0;
+        let dt = 0.001;
+        let mut a = PhantomAllocator::new(
+            PhantomConfig::paper().with_utilization_factor(u),
+        );
+        let mut offered: f64 = 100.0; // aggregate cells/s
+        for _ in 0..30_000 {
+            let arrivals = (offered * dt).round() as u64;
+            a.on_interval(&PortMeasurement {
+                dt,
+                arrivals,
+                departures: arrivals,
+                queue: 0,
+                capacity: c,
+            });
+            offered = f64::from(n) * a.allowed_rate().min(c);
+        }
+        let expected = c / (1.0 + f64::from(n) * u);
+        prop_assert!(
+            (a.macr() - expected).abs() < 0.05 * expected,
+            "n={n} u={u}: macr {} vs predicted {expected}",
+            a.macr()
+        );
     }
 }

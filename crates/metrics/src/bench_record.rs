@@ -1,0 +1,211 @@
+//! Machine-readable benchmark records.
+//!
+//! The `repro` harness emits one [`BenchRecord`] per invocation as JSON
+//! (`BENCH_phantom.json`), so performance can be tracked run-over-run by
+//! scripts rather than by eyeballing terminal output. The writer is
+//! hand-rolled — the workspace builds without serde — and emits a stable,
+//! minimal schema: overall runs/sec and events/sec plus per-run wall time
+//! and event counts.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Measurements for one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Experiment id, e.g. `"fig9"`.
+    pub id: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Wall-clock seconds on the worker thread.
+    pub wall_secs: f64,
+    /// Simulator events dispatched.
+    pub events: u64,
+}
+
+impl RunRecord {
+    /// Events per wall-clock second for this run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One `repro` invocation's worth of measurements.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Worker threads the batch ran on.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub total_wall_secs: f64,
+    /// Per-run measurements, in invocation order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl BenchRecord {
+    /// Completed runs per wall-clock second across the batch.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.total_wall_secs > 0.0 {
+            self.runs.len() as f64 / self.total_wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate events per wall-clock second across the batch.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.total_wall_secs > 0.0 {
+            self.runs.iter().map(|r| r.events).sum::<u64>() as f64 / self.total_wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"phantom-bench/1\",\n");
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(
+            s,
+            "  \"total_wall_secs\": {},",
+            json_f64(self.total_wall_secs)
+        );
+        let _ = writeln!(s, "  \"runs_per_sec\": {},", json_f64(self.runs_per_sec()));
+        let _ = writeln!(
+            s,
+            "  \"events_total\": {},",
+            self.runs.iter().map(|r| r.events).sum::<u64>()
+        );
+        let _ = writeln!(
+            s,
+            "  \"events_per_sec\": {},",
+            json_f64(self.events_per_sec())
+        );
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"id\": {}, \"seed\": {}, \"wall_secs\": {}, \"events\": {}, \"events_per_sec\": {}}}",
+                json_str(&r.id),
+                r.seed,
+                json_f64(r.wall_secs),
+                r.events,
+                json_f64(r.events_per_sec())
+            );
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON has no NaN/Infinity literals; map them to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            jobs: 4,
+            total_wall_secs: 2.0,
+            runs: vec![
+                RunRecord {
+                    id: "fig2".into(),
+                    seed: 1996,
+                    wall_secs: 0.5,
+                    events: 1_000_000,
+                },
+                RunRecord {
+                    id: "table1".into(),
+                    seed: 1996,
+                    wall_secs: 1.5,
+                    events: 3_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rates_are_derived_from_totals() {
+        let r = sample();
+        assert_eq!(r.runs_per_sec(), 1.0);
+        assert_eq!(r.events_per_sec(), 2_000_000.0);
+        assert_eq!(r.runs[0].events_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"schema\": \"phantom-bench/1\""));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"events_total\": 4000000"));
+        assert!(j.contains("{\"id\": \"fig2\", \"seed\": 1996"));
+        // crude balance check, good enough for a fixed schema
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn strings_and_non_finite_floats_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("phantom-bench-record-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("BENCH_phantom.json");
+        sample().write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, sample().to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,10 +33,7 @@ pub fn convergence_time(ts: &TimeSeries, target: f64, tol: f64) -> Option<f64> {
 
 /// Convergence time of a *set* of traces toward per-trace targets: the
 /// latest individual convergence time, or `None` if any trace fails.
-pub fn joint_convergence_time(
-    traces: &[(&TimeSeries, f64)],
-    tol: f64,
-) -> Option<f64> {
+pub fn joint_convergence_time(traces: &[(&TimeSeries, f64)], tol: f64) -> Option<f64> {
     let mut worst = 0.0f64;
     for (ts, target) in traces {
         worst = worst.max(convergence_time(ts, *target, tol)?);

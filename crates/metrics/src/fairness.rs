@@ -119,10 +119,7 @@ pub fn weighted_max_min(capacities: &[f64], sessions: &[Session]) -> Vec<f64> {
     let mut frozen = vec![false; n];
     let mut remaining: Vec<f64> = capacities.to_vec();
     for (s, &r) in sessions.iter().zip(&rate) {
-        assert!(
-            s.cap >= s.floor,
-            "session cap below its guaranteed floor"
-        );
+        assert!(s.cap >= s.floor, "session cap below its guaranteed floor");
         for &l in &s.path {
             remaining[l] -= r;
             assert!(
@@ -320,10 +317,7 @@ mod tests {
 
     #[test]
     fn caps_behave_like_private_bottlenecks() {
-        let sessions = vec![
-            Session::on(vec![0]),
-            Session::on(vec![0]).cap(0.1),
-        ];
+        let sessions = vec![Session::on(vec![0]), Session::on(vec![0]).cap(0.1)];
         let rates = weighted_max_min(&[1.0], &sessions);
         assert!(close(rates[1], 0.1));
         assert!(close(rates[0], 0.9));
@@ -357,10 +351,7 @@ mod tests {
     fn phantom_fixed_point_respects_upstream_restriction() {
         // Session B capped at C/30 upstream; A absorbs the leftover:
         // link: A*u*m + B + m = C with A's share = u*MACR.
-        let sessions = vec![
-            Session::on(vec![0]),
-            Session::on(vec![0]).cap(5.0),
-        ];
+        let sessions = vec![Session::on(vec![0]), Session::on(vec![0]).cap(5.0)];
         let (rates, macr) = phantom_prediction(&[150.0], &sessions, 5.0);
         assert!(close(rates[1], 5.0));
         // remaining 145 split 5:1 between A and phantom
@@ -373,10 +364,7 @@ mod tests {
         // A guaranteed 0.6 on a unit link with one best-effort peer:
         // the leftover 0.4 splits equally (0.2 each), so the guaranteed
         // session ends at 0.8.
-        let sessions = vec![
-            Session::on(vec![0]).floor(0.6),
-            Session::on(vec![0]),
-        ];
+        let sessions = vec![Session::on(vec![0]).floor(0.6), Session::on(vec![0])];
         let rates = weighted_max_min(&[1.0], &sessions);
         assert!(close(rates[0], 0.8));
         assert!(close(rates[1], 0.2));

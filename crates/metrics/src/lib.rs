@@ -12,15 +12,21 @@
 //! * [`series`] — resampling and smoothing helpers for recorded traces.
 //! * [`report`] — structured experiment results and their ASCII/CSV
 //!   rendering, used by the `repro` binary to "print" each figure.
+//! * [`bench_record`] — the machine-readable `BENCH_phantom.json` schema
+//!   (runs/sec, events/sec, per-run wall time) the `repro` harness emits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_record;
 pub mod convergence;
 pub mod fairness;
 pub mod report;
 pub mod series;
 
+pub use bench_record::{BenchRecord, RunRecord};
 pub use convergence::{convergence_time, oscillation_amplitude};
-pub use fairness::{jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min};
+pub use fairness::{
+    jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min,
+};
 pub use report::{aggregate_runs, ExperimentResult, Table};

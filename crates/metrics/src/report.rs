@@ -76,12 +76,7 @@ impl ExperimentResult {
         for n in &self.notes {
             let _ = writeln!(out, "   note: {n}");
         }
-        let width = self
-            .metrics
-            .iter()
-            .map(|(n, _)| n.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.metrics.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         for (n, v) in &self.metrics {
             let _ = writeln!(out, "   {n:width$} = {v:.4}");
         }
@@ -96,11 +91,8 @@ impl ExperimentResult {
 
     /// Dump all traces to `dir/<id>.csv` in long format.
     pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
-        let refs: Vec<(&str, &TimeSeries)> = self
-            .series
-            .iter()
-            .map(|(n, ts)| (n.as_str(), ts))
-            .collect();
+        let refs: Vec<(&str, &TimeSeries)> =
+            self.series.iter().map(|(n, ts)| (n.as_str(), ts)).collect();
         write_long_csv(&dir.join(format!("{}.csv", self.id)), &refs)
     }
 }
@@ -131,12 +123,7 @@ pub fn ascii_chart(ts: &TimeSeries, cols: usize, rows: usize) -> String {
         };
         let _ = writeln!(out, "   {label} |{}", String::from_utf8_lossy(row));
     }
-    let _ = writeln!(
-        out,
-        "   {:10} +{}",
-        "",
-        "-".repeat(pts.len())
-    );
+    let _ = writeln!(out, "   {:10} +{}", "", "-".repeat(pts.len()));
     let _ = writeln!(
         out,
         "   {:10}  t: {:.4}s .. {:.4}s",
@@ -239,7 +226,10 @@ mod tests {
     fn trace() -> TimeSeries {
         let mut ts = TimeSeries::new();
         for i in 0..50u64 {
-            ts.push(SimTime::from_millis(i), (i as f64 / 5.0).sin() * 10.0 + 20.0);
+            ts.push(
+                SimTime::from_millis(i),
+                (i as f64 / 5.0).sin() * 10.0 + 20.0,
+            );
         }
         ts
     }
@@ -340,11 +330,7 @@ pub fn aggregate_runs(id: &str, title: &str, runs: &[ExperimentResult]) -> Table
             }
         }
     }
-    let mut t = Table::new(
-        id,
-        title,
-        &["metric", "mean", "min", "max", "spread_pct"],
-    );
+    let mut t = Table::new(id, title, &["metric", "mean", "min", "max", "spread_pct"]);
     for name in &names {
         let vals: Vec<f64> = runs
             .iter()
@@ -380,7 +366,11 @@ mod aggregate_tests {
 
     #[test]
     fn aggregates_mean_min_max_spread() {
-        let runs = vec![run_with(0.98, 20.0), run_with(1.0, 30.0), run_with(0.99, 25.0)];
+        let runs = vec![
+            run_with(0.98, 20.0),
+            run_with(1.0, 30.0),
+            run_with(0.99, 25.0),
+        ];
         let t = aggregate_runs("figX-seeds", "robustness", &runs);
         assert!((t.cell("jain", "mean").unwrap() - 0.99).abs() < 1e-9);
         assert_eq!(t.cell("conv_ms", "min").unwrap(), 20.0);
@@ -410,7 +400,12 @@ impl ExperimentResult {
         let _ = writeln!(s, "set datafile separator ','");
         let _ = writeln!(s, "set terminal pngcairo size 1000,600");
         let _ = writeln!(s, "set output '{}.png'", self.id);
-        let _ = writeln!(s, "set title \"{} — {}\"", self.id, self.title.replace('"', "'"));
+        let _ = writeln!(
+            s,
+            "set title \"{} — {}\"",
+            self.id,
+            self.title.replace('"', "'")
+        );
         let _ = writeln!(s, "set xlabel 'time (s)'");
         let _ = writeln!(s, "set key outside right");
         let _ = writeln!(s, "set grid");

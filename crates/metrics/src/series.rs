@@ -33,8 +33,7 @@ pub fn smooth(ts: &TimeSeries, window: usize) -> TimeSeries {
     for i in 0..n {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
-        let mean =
-            ts.values()[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let mean = ts.values()[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
         out.push(SimTime::from_secs_f64(ts.times()[i]), mean);
     }
     out

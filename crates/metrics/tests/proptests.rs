@@ -18,13 +18,8 @@ fn arb_topology() -> impl Strategy<Value = (Vec<f64>, Vec<Session>)> {
             0.5f64..4.0,
             prop_oneof![Just(f64::INFINITY), 0.5f64..50.0],
         )
-            .prop_map(|(path, w, cap)| {
-                Session::on(path.into_iter().collect()).weight(w).cap(cap)
-            });
-        (
-            Just(caps),
-            proptest::collection::vec(session, 1..8),
-        )
+            .prop_map(|(path, w, cap)| Session::on(path.into_iter().collect()).weight(w).cap(cap));
+        (Just(caps), proptest::collection::vec(session, 1..8))
     })
 }
 

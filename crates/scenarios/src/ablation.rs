@@ -18,11 +18,7 @@ use phantom_core::{MacrConfig, PhantomAllocator, PhantomConfig};
 use phantom_metrics::{oscillation_amplitude, Table};
 use phantom_sim::{Engine, SimDuration, SimTime};
 
-fn run_config(
-    cfg: PhantomConfig,
-    dt: SimDuration,
-    seed: u64,
-) -> (Engine<AtmMsg>, Network) {
+fn run_config(cfg: PhantomConfig, dt: SimDuration, seed: u64) -> (Engine<AtmMsg>, Network) {
     let mut b = NetworkBuilder::new().measure_interval(dt);
     let s1 = b.switch("s1");
     let s2 = b.switch("s2");
@@ -82,11 +78,7 @@ pub fn table_ablation(seed: u64) -> Table {
 
     // Δt sweep.
     for (label, us) in [("dt=0.5ms", 500u64), ("dt=2ms", 2000), ("dt=5ms", 5000)] {
-        let (e, n) = run_config(
-            PhantomConfig::paper(),
-            SimDuration::from_micros(us),
-            seed,
-        );
+        let (e, n) = run_config(PhantomConfig::paper(), SimDuration::from_micros(us), seed);
         t.add_row(label, row(&e, &n));
     }
 
@@ -132,7 +124,10 @@ mod tests {
         // higher u buys utilization
         let u2 = t.cell("u=2", "utilization").unwrap();
         let u20 = t.cell("u=20", "utilization").unwrap();
-        assert!(u20 > u2, "u=20 util {u20:.3} should exceed u=2 util {u2:.3}");
+        assert!(
+            u20 > u2,
+            "u=20 util {u20:.3} should exceed u=2 util {u2:.3}"
+        );
         // theory: n=2 -> u=2: 80%, u=20: 97.6%
         assert!((u2 - 0.80).abs() < 0.06, "u2 util {u2}");
         assert!((u20 - 0.976).abs() < 0.03, "u20 util {u20}");

@@ -57,7 +57,9 @@ pub fn run_aprc_onoff(seed: u64) -> ExperimentResult {
 /// paper draws (longer convergence, smaller queue).
 pub fn run_capc_onoff(seed: u64) -> ExperimentResult {
     let mut r = onoff_with(AtmAlgorithm::Capc, "fig22", seed);
-    r.add_note("explicit: 'CAPC has longer convergence time while its queue is relatively smaller'");
+    r.add_note(
+        "explicit: 'CAPC has longer convergence time while its queue is relatively smaller'",
+    );
 
     // Convergence comparison on the greedy phase: run both algorithms on
     // the basic scenario and report convergence-to-steady-state times.
@@ -116,8 +118,7 @@ mod tests {
     fn fig22_capc_slower_but_smaller_queue_than_phantom() {
         let r = run_capc_onoff(22);
         assert!(
-            r.metric("capc_convergence_ms").unwrap()
-                > r.metric("phantom_convergence_ms").unwrap(),
+            r.metric("capc_convergence_ms").unwrap() > r.metric("phantom_convergence_ms").unwrap(),
             "CAPC should converge slower: {:?} vs {:?}",
             r.metric("capc_convergence_ms"),
             r.metric("phantom_convergence_ms")

@@ -46,8 +46,8 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
         "utilization_predicted",
         single_link_utilization(N_SESSIONS, 5.0),
     );
-    let conv = convergence_time(net.trunk_macr(&engine, TrunkIdx(0)), macr_pred, 0.15)
-        .unwrap_or(f64::NAN);
+    let conv =
+        convergence_time(net.trunk_macr(&engine, TrunkIdx(0)), macr_pred, 0.15).unwrap_or(f64::NAN);
     r.add_metric("convergence_time_ms", conv * 1e3);
     r
 }

@@ -60,10 +60,7 @@ pub fn run(seed: u64) -> ExperimentResult {
             cps_to_mbps(net.session_rate(&engine, s).mean_after(0.6)),
         );
     }
-    r.add_metric(
-        "cbr_abr_predicted_mbps",
-        cps_to_mbps(5.0 * macr_pred),
-    );
+    r.add_metric("cbr_abr_predicted_mbps", cps_to_mbps(5.0 * macr_pred));
     r.add_metric(
         "cbr_utilization",
         crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 0.6),
@@ -82,7 +79,10 @@ pub fn run(seed: u64) -> ExperimentResult {
         mbps.push(SimTime::from_secs_f64(t), cps_to_mbps(v));
     }
     r.add_series("macr_mbps_vbr", mbps);
-    r.add_series("queue_cells_vbr", net.trunk_queue(&engine, TrunkIdx(0)).clone());
+    r.add_series(
+        "queue_cells_vbr",
+        net.trunk_queue(&engine, TrunkIdx(0)).clone(),
+    );
     // MACR range over the steady alternation.
     let hi = macr_series.max_after(0.5);
     let lo = {
@@ -131,7 +131,10 @@ mod tests {
         let lo_p = r.metric("vbr_macr_low_predicted_mbps").unwrap();
         let hi_p = r.metric("vbr_macr_high_predicted_mbps").unwrap();
         assert!(lo < lo_p * 1.4, "MACR low {lo:.2} never reaches {lo_p:.2}");
-        assert!(hi > hi_p * 0.75, "MACR high {hi:.2} never reaches {hi_p:.2}");
+        assert!(
+            hi > hi_p * 0.75,
+            "MACR high {hi:.2} never reaches {hi_p:.2}"
+        );
         // The 60 Mb/s step is absorbed without loss.
         assert_eq!(r.metric("vbr_drops").unwrap(), 0.0);
         assert!(r.metric("vbr_max_queue_cells").unwrap() < 4000.0);

@@ -45,7 +45,10 @@ pub fn run(seed: u64) -> ExperimentResult {
             &format!("{label}_goodput_mbps"),
             cps_to_mbps(rates.iter().sum()),
         );
-        r.add_metric(&format!("{label}_jain"), phantom_metrics::jain_index(&rates));
+        r.add_metric(
+            &format!("{label}_jain"),
+            phantom_metrics::jain_index(&rates),
+        );
         r.add_metric(
             &format!("{label}_wire_losses"),
             net.trunk_port(&engine, TrunkIdx(0)).wire_losses as f64,

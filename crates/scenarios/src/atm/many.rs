@@ -19,7 +19,10 @@ pub fn run(seed: u64) -> ExperimentResult {
     let (mut engine, net) = greedy_bottleneck(n, AtmAlgorithm::Phantom, seed);
     engine.run_until(SimTime::from_millis(800));
 
-    let mut r = ExperimentResult::new("fig8", "fifty greedy sessions on one 150 Mb/s link (Phantom)");
+    let mut r = ExperimentResult::new(
+        "fig8",
+        "fifty greedy sessions on one 150 Mb/s link (Phantom)",
+    );
     r.add_note("reconstructed: scalability of the constant-space estimator");
     collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 25, 49], 0.5);
 

@@ -74,10 +74,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         cps_to_mbps(others.iter().sum::<f64>() / others.len() as f64),
     );
     r.add_metric("besteffort_predicted_mbps", cps_to_mbps(u * macr_pred));
-    r.add_metric(
-        "besteffort_jain",
-        phantom_metrics::jain_index(&others),
-    );
+    r.add_metric("besteffort_jain", phantom_metrics::jain_index(&others));
     r.add_metric(
         "utilization",
         crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 0.5),

@@ -14,8 +14,8 @@ pub mod onoff;
 pub mod parking_lot;
 pub mod restricted;
 pub mod rtt;
-pub mod statmux;
 pub mod staggered;
+pub mod statmux;
 
 use phantom_atm::network::{Network, TrunkIdx};
 use phantom_atm::units::cps_to_mbps;

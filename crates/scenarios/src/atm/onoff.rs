@@ -34,8 +34,14 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
     r.add_metric("queue_p99_proxy_cells", q.max_after(0.2));
     let greedy_rate = net.session_rate(&engine, 0).mean_after(0.2);
     let bursty_rate = net.session_rate(&engine, 1).mean_after(0.2);
-    r.add_metric("greedy_mean_mbps", phantom_atm::units::cps_to_mbps(greedy_rate));
-    r.add_metric("bursty_mean_mbps", phantom_atm::units::cps_to_mbps(bursty_rate));
+    r.add_metric(
+        "greedy_mean_mbps",
+        phantom_atm::units::cps_to_mbps(greedy_rate),
+    );
+    r.add_metric(
+        "bursty_mean_mbps",
+        phantom_atm::units::cps_to_mbps(bursty_rate),
+    );
     r
 }
 
@@ -55,9 +61,7 @@ mod tests {
         assert!(r.metric("utilization").unwrap() > 0.75);
         assert_eq!(r.metric("cell_drops").unwrap(), 0.0);
         // the greedy session gets more than the half-duty bursty ones
-        assert!(
-            r.metric("greedy_mean_mbps").unwrap() > r.metric("bursty_mean_mbps").unwrap()
-        );
+        assert!(r.metric("greedy_mean_mbps").unwrap() > r.metric("bursty_mean_mbps").unwrap());
         // bursty sessions still make real progress
         assert!(r.metric("bursty_mean_mbps").unwrap() > 5.0);
     }

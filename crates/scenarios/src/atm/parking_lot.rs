@@ -37,18 +37,12 @@ pub fn run(seed: u64) -> ExperimentResult {
         r.add_metric(&format!("rate_s{i}_measured_mbps"), cps_to_mbps(m));
         r.add_metric(&format!("rate_s{i}_predicted_mbps"), cps_to_mbps(p));
     }
-    r.add_metric(
-        "macr_trunk0_predicted_mbps",
-        cps_to_mbps(pred_macr[0]),
-    );
+    r.add_metric("macr_trunk0_predicted_mbps", cps_to_mbps(pred_macr[0]));
     r.add_metric(
         "normalized_jain",
         normalized_jain_index(&measured, &pred_rates),
     );
-    r.add_metric(
-        "long_over_cross_ratio",
-        measured[0] / measured[1].max(1.0),
-    );
+    r.add_metric("long_over_cross_ratio", measured[0] / measured[1].max(1.0));
     r
 }
 

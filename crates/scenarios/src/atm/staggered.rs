@@ -28,7 +28,10 @@ pub fn run(seed: u64) -> ExperimentResult {
     let (mut engine, net) = single_bottleneck(&traffics, AtmAlgorithm::Phantom, seed);
     engine.run_until(SimTime::from_millis(1200));
 
-    let mut r = ExperimentResult::new("fig3", "ten sessions joining every 50 ms, five leaving at 700 ms");
+    let mut r = ExperimentResult::new(
+        "fig3",
+        "ten sessions joining every 50 ms, five leaving at 700 ms",
+    );
     r.add_note("reconstructed: adaptivity to joins/leaves");
     super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 5, 9], 0.9);
 

@@ -26,13 +26,8 @@ pub fn run(seed: u64) -> ExperimentResult {
     );
     r.add_note("statistical multiplexing: the fair share is a moving target");
 
-    let traffic = vec![
-        Traffic::random(
-            SimDuration::from_millis(20),
-            SimDuration::from_millis(60),
-        );
-        N
-    ];
+    let traffic =
+        vec![Traffic::random(SimDuration::from_millis(20), SimDuration::from_millis(60),); N];
     for alg in [AtmAlgorithm::Phantom, AtmAlgorithm::Eprca] {
         let (mut engine, net) = single_bottleneck(&traffic, alg, seed);
         engine.run_until(SimTime::from_millis(1500));
@@ -55,10 +50,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         let rates: Vec<f64> = (0..N)
             .map(|s| net.session_rate(&engine, s).mean_after(0.3))
             .collect();
-        r.add_metric(
-            &format!("{name}_jain"),
-            phantom_metrics::jain_index(&rates),
-        );
+        r.add_metric(&format!("{name}_jain"), phantom_metrics::jain_index(&rates));
         if alg == AtmAlgorithm::Phantom {
             let mut mbps = phantom_sim::stats::TimeSeries::new();
             for (t, v) in net.trunk_macr(&engine, TrunkIdx(0)).iter() {

@@ -48,7 +48,9 @@ impl AtmAlgorithm {
                     residual: ResidualMode::Departures,
                     ..MacrConfig::default()
                 };
-                Box::new(PhantomAllocator::new(PhantomConfig::paper().with_macr(macr)))
+                Box::new(PhantomAllocator::new(
+                    PhantomConfig::paper().with_macr(macr),
+                ))
             }
             AtmAlgorithm::PhantomNi => Box::new(PhantomNi::paper()),
             AtmAlgorithm::Eprca => Box::new(Eprca::recommended()),
@@ -139,11 +141,7 @@ pub fn single_bottleneck(
 }
 
 /// `n` greedy sessions over the standard single bottleneck.
-pub fn greedy_bottleneck(
-    n: usize,
-    alg: AtmAlgorithm,
-    seed: u64,
-) -> (Engine<AtmMsg>, Network) {
+pub fn greedy_bottleneck(n: usize, alg: AtmAlgorithm, seed: u64) -> (Engine<AtmMsg>, Network) {
     single_bottleneck(&vec![Traffic::greedy(); n], alg, seed)
 }
 
@@ -191,11 +189,7 @@ pub fn parking_lot_paths() -> (Vec<f64>, Vec<Vec<usize>>) {
 }
 
 /// Standard 10 Mb/s TCP dumbbell with `n` flows, all starting at 0.
-pub fn tcp_dumbbell(
-    n: usize,
-    mech: TcpMechanism,
-    seed: u64,
-) -> (Engine<TcpMsg>, TcpNetwork) {
+pub fn tcp_dumbbell(n: usize, mech: TcpMechanism, seed: u64) -> (Engine<TcpMsg>, TcpNetwork) {
     let mut b = TcpNetworkBuilder::new();
     let r1 = b.router("r1");
     let r2 = b.router("r2");

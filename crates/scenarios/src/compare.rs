@@ -8,9 +8,9 @@ use crate::common::{
     greedy_bottleneck, onoff_bottleneck, tcp_rtt_dumbbell, AtmAlgorithm, TcpMechanism,
 };
 use phantom_atm::network::TrunkIdx;
-use phantom_tcp::network::TrunkIdx as TcpTrunkIdx;
 use phantom_metrics::{convergence_time, jain_index, Table};
 use phantom_sim::{SimDuration, SimTime};
+use phantom_tcp::network::TrunkIdx as TcpTrunkIdx;
 
 /// T1 — ATM algorithms on the greedy (F2) and on/off (F4) scenarios.
 pub fn table_atm(seed: u64) -> Table {
@@ -88,9 +88,7 @@ pub fn table_tcp(seed: u64) -> Table {
             .map(|f| net.flow_goodput(&engine, f).mean_after(10.0))
             .collect();
         let port = net.trunk_port(&engine, TcpTrunkIdx(0));
-        let sent: u64 = (0..2)
-            .map(|f| net.source(&engine, f).segments_sent)
-            .sum();
+        let sent: u64 = (0..2).map(|f| net.source(&engine, f).segments_sent).sum();
         let loss_pct = 100.0 * port.total_drops() as f64 / (sent.max(1)) as f64;
         t.add_row(
             mech.name(),
@@ -131,8 +129,7 @@ mod tests {
         // observation: Phantom reacts faster at the cost of a larger
         // queue during convergence).
         assert!(
-            t.cell("capc", "onoff_max_q").unwrap()
-                <= t.cell("phantom", "onoff_max_q").unwrap()
+            t.cell("capc", "onoff_max_q").unwrap() <= t.cell("phantom", "onoff_max_q").unwrap()
         );
     }
 

@@ -17,6 +17,8 @@
 //! * [`compare`] — the cross-algorithm summary tables.
 //! * [`ablation`] — design-choice sweeps (Δt, α, u, residual mode).
 //! * [`registry`] — string-keyed access to every experiment for the CLI.
+//! * [`sweep`] — parallel fan-out of independent `(experiment, seed)`
+//!   runs across OS threads, with results identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +28,10 @@ pub mod atm;
 pub mod common;
 pub mod compare;
 pub mod registry;
+pub mod sweep;
 pub mod tcp;
 pub mod tcp_ablation;
 pub mod wan;
 
 pub use registry::{all_experiments, run_experiment, ExperimentOutput};
+pub use sweep::{run_sweep, SweepJob, SweepRun};

@@ -70,37 +70,145 @@ macro_rules! tab {
 /// Every experiment in the reproduction, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        fig!("fig2", "two greedy sessions converge (Phantom)", crate::atm::basic::run),
-        fig!("fig3", "staggered joins and leaves", crate::atm::staggered::run),
-        fig!("fig4", "on/off sessions under Phantom", crate::atm::onoff::run),
+        fig!(
+            "fig2",
+            "two greedy sessions converge (Phantom)",
+            crate::atm::basic::run
+        ),
+        fig!(
+            "fig3",
+            "staggered joins and leaves",
+            crate::atm::staggered::run
+        ),
+        fig!(
+            "fig4",
+            "on/off sessions under Phantom",
+            crate::atm::onoff::run
+        ),
         fig!("fig5", "heterogeneous RTT fairness", crate::atm::rtt::run),
-        fig!("fig6", "parking-lot max-min fairness", crate::atm::parking_lot::run),
-        fig!("fig7", "session restricted by another bottleneck", crate::atm::restricted::run),
+        fig!(
+            "fig6",
+            "parking-lot max-min fairness",
+            crate::atm::parking_lot::run
+        ),
+        fig!(
+            "fig7",
+            "session restricted by another bottleneck",
+            crate::atm::restricted::run
+        ),
         fig!("fig8", "fifty sessions at scale", crate::atm::many::run),
-        fig!("fig9", "canonical utilization-factor-5 panels", crate::atm::canonical::run),
-        fig!("fig11", "NI/EFCI-bit variant of fig9", crate::atm::efci::run),
-        fig!("fig12", "adaptive vs fixed gains (oscillation)", crate::atm::adaptive_alpha::run),
-        fig!("fig14", "TCP RTT bias: drop-tail vs Selective Discard", crate::tcp::unfair_rtt::run),
+        fig!(
+            "fig9",
+            "canonical utilization-factor-5 panels",
+            crate::atm::canonical::run
+        ),
+        fig!(
+            "fig11",
+            "NI/EFCI-bit variant of fig9",
+            crate::atm::efci::run
+        ),
+        fig!(
+            "fig12",
+            "adaptive vs fixed gains (oscillation)",
+            crate::atm::adaptive_alpha::run
+        ),
+        fig!(
+            "fig14",
+            "TCP RTT bias: drop-tail vs Selective Discard",
+            crate::tcp::unfair_rtt::run
+        ),
         fig!("fig15", "Selective Source Quench", crate::tcp::quench::run),
-        fig!("fig16", "plain RED vs Selective RED", crate::tcp::sel_red::run),
-        fig!("fig17", "TCP beat-down parking lot", crate::tcp::beatdown::run),
-        fig!("fig18", "Selective Discard pseudo-code in execution", crate::tcp::seldiscard::run),
-        fig!("ext1", "TCP Vegas unfairness and the Phantom remedy", crate::tcp::vegas::run),
-        fig!("fig19", "EPRCA on the basic scenario", crate::atm::baselines::run_eprca_basic),
-        fig!("fig20", "EPRCA under on/off load", crate::atm::baselines::run_eprca_onoff),
-        fig!("fig21", "APRC under on/off load (300-cell threshold)", crate::atm::baselines::run_aprc_onoff),
-        fig!("fig22", "CAPC under on/off load vs Phantom", crate::atm::baselines::run_capc_onoff),
-        fig!("ext3", "TCP over an ABR-carried trunk (interconnection)", crate::tcp::over_abr::run),
-        fig!("ext7", "Phantom under injected link loss", crate::atm::lossy::run),
-        fig!("ext6", "statistical multiplexing of stochastic on/off sessions", crate::atm::statmux::run),
+        fig!(
+            "fig16",
+            "plain RED vs Selective RED",
+            crate::tcp::sel_red::run
+        ),
+        fig!(
+            "fig17",
+            "TCP beat-down parking lot",
+            crate::tcp::beatdown::run
+        ),
+        fig!(
+            "fig18",
+            "Selective Discard pseudo-code in execution",
+            crate::tcp::seldiscard::run
+        ),
+        fig!(
+            "ext1",
+            "TCP Vegas unfairness and the Phantom remedy",
+            crate::tcp::vegas::run
+        ),
+        fig!(
+            "fig19",
+            "EPRCA on the basic scenario",
+            crate::atm::baselines::run_eprca_basic
+        ),
+        fig!(
+            "fig20",
+            "EPRCA under on/off load",
+            crate::atm::baselines::run_eprca_onoff
+        ),
+        fig!(
+            "fig21",
+            "APRC under on/off load (300-cell threshold)",
+            crate::atm::baselines::run_aprc_onoff
+        ),
+        fig!(
+            "fig22",
+            "CAPC under on/off load vs Phantom",
+            crate::atm::baselines::run_capc_onoff
+        ),
+        fig!(
+            "ext3",
+            "TCP over an ABR-carried trunk (interconnection)",
+            crate::tcp::over_abr::run
+        ),
+        fig!(
+            "ext7",
+            "Phantom under injected link loss",
+            crate::atm::lossy::run
+        ),
+        fig!(
+            "ext6",
+            "statistical multiplexing of stochastic on/off sessions",
+            crate::atm::statmux::run
+        ),
         fig!("ext5", "MCR guarantees under Phantom", crate::atm::mcr::run),
-        fig!("ext4", "ABR under unresponsive CBR/VBR background", crate::atm::cbr_background::run),
-        fig!("ext2", "constant space vs per-VC state: Phantom vs ERICA", crate::atm::erica_cmp::run),
-        tab!("table1", "ATM algorithm comparison", crate::compare::table_atm),
-        tab!("table2", "TCP mechanism comparison", crate::compare::table_tcp),
-        tab!("table3", "Phantom design ablations", crate::ablation::table_ablation),
-        tab!("table4", "Phantom vs control-loop delay (LAN to WAN)", crate::wan::table_wan),
-        tab!("table5", "TCP Selective Discard ablations", crate::tcp_ablation::table_tcp_ablation),
+        fig!(
+            "ext4",
+            "ABR under unresponsive CBR/VBR background",
+            crate::atm::cbr_background::run
+        ),
+        fig!(
+            "ext2",
+            "constant space vs per-VC state: Phantom vs ERICA",
+            crate::atm::erica_cmp::run
+        ),
+        tab!(
+            "table1",
+            "ATM algorithm comparison",
+            crate::compare::table_atm
+        ),
+        tab!(
+            "table2",
+            "TCP mechanism comparison",
+            crate::compare::table_tcp
+        ),
+        tab!(
+            "table3",
+            "Phantom design ablations",
+            crate::ablation::table_ablation
+        ),
+        tab!(
+            "table4",
+            "Phantom vs control-loop delay (LAN to WAN)",
+            crate::wan::table_wan
+        ),
+        tab!(
+            "table5",
+            "TCP Selective Discard ablations",
+            crate::tcp_ablation::table_tcp_ablation
+        ),
     ]
 }
 
@@ -126,7 +234,9 @@ mod tests {
         assert_eq!(ids.len(), n, "duplicate experiment ids");
         // the DESIGN.md index: 19 paper figures + 7 extensions + 5 tables
         assert_eq!(n, 31);
-        for required in ["fig2", "fig9", "fig14", "fig18", "fig22", "table1", "table2", "table3"] {
+        for required in [
+            "fig2", "fig9", "fig14", "fig18", "fig22", "table1", "table2", "table3",
+        ] {
             assert!(ids.binary_search(&required).is_ok(), "missing {required}");
         }
     }

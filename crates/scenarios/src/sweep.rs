@@ -1,0 +1,122 @@
+//! Parallel fan-out of independent experiment runs across OS threads.
+//!
+//! Every experiment in the registry is a pure function of `(id, seed)`,
+//! so a batch of runs is embarrassingly parallel: workers pull jobs off a
+//! shared atomic cursor, run them to completion, and the batch result is
+//! reassembled in job order. Parallelism therefore cannot change any
+//! result — `--jobs 1` and `--jobs N` produce byte-identical reports —
+//! it only changes wall-clock time.
+//!
+//! Uses only `std::thread::scope`; no thread-pool dependency.
+
+use crate::registry::{run_experiment, ExperimentOutput};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of work: an experiment id plus the seed to run it under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Registry id, e.g. `"fig9"`.
+    pub id: String,
+    /// Master seed for the run (per-node streams derive from it).
+    pub seed: u64,
+}
+
+/// The outcome of one job.
+pub struct SweepRun {
+    /// The job this run answers.
+    pub job: SweepJob,
+    /// The experiment output; `None` if the id is unknown.
+    pub output: Option<ExperimentOutput>,
+    /// Simulator events dispatched by this run.
+    pub events: u64,
+    /// Wall-clock seconds this run took on its worker thread.
+    pub wall_secs: f64,
+}
+
+fn run_one(job: &SweepJob) -> SweepRun {
+    let events_before = phantom_sim::thread_events_dispatched();
+    let start = std::time::Instant::now();
+    let output = run_experiment(&job.id, job.seed);
+    SweepRun {
+        job: job.clone(),
+        output,
+        events: phantom_sim::thread_events_dispatched() - events_before,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run every job, fanning across up to `jobs` worker threads, and return
+/// the results in the same order as `jobs_list`.
+pub fn run_sweep(jobs_list: &[SweepJob], jobs: usize) -> Vec<SweepRun> {
+    let workers = jobs.max(1).min(jobs_list.len());
+    if workers <= 1 {
+        return jobs_list.iter().map(run_one).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, SweepRun)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs_list.get(i) else { break };
+                        local.push((i, run_one(job)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(ids: &[(&str, u64)]) -> Vec<SweepJob> {
+        ids.iter()
+            .map(|(id, seed)| SweepJob {
+                id: id.to_string(),
+                seed: *seed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_byte_for_byte() {
+        let batch = jobs(&[("fig2", 1996), ("fig2", 1997)]);
+        let seq = run_sweep(&batch, 1);
+        let par = run_sweep(&batch, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.job, b.job, "result order must follow job order");
+            assert_eq!(a.events, b.events, "event counts must match");
+            let ra = a.output.as_ref().expect("fig2 is known").render(0);
+            let rb = b.output.as_ref().expect("fig2 is known").render(0);
+            assert_eq!(ra, rb, "reports must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn unknown_ids_surface_as_none_in_order() {
+        let batch = jobs(&[("no-such-figure", 1)]);
+        let out = run_sweep(&batch, 2);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].output.is_none());
+        assert_eq!(out[0].events, 0);
+    }
+
+    #[test]
+    fn events_and_wall_time_are_recorded() {
+        let out = run_sweep(&jobs(&[("fig2", 1996)]), 1);
+        assert!(out[0].events > 0, "a simulation dispatches events");
+        assert!(out[0].wall_secs > 0.0);
+    }
+}

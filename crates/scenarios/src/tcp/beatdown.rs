@@ -38,8 +38,7 @@ pub fn run(seed: u64) -> ExperimentResult {
     let dt = side(TcpMechanism::DropTail, "droptail");
     let sd = side(TcpMechanism::SelectiveDiscard, "seldiscard");
 
-    let cross_mean =
-        |v: &[f64]| v[1..].iter().sum::<f64>() / (v.len() - 1) as f64;
+    let cross_mean = |v: &[f64]| v[1..].iter().sum::<f64>() / (v.len() - 1) as f64;
     r.add_metric("droptail_long_mbps", dt[0] * 8.0 / 1e6);
     r.add_metric("droptail_cross_mbps", cross_mean(&dt) * 8.0 / 1e6);
     r.add_metric("droptail_long_share", dt[0] / cross_mean(&dt).max(1.0));

@@ -48,8 +48,14 @@ fn abr_bandwidth_trace(seed: u64) -> Vec<(SimTime, f64)> {
     b.session(&[s1, s2], Traffic::greedy()); // the carrier VC
     let on = SimDuration::from_millis(200);
     let off = SimDuration::from_millis(200);
-    b.session(&[s1, s2], Traffic::on_off(SimTime::from_millis(500), on, off));
-    b.session(&[s1, s2], Traffic::on_off(SimTime::from_millis(600), on, off));
+    b.session(
+        &[s1, s2],
+        Traffic::on_off(SimTime::from_millis(500), on, off),
+    );
+    b.session(
+        &[s1, s2],
+        Traffic::on_off(SimTime::from_millis(600), on, off),
+    );
     let mut engine = Engine::new(seed);
     let net = b.build(&mut engine, &mut || AtmAlgorithm::Phantom.boxed());
     engine.run_until(SimTime::from_secs_f64(ATM_SECS));
@@ -78,7 +84,10 @@ fn run_tcp_over_trace(
     let r1 = b.router("r1");
     let r2 = b.router("r2");
     // Initial capacity = the trace's first point (replayed thereafter).
-    let init_mbps = trace.first().map(|&(_, bps)| bps * 8.0 / 1e6).unwrap_or(10.0);
+    let init_mbps = trace
+        .first()
+        .map(|&(_, bps)| bps * 8.0 / 1e6)
+        .unwrap_or(10.0);
     b.trunk(r1, r2, init_mbps, SimDuration::from_millis(1));
     b.flow(&[r1, r2], SimTime::ZERO);
     b.flow(&[r1, r2], SimTime::ZERO);
@@ -166,7 +175,9 @@ mod tests {
         assert!(hi > 1.5 * lo, "trace barely varies: {lo:.1}..{hi:.1} Mb/s");
         // Both mechanisms move real data over the varying pipe.
         for label in ["droptail", "seldiscard"] {
-            let frac = r.metric(&format!("{label}_goodput_over_available")).unwrap();
+            let frac = r
+                .metric(&format!("{label}_goodput_over_available"))
+                .unwrap();
             assert!(frac > 0.4, "{label} wasted the pipe: {frac:.2}");
             assert!(frac <= 1.0);
         }

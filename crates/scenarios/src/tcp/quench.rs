@@ -15,8 +15,11 @@ use phantom_tcp::network::TrunkIdx;
 
 /// Run F15.
 pub fn run(seed: u64) -> ExperimentResult {
-    let (mut engine, net) =
-        tcp_rtt_dumbbell(SimDuration::from_millis(25), TcpMechanism::SelectiveQuench, seed);
+    let (mut engine, net) = tcp_rtt_dumbbell(
+        SimDuration::from_millis(25),
+        TcpMechanism::SelectiveQuench,
+        seed,
+    );
     engine.run_until(SimTime::from_secs(20));
 
     let mut r = ExperimentResult::new(

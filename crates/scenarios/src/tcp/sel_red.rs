@@ -19,8 +19,7 @@ pub fn run(seed: u64) -> ExperimentResult {
     r.add_note("reconstructed §4: RED with Phantom eligibility predicate");
 
     let mut side = |mech: TcpMechanism, label: &str| -> (f64, f64) {
-        let (mut engine, net) =
-            tcp_rtt_dumbbell_cap(SimDuration::from_millis(25), mech, seed, 200);
+        let (mut engine, net) = tcp_rtt_dumbbell_cap(SimDuration::from_millis(25), mech, seed, 200);
         engine.run_until(SimTime::from_secs(20));
         collect_tcp(&engine, &net, &mut r, TrunkIdx(0), 10.0, label);
         (

@@ -28,10 +28,7 @@ pub fn run(seed: u64) -> ExperimentResult {
     let port = net.trunk_port(&engine, TrunkIdx(0));
     r.add_metric("policy_drops", port.policy_drops as f64);
     r.add_metric("tail_drops", port.tail_drops() as f64);
-    r.add_metric(
-        "macr_final_mbps",
-        port.fair_share() * 8.0 / 1e6,
-    );
+    r.add_metric("macr_final_mbps", port.fair_share() * 8.0 / 1e6);
     r
 }
 
@@ -42,7 +39,10 @@ mod tests {
     #[test]
     fn fig18_the_predicate_does_all_the_dropping() {
         let r = run(18);
-        assert!(r.metric("policy_drops").unwrap() > 0.0, "predicate never fired");
+        assert!(
+            r.metric("policy_drops").unwrap() > 0.0,
+            "predicate never fired"
+        );
         assert_eq!(
             r.metric("tail_drops").unwrap(),
             0.0,

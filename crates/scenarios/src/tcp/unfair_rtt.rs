@@ -79,8 +79,6 @@ mod tests {
             sd < 3.0 && sd < 0.6 * dt,
             "selective discard should shrink the bias: {sd:.2} vs {dt:.2}"
         );
-        assert!(
-            r.metric("jain_seldiscard").unwrap() > r.metric("jain_droptail").unwrap()
-        );
+        assert!(r.metric("jain_seldiscard").unwrap() > r.metric("jain_droptail").unwrap());
     }
 }

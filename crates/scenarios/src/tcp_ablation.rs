@@ -48,13 +48,7 @@ fn run_dumbbell(
 
 fn row_from(stats: Vec<f64>) -> Vec<f64> {
     let (short, long, q) = (stats[0], stats[1], stats[2]);
-    vec![
-        jain_index(&[short, long]),
-        short,
-        long,
-        short + long,
-        q,
-    ]
+    vec![jain_index(&[short, long]), short, long, short + long, q]
 }
 
 /// Run T5.
@@ -62,7 +56,14 @@ pub fn table_tcp_ablation(seed: u64) -> Table {
     let mut t = Table::new(
         "table5",
         "TCP Selective Discard ablations (RTT dumbbell, 10 Mb/s)",
-        &["variant", "jain", "short_mbps", "long_mbps", "aggregate", "mean_q"],
+        &[
+            "variant",
+            "jain",
+            "short_mbps",
+            "long_mbps",
+            "aggregate",
+            "mean_q",
+        ],
     );
     let dt10 = SimDuration::from_millis(10);
 

@@ -58,13 +58,9 @@ pub fn table_wan(seed: u64) -> Table {
             .collect();
         let util = crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 1.0);
         let max_q = net.trunk_port(&engine, TrunkIdx(0)).queue_high_water() as f64;
-        let macr_err =
-            100.0 * (cps_to_mbps(macr.mean_after(1.0)) - cps_to_mbps(pred)).abs()
-                / cps_to_mbps(pred);
-        t.add_row(
-            label,
-            vec![conv, jain_index(&rates), util, max_q, macr_err],
-        );
+        let macr_err = 100.0 * (cps_to_mbps(macr.mean_after(1.0)) - cps_to_mbps(pred)).abs()
+            / cps_to_mbps(pred);
+        t.add_row(label, vec![conv, jain_index(&rates), util, max_q, macr_err]);
     }
     t
 }

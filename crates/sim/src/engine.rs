@@ -11,6 +11,14 @@
 //! each node has its own RNG stream derived from the engine seed and its
 //! node index, and simulated time is integer nanoseconds. Two runs with the
 //! same seed and topology produce identical traces.
+//!
+//! The dispatch path is deliberately allocation-free: nodes are stored as
+//! plain boxes and borrowed in place (a [`Ctx`] only touches the outbox and
+//! the per-node RNG, which are disjoint fields, so no take/put-back dance
+//! is needed), and the outbox buffer is reused across events. Tracing is
+//! opt-in via [`Engine::set_trace_hook`]; when no hook is attached,
+//! [`Engine::run_until`] runs a tight loop with no per-event branching on
+//! the hook.
 
 use crate::event::EventQueue;
 use crate::rng::derive_seed;
@@ -18,6 +26,7 @@ use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
+use std::cell::Cell;
 
 /// Identifier of a node within one [`Engine`]; dense indices starting at 0.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -28,6 +37,30 @@ pub struct NodeId(pub usize);
 pub trait Node<M>: Any {
     /// Handle a message delivered at `ctx.now()`.
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
+}
+
+/// Observer invoked for every delivered event: `(time, destination, &msg)`.
+///
+/// The hook runs before the destination node's [`Node::on_event`].
+pub type TraceHook<M> = Box<dyn FnMut(SimTime, NodeId, &M)>;
+
+thread_local! {
+    static THREAD_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total events dispatched by all engines on the current thread.
+///
+/// This is a monotonic counter; callers measure a run by taking the
+/// difference before and after. It exists so harnesses (e.g. the `repro`
+/// benchmark runner) can report events/second for a scenario without the
+/// scenario having to thread its engine's [`Engine::events_processed`]
+/// value out through its result type.
+pub fn thread_events_dispatched() -> u64 {
+    THREAD_EVENTS.with(|c| c.get())
+}
+
+fn note_dispatched(n: u64) {
+    THREAD_EVENTS.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
 /// Handle given to a node while it processes an event.
@@ -76,11 +109,12 @@ impl<'a, M> Ctx<'a, M> {
 pub struct Engine<M> {
     now: SimTime,
     queue: EventQueue<M>,
-    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    nodes: Vec<Box<dyn Node<M>>>,
     rngs: Vec<SmallRng>,
     seed: u64,
     outbox: Vec<(SimTime, NodeId, M)>,
     events_processed: u64,
+    trace: Option<TraceHook<M>>,
 }
 
 impl<M: 'static> Engine<M> {
@@ -94,16 +128,29 @@ impl<M: 'static> Engine<M> {
             seed,
             outbox: Vec::new(),
             events_processed: 0,
+            trace: None,
         }
     }
 
     /// Register a node; its id is returned and is stable for the whole run.
     pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Some(Box::new(node)));
+        self.nodes.push(Box::new(node));
         self.rngs
             .push(SmallRng::seed_from_u64(derive_seed(self.seed, id.0 as u64)));
         id
+    }
+
+    /// Attach an observer called for every delivered event. Replaces any
+    /// previously attached hook. Tracing does not change the simulation —
+    /// only the wall-clock cost of running it.
+    pub fn set_trace_hook(&mut self, hook: TraceHook<M>) {
+        self.trace = Some(hook);
+    }
+
+    /// Detach the trace hook, restoring the untraced fast path.
+    pub fn clear_trace_hook(&mut self) {
+        self.trace = None;
     }
 
     /// Schedule an initial message from outside any node.
@@ -127,44 +174,58 @@ impl<M: 'static> Engine<M> {
         self.queue.len()
     }
 
+    /// Deliver one already-popped event: advance the clock, run the
+    /// destination node, and move anything it sent into the calendar.
+    #[inline]
+    fn dispatch(&mut self, time: SimTime, dst: NodeId, msg: M) {
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.events_processed += 1;
+        {
+            let mut ctx = Ctx {
+                now: time,
+                self_id: dst,
+                outbox: &mut self.outbox,
+                rng: &mut self.rngs[dst.0],
+            };
+            self.nodes[dst.0].on_event(&mut ctx, msg);
+        }
+        for (t, d, m) in self.outbox.drain(..) {
+            self.queue.push(t, d, m);
+        }
+    }
+
     /// Dispatch the next event. Returns `false` when the calendar is empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
-        self.now = ev.time;
-        self.events_processed += 1;
-        let mut node = self.nodes[ev.dst.0]
-            .take()
-            .expect("node missing or re-entrant dispatch");
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: ev.dst,
-                outbox: &mut self.outbox,
-                rng: &mut self.rngs[ev.dst.0],
-            };
-            node.on_event(&mut ctx, ev.msg);
+        if let Some(hook) = self.trace.as_mut() {
+            hook(ev.time, ev.dst, &ev.msg);
         }
-        self.nodes[ev.dst.0] = Some(node);
-        let mut out = std::mem::take(&mut self.outbox);
-        for (t, dst, msg) in out.drain(..) {
-            self.queue.push(t, dst, msg);
-        }
-        self.outbox = out;
+        self.dispatch(ev.time, ev.dst, ev.msg);
+        note_dispatched(1);
         true
     }
 
     /// Run until the clock reaches `t` (inclusive of events at exactly `t`).
     /// The clock is left at `t` even if the calendar empties earlier.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.queue.peek_time() {
-            if next > t {
-                break;
+        let start = self.events_processed;
+        if self.trace.is_none() {
+            // Fast path: no per-event hook check, one heap access per event.
+            while let Some(ev) = self.queue.pop_at_or_before(t) {
+                self.dispatch(ev.time, ev.dst, ev.msg);
             }
-            self.step();
+        } else {
+            while let Some(ev) = self.queue.pop_at_or_before(t) {
+                if let Some(hook) = self.trace.as_mut() {
+                    hook(ev.time, ev.dst, &ev.msg);
+                }
+                self.dispatch(ev.time, ev.dst, ev.msg);
+            }
         }
+        note_dispatched(self.events_processed - start);
         if self.now < t {
             self.now = t;
         }
@@ -174,12 +235,23 @@ impl<M: 'static> Engine<M> {
     /// Returns the number of events dispatched by this call.
     pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
         let start = self.events_processed;
-        while self.events_processed - start < max_events {
-            if !self.step() {
-                break;
+        if self.trace.is_none() {
+            while self.events_processed - start < max_events {
+                let Some(ev) = self.queue.pop() else { break };
+                self.dispatch(ev.time, ev.dst, ev.msg);
+            }
+        } else {
+            while self.events_processed - start < max_events {
+                let Some(ev) = self.queue.pop() else { break };
+                if let Some(hook) = self.trace.as_mut() {
+                    hook(ev.time, ev.dst, &ev.msg);
+                }
+                self.dispatch(ev.time, ev.dst, ev.msg);
             }
         }
-        self.events_processed - start
+        let done = self.events_processed - start;
+        note_dispatched(done);
+        done
     }
 
     /// Immutable access to a node, downcast to its concrete type.
@@ -188,9 +260,7 @@ impl<M: 'static> Engine<M> {
     /// Panics if the node is of a different type — an id mix-up is a bug in
     /// the scenario, not a recoverable condition.
     pub fn node<N: Node<M>>(&self, id: NodeId) -> &N {
-        let node: &dyn Node<M> = self.nodes[id.0]
-            .as_deref()
-            .expect("node missing (called from within dispatch?)");
+        let node: &dyn Node<M> = &*self.nodes[id.0];
         let any: &dyn Any = node;
         any.downcast_ref::<N>().expect("node type mismatch")
     }
@@ -200,9 +270,7 @@ impl<M: 'static> Engine<M> {
     /// # Panics
     /// Panics on a type mismatch, as with [`Engine::node`].
     pub fn node_mut<N: Node<M>>(&mut self, id: NodeId) -> &mut N {
-        let node: &mut dyn Node<M> = self.nodes[id.0]
-            .as_deref_mut()
-            .expect("node missing (called from within dispatch?)");
+        let node: &mut dyn Node<M> = &mut *self.nodes[id.0];
         let any: &mut dyn Any = node;
         any.downcast_mut::<N>().expect("node type mismatch")
     }
@@ -307,10 +375,7 @@ mod tests {
             e.schedule(SimTime::ZERO, a, 0);
             e.schedule(SimTime::ZERO, b, 0);
             e.run_until(SimTime::from_secs(1));
-            (
-                e.node::<R>(a).draws.clone(),
-                e.node::<R>(b).draws.clone(),
-            )
+            (e.node::<R>(a).draws.clone(), e.node::<R>(b).draws.clone())
         };
         let (a1, b1) = run(99);
         let (a2, b2) = run(99);
@@ -341,5 +406,77 @@ mod tests {
         let f = e.add_node(Forever);
         e.schedule(SimTime::ZERO, f, 0);
         assert_eq!(e.run_to_completion(1000), 1000);
+    }
+
+    #[test]
+    fn trace_hook_sees_every_event_without_changing_the_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run = |traced: bool| {
+            let mut e = Engine::<u32>::new(7);
+            let c = e.add_node(Collector::default());
+            let r = e.add_node(Relay { dst: c });
+            let seen: Rc<RefCell<Vec<(SimTime, NodeId, u32)>>> = Rc::default();
+            if traced {
+                let sink = Rc::clone(&seen);
+                e.set_trace_hook(Box::new(move |t, dst, msg| {
+                    sink.borrow_mut().push((t, dst, *msg));
+                }));
+            }
+            e.schedule(SimTime::from_micros(1), r, 10);
+            e.schedule(SimTime::from_micros(2), r, 20);
+            e.run_until(SimTime::from_millis(1));
+            let trace = seen.borrow().clone();
+            (
+                e.node::<Collector>(c).got.clone(),
+                trace,
+                e.events_processed(),
+            )
+        };
+
+        let (got_plain, _, n_plain) = run(false);
+        let (got_traced, trace, n_traced) = run(true);
+        assert_eq!(got_plain, got_traced, "tracing must not perturb the run");
+        assert_eq!(n_plain, n_traced);
+        assert_eq!(trace.len(), n_traced as usize, "hook sees every dispatch");
+        assert_eq!(
+            trace[0],
+            (SimTime::from_micros(1), NodeId(1), 10),
+            "hook runs before delivery, with the delivered payload"
+        );
+    }
+
+    #[test]
+    fn clear_trace_hook_restores_untraced_dispatch() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut e = Engine::<u32>::new(3);
+        let c = e.add_node(Collector::default());
+        let seen: Rc<RefCell<u32>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        e.set_trace_hook(Box::new(move |_, _, _| *sink.borrow_mut() += 1));
+        e.schedule(SimTime::from_micros(1), c, 0);
+        e.run_until(SimTime::from_micros(1));
+        e.clear_trace_hook();
+        e.schedule(SimTime::from_micros(2), c, 1);
+        e.run_until(SimTime::from_micros(2));
+        assert_eq!(*seen.borrow(), 1, "hook only observes while attached");
+        assert_eq!(e.node::<Collector>(c).got.len(), 2);
+    }
+
+    #[test]
+    fn thread_counter_tracks_dispatches() {
+        let before = thread_events_dispatched();
+        let mut e = Engine::<u32>::new(1);
+        let c = e.add_node(Collector::default());
+        for i in 0..10 {
+            e.schedule(SimTime::from_micros(i), c, i as u32);
+        }
+        e.run_until(SimTime::from_millis(1));
+        e.schedule(SimTime::from_millis(2), c, 99);
+        assert!(e.step());
+        assert_eq!(thread_events_dispatched() - before, 11);
     }
 }

@@ -1,9 +1,12 @@
 //! The pending-event queue.
 //!
-//! A classic calendar for discrete-event simulation: a binary heap ordered
-//! by `(time, sequence)`. The monotonically increasing sequence number makes
-//! the ordering of same-timestamp events FIFO, which keeps runs
-//! deterministic regardless of heap internals.
+//! A classic calendar for discrete-event simulation, organised for the hot
+//! path: a binary heap of small `(time, seq, slot)` keys plus a slab of
+//! message payloads. Only the 24-byte keys move during heap sift
+//! operations; the payloads (which for ATM scenarios are multi-word enums)
+//! are written once on push and read once on pop. The monotonically
+//! increasing sequence number makes the ordering of same-timestamp events
+//! FIFO, which keeps runs deterministic regardless of heap internals.
 
 use crate::engine::NodeId;
 use crate::time::SimTime;
@@ -46,9 +49,56 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Heap entry: the ordering key plus the index of the payload slot.
+///
+/// `slot` takes no part in the ordering — `seq` is unique, so `(time, seq)`
+/// is already a total order.
+#[derive(Clone, Copy)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed, same convention as `Event`.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A payload slot: either holds a pending message or links into the
+/// intrusive free list (so releasing a slot is one write, with no separate
+/// free-index vector to maintain).
+enum Slot<M> {
+    Full(NodeId, M),
+    Free(u32),
+}
+
+/// Free-list terminator.
+const NIL: u32 = u32::MAX;
+
 /// Priority queue of pending events, earliest first.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    heap: BinaryHeap<HeapKey>,
+    slots: Vec<Slot<M>>,
+    free_head: u32,
     next_seq: u64,
 }
 
@@ -63,30 +113,76 @@ impl<M> EventQueue<M> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_head: NIL,
             next_seq: 0,
         }
     }
 
     /// Schedule delivery of `msg` to `dst` at absolute time `time`.
+    #[inline]
     pub fn push(&mut self, time: SimTime, dst: NodeId, msg: M) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event {
-            time,
-            seq,
-            dst,
-            msg,
-        });
+        let slot = if self.free_head != NIL {
+            let s = self.free_head;
+            match std::mem::replace(&mut self.slots[s as usize], Slot::Full(dst, msg)) {
+                Slot::Free(next) => self.free_head = next,
+                Slot::Full(..) => unreachable!("free head points at a full slot"),
+            }
+            s
+        } else {
+            assert!(
+                self.slots.len() < NIL as usize,
+                "event queue slot index overflow"
+            );
+            self.slots.push(Slot::Full(dst, msg));
+            (self.slots.len() - 1) as u32
+        };
+        self.heap.push(HeapKey { time, seq, slot });
     }
 
     /// Remove and return the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        let key = self.heap.pop()?;
+        Some(self.claim(key))
+    }
+
+    /// Remove and return the earliest event if its timestamp is `<= t`.
+    ///
+    /// This is the engine's `run_until` hot path: one call decides both
+    /// "is there work" and "is it due", instead of a peek followed by a
+    /// pop.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, t: SimTime) -> Option<Event<M>> {
+        if self.heap.peek()?.time > t {
+            return None;
+        }
+        let key = self.heap.pop().expect("peeked key vanished");
+        Some(self.claim(key))
+    }
+
+    #[inline]
+    fn claim(&mut self, key: HeapKey) -> Event<M> {
+        let released = Slot::Free(self.free_head);
+        match std::mem::replace(&mut self.slots[key.slot as usize], released) {
+            Slot::Full(dst, msg) => {
+                self.free_head = key.slot;
+                Event {
+                    time: key.time,
+                    seq: key.seq,
+                    dst,
+                    msg,
+                }
+            }
+            Slot::Free(..) => unreachable!("heap key points at an empty slot"),
+        }
     }
 
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|k| k.time)
     }
 
     /// Number of pending events.
@@ -145,5 +241,34 @@ mod tests {
         q.push(SimTime::from_micros(7), NodeId(2), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), NodeId(0), 1);
+        q.push(SimTime::from_micros(20), NodeId(0), 2);
+        assert!(q.pop_at_or_before(SimTime::from_micros(5)).is_none());
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(10)).unwrap().msg, 1);
+        assert!(q.pop_at_or_before(SimTime::from_micros(19)).is_none());
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(25)).unwrap().msg, 2);
+        assert!(q.pop_at_or_before(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..4u32 {
+            for i in 0..8u32 {
+                q.push(SimTime::from_micros((round * 8 + i) as u64), NodeId(0), i);
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        // Every round drains fully, so the slab never needs more than one
+        // round's worth of slots.
+        assert!(q.slots.len() <= 8, "slab grew to {}", q.slots.len());
+        assert!(q.is_empty());
     }
 }

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Engine, Node, NodeId};
+pub use engine::{thread_events_dispatched, Ctx, Engine, Node, NodeId, TraceHook};
 pub use fifo::BoundedFifo;
 pub use rng::SeedStream;
 pub use stats::{Counter, Histogram, TimeSeries, TimeWeighted};

@@ -336,7 +336,7 @@ mod tests {
         tw.set(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_secs(1), 10.0); // 0 over [0,1)
         tw.set(SimTime::from_secs(3), 0.0); // 10 over [1,3)
-        // mean over [0,4] = (0*1 + 10*2 + 0*1)/4 = 5
+                                            // mean over [0,4] = (0*1 + 10*2 + 0*1)/4 = 5
         assert!((tw.mean_until(SimTime::from_secs(4)) - 5.0).abs() < 1e-12);
         assert_eq!(tw.max(), 10.0);
         assert_eq!(tw.current(), 0.0);

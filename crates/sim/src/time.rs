@@ -247,8 +247,14 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
         assert_eq!(t - SimDuration::from_millis(15), SimTime::ZERO);
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
     }
 
     #[test]

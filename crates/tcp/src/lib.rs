@@ -43,9 +43,9 @@ pub mod sink;
 pub mod source;
 pub mod vegas;
 
+pub use cc::{CcStats, CongestionControl};
 pub use network::{TcpNetwork, TcpNetworkBuilder};
 pub use packet::{FlowId, Packet, PktKind, TcpMsg, TcpTimer};
 pub use qdisc::{QueueDiscipline, RouterMeasurement, Verdict};
-pub use cc::{CcStats, CongestionControl};
 pub use reno::Reno;
 pub use vegas::{Vegas, VegasConfig};

@@ -9,12 +9,12 @@
 
 use crate::cc::CongestionControl;
 use crate::packet::{FlowId, TcpMsg, TcpTimer};
-use crate::reno::Reno;
-use crate::vegas::{Vegas, VegasConfig};
 use crate::qdisc::{DropTail, QueueDiscipline};
+use crate::reno::Reno;
 use crate::router::{FlowRoute, RPort, Router};
 use crate::sink::TcpSink;
 use crate::source::TcpSource;
+use crate::vegas::{Vegas, VegasConfig};
 use phantom_sim::stats::TimeSeries;
 use phantom_sim::{Engine, NodeId, SimDuration, SimTime};
 
@@ -247,12 +247,7 @@ impl TcpNetworkBuilder {
                 spec.start,
                 self.cr_interval,
             ));
-            let mut sink_node = TcpSink::new(
-                flow,
-                last,
-                spec.access_prop,
-                self.goodput_interval,
-            );
+            let mut sink_node = TcpSink::new(flow, last, spec.access_prop, self.goodput_interval);
             if let Some(d) = self.delayed_ack {
                 sink_node = sink_node.with_delayed_ack(d);
             }
@@ -267,22 +262,26 @@ impl TcpNetworkBuilder {
 
         let mut trunk_handles = Vec::new();
         for t in &self.trunks {
-            let a_port = engine.node_mut::<Router>(router_ids[t.a]).add_port(RPort::new(
-                router_ids[t.b],
-                t.capacity,
-                t.prop,
-                self.queue_cap_pkts,
-                qdisc(),
-                self.measure_interval,
-            ));
-            let b_port = engine.node_mut::<Router>(router_ids[t.b]).add_port(RPort::new(
-                router_ids[t.a],
-                t.capacity,
-                t.prop,
-                self.queue_cap_pkts,
-                qdisc(),
-                self.measure_interval,
-            ));
+            let a_port = engine
+                .node_mut::<Router>(router_ids[t.a])
+                .add_port(RPort::new(
+                    router_ids[t.b],
+                    t.capacity,
+                    t.prop,
+                    self.queue_cap_pkts,
+                    qdisc(),
+                    self.measure_interval,
+                ));
+            let b_port = engine
+                .node_mut::<Router>(router_ids[t.b])
+                .add_port(RPort::new(
+                    router_ids[t.a],
+                    t.capacity,
+                    t.prop,
+                    self.queue_cap_pkts,
+                    qdisc(),
+                    self.measure_interval,
+                ));
             trunk_handles.push(TcpTrunkHandle {
                 a_router: router_ids[t.a],
                 a_port,

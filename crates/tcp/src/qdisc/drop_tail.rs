@@ -39,7 +39,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let pkt = Packet::data(FlowId(0), 0, 512, 1e9);
         for n in [0usize, 10, 10_000] {
-            assert_eq!(q.on_arrival(&pkt, n, n as u64 * 552, &mut rng), Verdict::Enqueue);
+            assert_eq!(
+                q.on_arrival(&pkt, n, n as u64 * 552, &mut rng),
+                Verdict::Enqueue
+            );
         }
         assert!(q.fair_share().is_nan());
     }

@@ -83,7 +83,11 @@ impl RedCore {
         let pb =
             self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
         let denom = 1.0 - self.count as f64 * pb;
-        let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+        let pa = if denom <= 0.0 {
+            1.0
+        } else {
+            (pb / denom).min(1.0)
+        };
         if rng.gen::<f64>() < pa {
             self.count = 0;
             true

@@ -213,10 +213,7 @@ impl SelectiveRed {
             min_frac: 0.1,
             ..MacrConfig::default()
         };
-        Self::new(
-            PhantomConfig::paper().with_macr(macr),
-            RedConfig::default(),
-        )
+        Self::new(PhantomConfig::paper().with_macr(macr), RedConfig::default())
     }
 }
 
@@ -362,7 +359,10 @@ mod tests {
                 drops += 1;
             }
         }
-        assert!(drops > 50, "over-limit packets must be RED-dropped: {drops}");
+        assert!(
+            drops > 50,
+            "over-limit packets must be RED-dropped: {drops}"
+        );
     }
 }
 

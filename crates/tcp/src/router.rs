@@ -155,12 +155,9 @@ impl RPort {
     /// sender (the router handles the routing).
     pub fn arrive(&mut self, ctx: &mut Ctx<'_, TcpMsg>, me: usize, mut pkt: Packet) -> bool {
         self.arrival_bytes += u64::from(pkt.wire);
-        let verdict = self.qdisc.on_arrival(
-            &pkt,
-            self.queue.len(),
-            self.queue_bytes,
-            ctx.rng(),
-        );
+        let verdict = self
+            .qdisc
+            .on_arrival(&pkt, self.queue.len(), self.queue_bytes, ctx.rng());
         match verdict {
             Verdict::Enqueue => {
                 self.push(ctx, me, pkt);
@@ -304,9 +301,7 @@ impl Node<TcpMsg> for Router {
             TcpMsg::Pkt(pkt) => self.handle_pkt(ctx, pkt),
             TcpMsg::Timer(TcpTimer::TxDone { port }) => self.ports[port].tx_done(ctx, port),
             TcpMsg::Timer(TcpTimer::Measure { port }) => self.ports[port].measure(ctx, port),
-            TcpMsg::Timer(TcpTimer::SetRate { port, bps }) => {
-                self.ports[port].set_capacity(bps)
-            }
+            TcpMsg::Timer(TcpTimer::SetRate { port, bps }) => self.ports[port].set_capacity(bps),
             TcpMsg::Timer(t) => unreachable!("router received {t:?}"),
         }
     }

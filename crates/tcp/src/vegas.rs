@@ -292,10 +292,7 @@ mod tests {
         v.on_rtt_sample(0.080);
         // may take the toggle round; feed another sample
         v.on_rtt_sample(0.080);
-        assert!(
-            !v.slow_start,
-            "slow start must end once diff exceeds gamma"
-        );
+        assert!(!v.slow_start, "slow start must end once diff exceeds gamma");
         assert!(v.cwnd() < 16.0, "overshoot is shed");
     }
 
@@ -313,8 +310,7 @@ mod tests {
         let una1 = v.snd_una();
         v.on_ack(una1 + u64::from(MSS), false);
         // one of the two rounds grew, the other held
-        let grew_then_held =
-            (w_after_round1 > 2.0) ^ (v.cwnd() > w_after_round1);
+        let grew_then_held = (w_after_round1 > 2.0) ^ (v.cwnd() > w_after_round1);
         assert!(grew_then_held, "vegas slow start doubles every other RTT");
     }
 

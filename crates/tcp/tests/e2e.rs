@@ -68,7 +68,10 @@ fn two_equal_flows_share_drop_tail_roughly() {
     let total = (g0 + g1) * 8.0 / 1e6;
     assert!(total > 8.0, "aggregate goodput {total:.1} Mb/s too low");
     let jain = phantom_metrics::jain_index(&[g0, g1]);
-    assert!(jain > 0.85, "equal-RTT flows wildly unfair: {g0:.0} vs {g1:.0}");
+    assert!(
+        jain > 0.85,
+        "equal-RTT flows wildly unfair: {g0:.0} vs {g1:.0}"
+    );
 }
 
 #[test]

@@ -25,13 +25,7 @@ impl Node<TcpMsg> for Collector {
 struct Scripted(Verdict);
 
 impl QueueDiscipline for Scripted {
-    fn on_arrival(
-        &mut self,
-        pkt: &Packet,
-        _q: usize,
-        _qb: u64,
-        _rng: &mut SmallRng,
-    ) -> Verdict {
+    fn on_arrival(&mut self, pkt: &Packet, _q: usize, _qb: u64, _rng: &mut SmallRng) -> Verdict {
         if pkt.is_data() {
             self.0
         } else {
@@ -45,7 +39,12 @@ impl QueueDiscipline for Scripted {
 
 fn build(
     verdict: Verdict,
-) -> (Engine<TcpMsg>, NodeId, NodeId /*fwd sink*/, NodeId /*bwd sink*/) {
+) -> (
+    Engine<TcpMsg>,
+    NodeId,
+    NodeId, /*fwd sink*/
+    NodeId, /*bwd sink*/
+) {
     let mut engine = Engine::new(5);
     let fwd_sink = engine.add_node(Collector::default());
     let bwd_sink = engine.add_node(Collector::default());
@@ -126,14 +125,21 @@ fn quench_verdict_delivers_and_emits_quench_backwards() {
 fn acks_ride_the_reverse_path_untouched() {
     // Even with a Drop-everything forward discipline, ACKs pass.
     let (mut engine, r, fwd, bwd) = build(Verdict::Drop);
-    engine.schedule(SimTime::ZERO, r, TcpMsg::Pkt(Packet::ack(FlowId(1), 512, true)));
+    engine.schedule(
+        SimTime::ZERO,
+        r,
+        TcpMsg::Pkt(Packet::ack(FlowId(1), 512, true)),
+    );
     engine.run_until(SimTime::from_millis(100));
     assert!(engine.node::<Collector>(fwd).pkts.is_empty());
     let back = &engine.node::<Collector>(bwd).pkts;
     assert_eq!(back.len(), 1);
     assert!(matches!(
         back[0].1.kind,
-        PktKind::Ack { ack: 512, ecn_echo: true }
+        PktKind::Ack {
+            ack: 512,
+            ecn_echo: true
+        }
     ));
 }
 

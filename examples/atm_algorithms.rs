@@ -20,6 +20,8 @@ fn main() {
     println!("reading guide:");
     println!("  conv_ms      — time until aggregate throughput stays within 10% of steady state");
     println!("  jain         — Jain fairness index across the two sessions (1.0 = perfect)");
-    println!("  utilization  — bottleneck throughput / capacity (Phantom's target: 2u/(1+2u) = 0.909)");
+    println!(
+        "  utilization  — bottleneck throughput / capacity (Phantom's target: 2u/(1+2u) = 0.909)"
+    );
     println!("  onoff_*_q    — queue under the bursty on/off workload (cells)");
 }

@@ -38,7 +38,10 @@ fn main() {
     b.session(&[s1, s2], Traffic::greedy()); // local A
     b.session(&[s1, s2], Traffic::greedy()); // local B
     b.session(&[s1, s2, s3], Traffic::greedy()); // long
-    b.session(&[s1, s2], Traffic::window(SimTime::from_millis(400), SimTime::MAX)); // late joiner
+    b.session(
+        &[s1, s2],
+        Traffic::window(SimTime::from_millis(400), SimTime::MAX),
+    ); // late joiner
 
     let mut engine = Engine::new(2024);
     let net = b.build(&mut engine, &mut || Box::new(PhantomAllocator::new(cfg)));
@@ -55,7 +58,10 @@ fn main() {
     let (pred, macrs) = phantom_prediction(&caps, &sessions, 8.0);
 
     println!("steady state (all sessions active), u = 8:");
-    for (i, name) in ["local A", "local B", "long", "late joiner"].iter().enumerate() {
+    for (i, name) in ["local A", "local B", "long", "late joiner"]
+        .iter()
+        .enumerate()
+    {
         let measured = net.session_rate(&engine, i).mean_after(0.7);
         println!(
             "  {name:12} measured {:6.2} Mb/s, predicted {:6.2} Mb/s",

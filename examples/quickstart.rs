@@ -38,9 +38,11 @@ fn main() {
     // 4. Read the traces back and compare with the closed form.
     let c = net.trunk_port(&engine, trunk).capacity();
     let macr = net.trunk_macr(&engine, trunk).mean_after(0.3);
-    println!("MACR:  measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
+    println!(
+        "MACR:  measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
         cps_to_mbps(macr),
-        cps_to_mbps(single_link_macr(c, 2, 5.0)));
+        cps_to_mbps(single_link_macr(c, 2, 5.0))
+    );
     for s in 0..2 {
         let rate = net.session_rate(&engine, s).mean_after(0.3);
         println!(

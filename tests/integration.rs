@@ -91,9 +91,9 @@ fn every_registered_experiment_is_runnable() {
 fn registry_covers_designmd_index() {
     let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     for id in [
-        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
-        "table1", "table2", "table3", "table4", "table5", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12", "fig14",
+        "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table1", "table2",
+        "table3", "table4", "table5", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
     ] {
         assert!(ids.contains(&id), "DESIGN.md experiment {id} missing");
     }
@@ -124,7 +124,10 @@ fn umbrella_reexports_are_wired() {
     let _ = phantom_repro::baselines::Eprca::recommended();
     let _ = phantom_repro::tcp::qdisc::DropTail;
     let _ = phantom_repro::atm::AtmParams::paper();
-    assert_eq!(phantom_repro::scenarios::registry::all_experiments().len(), 31);
+    assert_eq!(
+        phantom_repro::scenarios::registry::all_experiments().len(),
+        31
+    );
 }
 
 #[test]

@@ -13,7 +13,13 @@ use phantom_repro::sim::{Engine, SimDuration, SimTime};
 /// A network using every feature at once — heterogeneous trunk speeds, a
 /// lossy hop, greedy/windowed/periodic/stochastic ABR sessions, an
 /// MCR-guaranteed session, CBR background, heterogeneous access delays.
-fn kitchen_sink(alg: AtmAlgorithm, seed: u64) -> (Engine<phantom_repro::atm::AtmMsg>, phantom_repro::atm::Network) {
+fn kitchen_sink(
+    alg: AtmAlgorithm,
+    seed: u64,
+) -> (
+    Engine<phantom_repro::atm::AtmMsg>,
+    phantom_repro::atm::Network,
+) {
     let mut b = NetworkBuilder::new();
     let s1 = b.switch("s1");
     let s2 = b.switch("s2");
@@ -25,7 +31,10 @@ fn kitchen_sink(alg: AtmAlgorithm, seed: u64) -> (Engine<phantom_repro::atm::Atm
     // Greedy long session over both trunks.
     b.session(&[s1, s2, s3], Traffic::greedy());
     // Windowed session joining late.
-    b.session(&[s1, s2], Traffic::window(SimTime::from_millis(200), SimTime::MAX));
+    b.session(
+        &[s1, s2],
+        Traffic::window(SimTime::from_millis(200), SimTime::MAX),
+    );
     // Periodic burster.
     b.session(
         &[s2, s3],
@@ -63,8 +72,7 @@ fn check(alg: AtmAlgorithm, seed: u64) {
             port.queue_high_water() <= 16_384,
             "{name}: trunk {t} queue bound violated"
         );
-        let util = net.trunk_throughput(&engine, TrunkIdx(t)).mean_after(0.4)
-            / port.capacity();
+        let util = net.trunk_throughput(&engine, TrunkIdx(t)).mean_after(0.4) / port.capacity();
         assert!(util <= 1.001, "{name}: trunk {t} over unity: {util}");
     }
     // Nobody starves: every ABR session delivers something in steady

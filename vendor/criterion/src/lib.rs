@@ -1,0 +1,305 @@
+//! A minimal, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors the benchmarking surface it uses: `Criterion`,
+//! `benchmark_group` (with `sample_size` / `warm_up_time` /
+//! `measurement_time`), `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark warms up for the
+//! configured warm-up window, then runs sampling batches until the
+//! measurement window closes, and reports the minimum, median and mean
+//! per-iteration time. A substring filter can be passed on the command
+//! line exactly like upstream (`cargo bench -- engine`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    deadline: Instant,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on inputs built (outside the timed region) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// How much setup output to batch per measurement; accepted for API
+/// compatibility (the shim always measures one batch at a time).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+#[derive(Clone)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    #[allow(dead_code)] // accepted for API compatibility; sampling is time-driven
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 100,
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench`/`--test` harness flags are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            config: Config::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(id, &self.config, &self.filter, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            filter: self.filter.clone(),
+            config: self.config.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    config: Config,
+    // tie to the parent so the group cannot outlive the driver, like upstream
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples (accepted for compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, &self.config, &self.filter, f);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; the shim prints
+    /// as it goes).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(id: &str, config: &Config, filter: &Option<String>, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    // Warm-up pass: run the body with a short deadline and discard.
+    let mut warmup = Vec::new();
+    let mut b = Bencher {
+        samples: &mut warmup,
+        iters_per_sample: 1,
+        deadline: Instant::now() + config.warm_up,
+    };
+    f(&mut b);
+    // Calibrate iterations per sample so each sample is >= ~100 us.
+    let observed = warmup
+        .iter()
+        .min()
+        .copied()
+        .unwrap_or(Duration::from_micros(100));
+    let iters_per_sample = (Duration::from_micros(100).as_nanos() / observed.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64;
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        iters_per_sample,
+        deadline: Instant::now() + config.measurement,
+    };
+    f(&mut b);
+    samples.sort_unstable();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    let mean = samples
+        .iter()
+        .sum::<Duration>()
+        .checked_div(samples.len() as u32)
+        .unwrap_or_default();
+    println!(
+        "bench: {id:50} min {:>12} median {:>12} mean {:>12} ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len()
+    );
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            config: Config {
+                warm_up: Duration::from_millis(5),
+                measurement: Duration::from_millis(20),
+                sample_size: 10,
+            },
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_filter_by_substring() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            config: Config {
+                warm_up: Duration::from_millis(1),
+                measurement: Duration::from_millis(5),
+                sample_size: 10,
+            },
+        };
+        let mut matched = false;
+        let mut skipped = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("match-me", |b| {
+                b.iter_batched(
+                    || 2u64,
+                    |x| {
+                        matched = x == 2;
+                        x
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            g.bench_function("other", |b| b.iter(|| skipped = true));
+            g.finish();
+        }
+        assert!(matched);
+        assert!(!skipped);
+    }
+}
