@@ -44,6 +44,28 @@ impl PortMeasurement {
     }
 }
 
+/// Estimator internals exposed for instrumentation — the Δ/dev/gain of
+/// the last estimate update. Algorithms that don't track a quantity
+/// report NaN for it.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocatorTelemetry {
+    /// Error fed into the last estimate update (residual − estimate).
+    pub delta: f64,
+    /// Mean deviation tracked by the estimator.
+    pub dev: f64,
+    /// Gain actually applied by the last update.
+    pub gain: f64,
+}
+
+impl AllocatorTelemetry {
+    /// Nothing tracked: all NaN.
+    pub const UNTRACKED: AllocatorTelemetry = AllocatorTelemetry {
+        delta: f64::NAN,
+        dev: f64::NAN,
+        gain: f64::NAN,
+    };
+}
+
 /// A constant-space per-port rate-control algorithm.
 pub trait RateAllocator: Any {
     /// Called at the end of every measurement interval.
@@ -69,6 +91,12 @@ pub trait RateAllocator: Any {
     /// The algorithm's current fair-share estimate (MACR or equivalent),
     /// recorded each interval for the figures.
     fn fair_share(&self) -> f64;
+
+    /// Estimator internals for instrumentation (the probe's MACR-update
+    /// events). Default: untracked.
+    fn telemetry(&self) -> AllocatorTelemetry {
+        AllocatorTelemetry::UNTRACKED
+    }
 
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;

@@ -9,6 +9,7 @@
 
 use crate::cell::{Cell, CellKind, VcId};
 use crate::msg::{AtmMsg, Timer};
+use phantom_sim::probe::ProbeEvent;
 use phantom_sim::stats::{Histogram, TimeSeries};
 use phantom_sim::{Ctx, Node, NodeId, SimDuration};
 
@@ -101,6 +102,11 @@ impl Node<AtmMsg> for AbrDest {
                             self.efci_seen = false;
                         }
                         self.rm_turned += 1;
+                        ctx.emit(|| ProbeEvent::RmTurnaround {
+                            vc: self.vc.0,
+                            er: back.er,
+                            ci: back.ci,
+                        });
                         ctx.send(
                             self.reply_to,
                             self.prop,

@@ -24,6 +24,7 @@ use crate::source::AbrSource;
 use crate::switch::{Switch, VcRoute};
 use crate::traffic::Traffic;
 use crate::units::mbps_to_cps;
+use phantom_metrics::Registry;
 use phantom_sim::stats::TimeSeries;
 use phantom_sim::{Engine, NodeId, SimDuration, SimTime};
 
@@ -445,6 +446,44 @@ pub struct Network {
 }
 
 impl Network {
+    /// Register every trunk port and every switch into `registry`:
+    /// per-direction trunk metrics labelled `link="A->B"` (declared
+    /// switch names) and per-switch routed-cells counters. Call once
+    /// after [`NetworkBuilder::build`], before running the engine.
+    pub fn bind_metrics(&self, engine: &mut Engine<AtmMsg>, registry: &Registry) {
+        for sh in &self.switches {
+            engine.node_mut::<Switch>(sh.node).bind_metrics(registry);
+        }
+        for th in &self.trunks {
+            let fwd = format!(
+                "{}->{}",
+                self.switch_name(th.a_switch),
+                self.switch_name(th.b_switch)
+            );
+            let bwd = format!(
+                "{}->{}",
+                self.switch_name(th.b_switch),
+                self.switch_name(th.a_switch)
+            );
+            engine
+                .node_mut::<Switch>(th.a_switch)
+                .port_mut(th.a_port)
+                .bind_metrics(registry, &fwd);
+            engine
+                .node_mut::<Switch>(th.b_switch)
+                .port_mut(th.b_port)
+                .bind_metrics(registry, &bwd);
+        }
+    }
+
+    fn switch_name(&self, node: NodeId) -> &str {
+        self.switches
+            .iter()
+            .find(|s| s.node == node)
+            .map(|s| s.name.as_str())
+            .unwrap_or("?")
+    }
+
     /// MACR (fair-share) trace of trunk `t`'s a→b port.
     pub fn trunk_macr<'e>(&self, engine: &'e Engine<AtmMsg>, t: TrunkIdx) -> &'e TimeSeries {
         let th = &self.trunks[t.0];

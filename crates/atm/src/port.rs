@@ -9,8 +9,19 @@ use crate::allocator::{PortMeasurement, RateAllocator};
 use crate::cell::{Cell, CellKind, ServiceClass};
 use crate::msg::{AtmMsg, Timer};
 use crate::units::cell_time;
+use phantom_metrics::registry::{CounterHandle, GaugeHandle, Registry};
+use phantom_sim::probe::{DropReason, ProbeEvent};
 use phantom_sim::stats::{TimeSeries, TimeWeighted};
-use phantom_sim::{BoundedFifo, Ctx, NodeId, SimDuration};
+use phantom_sim::{telemetry, BoundedFifo, Ctx, NodeId, SimDuration};
+
+/// Registry handles a port updates when metrics are bound.
+struct PortMetrics {
+    tx_cells: CounterHandle,
+    dropped_cells: CounterHandle,
+    queue_cells: GaugeHandle,
+    macr: GaugeHandle,
+    throughput: GaugeHandle,
+}
 
 /// One output port of a switch.
 pub struct Port {
@@ -41,6 +52,7 @@ pub struct Port {
     /// Departure-rate samples (cells/s), one per measurement interval —
     /// the utilization trace.
     pub throughput_series: TimeSeries,
+    metrics: Option<PortMetrics>,
 }
 
 impl Port {
@@ -74,7 +86,22 @@ impl Port {
             macr_series: TimeSeries::new(),
             queue_series: TimeSeries::new(),
             throughput_series: TimeSeries::new(),
+            metrics: None,
         }
+    }
+
+    /// Register this port's counters and gauges into `registry`, labelled
+    /// `link=<label>`. Call once at build time; unbound ports skip all
+    /// metric updates.
+    pub fn bind_metrics(&mut self, registry: &Registry, label: &str) {
+        let l: &[(&str, &str)] = &[("link", label)];
+        self.metrics = Some(PortMetrics {
+            tx_cells: registry.counter("atm_tx_cells_total", l),
+            dropped_cells: registry.counter("atm_dropped_cells_total", l),
+            queue_cells: registry.gauge("atm_queue_cells", l),
+            macr: registry.gauge("atm_macr_cells_per_sec", l),
+            throughput: registry.gauge("atm_throughput_cells_per_sec", l),
+        });
     }
 
     /// Serve CBR-class cells from a separate strict-priority queue
@@ -149,10 +176,23 @@ impl Port {
         };
         if accepted == phantom_sim::fifo::EnqueueResult::Accepted {
             self.queue_tw.set(ctx.now(), self.queue_len() as f64);
+            ctx.emit(|| ProbeEvent::Enqueue {
+                port: me as u32,
+                qlen: self.queue_len() as u32,
+            });
             if !self.busy {
                 self.busy = true;
                 ctx.send_self(self.cell_time, AtmMsg::Timer(Timer::TxDone { port: me }));
             }
+        } else {
+            if let Some(m) = &self.metrics {
+                m.dropped_cells.inc();
+            }
+            ctx.emit(|| ProbeEvent::Drop {
+                port: me as u32,
+                qlen: self.queue_len() as u32,
+                reason: DropReason::Overflow,
+            });
         }
     }
 
@@ -167,12 +207,28 @@ impl Port {
         .expect("TxDone fired with an empty queue");
         self.departures += 1;
         self.queue_tw.set(ctx.now(), self.queue_len() as f64);
+        if let Some(m) = &self.metrics {
+            m.tx_cells.inc();
+        }
+        ctx.emit(|| ProbeEvent::Dequeue {
+            port: me as u32,
+            qlen: self.queue_len() as u32,
+        });
         let lost = self.loss_prob > 0.0 && {
             use rand::Rng;
             ctx.rng().gen::<f64>() < self.loss_prob
         };
         if lost {
             self.wire_losses += 1;
+            telemetry::note_drop();
+            if let Some(m) = &self.metrics {
+                m.dropped_cells.inc();
+            }
+            ctx.emit(|| ProbeEvent::Drop {
+                port: me as u32,
+                qlen: self.queue_len() as u32,
+                reason: DropReason::Wire,
+            });
         } else {
             ctx.send(self.link_to, self.prop, AtmMsg::Cell(cell));
         }
@@ -194,10 +250,29 @@ impl Port {
             capacity: self.capacity,
         };
         self.allocator.on_interval(&m);
-        self.macr_series
-            .push(ctx.now(), self.allocator.fair_share());
+        let fair_share = self.allocator.fair_share();
+        self.macr_series.push(ctx.now(), fair_share);
         self.queue_series.push(ctx.now(), self.queue_len() as f64);
         self.throughput_series.push(ctx.now(), m.departure_rate());
+        if let Some(h) = &self.metrics {
+            h.queue_cells.set(ctx.now(), self.queue_len() as f64);
+            h.throughput.set(ctx.now(), m.departure_rate());
+            if fair_share.is_finite() {
+                h.macr.set(ctx.now(), fair_share);
+            }
+        }
+        if fair_share.is_finite() {
+            ctx.emit(|| {
+                let t = self.allocator.telemetry();
+                ProbeEvent::MacrUpdate {
+                    port: me as u32,
+                    macr: fair_share,
+                    delta: t.delta,
+                    dev: t.dev,
+                    gain: t.gain,
+                }
+            });
+        }
         self.arrivals = 0;
         self.departures = 0;
         ctx.send_self(

@@ -20,6 +20,7 @@ use crate::msg::{AtmMsg, Timer};
 use crate::params::AtmParams;
 use crate::traffic::{Traffic, TrafficGate};
 use crate::units::pacing_interval;
+use phantom_sim::probe::ProbeEvent;
 use phantom_sim::stats::TimeSeries;
 use phantom_sim::{Ctx, Node, NodeId, SimDuration, SimTime};
 
@@ -34,6 +35,7 @@ pub struct AbrSource {
     cells_since_rm: u32,
     unacked_rm: u32,
     last_tx: Option<SimTime>,
+    was_active: bool,
     /// Total cells sent (data + RM).
     pub cells_sent: u64,
     /// Forward RM cells sent.
@@ -68,6 +70,7 @@ impl AbrSource {
             cells_since_rm: 0,
             unacked_rm: 0,
             last_tx: None,
+            was_active: false,
             cells_sent: 0,
             rm_sent: 0,
             rm_received: 0,
@@ -102,6 +105,15 @@ impl AbrSource {
             self.gate = gate;
             r
         };
+        if active != self.was_active {
+            self.was_active = active;
+            let session = self.vc.0;
+            if active {
+                ctx.emit(|| ProbeEvent::SessionStart { session });
+            } else {
+                ctx.emit(|| ProbeEvent::SessionStop { session });
+            }
+        }
         if !active {
             // Sleep until the next active period (if any).
             if let Some(t) = wake {

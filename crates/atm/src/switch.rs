@@ -9,6 +9,7 @@
 use crate::cell::{Cell, VcId};
 use crate::msg::{AtmMsg, Timer};
 use crate::port::Port;
+use phantom_metrics::registry::{CounterHandle, Registry};
 use phantom_sim::{Ctx, Node};
 use std::collections::HashMap;
 
@@ -27,6 +28,7 @@ pub struct Switch {
     name: String,
     ports: Vec<Port>,
     routes: HashMap<VcId, VcRoute>,
+    routed_cells: Option<CounterHandle>,
 }
 
 impl Switch {
@@ -36,12 +38,20 @@ impl Switch {
             name: name.to_string(),
             ports: Vec::new(),
             routes: HashMap::new(),
+            routed_cells: None,
         }
     }
 
     /// Switch name (for reports).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Register the switch-level routed-cells counter into `registry`,
+    /// labelled `switch=<name>`. Unbound switches skip the update.
+    pub fn bind_metrics(&mut self, registry: &Registry) {
+        let counter = registry.counter("atm_cells_routed_total", &[("switch", self.name.as_str())]);
+        self.routed_cells = Some(counter);
     }
 
     /// Add an output port, returning its index.
@@ -74,6 +84,9 @@ impl Switch {
     }
 
     fn handle_cell(&mut self, ctx: &mut Ctx<'_, AtmMsg>, mut cell: Cell) {
+        if let Some(c) = &self.routed_cells {
+            c.inc();
+        }
         let route = *self
             .routes
             .get(&cell.vc)

@@ -7,6 +7,8 @@
 //! repro all --jobs 8         # fan independent runs across 8 threads
 //! repro all --csv-dir DIR    # override the artifact directory
 //! repro all --steps 60       # width of the ASCII charts (0 = no charts)
+//! repro fig2 --trace-dir DIR # write a JSONL event trace per run
+//! repro fig2 --trace-dir DIR --trace-filter macr,drop
 //! ```
 //!
 //! Artifacts land in `target/experiments/<id>.csv` (long format:
@@ -21,10 +23,12 @@
 //! only wall-clock time: reports and CSVs are byte-identical to `--jobs 1`.
 
 use phantom_bench::DEFAULT_SEED;
-use phantom_metrics::{BenchRecord, RunRecord};
+use phantom_metrics::manifest::{BENCH_SCHEMA, CSV_SCHEMA};
+use phantom_metrics::{BenchRecord, Manifest, RunRecord};
 use phantom_scenarios::registry::all_experiments;
-use phantom_scenarios::sweep::{run_sweep, SweepJob, SweepRun};
+use phantom_scenarios::sweep::{run_sweep_with, SweepJob, SweepOptions, SweepRun};
 use phantom_scenarios::ExperimentOutput;
+use phantom_sim::probe::KindSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,6 +42,8 @@ struct Args {
     steps: usize,
     list: bool,
     gnuplot: bool,
+    trace_dir: Option<PathBuf>,
+    trace_filter: KindSet,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         steps: 60,
         list: false,
         gnuplot: false,
+        trace_dir: None,
+        trace_filter: KindSet::ALL,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -84,6 +92,13 @@ fn parse_args() -> Result<Args, String> {
                 args.bench_json = PathBuf::from(it.next().ok_or("--bench-json needs a value")?);
             }
             "--gnuplot" => args.gnuplot = true,
+            "--trace-dir" => {
+                args.trace_dir = Some(PathBuf::from(it.next().ok_or("--trace-dir needs a value")?));
+            }
+            "--trace-filter" => {
+                let v = it.next().ok_or("--trace-filter needs a value")?;
+                args.trace_filter = KindSet::parse(&v)?;
+            }
             "--steps" => {
                 let v = it.next().ok_or("--steps needs a value")?;
                 args.steps = v.parse().map_err(|_| format!("bad steps: {v}"))?;
@@ -106,10 +121,17 @@ fn report_single(run: &SweepRun, args: &Args) -> bool {
     };
     print!("{}", out.render(args.steps));
     println!(
-        "   [{} regenerated in {:.2}s, seed {}, {} events]",
-        run.job.id, run.wall_secs, run.job.seed, run.events
+        "   [{} regenerated in {:.2}s, seed {}, {} events, {} drops, {} retx, peak queue {}]",
+        run.job.id,
+        run.wall_secs,
+        run.job.seed,
+        run.events,
+        run.counters.drops,
+        run.counters.retransmits,
+        run.counters.queue_peak
     );
-    if let Err(e) = out.write_csv(&args.csv_dir) {
+    let manifest = Manifest::new(CSV_SCHEMA, &run.job.id, run.job.seed, &run.job.id);
+    if let Err(e) = out.write_csv_with_manifest(&args.csv_dir, &manifest.to_json()) {
         eprintln!("warning: could not write CSV for {}: {e}", run.job.id);
     } else {
         println!("   [csv: {}/{}.csv]", args.csv_dir.display(), run.job.id);
@@ -157,7 +179,13 @@ fn report_multi_seed(id: &str, runs: Vec<SweepRun>, args: &Args) -> bool {
         );
         print!("{}", t.render());
         println!("   [{} × {} seeds in {:.2}s]", id, figures.len(), wall);
-        if let Err(e) = t.write_csv(&args.csv_dir) {
+        let manifest = Manifest::new(
+            CSV_SCHEMA,
+            &t.id,
+            args.seed,
+            &format!("{id};seeds={}", args.seeds),
+        );
+        if let Err(e) = t.write_csv_with_manifest(&args.csv_dir, Some(&manifest.to_json())) {
             eprintln!("warning: could not write CSV: {e}");
         }
         println!();
@@ -172,7 +200,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--jobs N] \
-                 [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot]"
+                 [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
+                 [--trace-dir DIR] [--trace-filter KINDS]"
             );
             return ExitCode::FAILURE;
         }
@@ -199,11 +228,24 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    let opts = SweepOptions {
+        trace_dir: args.trace_dir.clone(),
+        trace_filter: args.trace_filter,
+    };
     let batch_start = std::time::Instant::now();
-    let runs = run_sweep(&jobs, args.jobs);
+    let runs = run_sweep_with(&jobs, args.jobs, &opts);
     let total_wall_secs = batch_start.elapsed().as_secs_f64();
 
+    // The config that determines this batch byte-for-byte: which
+    // experiments, the base seed, and how many seeds per experiment.
+    let config = format!(
+        "ids={};seed={};seeds={}",
+        args.ids.join(","),
+        args.seed,
+        args.seeds
+    );
     let bench = BenchRecord {
+        manifest: Manifest::new(BENCH_SCHEMA, "repro", args.seed, &config),
         jobs: args.jobs,
         total_wall_secs,
         runs: runs
@@ -214,6 +256,9 @@ fn main() -> ExitCode {
                 seed: r.job.seed,
                 wall_secs: r.wall_secs,
                 events: r.events,
+                drops: r.counters.drops,
+                retransmits: r.counters.retransmits,
+                queue_peak: r.counters.queue_peak,
             })
             .collect(),
     };

@@ -4,16 +4,23 @@
 //! phantom run <file>        simulate and report
 //! phantom predict <file>    closed-form phantom fixed point (no simulation)
 //! phantom check <file>      parse + validate only
+//! phantom trace-lint <file.jsonl>   validate a trace artifact
 //! ```
 
-use phantom_cli::{compare_algorithms, parse_str, predict, run_spec, sweep_u};
+use phantom_cli::{compare_algorithms, parse_str, predict, run_spec_opts, sweep_u, RunOptions};
+use phantom_sim::probe::KindSet;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: phantom <run|predict|check> <topology-file>");
     eprintln!("       phantom sweep <topology-file> <u,u,...>   # e.g. sweep t.phantom 2,5,10");
     eprintln!("       phantom compare <topology-file>           # every algorithm, one table");
+    eprintln!("       phantom trace-lint <file.jsonl>           # validate a trace artifact");
     eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
+    eprintln!("       run ... [--trace F.jsonl] [--trace-filter KINDS]  # JSONL event trace");
+    eprintln!("       run ... [--metrics F.prom]                # metrics snapshot + F.prom.json");
+    eprintln!("       run ... [-v]                              # progress heartbeat on stderr");
     eprintln!();
     eprintln!("topology file format:");
     eprintln!("  switch <name>");
@@ -26,23 +33,117 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Remove `flag <value>` from `args`, returning the value if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
+
+/// Remove a bare `flag` from `args`, returning whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Structural validation of a JSONL trace: manifest first line carrying
+/// the trace schema, then one JSON object per line with `kind` and `t`
+/// fields. Reports the number of events on success.
+fn trace_lint(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = text.lines();
+    let first = lines.next().ok_or_else(|| format!("{path}: empty file"))?;
+    if !(first.starts_with('{') && first.ends_with('}')) {
+        return Err(format!("{path}:1: manifest line is not a JSON object"));
+    }
+    if !first.contains("\"schema\":\"phantom-trace/1\"") {
+        return Err(format!("{path}:1: missing \"schema\":\"phantom-trace/1\""));
+    }
+    for key in [
+        "\"scenario\":",
+        "\"seed\":",
+        "\"config_hash\":",
+        "\"git_rev\":",
+    ] {
+        if !first.contains(key) {
+            return Err(format!("{path}:1: manifest missing {key}"));
+        }
+    }
+    let mut events = 0u64;
+    for (n, line) in lines.enumerate() {
+        let lineno = n + 2;
+        if line.is_empty() {
+            return Err(format!("{path}:{lineno}: empty line"));
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(format!("{path}:{lineno}: not a JSON object"));
+        }
+        if !line.contains("\"kind\":\"") {
+            return Err(format!("{path}:{lineno}: event missing \"kind\""));
+        }
+        if !line.contains("\"t\":") {
+            return Err(format!("{path}:{lineno}: event missing \"t\""));
+        }
+        events += 1;
+    }
+    println!("{path}: ok (manifest + {events} events)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut jobs = 1usize;
-    if let Some(i) = args.iter().position(|a| a == "--jobs") {
-        if i + 1 >= args.len() {
-            eprintln!("error: --jobs needs a value");
+
+    if args.first().map(String::as_str) == Some("trace-lint") {
+        let [_, path] = args.as_slice() else {
             return usage();
-        }
-        match args[i + 1].parse::<usize>() {
-            Ok(n) if n >= 1 => jobs = n,
-            _ => {
-                eprintln!("error: bad jobs: {}", args[i + 1]);
-                return usage();
+        };
+        return match trace_lint(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
             }
-        }
-        args.drain(i..=i + 1);
+        };
     }
+
+    let mut jobs = 1usize;
+    let mut opts = RunOptions {
+        verbose: take_switch(&mut args, "-v"),
+        ..RunOptions::default()
+    };
+    let flags = (|| -> Result<(), String> {
+        if let Some(v) = take_value(&mut args, "--jobs")? {
+            jobs = match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return Err(format!("bad jobs: {v}")),
+            };
+        }
+        if let Some(v) = take_value(&mut args, "--trace")? {
+            opts.trace = Some(PathBuf::from(v));
+        }
+        if let Some(v) = take_value(&mut args, "--trace-filter")? {
+            opts.trace_filter = KindSet::parse(&v)?;
+        }
+        if let Some(v) = take_value(&mut args, "--metrics")? {
+            opts.metrics = Some(PathBuf::from(v));
+        }
+        Ok(())
+    })();
+    if let Err(e) = flags {
+        eprintln!("error: {e}");
+        return usage();
+    }
+
     let (cmd, path, extra) = match args.as_slice() {
         [cmd, path] => (cmd.as_str(), path.as_str(), None),
         [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.clone())),
@@ -62,6 +163,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    opts.scenario = path.to_string();
     let outcome = match cmd {
         "check" => {
             println!(
@@ -74,7 +176,7 @@ fn main() -> ExitCode {
         }
         "predict" => predict(&spec).map(|text| print!("{text}")),
         "compare" => compare_algorithms(&spec, jobs).map(|t| print!("{}", t.render())),
-        "run" => run_spec(&spec).map(|report| print!("{}", report.render(&spec))),
+        "run" => run_spec_opts(&spec, &opts).map(|report| print!("{}", report.render(&spec))),
         "sweep" => {
             let spec_list = extra.unwrap_or_else(|| "2,5,10".to_string());
             let us: Result<Vec<f64>, _> = spec_list

@@ -9,9 +9,13 @@ use phantom_atm::Traffic;
 use phantom_baselines::{Aprc, Capc, Eprca, Erica, Osu};
 use phantom_core::{PhantomAllocator, PhantomConfig, PhantomNi};
 use phantom_metrics::fairness::Session;
-use phantom_metrics::{jain_index, phantom_prediction, Table};
-use phantom_sim::{Engine, SimTime};
+use phantom_metrics::manifest::{Manifest, METRICS_SCHEMA, TRACE_SCHEMA};
+use phantom_metrics::{jain_index, phantom_prediction, Registry, Table};
+use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard};
+use phantom_sim::telemetry::{self, RunCounters};
+use phantom_sim::{Engine, SimDuration, SimTime};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Results of one simulated run.
 #[derive(Debug)]
@@ -30,6 +34,26 @@ pub struct RunReport {
     pub jain: f64,
     /// Events the engine dispatched.
     pub events: u64,
+    /// Drop/retransmit/queue-peak telemetry observed during the run.
+    pub counters: RunCounters,
+}
+
+/// Observability options for [`run_spec_opts`]. The defaults reproduce
+/// the plain [`run_spec`] behaviour: no trace, no metrics, quiet.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Write a JSONL event trace (manifest first line) to this path.
+    pub trace: Option<PathBuf>,
+    /// Event kinds to keep in the trace (default: all).
+    pub trace_filter: KindSet,
+    /// Write a Prometheus-style metrics snapshot to this path, plus a
+    /// JSON summary to the same path with `.json` appended.
+    pub metrics: Option<PathBuf>,
+    /// Print a progress heartbeat to stderr (events/s, sim/wall ratio).
+    pub verbose: bool,
+    /// Scenario name recorded in artifact manifests (e.g. the topology
+    /// file path); empty means `"cli"`.
+    pub scenario: String,
 }
 
 impl RunReport {
@@ -46,6 +70,11 @@ impl RunReport {
             let _ = writeln!(out, "  session {i} [{path}]: {r:8.2} Mb/s");
         }
         let _ = writeln!(out, "  jain index: {:.4}", self.jain);
+        let _ = writeln!(
+            out,
+            "  telemetry: {} drops, peak queue {} cells",
+            self.counters.drops, self.counters.queue_peak
+        );
         for (i, t) in spec.trunks.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -87,6 +116,84 @@ fn traffic_for(t: TrafficSpec) -> Traffic {
 
 /// Simulate the topology and collect the report.
 pub fn run_spec(spec: &TopologySpec) -> Result<RunReport, String> {
+    run_spec_opts(spec, &RunOptions::default())
+}
+
+/// Install the JSONL trace probe, if requested. Unlike the sweep
+/// harness, a CLI user asked for this file explicitly, so failures are
+/// hard errors rather than silent no-ops.
+fn install_trace(opts: &RunOptions, manifest: &Manifest) -> Result<Option<ProbeGuard>, String> {
+    let Some(path) = &opts.trace else {
+        return Ok(None);
+    };
+    ensure_parent(path)?;
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?;
+    let manifest_json = manifest.for_schema(TRACE_SCHEMA).to_json();
+    let probe = JsonlProbe::with_manifest(file, &manifest_json)
+        .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+    let boxed: Box<dyn Probe> = if opts.trace_filter == KindSet::ALL {
+        Box::new(probe)
+    } else {
+        Box::new(FilterProbe::new(opts.trace_filter, probe))
+    };
+    Ok(Some(ProbeGuard::install(boxed)))
+}
+
+fn ensure_parent(path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Write the Prometheus-style snapshot to `path` and the JSON summary
+/// to `path` with `.json` appended.
+fn write_metrics(path: &Path, registry: &Registry, manifest: &Manifest) -> Result<(), String> {
+    ensure_parent(path)?;
+    std::fs::write(path, registry.to_prometheus(manifest))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    let mut json_os = path.as_os_str().to_os_string();
+    json_os.push(".json");
+    let json_path = PathBuf::from(json_os);
+    std::fs::write(&json_path, registry.to_json(manifest))
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    Ok(())
+}
+
+/// Run the engine to `end` in ten slices, printing a heartbeat to
+/// stderr after each: percent done, events/s, and the sim/wall ratio.
+/// Slicing `run_until` cannot change results — the event order within
+/// each slice is exactly the order of one uninterrupted run.
+fn run_with_heartbeat<M: 'static>(engine: &mut Engine<M>, end: SimTime) {
+    let total = (end - SimTime::ZERO).as_secs_f64();
+    let wall_start = std::time::Instant::now();
+    for i in 1..=10u32 {
+        let target = if i == 10 {
+            end
+        } else {
+            SimTime::ZERO + SimDuration::from_secs_f64(total * f64::from(i) / 10.0)
+        };
+        engine.run_until(target);
+        let wall = wall_start.elapsed().as_secs_f64().max(1e-9);
+        let sim = total * f64::from(i) / 10.0;
+        eprintln!(
+            "[{:3}%] sim {:.3}s  wall {:.2}s  {:.0} events/s  sim/wall {:.2}x",
+            i * 10,
+            sim,
+            wall,
+            engine.events_processed() as f64 / wall,
+            sim / wall
+        );
+    }
+}
+
+/// [`run_spec`] with observability: optional JSONL trace, optional
+/// metrics snapshot, optional progress heartbeat.
+pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport, String> {
     spec.validate()?;
     let mut b = NetworkBuilder::new().cbr_priority(spec.cbr_priority);
     let switches: Vec<_> = spec.switches.iter().map(|n| b.switch(n)).collect();
@@ -120,7 +227,36 @@ pub fn run_spec(spec: &TopologySpec) -> Result<RunReport, String> {
     let mut engine = Engine::new(spec.seed);
     let alg = spec.algorithm;
     let net = b.build(&mut engine, &mut || allocator_for(alg));
-    engine.run_until(SimTime::ZERO + spec.duration);
+
+    // One manifest describes the run; each artifact re-stamps it with
+    // its own schema id. The config hash covers the whole parsed spec.
+    let scenario = if opts.scenario.is_empty() {
+        "cli"
+    } else {
+        opts.scenario.as_str()
+    };
+    let manifest = Manifest::new(METRICS_SCHEMA, scenario, spec.seed, &format!("{spec:?}"));
+
+    let registry = opts.metrics.as_ref().map(|_| {
+        let r = Registry::new();
+        net.bind_metrics(&mut engine, &r);
+        r
+    });
+    let guard = install_trace(opts, &manifest)?;
+    let marker = telemetry::begin_run();
+
+    let end = SimTime::ZERO + spec.duration;
+    if opts.verbose {
+        run_with_heartbeat(&mut engine, end);
+    } else {
+        engine.run_until(end);
+    }
+    let counters = marker.finish();
+    drop(guard); // flushes the trace file
+
+    if let (Some(path), Some(reg)) = (&opts.metrics, &registry) {
+        write_metrics(path, reg, &manifest)?;
+    }
 
     let tail = spec.duration.as_secs_f64() / 2.0;
     let session_rates_mbps: Vec<f64> = (0..spec.sessions.len())
@@ -147,6 +283,7 @@ pub fn run_spec(spec: &TopologySpec) -> Result<RunReport, String> {
         trunk_peak_queue,
         jain,
         events: engine.events_processed(),
+        counters,
     })
 }
 
@@ -369,6 +506,84 @@ run 400ms seed=3
         let serial = sweep_u(&spec, &[2.0, 5.0], 1).unwrap();
         let parallel = sweep_u(&spec, &[2.0, 5.0], 4).unwrap();
         assert_eq!(serial.render(), parallel.render());
+    }
+
+    /// Run with every observability option on and validate each artifact
+    /// against the committed schema docs in `schemas/`.
+    #[test]
+    fn observability_artifacts_validate_against_committed_schemas() {
+        let dir = std::env::temp_dir().join("phantom_cli_obs_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = parse_str(DUMBBELL).unwrap();
+        let opts = RunOptions {
+            trace: Some(dir.join("run.jsonl")),
+            metrics: Some(dir.join("run.prom")),
+            scenario: "dumbbell".into(),
+            ..Default::default()
+        };
+        let traced = run_spec_opts(&spec, &opts).unwrap();
+        let plain = run_spec(&spec).unwrap();
+        assert_eq!(
+            plain.render(&spec),
+            traced.render(&spec),
+            "observability must not change the simulation"
+        );
+
+        let trace = std::fs::read_to_string(dir.join("run.jsonl")).unwrap();
+        let mut lines = trace.lines();
+        let first = lines.next().unwrap();
+        for key in [
+            "\"schema\":\"phantom-trace/1\"",
+            "\"scenario\":\"dumbbell\"",
+            "\"seed\":3",
+            "\"config_hash\":",
+            "\"git_rev\":",
+        ] {
+            assert!(first.contains(key), "{key} missing from manifest: {first}");
+        }
+        let mut events = 0u64;
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(
+                line.contains("\"t\":")
+                    && line.contains("\"node\":")
+                    && line.contains("\"kind\":\""),
+                "event shape: {line}"
+            );
+            events += 1;
+        }
+        assert!(events > 0, "a traced run must emit events");
+
+        let prom = std::fs::read_to_string(dir.join("run.prom")).unwrap();
+        assert!(prom.starts_with("# manifest: {\"schema\":\"phantom-metrics/1\""));
+        for name in [
+            "atm_tx_cells_total",
+            "atm_dropped_cells_total",
+            "atm_queue_cells",
+            "atm_macr_cells_per_sec",
+            "atm_throughput_cells_per_sec",
+            "atm_cells_routed_total",
+        ] {
+            assert!(prom.contains(&format!("# TYPE {name} ")), "{name} missing");
+        }
+
+        let json = std::fs::read_to_string(dir.join("run.prom.json")).unwrap();
+        assert!(json.contains("\"schema\": \"phantom-metrics/1\""));
+        assert!(json.contains("\"manifest\": {\"schema\":\"phantom-metrics/1\""));
+        assert!(json.contains("\"metrics\": ["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let schemas = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas");
+        for (file, tag) in [
+            ("phantom-trace-v1.md", "phantom-trace/1"),
+            ("phantom-metrics-v1.md", "phantom-metrics/1"),
+            ("phantom-bench-v2.md", "phantom-bench/2"),
+            ("phantom-csv-v1.md", "phantom-csv/1"),
+        ] {
+            let doc = std::fs::read_to_string(schemas.join(file)).unwrap();
+            assert!(doc.contains(tag), "{file} must document {tag}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub mod exec;
 pub mod parse;
 pub mod spec;
 
-pub use exec::{compare_algorithms, predict, run_spec, sweep_u, RunReport};
+pub use exec::{
+    compare_algorithms, predict, run_spec, run_spec_opts, sweep_u, RunOptions, RunReport,
+};
 pub use parse::{parse_str, ParseError};
 pub use spec::{AlgorithmSpec, SessionSpec, TopologySpec};

@@ -24,6 +24,8 @@ pub struct MacrEstimator {
     cfg: MacrConfig,
     macr: f64,
     dev: f64,
+    last_err: f64,
+    last_gain: f64,
 }
 
 impl MacrEstimator {
@@ -37,6 +39,8 @@ impl MacrEstimator {
             cfg,
             macr: cfg.init_frac * capacity,
             dev: 0.0,
+            last_err: f64::NAN,
+            last_gain: f64::NAN,
         }
     }
 
@@ -48,6 +52,19 @@ impl MacrEstimator {
     /// Current mean deviation of the residual.
     pub fn dev(&self) -> f64 {
         self.dev
+    }
+
+    /// The error (`residual − MACR`) fed into the last update; NaN
+    /// before the first update. Instrumentation only.
+    pub fn last_err(&self) -> f64 {
+        self.last_err
+    }
+
+    /// The gain actually applied by the last update, after the adaptive
+    /// gate and the stability cap; NaN before the first update.
+    /// Instrumentation only.
+    pub fn last_gain(&self) -> f64 {
+        self.last_gain
     }
 
     /// The configuration in force.
@@ -82,6 +99,8 @@ impl MacrEstimator {
         self.macr += alpha * err;
         let floor = self.cfg.min_frac * capacity;
         self.macr = self.macr.clamp(floor, capacity);
+        self.last_err = err;
+        self.last_gain = alpha;
     }
 }
 
@@ -229,6 +248,17 @@ mod tests {
             "gate must read the updated dev (moved {moved}, want {damped}, stale order would give {undamped})"
         );
         assert!((e.dev() - 400.0).abs() < 0.1, "h = 1 copies |err| into dev");
+    }
+
+    #[test]
+    fn update_telemetry_tracks_err_and_gain() {
+        let mut e = est();
+        assert!(e.last_err().is_nan() && e.last_gain().is_nan());
+        e.update(520.0, 1000.0); // macr = 20 -> err = 500
+        assert!((e.last_err() - 500.0).abs() < 1e-12);
+        // gain must be the capped/gated value actually applied
+        let moved = e.macr() - 20.0;
+        assert!((e.last_gain() * e.last_err() - moved).abs() < 1e-9);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::config::{PhantomConfig, ResidualMode};
 use crate::macr::MacrEstimator;
-use phantom_atm::allocator::{PortMeasurement, RateAllocator};
+use phantom_atm::allocator::{AllocatorTelemetry, PortMeasurement, RateAllocator};
 use phantom_atm::cell::{RmCell, VcId};
 
 /// Phantom in explicit-rate mode — the paper's primary mechanism.
@@ -86,6 +86,17 @@ impl RateAllocator for PhantomAllocator {
 
     fn fair_share(&self) -> f64 {
         self.macr()
+    }
+
+    fn telemetry(&self) -> AllocatorTelemetry {
+        match &self.est {
+            Some(e) => AllocatorTelemetry {
+                delta: e.last_err(),
+                dev: e.dev(),
+                gain: e.last_gain(),
+            },
+            None => AllocatorTelemetry::UNTRACKED,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,19 @@
+//! Embed the git revision so run artifacts can carry provenance. The
+//! build must keep working from a source tarball, so failure to run git
+//! degrades to "unknown" rather than breaking the build.
+
+use std::process::Command;
+
+fn main() {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=PHANTOM_GIT_REV={rev}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -4,9 +4,12 @@
 //! (`BENCH_phantom.json`), so performance can be tracked run-over-run by
 //! scripts rather than by eyeballing terminal output. The writer is
 //! hand-rolled — the workspace builds without serde — and emits a stable,
-//! minimal schema: overall runs/sec and events/sec plus per-run wall time
-//! and event counts.
+//! minimal schema (`phantom-bench/2`): overall runs/sec and events/sec,
+//! a provenance manifest, and per-run wall time, event counts and health
+//! telemetry (drops, retransmits, queue peak).
 
+use crate::json::{json_f64, json_str};
+use crate::manifest::Manifest;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -22,6 +25,12 @@ pub struct RunRecord {
     pub wall_secs: f64,
     /// Simulator events dispatched.
     pub events: u64,
+    /// Cells/packets dropped during the run (tail + policy + wire).
+    pub drops: u64,
+    /// TCP segments retransmitted during the run.
+    pub retransmits: u64,
+    /// Deepest queue observed during the run, in items.
+    pub queue_peak: u64,
 }
 
 impl RunRecord {
@@ -38,6 +47,8 @@ impl RunRecord {
 /// One `repro` invocation's worth of measurements.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
+    /// Provenance of the batch (scenario set, seed, config hash, rev).
+    pub manifest: Manifest,
     /// Worker threads the batch ran on.
     pub jobs: usize,
     /// Wall-clock seconds for the whole batch.
@@ -69,7 +80,8 @@ impl BenchRecord {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"phantom-bench/1\",\n");
+        let _ = writeln!(s, "  \"schema\": {},", json_str(&self.manifest.schema));
+        let _ = writeln!(s, "  \"manifest\": {},", self.manifest.to_json());
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(
             s,
@@ -91,12 +103,15 @@ impl BenchRecord {
         for (i, r) in self.runs.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"id\": {}, \"seed\": {}, \"wall_secs\": {}, \"events\": {}, \"events_per_sec\": {}}}",
+                "    {{\"id\": {}, \"seed\": {}, \"wall_secs\": {}, \"events\": {}, \"events_per_sec\": {}, \"drops\": {}, \"retransmits\": {}, \"queue_peak\": {}}}",
                 json_str(&r.id),
                 r.seed,
                 json_f64(r.wall_secs),
                 r.events,
-                json_f64(r.events_per_sec())
+                json_f64(r.events_per_sec()),
+                r.drops,
+                r.retransmits,
+                r.queue_peak
             );
             s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
@@ -115,41 +130,14 @@ impl BenchRecord {
     }
 }
 
-/// JSON has no NaN/Infinity literals; map them to `null`.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manifest::BENCH_SCHEMA;
 
     fn sample() -> BenchRecord {
         BenchRecord {
+            manifest: Manifest::new(BENCH_SCHEMA, "repro", 1996, "fig2,table1"),
             jobs: 4,
             total_wall_secs: 2.0,
             runs: vec![
@@ -158,12 +146,18 @@ mod tests {
                     seed: 1996,
                     wall_secs: 0.5,
                     events: 1_000_000,
+                    drops: 12,
+                    retransmits: 0,
+                    queue_peak: 88,
                 },
                 RunRecord {
                     id: "table1".into(),
                     seed: 1996,
                     wall_secs: 1.5,
                     events: 3_000_000,
+                    drops: 0,
+                    retransmits: 7,
+                    queue_peak: 40,
                 },
             ],
         }
@@ -181,21 +175,17 @@ mod tests {
     fn json_is_well_formed_and_complete() {
         let j = sample().to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert!(j.contains("\"schema\": \"phantom-bench/1\""));
+        assert!(j.contains("\"schema\": \"phantom-bench/2\""));
+        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/2\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"events_total\": 4000000"));
         assert!(j.contains("{\"id\": \"fig2\", \"seed\": 1996"));
+        assert!(j.contains("\"drops\": 12"));
+        assert!(j.contains("\"retransmits\": 7"));
+        assert!(j.contains("\"queue_peak\": 88"));
         // crude balance check, good enough for a fixed schema
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
-    }
-
-    #[test]
-    fn strings_and_non_finite_floats_are_escaped() {
-        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(f64::INFINITY), "null");
-        assert_eq!(json_f64(0.25), "0.25");
     }
 
     #[test]

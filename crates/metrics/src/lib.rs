@@ -13,7 +13,15 @@
 //! * [`report`] — structured experiment results and their ASCII/CSV
 //!   rendering, used by the `repro` binary to "print" each figure.
 //! * [`bench_record`] — the machine-readable `BENCH_phantom.json` schema
-//!   (runs/sec, events/sec, per-run wall time) the `repro` harness emits.
+//!   (runs/sec, events/sec, per-run wall time and health telemetry) the
+//!   `repro` harness emits.
+//! * [`registry`] — named counters/gauges/histograms that nodes register
+//!   into, exported per run as a Prometheus-style text snapshot and a
+//!   JSON summary.
+//! * [`manifest`] — the provenance manifest (scenario, seed, config
+//!   hash, git rev, schema version) embedded in every artifact.
+//! * [`json`] — the hand-rolled JSON emission helpers all of the above
+//!   share (the workspace builds without serde).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +29,9 @@
 pub mod bench_record;
 pub mod convergence;
 pub mod fairness;
+pub mod json;
+pub mod manifest;
+pub mod registry;
 pub mod report;
 pub mod series;
 
@@ -29,4 +40,6 @@ pub use convergence::{convergence_time, oscillation_amplitude};
 pub use fairness::{
     jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min,
 };
+pub use manifest::{fnv1a_64, Manifest};
+pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 pub use report::{aggregate_runs, ExperimentResult, Table};

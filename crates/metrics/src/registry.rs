@@ -1,0 +1,411 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! Nodes (`atm::Port`, `atm::Switch`, `tcp::RPort`, …) register metrics
+//! at build time and hold cheap [`CounterHandle`]/[`GaugeHandle`] clones;
+//! the registry keeps the authoritative list and renders it after the
+//! run as a Prometheus-style text snapshot and a JSON summary, both
+//! stamped with the run's [`Manifest`].
+//!
+//! Gauges are *sampled series*: nodes set them on their own sim-time
+//! cadence (the measurement interval), so a snapshot also carries each
+//! gauge's mean/max over the run, not just the final value. A run is
+//! single-threaded, so handles are `Rc`-based; parallel sweeps give each
+//! worker its own registry.
+
+use crate::json::{json_f64, json_str};
+use crate::manifest::Manifest;
+use phantom_sim::stats::{Histogram, TimeSeries};
+use phantom_sim::SimTime;
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Handle to a registered monotonic counter.
+#[derive(Clone, Debug)]
+pub struct CounterHandle(Rc<Cell<u64>>);
+
+impl CounterHandle {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Handle to a registered gauge (a sampled time series).
+#[derive(Clone, Debug)]
+pub struct GaugeHandle(Rc<RefCell<TimeSeries>>);
+
+impl GaugeHandle {
+    /// Record the gauge's value at sim time `t` (non-decreasing).
+    pub fn set(&self, t: SimTime, v: f64) {
+        self.0.borrow_mut().push(t, v);
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.0.borrow().last()
+    }
+}
+
+/// Handle to a registered histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Record one observation `v >= 0`.
+    pub fn record(&self, v: f64) {
+        self.0.borrow_mut().record(v);
+    }
+}
+
+enum Slot {
+    Counter(Rc<Cell<u64>>),
+    Gauge(Rc<RefCell<TimeSeries>>),
+    Histogram(Rc<RefCell<Histogram>>),
+}
+
+struct Metric {
+    name: String,
+    labels: Vec<(String, String)>,
+    slot: Slot,
+}
+
+/// The metric registry for one run. Cloning shares the underlying list.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Rc<RefCell<Vec<Metric>>>,
+}
+
+fn check_name(name: &str) {
+    assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && !name.starts_with(|c: char| c.is_ascii_digit()),
+        "metric name `{name}` must be snake_case ASCII"
+    );
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| {
+            check_name(k);
+            (k.to_string(), v.to_string())
+        })
+        .collect()
+}
+
+fn label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={}", prom_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn prom_label_value(v: &str) -> String {
+    let escaped = v
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!("\"{escaped}\"")
+}
+
+fn labels_json(labels: &[(String, String)]) -> String {
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter named `name` with `labels`; returns its handle.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        check_name(name);
+        let cell = Rc::new(Cell::new(0));
+        self.metrics.borrow_mut().push(Metric {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            slot: Slot::Counter(Rc::clone(&cell)),
+        });
+        CounterHandle(cell)
+    }
+
+    /// Register a gauge named `name` with `labels`; returns its handle.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        check_name(name);
+        let series = Rc::new(RefCell::new(TimeSeries::new()));
+        self.metrics.borrow_mut().push(Metric {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            slot: Slot::Gauge(Rc::clone(&series)),
+        });
+        GaugeHandle(series)
+    }
+
+    /// Register a histogram of `nbins` bins of width `bin_width`.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bin_width: f64,
+        nbins: usize,
+    ) -> HistogramHandle {
+        check_name(name);
+        let hist = Rc::new(RefCell::new(Histogram::new(bin_width, nbins)));
+        self.metrics.borrow_mut().push(Metric {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            slot: Slot::Histogram(Rc::clone(&hist)),
+        });
+        HistogramHandle(hist)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.borrow().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.borrow().is_empty()
+    }
+
+    /// Render a Prometheus-style text snapshot (`phantom-metrics/1`).
+    /// The manifest rides along as a leading comment; histograms are
+    /// rendered as summaries (quantiles + `_sum`/`_count`) because the
+    /// underlying bins are too fine to export one bucket line each.
+    ///
+    /// Samples are grouped by metric family (in first-registration
+    /// order) — the text format requires every sample of a family to sit
+    /// consecutively under a single `# TYPE` line, even when nodes
+    /// registered the families interleaved.
+    pub fn to_prometheus(&self, manifest: &Manifest) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# manifest: {}", manifest.to_json());
+        let metrics = self.metrics.borrow();
+        let mut names: Vec<&str> = Vec::new();
+        for m in metrics.iter() {
+            if !names.contains(&m.name.as_str()) {
+                names.push(&m.name);
+            }
+        }
+        for name in names {
+            let mut typed = false;
+            for m in metrics.iter().filter(|m| m.name == name) {
+                let suffix = label_suffix(&m.labels);
+                match &m.slot {
+                    Slot::Counter(c) => {
+                        if !typed {
+                            let _ = writeln!(out, "# TYPE {name} counter");
+                            typed = true;
+                        }
+                        let _ = writeln!(out, "{name}{suffix} {}", c.get());
+                    }
+                    Slot::Gauge(g) => {
+                        if !typed {
+                            let _ = writeln!(out, "# TYPE {name} gauge");
+                            typed = true;
+                        }
+                        let g = g.borrow();
+                        let _ =
+                            writeln!(out, "{name}{suffix} {}", json_f64(g.last().unwrap_or(0.0)));
+                    }
+                    Slot::Histogram(h) => {
+                        if !typed {
+                            let _ = writeln!(out, "# TYPE {name} summary");
+                            typed = true;
+                        }
+                        let h = h.borrow();
+                        for q in [0.5, 0.9, 0.99] {
+                            let mut labels = m.labels.clone();
+                            labels.push(("quantile".to_string(), format!("{q}")));
+                            let _ = writeln!(
+                                out,
+                                "{name}{} {}",
+                                label_suffix(&labels),
+                                json_f64(h.quantile(q))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{suffix} {}",
+                            json_f64(h.mean() * h.count() as f64)
+                        );
+                        let _ = writeln!(out, "{name}_count{suffix} {}", h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a JSON summary snapshot (`phantom-metrics/1`) with the
+    /// manifest embedded. Gauges carry last/mean/max over the sampled
+    /// series; histograms carry count/mean/quantiles/max.
+    pub fn to_json(&self, manifest: &Manifest) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(&manifest.schema));
+        let _ = writeln!(out, "  \"manifest\": {},", manifest.to_json());
+        out.push_str("  \"metrics\": [\n");
+        let metrics = self.metrics.borrow();
+        for (i, m) in metrics.iter().enumerate() {
+            let head = format!(
+                "    {{\"name\": {}, \"labels\": {}",
+                json_str(&m.name),
+                labels_json(&m.labels)
+            );
+            let body = match &m.slot {
+                Slot::Counter(c) => {
+                    format!("{head}, \"type\": \"counter\", \"value\": {}}}", c.get())
+                }
+                Slot::Gauge(g) => {
+                    let g = g.borrow();
+                    format!(
+                        "{head}, \"type\": \"gauge\", \"last\": {}, \"mean\": {}, \"max\": {}, \"samples\": {}}}",
+                        json_f64(g.last().unwrap_or(0.0)),
+                        json_f64(g.mean()),
+                        json_f64(g.max()),
+                        g.len()
+                    )
+                }
+                Slot::Histogram(h) => {
+                    let h = h.borrow();
+                    format!(
+                        "{head}, \"type\": \"histogram\", \"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                        h.count(),
+                        json_f64(h.mean()),
+                        json_f64(h.quantile(0.5)),
+                        json_f64(h.quantile(0.9)),
+                        json_f64(h.quantile(0.99)),
+                        json_f64(h.max())
+                    )
+                }
+            };
+            out.push_str(&body);
+            out.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::METRICS_SCHEMA;
+
+    fn manifest() -> Manifest {
+        Manifest::new(METRICS_SCHEMA, "fig2", 1996, "cfg")
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("cells_dropped_total", &[("trunk", "s1->s2")]);
+        let g = reg.gauge("trunk_queue_cells", &[("trunk", "s1->s2")]);
+        c.inc();
+        c.add(2);
+        g.set(SimTime::from_millis(1), 5.0);
+        g.set(SimTime::from_millis(2), 9.0);
+        assert_eq!(c.get(), 3);
+        assert_eq!(g.last(), Some(9.0));
+        assert_eq!(reg.len(), 2);
+
+        let prom = reg.to_prometheus(&manifest());
+        assert!(prom.starts_with("# manifest: {\"schema\":\"phantom-metrics/1\""));
+        assert!(prom.contains("# TYPE cells_dropped_total counter"));
+        assert!(prom.contains("cells_dropped_total{trunk=\"s1->s2\"} 3"));
+        assert!(prom.contains("trunk_queue_cells{trunk=\"s1->s2\"} 9"));
+
+        let json = reg.to_json(&manifest());
+        assert!(json.contains("\"schema\": \"phantom-metrics/1\""));
+        assert!(json.contains("\"manifest\": {\"schema\":"));
+        assert!(json.contains("\"value\": 3"));
+        assert!(json.contains("\"last\": 9, \"mean\": 7, \"max\": 9, \"samples\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn histograms_export_as_summaries() {
+        let reg = Registry::new();
+        let h = reg.histogram("rm_delay_seconds", &[], 0.001, 100);
+        for v in [0.0005, 0.0015, 0.0015, 0.0105] {
+            h.record(v);
+        }
+        let prom = reg.to_prometheus(&manifest());
+        assert!(prom.contains("# TYPE rm_delay_seconds summary"));
+        assert!(prom.contains("rm_delay_seconds{quantile=\"0.5\"} 0.002"));
+        assert!(prom.contains("rm_delay_seconds_count 4"));
+        let json = reg.to_json(&manifest());
+        assert!(json.contains("\"type\": \"histogram\", \"count\": 4"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_name() {
+        let reg = Registry::new();
+        reg.counter("drops_total", &[("port", "0")]).inc();
+        reg.counter("drops_total", &[("port", "1")]).add(2);
+        let prom = reg.to_prometheus(&manifest());
+        assert_eq!(prom.matches("# TYPE drops_total counter").count(), 1);
+        assert!(prom.contains("drops_total{port=\"0\"} 1"));
+        assert!(prom.contains("drops_total{port=\"1\"} 2"));
+    }
+
+    #[test]
+    fn interleaved_registrations_still_group_families() {
+        // Two ports each register (tx, q) pairs, so the registration
+        // order interleaves the families; the snapshot must regroup them.
+        let reg = Registry::new();
+        reg.counter("tx_total", &[("port", "0")]).inc();
+        reg.gauge("q_cells", &[("port", "0")])
+            .set(SimTime::ZERO, 1.0);
+        reg.counter("tx_total", &[("port", "1")]).add(5);
+        reg.gauge("q_cells", &[("port", "1")])
+            .set(SimTime::ZERO, 2.0);
+        let prom = reg.to_prometheus(&manifest());
+        let tx0 = prom.find("tx_total{port=\"0\"}").unwrap();
+        let tx1 = prom.find("tx_total{port=\"1\"}").unwrap();
+        let q0 = prom.find("q_cells{port=\"0\"}").unwrap();
+        assert!(tx0 < tx1 && tx1 < q0, "families must be consecutive");
+        assert_eq!(prom.matches("# TYPE").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "snake_case")]
+    fn bad_metric_name_rejected() {
+        Registry::new().counter("Bad-Name", &[]);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[("path", "a\"b\\c")]).inc();
+        let prom = reg.to_prometheus(&manifest());
+        assert!(prom.contains("c_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

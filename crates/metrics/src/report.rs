@@ -7,7 +7,7 @@
 //! CSV for real plotting.
 
 use phantom_sim::stats::TimeSeries;
-use phantom_sim::trace::{downsample, write_long_csv};
+use phantom_sim::trace::{downsample, write_long_csv_with_manifest};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -91,9 +91,19 @@ impl ExperimentResult {
 
     /// Dump all traces to `dir/<id>.csv` in long format.
     pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        self.write_csv_with_manifest(dir, None)
+    }
+
+    /// [`Self::write_csv`], embedding a `# manifest: {json}` provenance
+    /// comment as the first line when given.
+    pub fn write_csv_with_manifest(
+        &self,
+        dir: &Path,
+        manifest_json: Option<&str>,
+    ) -> io::Result<()> {
         let refs: Vec<(&str, &TimeSeries)> =
             self.series.iter().map(|(n, ts)| (n.as_str(), ts)).collect();
-        write_long_csv(&dir.join(format!("{}.csv", self.id)), &refs)
+        write_long_csv_with_manifest(&dir.join(format!("{}.csv", self.id)), &refs, manifest_json)
     }
 }
 
@@ -204,8 +214,22 @@ impl Table {
 
     /// Write the table as CSV to `dir/<id>.csv`.
     pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        self.write_csv_with_manifest(dir, None)
+    }
+
+    /// [`Self::write_csv`], embedding a `# manifest: {json}` provenance
+    /// comment as the first line when given.
+    pub fn write_csv_with_manifest(
+        &self,
+        dir: &Path,
+        manifest_json: Option<&str>,
+    ) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut body = self.headers.join(",");
+        let mut body = String::new();
+        if let Some(m) = manifest_json {
+            let _ = writeln!(body, "# manifest: {m}");
+        }
+        body.push_str(&self.headers.join(","));
         body.push('\n');
         for (label, vals) in &self.rows {
             body.push_str(label);
@@ -311,6 +335,24 @@ mod tests {
         t.write_csv(&dir).unwrap();
         let body = std::fs::read_to_string(dir.join("tZ.csv")).unwrap();
         assert!(body.starts_with("alg,v"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_manifest_comment_rides_first() {
+        let dir = std::env::temp_dir().join("phantom_metrics_csv_manifest");
+        let mut r = ExperimentResult::new("figM", "t");
+        r.add_series("s", trace());
+        r.write_csv_with_manifest(&dir, Some("{\"seed\":7}"))
+            .unwrap();
+        let body = std::fs::read_to_string(dir.join("figM.csv")).unwrap();
+        assert!(body.starts_with("# manifest: {\"seed\":7}\n"));
+        let mut t = Table::new("tM", "t", &["alg", "v"]);
+        t.add_row("p", vec![1.0]);
+        t.write_csv_with_manifest(&dir, Some("{\"seed\":7}"))
+            .unwrap();
+        let body = std::fs::read_to_string(dir.join("tM.csv")).unwrap();
+        assert!(body.starts_with("# manifest: {\"seed\":7}\nalg,v"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

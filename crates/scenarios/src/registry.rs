@@ -28,6 +28,19 @@ impl ExperimentOutput {
         }
     }
 
+    /// [`Self::write_csv`] with a `# manifest: {json}` provenance
+    /// comment embedded as the first line.
+    pub fn write_csv_with_manifest(
+        &self,
+        dir: &std::path::Path,
+        manifest_json: &str,
+    ) -> std::io::Result<()> {
+        match self {
+            ExperimentOutput::Figure(r) => r.write_csv_with_manifest(dir, Some(manifest_json)),
+            ExperimentOutput::Table(t) => t.write_csv_with_manifest(dir, Some(manifest_json)),
+        }
+    }
+
     /// The experiment id.
     pub fn id(&self) -> &str {
         match self {

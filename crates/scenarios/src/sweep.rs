@@ -10,6 +10,10 @@
 //! Uses only `std::thread::scope`; no thread-pool dependency.
 
 use crate::registry::{run_experiment, ExperimentOutput};
+use phantom_metrics::manifest::{Manifest, TRACE_SCHEMA};
+use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard};
+use phantom_sim::telemetry::{self, RunCounters};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One unit of work: an experiment id plus the seed to run it under.
@@ -19,6 +23,18 @@ pub struct SweepJob {
     pub id: String,
     /// Master seed for the run (per-node streams derive from it).
     pub seed: u64,
+}
+
+/// Observability options for a sweep. The defaults are a fully untraced
+/// sweep — probes cost nothing when no trace directory is set.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Write one JSONL trace per run into this directory, named
+    /// `<id>-<seed>.jsonl` (deterministic, so parallel workers never
+    /// collide). `None` disables tracing entirely.
+    pub trace_dir: Option<PathBuf>,
+    /// Event kinds to keep in the traces (default: all).
+    pub trace_filter: KindSet,
 }
 
 /// The outcome of one job.
@@ -31,26 +47,59 @@ pub struct SweepRun {
     pub events: u64,
     /// Wall-clock seconds this run took on its worker thread.
     pub wall_secs: f64,
+    /// Drop/retransmit/queue-peak telemetry observed during the run.
+    pub counters: RunCounters,
 }
 
-fn run_one(job: &SweepJob) -> SweepRun {
+/// Install the per-run JSONL probe, if a trace directory is configured.
+/// Any I/O failure silently disables tracing for this run rather than
+/// aborting the sweep.
+fn install_trace(job: &SweepJob, opts: &SweepOptions) -> Option<ProbeGuard> {
+    let dir = opts.trace_dir.as_ref()?;
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{}-{}.jsonl", job.id, job.seed));
+    let file = std::fs::File::create(path).ok()?;
+    let manifest = Manifest::new(TRACE_SCHEMA, &job.id, job.seed, &job.id);
+    let probe = JsonlProbe::with_manifest(file, &manifest.to_json()).ok()?;
+    let boxed: Box<dyn Probe> = if opts.trace_filter == KindSet::ALL {
+        Box::new(probe)
+    } else {
+        Box::new(FilterProbe::new(opts.trace_filter, probe))
+    };
+    Some(ProbeGuard::install(boxed))
+}
+
+fn run_one(job: &SweepJob, opts: &SweepOptions) -> SweepRun {
+    let guard = install_trace(job, opts);
+    let marker = telemetry::begin_run();
     let events_before = phantom_sim::thread_events_dispatched();
     let start = std::time::Instant::now();
     let output = run_experiment(&job.id, job.seed);
+    let events = phantom_sim::thread_events_dispatched() - events_before;
+    let wall_secs = start.elapsed().as_secs_f64();
+    let counters = marker.finish();
+    drop(guard); // flushes the trace file
     SweepRun {
         job: job.clone(),
         output,
-        events: phantom_sim::thread_events_dispatched() - events_before,
-        wall_secs: start.elapsed().as_secs_f64(),
+        events,
+        wall_secs,
+        counters,
     }
 }
 
 /// Run every job, fanning across up to `jobs` worker threads, and return
 /// the results in the same order as `jobs_list`.
 pub fn run_sweep(jobs_list: &[SweepJob], jobs: usize) -> Vec<SweepRun> {
+    run_sweep_with(jobs_list, jobs, &SweepOptions::default())
+}
+
+/// [`run_sweep`] with observability options. Each worker thread installs
+/// its own probe, so traces stay deterministic at any `--jobs` level.
+pub fn run_sweep_with(jobs_list: &[SweepJob], jobs: usize, opts: &SweepOptions) -> Vec<SweepRun> {
     let workers = jobs.max(1).min(jobs_list.len());
     if workers <= 1 {
-        return jobs_list.iter().map(run_one).collect();
+        return jobs_list.iter().map(|j| run_one(j, opts)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, SweepRun)> = std::thread::scope(|s| {
@@ -61,7 +110,7 @@ pub fn run_sweep(jobs_list: &[SweepJob], jobs: usize) -> Vec<SweepRun> {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs_list.get(i) else { break };
-                        local.push((i, run_one(job)));
+                        local.push((i, run_one(job, opts)));
                     }
                     local
                 })
@@ -118,5 +167,108 @@ mod tests {
         let out = run_sweep(&jobs(&[("fig2", 1996)]), 1);
         assert!(out[0].events > 0, "a simulation dispatches events");
         assert!(out[0].wall_secs > 0.0);
+    }
+
+    /// The observability acceptance test: a JSONL-probed run must be
+    /// byte-identical to the untraced run — same renders, same event
+    /// counts, same telemetry — whether serial or fanned across workers,
+    /// and the trace files must carry a manifest first line.
+    #[test]
+    fn traced_runs_are_byte_identical_serial_and_parallel() {
+        let batch = jobs(&[("fig2", 1996), ("fig4", 1996)]);
+        let plain = run_sweep(&batch, 1);
+
+        let dir = std::env::temp_dir().join(format!("phantom-sweep-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            trace_dir: Some(dir.clone()),
+            trace_filter: KindSet::ALL,
+        };
+        let serial = run_sweep_with(&batch, 1, &opts);
+        let parallel = run_sweep_with(&batch, 4, &opts);
+
+        for (a, b) in plain.iter().zip(serial.iter().chain(&parallel)) {
+            assert_eq!(a.job.id, b.job.id);
+            assert_eq!(a.events, b.events, "tracing must not change dispatch");
+            assert_eq!(a.counters, b.counters, "telemetry must be identical");
+            assert_eq!(
+                a.output.as_ref().unwrap().render(0),
+                b.output.as_ref().unwrap().render(0),
+                "reports must be byte-identical with a probe attached"
+            );
+        }
+
+        for job in &batch {
+            let path = dir.join(format!("{}-{}.jsonl", job.id, job.seed));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let first = text.lines().next().unwrap();
+            assert!(first.contains("phantom-trace/1"), "manifest first: {first}");
+            assert!(first.contains(&format!("\"scenario\":\"{}\"", job.id)));
+            assert!(text.lines().count() > 1, "trace must contain events");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Acceptance: every drop the run's telemetry counted appears as a
+    /// `drop` event in the JSONL trace (the probe and the counters watch
+    /// the same queue sites), and the per-interval MACR updates all land
+    /// too — across one ATM and one TCP experiment.
+    #[test]
+    fn every_drop_and_macr_update_lands_in_the_trace() {
+        let dir = std::env::temp_dir().join(format!("phantom-sweep-accept-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            trace_dir: Some(dir.clone()),
+            trace_filter: KindSet::ALL,
+        };
+        let batch = jobs(&[("fig2", 1996), ("fig14", 1996)]);
+        let out = run_sweep_with(&batch, 2, &opts);
+        for (job, run) in batch.iter().zip(&out) {
+            let path = dir.join(format!("{}-{}.jsonl", job.id, job.seed));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let drops = text
+                .lines()
+                .filter(|l| l.contains("\"kind\":\"drop\""))
+                .count() as u64;
+            assert_eq!(
+                drops, run.counters.drops,
+                "{}: every counted drop must appear in the trace",
+                job.id
+            );
+        }
+        let fig2 = std::fs::read_to_string(dir.join("fig2-1996.jsonl")).unwrap();
+        let macrs = fig2
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"macr\""))
+            .count();
+        assert!(macrs > 100, "fig2 updates MACR every interval: {macrs}");
+        assert!(
+            out[1].counters.drops > 0,
+            "fig14 drops packets, so the drop cross-check is not vacuous"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_filter_limits_kinds() {
+        let dir = std::env::temp_dir().join(format!("phantom-sweep-filter-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            trace_dir: Some(dir.clone()),
+            trace_filter: KindSet::parse("macr,drop").unwrap(),
+        };
+        let out = run_sweep_with(&jobs(&[("fig2", 7)]), 1, &opts);
+        assert!(out[0].output.is_some());
+        let text = std::fs::read_to_string(dir.join("fig2-7.jsonl")).unwrap();
+        let mut saw_macr = false;
+        for line in text.lines().skip(1) {
+            assert!(
+                line.contains("\"kind\":\"macr\"") || line.contains("\"kind\":\"drop\""),
+                "filtered kinds only: {line}"
+            );
+            saw_macr |= line.contains("\"kind\":\"macr\"");
+        }
+        assert!(saw_macr, "fig2 runs MACR updates every interval");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

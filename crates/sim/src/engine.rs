@@ -103,6 +103,14 @@ impl<'a, M> Ctx<'a, M> {
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }
+
+    /// Emit a semantic [`crate::probe::ProbeEvent`] to the thread's
+    /// installed probe, if any. The closure runs only when a probe is
+    /// installed, so an untraced run pays a single predictable branch.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> crate::probe::ProbeEvent) {
+        crate::probe::emit(self.now, self.self_id, make);
+    }
 }
 
 /// The simulation engine: owns nodes, the event calendar and the clock.

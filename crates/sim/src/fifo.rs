@@ -47,11 +47,15 @@ impl<T> BoundedFifo<T> {
         self.arrivals += 1;
         if self.items.len() >= self.cap {
             self.drops += 1;
+            crate::telemetry::note_drop();
             return EnqueueResult::Dropped;
         }
         self.items.push_back(item);
         if self.items.len() > self.high_water {
             self.high_water = self.items.len();
+            // Only on a new high-water mark, so the common enqueue pays
+            // nothing for run-wide peak tracking.
+            crate::telemetry::note_queue_depth(self.high_water);
         }
         EnqueueResult::Accepted
     }
@@ -61,6 +65,7 @@ impl<T> BoundedFifo<T> {
     pub fn note_policy_drop(&mut self) {
         self.arrivals += 1;
         self.drops += 1;
+        crate::telemetry::note_drop();
     }
 
     /// Dequeue the oldest item.

@@ -16,6 +16,11 @@
 //! * [`fifo`] — a bounded FIFO queue with drop and occupancy accounting,
 //!   the building block of every switch output port and router.
 //! * [`trace`] — CSV export of recorded series for offline plotting.
+//! * [`probe`] — typed semantic events (enqueue/drop/MACR update/…) with
+//!   pluggable sinks (JSONL, ring buffer), zero-cost when no probe is
+//!   installed.
+//! * [`telemetry`] — thread-local run-wide counters (drops, retransmits,
+//!   queue peak) harvested per run by harnesses.
 //!
 //! The kernel is deliberately synchronous: a flow-control simulation is
 //! CPU-bound and must be deterministic, so an async runtime would add
@@ -51,13 +56,19 @@
 pub mod engine;
 pub mod event;
 pub mod fifo;
+pub mod probe;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use engine::{thread_events_dispatched, Ctx, Engine, Node, NodeId, TraceHook};
 pub use fifo::BoundedFifo;
+pub use probe::{
+    install_thread_probe, take_thread_probe, DropReason, JsonlProbe, KindSet, Probe, ProbeEvent,
+    ProbeGuard, ProbeKind, RingProbe,
+};
 pub use rng::SeedStream;
 pub use stats::{Counter, Histogram, TimeSeries, TimeWeighted};
 pub use time::{SimDuration, SimTime};

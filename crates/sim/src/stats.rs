@@ -71,18 +71,40 @@ impl TimeSeries {
         self.values.iter().sum::<f64>() / self.values.len() as f64
     }
 
-    /// Largest sample value, or 0 for an empty series.
-    pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(0.0, f64::max)
+    /// Largest sample value, or `None` for an empty series.
+    pub fn try_max(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(
+                self.values
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max),
+            )
+        }
     }
 
-    /// Smallest sample value, or 0 for an empty series.
-    pub fn min(&self) -> f64 {
+    /// Largest sample value, or 0 for an empty series. Correct for
+    /// all-negative series; use [`TimeSeries::try_max`] when the empty
+    /// case must be distinguishable from a genuine 0.
+    pub fn max(&self) -> f64 {
+        self.try_max().unwrap_or(0.0)
+    }
+
+    /// Smallest sample value, or `None` for an empty series.
+    pub fn try_min(&self) -> Option<f64> {
         if self.values.is_empty() {
-            0.0
+            None
         } else {
-            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+            Some(self.values.iter().copied().fold(f64::INFINITY, f64::min))
         }
+    }
+
+    /// Smallest sample value, or 0 for an empty series (see
+    /// [`TimeSeries::try_min`]).
+    pub fn min(&self) -> f64 {
+        self.try_min().unwrap_or(0.0)
     }
 
     /// Mean of samples with `t >= from` seconds (unweighted).
@@ -102,12 +124,20 @@ impl TimeSeries {
         }
     }
 
-    /// Largest sample value with `t >= from` seconds.
-    pub fn max_after(&self, from: f64) -> f64 {
+    /// Largest sample value with `t >= from` seconds, or `None` when no
+    /// sample falls in the window.
+    pub fn try_max_after(&self, from: f64) -> Option<f64> {
         self.iter()
             .filter(|&(t, _)| t >= from)
             .map(|(_, v)| v)
-            .fold(0.0, f64::max)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Largest sample value with `t >= from` seconds, or 0 when no sample
+    /// falls in the window. Correct for all-negative series; use
+    /// [`TimeSeries::try_max_after`] to distinguish the empty window.
+    pub fn max_after(&self, from: f64) -> f64 {
+        self.try_max_after(from).unwrap_or(0.0)
     }
 
     /// Value of the series at time `t` (seconds), treating it as a
@@ -306,6 +336,32 @@ mod tests {
         assert_eq!(ts.max(), 30.0);
         assert_eq!(ts.min(), 10.0);
         assert_eq!(ts.last(), Some(30.0));
+    }
+
+    #[test]
+    fn time_series_extrema_all_negative() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(1), -5.0);
+        ts.push(SimTime::from_millis(2), -2.0);
+        ts.push(SimTime::from_millis(3), -9.0);
+        assert_eq!(ts.max(), -2.0, "max must not clamp at 0");
+        assert_eq!(ts.min(), -9.0);
+        assert_eq!(ts.max_after(0.002), -2.0);
+        assert_eq!(ts.try_max(), Some(-2.0));
+        assert_eq!(ts.try_min(), Some(-9.0));
+        assert_eq!(ts.try_max_after(0.0025), Some(-9.0));
+    }
+
+    #[test]
+    fn time_series_extrema_empty_is_explicit() {
+        let ts = TimeSeries::new();
+        assert_eq!(ts.try_max(), None);
+        assert_eq!(ts.try_min(), None);
+        assert_eq!(ts.try_max_after(0.0), None);
+        // The f64 variants keep the documented 0 fallback.
+        assert_eq!(ts.max(), 0.0);
+        assert_eq!(ts.min(), 0.0);
+        assert_eq!(ts.max_after(0.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Thread-local run-wide telemetry counters.
+//!
+//! Harnesses (the CLI, the `repro` sweep) want a handful of aggregate
+//! health numbers per run — total drops, TCP retransmissions, the deepest
+//! queue seen — without threading a context through every node. Like
+//! [`crate::thread_events_dispatched`], the counters live in thread
+//! locals: hot paths bump them unconditionally (an increment on a rare
+//! branch), and a harness brackets a run with [`begin_run`] /
+//! [`RunMarker::finish`] to read the per-run delta. Parallel sweeps work
+//! unchanged because each worker thread has its own counters.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DROPS: Cell<u64> = const { Cell::new(0) };
+    static RETRANSMITS: Cell<u64> = const { Cell::new(0) };
+    static QUEUE_PEAK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one dropped cell/packet (tail, policy or wire).
+#[inline]
+pub fn note_drop() {
+    DROPS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Record one TCP retransmission.
+#[inline]
+pub fn note_retransmit() {
+    RETRANSMITS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Record a queue depth; keeps the maximum since [`begin_run`]. Callers
+/// should only invoke this when their own high-water mark advances, so
+/// the hot path pays nothing in the common case.
+#[inline]
+pub fn note_queue_depth(depth: usize) {
+    QUEUE_PEAK.with(|c| {
+        if depth as u64 > c.get() {
+            c.set(depth as u64);
+        }
+    });
+}
+
+/// Aggregate telemetry for one bracketed run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Cells/packets dropped (tail + policy + wire).
+    pub drops: u64,
+    /// TCP segments retransmitted.
+    pub retransmits: u64,
+    /// Deepest queue observed, in items.
+    pub queue_peak: u64,
+}
+
+/// Marks the start of a run; see [`begin_run`].
+#[derive(Debug)]
+pub struct RunMarker {
+    drops0: u64,
+    retransmits0: u64,
+}
+
+/// Start a telemetry bracket on this thread. Drop/retransmit counts are
+/// monotonic (the marker snapshots them); the queue peak is reset to 0.
+pub fn begin_run() -> RunMarker {
+    QUEUE_PEAK.with(|c| c.set(0));
+    RunMarker {
+        drops0: DROPS.with(Cell::get),
+        retransmits0: RETRANSMITS.with(Cell::get),
+    }
+}
+
+impl RunMarker {
+    /// Close the bracket and read this run's counters.
+    pub fn finish(self) -> RunCounters {
+        RunCounters {
+            drops: DROPS.with(Cell::get).wrapping_sub(self.drops0),
+            retransmits: RETRANSMITS.with(Cell::get).wrapping_sub(self.retransmits0),
+            queue_peak: QUEUE_PEAK.with(Cell::get),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_isolate_runs() {
+        let m1 = begin_run();
+        note_drop();
+        note_drop();
+        note_retransmit();
+        note_queue_depth(7);
+        note_queue_depth(3); // not a new peak
+        let c1 = m1.finish();
+        assert_eq!(
+            c1,
+            RunCounters {
+                drops: 2,
+                retransmits: 1,
+                queue_peak: 7
+            }
+        );
+
+        let m2 = begin_run();
+        note_queue_depth(2);
+        let c2 = m2.finish();
+        assert_eq!(
+            c2,
+            RunCounters {
+                drops: 0,
+                retransmits: 0,
+                queue_peak: 2
+            }
+        );
+    }
+}

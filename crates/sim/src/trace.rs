@@ -10,15 +10,44 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
+/// Quote a CSV field per RFC 4180 when it contains a comma, quote, CR or
+/// newline; otherwise return it untouched. Keeps long-format files safe
+/// against series names like `queue, cells`.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
 /// Write `series` as long-format CSV (`series,t,value`) to `path`,
-/// creating parent directories as needed.
+/// creating parent directories as needed. Series names are CSV-escaped
+/// (see [`csv_escape`]) so a comma or newline in a name cannot corrupt
+/// the file.
 pub fn write_long_csv(path: &Path, series: &[(&str, &TimeSeries)]) -> io::Result<()> {
+    write_long_csv_with_manifest(path, series, None)
+}
+
+/// [`write_long_csv`], optionally prefixed with a `# manifest: {json}`
+/// comment line carrying the run's provenance (scenario, seed, config
+/// hash, git rev). Plotting tools skip `#` lines; humans and the CI
+/// schema check read them.
+pub fn write_long_csv_with_manifest(
+    path: &Path,
+    series: &[(&str, &TimeSeries)],
+    manifest_json: Option<&str>,
+) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
     let mut w = BufWriter::new(File::create(path)?);
+    if let Some(m) = manifest_json {
+        writeln!(w, "# manifest: {m}")?;
+    }
     writeln!(w, "series,t,value")?;
     for (name, ts) in series {
+        let name = csv_escape(name);
         for (t, v) in ts.iter() {
             writeln!(w, "{name},{t},{v}")?;
         }
@@ -72,6 +101,42 @@ mod tests {
         assert_eq!(lines[0], "series,t,value");
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("macr,0.001,1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn long_csv_escapes_hostile_series_names() {
+        let dir = std::env::temp_dir().join("phantom_sim_trace_escape_test");
+        let path = dir.join("out.csv");
+        let ts = series(&[(1, 1.0)]);
+        write_long_csv(&path, &[("queue, \"cells\"\nx", &ts)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = body.lines().collect();
+        // The hostile name is quoted; its embedded newline stays inside
+        // the quotes, so the record count is preserved for CSV parsers
+        // while naive line counting sees the quoted break.
+        assert!(lines[1].starts_with("\"queue, \"\"cells\"\""));
+        assert_eq!(body.matches(",0.001,1").count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_escape_passes_clean_names_through() {
+        assert_eq!(csv_escape("macr"), "macr");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"x"), "\"q\"\"x\"");
+    }
+
+    #[test]
+    fn long_csv_manifest_comment_first() {
+        let dir = std::env::temp_dir().join("phantom_sim_trace_manifest_test");
+        let path = dir.join("out.csv");
+        let ts = series(&[(1, 1.0)]);
+        write_long_csv_with_manifest(&path, &[("macr", &ts)], Some("{\"seed\":1}")).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = body.lines().collect();
+        assert_eq!(lines[0], "# manifest: {\"seed\":1}");
+        assert_eq!(lines[1], "series,t,value");
         std::fs::remove_dir_all(&dir).ok();
     }
 

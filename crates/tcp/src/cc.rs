@@ -56,6 +56,12 @@ pub trait CongestionControl: Any {
     /// Congestion window, in segments.
     fn cwnd(&self) -> f64;
 
+    /// Slow-start threshold, in segments; NaN for algorithms without one
+    /// (instrumentation only).
+    fn ssthresh(&self) -> f64 {
+        f64::NAN
+    }
+
     /// Segment size in bytes.
     fn mss(&self) -> u32;
 
@@ -101,6 +107,10 @@ impl CongestionControl for crate::reno::Reno {
 
     fn cwnd(&self) -> f64 {
         crate::reno::Reno::cwnd(self)
+    }
+
+    fn ssthresh(&self) -> f64 {
+        crate::reno::Reno::ssthresh(self)
     }
 
     fn mss(&self) -> u32 {

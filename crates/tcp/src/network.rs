@@ -15,6 +15,7 @@ use crate::router::{FlowRoute, RPort, Router};
 use crate::sink::TcpSink;
 use crate::source::TcpSource;
 use crate::vegas::{Vegas, VegasConfig};
+use phantom_metrics::Registry;
 use phantom_sim::stats::TimeSeries;
 use phantom_sim::{Engine, NodeId, SimDuration, SimTime};
 
@@ -411,6 +412,28 @@ pub struct TcpNetwork {
 }
 
 impl TcpNetwork {
+    /// Register every trunk port and every router into `registry`:
+    /// per-direction trunk metrics labelled `link="A->B"` (declared
+    /// router names) and per-router routed-packets counters. Call once
+    /// after [`TcpNetworkBuilder::build`], before running the engine.
+    pub fn bind_metrics(&self, engine: &mut Engine<TcpMsg>, registry: &Registry) {
+        for &rt in &self.routers {
+            engine.node_mut::<Router>(rt).bind_metrics(registry);
+        }
+        for th in &self.trunks {
+            let a = engine.node::<Router>(th.a_router).name().to_string();
+            let b = engine.node::<Router>(th.b_router).name().to_string();
+            engine
+                .node_mut::<Router>(th.a_router)
+                .port_mut(th.a_port)
+                .bind_metrics(registry, &format!("{a}->{b}"));
+            engine
+                .node_mut::<Router>(th.b_router)
+                .port_mut(th.b_port)
+                .bind_metrics(registry, &format!("{b}->{a}"));
+        }
+    }
+
     /// The a→b port of trunk `t`.
     pub fn trunk_port<'e>(&self, engine: &'e Engine<TcpMsg>, t: TrunkIdx) -> &'e RPort {
         let th = &self.trunks[t.0];

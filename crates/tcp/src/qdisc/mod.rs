@@ -71,6 +71,29 @@ pub enum Verdict {
     Quench,
 }
 
+/// Instrumentation snapshot of a discipline's Phantom estimator: the
+/// residual error fed to the last MACR update, the tracked mean absolute
+/// deviation, and the gain actually applied. All NaN for disciplines
+/// without an estimator (or before its first interval).
+#[derive(Clone, Copy, Debug)]
+pub struct QdiscTelemetry {
+    /// Residual error (capacity − used) fed to the last update.
+    pub delta: f64,
+    /// Mean absolute deviation of the residual.
+    pub dev: f64,
+    /// Gain applied on the last update.
+    pub gain: f64,
+}
+
+impl QdiscTelemetry {
+    /// The "no estimator" snapshot.
+    pub const UNTRACKED: Self = QdiscTelemetry {
+        delta: f64::NAN,
+        dev: f64::NAN,
+        gain: f64::NAN,
+    };
+}
+
 /// A router queue discipline (constant space, like the switch allocators).
 pub trait QueueDiscipline: Any {
     /// Decide the fate of an arriving packet given the current queue
@@ -90,6 +113,12 @@ pub trait QueueDiscipline: Any {
     /// Fair-share estimate (bytes/s) for tracing; NaN if not applicable.
     fn fair_share(&self) -> f64 {
         f64::NAN
+    }
+
+    /// Estimator internals for probes. Instrumentation only — default is
+    /// all-NaN for disciplines without a Phantom meter.
+    fn telemetry(&self) -> QdiscTelemetry {
+        QdiscTelemetry::UNTRACKED
     }
 
     /// Short name for reports.

@@ -5,7 +5,7 @@
 //! must answer: *is this packet's stamped rate above the allowed rate
 //! `u × MACR`?*
 
-use super::RouterMeasurement;
+use super::{QdiscTelemetry, RouterMeasurement};
 use phantom_core::{MacrEstimator, PhantomConfig, ResidualMode};
 
 /// A per-port Phantom meter for TCP routers.
@@ -56,6 +56,18 @@ impl PhantomMeter {
     /// Is a packet stamped with rate `cr` above the allowed rate?
     pub fn over_limit(&self, cr: f64) -> bool {
         cr > self.allowed_rate()
+    }
+
+    /// Estimator internals for probes (all NaN before the first interval).
+    pub fn telemetry(&self) -> QdiscTelemetry {
+        match &self.est {
+            Some(e) => QdiscTelemetry {
+                delta: e.last_err(),
+                dev: e.dev(),
+                gain: e.last_gain(),
+            },
+            None => QdiscTelemetry::UNTRACKED,
+        }
     }
 }
 

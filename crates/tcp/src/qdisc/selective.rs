@@ -16,7 +16,7 @@
 
 use super::phantom_meter::PhantomMeter;
 use super::red::{RedConfig, RedCore};
-use super::{QueueDiscipline, RouterMeasurement, Verdict};
+use super::{QdiscTelemetry, QueueDiscipline, RouterMeasurement, Verdict};
 use crate::packet::Packet;
 use phantom_core::PhantomConfig;
 use rand::rngs::SmallRng;
@@ -76,6 +76,10 @@ impl QueueDiscipline for SelectiveDiscard {
         self.meter.macr()
     }
 
+    fn telemetry(&self) -> QdiscTelemetry {
+        self.meter.telemetry()
+    }
+
     fn name(&self) -> &'static str {
         "selective-discard"
     }
@@ -125,6 +129,10 @@ impl QueueDiscipline for SelectiveQuench {
         self.meter.macr()
     }
 
+    fn telemetry(&self) -> QdiscTelemetry {
+        self.meter.telemetry()
+    }
+
     fn name(&self) -> &'static str {
         "selective-quench"
     }
@@ -172,6 +180,10 @@ impl QueueDiscipline for EfciMark {
 
     fn fair_share(&self) -> f64 {
         self.meter.macr()
+    }
+
+    fn telemetry(&self) -> QdiscTelemetry {
+        self.meter.telemetry()
     }
 
     fn name(&self) -> &'static str {
@@ -243,6 +255,10 @@ impl QueueDiscipline for SelectiveRed {
 
     fn fair_share(&self) -> f64 {
         self.meter.macr()
+    }
+
+    fn telemetry(&self) -> QdiscTelemetry {
+        self.meter.telemetry()
     }
 
     fn name(&self) -> &'static str {

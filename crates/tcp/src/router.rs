@@ -9,10 +9,21 @@
 
 use crate::packet::{FlowId, Packet, TcpMsg, TcpTimer};
 use crate::qdisc::{QueueDiscipline, RouterMeasurement, Verdict};
+use phantom_metrics::registry::{CounterHandle, GaugeHandle, Registry};
 use phantom_sim::fifo::EnqueueResult;
+use phantom_sim::probe::{DropReason, ProbeEvent};
 use phantom_sim::stats::{TimeSeries, TimeWeighted};
 use phantom_sim::{BoundedFifo, Ctx, Node, NodeId, SimDuration};
 use std::collections::HashMap;
+
+/// Registry handles a router port updates when metrics are bound.
+struct RPortMetrics {
+    tx_pkts: CounterHandle,
+    dropped_pkts: CounterHandle,
+    queue_pkts: GaugeHandle,
+    macr: GaugeHandle,
+    throughput: GaugeHandle,
+}
 
 /// Per-flow routing state.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +61,7 @@ pub struct RPort {
     pub macr_series: TimeSeries,
     /// Throughput samples (bytes/s), one per interval.
     pub throughput_series: TimeSeries,
+    metrics: Option<RPortMetrics>,
 }
 
 impl RPort {
@@ -81,7 +93,21 @@ impl RPort {
             queue_series: TimeSeries::new(),
             macr_series: TimeSeries::new(),
             throughput_series: TimeSeries::new(),
+            metrics: None,
         }
+    }
+
+    /// Register this port's counters and gauges into `registry`, labelled
+    /// `link=<label>`. Unbound ports skip all metric updates.
+    pub fn bind_metrics(&mut self, registry: &Registry, label: &str) {
+        let l: &[(&str, &str)] = &[("link", label)];
+        self.metrics = Some(RPortMetrics {
+            tx_pkts: registry.counter("tcp_tx_pkts_total", l),
+            dropped_pkts: registry.counter("tcp_dropped_pkts_total", l),
+            queue_pkts: registry.gauge("tcp_queue_pkts", l),
+            macr: registry.gauge("tcp_macr_bytes_per_sec", l),
+            throughput: registry.gauge("tcp_throughput_bytes_per_sec", l),
+        });
     }
 
     /// Queue length in packets.
@@ -138,6 +164,10 @@ impl RPort {
             EnqueueResult::Accepted => {
                 self.queue_bytes += u64::from(wire);
                 self.queue_tw.set(ctx.now(), self.queue.len() as f64);
+                ctx.emit(|| ProbeEvent::Enqueue {
+                    port: me as u32,
+                    qlen: self.queue.len() as u32,
+                });
                 if !self.busy {
                     self.busy = true;
                     ctx.send_self(
@@ -146,7 +176,16 @@ impl RPort {
                     );
                 }
             }
-            EnqueueResult::Dropped => {}
+            EnqueueResult::Dropped => {
+                if let Some(m) = &self.metrics {
+                    m.dropped_pkts.inc();
+                }
+                ctx.emit(|| ProbeEvent::Drop {
+                    port: me as u32,
+                    qlen: self.queue.len() as u32,
+                    reason: DropReason::Overflow,
+                });
+            }
         }
     }
 
@@ -166,6 +205,14 @@ impl RPort {
             Verdict::Drop => {
                 self.queue.note_policy_drop();
                 self.policy_drops += 1;
+                if let Some(m) = &self.metrics {
+                    m.dropped_pkts.inc();
+                }
+                ctx.emit(|| ProbeEvent::Drop {
+                    port: me as u32,
+                    qlen: self.queue.len() as u32,
+                    reason: DropReason::Policy,
+                });
                 false
             }
             Verdict::Mark => {
@@ -188,6 +235,13 @@ impl RPort {
         self.queue_bytes -= u64::from(pkt.wire);
         self.departure_bytes += u64::from(pkt.wire);
         self.queue_tw.set(ctx.now(), self.queue.len() as f64);
+        if let Some(m) = &self.metrics {
+            m.tx_pkts.inc();
+        }
+        ctx.emit(|| ProbeEvent::Dequeue {
+            port: me as u32,
+            qlen: self.queue.len() as u32,
+        });
         ctx.send(self.link_to, self.prop, TcpMsg::Pkt(pkt));
         match self.queue.iter().next() {
             Some(next) => {
@@ -215,6 +269,25 @@ impl RPort {
             self.macr_series.push(ctx.now(), fs);
         }
         self.throughput_series.push(ctx.now(), m.departure_rate());
+        if let Some(h) = &self.metrics {
+            h.queue_pkts.set(ctx.now(), self.queue.len() as f64);
+            h.throughput.set(ctx.now(), m.departure_rate());
+            if fs.is_finite() {
+                h.macr.set(ctx.now(), fs);
+            }
+        }
+        if fs.is_finite() {
+            ctx.emit(|| {
+                let t = self.qdisc.telemetry();
+                ProbeEvent::MacrUpdate {
+                    port: me as u32,
+                    macr: fs,
+                    delta: t.delta,
+                    dev: t.dev,
+                    gain: t.gain,
+                }
+            });
+        }
         self.arrival_bytes = 0;
         self.departure_bytes = 0;
         ctx.send_self(
@@ -229,6 +302,7 @@ pub struct Router {
     name: String,
     ports: Vec<RPort>,
     routes: HashMap<FlowId, FlowRoute>,
+    routed_pkts: Option<CounterHandle>,
 }
 
 impl Router {
@@ -238,12 +312,20 @@ impl Router {
             name: name.to_string(),
             ports: Vec::new(),
             routes: HashMap::new(),
+            routed_pkts: None,
         }
     }
 
     /// Router name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Register the router-level routed-packets counter into `registry`,
+    /// labelled `router=<name>`. Unbound routers skip the update.
+    pub fn bind_metrics(&mut self, registry: &Registry) {
+        let counter = registry.counter("tcp_pkts_routed_total", &[("router", self.name.as_str())]);
+        self.routed_pkts = Some(counter);
     }
 
     /// Add an output port; returns its index.
@@ -265,12 +347,20 @@ impl Router {
         &self.ports[idx]
     }
 
+    /// Mutable port accessor (metric binding, capacity changes).
+    pub fn port_mut(&mut self, idx: usize) -> &mut RPort {
+        &mut self.ports[idx]
+    }
+
     /// Number of ports.
     pub fn port_count(&self) -> usize {
         self.ports.len()
     }
 
     fn handle_pkt(&mut self, ctx: &mut Ctx<'_, TcpMsg>, pkt: Packet) {
+        if let Some(c) = &self.routed_pkts {
+            c.inc();
+        }
         let route = *self
             .routes
             .get(&pkt.flow)

@@ -12,8 +12,9 @@ use crate::cc::{CcStats, CongestionControl};
 use crate::packet::{FlowId, Packet, PktKind, TcpMsg, TcpTimer};
 use crate::reno::Reno;
 use crate::rtt::RttEstimator;
+use phantom_sim::probe::ProbeEvent;
 use phantom_sim::stats::TimeSeries;
-use phantom_sim::{Ctx, Node, NodeId, SimDuration, SimTime};
+use phantom_sim::{telemetry, Ctx, Node, NodeId, SimDuration, SimTime};
 
 /// A greedy TCP Reno sender.
 pub struct TcpSource {
@@ -152,6 +153,7 @@ impl TcpSource {
         self.segments_sent += 1;
         if is_retx {
             self.retransmissions += 1;
+            telemetry::note_retransmit();
             // Karn: a retransmitted segment must never be timed.
             if let Some((end, _)) = self.timed {
                 if seq < end {
@@ -187,6 +189,16 @@ impl TcpSource {
         }
     }
 
+    /// Sample the congestion window into the trace and the probe stream.
+    fn record_cwnd(&mut self, ctx: &mut Ctx<'_, TcpMsg>) {
+        self.cwnd_series.push(ctx.now(), self.cc.cwnd());
+        ctx.emit(|| ProbeEvent::CwndChange {
+            flow: self.flow.0,
+            cwnd: self.cc.cwnd(),
+            ssthresh: self.cc.ssthresh(),
+        });
+    }
+
     fn kick_nic(&mut self, ctx: &mut Ctx<'_, TcpMsg>) {
         if !self.tx_busy {
             ctx.send_self(SimDuration::ZERO, TcpMsg::Timer(TcpTimer::Tick));
@@ -216,7 +228,7 @@ impl TcpSource {
         if let Some(seq) = res.retransmit {
             self.pending_retx = Some(seq);
         }
-        self.cwnd_series.push(ctx.now(), self.cc.cwnd());
+        self.record_cwnd(ctx);
         self.kick_nic(ctx);
     }
 
@@ -228,7 +240,7 @@ impl TcpSource {
         self.rtt.back_off();
         self.timed = None;
         self.pending_retx = None; // snd_nxt was rewound; normal send resumes
-        self.cwnd_series.push(ctx.now(), self.cc.cwnd());
+        self.record_cwnd(ctx);
         self.arm_rto(ctx);
         self.kick_nic(ctx);
     }
@@ -244,7 +256,7 @@ impl TcpSource {
         }
         self.last_quench_cut = Some(ctx.now());
         self.cc.on_quench();
-        self.cwnd_series.push(ctx.now(), self.cc.cwnd());
+        self.record_cwnd(ctx);
     }
 
     /// CR metering. The paper: "each source computes its rate as the
