@@ -1,0 +1,688 @@
+//! The single-pass streaming analyzer.
+//!
+//! [`StreamingAnalyzer`] consumes `phantom-trace/1` events — live from a
+//! probe tap via [`AnalysisSink`], or replayed from a JSONL file by
+//! [`crate::jsonl::analyze_trace_str`] — in one forward pass with
+//! constant state per session/port (plus the per-window rows the report
+//! carries). Both feeding paths perform bit-identical arithmetic on the
+//! same event sequence, so the resulting [`AnalysisReport`] is
+//! byte-identical whether a run was analyzed live or from its trace.
+
+use phantom_metrics::json::{json_f64, json_str};
+use phantom_metrics::loghist::LogHistogram;
+use phantom_metrics::manifest::{Manifest, ANALYSIS_SCHEMA};
+use phantom_sim::probe::{Probe, ProbeEvent};
+use phantom_sim::stats::{IntervalSampler, RunningStats};
+use phantom_sim::{NodeId, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Default analysis window width (seconds). Five MACR measurement
+/// intervals at the paper's 1 ms cadence per 50 ms window keeps windows
+/// meaningful for both the 500 ms and 1200 ms scenarios.
+pub const DEFAULT_WINDOW_SECS: f64 = 0.05;
+
+/// What the analyzed scenario is expected to do, per the paper's model.
+/// Everything is optional: with no targets the analyzer still reports
+/// fairness, oscillation and queue statistics, and leaves the
+/// target-relative metrics null.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisTargets {
+    /// The MACR fixed point `C/(1+n·u)` in cells/s (or bytes/s for TCP),
+    /// enabling `convergence_secs` and `fixed_point_error_rel`.
+    pub macr_cps: Option<f64>,
+    /// Bottleneck capacity in cells/s, enabling utilization.
+    pub capacity_cps: Option<f64>,
+    /// Relative tolerance band for convergence detection.
+    pub conv_tol: f64,
+    /// Steady-state metrics (tail mean, oscillation, fairness,
+    /// utilization) only consider samples at or after this time.
+    pub tail_from_secs: f64,
+}
+
+impl Default for AnalysisTargets {
+    fn default() -> Self {
+        AnalysisTargets {
+            macr_cps: None,
+            capacity_cps: None,
+            conv_tol: 0.15,
+            tail_from_secs: 0.0,
+        }
+    }
+}
+
+/// One analysis window in the report.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowRow {
+    /// Window index (window `w` covers `[w·W, (w+1)·W)` seconds).
+    pub index: u64,
+    /// Mean MACR at the bottleneck port over the window (NaN if no
+    /// update landed in it).
+    pub macr_mean_cps: f64,
+    /// Jain fairness index over per-session mean rates (NaN if no
+    /// session-rate sample landed in it).
+    pub jain: f64,
+    /// Bottleneck utilization over the window (NaN without a capacity
+    /// target).
+    pub utilization: f64,
+    /// Peak bottleneck queue occupancy seen in the window (NaN if no
+    /// queue event landed in it).
+    pub queue_max_cells: f64,
+}
+
+/// The metric names of a report, in emission order. Baselines may only
+/// reference these.
+pub const METRIC_NAMES: [&str; 13] = [
+    "convergence_secs",
+    "fixed_point_error_rel",
+    "macr_tail_mean_cps",
+    "oscillation_amplitude_cps",
+    "macr_mean_abs_dev_cps",
+    "jain_tail_min",
+    "jain_tail_mean",
+    "utilization_tail",
+    "queue_p50_cells",
+    "queue_p90_cells",
+    "queue_p99_cells",
+    "queue_max_cells",
+    "drops_total",
+];
+
+/// A finished `phantom-analysis/1` report.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Provenance, restamped with [`ANALYSIS_SCHEMA`].
+    pub manifest: Manifest,
+    /// Window width the per-window rows were computed with.
+    pub window_secs: f64,
+    /// Events consumed.
+    pub events: u64,
+    /// Whole-run metrics in [`METRIC_NAMES`] order; NaN serializes as
+    /// null and means "not measurable for this run".
+    pub metrics: Vec<(&'static str, f64)>,
+    /// Per-window rows, ascending by index (empty windows omitted).
+    pub windows: Vec<WindowRow>,
+}
+
+impl AnalysisReport {
+    /// Look up a whole-run metric; `None` when absent or NaN.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .filter(|v| !v.is_nan())
+    }
+
+    /// Render the report as `phantom-analysis/1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(ANALYSIS_SCHEMA));
+        let _ = writeln!(out, "  \"manifest\": {},", self.manifest.to_json());
+        let _ = writeln!(out, "  \"window_secs\": {},", json_f64(self.window_secs));
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        out.push_str("  \"metrics\": {");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{}: {}", json_str(name), json_f64(*v));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"windows\": [\n");
+        for (i, w) in self.windows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"w\": {}, \"t0\": {}, \"macr_mean_cps\": {}, \"jain\": {}, \"utilization\": {}, \"queue_max_cells\": {}}}",
+                w.index,
+                json_f64(w.index as f64 * self.window_secs),
+                json_f64(w.macr_mean_cps),
+                json_f64(w.jain),
+                json_f64(w.utilization),
+                json_f64(w.queue_max_cells)
+            );
+            out.push_str(if i + 1 < self.windows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Jain's index with an exact-equality short circuit: `n` identical
+/// nonzero rates score *exactly* 1.0 (the float formula can land one ulp
+/// off), so perfectly symmetric sessions are reported as perfectly fair.
+pub fn jain_exact(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return f64::NAN;
+    }
+    if rates[0] != 0.0 && rates.iter().all(|&r| r == rates[0]) {
+        return 1.0;
+    }
+    phantom_metrics::jain_index(rates)
+}
+
+/// Streaming per-port state. One of these per `(node, port)` that ever
+/// emitted a queue or MACR event — constant size except for the window
+/// rows, which grow with run length, not with traffic.
+#[derive(Debug, Default)]
+struct PortState {
+    dequeues: u64,
+    tail_dequeues: u64,
+    deq_w: Option<IntervalSampler>,
+    q_w: Option<IntervalSampler>,
+    macr_w: Option<IntervalSampler>,
+    q_hist: LogHistogram,
+    macr_tail: RunningStats,
+    dev_tail: RunningStats,
+    /// Time of the first in-band MACR sample since the last out-of-band
+    /// one — the streaming equivalent of
+    /// [`phantom_metrics::convergence_time`].
+    conv_candidate: Option<f64>,
+    saw_macr: bool,
+}
+
+/// Per-session rate samples of the current fairness window.
+#[derive(Debug, Default)]
+struct JainWindow {
+    /// Explicit rates from RM turnarounds, per VC: (count, sum).
+    rm: BTreeMap<u32, (u64, f64)>,
+    /// Congestion windows from cwnd changes, per flow: (count, sum).
+    cwnd: BTreeMap<u32, (u64, f64)>,
+}
+
+impl JainWindow {
+    fn is_empty(&self) -> bool {
+        self.rm.is_empty() && self.cwnd.is_empty()
+    }
+
+    /// Jain index over per-session means; RM explicit rates take
+    /// precedence (a TCP trace has no RM events and vice versa).
+    fn jain(&self) -> f64 {
+        let src = if self.rm.is_empty() {
+            &self.cwnd
+        } else {
+            &self.rm
+        };
+        let rates: Vec<f64> = src.values().map(|&(n, sum)| sum / n as f64).collect();
+        jain_exact(&rates)
+    }
+}
+
+/// The single-pass analyzer. Feed events in simulation order (the order
+/// probes deliver and traces record), then [`StreamingAnalyzer::finish`].
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    manifest: Manifest,
+    targets: AnalysisTargets,
+    window_secs: f64,
+    events: u64,
+    drops: u64,
+    last_t: f64,
+    ports: BTreeMap<(usize, u32), PortState>,
+    jain_current: Option<(u64, JainWindow)>,
+    jain_closed: Vec<(u64, f64)>,
+}
+
+impl StreamingAnalyzer {
+    /// An analyzer stamping its report with `manifest` (restamped to
+    /// [`ANALYSIS_SCHEMA`]). `window_secs` must be positive.
+    pub fn new(manifest: &Manifest, targets: AnalysisTargets, window_secs: f64) -> Self {
+        assert!(window_secs > 0.0, "window width must be positive");
+        StreamingAnalyzer {
+            manifest: manifest.for_schema(ANALYSIS_SCHEMA),
+            targets,
+            window_secs,
+            events: 0,
+            drops: 0,
+            last_t: 0.0,
+            ports: BTreeMap::new(),
+            jain_current: None,
+            jain_closed: Vec::new(),
+        }
+    }
+
+    fn port(&mut self, node: usize, port: u32) -> &mut PortState {
+        self.ports.entry((node, port)).or_default()
+    }
+
+    fn window_index(&self, t: f64) -> u64 {
+        (t / self.window_secs).max(0.0) as u64
+    }
+
+    fn queue_sample(&mut self, t: f64, node: usize, port: u32, qlen: u32) {
+        let w = self.window_secs;
+        let p = self.port(node, port);
+        p.q_hist.record(u64::from(qlen));
+        p.q_w
+            .get_or_insert_with(|| IntervalSampler::new(w))
+            .push(t, f64::from(qlen));
+    }
+
+    fn jain_sample(&mut self, t: f64, rm: Option<(u32, f64)>, cwnd: Option<(u32, f64)>) {
+        let idx = self.window_index(t);
+        match &mut self.jain_current {
+            Some((cur, win)) if *cur == idx => {
+                win.add(rm, cwnd);
+            }
+            _ => {
+                self.close_jain_window();
+                let mut win = JainWindow::default();
+                win.add(rm, cwnd);
+                self.jain_current = Some((idx, win));
+            }
+        }
+    }
+
+    fn close_jain_window(&mut self) {
+        if let Some((idx, win)) = self.jain_current.take() {
+            if !win.is_empty() {
+                self.jain_closed.push((idx, win.jain()));
+            }
+        }
+    }
+
+    /// Consume one event. `t` is the event time in seconds — exactly the
+    /// `t` field a trace line carries, so file replay and live taps see
+    /// identical bits.
+    pub fn on_event(&mut self, t: f64, node: usize, ev: &ProbeEvent) {
+        self.events += 1;
+        if t > self.last_t {
+            self.last_t = t;
+        }
+        let tail = self.targets.tail_from_secs;
+        match *ev {
+            ProbeEvent::Enqueue { port, qlen } => self.queue_sample(t, node, port, qlen),
+            ProbeEvent::Dequeue { port, qlen } => {
+                self.queue_sample(t, node, port, qlen);
+                let w = self.window_secs;
+                let p = self.port(node, port);
+                p.dequeues += 1;
+                if t >= tail {
+                    p.tail_dequeues += 1;
+                }
+                p.deq_w
+                    .get_or_insert_with(|| IntervalSampler::new(w))
+                    .push(t, f64::from(qlen));
+            }
+            ProbeEvent::Drop { port, qlen, .. } => {
+                self.drops += 1;
+                self.queue_sample(t, node, port, qlen);
+            }
+            ProbeEvent::MacrUpdate {
+                port, macr, dev, ..
+            } => {
+                let (target, tol, w) = (
+                    self.targets.macr_cps,
+                    self.targets.conv_tol,
+                    self.window_secs,
+                );
+                let p = self.port(node, port);
+                p.saw_macr = true;
+                p.macr_w
+                    .get_or_insert_with(|| IntervalSampler::new(w))
+                    .push(t, macr);
+                if let Some(target) = target {
+                    let band = tol * target.abs().max(f64::MIN_POSITIVE);
+                    if (macr - target).abs() > band {
+                        p.conv_candidate = None;
+                    } else if p.conv_candidate.is_none() {
+                        p.conv_candidate = Some(t);
+                    }
+                }
+                if t >= tail {
+                    p.macr_tail.push(macr);
+                    if dev.is_finite() {
+                        p.dev_tail.push(dev);
+                    }
+                }
+            }
+            ProbeEvent::RmTurnaround { vc, er, .. } => self.jain_sample(t, Some((vc, er)), None),
+            ProbeEvent::CwndChange { flow, cwnd, .. } => {
+                self.jain_sample(t, None, Some((flow, cwnd)))
+            }
+            ProbeEvent::SessionStart { .. } | ProbeEvent::SessionStop { .. } => {}
+        }
+    }
+
+    /// Close all windows and produce the report.
+    pub fn finish(mut self) -> AnalysisReport {
+        self.close_jain_window();
+        let targets = self.targets;
+        let window_secs = self.window_secs;
+
+        // The bottleneck is the port that served the most traffic; ties
+        // break toward the lowest (node, port) for determinism.
+        let bkey = self
+            .ports
+            .iter()
+            .fold(None::<((usize, u32), u64)>, |best, (&k, p)| match best {
+                Some((_, d)) if d >= p.dequeues => best,
+                _ if p.dequeues > 0 || p.saw_macr => Some((k, p.dequeues)),
+                _ => best,
+            })
+            .map(|(k, _)| k);
+        let bottleneck = bkey.and_then(|k| self.ports.get(&k));
+
+        let nan = f64::NAN;
+        let (conv, macr_mean, osc, dev_mean) = match bottleneck {
+            Some(p) => (
+                p.conv_candidate.unwrap_or(nan),
+                p.macr_tail.mean(),
+                if p.macr_tail.count() == 0 {
+                    nan
+                } else {
+                    p.macr_tail.range()
+                },
+                p.dev_tail.mean(),
+            ),
+            None => (nan, nan, nan, nan),
+        };
+        let fp_err = match (targets.macr_cps, macr_mean.is_nan()) {
+            (Some(target), false) if target != 0.0 => (macr_mean - target).abs() / target.abs(),
+            _ => nan,
+        };
+        let util = match (targets.capacity_cps, bottleneck) {
+            (Some(c), Some(p)) if self.last_t > targets.tail_from_secs && c > 0.0 => {
+                p.tail_dequeues as f64 / ((self.last_t - targets.tail_from_secs) * c)
+            }
+            _ => nan,
+        };
+        let (jain_min, jain_mean) = {
+            let mut min = f64::INFINITY;
+            let mut stats = RunningStats::new();
+            for &(idx, j) in &self.jain_closed {
+                if idx as f64 * window_secs >= targets.tail_from_secs && !j.is_nan() {
+                    min = min.min(j);
+                    stats.push(j);
+                }
+            }
+            if stats.count() == 0 {
+                (nan, nan)
+            } else {
+                (min, stats.mean())
+            }
+        };
+        let (qp50, qp90, qp99, qmax) = match bottleneck {
+            Some(p) if !p.q_hist.is_empty() => (
+                p.q_hist.quantile(0.5) as f64,
+                p.q_hist.quantile(0.9) as f64,
+                p.q_hist.quantile(0.99) as f64,
+                p.q_hist.max() as f64,
+            ),
+            _ => (nan, nan, nan, nan),
+        };
+
+        let metrics = vec![
+            ("convergence_secs", conv),
+            ("fixed_point_error_rel", fp_err),
+            ("macr_tail_mean_cps", macr_mean),
+            ("oscillation_amplitude_cps", osc),
+            ("macr_mean_abs_dev_cps", dev_mean),
+            ("jain_tail_min", jain_min),
+            ("jain_tail_mean", jain_mean),
+            ("utilization_tail", util),
+            ("queue_p50_cells", qp50),
+            ("queue_p90_cells", qp90),
+            ("queue_p99_cells", qp99),
+            ("queue_max_cells", qmax),
+            ("drops_total", self.drops as f64),
+        ];
+
+        // Per-window rows come from the bottleneck port's samplers plus
+        // the global fairness windows.
+        let mut rows: BTreeMap<u64, WindowRow> = BTreeMap::new();
+        let blank = |index| WindowRow {
+            index,
+            macr_mean_cps: nan,
+            jain: nan,
+            utilization: nan,
+            queue_max_cells: nan,
+        };
+        if let Some(bkey) = bkey {
+            let p = self.ports.remove(&bkey).expect("bottleneck exists");
+            if let Some(s) = p.macr_w {
+                for (idx, st) in s.finish() {
+                    rows.entry(idx).or_insert_with(|| blank(idx)).macr_mean_cps = st.mean();
+                }
+            }
+            if let Some(s) = p.q_w {
+                for (idx, st) in s.finish() {
+                    rows.entry(idx)
+                        .or_insert_with(|| blank(idx))
+                        .queue_max_cells = st.max();
+                }
+            }
+            if let (Some(s), Some(c)) = (p.deq_w, targets.capacity_cps) {
+                for (idx, st) in s.finish() {
+                    rows.entry(idx).or_insert_with(|| blank(idx)).utilization =
+                        st.count() as f64 / (window_secs * c);
+                }
+            }
+        }
+        for &(idx, j) in &self.jain_closed {
+            rows.entry(idx).or_insert_with(|| blank(idx)).jain = j;
+        }
+
+        AnalysisReport {
+            manifest: self.manifest,
+            window_secs,
+            events: self.events,
+            metrics,
+            windows: rows.into_values().collect(),
+        }
+    }
+}
+
+impl JainWindow {
+    fn add(&mut self, rm: Option<(u32, f64)>, cwnd: Option<(u32, f64)>) {
+        if let Some((vc, er)) = rm {
+            let e = self.rm.entry(vc).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += er;
+        }
+        if let Some((flow, w)) = cwnd {
+            let e = self.cwnd.entry(flow).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += w;
+        }
+    }
+}
+
+/// A [`Probe`] feeding a shared [`StreamingAnalyzer`], so a live run can
+/// be analyzed without writing a trace. Install the sink (alone or under
+/// a tee, *unfiltered* — the analyzer needs every kind); after the probe
+/// is uninstalled, [`AnalysisHandle::finish`] yields the report.
+pub struct AnalysisSink {
+    shared: Rc<RefCell<Option<StreamingAnalyzer>>>,
+}
+
+/// The take-back side of an [`AnalysisSink`].
+pub struct AnalysisHandle {
+    shared: Rc<RefCell<Option<StreamingAnalyzer>>>,
+}
+
+impl AnalysisSink {
+    /// Wrap `analyzer`; returns the probe and its result handle.
+    pub fn new(analyzer: StreamingAnalyzer) -> (Self, AnalysisHandle) {
+        let shared = Rc::new(RefCell::new(Some(analyzer)));
+        (
+            AnalysisSink {
+                shared: Rc::clone(&shared),
+            },
+            AnalysisHandle { shared },
+        )
+    }
+}
+
+impl Probe for AnalysisSink {
+    fn on_event(&mut self, t: SimTime, node: NodeId, ev: &ProbeEvent) {
+        if let Some(a) = self.shared.borrow_mut().as_mut() {
+            // `as_secs_f64` is exactly the value `event_to_json` prints
+            // (and shortest-roundtrip parsing recovers), keeping live and
+            // file analysis bit-identical.
+            a.on_event(t.as_secs_f64(), node.0, ev);
+        }
+    }
+}
+
+impl AnalysisHandle {
+    /// Finish the analysis. `None` if already finished.
+    pub fn finish(self) -> Option<AnalysisReport> {
+        self.shared
+            .borrow_mut()
+            .take()
+            .map(StreamingAnalyzer::finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_metrics::manifest::TRACE_SCHEMA;
+
+    fn manifest() -> Manifest {
+        Manifest::new(TRACE_SCHEMA, "test", 1, "cfg")
+    }
+
+    fn analyzer(targets: AnalysisTargets) -> StreamingAnalyzer {
+        StreamingAnalyzer::new(&manifest(), targets, 0.010)
+    }
+
+    fn macr(v: f64) -> ProbeEvent {
+        ProbeEvent::MacrUpdate {
+            port: 0,
+            macr: v,
+            delta: 0.0,
+            dev: 1.0,
+            gain: 0.25,
+        }
+    }
+
+    #[test]
+    fn convergence_matches_batch_semantics() {
+        let targets = AnalysisTargets {
+            macr_cps: Some(100.0),
+            ..AnalysisTargets::default()
+        };
+        // climb out of band, enter at t=0.03, stay
+        let mut a = analyzer(targets);
+        for (i, v) in [40.0, 70.0, 99.0, 100.0, 101.0].iter().enumerate() {
+            a.on_event(0.01 * (i + 1) as f64, 0, &macr(*v));
+        }
+        let r = a.finish();
+        assert_eq!(r.metric("convergence_secs"), Some(0.03));
+
+        // a late excursion resets the candidate
+        let mut a = analyzer(targets);
+        for (i, v) in [100.0, 100.0, 300.0, 100.0].iter().enumerate() {
+            a.on_event(0.01 * (i + 1) as f64, 0, &macr(*v));
+        }
+        assert_eq!(a.finish().metric("convergence_secs"), Some(0.04));
+
+        // never settles
+        let mut a = analyzer(targets);
+        a.on_event(0.01, 0, &macr(100.0));
+        a.on_event(0.02, 0, &macr(300.0));
+        assert_eq!(a.finish().metric("convergence_secs"), None);
+    }
+
+    #[test]
+    fn symmetric_sessions_score_exactly_one() {
+        let mut a = analyzer(AnalysisTargets::default());
+        for i in 0..40u32 {
+            let t = 0.001 * f64::from(i);
+            a.on_event(
+                t,
+                5,
+                &ProbeEvent::RmTurnaround {
+                    vc: i % 4,
+                    er: 0.1 + 2.0 / 3.0, // deliberately non-round
+                    ci: false,
+                },
+            );
+        }
+        let r = a.finish();
+        assert_eq!(r.metric("jain_tail_min"), Some(1.0));
+        assert_eq!(r.metric("jain_tail_mean"), Some(1.0));
+    }
+
+    #[test]
+    fn unequal_rates_score_below_one() {
+        let mut a = analyzer(AnalysisTargets::default());
+        for i in 0..10u32 {
+            a.on_event(
+                0.001 * f64::from(i),
+                5,
+                &ProbeEvent::RmTurnaround {
+                    vc: i % 2,
+                    er: if i % 2 == 0 { 10.0 } else { 30.0 },
+                    ci: false,
+                },
+            );
+        }
+        let r = a.finish();
+        let j = r.metric("jain_tail_mean").unwrap();
+        assert!(j < 1.0 && j > 0.5, "jain {j}");
+    }
+
+    #[test]
+    fn bottleneck_is_busiest_port_and_drops_count() {
+        let mut a = analyzer(AnalysisTargets {
+            capacity_cps: Some(1000.0),
+            ..AnalysisTargets::default()
+        });
+        // port (1,0) serves 3 cells; port (2,0) serves 1
+        for i in 0..3u32 {
+            a.on_event(
+                0.001 * f64::from(i + 1),
+                1,
+                &ProbeEvent::Dequeue { port: 0, qlen: 5 },
+            );
+        }
+        a.on_event(0.001, 2, &ProbeEvent::Dequeue { port: 0, qlen: 90 });
+        a.on_event(
+            0.004,
+            1,
+            &ProbeEvent::Drop {
+                port: 0,
+                qlen: 6,
+                reason: phantom_sim::probe::DropReason::Overflow,
+            },
+        );
+        let r = a.finish();
+        assert_eq!(r.metric("drops_total"), Some(1.0));
+        // queue quantiles come from the busy port, not the 90-cell one
+        assert_eq!(r.metric("queue_max_cells"), Some(6.0));
+        assert_eq!(r.events, 5);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut a = analyzer(AnalysisTargets::default());
+        a.on_event(0.001, 0, &ProbeEvent::Enqueue { port: 0, qlen: 1 });
+        let r = a.finish();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"phantom-analysis/1\""));
+        assert!(json.contains("\"manifest\": {\"schema\":\"phantom-analysis/1\""));
+        assert!(json.contains("\"convergence_secs\": null"));
+        assert!(json.contains("\"drops_total\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn sink_round_trip() {
+        let (mut sink, handle) = AnalysisSink::new(analyzer(AnalysisTargets::default()));
+        sink.on_event(
+            SimTime::from_millis(1),
+            NodeId(0),
+            &ProbeEvent::Enqueue { port: 0, qlen: 2 },
+        );
+        let report = handle.finish().unwrap();
+        assert_eq!(report.events, 1);
+    }
+}

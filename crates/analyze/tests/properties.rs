@@ -1,0 +1,146 @@
+//! Property-based tests of the streaming analyzer: perfectly symmetric
+//! sessions must score *exactly* 1.0 on the sliding-window Jain index,
+//! and the single-pass analyzer must be byte-identical to the buffered
+//! two-pass reference on arbitrary trace streams.
+
+use phantom_analyze::reference::analyze_trace_str_two_pass;
+use phantom_analyze::{analyze_trace_str, AnalysisTargets, StreamingAnalyzer};
+use phantom_metrics::manifest::{Manifest, TRACE_SCHEMA};
+use phantom_sim::probe::{event_to_json, DropReason, ProbeEvent};
+use phantom_sim::time::SimTime;
+use phantom_sim::NodeId;
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = ProbeEvent> {
+    prop_oneof![
+        (0u32..3, 0u32..200).prop_map(|(port, qlen)| ProbeEvent::Enqueue { port, qlen }),
+        (0u32..3, 0u32..200).prop_map(|(port, qlen)| ProbeEvent::Dequeue { port, qlen }),
+        (
+            0u32..3,
+            0u32..200,
+            prop_oneof![
+                Just(DropReason::Overflow),
+                Just(DropReason::Policy),
+                Just(DropReason::Wire)
+            ]
+        )
+            .prop_map(|(port, qlen, reason)| ProbeEvent::Drop { port, qlen, reason }),
+        (
+            0u32..3,
+            1.0f64..500_000.0,
+            -1e4f64..1e4,
+            prop_oneof![Just(f64::NAN), 0.0f64..1e4],
+            prop_oneof![Just(f64::NAN), 0.0f64..1.0]
+        )
+            .prop_map(|(port, macr, delta, dev, gain)| ProbeEvent::MacrUpdate {
+                port,
+                macr,
+                delta,
+                dev,
+                gain
+            }),
+        (0u32..6, 1.0f64..500_000.0, any::<bool>())
+            .prop_map(|(vc, er, ci)| ProbeEvent::RmTurnaround { vc, er, ci }),
+        (0u32..6, 1.0f64..100.0, 1.0f64..100.0).prop_map(|(flow, cwnd, ssthresh)| {
+            ProbeEvent::CwndChange {
+                flow,
+                cwnd,
+                ssthresh,
+            }
+        }),
+        (0u32..6).prop_map(|session| ProbeEvent::SessionStart { session }),
+        (0u32..6).prop_map(|session| ProbeEvent::SessionStop { session }),
+    ]
+}
+
+/// A random trace: a manifest line plus events at non-decreasing
+/// microsecond timestamps, rendered by the real trace writer.
+fn arb_trace() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u64..500_000, arb_event()), 0..120).prop_map(|mut evs| {
+        evs.sort_by_key(|&(us, _)| us);
+        let manifest = Manifest::new(TRACE_SCHEMA, "prop", 7, "prop");
+        let mut out = manifest.to_json();
+        out.push('\n');
+        for (us, ev) in &evs {
+            out.push_str(&event_to_json(
+                SimTime::from_micros(*us),
+                NodeId(usize::try_from(*us % 4).unwrap()),
+                ev,
+            ));
+            out.push('\n');
+        }
+        out
+    })
+}
+
+fn arb_targets() -> impl Strategy<Value = AnalysisTargets> {
+    (
+        prop_oneof![Just(None), (1e3f64..5e5).prop_map(Some)],
+        prop_oneof![Just(None), (1e3f64..5e5).prop_map(Some)],
+        0.01f64..0.5,
+        0.0f64..0.4,
+    )
+        .prop_map(
+            |(macr_cps, capacity_cps, conv_tol, tail_from_secs)| AnalysisTargets {
+                macr_cps,
+                capacity_cps,
+                conv_tol,
+                tail_from_secs,
+            },
+        )
+}
+
+proptest! {
+    /// Satellite 3a: n symmetric greedy sessions — identical explicit
+    /// rates in every window — score a sliding-window Jain index of
+    /// exactly 1.0, bit-for-bit, in every window and in the tail
+    /// aggregates.
+    #[test]
+    fn symmetric_sessions_jain_is_exactly_one(
+        n in 2usize..24,
+        rate in 1.0f64..1e6,
+        rounds in 1usize..20,
+        window_ms in 1u64..80,
+    ) {
+        let manifest = Manifest::new(TRACE_SCHEMA, "sym", 1, "sym");
+        let window = window_ms as f64 / 1e3;
+        let mut a = StreamingAnalyzer::new(&manifest, AnalysisTargets::default(), window);
+        for round in 0..rounds {
+            let t = round as f64 * 1e-3;
+            for vc in 0..n {
+                a.on_event(t, 0, &ProbeEvent::RmTurnaround {
+                    vc: u32::try_from(vc).unwrap(),
+                    er: rate,
+                    ci: false,
+                });
+            }
+        }
+        let report = a.finish();
+        prop_assert_eq!(report.metric("jain_tail_min"), Some(1.0));
+        prop_assert_eq!(report.metric("jain_tail_mean"), Some(1.0));
+        let mut windows_with_jain = 0;
+        for w in &report.windows {
+            if !w.jain.is_nan() {
+                prop_assert_eq!(w.jain, 1.0, "window {} jain {}", w.index, w.jain);
+                windows_with_jain += 1;
+            }
+        }
+        prop_assert!(windows_with_jain > 0);
+    }
+
+    /// Satellite 3b (synthetic half): the streaming one-pass analyzer
+    /// emits byte-identical `phantom-analysis/1` JSON to the buffered
+    /// two-pass reference on arbitrary well-formed traces, for any
+    /// targets and window width.
+    #[test]
+    fn streaming_matches_two_pass_reference(
+        trace in arb_trace(),
+        targets in arb_targets(),
+        window_ms in 1u64..120,
+    ) {
+        let window = window_ms as f64 / 1e3;
+        let one = analyze_trace_str(&trace, targets, window).unwrap();
+        let two = analyze_trace_str_two_pass(&trace, targets, window).unwrap();
+        prop_assert_eq!(one.to_json(), two.to_json());
+    }
+}

@@ -9,6 +9,9 @@
 //! repro all --steps 60       # width of the ASCII charts (0 = no charts)
 //! repro fig2 --trace-dir DIR # write a JSONL event trace per run
 //! repro fig2 --trace-dir DIR --trace-filter macr,drop
+//! repro fig2 --analyze       # live phantom-analysis/1 report per run
+//! repro fig2 --analyze --check            # gate against committed baselines
+//! repro fig2 --analyze --write-baselines  # refresh the committed baselines
 //! ```
 //!
 //! Artifacts land in `target/experiments/<id>.csv` (long format:
@@ -22,6 +25,7 @@
 //! Runs are pure functions of `(experiment, seed)`, so `--jobs N` changes
 //! only wall-clock time: reports and CSVs are byte-identical to `--jobs 1`.
 
+use phantom_analyze::{check_report, parse_baseline, render_baseline};
 use phantom_bench::DEFAULT_SEED;
 use phantom_metrics::manifest::{BENCH_SCHEMA, CSV_SCHEMA};
 use phantom_metrics::{BenchRecord, Manifest, RunRecord};
@@ -44,6 +48,11 @@ struct Args {
     gnuplot: bool,
     trace_dir: Option<PathBuf>,
     trace_filter: KindSet,
+    analyze: bool,
+    check: bool,
+    write_baselines: bool,
+    baseline_dir: PathBuf,
+    window_secs: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +68,11 @@ fn parse_args() -> Result<Args, String> {
         gnuplot: false,
         trace_dir: None,
         trace_filter: KindSet::ALL,
+        analyze: false,
+        check: false,
+        write_baselines: false,
+        baseline_dir: PathBuf::from("crates/baselines/analysis"),
+        window_secs: phantom_analyze::DEFAULT_WINDOW_SECS,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -102,6 +116,25 @@ fn parse_args() -> Result<Args, String> {
             "--steps" => {
                 let v = it.next().ok_or("--steps needs a value")?;
                 args.steps = v.parse().map_err(|_| format!("bad steps: {v}"))?;
+            }
+            "--analyze" => args.analyze = true,
+            "--check" => {
+                args.analyze = true;
+                args.check = true;
+            }
+            "--write-baselines" => {
+                args.analyze = true;
+                args.write_baselines = true;
+            }
+            "--baseline-dir" => {
+                args.baseline_dir = PathBuf::from(it.next().ok_or("--baseline-dir needs a value")?);
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value (ms)")?;
+                match v.parse::<f64>() {
+                    Ok(ms) if ms > 0.0 => args.window_secs = ms / 1e3,
+                    _ => return Err(format!("bad window (ms): {v}")),
+                }
             }
             id if !id.starts_with('-') => args.ids.push(id.to_string()),
             other => return Err(format!("unknown flag: {other}")),
@@ -201,7 +234,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--jobs N] \
                  [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
-                 [--trace-dir DIR] [--trace-filter KINDS]"
+                 [--trace-dir DIR] [--trace-filter KINDS] \
+                 [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS]"
             );
             return ExitCode::FAILURE;
         }
@@ -231,6 +265,7 @@ fn main() -> ExitCode {
     let opts = SweepOptions {
         trace_dir: args.trace_dir.clone(),
         trace_filter: args.trace_filter,
+        analyze_window: args.analyze.then_some(args.window_secs),
     };
     let batch_start = std::time::Instant::now();
     let runs = run_sweep_with(&jobs, args.jobs, &opts);
@@ -263,6 +298,63 @@ fn main() -> ExitCode {
             .collect(),
     };
 
+    // Analysis artifacts and the baseline gate. Reports are written per
+    // run; `--check` collects every violation before failing so CI logs
+    // name all regressed metrics, not just the first.
+    let mut check_failures: Vec<String> = Vec::new();
+    if args.analyze {
+        for run in &runs {
+            let Some(report) = &run.analysis else {
+                continue;
+            };
+            if let Err(e) = std::fs::create_dir_all(&args.csv_dir) {
+                eprintln!("warning: {}: {e}", args.csv_dir.display());
+            }
+            let rpath = args
+                .csv_dir
+                .join(format!("{}-{}-analysis.json", run.job.id, run.job.seed));
+            match std::fs::write(&rpath, report.to_json()) {
+                Ok(()) => println!("   [analysis: {}]", rpath.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", rpath.display()),
+            }
+            if args.write_baselines {
+                if let Err(e) = std::fs::create_dir_all(&args.baseline_dir) {
+                    eprintln!("warning: {}: {e}", args.baseline_dir.display());
+                }
+                let bpath = args.baseline_dir.join(format!("{}.json", run.job.id));
+                match std::fs::write(&bpath, render_baseline(report, &run.job.id)) {
+                    Ok(()) => println!("   [baseline written: {}]", bpath.display()),
+                    Err(e) => eprintln!("warning: could not write {}: {e}", bpath.display()),
+                }
+            }
+            if args.check {
+                let bpath = args.baseline_dir.join(format!("{}.json", run.job.id));
+                match std::fs::read_to_string(&bpath) {
+                    Ok(text) => match parse_baseline(&text) {
+                        Ok(baseline) => {
+                            let failures = check_report(report, &baseline);
+                            if failures.is_empty() {
+                                println!(
+                                    "   [check: {} ok against {} ({} metrics)]",
+                                    run.job.id,
+                                    bpath.display(),
+                                    baseline.entries.len()
+                                );
+                            }
+                            check_failures.extend(failures);
+                        }
+                        Err(e) => check_failures.push(format!("{}: {e}", bpath.display())),
+                    },
+                    Err(_) => println!(
+                        "   [check: no baseline for {} at {}, skipped]",
+                        run.job.id,
+                        bpath.display()
+                    ),
+                }
+            }
+        }
+    }
+
     let mut failed = false;
     let mut it = runs.into_iter();
     for id in &args.ids {
@@ -290,6 +382,17 @@ fn main() -> ExitCode {
                 args.bench_json.display()
             ),
         }
+    }
+
+    if !check_failures.is_empty() {
+        for f in &check_failures {
+            eprintln!("check failed: {f}");
+        }
+        eprintln!(
+            "error: {} metric(s) outside their baseline tolerance",
+            check_failures.len()
+        );
+        failed = true;
     }
 
     if failed {

@@ -5,18 +5,30 @@
 //! phantom predict <file>    closed-form phantom fixed point (no simulation)
 //! phantom check <file>      parse + validate only
 //! phantom trace-lint <file.jsonl>   validate a trace artifact
+//! phantom analyze <file.jsonl>      trace -> phantom-analysis/1 report
 //! ```
 
+use phantom_analyze::{analyze_trace_str, lint_trace_str, AnalysisTargets, LintError};
 use phantom_cli::{compare_algorithms, parse_str, predict, run_spec_opts, sweep_u, RunOptions};
+use phantom_scenarios::shape::targets_for;
 use phantom_sim::probe::KindSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// `trace-lint` exit code for a structurally invalid trace.
+const EXIT_INVALID: u8 = 1;
+/// `trace-lint` exit code for a trace whose final line was cut short
+/// (e.g. the producer died mid-write) — distinct so callers can retry.
+const EXIT_TRUNCATED: u8 = 2;
 
 fn usage() -> ExitCode {
     eprintln!("usage: phantom <run|predict|check> <topology-file>");
     eprintln!("       phantom sweep <topology-file> <u,u,...>   # e.g. sweep t.phantom 2,5,10");
     eprintln!("       phantom compare <topology-file>           # every algorithm, one table");
     eprintln!("       phantom trace-lint <file.jsonl>           # validate a trace artifact");
+    eprintln!("                                                 # exit 1 invalid, 2 truncated");
+    eprintln!("       phantom analyze <file.jsonl> [--window MS] [--out F.json]");
+    eprintln!("                                                 # phantom-analysis/1 report");
     eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
     eprintln!("       run ... [--trace F.jsonl] [--trace-filter KINDS]  # JSONL event trace");
     eprintln!("       run ... [--metrics F.prom]                # metrics snapshot + F.prom.json");
@@ -56,47 +68,54 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-/// Structural validation of a JSONL trace: manifest first line carrying
-/// the trace schema, then one JSON object per line with `kind` and `t`
-/// fields. Reports the number of events on success.
-fn trace_lint(path: &str) -> Result<(), String> {
+/// Full validation of a JSONL trace: the manifest and every event line
+/// must parse under the exact `phantom-trace/1` grammar. A trace with a
+/// manifest and no events is valid (exit 0); a trace whose final line
+/// was cut mid-record gets its own exit code so producers that died
+/// mid-write are distinguishable from corrupt data.
+fn trace_lint(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_INVALID);
+        }
+    };
+    match lint_trace_str(&text) {
+        Ok(events) => {
+            println!("{path}: ok (manifest + {events} events)");
+            ExitCode::SUCCESS
+        }
+        Err(LintError::Truncated { line, msg }) => {
+            eprintln!("error: {path}:{line}: truncated: {msg}");
+            ExitCode::from(EXIT_TRUNCATED)
+        }
+        Err(LintError::Invalid { line, msg }) => {
+            eprintln!("error: {path}:{line}: {msg}");
+            ExitCode::from(EXIT_INVALID)
+        }
+    }
+}
+
+/// `phantom analyze`: stream a trace file into a `phantom-analysis/1`
+/// report, using the per-figure expected-shape table when the trace's
+/// manifest names a known scenario.
+fn analyze(path: &str, window_secs: Option<f64>, out: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut lines = text.lines();
-    let first = lines.next().ok_or_else(|| format!("{path}: empty file"))?;
-    if !(first.starts_with('{') && first.ends_with('}')) {
-        return Err(format!("{path}:1: manifest line is not a JSON object"));
+    let manifest = phantom_analyze::jsonl::parse_manifest_line(
+        text.lines()
+            .next()
+            .ok_or_else(|| format!("{path}: empty file"))?,
+    )
+    .map_err(|e| format!("{path}:1: {e}"))?;
+    let targets: AnalysisTargets = targets_for(&manifest.scenario);
+    let window = window_secs.unwrap_or(phantom_analyze::DEFAULT_WINDOW_SECS);
+    let report = analyze_trace_str(&text, targets, window).map_err(|e| format!("{path}: {e}"))?;
+    let json = report.to_json();
+    match out {
+        Some(f) => std::fs::write(f, &json).map_err(|e| format!("cannot write {f}: {e}"))?,
+        None => print!("{json}"),
     }
-    if !first.contains("\"schema\":\"phantom-trace/1\"") {
-        return Err(format!("{path}:1: missing \"schema\":\"phantom-trace/1\""));
-    }
-    for key in [
-        "\"scenario\":",
-        "\"seed\":",
-        "\"config_hash\":",
-        "\"git_rev\":",
-    ] {
-        if !first.contains(key) {
-            return Err(format!("{path}:1: manifest missing {key}"));
-        }
-    }
-    let mut events = 0u64;
-    for (n, line) in lines.enumerate() {
-        let lineno = n + 2;
-        if line.is_empty() {
-            return Err(format!("{path}:{lineno}: empty line"));
-        }
-        if !(line.starts_with('{') && line.ends_with('}')) {
-            return Err(format!("{path}:{lineno}: not a JSON object"));
-        }
-        if !line.contains("\"kind\":\"") {
-            return Err(format!("{path}:{lineno}: event missing \"kind\""));
-        }
-        if !line.contains("\"t\":") {
-            return Err(format!("{path}:{lineno}: event missing \"t\""));
-        }
-        events += 1;
-    }
-    println!("{path}: ok (manifest + {events} events)");
     Ok(())
 }
 
@@ -107,7 +126,31 @@ fn main() -> ExitCode {
         let [_, path] = args.as_slice() else {
             return usage();
         };
-        return match trace_lint(path) {
+        return trace_lint(path);
+    }
+
+    if args.first().map(String::as_str) == Some("analyze") {
+        let parsed = (|| -> Result<(Option<f64>, Option<String>), String> {
+            let window = match take_value(&mut args, "--window")? {
+                Some(v) => match v.parse::<f64>() {
+                    Ok(ms) if ms > 0.0 => Some(ms / 1e3),
+                    _ => return Err(format!("bad window (ms): {v}")),
+                },
+                None => None,
+            };
+            Ok((window, take_value(&mut args, "--out")?))
+        })();
+        let (window, out) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        let [_, path] = args.as_slice() else {
+            return usage();
+        };
+        return match analyze(path, window, out.as_deref()) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

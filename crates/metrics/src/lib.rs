@@ -15,6 +15,8 @@
 //! * [`bench_record`] — the machine-readable `BENCH_phantom.json` schema
 //!   (runs/sec, events/sec, per-run wall time and health telemetry) the
 //!   `repro` harness emits.
+//! * [`loghist`] — HDR-style log-bucketed integer histogram for queue
+//!   occupancies (bounded relative error, constant memory).
 //! * [`registry`] — named counters/gauges/histograms that nodes register
 //!   into, exported per run as a Prometheus-style text snapshot and a
 //!   JSON summary.
@@ -30,6 +32,7 @@ pub mod bench_record;
 pub mod convergence;
 pub mod fairness;
 pub mod json;
+pub mod loghist;
 pub mod manifest;
 pub mod registry;
 pub mod report;
@@ -40,6 +43,7 @@ pub use convergence::{convergence_time, oscillation_amplitude};
 pub use fairness::{
     jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min,
 };
+pub use loghist::LogHistogram;
 pub use manifest::{fnv1a_64, Manifest};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 pub use report::{aggregate_runs, ExperimentResult, Table};

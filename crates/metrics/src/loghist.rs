@@ -1,0 +1,188 @@
+//! Log-bucketed integer histogram (HDR-style) for queue occupancies.
+//!
+//! Queue lengths span 0..~10⁵ cells and their tail matters more than
+//! their mode, so a fixed-width [`phantom_sim::stats::Histogram`] either
+//! wastes bins on the tail or loses the head. [`LogHistogram`] instead
+//! uses HdrHistogram-style buckets: values below 16 are exact, larger
+//! values share 16 sub-buckets per power of two, bounding the relative
+//! quantile error at `1/16` (~6%) with a few KiB of state regardless of
+//! range. Recording is constant-time and allocation-free after the
+//! first sample in a magnitude, which is what the streaming analyzer
+//! needs for its constant-memory guarantee.
+
+/// Log-bucketed histogram over `u64` observations.
+///
+/// Quantiles are reported as the *upper edge* of the bucket holding the
+/// requested rank (clamped to the exact observed maximum), so reported
+/// percentiles never understate the data.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Bucket counts, indexed by [`bucket_index`]. Grown on demand.
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+/// Bucket index for value `v`: exact below 16, then 16 sub-buckets per
+/// power of two (`msb` is the position of the leading one-bit).
+pub fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (msb - 4)) & 0xF) as usize;
+    (msb - 3) * 16 + sub
+}
+
+/// Largest value mapping to bucket `idx` (the bucket's upper edge).
+pub fn bucket_upper_edge(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let msb = idx / 16 + 3;
+    let sub = (idx % 16) as u64;
+    let unit = 1u64 << (msb - 4);
+    (16 + sub) * unit + (unit - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) as the upper edge of the bucket
+    /// containing that rank, clamped to the exact maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return bucket_upper_edge(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_edge(v as usize), v);
+        }
+        let mut h = LogHistogram::new();
+        for v in [0, 3, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn bucket_edges_tile_the_integers() {
+        // Every value maps to a bucket whose upper edge is >= it and
+        // whose successor bucket starts right after the edge.
+        for v in [16u64, 17, 31, 32, 100, 1000, 65_535, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper_edge(idx) >= v, "v={v}");
+            if idx > 0 {
+                assert!(bucket_upper_edge(idx - 1) < v, "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Upper-edge representative overstates by < 1/16 of the value.
+        for v in [20u64, 100, 999, 12_345, 1_000_000] {
+            let edge = bucket_upper_edge(bucket_index(v));
+            assert!(edge >= v);
+            assert!(
+                (edge - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "v={v} edge={edge}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_max() {
+        let mut h = LogHistogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile(0.99), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn empty_is_zeroes() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.9), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 0..50 {
+            a.record(v);
+        }
+        for v in 50..100 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.max(), 99);
+        let p50 = a.quantile(0.5);
+        assert!((45..=55).contains(&p50), "p50={p50}");
+    }
+}

@@ -18,6 +18,8 @@ pub const METRICS_SCHEMA: &str = "phantom-metrics/1";
 pub const BENCH_SCHEMA: &str = "phantom-bench/2";
 /// Schema tag for long-format figure CSVs.
 pub const CSV_SCHEMA: &str = "phantom-csv/1";
+/// Schema tag for `phantom analyze` reports.
+pub const ANALYSIS_SCHEMA: &str = "phantom-analysis/1";
 
 /// The git revision this binary was built from ("unknown" outside a
 /// checkout); embedded at compile time by the crate's build script.

@@ -195,9 +195,12 @@ impl Registry {
     }
 
     /// Render a Prometheus-style text snapshot (`phantom-metrics/1`).
-    /// The manifest rides along as a leading comment; histograms are
-    /// rendered as summaries (quantiles + `_sum`/`_count`) because the
-    /// underlying bins are too fine to export one bucket line each.
+    /// The manifest rides along as a leading comment. Histograms are
+    /// rendered in the native exposition format: *cumulative*
+    /// `_bucket{le="…"}` counts (the underlying bins are coalesced to at
+    /// most ten boundaries so the snapshot stays readable), a `+Inf`
+    /// bucket that is always present and equals `_count` (it absorbs
+    /// the overflow bin), then `_sum` and `_count`.
     ///
     /// Samples are grouped by metric family (in first-registration
     /// order) — the text format requires every sample of a family to sit
@@ -236,25 +239,30 @@ impl Registry {
                     }
                     Slot::Histogram(h) => {
                         if !typed {
-                            let _ = writeln!(out, "# TYPE {name} summary");
+                            let _ = writeln!(out, "# TYPE {name} histogram");
                             typed = true;
                         }
                         let h = h.borrow();
-                        for q in [0.5, 0.9, 0.99] {
+                        let bins = h.bins();
+                        // Coalesce fine bins to at most ten exported
+                        // boundaries; counts are cumulative per the
+                        // exposition format.
+                        let step = bins.len().div_ceil(10).max(1);
+                        let mut acc = 0u64;
+                        for (g, chunk) in bins.chunks(step).enumerate() {
+                            acc += chunk.iter().sum::<u64>();
+                            let edge = ((g * step + chunk.len()) as f64) * h.bin_width();
                             let mut labels = m.labels.clone();
-                            labels.push(("quantile".to_string(), format!("{q}")));
-                            let _ = writeln!(
-                                out,
-                                "{name}{} {}",
-                                label_suffix(&labels),
-                                json_f64(h.quantile(q))
-                            );
+                            labels.push(("le".to_string(), json_f64(edge).to_string()));
+                            let _ = writeln!(out, "{name}_bucket{} {acc}", label_suffix(&labels));
                         }
-                        let _ = writeln!(
-                            out,
-                            "{name}_sum{suffix} {}",
-                            json_f64(h.mean() * h.count() as f64)
-                        );
+                        // +Inf is mandatory and equals the total count
+                        // (it absorbs the overflow bin).
+                        let mut labels = m.labels.clone();
+                        labels.push(("le".to_string(), "+Inf".to_string()));
+                        let _ =
+                            writeln!(out, "{name}_bucket{} {}", label_suffix(&labels), h.count());
+                        let _ = writeln!(out, "{name}_sum{suffix} {}", json_f64(h.sum()));
                         let _ = writeln!(out, "{name}_count{suffix} {}", h.count());
                     }
                 }
@@ -351,18 +359,73 @@ mod tests {
     }
 
     #[test]
-    fn histograms_export_as_summaries() {
+    fn histograms_export_cumulative_buckets() {
         let reg = Registry::new();
         let h = reg.histogram("rm_delay_seconds", &[], 0.001, 100);
         for v in [0.0005, 0.0015, 0.0015, 0.0105] {
             h.record(v);
         }
         let prom = reg.to_prometheus(&manifest());
-        assert!(prom.contains("# TYPE rm_delay_seconds summary"));
-        assert!(prom.contains("rm_delay_seconds{quantile=\"0.5\"} 0.002"));
+        assert!(prom.contains("# TYPE rm_delay_seconds histogram"));
+        // Counts are cumulative: 3 observations below 0.01, all 4 below 0.02.
+        assert!(prom.contains("rm_delay_seconds_bucket{le=\"0.01\"} 3"));
+        assert!(prom.contains("rm_delay_seconds_bucket{le=\"0.02\"} 4"));
+        assert!(prom.contains("rm_delay_seconds_bucket{le=\"+Inf\"} 4"));
         assert!(prom.contains("rm_delay_seconds_count 4"));
         let json = reg.to_json(&manifest());
         assert!(json.contains("\"type\": \"histogram\", \"count\": 4"));
+    }
+
+    #[test]
+    fn histogram_inf_bucket_absorbs_overflow() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_cells", &[], 1.0, 4);
+        h.record(100.0); // beyond the last bin
+        let prom = reg.to_prometheus(&manifest());
+        assert!(prom.contains("q_cells_bucket{le=\"4\"} 0"));
+        assert!(prom.contains("q_cells_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("q_cells_count 1"));
+    }
+
+    #[test]
+    fn snapshot_interleaved_histograms_and_counters() {
+        // Two ports register (histogram, counter) pairs interleaved;
+        // pin the exact rendered snapshot (sans manifest line) so the
+        // family grouping, cumulative buckets and +Inf stay fixed.
+        let reg = Registry::new();
+        let h0 = reg.histogram("q_cells", &[("port", "0")], 1.0, 4);
+        reg.counter("tx_total", &[("port", "0")]).inc();
+        let h1 = reg.histogram("q_cells", &[("port", "1")], 1.0, 4);
+        reg.counter("tx_total", &[("port", "1")]).add(2);
+        for v in [0.5, 1.5, 2.5] {
+            h0.record(v);
+        }
+        h1.record(9.0); // overflow: visible only in +Inf
+        let prom = reg.to_prometheus(&manifest());
+        let body: String = prom.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert_eq!(
+            body,
+            "\
+# TYPE q_cells histogram
+q_cells_bucket{port=\"0\",le=\"1\"} 1
+q_cells_bucket{port=\"0\",le=\"2\"} 2
+q_cells_bucket{port=\"0\",le=\"3\"} 3
+q_cells_bucket{port=\"0\",le=\"4\"} 3
+q_cells_bucket{port=\"0\",le=\"+Inf\"} 3
+q_cells_sum{port=\"0\"} 4.5
+q_cells_count{port=\"0\"} 3
+q_cells_bucket{port=\"1\",le=\"1\"} 0
+q_cells_bucket{port=\"1\",le=\"2\"} 0
+q_cells_bucket{port=\"1\",le=\"3\"} 0
+q_cells_bucket{port=\"1\",le=\"4\"} 0
+q_cells_bucket{port=\"1\",le=\"+Inf\"} 1
+q_cells_sum{port=\"1\"} 9
+q_cells_count{port=\"1\"} 1
+# TYPE tx_total counter
+tx_total{port=\"0\"} 1
+tx_total{port=\"1\"} 2
+"
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`registry`] — string-keyed access to every experiment for the CLI.
 //! * [`sweep`] — parallel fan-out of independent `(experiment, seed)`
 //!   runs across OS threads, with results identical to a serial run.
+//! * [`shape`] — per-figure expected-shape tables (fixed points,
+//!   capacities, measurement tails) feeding the `phantom-analyze` gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod atm;
 pub mod common;
 pub mod compare;
 pub mod registry;
+pub mod shape;
 pub mod sweep;
 pub mod tcp;
 pub mod tcp_ablation;

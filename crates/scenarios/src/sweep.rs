@@ -10,8 +10,10 @@
 //! Uses only `std::thread::scope`; no thread-pool dependency.
 
 use crate::registry::{run_experiment, ExperimentOutput};
+use crate::shape::targets_for;
+use phantom_analyze::{AnalysisHandle, AnalysisReport, AnalysisSink, StreamingAnalyzer};
 use phantom_metrics::manifest::{Manifest, TRACE_SCHEMA};
-use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard};
+use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard, TeeProbe};
 use phantom_sim::telemetry::{self, RunCounters};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,6 +37,11 @@ pub struct SweepOptions {
     pub trace_dir: Option<PathBuf>,
     /// Event kinds to keep in the traces (default: all).
     pub trace_filter: KindSet,
+    /// Run a live [`StreamingAnalyzer`] tap over each run with this
+    /// window width (seconds), populating [`SweepRun::analysis`]. The
+    /// tap always sees the *unfiltered* event stream, so the report is
+    /// identical whether or not the written trace is filtered.
+    pub analyze_window: Option<f64>,
 }
 
 /// The outcome of one job.
@@ -49,28 +56,53 @@ pub struct SweepRun {
     pub wall_secs: f64,
     /// Drop/retransmit/queue-peak telemetry observed during the run.
     pub counters: RunCounters,
+    /// The live analysis report, when [`SweepOptions::analyze_window`]
+    /// was set. Byte-identical to `phantom analyze` over the written
+    /// trace of the same run.
+    pub analysis: Option<AnalysisReport>,
 }
 
-/// Install the per-run JSONL probe, if a trace directory is configured.
-/// Any I/O failure silently disables tracing for this run rather than
-/// aborting the sweep.
-fn install_trace(job: &SweepJob, opts: &SweepOptions) -> Option<ProbeGuard> {
+/// Build the per-run JSONL trace probe, if a trace directory is
+/// configured. Any I/O failure silently disables tracing for this run
+/// rather than aborting the sweep.
+fn trace_probe(job: &SweepJob, opts: &SweepOptions) -> Option<Box<dyn Probe>> {
     let dir = opts.trace_dir.as_ref()?;
     std::fs::create_dir_all(dir).ok()?;
     let path = dir.join(format!("{}-{}.jsonl", job.id, job.seed));
     let file = std::fs::File::create(path).ok()?;
     let manifest = Manifest::new(TRACE_SCHEMA, &job.id, job.seed, &job.id);
     let probe = JsonlProbe::with_manifest(file, &manifest.to_json()).ok()?;
-    let boxed: Box<dyn Probe> = if opts.trace_filter == KindSet::ALL {
+    Some(if opts.trace_filter == KindSet::ALL {
         Box::new(probe)
     } else {
         Box::new(FilterProbe::new(opts.trace_filter, probe))
-    };
-    Some(ProbeGuard::install(boxed))
+    })
+}
+
+/// Build the live analysis tap, if enabled. The sink carries the same
+/// manifest the trace file does, so re-analyzing the file reproduces the
+/// live report byte-for-byte.
+fn analysis_sink(job: &SweepJob, opts: &SweepOptions) -> Option<(Box<dyn Probe>, AnalysisHandle)> {
+    let window = opts.analyze_window?;
+    let manifest = Manifest::new(TRACE_SCHEMA, &job.id, job.seed, &job.id);
+    let analyzer = StreamingAnalyzer::new(&manifest, targets_for(&job.id), window);
+    let (sink, handle) = AnalysisSink::new(analyzer);
+    Some((Box::new(sink), handle))
 }
 
 fn run_one(job: &SweepJob, opts: &SweepOptions) -> SweepRun {
-    let guard = install_trace(job, opts);
+    let (tap, handle) = match analysis_sink(job, opts) {
+        Some((tap, handle)) => (Some(tap), Some(handle)),
+        None => (None, None),
+    };
+    let guard = match (trace_probe(job, opts), tap) {
+        (Some(trace), Some(tap)) => Some(ProbeGuard::install(Box::new(
+            TeeProbe::new().and(tap).and(trace),
+        ))),
+        (Some(trace), None) => Some(ProbeGuard::install(trace)),
+        (None, Some(tap)) => Some(ProbeGuard::install(tap)),
+        (None, None) => None,
+    };
     let marker = telemetry::begin_run();
     let events_before = phantom_sim::thread_events_dispatched();
     let start = std::time::Instant::now();
@@ -79,12 +111,14 @@ fn run_one(job: &SweepJob, opts: &SweepOptions) -> SweepRun {
     let wall_secs = start.elapsed().as_secs_f64();
     let counters = marker.finish();
     drop(guard); // flushes the trace file
+    let analysis = handle.and_then(AnalysisHandle::finish);
     SweepRun {
         job: job.clone(),
         output,
         events,
         wall_secs,
         counters,
+        analysis,
     }
 }
 
@@ -183,6 +217,7 @@ mod tests {
         let opts = SweepOptions {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::ALL,
+            analyze_window: None,
         };
         let serial = run_sweep_with(&batch, 1, &opts);
         let parallel = run_sweep_with(&batch, 4, &opts);
@@ -220,6 +255,7 @@ mod tests {
         let opts = SweepOptions {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::ALL,
+            analyze_window: None,
         };
         let batch = jobs(&[("fig2", 1996), ("fig14", 1996)]);
         let out = run_sweep_with(&batch, 2, &opts);
@@ -249,6 +285,55 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The tentpole acceptance: a live `AnalysisSink` run must produce
+    /// the same `phantom-analysis/1` report as analyzing the trace it
+    /// wrote — byte-identical JSON — at any `--jobs` level, and even
+    /// when the written trace is filtered (the tap sees everything).
+    #[test]
+    fn live_analysis_matches_file_analysis_at_any_jobs_level() {
+        use crate::shape::targets_for;
+        let dir = std::env::temp_dir().join(format!("phantom-sweep-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            trace_dir: Some(dir.clone()),
+            trace_filter: KindSet::ALL,
+            analyze_window: Some(phantom_analyze::DEFAULT_WINDOW_SECS),
+        };
+        let batch = jobs(&[("fig2", 1996), ("fig4", 1996)]);
+        let serial = run_sweep_with(&batch, 1, &opts);
+        let parallel = run_sweep_with(&batch, 4, &opts);
+        for run in serial.iter().chain(&parallel) {
+            let live = run.analysis.as_ref().expect("analysis enabled");
+            let path = dir.join(format!("{}-{}.jsonl", run.job.id, run.job.seed));
+            let from_file = phantom_analyze::analyze_trace_file(
+                &path,
+                targets_for(&run.job.id),
+                phantom_analyze::DEFAULT_WINDOW_SECS,
+            )
+            .unwrap();
+            assert_eq!(
+                live.to_json(),
+                from_file.to_json(),
+                "{}: live tap and trace re-analysis must agree byte-for-byte",
+                run.job.id
+            );
+            assert!(live.events > 0);
+        }
+
+        // A filtered trace must not change the live report.
+        let filtered = SweepOptions {
+            trace_filter: KindSet::parse("drop").unwrap(),
+            ..opts
+        };
+        let thin = run_sweep_with(&jobs(&[("fig2", 1996)]), 1, &filtered);
+        assert_eq!(
+            thin[0].analysis.as_ref().unwrap().to_json(),
+            serial[0].analysis.as_ref().unwrap().to_json(),
+            "the tap must see the unfiltered stream"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn trace_filter_limits_kinds() {
         let dir = std::env::temp_dir().join(format!("phantom-sweep-filter-{}", std::process::id()));
@@ -256,6 +341,7 @@ mod tests {
         let opts = SweepOptions {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::parse("macr,drop").unwrap(),
+            analyze_window: None,
         };
         let out = run_sweep_with(&jobs(&[("fig2", 7)]), 1, &opts);
         assert!(out[0].output.is_some());

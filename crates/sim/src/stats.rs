@@ -6,6 +6,10 @@
 //! * [`Counter`] — a monotonically increasing event count.
 //! * [`Histogram`] — fixed-width bins with exact mean and approximate
 //!   quantiles, e.g. for packet delays.
+//! * [`RunningStats`] — streaming count/sum/min/max, the constant-memory
+//!   accumulator behind single-pass trace analysis.
+//! * [`IntervalSampler`] — tumbling-window [`RunningStats`] over a
+//!   timestamped scalar stream.
 
 use crate::time::SimTime;
 
@@ -297,9 +301,29 @@ impl Histogram {
         }
     }
 
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Largest observation.
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// The width of each regular bin.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Per-bin counts (values in `[i*w, (i+1)*w)` land in bin `i`).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations at or above `bins().len() * bin_width()`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// Approximate `q`-quantile (`0 <= q <= 1`), resolved to bin width.
@@ -318,6 +342,160 @@ impl Histogram {
             }
         }
         self.max
+    }
+}
+
+/// Streaming count/sum/min/max of a scalar stream — the constant-memory
+/// accumulator the trace analyzer builds everything on.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Peak-to-peak range (`max - min`; 0 when fewer than two samples).
+    pub fn range(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+/// Tumbling-window statistics of a timestamped scalar stream.
+///
+/// Samples at time `t` land in window `floor(t / width)`. Windows close
+/// as soon as a later sample arrives; closed windows accumulate until
+/// drained with [`IntervalSampler::drain_closed`], and [`IntervalSampler::finish`]
+/// closes the in-progress window. Windows with no samples are never
+/// materialized, so memory is bounded by the number of *occupied*
+/// windows still undrained.
+#[derive(Clone, Debug)]
+pub struct IntervalSampler {
+    width: f64,
+    current: Option<(u64, RunningStats)>,
+    closed: Vec<(u64, RunningStats)>,
+}
+
+impl IntervalSampler {
+    /// A sampler with tumbling windows of `width` seconds.
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0, "window width must be positive");
+        IntervalSampler {
+            width,
+            current: None,
+            closed: Vec::new(),
+        }
+    }
+
+    /// The configured window width in seconds.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The window index covering time `t` (seconds).
+    pub fn index_of(&self, t: f64) -> u64 {
+        (t / self.width).max(0.0) as u64
+    }
+
+    /// Fold in one sample at time `t` seconds. Times must be
+    /// non-decreasing (simulation order).
+    pub fn push(&mut self, t: f64, v: f64) {
+        let idx = self.index_of(t);
+        match &mut self.current {
+            Some((cur, stats)) if *cur == idx => stats.push(v),
+            Some((cur, stats)) => {
+                debug_assert!(idx > *cur, "IntervalSampler times must be non-decreasing");
+                self.closed.push((*cur, *stats));
+                self.current = Some((idx, {
+                    let mut s = RunningStats::new();
+                    s.push(v);
+                    s
+                }));
+            }
+            None => {
+                let mut s = RunningStats::new();
+                s.push(v);
+                self.current = Some((idx, s));
+            }
+        }
+    }
+
+    /// Take the windows closed so far, oldest first.
+    pub fn drain_closed(&mut self) -> Vec<(u64, RunningStats)> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Close the in-progress window and return every remaining window,
+    /// oldest first.
+    pub fn finish(mut self) -> Vec<(u64, RunningStats)> {
+        if let Some(cur) = self.current.take() {
+            self.closed.push(cur);
+        }
+        self.closed
     }
 }
 
@@ -434,5 +612,53 @@ mod tests {
         let h = Histogram::new(1.0, 4);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn histogram_exposes_raw_bins() {
+        let mut h = Histogram::new(1.0, 3);
+        for v in [0.5, 1.5, 1.6, 7.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_width(), 1.0);
+        assert_eq!(h.bins(), &[1, 2, 0]);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn running_stats_folds_extremes_and_mean() {
+        let mut s = RunningStats::new();
+        assert!(s.mean().is_nan() && s.min().is_nan() && s.max().is_nan());
+        assert_eq!(s.range(), 0.0);
+        for v in [3.0, -1.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 4.0);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.range(), 4.0);
+        assert!((s.mean() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_sampler_tumbles_windows() {
+        let mut w = IntervalSampler::new(0.010);
+        w.push(0.001, 1.0);
+        w.push(0.009, 3.0);
+        assert!(w.drain_closed().is_empty(), "window 0 still open");
+        w.push(0.010, 5.0); // opens window 1, closes window 0
+        w.push(0.035, 7.0); // opens window 3 (window 2 is empty: skipped)
+        let closed = w.drain_closed();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].0, 0);
+        assert_eq!(closed[0].1.count(), 2);
+        assert_eq!(closed[0].1.max(), 3.0);
+        assert_eq!(closed[1].0, 1);
+        assert_eq!(closed[1].1.sum(), 5.0);
+        let rest = w.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].0, 3);
+        assert_eq!(rest[0].1.mean(), 7.0);
     }
 }

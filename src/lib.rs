@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the Phantom reproduction workspace.
+pub use phantom_analyze as analyze;
 pub use phantom_atm as atm;
 pub use phantom_baselines as baselines;
 pub use phantom_core as core;
