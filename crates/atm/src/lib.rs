@@ -52,4 +52,5 @@ pub use cell::{Cell, CellKind, Dir, RmCell, VcId};
 pub use msg::AtmMsg;
 pub use network::{Network, NetworkBuilder, SessionHandle, SwitchHandle};
 pub use params::AtmParams;
+pub use port::{set_tx_batch_limit, tx_batch_limit};
 pub use traffic::Traffic;

@@ -10,9 +10,29 @@ use crate::cell::{Cell, CellKind, ServiceClass};
 use crate::msg::{AtmMsg, Timer};
 use crate::units::cell_time;
 use phantom_metrics::registry::{CounterHandle, GaugeHandle, Registry};
-use phantom_sim::probe::{DropReason, ProbeEvent};
+use phantom_sim::probe::{self, DropReason, ProbeEvent};
 use phantom_sim::stats::{TimeSeries, TimeWeighted};
 use phantom_sim::{telemetry, BoundedFifo, Ctx, NodeId, SimDuration};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Cells a busy port may transmit per `TxDone` dispatch (see
+/// [`set_tx_batch_limit`]). Global rather than per-port or thread-local so
+/// sweep worker threads at any `--jobs` level see the same knob.
+static BATCH_LIMIT: AtomicU32 = AtomicU32::new(64);
+
+/// Set the maximum number of cells a busy port transmits per `TxDone`
+/// event. `1` disables batching (one cell per dispatch, the pre-batching
+/// behaviour); values are clamped to at least 1. Batching never changes
+/// simulation results — cells beyond the first are only coalesced while
+/// no other event could intervene — so this is purely a performance knob.
+pub fn set_tx_batch_limit(limit: u32) {
+    BATCH_LIMIT.store(limit.max(1), Ordering::Relaxed);
+}
+
+/// The current busy-port batch limit.
+pub fn tx_batch_limit() -> u32 {
+    BATCH_LIMIT.load(Ordering::Relaxed)
+}
 
 /// Registry handles a port updates when metrics are bound.
 struct PortMetrics {
@@ -196,47 +216,80 @@ impl Port {
         }
     }
 
-    /// The head-of-line cell finished serializing: deliver it and start on
-    /// the next one.
+    /// The head-of-line cell finished serializing: deliver it — and, while
+    /// the line stays busy and nothing else can happen, the next ones too.
+    ///
+    /// Batching argument: between `now` and the calendar's next pending
+    /// event ([`Ctx::quiet_until`]) no dispatch occurs, so no arrival,
+    /// measurement or control action can observe or perturb this port.
+    /// Every cell whose departure instant falls strictly inside that quiet
+    /// window — narrowed by the arrivals this batch itself schedules — is
+    /// transmitted in this dispatch, with probes, the time-weighted queue
+    /// gauge and the RNG loss draws stamped at the exact per-cell departure
+    /// times the one-cell-per-`TxDone` code produced. Traces, telemetry
+    /// and series are byte-identical with batching on or off; only the
+    /// number of engine round-trips changes (reported via
+    /// [`Ctx::note_coalesced`] so event counts stay comparable).
     pub fn tx_done(&mut self, ctx: &mut Ctx<'_, AtmMsg>, me: usize) {
-        // Strict priority: CBR-class cells first.
-        let cell = match &mut self.high {
-            Some(high) if !high.is_empty() => high.pop(),
-            _ => self.queue.pop(),
-        }
-        .expect("TxDone fired with an empty queue");
-        self.departures += 1;
-        self.queue_tw.set(ctx.now(), self.queue_len() as f64);
-        if let Some(m) = &self.metrics {
-            m.tx_cells.inc();
-        }
-        ctx.emit(|| ProbeEvent::Dequeue {
-            port: me as u32,
-            qlen: self.queue_len() as u32,
-        });
-        let lost = self.loss_prob > 0.0 && {
-            use rand::Rng;
-            ctx.rng().gen::<f64>() < self.loss_prob
-        };
-        if lost {
-            self.wire_losses += 1;
-            telemetry::note_drop();
-            if let Some(m) = &self.metrics {
-                m.dropped_cells.inc();
+        let limit = tx_batch_limit();
+        let mut quiet = ctx.quiet_until();
+        let mut depart = ctx.now();
+        let mut sent: u32 = 0;
+        loop {
+            // Strict priority: CBR-class cells first.
+            let cell = match &mut self.high {
+                Some(high) if !high.is_empty() => high.pop(),
+                _ => self.queue.pop(),
             }
-            ctx.emit(|| ProbeEvent::Drop {
+            .expect("TxDone fired with an empty queue");
+            sent += 1;
+            self.departures += 1;
+            self.queue_tw.set(depart, self.queue_len() as f64);
+            if let Some(m) = &self.metrics {
+                m.tx_cells.inc();
+            }
+            probe::emit(depart, ctx.self_id(), || ProbeEvent::Dequeue {
                 port: me as u32,
                 qlen: self.queue_len() as u32,
-                reason: DropReason::Wire,
             });
-        } else {
-            ctx.send(self.link_to, self.prop, AtmMsg::Cell(cell));
+            let lost = self.loss_prob > 0.0 && {
+                use rand::Rng;
+                ctx.rng().gen::<f64>() < self.loss_prob
+            };
+            if lost {
+                self.wire_losses += 1;
+                telemetry::note_drop();
+                if let Some(m) = &self.metrics {
+                    m.dropped_cells.inc();
+                }
+                probe::emit(depart, ctx.self_id(), || ProbeEvent::Drop {
+                    port: me as u32,
+                    qlen: self.queue_len() as u32,
+                    reason: DropReason::Wire,
+                });
+            } else {
+                let arrive = depart + self.prop;
+                ctx.send_at(self.link_to, arrive, AtmMsg::Cell(cell));
+                // The scheduled arrival is itself a future dispatch; the
+                // quiet window must not extend past it.
+                if arrive < quiet {
+                    quiet = arrive;
+                }
+            }
+            if self.queue_len() == 0 {
+                self.busy = false;
+                break;
+            }
+            let next = depart + self.cell_time;
+            if sent < limit && next < quiet {
+                depart = next;
+            } else {
+                let id = ctx.self_id();
+                ctx.send_at(id, next, AtmMsg::Timer(Timer::TxDone { port: me }));
+                break;
+            }
         }
-        if self.queue_len() == 0 {
-            self.busy = false;
-        } else {
-            ctx.send_self(self.cell_time, AtmMsg::Timer(Timer::TxDone { port: me }));
-        }
+        ctx.note_coalesced(u64::from(sent) - 1);
     }
 
     /// End of a measurement interval: feed the allocator, record traces,

@@ -32,6 +32,11 @@ pub struct AbrSource {
     next_hop: NodeId,
     prop: SimDuration,
     acr: f64,
+    /// Cached `pacing_interval(pace_acr)` — ACR only changes on backward
+    /// RM feedback (once per Nrm cells), so the per-cell pacing send can
+    /// skip the division while the rate is unchanged.
+    pace: SimDuration,
+    pace_acr: f64,
     cells_since_rm: u32,
     unacked_rm: u32,
     last_tx: Option<SimTime>,
@@ -67,6 +72,8 @@ impl AbrSource {
             next_hop,
             prop,
             acr: params.icr,
+            pace: pacing_interval(params.icr),
+            pace_acr: params.icr,
             cells_since_rm: 0,
             unacked_rm: 0,
             last_tx: None,
@@ -98,13 +105,7 @@ impl AbrSource {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, AtmMsg>) {
         let now = ctx.now();
-        let (active, wake) = {
-            let rng = ctx.rng();
-            let mut gate = self.gate;
-            let r = gate.poll(now, rng);
-            self.gate = gate;
-            r
-        };
+        let (active, wake) = self.gate.poll(now, ctx.rng());
         if active != self.was_active {
             self.was_active = active;
             let session = self.vc.0;
@@ -148,11 +149,20 @@ impl AbrSource {
         } else {
             Cell::data(self.vc, now)
         };
-        self.cells_since_rm = (self.cells_since_rm + 1) % self.params.nrm;
+        // Counter stays in [0, Nrm); a compare beats a hardware divide on
+        // this per-cell path.
+        self.cells_since_rm += 1;
+        if self.cells_since_rm == self.params.nrm {
+            self.cells_since_rm = 0;
+        }
         self.cells_sent += 1;
         self.last_tx = Some(now);
         ctx.send(self.next_hop, self.prop, AtmMsg::Cell(cell));
-        ctx.send_self(pacing_interval(self.acr), AtmMsg::Timer(Timer::SourceTx));
+        if self.acr != self.pace_acr {
+            self.pace_acr = self.acr;
+            self.pace = pacing_interval(self.acr);
+        }
+        ctx.send_self(self.pace, AtmMsg::Timer(Timer::SourceTx));
     }
 
     fn on_backward_rm(&mut self, ctx: &mut Ctx<'_, AtmMsg>, rm: &RmCell) {

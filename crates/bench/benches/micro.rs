@@ -9,6 +9,7 @@ use phantom_atm::allocator::{PortMeasurement, RateAllocator};
 use phantom_atm::cell::{RmCell, VcId};
 use phantom_baselines::{Aprc, Capc, Eprca, Erica};
 use phantom_core::{PhantomAllocator, PhantomNi};
+use phantom_sim::event::EventQueue;
 use phantom_sim::{Ctx, Engine, Node, SimDuration, SimTime};
 use phantom_tcp::packet::{FlowId, Packet};
 use phantom_tcp::qdisc::{DropTail, QueueDiscipline, Red, SelectiveDiscard, SelectiveQuench};
@@ -97,8 +98,8 @@ impl Node<u32> for PingPong {
 }
 
 /// A payload the size of a realistic ATM/TCP message enum. With a deep
-/// calendar this stresses the event queue's key/payload split: only small
-/// keys move during heap sifts, the payload is written once and read once.
+/// calendar this stresses how the wheel moves entries between slices:
+/// the payload is written once at push and read once at delivery.
 #[derive(Clone, Copy)]
 struct FatMsg([u64; 4]);
 
@@ -134,7 +135,7 @@ fn bench_engine(c: &mut Criterion) {
     });
     // 256 staggered timers keep the calendar 256 deep with 32-byte
     // payloads — the regime every multi-source scenario runs in.
-    c.bench_function("engine/dispatch_100k_events_deep_heap", |b| {
+    c.bench_function("engine/dispatch_100k_events_deep_calendar", |b| {
         b.iter_batched(
             || {
                 let mut e = Engine::<FatMsg>::new(1);
@@ -153,5 +154,68 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_allocators, bench_qdiscs, bench_engine);
+/// The timer wheel's three scheduling regimes, measured on the bare
+/// [`EventQueue`] (no node dispatch, no probes): a hold of 256 pending
+/// events where each op pops the head and re-arms it one delay later.
+///
+/// * `dense-cell-times` — ACR-paced cell sends a few µs apart: pushes
+///   land in the current slice or the first wheel slots (the regime that
+///   dominates every saturated ATM scenario).
+/// * `bimodal-wire` — a TCP router's two serialization times (MSS data
+///   vs 40-byte ACK): alternating near/nearer pushes.
+/// * `far-rtt-timers` — RTO-style arms hundreds of ms out, interleaved
+///   with µs-scale work: exercises the far-future slab and its overflow
+///   heap, and the slice-advance scan that pulls timers back in.
+fn bench_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel");
+    let dists: Vec<(&str, Vec<u64>)> = vec![
+        ("dense-cell-times", vec![2_827, 2_827, 2_829, 2_831]),
+        ("bimodal-wire", vec![9_920, 320]),
+        (
+            "far-rtt-timers",
+            vec![3_000, 200_000_000, 3_100, 500_000_000],
+        ),
+    ];
+    for (name, delays) in dists {
+        group.bench_function(format!("{name}/100k_ops_hold_256"), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = EventQueue::<[u64; 4]>::new();
+                    for i in 0..256u64 {
+                        q.push(SimTime(i * 37), phantom_sim::NodeId(0), [i; 4]);
+                    }
+                    q
+                },
+                |mut q| {
+                    let mut di = 0usize;
+                    let mut acc = 0u64;
+                    for _ in 0..100_000 {
+                        let ev = q.pop().expect("hold never drains");
+                        acc ^= ev.msg[0];
+                        q.push(
+                            ev.time + SimDuration::from_nanos(delays[di]),
+                            ev.dst,
+                            ev.msg,
+                        );
+                        di += 1;
+                        if di == delays.len() {
+                            di = 0;
+                        }
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocators,
+    bench_qdiscs,
+    bench_engine,
+    bench_wheel
+);
 criterion_main!(benches);

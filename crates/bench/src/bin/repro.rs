@@ -12,6 +12,7 @@
 //! repro fig2 --analyze       # live phantom-analysis/1 report per run
 //! repro fig2 --analyze --check            # gate against committed baselines
 //! repro fig2 --analyze --write-baselines  # refresh the committed baselines
+//! repro all --bench --compare BENCH_phantom.json   # events/sec delta gate
 //! ```
 //!
 //! Artifacts land in `target/experiments/<id>.csv` (long format:
@@ -26,6 +27,7 @@
 //! only wall-clock time: reports and CSVs are byte-identical to `--jobs 1`.
 
 use phantom_analyze::{check_report, parse_baseline, render_baseline};
+use phantom_bench::compare::{compare, parse_bench_json, EXIT_BENCH_REGRESSION};
 use phantom_bench::DEFAULT_SEED;
 use phantom_metrics::manifest::{BENCH_SCHEMA, CSV_SCHEMA};
 use phantom_metrics::{BenchRecord, Manifest, RunRecord};
@@ -53,6 +55,8 @@ struct Args {
     write_baselines: bool,
     baseline_dir: PathBuf,
     window_secs: f64,
+    compare: Option<PathBuf>,
+    bench_threshold_pct: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
         write_baselines: false,
         baseline_dir: PathBuf::from("crates/baselines/analysis"),
         window_secs: phantom_analyze::DEFAULT_WINDOW_SECS,
+        compare: None,
+        bench_threshold_pct: 10.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -104,6 +110,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bench-json" => {
                 args.bench_json = PathBuf::from(it.next().ok_or("--bench-json needs a value")?);
+            }
+            // The bench record is always written; `--bench` is accepted so
+            // the documented `repro all --bench --compare ...` invocation
+            // reads naturally.
+            "--bench" => {}
+            "--compare" => {
+                args.compare = Some(PathBuf::from(it.next().ok_or("--compare needs a value")?));
+            }
+            "--bench-threshold" => {
+                let v = it.next().ok_or("--bench-threshold needs a value (%)")?;
+                match v.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 => args.bench_threshold_pct = pct,
+                    _ => return Err(format!("bad threshold (%): {v}")),
+                }
             }
             "--gnuplot" => args.gnuplot = true,
             "--trace-dir" => {
@@ -235,7 +255,8 @@ fn main() -> ExitCode {
                 "usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--jobs N] \
                  [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
                  [--trace-dir DIR] [--trace-filter KINDS] \
-                 [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS]"
+                 [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS] \
+                 [--bench] [--compare BASELINE.json] [--bench-threshold PCT]"
             );
             return ExitCode::FAILURE;
         }
@@ -270,6 +291,7 @@ fn main() -> ExitCode {
     let batch_start = std::time::Instant::now();
     let runs = run_sweep_with(&jobs, args.jobs, &opts);
     let total_wall_secs = batch_start.elapsed().as_secs_f64();
+    let schedule_past_total: u64 = runs.iter().map(|r| r.counters.schedule_past).sum();
 
     // The config that determines this batch byte-for-byte: which
     // experiments, the base seed, and how many seeds per experiment.
@@ -282,6 +304,7 @@ fn main() -> ExitCode {
     let bench = BenchRecord {
         manifest: Manifest::new(BENCH_SCHEMA, "repro", args.seed, &config),
         jobs: args.jobs,
+        calendar: phantom_sim::CALENDAR.to_string(),
         total_wall_secs,
         runs: runs
             .iter()
@@ -384,6 +407,58 @@ fn main() -> ExitCode {
         }
     }
 
+    // A clamped past-time send is survivable but means a scenario is
+    // scheduling incorrectly — surface it next to the bench numbers so a
+    // "faster" run that cheated the calendar is never celebrated.
+    if schedule_past_total > 0 {
+        eprintln!(
+            "warning: {schedule_past_total} send(s) clamped from the past \
+             (schedule_past telemetry)"
+        );
+    }
+
+    let mut bench_regressed = false;
+    if let Some(path) = &args.compare {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match parse_bench_json(&text) {
+                Ok(baseline) => {
+                    let cmp = compare(&bench, &baseline);
+                    let rendered = cmp.render(args.bench_threshold_pct);
+                    print!("{rendered}");
+                    if let Some(cal) = &baseline.calendar {
+                        if *cal != phantom_sim::CALENDAR {
+                            println!("  [calendar changed: {cal} -> {}]", phantom_sim::CALENDAR);
+                        }
+                    }
+                    let artifact = args.csv_dir.join("bench-compare.txt");
+                    if std::fs::create_dir_all(&args.csv_dir).is_ok() {
+                        if let Err(e) = std::fs::write(&artifact, &rendered) {
+                            eprintln!("warning: could not write {}: {e}", artifact.display());
+                        } else {
+                            println!("  [comparison: {}]", artifact.display());
+                        }
+                    }
+                    if cmp.regressed(args.bench_threshold_pct) {
+                        eprintln!(
+                            "error: aggregate events/sec regressed more than {}% vs {}",
+                            args.bench_threshold_pct,
+                            path.display()
+                        );
+                        bench_regressed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: could not parse {}: {e}", path.display());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+
     if !check_failures.is_empty() {
         for f in &check_failures {
             eprintln!("check failed: {f}");
@@ -397,6 +472,8 @@ fn main() -> ExitCode {
 
     if failed {
         ExitCode::FAILURE
+    } else if bench_regressed {
+        ExitCode::from(EXIT_BENCH_REGRESSION)
     } else {
         ExitCode::SUCCESS
     }

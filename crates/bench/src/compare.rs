@@ -1,0 +1,373 @@
+//! Comparing two `BENCH_phantom.json` recordings.
+//!
+//! `repro --compare <baseline.json>` reads a previously committed bench
+//! record, lines the current batch up against it run-by-run, and prints
+//! per-scenario events/sec deltas. A drop past the configured relative
+//! threshold is a *bench regression*: the harness exits with
+//! [`EXIT_BENCH_REGRESSION`] so CI can gate on it (advisorily) without
+//! conflating it with a correctness failure.
+//!
+//! The reader is line-oriented on purpose: `BenchRecord::to_json` emits
+//! one flat object per run line, so each line parses with the same
+//! dependency-free scalar-object parser the trace analyzer uses. Both
+//! `phantom-bench/2` (no `calendar` field) and `phantom-bench/3`
+//! baselines are accepted — comparing across the calendar change is the
+//! whole point of the gate.
+
+use phantom_analyze::jsonl::{parse_flat_object, Scalar};
+use phantom_metrics::BenchRecord;
+use std::fmt::Write as _;
+
+/// Process exit code for "the benchmark regressed past the threshold".
+/// Distinct from `1` (usage/correctness failure) so CI and scripts can
+/// tell "the code is wrong" from "the code got slower".
+pub const EXIT_BENCH_REGRESSION: u8 = 4;
+
+/// One run parsed out of a baseline bench record.
+#[derive(Clone, Debug)]
+pub struct BaselineRun {
+    /// Experiment id.
+    pub id: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Events per wall-clock second in the baseline recording.
+    pub events_per_sec: f64,
+    /// Events dispatched in the baseline recording.
+    pub events: u64,
+}
+
+/// The subset of a `BENCH_phantom.json` document the comparison needs.
+#[derive(Clone, Debug)]
+pub struct BenchBaseline {
+    /// Schema tag of the baseline document.
+    pub schema: String,
+    /// Calendar tag, if the baseline is new enough to carry one.
+    pub calendar: Option<String>,
+    /// Aggregate events per second across the baseline batch.
+    pub events_per_sec: f64,
+    /// Per-run baseline numbers.
+    pub runs: Vec<BaselineRun>,
+}
+
+fn top_level_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.trim_start().strip_prefix(&format!("\"{key}\":"))?;
+    Some(
+        rest.trim()
+            .trim_end_matches(',')
+            .trim_matches('"')
+            .to_string(),
+    )
+}
+
+/// Parse a bench record document written by this workspace's
+/// `BenchRecord::write` (any schema version ≥ 2).
+pub fn parse_bench_json(text: &str) -> Result<BenchBaseline, String> {
+    let mut schema = None;
+    let mut calendar = None;
+    let mut events_per_sec = None;
+    let mut runs = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("{\"id\":") || t.starts_with("{ \"id\":") {
+            let obj = t.trim_end_matches(',');
+            let pairs = parse_flat_object(obj).map_err(|e| format!("bad run line `{obj}`: {e}"))?;
+            let mut id = None;
+            let mut seed = None;
+            let mut eps = None;
+            let mut events = None;
+            for (k, v) in pairs {
+                match (k.as_str(), v) {
+                    ("id", Scalar::Str(s)) => id = Some(s),
+                    ("seed", Scalar::Num(n)) => seed = Some(n as u64),
+                    ("events_per_sec", Scalar::Num(n)) => eps = Some(n),
+                    ("events", Scalar::Num(n)) => events = Some(n as u64),
+                    _ => {}
+                }
+            }
+            runs.push(BaselineRun {
+                id: id.ok_or("run line missing `id`")?,
+                seed: seed.ok_or("run line missing `seed`")?,
+                events_per_sec: eps.ok_or("run line missing `events_per_sec`")?,
+                events: events.ok_or("run line missing `events`")?,
+            });
+        } else if schema.is_none() {
+            if let Some(v) = top_level_value(line, "schema") {
+                schema = Some(v);
+            }
+        }
+        if calendar.is_none() && !t.starts_with('{') {
+            if let Some(v) = top_level_value(line, "calendar") {
+                calendar = Some(v);
+            }
+        }
+        if events_per_sec.is_none() && !t.starts_with('{') {
+            if let Some(v) = top_level_value(line, "events_per_sec") {
+                events_per_sec = v.parse::<f64>().ok();
+            }
+        }
+    }
+    Ok(BenchBaseline {
+        schema: schema.ok_or("no `schema` key found")?,
+        calendar,
+        events_per_sec: events_per_sec.ok_or("no aggregate `events_per_sec` found")?,
+        runs,
+    })
+}
+
+/// Events/sec delta for one `(id, seed)` present in both recordings.
+#[derive(Clone, Debug)]
+pub struct RunDelta {
+    /// Experiment id.
+    pub id: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Baseline events/sec.
+    pub base: f64,
+    /// Current events/sec.
+    pub cur: f64,
+    /// `cur / base`.
+    pub ratio: f64,
+    /// True when the event *count* changed — a determinism red flag far
+    /// more serious than any throughput delta.
+    pub events_changed: bool,
+}
+
+/// The result of lining a current batch up against a baseline.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Aggregate baseline events/sec.
+    pub base_events_per_sec: f64,
+    /// Aggregate current events/sec.
+    pub cur_events_per_sec: f64,
+    /// Per-run deltas for runs present in both recordings.
+    pub deltas: Vec<RunDelta>,
+    /// `(id, seed)` present only in the baseline.
+    pub missing: Vec<(String, u64)>,
+    /// `(id, seed)` present only in the current batch.
+    pub extra: Vec<(String, u64)>,
+}
+
+impl Comparison {
+    /// Aggregate `cur / base` events-per-second ratio.
+    pub fn aggregate_ratio(&self) -> f64 {
+        if self.base_events_per_sec > 0.0 {
+            self.cur_events_per_sec / self.base_events_per_sec
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// True when the aggregate throughput dropped by more than
+    /// `threshold_pct` percent relative to the baseline. Per-scenario
+    /// deltas are reported but only the aggregate gates: single-scenario
+    /// wall times on shared machines are too noisy to fail a build on.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.aggregate_ratio() < 1.0 - threshold_pct / 100.0
+    }
+
+    /// Render the per-scenario delta table plus the aggregate verdict.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "bench comparison (current vs baseline):");
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>6} {:>12} {:>12} {:>8}",
+            "id", "seed", "base ev/s", "cur ev/s", "ratio"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                s,
+                "  {:<10} {:>6} {:>12.0} {:>12.0} {:>7.3}x{}",
+                d.id,
+                d.seed,
+                d.base,
+                d.cur,
+                d.ratio,
+                if d.events_changed {
+                    "  [! event count changed]"
+                } else {
+                    ""
+                }
+            );
+        }
+        for (id, seed) in &self.missing {
+            let _ = writeln!(s, "  {id:<10} {seed:>6} only in baseline");
+        }
+        for (id, seed) in &self.extra {
+            let _ = writeln!(s, "  {id:<10} {seed:>6} only in current batch");
+        }
+        let _ = writeln!(
+            s,
+            "  aggregate: {:.0} -> {:.0} ev/s ({:.3}x), threshold -{}%: {}",
+            self.base_events_per_sec,
+            self.cur_events_per_sec,
+            self.aggregate_ratio(),
+            threshold_pct,
+            if self.regressed(threshold_pct) {
+                "REGRESSED"
+            } else {
+                "ok"
+            }
+        );
+        s
+    }
+}
+
+/// Line `current` up against `baseline` by `(id, seed)`.
+pub fn compare(current: &BenchRecord, baseline: &BenchBaseline) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    let mut extra = Vec::new();
+    for b in &baseline.runs {
+        match current
+            .runs
+            .iter()
+            .find(|r| r.id == b.id && r.seed == b.seed)
+        {
+            Some(r) => deltas.push(RunDelta {
+                id: b.id.clone(),
+                seed: b.seed,
+                base: b.events_per_sec,
+                cur: r.events_per_sec(),
+                ratio: if b.events_per_sec > 0.0 {
+                    r.events_per_sec() / b.events_per_sec
+                } else {
+                    f64::INFINITY
+                },
+                events_changed: r.events != b.events,
+            }),
+            None => missing.push((b.id.clone(), b.seed)),
+        }
+    }
+    for r in &current.runs {
+        if !baseline
+            .runs
+            .iter()
+            .any(|b| b.id == r.id && b.seed == r.seed)
+        {
+            extra.push((r.id.clone(), r.seed));
+        }
+    }
+    Comparison {
+        base_events_per_sec: baseline.events_per_sec,
+        cur_events_per_sec: current.events_per_sec(),
+        deltas,
+        missing,
+        extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_metrics::manifest::{Manifest, BENCH_SCHEMA};
+    use phantom_metrics::RunRecord;
+
+    fn record(ids: &[(&str, u64, f64, u64)], total_wall: f64) -> BenchRecord {
+        BenchRecord {
+            manifest: Manifest::new(BENCH_SCHEMA, "repro", 1996, "test"),
+            jobs: 1,
+            calendar: phantom_sim::CALENDAR.to_string(),
+            total_wall_secs: total_wall,
+            runs: ids
+                .iter()
+                .map(|(id, seed, wall, events)| RunRecord {
+                    id: (*id).into(),
+                    seed: *seed,
+                    wall_secs: *wall,
+                    events: *events,
+                    drops: 0,
+                    retransmits: 0,
+                    queue_peak: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_the_writer() {
+        let rec = record(
+            &[("fig2", 1996, 0.5, 1_000_000), ("fig9", 7, 0.5, 500_000)],
+            1.0,
+        );
+        let parsed = parse_bench_json(&rec.to_json()).unwrap();
+        assert_eq!(parsed.schema, BENCH_SCHEMA);
+        assert_eq!(parsed.calendar.as_deref(), Some(phantom_sim::CALENDAR));
+        assert_eq!(parsed.runs.len(), 2);
+        assert_eq!(parsed.runs[0].id, "fig2");
+        assert_eq!(parsed.runs[0].events, 1_000_000);
+        assert!((parsed.events_per_sec - 1_500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accepts_a_v2_baseline_without_calendar() {
+        let doc = r#"{
+  "schema": "phantom-bench/2",
+  "manifest": {"schema":"phantom-bench/2","scenario":"repro"},
+  "jobs": 1,
+  "total_wall_secs": 2,
+  "runs_per_sec": 0.5,
+  "events_total": 100,
+  "events_per_sec": 50,
+  "runs": [
+    {"id": "fig2", "seed": 1996, "wall_secs": 2, "events": 100, "events_per_sec": 50, "drops": 0, "retransmits": 0, "queue_peak": 3}
+  ]
+}
+"#;
+        let parsed = parse_bench_json(doc).unwrap();
+        assert_eq!(parsed.schema, "phantom-bench/2");
+        assert_eq!(parsed.calendar, None);
+        assert_eq!(parsed.runs.len(), 1);
+        assert_eq!(parsed.events_per_sec, 50.0);
+    }
+
+    #[test]
+    fn compare_flags_speedups_regressions_and_set_changes() {
+        let base = parse_bench_json(
+            &record(
+                &[("fig2", 1996, 1.0, 1_000_000), ("fig9", 1996, 1.0, 500_000)],
+                2.0,
+            )
+            .to_json(),
+        )
+        .unwrap();
+        // fig2 twice as fast, fig9 missing, table1 new.
+        let cur = record(
+            &[("fig2", 1996, 0.5, 1_000_000), ("table1", 1996, 0.5, 9)],
+            1.0,
+        );
+        let cmp = compare(&cur, &base);
+        assert_eq!(cmp.deltas.len(), 1);
+        assert!((cmp.deltas[0].ratio - 2.0).abs() < 1e-9);
+        assert!(!cmp.deltas[0].events_changed);
+        assert_eq!(cmp.missing, vec![("fig9".to_string(), 1996)]);
+        assert_eq!(cmp.extra, vec![("table1".to_string(), 1996)]);
+        let txt = cmp.render(10.0);
+        assert!(txt.contains("fig2"));
+        assert!(txt.contains("only in baseline"));
+    }
+
+    #[test]
+    fn event_count_changes_are_flagged() {
+        let base =
+            parse_bench_json(&record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0).to_json()).unwrap();
+        let cur = record(&[("fig2", 1996, 1.0, 999_999)], 1.0);
+        let cmp = compare(&cur, &base);
+        assert!(cmp.deltas[0].events_changed);
+        assert!(cmp.render(10.0).contains("event count changed"));
+    }
+
+    #[test]
+    fn threshold_gates_on_the_aggregate() {
+        let base =
+            parse_bench_json(&record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0).to_json()).unwrap();
+        // 8% slower than baseline.
+        let cur = record(&[("fig2", 1996, 1.087, 1_000_000)], 1.087);
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.regressed(10.0), "8% drop is inside a 10% threshold");
+        assert!(cmp.regressed(5.0), "8% drop is outside a 5% threshold");
+        assert!(!record(&[("fig2", 1996, 0.9, 1_000_000)], 0.9)
+            .runs
+            .is_empty());
+    }
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use phantom_scenarios::registry::{all_experiments, Experiment};
 
 /// The default seed used by the harness (any seed reproduces the same

@@ -578,6 +578,7 @@ run 400ms seed=3
             ("phantom-trace-v1.md", "phantom-trace/1"),
             ("phantom-metrics-v1.md", "phantom-metrics/1"),
             ("phantom-bench-v2.md", "phantom-bench/2"),
+            ("phantom-bench-v3.md", "phantom-bench/3"),
             ("phantom-csv-v1.md", "phantom-csv/1"),
         ] {
             let doc = std::fs::read_to_string(schemas.join(file)).unwrap();

@@ -4,9 +4,9 @@
 //! (`BENCH_phantom.json`), so performance can be tracked run-over-run by
 //! scripts rather than by eyeballing terminal output. The writer is
 //! hand-rolled — the workspace builds without serde — and emits a stable,
-//! minimal schema (`phantom-bench/2`): overall runs/sec and events/sec,
-//! a provenance manifest, and per-run wall time, event counts and health
-//! telemetry (drops, retransmits, queue peak).
+//! minimal schema (`phantom-bench/3`): overall runs/sec and events/sec,
+//! a provenance manifest, the event-calendar tag, and per-run wall time,
+//! event counts and health telemetry (drops, retransmits, queue peak).
 
 use crate::json::{json_f64, json_str};
 use crate::manifest::Manifest;
@@ -51,6 +51,11 @@ pub struct BenchRecord {
     pub manifest: Manifest,
     /// Worker threads the batch ran on.
     pub jobs: usize,
+    /// Event-calendar implementation tag (e.g.
+    /// `"timer-wheel/4096x8192ns"`, from `phantom_sim::CALENDAR`), so a
+    /// recorded number is never compared against one from a different
+    /// calendar without noticing.
+    pub calendar: String,
     /// Wall-clock seconds for the whole batch.
     pub total_wall_secs: f64,
     /// Per-run measurements, in invocation order.
@@ -83,6 +88,7 @@ impl BenchRecord {
         let _ = writeln!(s, "  \"schema\": {},", json_str(&self.manifest.schema));
         let _ = writeln!(s, "  \"manifest\": {},", self.manifest.to_json());
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"calendar\": {},", json_str(&self.calendar));
         let _ = writeln!(
             s,
             "  \"total_wall_secs\": {},",
@@ -139,6 +145,7 @@ mod tests {
         BenchRecord {
             manifest: Manifest::new(BENCH_SCHEMA, "repro", 1996, "fig2,table1"),
             jobs: 4,
+            calendar: "timer-wheel/test".into(),
             total_wall_secs: 2.0,
             runs: vec![
                 RunRecord {
@@ -175,9 +182,10 @@ mod tests {
     fn json_is_well_formed_and_complete() {
         let j = sample().to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert!(j.contains("\"schema\": \"phantom-bench/2\""));
-        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/2\""));
+        assert!(j.contains("\"schema\": \"phantom-bench/3\""));
+        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/3\""));
         assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"calendar\": \"timer-wheel/test\""));
         assert!(j.contains("\"events_total\": 4000000"));
         assert!(j.contains("{\"id\": \"fig2\", \"seed\": 1996"));
         assert!(j.contains("\"drops\": 12"));

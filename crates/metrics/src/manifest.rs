@@ -15,7 +15,7 @@ pub const TRACE_SCHEMA: &str = "phantom-trace/1";
 /// Schema tag for metrics snapshots (Prometheus text + JSON summary).
 pub const METRICS_SCHEMA: &str = "phantom-metrics/1";
 /// Schema tag for `BENCH_phantom.json`.
-pub const BENCH_SCHEMA: &str = "phantom-bench/2";
+pub const BENCH_SCHEMA: &str = "phantom-bench/3";
 /// Schema tag for long-format figure CSVs.
 pub const CSV_SCHEMA: &str = "phantom-csv/1";
 /// Schema tag for `phantom analyze` reports.

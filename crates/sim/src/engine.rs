@@ -13,12 +13,12 @@
 //! same seed and topology produce identical traces.
 //!
 //! The dispatch path is deliberately allocation-free: nodes are stored as
-//! plain boxes and borrowed in place (a [`Ctx`] only touches the outbox and
-//! the per-node RNG, which are disjoint fields, so no take/put-back dance
-//! is needed), and the outbox buffer is reused across events. Tracing is
-//! opt-in via [`Engine::set_trace_hook`]; when no hook is attached,
-//! [`Engine::run_until`] runs a tight loop with no per-event branching on
-//! the hook.
+//! plain boxes and borrowed in place (a [`Ctx`] only touches the calendar
+//! and the per-node RNG, which are disjoint engine fields, so sends go
+//! straight into the calendar with no runtime borrow checks and no
+//! intermediate buffer). Tracing is opt-in via [`Engine::set_trace_hook`];
+//! when no hook is attached, [`Engine::run_until`] runs a tight loop with
+//! no per-event branching on the hook.
 
 use crate::event::EventQueue;
 use crate::rng::derive_seed;
@@ -64,11 +64,19 @@ fn note_dispatched(n: u64) {
 }
 
 /// Handle given to a node while it processes an event.
+///
+/// Sends go straight into the engine's calendar (borrowed exclusively for
+/// the duration of the dispatch — the calendar, the node being run and its
+/// RNG are disjoint engine fields): there is no intermediate outbox, so a
+/// 48-byte ATM message is moved once instead of twice per send. Insertion
+/// order — and therefore the FIFO tie-break among same-timestamp events —
+/// is exactly the order of `send*` calls.
 pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: NodeId,
-    outbox: &'a mut Vec<(SimTime, NodeId, M)>,
+    queue: &'a mut EventQueue<M>,
     rng: &'a mut SmallRng,
+    coalesced: u64,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -84,13 +92,24 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Deliver `msg` to `dst` after `delay`.
     pub fn send(&mut self, dst: NodeId, delay: SimDuration, msg: M) {
-        self.outbox.push((self.now + delay, dst, msg));
+        self.queue.push(self.now + delay, dst, msg);
     }
 
-    /// Deliver `msg` to `dst` at absolute time `at` (must not be in the past).
+    /// Deliver `msg` to `dst` at absolute time `at` (must not be in the
+    /// past). Debug builds assert on a past-time `at`; release builds
+    /// clamp it to `now` and count the incident in the `schedule_past`
+    /// telemetry counter — a silently-accepted past timestamp would
+    /// corrupt calendar ordering, and a hard panic in release would turn
+    /// a recoverable scenario bug into a crashed sweep.
     pub fn send_at(&mut self, dst: NodeId, at: SimTime, msg: M) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.outbox.push((at, dst, msg));
+        let at = if at < self.now {
+            crate::telemetry::note_schedule_past();
+            self.now
+        } else {
+            at
+        };
+        self.queue.push(at, dst, msg);
     }
 
     /// Deliver `msg` back to the executing node after `delay`.
@@ -102,6 +121,28 @@ impl<'a, M> Ctx<'a, M> {
     /// This node's deterministic random number generator.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// Time of the earliest *pending* calendar event, or [`SimTime::MAX`]
+    /// when the calendar is empty.
+    ///
+    /// During one `on_event`, no other node can run before this instant:
+    /// events only come from dispatches, and the next dispatch is the
+    /// calendar's minimum (which includes anything this node already sent
+    /// during the current event). A node can therefore act for every
+    /// instant strictly before `quiet_until()` in one dispatch — the
+    /// busy-port cell batch in `phantom-atm` — with byte-identical
+    /// results.
+    pub fn quiet_until(&self) -> SimTime {
+        self.queue.peek_time().unwrap_or(SimTime::MAX)
+    }
+
+    /// Report `n` logical events handled inside this dispatch beyond the
+    /// delivered one (e.g. cell transmissions coalesced into one timer).
+    /// Keeps [`Engine::events_processed`] and the thread dispatch counter
+    /// comparable whether or not batching is enabled.
+    pub fn note_coalesced(&mut self, n: u64) {
+        self.coalesced += n;
     }
 
     /// Emit a semantic [`crate::probe::ProbeEvent`] to the thread's
@@ -116,11 +157,13 @@ impl<'a, M> Ctx<'a, M> {
 /// The simulation engine: owns nodes, the event calendar and the clock.
 pub struct Engine<M> {
     now: SimTime,
+    /// The calendar. During a dispatch it is lent to the node's [`Ctx`]
+    /// via a split field borrow (the node box and its RNG are the other
+    /// two), so sends push directly with no runtime borrow checks.
     queue: EventQueue<M>,
     nodes: Vec<Box<dyn Node<M>>>,
     rngs: Vec<SmallRng>,
     seed: u64,
-    outbox: Vec<(SimTime, NodeId, M)>,
     events_processed: u64,
     trace: Option<TraceHook<M>>,
 }
@@ -134,7 +177,6 @@ impl<M: 'static> Engine<M> {
             nodes: Vec::new(),
             rngs: Vec::new(),
             seed,
-            outbox: Vec::new(),
             events_processed: 0,
             trace: None,
         }
@@ -188,23 +230,20 @@ impl<M: 'static> Engine<M> {
     fn dispatch(&mut self, time: SimTime, dst: NodeId, msg: M) {
         debug_assert!(time >= self.now, "event queue went backwards");
         self.now = time;
-        self.events_processed += 1;
-        {
-            let mut ctx = Ctx {
-                now: time,
-                self_id: dst,
-                outbox: &mut self.outbox,
-                rng: &mut self.rngs[dst.0],
-            };
-            self.nodes[dst.0].on_event(&mut ctx, msg);
-        }
-        for (t, d, m) in self.outbox.drain(..) {
-            self.queue.push(t, d, m);
-        }
+        let mut ctx = Ctx {
+            now: time,
+            self_id: dst,
+            queue: &mut self.queue,
+            rng: &mut self.rngs[dst.0],
+            coalesced: 0,
+        };
+        self.nodes[dst.0].on_event(&mut ctx, msg);
+        self.events_processed += 1 + ctx.coalesced;
     }
 
     /// Dispatch the next event. Returns `false` when the calendar is empty.
     pub fn step(&mut self) -> bool {
+        let start = self.events_processed;
         let Some(ev) = self.queue.pop() else {
             return false;
         };
@@ -212,7 +251,7 @@ impl<M: 'static> Engine<M> {
             hook(ev.time, ev.dst, &ev.msg);
         }
         self.dispatch(ev.time, ev.dst, ev.msg);
-        note_dispatched(1);
+        note_dispatched(self.events_processed - start);
         true
     }
 
@@ -472,6 +511,84 @@ mod tests {
         e.run_until(SimTime::from_micros(2));
         assert_eq!(*seen.borrow(), 1, "hook only observes while attached");
         assert_eq!(e.node::<Collector>(c).got.len(), 2);
+    }
+
+    #[test]
+    fn quiet_until_sees_the_next_pending_event() {
+        struct Probe {
+            seen: Vec<SimTime>,
+        }
+        impl Node<u32> for Probe {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+                self.seen.push(ctx.quiet_until());
+            }
+        }
+        let mut e = Engine::<u32>::new(1);
+        let p = e.add_node(Probe { seen: vec![] });
+        e.schedule(SimTime::from_micros(1), p, 0);
+        e.schedule(SimTime::from_micros(9), p, 1);
+        e.run_until(SimTime::from_millis(1));
+        assert_eq!(
+            e.node::<Probe>(p).seen,
+            vec![SimTime::from_micros(9), SimTime::MAX],
+            "first dispatch sees the 9µs event pending; last sees an empty calendar"
+        );
+    }
+
+    #[test]
+    fn coalesced_work_counts_as_events() {
+        struct Batcher;
+        impl Node<u32> for Batcher {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+                ctx.note_coalesced(4);
+            }
+        }
+        let before = thread_events_dispatched();
+        let mut e = Engine::<u32>::new(1);
+        let b = e.add_node(Batcher);
+        e.schedule(SimTime::from_micros(1), b, 0);
+        e.schedule(SimTime::from_micros(2), b, 0);
+        assert!(e.step());
+        e.run_until(SimTime::from_millis(1));
+        assert_eq!(e.events_processed(), 10, "2 dispatches + 2×4 coalesced");
+        assert_eq!(thread_events_dispatched() - before, 10);
+    }
+
+    struct PastScheduler;
+    impl Node<u32> for PastScheduler {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+            if msg == 0 {
+                let id = ctx.self_id();
+                ctx.send_at(id, SimTime::ZERO, 1); // 1µs in the past
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn send_at_past_asserts_in_debug() {
+        let mut e = Engine::<u32>::new(1);
+        let p = e.add_node(PastScheduler);
+        e.schedule(SimTime::from_micros(1), p, 0);
+        e.run_until(SimTime::from_millis(1));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn send_at_past_clamps_and_counts_in_release() {
+        let m = crate::telemetry::begin_run();
+        let mut e = Engine::<u32>::new(1);
+        let p = e.add_node(PastScheduler);
+        e.schedule(SimTime::from_micros(1), p, 0);
+        e.run_until(SimTime::from_millis(1));
+        assert_eq!(
+            e.events_processed(),
+            2,
+            "the clamped message is delivered (at `now`), not lost"
+        );
+        assert_eq!(e.now(), SimTime::from_millis(1));
+        assert_eq!(m.finish().schedule_past, 1);
     }
 
     #[test]

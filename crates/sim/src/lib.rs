@@ -7,7 +7,8 @@
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulation time, so
 //!   event ordering is exact and runs are bit-reproducible.
 //! * [`Engine`] — a single-threaded event loop dispatching typed messages to
-//!   [`Node`]s through a binary-heap event queue with FIFO tie-breaking.
+//!   [`Node`]s through a hierarchical timer-wheel calendar ([`event`],
+//!   tagged [`CALENDAR`]) with exact FIFO tie-breaking at equal times.
 //! * [`rng`] — seed-derived per-stream random number generators so that
 //!   adding a node never perturbs the random sequence of another.
 //! * [`stats`] — time series, time-weighted averages, counters and
@@ -64,6 +65,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{thread_events_dispatched, Ctx, Engine, Node, NodeId, TraceHook};
+pub use event::CALENDAR;
 pub use fifo::BoundedFifo;
 pub use probe::{
     install_thread_probe, take_thread_probe, DropReason, JsonlProbe, KindSet, Probe, ProbeEvent,

@@ -15,6 +15,7 @@ thread_local! {
     static DROPS: Cell<u64> = const { Cell::new(0) };
     static RETRANSMITS: Cell<u64> = const { Cell::new(0) };
     static QUEUE_PEAK: Cell<u64> = const { Cell::new(0) };
+    static SCHEDULE_PAST: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Record one dropped cell/packet (tail, policy or wire).
@@ -27,6 +28,14 @@ pub fn note_drop() {
 #[inline]
 pub fn note_retransmit() {
     RETRANSMITS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Record one past-time schedule attempt that was clamped to `now` (see
+/// [`crate::Ctx::send_at`]). Debug builds assert instead; in release a
+/// non-zero count flags a scenario bug without corrupting calendar order.
+#[inline]
+pub fn note_schedule_past() {
+    SCHEDULE_PAST.with(|c| c.set(c.get().wrapping_add(1)));
 }
 
 /// Record a queue depth; keeps the maximum since [`begin_run`]. Callers
@@ -50,6 +59,9 @@ pub struct RunCounters {
     pub retransmits: u64,
     /// Deepest queue observed, in items.
     pub queue_peak: u64,
+    /// Past-time `send_at` calls clamped to `now` (should be 0; a
+    /// non-zero value means a node computed a stale deadline).
+    pub schedule_past: u64,
 }
 
 /// Marks the start of a run; see [`begin_run`].
@@ -57,6 +69,7 @@ pub struct RunCounters {
 pub struct RunMarker {
     drops0: u64,
     retransmits0: u64,
+    schedule_past0: u64,
 }
 
 /// Start a telemetry bracket on this thread. Drop/retransmit counts are
@@ -66,6 +79,7 @@ pub fn begin_run() -> RunMarker {
     RunMarker {
         drops0: DROPS.with(Cell::get),
         retransmits0: RETRANSMITS.with(Cell::get),
+        schedule_past0: SCHEDULE_PAST.with(Cell::get),
     }
 }
 
@@ -76,6 +90,9 @@ impl RunMarker {
             drops: DROPS.with(Cell::get).wrapping_sub(self.drops0),
             retransmits: RETRANSMITS.with(Cell::get).wrapping_sub(self.retransmits0),
             queue_peak: QUEUE_PEAK.with(Cell::get),
+            schedule_past: SCHEDULE_PAST
+                .with(Cell::get)
+                .wrapping_sub(self.schedule_past0),
         }
     }
 }
@@ -98,7 +115,8 @@ mod tests {
             RunCounters {
                 drops: 2,
                 retransmits: 1,
-                queue_peak: 7
+                queue_peak: 7,
+                schedule_past: 0
             }
         );
 
@@ -110,7 +128,8 @@ mod tests {
             RunCounters {
                 drops: 0,
                 retransmits: 0,
-                queue_peak: 2
+                queue_peak: 2,
+                schedule_past: 0
             }
         );
     }

@@ -14,7 +14,6 @@ use phantom_sim::fifo::EnqueueResult;
 use phantom_sim::probe::{DropReason, ProbeEvent};
 use phantom_sim::stats::{TimeSeries, TimeWeighted};
 use phantom_sim::{BoundedFifo, Ctx, Node, NodeId, SimDuration};
-use std::collections::HashMap;
 
 /// Registry handles a router port updates when metrics are bound.
 struct RPortMetrics {
@@ -41,6 +40,12 @@ pub struct RPort {
     link_to: NodeId,
     prop: SimDuration,
     capacity: f64, // bytes/s
+    /// Memoized serialization time for the last wire size transmitted.
+    /// TCP traffic is dominated by two packet sizes (full data segments
+    /// and 40-byte ACKs), so this removes an f64 division from every
+    /// packet push and TxDone reschedule. Invalidated by `set_capacity`.
+    ser_wire: u32,
+    ser_dur: SimDuration,
     busy: bool,
     qdisc: Box<dyn QueueDiscipline>,
     measure_interval: SimDuration,
@@ -81,6 +86,8 @@ impl RPort {
             link_to,
             prop,
             capacity,
+            ser_wire: u32::MAX,
+            ser_dur: SimDuration::ZERO,
             busy: false,
             qdisc,
             measure_interval,
@@ -152,10 +159,15 @@ impl RPort {
     pub fn set_capacity(&mut self, bps: f64) {
         assert!(bps > 0.0, "capacity must stay positive");
         self.capacity = bps;
+        self.ser_wire = u32::MAX;
     }
 
-    fn serialization(&self, wire: u32) -> SimDuration {
-        SimDuration::from_secs_f64(f64::from(wire) / self.capacity)
+    fn serialization(&mut self, wire: u32) -> SimDuration {
+        if wire != self.ser_wire {
+            self.ser_wire = wire;
+            self.ser_dur = SimDuration::from_secs_f64(f64::from(wire) / self.capacity);
+        }
+        self.ser_dur
     }
 
     fn push(&mut self, ctx: &mut Ctx<'_, TcpMsg>, me: usize, pkt: Packet) {
@@ -243,9 +255,10 @@ impl RPort {
             qlen: self.queue.len() as u32,
         });
         ctx.send(self.link_to, self.prop, TcpMsg::Pkt(pkt));
-        match self.queue.iter().next() {
-            Some(next) => {
-                let d = self.serialization(next.wire);
+        let head_wire = self.queue.iter().next().map(|next| next.wire);
+        match head_wire {
+            Some(wire) => {
+                let d = self.serialization(wire);
                 ctx.send_self(d, TcpMsg::Timer(TcpTimer::TxDone { port: me }));
             }
             None => self.busy = false,
@@ -301,7 +314,10 @@ impl RPort {
 pub struct Router {
     name: String,
     ports: Vec<RPort>,
-    routes: HashMap<FlowId, FlowRoute>,
+    /// Routing table indexed by flow id. Flow ids are dense small
+    /// integers, so a flat vector turns the per-packet route lookup into
+    /// one bounds-checked load instead of a hash.
+    routes: Vec<Option<FlowRoute>>,
     routed_pkts: Option<CounterHandle>,
 }
 
@@ -311,7 +327,7 @@ impl Router {
         Router {
             name: name.to_string(),
             ports: Vec::new(),
-            routes: HashMap::new(),
+            routes: Vec::new(),
             routed_pkts: None,
         }
     }
@@ -338,8 +354,12 @@ impl Router {
     pub fn add_route(&mut self, flow: FlowId, route: FlowRoute) {
         assert!(route.fwd_port < self.ports.len());
         assert!(route.bwd_port < self.ports.len());
-        let prev = self.routes.insert(flow, route);
-        assert!(prev.is_none(), "duplicate route for {flow:?}");
+        let idx = flow.0 as usize;
+        if idx >= self.routes.len() {
+            self.routes.resize(idx + 1, None);
+        }
+        assert!(self.routes[idx].is_none(), "duplicate route for {flow:?}");
+        self.routes[idx] = Some(route);
     }
 
     /// Port accessor.
@@ -361,9 +381,11 @@ impl Router {
         if let Some(c) = &self.routed_pkts {
             c.inc();
         }
-        let route = *self
+        let route = self
             .routes
-            .get(&pkt.flow)
+            .get(pkt.flow.0 as usize)
+            .copied()
+            .flatten()
             .unwrap_or_else(|| panic!("router {}: no route for {:?}", self.name, pkt.flow));
         if pkt.is_reverse() {
             // ACKs and quenches ride the reverse path untouched.

@@ -24,6 +24,11 @@ pub struct TcpSource {
     next_hop: NodeId,
     prop: SimDuration,
     access_rate: f64, // bytes/s
+    /// Memoized serialization time for the last wire size sent — data
+    /// segments are a single fixed size per flow, so this removes an f64
+    /// division from every transmission.
+    ser_wire: u32,
+    ser_dur: SimDuration,
     start: SimTime,
     tx_busy: bool,
     pending_retx: Option<u64>,
@@ -91,6 +96,8 @@ impl TcpSource {
             next_hop,
             prop,
             access_rate,
+            ser_wire: u32::MAX,
+            ser_dur: SimDuration::ZERO,
             start,
             tx_busy: false,
             pending_retx: None,
@@ -133,8 +140,12 @@ impl TcpSource {
         self.cr
     }
 
-    fn serialization(&self, wire: u32) -> SimDuration {
-        SimDuration::from_secs_f64(f64::from(wire) / self.access_rate)
+    fn serialization(&mut self, wire: u32) -> SimDuration {
+        if wire != self.ser_wire {
+            self.ser_wire = wire;
+            self.ser_dur = SimDuration::from_secs_f64(f64::from(wire) / self.access_rate);
+        }
+        self.ser_dur
     }
 
     fn arm_rto(&mut self, ctx: &mut Ctx<'_, TcpMsg>) {

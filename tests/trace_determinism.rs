@@ -1,0 +1,114 @@
+//! End-to-end determinism acceptance for the timer-wheel calendar and
+//! busy-port cell batching.
+//!
+//! The event calendar was swapped (binary heap → hierarchical timer
+//! wheel) and busy ports may now emit up to `tx_batch_limit()` cells per
+//! `TxDone` inside the quiet window. Both are pure performance changes:
+//! the delivered event order — and therefore every probe event a run
+//! emits — must be exactly what the heap produced, at any `--jobs`
+//! level and any batch limit. This test pins that end to end on one ATM
+//! experiment (fig2) and one TCP experiment (fig17) by digesting the
+//! full JSONL traces across the `{jobs 1, jobs 4} × {batch 64, batch 1}`
+//! matrix.
+
+use phantom_repro::atm::{set_tx_batch_limit, tx_batch_limit};
+use phantom_repro::metrics::fnv1a_64;
+use phantom_repro::scenarios::sweep::{run_sweep_with, SweepJob, SweepOptions};
+use phantom_repro::sim::probe::KindSet;
+use std::collections::BTreeMap;
+
+const SEED: u64 = 1996;
+const IDS: [&str; 2] = ["fig2", "fig17"];
+
+/// One configuration's fingerprints: per experiment id, the FNV-1a
+/// digest of the trace body (everything after the manifest line — the
+/// manifest is identical here anyway, but it carries provenance rather
+/// than behavior) plus the dispatched event count and run telemetry.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    trace_digest: u64,
+    events: u64,
+    drops: u64,
+    retransmits: u64,
+    queue_peak: u64,
+}
+
+fn run_matrix_point(jobs: usize, tag: &str) -> BTreeMap<String, Fingerprint> {
+    let dir = std::env::temp_dir().join(format!(
+        "phantom-trace-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        trace_dir: Some(dir.clone()),
+        trace_filter: KindSet::ALL,
+        analyze_window: None,
+    };
+    let batch: Vec<SweepJob> = IDS
+        .iter()
+        .map(|id| SweepJob {
+            id: id.to_string(),
+            seed: SEED,
+        })
+        .collect();
+    let runs = run_sweep_with(&batch, jobs, &opts);
+    let mut out = BTreeMap::new();
+    for run in &runs {
+        let id = &run.job.id;
+        assert!(run.output.is_some(), "{id} must be a known experiment");
+        let text = std::fs::read_to_string(dir.join(format!("{id}-{SEED}.jsonl"))).unwrap();
+        let body_start = text.find('\n').expect("trace has a manifest line") + 1;
+        assert!(
+            text[..body_start].contains("phantom-trace/1"),
+            "{id}: first line must be the manifest"
+        );
+        assert!(text.len() > body_start, "{id}: trace must contain events");
+        out.insert(
+            id.clone(),
+            Fingerprint {
+                trace_digest: fnv1a_64(&text.as_bytes()[body_start..]),
+                events: run.events,
+                drops: run.counters.drops,
+                retransmits: run.counters.retransmits,
+                queue_peak: run.counters.queue_peak,
+            },
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// The full matrix in one test: the four `{jobs} × {batch limit}`
+/// configurations must produce identical trace digests, event counts and
+/// telemetry per experiment. One test function (not four) because the
+/// batch limit is process-global and the harness runs tests in parallel.
+#[test]
+fn traces_are_identical_across_jobs_and_batch_limits() {
+    let default_limit = tx_batch_limit();
+    assert_eq!(default_limit, 64, "documented default batch limit");
+
+    let reference = run_matrix_point(1, "j1-b64");
+    let variants = [
+        (4, default_limit, "j4-b64"),
+        (1, 1, "j1-b1"),
+        (4, 1, "j4-b1"),
+    ];
+    for (jobs, limit, tag) in variants {
+        set_tx_batch_limit(limit);
+        let got = run_matrix_point(jobs, tag);
+        set_tx_batch_limit(default_limit);
+        for id in IDS {
+            assert_eq!(
+                got[id], reference[id],
+                "{id} at jobs={jobs} batch={limit} must match jobs=1 batch=64"
+            );
+        }
+    }
+    for id in IDS {
+        assert!(
+            reference[id].events > 10_000,
+            "{id}: the determinism check must cover a substantial run, saw {}",
+            reference[id].events
+        );
+    }
+}
