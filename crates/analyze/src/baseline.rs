@@ -7,7 +7,7 @@
 //! tolerance, when any strays outside its band — the CI analysis gate.
 
 use crate::jsonl::{parse_flat_object, Scalar};
-use crate::stream::{AnalysisReport, METRIC_NAMES};
+use crate::stream::{parse_epoch_metric, AnalysisReport, METRIC_NAMES};
 use phantom_metrics::json::{json_f64, json_str};
 use std::fmt::Write as _;
 
@@ -95,7 +95,7 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
             Scalar::Str(s) => s.clone(),
             _ => return Err(format!("line {}: `metric` must be a string", n + 1)),
         };
-        if !METRIC_NAMES.contains(&metric.as_str()) {
+        if !METRIC_NAMES.contains(&metric.as_str()) && parse_epoch_metric(&metric).is_none() {
             return Err(format!("line {}: unknown metric `{metric}`", n + 1));
         }
         let num = |key: &str| match field(key)? {
@@ -155,6 +155,14 @@ pub fn check_report(report: &AnalysisReport, baseline: &Baseline) -> Vec<String>
 /// tight enough that a perturbed control loop (e.g. `dev_gain` changed)
 /// trips at least one of them.
 pub fn default_tolerance(metric: &str) -> (f64, TolMode) {
+    // Epoch metrics share their whole-run namesakes' bands; the 5%
+    // absolute band on `fixed_point_error_rel` is the acceptance
+    // criterion for per-epoch re-convergence to `C/(1+n·u)`.
+    let metric = match parse_epoch_metric(metric) {
+        Some((_, "reconvergence_secs")) => "convergence_secs",
+        Some((_, suffix)) => suffix,
+        None => metric,
+    };
     match metric {
         "convergence_secs" => (0.06, TolMode::Abs),
         "fixed_point_error_rel" => (0.05, TolMode::Abs),
@@ -187,7 +195,20 @@ pub fn render_baseline(report: &AnalysisReport, scenario: &str) -> String {
         json_str(BASELINE_SCHEMA),
         json_str(scenario)
     );
-    for name in METRIC_NAMES {
+    let epoch_names = report
+        .epochs
+        .iter()
+        .flat_map(|e| {
+            crate::stream::EPOCH_METRIC_SUFFIXES
+                .iter()
+                .map(move |s| format!("epoch{}_{s}", e.index))
+        })
+        .collect::<Vec<_>>();
+    for name in METRIC_NAMES
+        .iter()
+        .copied()
+        .chain(epoch_names.iter().map(String::as_str))
+    {
         let Some(v) = report.metric(name) else {
             continue;
         };

@@ -38,6 +38,7 @@ pub use jsonl::{
     analyze_trace_file, analyze_trace_str, lint_trace_str, read_trace_manifest, LintError,
 };
 pub use stream::{
-    AnalysisHandle, AnalysisReport, AnalysisSink, AnalysisTargets, StreamingAnalyzer, WindowRow,
-    DEFAULT_WINDOW_SECS, METRIC_NAMES,
+    parse_epoch_metric, AnalysisHandle, AnalysisReport, AnalysisSink, AnalysisTargets, EpochRow,
+    EpochTarget, StreamingAnalyzer, WindowRow, DEFAULT_WINDOW_SECS, EPOCH_METRIC_SUFFIXES,
+    METRIC_NAMES,
 };

@@ -8,7 +8,7 @@
 //! correct formulation on real traces — it is not exported to tools.
 
 use crate::jsonl::{parse_event_line, parse_manifest_line};
-use crate::stream::{jain_exact, AnalysisReport, AnalysisTargets, WindowRow};
+use crate::stream::{jain_exact, AnalysisReport, AnalysisTargets, EpochRow, WindowRow};
 use phantom_metrics::loghist::LogHistogram;
 use phantom_metrics::manifest::ANALYSIS_SCHEMA;
 use phantom_sim::probe::ProbeEvent;
@@ -240,6 +240,57 @@ pub fn analyze_trace_str_two_pass(
         )
     };
 
+    // Per-epoch metrics via the same backward scan, restricted to the
+    // epoch's interval, with the epoch's own target; the tail is the
+    // epoch's second half.
+    let epochs: Vec<EpochRow> = targets
+        .epochs
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let in_epoch: Vec<(f64, f64)> = macr_series
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t >= e.from_secs && t < e.to_secs)
+                .collect();
+            let band = targets.conv_tol * e.macr_cps.abs().max(f64::MIN_POSITIVE);
+            let cand = if in_epoch.is_empty() {
+                None
+            } else {
+                match in_epoch
+                    .iter()
+                    .rposition(|&(_, v)| (v - e.macr_cps).abs() > band)
+                {
+                    None => Some(in_epoch[0].0),
+                    Some(i) if i + 1 < in_epoch.len() => Some(in_epoch[i + 1].0),
+                    Some(_) => None,
+                }
+            };
+            let tail_from = e.from_secs + 0.5 * (e.to_secs - e.from_secs);
+            let (mut sum, mut n) = (0.0, 0u64);
+            for &(t, v) in &in_epoch {
+                if t >= tail_from {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            let mean = if n == 0 { nan } else { sum / n as f64 };
+            EpochRow {
+                index: i as u64,
+                from_secs: e.from_secs,
+                to_secs: e.to_secs,
+                target_macr_cps: e.macr_cps,
+                reconvergence_secs: cand.map_or(nan, |t| t - e.from_secs),
+                fixed_point_error_rel: if mean.is_nan() || e.macr_cps == 0.0 {
+                    nan
+                } else {
+                    (mean - e.macr_cps).abs() / e.macr_cps.abs()
+                },
+                macr_tail_mean_cps: mean,
+            }
+        })
+        .collect();
+
     let metrics = vec![
         ("convergence_secs", conv),
         ("fixed_point_error_rel", fp_err),
@@ -289,6 +340,7 @@ pub fn analyze_trace_str_two_pass(
         window_secs,
         events: n_events,
         metrics,
+        epochs,
         windows: rows.into_values().collect(),
     })
 }

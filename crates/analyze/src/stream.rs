@@ -28,7 +28,7 @@ pub const DEFAULT_WINDOW_SECS: f64 = 0.05;
 /// Everything is optional: with no targets the analyzer still reports
 /// fairness, oscillation and queue statistics, and leaves the
 /// target-relative metrics null.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AnalysisTargets {
     /// The MACR fixed point `C/(1+n·u)` in cells/s (or bytes/s for TCP),
     /// enabling `convergence_secs` and `fixed_point_error_rel`.
@@ -40,6 +40,10 @@ pub struct AnalysisTargets {
     /// Steady-state metrics (tail mean, oscillation, fairness,
     /// utilization) only consider samples at or after this time.
     pub tail_from_secs: f64,
+    /// Perturbation epochs of a dynamic scenario, ascending and
+    /// non-overlapping. Empty for static runs — the report then carries
+    /// no epoch section and its JSON is unchanged.
+    pub epochs: Vec<EpochTarget>,
 }
 
 impl Default for AnalysisTargets {
@@ -49,8 +53,49 @@ impl Default for AnalysisTargets {
             capacity_cps: None,
             conv_tol: 0.15,
             tail_from_secs: 0.0,
+            epochs: Vec::new(),
         }
     }
+}
+
+/// One perturbation epoch of a dynamic scenario: a half-open interval
+/// `[from, to)` between two timeline events, with the MACR fixed point
+/// `C/(1+n·u)` the paper's model predicts for the topology/load that
+/// holds during it.
+///
+/// Per-epoch steady-state metrics average the second half of the epoch
+/// (`t ≥ from + (to−from)/2`), leaving the first half as re-convergence
+/// transient.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochTarget {
+    /// Epoch start (seconds; the perturbation instant).
+    pub from_secs: f64,
+    /// Epoch end (seconds, exclusive; the next perturbation or the end
+    /// of the run — must be finite).
+    pub to_secs: f64,
+    /// Predicted MACR fixed point during this epoch, cells/s.
+    pub macr_cps: f64,
+}
+
+/// Per-epoch metric suffixes a report can carry (as
+/// `epoch<i>_<suffix>`), in emission order. Baselines may reference
+/// these in addition to [`METRIC_NAMES`].
+pub const EPOCH_METRIC_SUFFIXES: [&str; 3] = [
+    "reconvergence_secs",
+    "fixed_point_error_rel",
+    "macr_tail_mean_cps",
+];
+
+/// If `name` is a well-formed epoch metric (`epoch<i>_<suffix>` with a
+/// known suffix), return `(i, suffix)`.
+pub fn parse_epoch_metric(name: &str) -> Option<(usize, &'static str)> {
+    let rest = name.strip_prefix("epoch")?;
+    let (idx, suffix) = rest.split_once('_')?;
+    let idx: usize = idx.parse().ok()?;
+    EPOCH_METRIC_SUFFIXES
+        .iter()
+        .find(|&&s| s == suffix)
+        .map(|&s| (idx, s))
 }
 
 /// One analysis window in the report.
@@ -90,6 +135,28 @@ pub const METRIC_NAMES: [&str; 13] = [
     "drops_total",
 ];
 
+/// Per-epoch analysis of one [`EpochTarget`], at the bottleneck port.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochRow {
+    /// Epoch index (position in [`AnalysisTargets::epochs`]).
+    pub index: u64,
+    /// Epoch start, seconds.
+    pub from_secs: f64,
+    /// Epoch end, seconds (exclusive).
+    pub to_secs: f64,
+    /// Predicted MACR fixed point during the epoch, cells/s.
+    pub target_macr_cps: f64,
+    /// Seconds after the perturbation until the bottleneck MACR entered
+    /// the tolerance band of the epoch target and stayed there for the
+    /// rest of the epoch (NaN: never re-converged within the epoch).
+    pub reconvergence_secs: f64,
+    /// `|tail mean − target| / target` over the epoch's second half
+    /// (NaN without samples).
+    pub fixed_point_error_rel: f64,
+    /// Mean bottleneck MACR over the epoch's second half, cells/s.
+    pub macr_tail_mean_cps: f64,
+}
+
 /// A finished `phantom-analysis/1` report.
 #[derive(Clone, Debug)]
 pub struct AnalysisReport {
@@ -102,13 +169,27 @@ pub struct AnalysisReport {
     /// Whole-run metrics in [`METRIC_NAMES`] order; NaN serializes as
     /// null and means "not measurable for this run".
     pub metrics: Vec<(&'static str, f64)>,
+    /// Per-epoch rows, one per [`AnalysisTargets::epochs`] entry (empty
+    /// for static runs).
+    pub epochs: Vec<EpochRow>,
     /// Per-window rows, ascending by index (empty windows omitted).
     pub windows: Vec<WindowRow>,
 }
 
 impl AnalysisReport {
-    /// Look up a whole-run metric; `None` when absent or NaN.
+    /// Look up a whole-run metric; `None` when absent or NaN. Epoch
+    /// metrics are addressed as `epoch<i>_<suffix>` with a suffix from
+    /// [`EPOCH_METRIC_SUFFIXES`].
     pub fn metric(&self, name: &str) -> Option<f64> {
+        if let Some((i, suffix)) = parse_epoch_metric(name) {
+            let row = self.epochs.get(i)?;
+            let v = match suffix {
+                "reconvergence_secs" => row.reconvergence_secs,
+                "fixed_point_error_rel" => row.fixed_point_error_rel,
+                _ => row.macr_tail_mean_cps,
+            };
+            return Some(v).filter(|v| !v.is_nan());
+        }
         self.metrics
             .iter()
             .find(|(n, _)| *n == name)
@@ -130,6 +211,28 @@ impl AnalysisReport {
             let _ = write!(out, "{sep}{}: {}", json_str(name), json_f64(*v));
         }
         out.push_str("},\n");
+        if !self.epochs.is_empty() {
+            out.push_str("  \"epochs\": [\n");
+            for (i, e) in self.epochs.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"epoch\": {}, \"from\": {}, \"to\": {}, \"target_macr_cps\": {}, \"reconvergence_secs\": {}, \"fixed_point_error_rel\": {}, \"macr_tail_mean_cps\": {}}}",
+                    e.index,
+                    json_f64(e.from_secs),
+                    json_f64(e.to_secs),
+                    json_f64(e.target_macr_cps),
+                    json_f64(e.reconvergence_secs),
+                    json_f64(e.fixed_point_error_rel),
+                    json_f64(e.macr_tail_mean_cps)
+                );
+                out.push_str(if i + 1 < self.epochs.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"windows\": [\n");
         for (i, w) in self.windows.iter().enumerate() {
             let _ = write!(
@@ -184,6 +287,17 @@ struct PortState {
     /// [`phantom_metrics::convergence_time`].
     conv_candidate: Option<f64>,
     saw_macr: bool,
+    /// Per-epoch states, lazily sized to `targets.epochs.len()`.
+    epoch: Vec<EpochPortState>,
+}
+
+/// Streaming per-(port, epoch) state: the same convergence-candidate
+/// tracker as the whole-run one, scoped to the epoch's interval and
+/// target, plus the epoch's second-half tail accumulator.
+#[derive(Debug, Default)]
+struct EpochPortState {
+    conv_candidate: Option<f64>,
+    tail: RunningStats,
 }
 
 /// Per-session rate samples of the current fairness window.
@@ -233,6 +347,15 @@ impl StreamingAnalyzer {
     /// [`ANALYSIS_SCHEMA`]). `window_secs` must be positive.
     pub fn new(manifest: &Manifest, targets: AnalysisTargets, window_secs: f64) -> Self {
         assert!(window_secs > 0.0, "window width must be positive");
+        let mut prev_to = f64::NEG_INFINITY;
+        for (i, e) in targets.epochs.iter().enumerate() {
+            assert!(
+                e.from_secs.is_finite() && e.to_secs.is_finite() && e.from_secs < e.to_secs,
+                "epoch {i} must be a finite non-empty interval"
+            );
+            assert!(e.from_secs >= prev_to, "epoch {i} overlaps its predecessor");
+            prev_to = e.to_secs;
+        }
         StreamingAnalyzer {
             manifest: manifest.for_schema(ANALYSIS_SCHEMA),
             targets,
@@ -321,7 +444,9 @@ impl StreamingAnalyzer {
                     self.targets.conv_tol,
                     self.window_secs,
                 );
-                let p = self.port(node, port);
+                // Field-level borrow: `p` holds `self.ports` mutably while
+                // the epoch loop below reads `self.targets.epochs`.
+                let p = self.ports.entry((node, port)).or_default();
                 p.saw_macr = true;
                 p.macr_w
                     .get_or_insert_with(|| IntervalSampler::new(w))
@@ -338,6 +463,26 @@ impl StreamingAnalyzer {
                     p.macr_tail.push(macr);
                     if dev.is_finite() {
                         p.dev_tail.push(dev);
+                    }
+                }
+                if !self.targets.epochs.is_empty() {
+                    if p.epoch.len() < self.targets.epochs.len() {
+                        p.epoch
+                            .resize_with(self.targets.epochs.len(), EpochPortState::default);
+                    }
+                    for (e, es) in self.targets.epochs.iter().zip(p.epoch.iter_mut()) {
+                        if t < e.from_secs || t >= e.to_secs {
+                            continue;
+                        }
+                        let band = tol * e.macr_cps.abs().max(f64::MIN_POSITIVE);
+                        if (macr - e.macr_cps).abs() > band {
+                            es.conv_candidate = None;
+                        } else if es.conv_candidate.is_none() {
+                            es.conv_candidate = Some(t);
+                        }
+                        if t >= e.from_secs + 0.5 * (e.to_secs - e.from_secs) {
+                            es.tail.push(macr);
+                        }
                     }
                 }
             }
@@ -417,6 +562,31 @@ impl StreamingAnalyzer {
             _ => (nan, nan, nan, nan),
         };
 
+        let epochs: Vec<EpochRow> = targets
+            .epochs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let (cand, mean) = bottleneck
+                    .and_then(|p| p.epoch.get(i))
+                    .map(|es| (es.conv_candidate, es.tail.mean()))
+                    .unwrap_or((None, nan));
+                EpochRow {
+                    index: i as u64,
+                    from_secs: e.from_secs,
+                    to_secs: e.to_secs,
+                    target_macr_cps: e.macr_cps,
+                    reconvergence_secs: cand.map_or(nan, |t| t - e.from_secs),
+                    fixed_point_error_rel: if mean.is_nan() || e.macr_cps == 0.0 {
+                        nan
+                    } else {
+                        (mean - e.macr_cps).abs() / e.macr_cps.abs()
+                    },
+                    macr_tail_mean_cps: mean,
+                }
+            })
+            .collect();
+
         let metrics = vec![
             ("convergence_secs", conv),
             ("fixed_point_error_rel", fp_err),
@@ -473,6 +643,7 @@ impl StreamingAnalyzer {
             window_secs,
             events: self.events,
             metrics,
+            epochs,
             windows: rows.into_values().collect(),
         }
     }
@@ -570,7 +741,7 @@ mod tests {
             ..AnalysisTargets::default()
         };
         // climb out of band, enter at t=0.03, stay
-        let mut a = analyzer(targets);
+        let mut a = analyzer(targets.clone());
         for (i, v) in [40.0, 70.0, 99.0, 100.0, 101.0].iter().enumerate() {
             a.on_event(0.01 * (i + 1) as f64, 0, &macr(*v));
         }
@@ -578,7 +749,7 @@ mod tests {
         assert_eq!(r.metric("convergence_secs"), Some(0.03));
 
         // a late excursion resets the candidate
-        let mut a = analyzer(targets);
+        let mut a = analyzer(targets.clone());
         for (i, v) in [100.0, 100.0, 300.0, 100.0].iter().enumerate() {
             a.on_event(0.01 * (i + 1) as f64, 0, &macr(*v));
         }
@@ -659,6 +830,68 @@ mod tests {
         // queue quantiles come from the busy port, not the 90-cell one
         assert_eq!(r.metric("queue_max_cells"), Some(6.0));
         assert_eq!(r.events, 5);
+    }
+
+    #[test]
+    fn epoch_metrics_track_each_plateau() {
+        // Two epochs: target 100 until t=0.1, then target 50. The MACR
+        // tracks each plateau after a short transient.
+        let targets = AnalysisTargets {
+            epochs: vec![
+                EpochTarget {
+                    from_secs: 0.0,
+                    to_secs: 0.1,
+                    macr_cps: 100.0,
+                },
+                EpochTarget {
+                    from_secs: 0.1,
+                    to_secs: 0.2,
+                    macr_cps: 50.0,
+                },
+            ],
+            ..AnalysisTargets::default()
+        };
+        let mut a = analyzer(targets);
+        // epoch 0: out of band at 0.01, in band from 0.02 on
+        for (t, v) in [(0.01, 40.0), (0.02, 98.0), (0.06, 101.0), (0.09, 100.0)] {
+            a.on_event(t, 0, &macr(v));
+        }
+        // epoch 1: transient at 0.10, converged from 0.12
+        for (t, v) in [(0.10, 100.0), (0.12, 52.0), (0.16, 50.0), (0.19, 50.0)] {
+            a.on_event(t, 0, &macr(v));
+        }
+        let r = a.finish();
+        assert_eq!(r.epochs.len(), 2);
+        assert!((r.metric("epoch0_reconvergence_secs").unwrap() - 0.02).abs() < 1e-12);
+        // 0.12 - 0.1 = re-convergence relative to the perturbation
+        assert!((r.metric("epoch1_reconvergence_secs").unwrap() - 0.02).abs() < 1e-12);
+        // epoch 1 tail = [0.15, 0.2): samples 50, 50 → zero error
+        assert_eq!(r.metric("epoch1_fixed_point_error_rel"), Some(0.0));
+        assert_eq!(r.metric("epoch1_macr_tail_mean_cps"), Some(50.0));
+        // epoch 0 tail = [0.05, 0.1): mean(101, 100) = 100.5
+        assert_eq!(r.metric("epoch0_macr_tail_mean_cps"), Some(100.5));
+        // the epoch section serializes; an epoch-free report omits it
+        let json = r.to_json();
+        assert!(json.contains("\"epochs\": [\n"));
+        assert!(json.contains("\"epoch\": 1, \"from\": 0.1"));
+        let mut b = analyzer(AnalysisTargets::default());
+        b.on_event(0.01, 0, &macr(1.0));
+        assert!(!b.finish().to_json().contains("\"epochs\""));
+    }
+
+    #[test]
+    fn epoch_metric_names_parse() {
+        assert_eq!(
+            parse_epoch_metric("epoch0_reconvergence_secs"),
+            Some((0, "reconvergence_secs"))
+        );
+        assert_eq!(
+            parse_epoch_metric("epoch12_macr_tail_mean_cps"),
+            Some((12, "macr_tail_mean_cps"))
+        );
+        assert_eq!(parse_epoch_metric("epoch_reconvergence_secs"), None);
+        assert_eq!(parse_epoch_metric("epoch0_bogus"), None);
+        assert_eq!(parse_epoch_metric("convergence_secs"), None);
     }
 
     #[test]

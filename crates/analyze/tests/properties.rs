@@ -4,7 +4,7 @@
 //! two-pass reference on arbitrary trace streams.
 
 use phantom_analyze::reference::analyze_trace_str_two_pass;
-use phantom_analyze::{analyze_trace_str, AnalysisTargets, StreamingAnalyzer};
+use phantom_analyze::{analyze_trace_str, AnalysisTargets, EpochTarget, StreamingAnalyzer};
 use phantom_metrics::manifest::{Manifest, TRACE_SCHEMA};
 use phantom_sim::probe::{event_to_json, DropReason, ProbeEvent};
 use phantom_sim::time::SimTime;
@@ -73,19 +73,42 @@ fn arb_trace() -> impl Strategy<Value = String> {
     })
 }
 
+/// Ascending non-overlapping perturbation epochs inside the trace's
+/// 0..0.5 s horizon, each with its own MACR target.
+fn arb_epochs() -> impl Strategy<Value = Vec<EpochTarget>> {
+    proptest::collection::vec((0.0f64..0.05, 0.01f64..0.15, 1e3f64..5e5), 0..4).prop_map(|spans| {
+        let mut t0 = 0.0;
+        spans
+            .into_iter()
+            .map(|(gap, len, macr_cps)| {
+                let from_secs = t0 + gap;
+                let to_secs = from_secs + len;
+                t0 = to_secs;
+                EpochTarget {
+                    from_secs,
+                    to_secs,
+                    macr_cps,
+                }
+            })
+            .collect()
+    })
+}
+
 fn arb_targets() -> impl Strategy<Value = AnalysisTargets> {
     (
         prop_oneof![Just(None), (1e3f64..5e5).prop_map(Some)],
         prop_oneof![Just(None), (1e3f64..5e5).prop_map(Some)],
         0.01f64..0.5,
         0.0f64..0.4,
+        arb_epochs(),
     )
         .prop_map(
-            |(macr_cps, capacity_cps, conv_tol, tail_from_secs)| AnalysisTargets {
+            |(macr_cps, capacity_cps, conv_tol, tail_from_secs, epochs)| AnalysisTargets {
                 macr_cps,
                 capacity_cps,
                 conv_tol,
                 tail_from_secs,
+                epochs,
             },
         )
 }
@@ -139,7 +162,7 @@ proptest! {
         window_ms in 1u64..120,
     ) {
         let window = window_ms as f64 / 1e3;
-        let one = analyze_trace_str(&trace, targets, window).unwrap();
+        let one = analyze_trace_str(&trace, targets.clone(), window).unwrap();
         let two = analyze_trace_str_two_pass(&trace, targets, window).unwrap();
         prop_assert_eq!(one.to_json(), two.to_json());
     }

@@ -82,6 +82,7 @@ impl Node<AtmMsg> for CbrSource {
                 // Unresponsive by definition: any stray feedback is ignored.
             }
             AtmMsg::Timer(t) => unreachable!("CBR source received {t:?}"),
+            AtmMsg::Admin(c) => unreachable!("CBR source received {c:?}"),
         }
     }
 }

@@ -125,6 +125,7 @@ impl Node<AtmMsg> for AbrDest {
                 );
             }
             AtmMsg::Timer(t) => unreachable!("destination received {t:?}"),
+            AtmMsg::Admin(c) => unreachable!("destination received {c:?}"),
         }
     }
 }

@@ -49,7 +49,7 @@ pub mod units;
 
 pub use allocator::{PortMeasurement, RateAllocator};
 pub use cell::{Cell, CellKind, Dir, RmCell, VcId};
-pub use msg::AtmMsg;
+pub use msg::{AdminCmd, AtmMsg};
 pub use network::{Network, NetworkBuilder, SessionHandle, SwitchHandle};
 pub use params::AtmParams;
 pub use port::{set_tx_batch_limit, tx_batch_limit};

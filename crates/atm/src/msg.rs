@@ -9,6 +9,34 @@ pub enum AtmMsg {
     Cell(Cell),
     /// A node-internal timer.
     Timer(Timer),
+    /// A scheduled mid-run reconfiguration (scene timeline events).
+    Admin(AdminCmd),
+}
+
+/// Mid-run reconfiguration commands, addressed to a switch. Scene
+/// timelines (link capacity changes, failure/recovery) are lowered to
+/// these and scheduled as ordinary engine events at build time, so a
+/// dynamic run stays a pure function of `(scene, seed)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdminCmd {
+    /// Re-rate output port `port` to `cps` cells/s. Takes effect for
+    /// the next serialized cell; allocators see the new capacity at
+    /// their next measurement interval.
+    SetCapacity {
+        /// Output-port index within the switch.
+        port: usize,
+        /// New link capacity, cells/s (must be positive).
+        cps: f64,
+    },
+    /// Set output port `port`'s wire-loss probability to `loss`
+    /// (`1.0` = link down: every departing cell is lost; `0.0` =
+    /// recovered).
+    SetLoss {
+        /// Output-port index within the switch.
+        port: usize,
+        /// Per-cell loss probability in `[0, 1]`.
+        loss: f64,
+    },
 }
 
 /// Timer kinds, multiplexed per node.

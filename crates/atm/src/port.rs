@@ -133,9 +133,21 @@ impl Port {
 
     /// Inject link-level loss: each departing cell is dropped with
     /// probability `p` (failure injection for resilience tests).
+    /// `1.0` models a failed link: the port keeps serializing, but
+    /// every cell is lost on the wire.
     pub fn set_loss_prob(&mut self, p: f64) {
-        assert!((0.0..1.0).contains(&p), "loss probability in [0, 1)");
+        assert!((0.0..=1.0).contains(&p), "loss probability in [0, 1]");
         self.loss_prob = p;
+    }
+
+    /// Re-rate the link to `cps` cells/s mid-run (scene timeline
+    /// capacity changes). A cell already serializing keeps its old
+    /// departure time; the allocator picks up the new capacity at its
+    /// next measurement interval.
+    pub fn set_capacity(&mut self, cps: f64) {
+        assert!(cps > 0.0, "port capacity must be positive");
+        self.capacity = cps;
+        self.cell_time = cell_time(cps);
     }
 
     /// Current queue length in cells (both classes).

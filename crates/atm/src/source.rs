@@ -193,6 +193,7 @@ impl Node<AtmMsg> for AbrSource {
                 }
             }
             AtmMsg::Timer(t) => unreachable!("source received {t:?}"),
+            AtmMsg::Admin(c) => unreachable!("source received {c:?}"),
         }
     }
 }

@@ -7,7 +7,7 @@
 //! reflect — and then forwarded through the backward-direction port.
 
 use crate::cell::{Cell, VcId};
-use crate::msg::{AtmMsg, Timer};
+use crate::msg::{AdminCmd, AtmMsg, Timer};
 use crate::port::Port;
 use phantom_metrics::registry::{CounterHandle, Registry};
 use phantom_sim::{Ctx, Node};
@@ -128,6 +128,10 @@ impl Node<AtmMsg> for Switch {
             AtmMsg::Timer(Timer::SourceTx) => {
                 unreachable!("switch received a source timer")
             }
+            AtmMsg::Admin(cmd) => match cmd {
+                AdminCmd::SetCapacity { port, cps } => self.ports[port].set_capacity(cps),
+                AdminCmd::SetLoss { port, loss } => self.ports[port].set_loss_prob(loss),
+            },
         }
     }
 }

@@ -4,6 +4,7 @@
 //! repro list                 # show every experiment id + description
 //! repro all [--seed N]       # run everything, print reports, write CSV
 //! repro fig9 table1 [...]    # run selected experiments
+//! repro churn --scenes DIR   # load phantom-scene/1 files as experiments
 //! repro all --jobs 8         # fan independent runs across 8 threads
 //! repro all --csv-dir DIR    # override the artifact directory
 //! repro all --steps 60       # width of the ASCII charts (0 = no charts)
@@ -31,15 +32,18 @@ use phantom_bench::compare::{compare, parse_bench_json, EXIT_BENCH_REGRESSION};
 use phantom_bench::DEFAULT_SEED;
 use phantom_metrics::manifest::{BENCH_SCHEMA, CSV_SCHEMA};
 use phantom_metrics::{BenchRecord, Manifest, RunRecord};
-use phantom_scenarios::registry::all_experiments;
+use phantom_scenarios::registry::{all_experiments, dynamic_experiments, suggest_id};
 use phantom_scenarios::sweep::{run_sweep_with, SweepJob, SweepOptions, SweepRun};
 use phantom_scenarios::ExperimentOutput;
+use phantom_scene::{load_scene_dir, register_scene};
 use phantom_sim::probe::KindSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     ids: Vec<String>,
+    all: bool,
+    scenes: Option<PathBuf>,
     seed: u64,
     seeds: u64,
     jobs: usize,
@@ -62,6 +66,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         ids: Vec::new(),
+        all: false,
+        scenes: None,
         seed: DEFAULT_SEED,
         seeds: 1,
         jobs: 1,
@@ -84,9 +90,14 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "list" => args.list = true,
-            "all" => args
-                .ids
-                .extend(all_experiments().iter().map(|e| e.id.to_string())),
+            "all" => {
+                args.all = true;
+                args.ids
+                    .extend(all_experiments().iter().map(|e| e.id.to_string()));
+            }
+            "--scenes" => {
+                args.scenes = Some(PathBuf::from(it.next().ok_or("--scenes needs a value")?));
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
@@ -166,8 +177,11 @@ fn parse_args() -> Result<Args, String> {
 /// Print one single-seed run the way the serial harness always has.
 fn report_single(run: &SweepRun, args: &Args) -> bool {
     let Some(out) = &run.output else {
+        let hint = suggest_id(&run.job.id)
+            .map(|s| format!(" — did you mean `{s}`?"))
+            .unwrap_or_default();
         eprintln!(
-            "error: unknown experiment '{}' (try `repro list`)",
+            "error: unknown experiment '{}'{hint} (try `repro list`)",
             run.job.id
         );
         return false;
@@ -214,7 +228,10 @@ fn report_multi_seed(id: &str, runs: Vec<SweepRun>, args: &Args) -> bool {
                 break;
             }
             None => {
-                eprintln!("error: unknown experiment '{id}'");
+                let hint = suggest_id(id)
+                    .map(|s| format!(" — did you mean `{s}`?"))
+                    .unwrap_or_default();
+                eprintln!("error: unknown experiment '{id}'{hint} (try `repro list`)");
                 return false;
             }
         }
@@ -252,8 +269,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro [list | all | <id>...] [--seed N] [--seeds N] [--jobs N] \
-                 [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
+                "usage: repro [list | all | <id>...] [--scenes DIR] [--seed N] [--seeds N] \
+                 [--jobs N] [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
                  [--trace-dir DIR] [--trace-filter KINDS] \
                  [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS] \
                  [--bench] [--compare BASELINE.json] [--bench-threshold PCT]"
@@ -262,10 +279,43 @@ fn main() -> ExitCode {
         }
     };
 
+    // Load scene files first: they register as dynamic experiments, so
+    // everything downstream — `list`, `all`, the sweep — sees them as
+    // first-class ids (shadowing same-named built-ins).
+    if let Some(dir) = &args.scenes {
+        let scenes = match load_scene_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for scene in scenes {
+            register_scene(scene);
+        }
+    }
+    let mut args = args;
+    if args.all {
+        for (id, _) in dynamic_experiments() {
+            if !args.ids.contains(&id) {
+                args.ids.push(id);
+            }
+        }
+    }
+    let args = args;
+
     if args.list || args.ids.is_empty() {
         println!("experiments (run with `repro all` or `repro <id>...`):");
         for e in all_experiments() {
             println!("  {:8} {}", e.id, e.describe);
+        }
+        let dynamic = dynamic_experiments();
+        if !dynamic.is_empty() {
+            println!();
+            println!("scenes (loaded via --scenes, shadowing same-named built-ins):");
+            for (id, describe) in dynamic {
+                println!("  {id:8} {describe}");
+            }
         }
         return ExitCode::SUCCESS;
     }

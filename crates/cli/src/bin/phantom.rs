@@ -1,19 +1,31 @@
-//! `phantom` — simulate a topology file.
+//! `phantom` — simulate a topology or scene file.
 //!
 //! ```text
-//! phantom run <file>        simulate and report
+//! phantom run <file>        simulate and report (topology DSL or scene JSON)
 //! phantom predict <file>    closed-form phantom fixed point (no simulation)
 //! phantom check <file>      parse + validate only
+//! phantom list              built-in experiments + committed scene files
 //! phantom trace-lint <file.jsonl>   validate a trace artifact
 //! phantom analyze <file.jsonl>      trace -> phantom-analysis/1 report
 //! ```
+//!
+//! A file whose first non-blank byte is `{` is treated as a
+//! `phantom-scene/1` document (declarative topology + workload +
+//! mid-run timeline); anything else is the line-oriented topology DSL.
 
 use phantom_analyze::{analyze_trace_str, lint_trace_str, AnalysisTargets, LintError};
-use phantom_cli::{compare_algorithms, parse_str, predict, run_spec_opts, sweep_u, RunOptions};
+use phantom_cli::{
+    compare_algorithms, parse_str, predict, run_scene_opts, run_spec_opts, sweep_u, RunOptions,
+};
+use phantom_scenarios::registry::all_experiments;
 use phantom_scenarios::shape::targets_for;
+use phantom_scene::{load_scene_dir, parse_scene};
 use phantom_sim::probe::KindSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Seed for scene runs when `--seed` is not given (the sweep default).
+const DEFAULT_SCENE_SEED: u64 = 1996;
 
 /// `trace-lint` exit code for a structurally invalid trace.
 const EXIT_INVALID: u8 = 1;
@@ -22,7 +34,8 @@ const EXIT_INVALID: u8 = 1;
 const EXIT_TRUNCATED: u8 = 2;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: phantom <run|predict|check> <topology-file>");
+    eprintln!("usage: phantom <run|predict|check> <topology-file|scene.json>");
+    eprintln!("       phantom list [--scenes DIR]               # experiments + scene files");
     eprintln!("       phantom sweep <topology-file> <u,u,...>   # e.g. sweep t.phantom 2,5,10");
     eprintln!("       phantom compare <topology-file>           # every algorithm, one table");
     eprintln!("       phantom trace-lint <file.jsonl>           # validate a trace artifact");
@@ -30,9 +43,13 @@ fn usage() -> ExitCode {
     eprintln!("       phantom analyze <file.jsonl> [--window MS] [--out F.json]");
     eprintln!("                                                 # phantom-analysis/1 report");
     eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
+    eprintln!("       ... [--seed N]                            # override the run seed");
     eprintln!("       run ... [--trace F.jsonl] [--trace-filter KINDS]  # JSONL event trace");
     eprintln!("       run ... [--metrics F.prom]                # metrics snapshot + F.prom.json");
     eprintln!("       run ... [-v]                              # progress heartbeat on stderr");
+    eprintln!("       run <scene.json> [--analyze]              # live phantom-analysis/1 report");
+    eprintln!();
+    eprintln!("scene file format: phantom-scene/1 JSON — see schemas/phantom-scene-v1.md");
     eprintln!();
     eprintln!("topology file format:");
     eprintln!("  switch <name>");
@@ -65,6 +82,107 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
         true
     } else {
         false
+    }
+}
+
+/// Dispatch a `phantom-scene/1` file: `check` validates, `run`
+/// simulates (with the usual trace/metrics options and an optional
+/// live analysis report against the scene's own declared targets).
+fn scene_command(
+    cmd: &str,
+    path: &str,
+    input: &str,
+    seed: Option<u64>,
+    analyze: bool,
+    opts: &RunOptions,
+) -> ExitCode {
+    let scene = match parse_scene(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = seed.unwrap_or(DEFAULT_SCENE_SEED);
+    match cmd {
+        "check" => {
+            println!(
+                "{path}: ok (scene `{}`: {} switches, {} trunks, {} sessions, {} timeline events)",
+                scene.id,
+                scene.switches.len(),
+                scene.trunks.len(),
+                scene.sessions.len(),
+                scene.timeline.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let window = analyze.then_some(phantom_analyze::DEFAULT_WINDOW_SECS);
+            match run_scene_opts(&scene, seed, window, opts) {
+                Ok(report) => {
+                    print!("{}", report.result.render(60));
+                    println!(
+                        "   [scene {}, seed {}, {} events, {} drops, peak queue {}]",
+                        scene.id,
+                        seed,
+                        report.events,
+                        report.counters.drops,
+                        report.counters.queue_peak
+                    );
+                    if let Some(a) = report.analysis {
+                        print!("{}", a.to_json());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("error: `{other}` takes a topology file; scene files support run and check");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `phantom list`: the built-in experiment registry, then any scene
+/// files in `--scenes DIR` (default `scenes/`, skipped silently when
+/// the default directory does not exist).
+fn list(scenes_dir: Option<&str>) -> ExitCode {
+    println!("built-in experiments (run with `repro <id>`):");
+    for e in all_experiments() {
+        println!("  {:8} {}", e.id, e.describe);
+    }
+    let (dir, explicit) = match scenes_dir {
+        Some(d) => (PathBuf::from(d), true),
+        None => (PathBuf::from("scenes"), false),
+    };
+    if !dir.is_dir() {
+        if explicit {
+            eprintln!("error: {}: not a directory", dir.display());
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    match load_scene_dir(&dir) {
+        Ok(scenes) => {
+            println!();
+            println!(
+                "scene files in {} (run with `phantom run <file>` or `repro <id> --scenes {}`):",
+                dir.display(),
+                dir.display()
+            );
+            for s in &scenes {
+                println!("  {:8} {}", s.id, s.describe);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -122,6 +240,20 @@ fn analyze(path: &str, window_secs: Option<f64>, out: Option<&str>) -> Result<()
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.first().map(String::as_str) == Some("list") {
+        let scenes = match take_value(&mut args, "--scenes") {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        if args.len() != 1 {
+            return usage();
+        }
+        return list(scenes.as_deref());
+    }
+
     if args.first().map(String::as_str) == Some("trace-lint") {
         let [_, path] = args.as_slice() else {
             return usage();
@@ -160,6 +292,8 @@ fn main() -> ExitCode {
     }
 
     let mut jobs = 1usize;
+    let mut seed: Option<u64> = None;
+    let analyze = take_switch(&mut args, "--analyze");
     let mut opts = RunOptions {
         verbose: take_switch(&mut args, "-v"),
         ..RunOptions::default()
@@ -170,6 +304,9 @@ fn main() -> ExitCode {
                 Ok(n) if n >= 1 => n,
                 _ => return Err(format!("bad jobs: {v}")),
             };
+        }
+        if let Some(v) = take_value(&mut args, "--seed")? {
+            seed = Some(v.parse::<u64>().map_err(|_| format!("bad seed: {v}"))?);
         }
         if let Some(v) = take_value(&mut args, "--trace")? {
             opts.trace = Some(PathBuf::from(v));
@@ -199,13 +336,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match parse_str(&input) {
+    // A scene document starts with `{`; the topology DSL never does.
+    if input.trim_start().starts_with('{') {
+        return scene_command(cmd, path, &input, seed, analyze, &opts);
+    }
+    if analyze {
+        eprintln!("error: --analyze applies to scene files; for traces use `phantom analyze`");
+        return ExitCode::FAILURE;
+    }
+    let mut spec = match parse_str(&input) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(seed) = seed {
+        spec.seed = seed;
+    }
     opts.scenario = path.to_string();
     let outcome = match cmd {
         "check" => {

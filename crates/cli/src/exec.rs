@@ -119,10 +119,13 @@ pub fn run_spec(spec: &TopologySpec) -> Result<RunReport, String> {
     run_spec_opts(spec, &RunOptions::default())
 }
 
-/// Install the JSONL trace probe, if requested. Unlike the sweep
+/// Build the JSONL trace probe, if requested. Unlike the sweep
 /// harness, a CLI user asked for this file explicitly, so failures are
 /// hard errors rather than silent no-ops.
-fn install_trace(opts: &RunOptions, manifest: &Manifest) -> Result<Option<ProbeGuard>, String> {
+pub(crate) fn trace_probe(
+    opts: &RunOptions,
+    manifest: &Manifest,
+) -> Result<Option<Box<dyn Probe>>, String> {
     let Some(path) = &opts.trace else {
         return Ok(None);
     };
@@ -132,12 +135,15 @@ fn install_trace(opts: &RunOptions, manifest: &Manifest) -> Result<Option<ProbeG
     let manifest_json = manifest.for_schema(TRACE_SCHEMA).to_json();
     let probe = JsonlProbe::with_manifest(file, &manifest_json)
         .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
-    let boxed: Box<dyn Probe> = if opts.trace_filter == KindSet::ALL {
+    Ok(Some(if opts.trace_filter == KindSet::ALL {
         Box::new(probe)
     } else {
         Box::new(FilterProbe::new(opts.trace_filter, probe))
-    };
-    Ok(Some(ProbeGuard::install(boxed)))
+    }))
+}
+
+fn install_trace(opts: &RunOptions, manifest: &Manifest) -> Result<Option<ProbeGuard>, String> {
+    Ok(trace_probe(opts, manifest)?.map(ProbeGuard::install))
 }
 
 fn ensure_parent(path: &Path) -> Result<(), String> {
@@ -152,7 +158,11 @@ fn ensure_parent(path: &Path) -> Result<(), String> {
 
 /// Write the Prometheus-style snapshot to `path` and the JSON summary
 /// to `path` with `.json` appended.
-fn write_metrics(path: &Path, registry: &Registry, manifest: &Manifest) -> Result<(), String> {
+pub(crate) fn write_metrics(
+    path: &Path,
+    registry: &Registry,
+    manifest: &Manifest,
+) -> Result<(), String> {
     ensure_parent(path)?;
     std::fs::write(path, registry.to_prometheus(manifest))
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -580,6 +590,7 @@ run 400ms seed=3
             ("phantom-bench-v2.md", "phantom-bench/2"),
             ("phantom-bench-v3.md", "phantom-bench/3"),
             ("phantom-csv-v1.md", "phantom-csv/1"),
+            ("phantom-scene-v1.md", "phantom-scene/1"),
         ] {
             let doc = std::fs::read_to_string(schemas.join(file)).unwrap();
             assert!(doc.contains(tag), "{file} must document {tag}");

@@ -28,10 +28,12 @@
 
 pub mod exec;
 pub mod parse;
+pub mod scene;
 pub mod spec;
 
 pub use exec::{
     compare_algorithms, predict, run_spec, run_spec_opts, sweep_u, RunOptions, RunReport,
 };
 pub use parse::{parse_str, ParseError};
+pub use scene::{run_scene_opts, SceneReport};
 pub use spec::{AlgorithmSpec, SessionSpec, TopologySpec};

@@ -1,0 +1,164 @@
+//! Run a `phantom-scene/1` file through the CLI's observability stack.
+//!
+//! The trace manifest and probe plumbing mirror the sweep harness
+//! (`phantom_scenarios::sweep`) exactly — scenario and config are both
+//! the scene id — so a trace written by `phantom run scene.json --trace`
+//! is byte-identical to the one `repro <id> --scenes DIR --trace-dir`
+//! writes for the same seed. The analysis tap, by contrast, uses the
+//! targets *the scene itself declares* (`analysis_targets`), since the
+//! file in hand is the authority when running it directly.
+
+use crate::exec::{trace_probe, write_metrics, RunOptions};
+use phantom_analyze::{AnalysisHandle, AnalysisReport, AnalysisSink, StreamingAnalyzer};
+use phantom_metrics::manifest::{Manifest, METRICS_SCHEMA, TRACE_SCHEMA};
+use phantom_metrics::{ExperimentResult, Registry};
+use phantom_scenarios::atm::run_standard;
+use phantom_scene::{analysis_targets, compile, CompiledScene, Scene};
+use phantom_sim::probe::{Probe, ProbeGuard, TeeProbe};
+use phantom_sim::telemetry::{self, RunCounters};
+
+/// Everything one scene run produced.
+pub struct SceneReport {
+    /// The standard figure panels + metrics (same output as `repro`).
+    pub result: ExperimentResult,
+    /// Simulator events dispatched by this run.
+    pub events: u64,
+    /// Drop/retransmit/queue-peak telemetry observed during the run.
+    pub counters: RunCounters,
+    /// The live analysis report, when a window was requested.
+    pub analysis: Option<AnalysisReport>,
+}
+
+/// Compile and run a validated scene with the requested observability:
+/// optional JSONL trace, optional metrics snapshot, optional live
+/// `phantom-analysis/1` tap with window width `analyze_window` seconds.
+pub fn run_scene_opts(
+    scene: &Scene,
+    seed: u64,
+    analyze_window: Option<f64>,
+    opts: &RunOptions,
+) -> Result<SceneReport, String> {
+    let manifest = Manifest::new(TRACE_SCHEMA, &scene.id, seed, &scene.id);
+    let CompiledScene {
+        mut engine,
+        net,
+        until,
+        bottleneck,
+        traced,
+        tail_from_secs,
+    } = compile(scene, seed);
+
+    let registry = opts.metrics.as_ref().map(|_| {
+        let r = Registry::new();
+        net.bind_metrics(&mut engine, &r);
+        r
+    });
+
+    let (tap, handle) = match analyze_window {
+        Some(window) => {
+            let analyzer = StreamingAnalyzer::new(&manifest, analysis_targets(scene), window);
+            let (sink, handle) = AnalysisSink::new(analyzer);
+            (Some(Box::new(sink) as Box<dyn Probe>), Some(handle))
+        }
+        None => (None, None),
+    };
+    let guard = match (trace_probe(opts, &manifest)?, tap) {
+        (Some(trace), Some(tap)) => Some(ProbeGuard::install(Box::new(
+            TeeProbe::new().and(tap).and(trace),
+        ))),
+        (Some(trace), None) => Some(ProbeGuard::install(trace)),
+        (None, Some(tap)) => Some(ProbeGuard::install(tap)),
+        (None, None) => None,
+    };
+
+    let marker = telemetry::begin_run();
+    let events_before = phantom_sim::thread_events_dispatched();
+    let (_engine, _net, result) = run_standard(
+        engine,
+        net,
+        until,
+        &scene.id,
+        &scene.describe,
+        "compiled from a phantom-scene/1 file",
+        bottleneck,
+        &traced,
+        tail_from_secs,
+    );
+    let events = phantom_sim::thread_events_dispatched() - events_before;
+    let counters = marker.finish();
+    drop(guard); // flushes the trace file
+    let analysis = handle.and_then(AnalysisHandle::finish);
+
+    if let (Some(path), Some(reg)) = (&opts.metrics, &registry) {
+        write_metrics(path, reg, &manifest.for_schema(METRICS_SCHEMA))?;
+    }
+
+    Ok(SceneReport {
+        result,
+        events,
+        counters,
+        analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_scene::parse_scene;
+
+    const DUMBBELL_SCENE: &str = r#"{
+        "schema": "phantom-scene/1",
+        "id": "cli-scene-test",
+        "describe": "two greedy sessions for the CLI scene runner",
+        "algorithm": "phantom",
+        "duration_ms": 400,
+        "switches": ["s1", "s2"],
+        "trunks": [{"a": "s1", "b": "s2", "mbps": 150, "prop_us": 10}],
+        "sessions": [
+            {"id": "g0", "path": ["s1", "s2"], "traffic": {"kind": "greedy"}},
+            {"id": "g1", "path": ["s1", "s2"], "traffic": {"kind": "greedy"}}
+        ],
+        "bottleneck": 0,
+        "analysis": {"n_sessions": 2}
+    }"#;
+
+    #[test]
+    fn scene_run_reports_convergence_and_artifacts() {
+        let scene = parse_scene(DUMBBELL_SCENE).unwrap();
+        let dir = std::env::temp_dir().join(format!("phantom-cli-scene-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            trace: Some(dir.join("run.jsonl")),
+            metrics: Some(dir.join("run.prom")),
+            ..RunOptions::default()
+        };
+        let report = run_scene_opts(
+            &scene,
+            1996,
+            Some(phantom_analyze::DEFAULT_WINDOW_SECS),
+            &opts,
+        )
+        .unwrap();
+        assert!(report.events > 100_000);
+        let rendered = report.result.render(0);
+        assert!(rendered.contains("cli-scene-test"), "{rendered}");
+        // MACR fixed point 150/(1+2·5) Mb/s ≈ 13.64.
+        let analysis = report.analysis.expect("analysis tap enabled");
+        let err = analysis.metric("fixed_point_error_rel").unwrap();
+        assert!(err < 0.05, "fixed-point error {err}");
+
+        let trace = std::fs::read_to_string(dir.join("run.jsonl")).unwrap();
+        let first = trace.lines().next().unwrap();
+        assert!(first.contains("\"schema\":\"phantom-trace/1\""), "{first}");
+        assert!(first.contains("\"scenario\":\"cli-scene-test\""), "{first}");
+        assert!(trace.lines().count() > 1);
+        let prom = std::fs::read_to_string(dir.join("run.prom")).unwrap();
+        assert!(prom.starts_with("# manifest: {\"schema\":\"phantom-metrics/1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Untraced rerun is identical: observability never changes the run.
+        let plain = run_scene_opts(&scene, 1996, None, &RunOptions::default()).unwrap();
+        assert_eq!(plain.events, report.events);
+        assert_eq!(plain.result.render(0), rendered);
+    }
+}

@@ -12,8 +12,8 @@
 //!   value of the queue length in Phantom stems from the faster reaction
 //!   of Phantom."
 
-use super::collect_standard;
 use super::onoff::run_with as onoff_with;
+use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
 use phantom_atm::network::TrunkIdx;
 use phantom_metrics::{convergence_time, ExperimentResult};
@@ -21,11 +21,18 @@ use phantom_sim::SimTime;
 
 /// F19: EPRCA convergence on the basic scenario.
 pub fn run_eprca_basic(seed: u64) -> ExperimentResult {
-    let (mut engine, net) = greedy_bottleneck(2, AtmAlgorithm::Eprca, seed);
-    engine.run_until(SimTime::from_millis(800));
-    let mut r = ExperimentResult::new("fig19", "EPRCA: two greedy sessions, 150 Mb/s");
-    r.add_note("reconstructed §5.1: EPRCA on the F2 configuration");
-    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.5);
+    let (engine, net) = greedy_bottleneck(2, AtmAlgorithm::Eprca, seed);
+    let (engine, net, mut r) = run_standard(
+        engine,
+        net,
+        SimTime::from_millis(800),
+        "fig19",
+        "EPRCA: two greedy sessions, 150 Mb/s",
+        "reconstructed §5.1: EPRCA on the F2 configuration",
+        TrunkIdx(0),
+        &[0, 1],
+        0.5,
+    );
     // EPRCA has no analytic fixed point; report rate balance instead.
     let r0 = net.session_rate(&engine, 0).mean_after(0.5);
     let r1 = net.session_rate(&engine, 1).mean_after(0.5);

@@ -5,7 +5,7 @@
 //! MACR climbs to `C/(1+2u) = 150/11 ≈ 13.6 Mb/s`, both sessions settle
 //! at `5 × MACR ≈ 68 Mb/s`, the queue stays moderate and drains.
 
-use super::collect_standard;
+use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
@@ -15,15 +15,18 @@ use phantom_sim::SimTime;
 
 /// Run F2.
 pub fn run(seed: u64) -> ExperimentResult {
-    let (mut engine, net) = greedy_bottleneck(2, AtmAlgorithm::Phantom, seed);
-    engine.run_until(SimTime::from_millis(500));
-
-    let mut r = ExperimentResult::new(
+    let (engine, net) = greedy_bottleneck(2, AtmAlgorithm::Phantom, seed);
+    let (engine, net, mut r) = run_standard(
+        engine,
+        net,
+        SimTime::from_millis(500),
         "fig2",
         "two greedy sessions, negligible RTT, one 150 Mb/s link (Phantom)",
+        "reconstructed from Section 2's introductory configuration",
+        TrunkIdx(0),
+        &[0, 1],
+        0.3,
     );
-    r.add_note("reconstructed from Section 2's introductory configuration");
-    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.3);
 
     let c = mbps_to_cps(150.0);
     let macr_pred = single_link_macr(c, 2, 5.0);

@@ -5,7 +5,7 @@
 //! greedy sessions on the 150 Mb/s link; the panels are queue, MACR and
 //! session 0's allowed rate. F11 repeats it with the NI bit.
 
-use super::collect_standard;
+use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
@@ -18,18 +18,21 @@ pub const N_SESSIONS: usize = 5;
 
 /// Run the canonical scenario with a chosen algorithm (F11 reuses it).
 pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
-    let (mut engine, net) = greedy_bottleneck(N_SESSIONS, alg, seed);
-    engine.run_until(SimTime::from_millis(600));
-
-    let mut r = ExperimentResult::new(
+    let (engine, net) = greedy_bottleneck(N_SESSIONS, alg, seed);
+    let (engine, net, mut r) = run_standard(
+        engine,
+        net,
+        SimTime::from_millis(600),
         id,
         &format!(
             "canonical u=5 scenario: five greedy sessions, 150 Mb/s, {}",
             alg.name()
         ),
+        "explicit: 'utilization factor = 5' figure",
+        TrunkIdx(0),
+        &[0],
+        0.4,
     );
-    r.add_note("explicit: 'utilization factor = 5' figure");
-    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0], 0.4);
 
     let c = mbps_to_cps(150.0);
     let macr_pred = single_link_macr(c, N_SESSIONS, 5.0);

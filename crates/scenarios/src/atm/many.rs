@@ -5,7 +5,7 @@
 //! loop stable at any session count (MacrConfig::norm_gain), and
 //! utilization approaches `n·u/(1+n·u) → 99.6%`.
 
-use super::collect_standard;
+use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
@@ -16,15 +16,18 @@ use phantom_sim::SimTime;
 /// Run F8.
 pub fn run(seed: u64) -> ExperimentResult {
     let n = 50;
-    let (mut engine, net) = greedy_bottleneck(n, AtmAlgorithm::Phantom, seed);
-    engine.run_until(SimTime::from_millis(800));
-
-    let mut r = ExperimentResult::new(
+    let (engine, net) = greedy_bottleneck(n, AtmAlgorithm::Phantom, seed);
+    let (engine, net, mut r) = run_standard(
+        engine,
+        net,
+        SimTime::from_millis(800),
         "fig8",
         "fifty greedy sessions on one 150 Mb/s link (Phantom)",
+        "reconstructed: scalability of the constant-space estimator",
+        TrunkIdx(0),
+        &[0, 25, 49],
+        0.5,
     );
-    r.add_note("reconstructed: scalability of the constant-space estimator");
-    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 25, 49], 0.5);
 
     let c = mbps_to_cps(150.0);
     r.add_metric(

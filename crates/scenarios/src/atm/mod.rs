@@ -21,7 +21,34 @@ use phantom_atm::network::{Network, TrunkIdx};
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::AtmMsg;
 use phantom_metrics::ExperimentResult;
-use phantom_sim::Engine;
+use phantom_sim::{Engine, SimTime};
+
+/// The shared entry path of the standard ATM figure runners — and of
+/// scene-compiled experiments, which lower to exactly this call: run
+/// the built network until `until`, create the result (id, description,
+/// provenance note) and attach the standard panels. The engine and
+/// network are handed back so callers can append figure-specific
+/// metrics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_standard(
+    mut engine: Engine<AtmMsg>,
+    net: Network,
+    until: SimTime,
+    id: &str,
+    describe: &str,
+    note: &str,
+    trunk: TrunkIdx,
+    traced_sessions: &[usize],
+    tail_from: f64,
+) -> (Engine<AtmMsg>, Network, ExperimentResult) {
+    engine.run_until(until);
+    let mut r = ExperimentResult::new(id, describe);
+    if !note.is_empty() {
+        r.add_note(note);
+    }
+    collect_standard(&engine, &net, &mut r, trunk, traced_sessions, tail_from);
+    (engine, net, r)
+}
 
 /// Attach the standard figure panels — queue length, MACR, sessions'
 /// allowed rates (all rates converted to Mb/s) — plus the standard

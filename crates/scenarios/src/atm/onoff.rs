@@ -7,7 +7,7 @@
 //! Phantom must re-converge within each burst phase; its fast reaction
 //! buys a larger transient queue than CAPC (checked in F22).
 
-use super::collect_standard;
+use super::run_standard;
 use crate::common::{onoff_bottleneck, AtmAlgorithm};
 use phantom_atm::network::TrunkIdx;
 use phantom_metrics::ExperimentResult;
@@ -15,18 +15,21 @@ use phantom_sim::SimTime;
 
 /// Run F4 with a choice of algorithm (reused by F20–F22).
 pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
-    let (mut engine, net) = onoff_bottleneck(alg, seed);
-    engine.run_until(SimTime::from_millis(800));
-
-    let mut r = ExperimentResult::new(
+    let (engine, net) = onoff_bottleneck(alg, seed);
+    let (engine, net, mut r) = run_standard(
+        engine,
+        net,
+        SimTime::from_millis(800),
         id,
         &format!(
             "greedy + two on/off sessions (30 ms on / 30 ms off) under {}",
             alg.name()
         ),
+        "configuration 'analogous to Fig. 4' per the paper's Section 5 contexts",
+        TrunkIdx(0),
+        &[0, 1],
+        0.2,
     );
-    r.add_note("configuration 'analogous to Fig. 4' per the paper's Section 5 contexts");
-    collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.2);
 
     // How hard does the transient hit the queue, and does the background
     // session absorb the idle bandwidth during off phases?

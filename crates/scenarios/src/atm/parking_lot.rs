@@ -15,15 +15,18 @@ use phantom_sim::SimTime;
 
 /// Run F6.
 pub fn run(seed: u64) -> ExperimentResult {
-    let (mut engine, net) = parking_lot(AtmAlgorithm::Phantom, seed);
-    engine.run_until(SimTime::from_millis(800));
-
-    let mut r = ExperimentResult::new(
+    let (engine, net) = parking_lot(AtmAlgorithm::Phantom, seed);
+    let (engine, net, mut r) = super::run_standard(
+        engine,
+        net,
+        SimTime::from_millis(800),
         "fig6",
         "parking lot: long session vs per-trunk cross sessions (Phantom)",
+        "reconstructed: max-min fairness and beat-down resistance",
+        TrunkIdx(0),
+        &[0, 1, 2],
+        0.5,
     );
-    r.add_note("reconstructed: max-min fairness and beat-down resistance");
-    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1, 2], 0.5);
 
     // Phantom's own fixed point for this topology.
     let (caps, paths) = parking_lot_paths();

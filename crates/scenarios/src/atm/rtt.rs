@@ -24,14 +24,17 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
     b.last_session_access_prop(SimDuration::from_millis(5));
     let mut engine = Engine::new(seed);
     let net = b.build(&mut engine, &mut || alg.boxed());
-    engine.run_until(SimTime::from_millis(1000));
-
-    let mut r = ExperimentResult::new(
+    let (engine, net, mut r) = super::run_standard(
+        engine,
+        net,
+        SimTime::from_millis(1000),
         id,
         &format!("two sessions, RTT 0.02 ms vs 10 ms, under {}", alg.name()),
+        "reconstructed: RTT-fairness scenario",
+        TrunkIdx(0),
+        &[0, 1],
+        0.5,
     );
-    r.add_note("reconstructed: RTT-fairness scenario");
-    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.5);
 
     let short = net.session_rate(&engine, 0).mean_after(0.5);
     let long = net.session_rate(&engine, 1).mean_after(0.5);

@@ -1,7 +1,16 @@
 //! String-keyed access to every experiment, for the `repro` CLI and the
 //! benchmark harness.
+//!
+//! Besides the static table of hand-coded figures there is a *dynamic*
+//! registry: scene files (`phantom-scene/1`) loaded at run time register
+//! their compiled runner here, so the sweep runner, the CLI and the
+//! bench harness drive scene-backed and hard-coded experiments through
+//! the same [`run_experiment`] entry path. A loaded scene may reuse a
+//! built-in id (e.g. `fig2`) — it then shadows the hard-coded twin,
+//! which is how the byte-identity gate compares the two.
 
 use phantom_metrics::{ExperimentResult, Table};
+use std::sync::{Arc, RwLock};
 
 /// The outcome of running one registry entry.
 pub enum ExperimentOutput {
@@ -225,12 +234,116 @@ pub fn all_experiments() -> Vec<Experiment> {
     ]
 }
 
-/// Run one experiment by id. `None` if the id is unknown.
+/// A runtime-registered experiment (a compiled scene file).
+#[derive(Clone)]
+pub struct DynamicExperiment {
+    /// Stable id (the scene's `id` field).
+    pub id: String,
+    /// One-line description.
+    pub describe: String,
+    /// The runner; must be a pure function of the seed.
+    pub run: Arc<dyn Fn(u64) -> ExperimentOutput + Send + Sync>,
+}
+
+fn dynamic_registry() -> &'static RwLock<Vec<DynamicExperiment>> {
+    static DYNAMIC: RwLock<Vec<DynamicExperiment>> = RwLock::new(Vec::new());
+    &DYNAMIC
+}
+
+/// Register (or replace, by id) a runtime experiment. Registered ids
+/// take precedence over the static table in [`run_experiment`], so a
+/// scene named `fig2` shadows the hard-coded figure.
+pub fn register_dynamic(exp: DynamicExperiment) {
+    let mut reg = dynamic_registry().write().unwrap();
+    if let Some(slot) = reg.iter_mut().find(|e| e.id == exp.id) {
+        *slot = exp;
+    } else {
+        reg.push(exp);
+    }
+}
+
+/// `(id, describe)` of every runtime-registered experiment, in
+/// registration order.
+pub fn dynamic_experiments() -> Vec<(String, String)> {
+    dynamic_registry()
+        .read()
+        .unwrap()
+        .iter()
+        .map(|e| (e.id.clone(), e.describe.clone()))
+        .collect()
+}
+
+/// Run one experiment by id — dynamic (scene-backed) entries first,
+/// then the static table. `None` if the id is unknown.
 pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentOutput> {
+    let dynamic = dynamic_registry()
+        .read()
+        .unwrap()
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| Arc::clone(&e.run));
+    if let Some(run) = dynamic {
+        return Some(run(seed));
+    }
     all_experiments()
         .into_iter()
         .find(|e| e.id == id)
         .map(|e| (e.run)(seed))
+}
+
+/// Every currently valid experiment id: static table plus loaded scenes.
+pub fn known_ids() -> Vec<String> {
+    let mut ids: Vec<String> = all_experiments().iter().map(|e| e.id.to_string()).collect();
+    for (id, _) in dynamic_experiments() {
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// The closest valid id to `unknown` (for "did you mean" hints), or
+/// `None` when nothing is plausibly close (edit distance > half the
+/// longer length). Distance ties go to the candidate sharing the
+/// longest common prefix (so `fig90` suggests `fig9`, not `fig20`),
+/// then alphabetically.
+pub fn suggest_id(unknown: &str) -> Option<String> {
+    let ids = known_ids();
+    let (dist, _, best) = ids
+        .into_iter()
+        .map(|id| {
+            let prefix = unknown
+                .chars()
+                .zip(id.chars())
+                .take_while(|(a, b)| a == b)
+                .count();
+            (edit_distance(unknown, &id), std::cmp::Reverse(prefix), id)
+        })
+        .min()?;
+    let longer = unknown.chars().count().max(best.chars().count());
+    if dist * 2 <= longer {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+/// Levenshtein distance over chars — the id lists are tiny, so the
+/// O(|a|·|b|) two-row DP is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -257,6 +370,42 @@ mod tests {
     #[test]
     fn unknown_id_returns_none() {
         assert!(run_experiment("fig999", 0).is_none());
+    }
+
+    #[test]
+    fn suggest_id_finds_near_misses() {
+        assert_eq!(suggest_id("fig90").as_deref(), Some("fig9"));
+        assert_eq!(suggest_id("tabel1").as_deref(), Some("table1"));
+        assert_eq!(suggest_id("Fig2").as_deref(), Some("fig2"));
+        assert!(suggest_id("completely-unrelated-xyz").is_none());
+    }
+
+    #[test]
+    fn dynamic_entries_dispatch_and_list() {
+        register_dynamic(DynamicExperiment {
+            id: "dyn-test".into(),
+            describe: "a runtime-registered stub".into(),
+            run: Arc::new(|seed| {
+                let mut r = ExperimentResult::new("dyn-test", "stub");
+                r.add_metric("seed", seed as f64);
+                ExperimentOutput::Figure(r)
+            }),
+        });
+        let out = run_experiment("dyn-test", 7).expect("dynamic id dispatches");
+        assert_eq!(out.id(), "dyn-test");
+        assert!(dynamic_experiments().iter().any(|(id, _)| id == "dyn-test"));
+        assert!(known_ids().iter().any(|id| id == "dyn-test"));
+        // replacement by id, not duplication
+        register_dynamic(DynamicExperiment {
+            id: "dyn-test".into(),
+            describe: "replaced".into(),
+            run: Arc::new(|_| ExperimentOutput::Figure(ExperimentResult::new("dyn-test", "r"))),
+        });
+        let n = dynamic_experiments()
+            .iter()
+            .filter(|(id, _)| id == "dyn-test")
+            .count();
+        assert_eq!(n, 1);
     }
 
     #[test]

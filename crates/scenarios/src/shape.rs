@@ -9,6 +9,7 @@
 use phantom_analyze::AnalysisTargets;
 use phantom_atm::units::mbps_to_cps;
 use phantom_core::fixed_point::single_link_macr;
+use std::sync::RwLock;
 
 /// The paper's utilization parameter (sessions send at `u × MACR`).
 const U: f64 = 5.0;
@@ -25,6 +26,7 @@ pub fn expected_shape(id: &str) -> Option<AnalysisTargets> {
         capacity_cps: Some(c),
         conv_tol: 0.15,
         tail_from_secs,
+        epochs: Vec::new(),
     };
     match id {
         // F2: two greedy sessions, 500 ms, figure measures after 300 ms.
@@ -42,10 +44,40 @@ pub fn expected_shape(id: &str) -> Option<AnalysisTargets> {
     }
 }
 
-/// [`expected_shape`] with a target-free fallback, for ids that have no
-/// committed shape but should still be analyzable.
+/// Dynamically registered shapes (scene-compiled experiments declare the
+/// targets their topology/timeline predicts, including perturbation
+/// epochs). Static shapes take precedence: a scene presenting a built-in
+/// id analyzes against the identical committed table, so twin reports
+/// stay byte-identical.
+fn dynamic_shapes() -> &'static RwLock<Vec<(String, AnalysisTargets)>> {
+    static DYNAMIC: RwLock<Vec<(String, AnalysisTargets)>> = RwLock::new(Vec::new());
+    &DYNAMIC
+}
+
+/// Register (or replace) the expected shape for a dynamic experiment id.
+/// Ignored by [`targets_for`] when `id` has a committed static shape.
+pub fn register_shape(id: &str, targets: AnalysisTargets) {
+    let mut shapes = dynamic_shapes().write().unwrap();
+    if let Some(slot) = shapes.iter_mut().find(|(k, _)| k == id) {
+        slot.1 = targets;
+    } else {
+        shapes.push((id.to_string(), targets));
+    }
+}
+
+/// [`expected_shape`] with dynamic-registry and target-free fallbacks,
+/// for ids that have no committed shape but should still be analyzable.
 pub fn targets_for(id: &str) -> AnalysisTargets {
-    expected_shape(id).unwrap_or_default()
+    if let Some(t) = expected_shape(id) {
+        return t;
+    }
+    dynamic_shapes()
+        .read()
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == id)
+        .map(|(_, t)| t.clone())
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -1,0 +1,246 @@
+//! Lowering a validated [`Scene`] onto the simulator.
+//!
+//! The compiler replays the exact builder sequence the hard-coded
+//! scenario runners use — switches, then trunks, then sessions, then
+//! `NetworkBuilder::build` on a fresh `Engine::new(seed)` — so a scene
+//! that transliterates a built-in figure produces a byte-identical
+//! event stream (and therefore byte-identical traces and analysis
+//! reports) at any `--jobs` level.
+//!
+//! Timeline events are resolved at compile time:
+//!
+//! * `session_start` / `session_stop` (churn) fold into the session's
+//!   [`Traffic`] window before the source node is even constructed, so
+//!   churn costs nothing at run time;
+//! * `set_capacity`, `link_down` and `link_up` lower to
+//!   [`AdminCmd`] messages scheduled against *both* directional ports
+//!   of the trunk, making a dynamic run a pure function of
+//!   `(scene, seed)`.
+
+use crate::model::{EventKind, Scene, TrafficDecl};
+use phantom_atm::allocator::RateAllocator;
+use phantom_atm::network::{Network, NetworkBuilder, SwIdx, TrunkIdx};
+use phantom_atm::units::mbps_to_cps;
+use phantom_atm::{AdminCmd, AtmMsg, Traffic};
+use phantom_core::{MacrConfig, PhantomAllocator, PhantomConfig};
+use phantom_scenarios::common::AtmAlgorithm;
+use phantom_sim::{Engine, SimDuration, SimTime};
+
+/// A scene lowered onto a ready-to-run engine.
+pub struct CompiledScene {
+    /// The engine, with all sources kicked off and timeline events queued.
+    pub engine: Engine<AtmMsg>,
+    /// Handles into the built topology.
+    pub net: Network,
+    /// Run horizon.
+    pub until: SimTime,
+    /// The trunk the standard panels watch.
+    pub bottleneck: TrunkIdx,
+    /// ABR session indices (traced in the standard panels).
+    pub traced: Vec<usize>,
+    /// Tail start (seconds) for whole-run aggregate metrics.
+    pub tail_from_secs: f64,
+}
+
+/// Exact `ms → SimTime` conversion: agrees bit-for-bit with
+/// `SimTime::from_millis` on integral inputs, so scene twins of the
+/// hard-coded figures run the identical horizon.
+pub fn ms_to_time(ms: f64) -> SimTime {
+    SimTime((ms * 1e6).round() as u64)
+}
+
+fn ms_to_dur(ms: f64) -> SimDuration {
+    SimDuration((ms * 1e6).round() as u64)
+}
+
+fn us_to_dur(us: f64) -> SimDuration {
+    SimDuration((us * 1e3).round() as u64)
+}
+
+/// Resolve a scene algorithm name (already validated against
+/// [`crate::model::ALGORITHMS`]).
+pub fn algorithm(name: &str) -> AtmAlgorithm {
+    match name {
+        "phantom" => AtmAlgorithm::Phantom,
+        "phantom-fixed-alpha" => AtmAlgorithm::PhantomFixedAlpha,
+        "phantom-departures" => AtmAlgorithm::PhantomDepartures,
+        "phantom-ni" => AtmAlgorithm::PhantomNi,
+        "eprca" => AtmAlgorithm::Eprca,
+        "aprc" => AtmAlgorithm::Aprc,
+        "capc" => AtmAlgorithm::Capc,
+        "erica" => AtmAlgorithm::Erica,
+        "osu" => AtmAlgorithm::Osu,
+        other => panic!("unvalidated scene algorithm `{other}`"),
+    }
+}
+
+/// The allocator for one direction of trunk `t`, honouring scene-wide
+/// and per-trunk Phantom overrides. With no overrides this is exactly
+/// `alg.boxed()` — the same construction the hard-coded runners use.
+fn make_allocator(scene: &Scene, alg: AtmAlgorithm, t: usize) -> Box<dyn RateAllocator> {
+    let trunk = &scene.trunks[t];
+    let u = trunk.u.or(scene.u);
+    if u.is_none() && trunk.alpha_inc.is_none() && trunk.alpha_dec.is_none() {
+        return alg.boxed();
+    }
+    // validate() guarantees overrides only appear with algorithm "phantom".
+    let mut macr = MacrConfig::default();
+    if let Some(a) = trunk.alpha_inc {
+        macr.alpha_inc = a;
+    }
+    if let Some(a) = trunk.alpha_dec {
+        macr.alpha_dec = a;
+    }
+    let mut cfg = PhantomConfig::paper().with_macr(macr);
+    if let Some(u) = u {
+        cfg = cfg.with_utilization_factor(u);
+    }
+    Box::new(PhantomAllocator::new(cfg))
+}
+
+/// The offered-load pattern of session index `s`, with timeline churn
+/// folded into a `Traffic::window` (missing start ⇒ active from 0,
+/// missing stop ⇒ active forever).
+fn lower_traffic(scene: &Scene, s: usize) -> Traffic {
+    let sess = &scene.sessions[s];
+    match sess.traffic {
+        TrafficDecl::Greedy => {
+            let mut start = None;
+            let mut stop = None;
+            for e in &scene.timeline {
+                match &e.kind {
+                    EventKind::SessionStart { session } if *session == sess.id => {
+                        start = Some(e.at_ms)
+                    }
+                    EventKind::SessionStop { session } if *session == sess.id => {
+                        stop = Some(e.at_ms)
+                    }
+                    _ => {}
+                }
+            }
+            if start.is_none() && stop.is_none() {
+                Traffic::greedy()
+            } else {
+                Traffic::window(
+                    start.map(ms_to_time).unwrap_or(SimTime::ZERO),
+                    stop.map(ms_to_time).unwrap_or(SimTime::MAX),
+                )
+            }
+        }
+        TrafficDecl::Window { start_ms, stop_ms } => {
+            Traffic::window(ms_to_time(start_ms), ms_to_time(stop_ms))
+        }
+        TrafficDecl::OnOff {
+            start_ms,
+            on_ms,
+            off_ms,
+        } => Traffic::on_off(ms_to_time(start_ms), ms_to_dur(on_ms), ms_to_dur(off_ms)),
+        TrafficDecl::Random {
+            mean_on_ms,
+            mean_off_ms,
+        } => Traffic::random(ms_to_dur(mean_on_ms), ms_to_dur(mean_off_ms)),
+    }
+}
+
+/// Lower a validated scene onto a fresh engine seeded with `seed`.
+///
+/// Panics on unvalidated scenes — call [`Scene::validate`] (or parse
+/// through [`Scene::parse`]) first.
+pub fn compile(scene: &Scene, seed: u64) -> CompiledScene {
+    let alg = algorithm(&scene.algorithm);
+    let mut b = NetworkBuilder::new().cbr_priority(scene.cbr_priority);
+    let sw: Vec<SwIdx> = scene.switches.iter().map(|n| b.switch(n)).collect();
+    for t in &scene.trunks {
+        let a = sw[scene.switches.iter().position(|s| *s == t.a).unwrap()];
+        let bb = sw[scene.switches.iter().position(|s| *s == t.b).unwrap()];
+        b.trunk(a, bb, t.mbps, us_to_dur(t.prop_us));
+    }
+    let mut traced = Vec::new();
+    for (i, s) in scene.sessions.iter().enumerate() {
+        let path: Vec<SwIdx> = s
+            .path
+            .iter()
+            .map(|h| sw[scene.switches.iter().position(|n| n == h).unwrap()])
+            .collect();
+        let traffic = lower_traffic(scene, i);
+        match s.cbr_mbps {
+            Some(rate) => {
+                b.cbr_session(&path, rate, traffic);
+            }
+            None => {
+                b.session(&path, traffic);
+                traced.push(i);
+            }
+        }
+    }
+
+    let mut engine = Engine::new(seed);
+    let mut call = 0usize;
+    let net = {
+        let mut alloc = || {
+            let t = call / 2;
+            call += 1;
+            make_allocator(scene, alg, t)
+        };
+        b.build(&mut engine, &mut alloc)
+    };
+
+    // Lower the link-level timeline to Admin messages on both
+    // directional ports. Churn events were already folded into the
+    // sessions' traffic windows above.
+    for e in &scene.timeline {
+        let at = ms_to_time(e.at_ms);
+        let (trunk, a_cmd, b_cmd) = match e.kind {
+            EventKind::SetCapacity { trunk, mbps } => {
+                let h = &net.trunks[trunk];
+                let cps = mbps_to_cps(mbps);
+                (
+                    h,
+                    AdminCmd::SetCapacity {
+                        port: h.a_port,
+                        cps,
+                    },
+                    AdminCmd::SetCapacity {
+                        port: h.b_port,
+                        cps,
+                    },
+                )
+            }
+            EventKind::LinkDown { trunk } | EventKind::LinkUp { trunk } => {
+                let h = &net.trunks[trunk];
+                let loss = if matches!(e.kind, EventKind::LinkDown { .. }) {
+                    1.0
+                } else {
+                    0.0
+                };
+                (
+                    h,
+                    AdminCmd::SetLoss {
+                        port: h.a_port,
+                        loss,
+                    },
+                    AdminCmd::SetLoss {
+                        port: h.b_port,
+                        loss,
+                    },
+                )
+            }
+            EventKind::SessionStart { .. } | EventKind::SessionStop { .. } => continue,
+        };
+        engine.schedule(at, trunk.a_switch, AtmMsg::Admin(a_cmd));
+        engine.schedule(at, trunk.b_switch, AtmMsg::Admin(b_cmd));
+    }
+
+    CompiledScene {
+        engine,
+        net,
+        until: ms_to_time(scene.duration_ms),
+        bottleneck: TrunkIdx(scene.bottleneck),
+        traced,
+        tail_from_secs: scene
+            .analysis
+            .tail_from_ms
+            .unwrap_or(scene.duration_ms / 2.0)
+            / 1e3,
+    }
+}

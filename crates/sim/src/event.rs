@@ -634,6 +634,7 @@ mod tests {
     mod oracle_props {
         use super::*;
         use proptest::prelude::*;
+        use proptest::TestCaseError;
 
         /// One step of the interleaved push/pop script driven by proptest.
         #[derive(Clone, Debug)]
@@ -661,6 +662,110 @@ mod tests {
             ]
         }
 
+        /// The wheel/overflow boundary in nanoseconds: an event pushed at
+        /// `cursor_time + HORIZON_NS` is the first to miss the ring.
+        const HORIZON_NS: u64 = SLICE_NS * WHEEL_SLOTS as u64;
+
+        /// Offsets biased hard onto that boundary: the exact edge ±1 ns,
+        /// the last wheel slot, the first overflow slice, and within-slice
+        /// jitter on either side.
+        fn boundary_offset() -> impl Strategy<Value = u64> {
+            prop_oneof![
+                Just(HORIZON_NS - 1),
+                Just(HORIZON_NS),
+                Just(HORIZON_NS + 1),
+                Just(HORIZON_NS - SLICE_NS),
+                Just(HORIZON_NS + SLICE_NS),
+                (HORIZON_NS - 2 * SLICE_NS)..(HORIZON_NS + 2 * SLICE_NS),
+                (0u64..SLICE_NS).prop_map(|j| HORIZON_NS - SLICE_NS + j),
+                (0u64..SLICE_NS).prop_map(|j| HORIZON_NS + j),
+            ]
+        }
+
+        fn boundary_op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                boundary_offset().prop_map(|offset| Op::Push { offset }),
+                (boundary_offset(), 2u8..8u8).prop_map(|(offset, n)| Op::Burst { offset, n }),
+                Just(Op::Pop),
+                // Near deadlines advance the cursor up to (and just past)
+                // earlier boundary pushes, forcing overflow promotion.
+                (0u64..100_000u64).prop_map(|deadline_off| Op::PopBefore { deadline_off }),
+                boundary_offset().prop_map(|deadline_off| Op::PopBefore { deadline_off }),
+            ]
+        }
+
+        /// Replay `ops` against both queues, checking every pop, peek and
+        /// length along the way, then drain and compare the remainder.
+        fn check_against_oracle(ops: &[Op]) -> Result<(), TestCaseError> {
+            let mut wheel = EventQueue::new();
+            let mut oracle = OracleQueue::new();
+            let mut base = 0u64;
+            let mut payload = 0u32;
+            for op in ops {
+                match *op {
+                    Op::Push { offset } => {
+                        let t = SimTime(base + offset);
+                        wheel.push(t, NodeId(0), payload);
+                        oracle.push(t, NodeId(0), payload);
+                        payload += 1;
+                    }
+                    Op::Burst { offset, n } => {
+                        let t = SimTime(base + offset);
+                        for _ in 0..n {
+                            wheel.push(t, NodeId(0), payload);
+                            oracle.push(t, NodeId(0), payload);
+                            payload += 1;
+                        }
+                    }
+                    Op::Pop => {
+                        let a = wheel.pop();
+                        let b = oracle.pop();
+                        prop_assert_eq!(a.is_some(), b.is_some());
+                        if let (Some(x), Some(y)) = (a, b) {
+                            prop_assert_eq!(x.time, y.time);
+                            prop_assert_eq!(x.seq, y.seq);
+                            prop_assert_eq!(x.msg, y.msg);
+                            base = x.time.0;
+                        }
+                    }
+                    Op::PopBefore { deadline_off } => {
+                        let t = SimTime(base + deadline_off);
+                        let a = wheel.pop_at_or_before(t);
+                        let b = oracle.pop_at_or_before(t);
+                        prop_assert_eq!(a.is_some(), b.is_some());
+                        if let (Some(x), Some(y)) = (a, b) {
+                            prop_assert_eq!(x.time, y.time);
+                            prop_assert_eq!(x.seq, y.seq);
+                            prop_assert_eq!(x.msg, y.msg);
+                            base = x.time.0;
+                        }
+                    }
+                }
+                prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+                prop_assert_eq!(wheel.len(), oracle.heap.len());
+            }
+            // Drain: the full remaining sequence must match too.
+            loop {
+                let a = wheel.pop();
+                let b = oracle.pop();
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => {
+                        prop_assert_eq!(x.time, y.time);
+                        prop_assert_eq!(x.seq, y.seq);
+                        prop_assert_eq!(x.msg, y.msg);
+                    }
+                    (a, b) => prop_assert!(
+                        false,
+                        "wheel {:?} vs oracle {:?}",
+                        a.map(|e| e.time),
+                        b.map(|e| e.time)
+                    ),
+                }
+            }
+            Ok(())
+        }
+
         proptest! {
             /// The wheel delivers the exact sequence the binary heap
             /// delivers: same times, same seqs, same payloads, same
@@ -670,72 +775,19 @@ mod tests {
             fn wheel_matches_heap_oracle(
                 ops in proptest::collection::vec(op_strategy(), 1..120)
             ) {
-                let mut wheel = EventQueue::new();
-                let mut oracle = OracleQueue::new();
-                let mut base = 0u64;
-                let mut payload = 0u32;
-                for op in &ops {
-                    match *op {
-                        Op::Push { offset } => {
-                            let t = SimTime(base + offset);
-                            wheel.push(t, NodeId(0), payload);
-                            oracle.push(t, NodeId(0), payload);
-                            payload += 1;
-                        }
-                        Op::Burst { offset, n } => {
-                            let t = SimTime(base + offset);
-                            for _ in 0..n {
-                                wheel.push(t, NodeId(0), payload);
-                                oracle.push(t, NodeId(0), payload);
-                                payload += 1;
-                            }
-                        }
-                        Op::Pop => {
-                            let a = wheel.pop();
-                            let b = oracle.pop();
-                            prop_assert_eq!(a.is_some(), b.is_some());
-                            if let (Some(x), Some(y)) = (a, b) {
-                                prop_assert_eq!(x.time, y.time);
-                                prop_assert_eq!(x.seq, y.seq);
-                                prop_assert_eq!(x.msg, y.msg);
-                                base = x.time.0;
-                            }
-                        }
-                        Op::PopBefore { deadline_off } => {
-                            let t = SimTime(base + deadline_off);
-                            let a = wheel.pop_at_or_before(t);
-                            let b = oracle.pop_at_or_before(t);
-                            prop_assert_eq!(a.is_some(), b.is_some());
-                            if let (Some(x), Some(y)) = (a, b) {
-                                prop_assert_eq!(x.time, y.time);
-                                prop_assert_eq!(x.seq, y.seq);
-                                prop_assert_eq!(x.msg, y.msg);
-                                base = x.time.0;
-                            }
-                        }
-                    }
-                    prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
-                    prop_assert_eq!(wheel.len(), oracle.heap.len());
-                }
-                // Drain: the full remaining sequence must match too.
-                loop {
-                    let a = wheel.pop();
-                    let b = oracle.pop();
-                    match (a, b) {
-                        (None, None) => break,
-                        (Some(x), Some(y)) => {
-                            prop_assert_eq!(x.time, y.time);
-                            prop_assert_eq!(x.seq, y.seq);
-                            prop_assert_eq!(x.msg, y.msg);
-                        }
-                        (a, b) => prop_assert!(
-                            false,
-                            "wheel {:?} vs oracle {:?}",
-                            a.map(|e| e.time),
-                            b.map(|e| e.time)
-                        ),
-                    }
-                }
+                check_against_oracle(&ops)?;
+            }
+
+            /// The same oracle equivalence with every push and deadline
+            /// pinned to the wheel/overflow horizon: events landing on the
+            /// last ring slot vs the first overflow slice, exact-edge ±1 ns
+            /// timestamps, and cursor advances that promote overflow events
+            /// back into the ring.
+            #[test]
+            fn wheel_matches_heap_oracle_at_the_horizon(
+                ops in proptest::collection::vec(boundary_op_strategy(), 1..120)
+            ) {
+                check_against_oracle(&ops)?;
             }
         }
     }

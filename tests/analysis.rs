@@ -62,7 +62,7 @@ fn streaming_two_pass_and_live_tap_agree_on_fig_traces() {
         let id = &run.job.id;
         let text = std::fs::read_to_string(dir.join(format!("{id}-{SEED}.jsonl"))).unwrap();
         let targets = targets_for(id);
-        let one = analyze_trace_str(&text, targets, DEFAULT_WINDOW_SECS).unwrap();
+        let one = analyze_trace_str(&text, targets.clone(), DEFAULT_WINDOW_SECS).unwrap();
         let two = analyze_trace_str_two_pass(&text, targets, DEFAULT_WINDOW_SECS).unwrap();
         assert_eq!(
             one.to_json(),
