@@ -36,6 +36,15 @@ pub struct SwIdx(pub usize);
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TrunkIdx(pub usize);
 
+/// Index of a session within the builder (and the built [`Network`]).
+///
+/// Handed out by [`NetworkBuilder::session`] and friends in declaration
+/// order; equal to the session's [`VcId`] value. Typed so a session index
+/// cannot be confused with a switch, trunk or raw node index at
+/// metro-scale call sites.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SessionId(pub usize);
+
 struct TrunkSpec {
     a: usize,
     b: usize,
@@ -67,6 +76,8 @@ pub struct NetworkBuilder {
     trunks: Vec<TrunkSpec>,
     sessions: Vec<SessionSpec>,
     cbr_priority: bool,
+    lean_access: bool,
+    acr_sample_stride: u64,
 }
 
 impl Default for NetworkBuilder {
@@ -92,6 +103,8 @@ impl NetworkBuilder {
             trunks: Vec::new(),
             sessions: Vec::new(),
             cbr_priority: false,
+            lean_access: false,
+            acr_sample_stride: 1,
         }
     }
 
@@ -99,6 +112,26 @@ impl NetworkBuilder {
     /// (how real switches isolate reserved traffic from ABR queueing).
     pub fn cbr_priority(mut self, on: bool) -> Self {
         self.cbr_priority = on;
+        self
+    }
+
+    /// Skip measurement timers on *access* ports (generated metro-scale
+    /// scenes). Access ports carry no allocator, so their measurement
+    /// ticks exist only to record per-port series nobody reads at
+    /// 10^5–10^6 sessions; skipping them removes two timers per session
+    /// per interval. Trunk ports — where rate allocation happens — still
+    /// measure every interval. Default off: the standard figures keep
+    /// their historical event streams byte-identical.
+    pub fn lean_access(mut self, on: bool) -> Self {
+        self.lean_access = on;
+        self
+    }
+
+    /// Record only every `stride`-th ACR sample on every session source
+    /// (trace-memory control for metro-scale runs). Default 1: record
+    /// every update, as the paper figures do.
+    pub fn acr_sample_stride(mut self, stride: u64) -> Self {
+        self.acr_sample_stride = stride.max(1);
         self
     }
 
@@ -167,20 +200,25 @@ impl NetworkBuilder {
     /// Declare a session crossing `path` (consecutive switches must be
     /// connected by trunks), with the given traffic model and default
     /// parameters. Returns the session index.
-    pub fn session(&mut self, path: &[SwIdx], traffic: Traffic) -> usize {
+    pub fn session(&mut self, path: &[SwIdx], traffic: Traffic) -> SessionId {
         let params = self.default_params;
         self.session_with(path, traffic, params)
     }
 
     /// Like [`NetworkBuilder::session`] with per-session parameters.
-    pub fn session_with(&mut self, path: &[SwIdx], traffic: Traffic, params: AtmParams) -> usize {
+    pub fn session_with(
+        &mut self,
+        path: &[SwIdx],
+        traffic: Traffic,
+        params: AtmParams,
+    ) -> SessionId {
         self.push_session(path, SessionKind::Abr { traffic, params })
     }
 
     /// Declare an *unresponsive* CBR session sending at `mbps` whenever
     /// `traffic` is active. It emits no RM cells and ignores all
     /// feedback — background load the rate allocators must live with.
-    pub fn cbr_session(&mut self, path: &[SwIdx], mbps: f64, traffic: Traffic) -> usize {
+    pub fn cbr_session(&mut self, path: &[SwIdx], mbps: f64, traffic: Traffic) -> SessionId {
         assert!(mbps > 0.0);
         self.push_session(
             path,
@@ -191,7 +229,7 @@ impl NetworkBuilder {
         )
     }
 
-    fn push_session(&mut self, path: &[SwIdx], kind: SessionKind) -> usize {
+    fn push_session(&mut self, path: &[SwIdx], kind: SessionKind) -> SessionId {
         assert!(
             !path.is_empty(),
             "session path must name at least one switch"
@@ -209,7 +247,7 @@ impl NetworkBuilder {
             kind,
             access_prop: self.access_prop,
         });
-        self.sessions.len() - 1
+        SessionId(self.sessions.len() - 1)
     }
 
     /// Override the access-link propagation delay of the *most recently
@@ -248,9 +286,10 @@ impl NetworkBuilder {
             let first = switch_ids[spec.path[0]];
             let last = switch_ids[*spec.path.last().unwrap()];
             let source = match spec.kind {
-                SessionKind::Abr { traffic, params } => {
-                    engine.add_node(AbrSource::new(vc, params, traffic, first, spec.access_prop))
-                }
+                SessionKind::Abr { traffic, params } => engine.add_node(
+                    AbrSource::new(vc, params, traffic, first, spec.access_prop)
+                        .with_acr_sample_stride(self.acr_sample_stride),
+                ),
                 SessionKind::Cbr { rate, traffic } => {
                     engine.add_node(CbrSource::new(vc, rate, traffic, first, spec.access_prop))
                 }
@@ -301,6 +340,12 @@ impl NetworkBuilder {
                 a_idx: t.a,
             });
         }
+
+        // Ports added so far are trunk ports; everything after is access.
+        let trunk_port_count: Vec<usize> = switch_ids
+            .iter()
+            .map(|&sw| engine.node::<Switch>(sw).port_count())
+            .collect();
 
         // 4. Access ports and routes.
         for (i, spec) in self.sessions.iter().enumerate() {
@@ -356,9 +401,16 @@ impl NetworkBuilder {
             }
         }
 
-        // 5. Kick off timers.
+        // 5. Kick off timers. With `lean_access`, access ports (every
+        // port index at or past the trunk count) get no measurement
+        // timer at all — `Port::measure` self-reschedules, so omitting
+        // the initial kick silences the port for the whole run.
         for (si, &sw) in switch_ids.iter().enumerate() {
-            let nports = engine.node::<Switch>(sw).port_count();
+            let nports = if self.lean_access {
+                trunk_port_count[si]
+            } else {
+                engine.node::<Switch>(sw).port_count()
+            };
             for p in 0..nports {
                 engine.schedule(
                     SimTime::ZERO + self.measure_interval,
@@ -366,7 +418,6 @@ impl NetworkBuilder {
                     AtmMsg::Timer(Timer::Measure { port: p }),
                 );
             }
-            let _ = si;
         }
         for (i, spec) in self.sessions.iter().enumerate() {
             let traffic = match spec.kind {
@@ -518,24 +569,38 @@ impl Network {
     }
 
     /// ACR trace of session `s`.
-    pub fn session_acr<'e>(&self, engine: &'e Engine<AtmMsg>, s: usize) -> &'e TimeSeries {
-        &engine.node::<AbrSource>(self.sessions[s].source).acr_series
+    pub fn session_acr<'e>(&self, engine: &'e Engine<AtmMsg>, s: SessionId) -> &'e TimeSeries {
+        &engine
+            .node::<AbrSource>(self.sessions[s.0].source)
+            .acr_series
     }
 
     /// Delivered-rate trace of session `s`.
-    pub fn session_rate<'e>(&self, engine: &'e Engine<AtmMsg>, s: usize) -> &'e TimeSeries {
-        &engine.node::<AbrDest>(self.sessions[s].dest).rate_series
+    pub fn session_rate<'e>(&self, engine: &'e Engine<AtmMsg>, s: SessionId) -> &'e TimeSeries {
+        &engine.node::<AbrDest>(self.sessions[s.0].dest).rate_series
     }
 
     /// Mean delivered rate of session `s` over the run, cells/s.
-    pub fn session_mean_rate(&self, engine: &Engine<AtmMsg>, s: usize) -> f64 {
+    pub fn session_mean_rate(&self, engine: &Engine<AtmMsg>, s: SessionId) -> f64 {
         engine
-            .node::<AbrDest>(self.sessions[s].dest)
+            .node::<AbrDest>(self.sessions[s.0].dest)
             .mean_rate(engine.now().as_secs_f64())
     }
 
     /// Data cells delivered for session `s`.
-    pub fn session_delivered(&self, engine: &Engine<AtmMsg>, s: usize) -> u64 {
-        engine.node::<AbrDest>(self.sessions[s].dest).data_received
+    pub fn session_delivered(&self, engine: &Engine<AtmMsg>, s: SessionId) -> u64 {
+        engine
+            .node::<AbrDest>(self.sessions[s.0].dest)
+            .data_received
+    }
+
+    /// Number of sessions, for iterating `(0..n).map(SessionId)`.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The [`SessionHandle`] of session `s`.
+    pub fn session(&self, s: SessionId) -> &SessionHandle {
+        &self.sessions[s.0]
     }
 }

@@ -4,6 +4,7 @@
 
 use phantom_atm::allocator::FixedEr;
 use phantom_atm::dest::AbrDest;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::source::AbrSource;
 use phantom_atm::switch::Switch;
@@ -39,7 +40,7 @@ fn no_control_lets_a_single_source_reach_pcr() {
         cps_to_mbps(src.acr())
     );
     // And the source actually delivers near line rate at steady state.
-    let rate = net.session_rate(&engine, 0).mean_after(0.1);
+    let rate = net.session_rate(&engine, SessionId(0)).mean_after(0.1);
     assert!(
         cps_to_mbps(rate) > 130.0,
         "delivered rate too low: {} Mb/s",
@@ -167,7 +168,7 @@ fn two_sessions_share_a_fixed_er_equally() {
     let (mut engine, net) = one_link(2, &mut || Box::new(FixedEr(cap)));
     engine.run_until(SimTime::from_millis(300));
     for s in 0..2 {
-        let rate = net.session_rate(&engine, s).mean_after(0.2);
+        let rate = net.session_rate(&engine, SessionId(s)).mean_after(0.2);
         // each source sits at ER; delivered rate ≈ 30 Mb/s each
         assert!(
             (cps_to_mbps(rate) - 30.0).abs() < 2.0,
@@ -182,7 +183,7 @@ fn deterministic_runs_produce_identical_traces() {
     let run = || {
         let (mut engine, net) = one_link(2, &mut || Box::new(FixedEr(mbps_to_cps(50.0))));
         engine.run_until(SimTime::from_millis(100));
-        let acr: Vec<f64> = net.session_acr(&engine, 0).values().to_vec();
+        let acr: Vec<f64> = net.session_acr(&engine, SessionId(0)).values().to_vec();
         let q: Vec<f64> = net.trunk_queue(&engine, TrunkIdx(0)).values().to_vec();
         (acr, q, engine.events_processed())
     };
@@ -287,7 +288,7 @@ fn injected_link_loss_does_not_wedge_the_control_loop() {
     let port = net.trunk_port(&engine, TrunkIdx(0));
     assert!(port.wire_losses > 100, "loss injection never fired");
     for s in 0..2 {
-        let rate = net.session_rate(&engine, s).mean_after(0.4);
+        let rate = net.session_rate(&engine, SessionId(s)).mean_after(0.4);
         // ~60 Mb/s ER minus ~1% wire loss and CRM-induced dips.
         assert!(
             cps_to_mbps(rate) > 40.0,

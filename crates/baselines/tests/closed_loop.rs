@@ -4,6 +4,7 @@
 //! algorithm quality, not implementation breakage.
 
 use phantom_atm::allocator::RateAllocator;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::mbps_to_cps;
 use phantom_atm::{AtmMsg, NetworkBuilder, Traffic};
@@ -45,8 +46,8 @@ fn assert_controls_the_link(
         util > min_util && util <= 1.001,
         "{name}: utilization {util:.3} out of range"
     );
-    let r0 = net.session_rate(engine, 0).mean_after(0.5);
-    let r1 = net.session_rate(engine, 1).mean_after(0.5);
+    let r0 = net.session_rate(engine, SessionId(0)).mean_after(0.5);
+    let r1 = net.session_rate(engine, SessionId(1)).mean_after(0.5);
     let jain = phantom_metrics::jain_index(&[r0, r1]);
     assert!(
         jain > 0.9,

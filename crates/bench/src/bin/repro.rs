@@ -35,7 +35,7 @@ use phantom_metrics::{BenchRecord, Manifest, RunRecord};
 use phantom_scenarios::registry::{all_experiments, dynamic_experiments, suggest_id};
 use phantom_scenarios::sweep::{run_sweep_with, SweepJob, SweepOptions, SweepRun};
 use phantom_scenarios::ExperimentOutput;
-use phantom_scene::{load_scene_dir, register_scene};
+use phantom_scene::{load_scene_dir, register_scene, scale_scene};
 use phantom_sim::probe::KindSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -61,6 +61,7 @@ struct Args {
     window_secs: f64,
     compare: Option<PathBuf>,
     bench_threshold_pct: f64,
+    scale: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         window_secs: phantom_analyze::DEFAULT_WINDOW_SECS,
         compare: None,
         bench_threshold_pct: 10.0,
+        scale: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -135,6 +137,9 @@ fn parse_args() -> Result<Args, String> {
                     Ok(pct) if pct >= 0.0 => args.bench_threshold_pct = pct,
                     _ => return Err(format!("bad threshold (%): {v}")),
                 }
+            }
+            "--scale" => {
+                args.scale = Some(it.next().ok_or("--scale needs a scene id")?);
             }
             "--gnuplot" => args.gnuplot = true,
             "--trace-dir" => {
@@ -273,7 +278,8 @@ fn main() -> ExitCode {
                  [--jobs N] [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
                  [--trace-dir DIR] [--trace-filter KINDS] \
                  [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS] \
-                 [--bench] [--compare BASELINE.json] [--bench-threshold PCT]"
+                 [--bench] [--compare BASELINE.json] [--bench-threshold PCT] \
+                 [--scale SCENE_ID]"
             );
             return ExitCode::FAILURE;
         }
@@ -281,7 +287,9 @@ fn main() -> ExitCode {
 
     // Load scene files first: they register as dynamic experiments, so
     // everything downstream — `list`, `all`, the sweep — sees them as
-    // first-class ids (shadowing same-named built-ins).
+    // first-class ids (shadowing same-named built-ins). A copy is kept
+    // for the `--scale` probe, which needs the scene value itself.
+    let mut loaded_scenes = Vec::new();
     if let Some(dir) = &args.scenes {
         let scenes = match load_scene_dir(dir) {
             Ok(s) => s,
@@ -291,6 +299,7 @@ fn main() -> ExitCode {
             }
         };
         for scene in scenes {
+            loaded_scenes.push(scene.clone());
             register_scene(scene);
         }
     }
@@ -304,7 +313,7 @@ fn main() -> ExitCode {
     }
     let args = args;
 
-    if args.list || args.ids.is_empty() {
+    if args.list || (args.ids.is_empty() && args.scale.is_none()) {
         println!("experiments (run with `repro all` or `repro <id>...`):");
         for e in all_experiments() {
             println!("  {:8} {}", e.id, e.describe);
@@ -351,7 +360,7 @@ fn main() -> ExitCode {
         args.seed,
         args.seeds
     );
-    let bench = BenchRecord {
+    let mut bench = BenchRecord {
         manifest: Manifest::new(BENCH_SCHEMA, "repro", args.seed, &config),
         jobs: args.jobs,
         calendar: phantom_sim::CALENDAR.to_string(),
@@ -369,6 +378,7 @@ fn main() -> ExitCode {
                 queue_peak: r.counters.queue_peak,
             })
             .collect(),
+        scale: None,
     };
 
     // Analysis artifacts and the baseline gate. Reports are written per
@@ -440,7 +450,50 @@ fn main() -> ExitCode {
         failed |= !ok;
     }
 
-    if !bench.runs.is_empty() {
+    // The scale probe runs serially after the sweep so its RSS delta is
+    // not polluted by concurrent workers' allocations.
+    if let Some(scene_id) = &args.scale {
+        match loaded_scenes.iter().find(|s| s.id == *scene_id) {
+            Some(scene) => {
+                let (record, arenas) = scale_scene(scene, args.seed);
+                println!(
+                    "[scale: {} — {} sessions / {} nodes, {} events in {:.2}s ({:.0} events/s), {} drops, peak queue {}]",
+                    record.scene,
+                    record.sessions,
+                    record.nodes,
+                    record.events,
+                    record.wall_secs,
+                    record.events_per_sec(),
+                    record.drops,
+                    record.queue_peak
+                );
+                println!(
+                    "[scale: rss +{:.1} MB, arenas {:.1} MB — {:.0} bytes/session, {:.0} sessions/GB]",
+                    record.rss_delta_bytes as f64 / 1e6,
+                    record.arena_bytes as f64 / 1e6,
+                    record.bytes_per_session(),
+                    record.sessions_per_gb()
+                );
+                for a in &arenas {
+                    println!(
+                        "   [arena {}: {} nodes, {:.1} MB]",
+                        a.type_name,
+                        a.nodes,
+                        a.bytes as f64 / 1e6
+                    );
+                }
+                bench.scale = Some(record);
+            }
+            None => {
+                eprintln!(
+                    "error: --scale {scene_id}: no such scene (load its directory with --scenes)"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if !bench.runs.is_empty() || bench.scale.is_some() {
         match bench.write(&args.bench_json) {
             Ok(()) => println!(
                 "[bench: {} — {} runs in {:.2}s on {} thread(s), {:.0} events/s]",

@@ -9,10 +9,11 @@
 //!
 //! The reader is line-oriented on purpose: `BenchRecord::to_json` emits
 //! one flat object per run line, so each line parses with the same
-//! dependency-free scalar-object parser the trace analyzer uses. Both
-//! `phantom-bench/2` (no `calendar` field) and `phantom-bench/3`
-//! baselines are accepted — comparing across the calendar change is the
-//! whole point of the gate.
+//! dependency-free scalar-object parser the trace analyzer uses.
+//! `phantom-bench/2` (no `calendar` field), `/3` (no `scale` object) and
+//! `/4` baselines are all accepted — comparing across the calendar
+//! change is the whole point of the gate, and the scale probe gates only
+//! when both recordings carry one for the same scene.
 
 use phantom_analyze::jsonl::{parse_flat_object, Scalar};
 use phantom_metrics::BenchRecord;
@@ -36,6 +37,17 @@ pub struct BaselineRun {
     pub events: u64,
 }
 
+/// The scale probe parsed out of a `phantom-bench/4` baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineScale {
+    /// Scene id of the probe.
+    pub scene: String,
+    /// Events per wall-clock second in the baseline probe.
+    pub events_per_sec: f64,
+    /// Sessions per gigabyte in the baseline probe.
+    pub sessions_per_gb: f64,
+}
+
 /// The subset of a `BENCH_phantom.json` document the comparison needs.
 #[derive(Clone, Debug)]
 pub struct BenchBaseline {
@@ -47,6 +59,8 @@ pub struct BenchBaseline {
     pub events_per_sec: f64,
     /// Per-run baseline numbers.
     pub runs: Vec<BaselineRun>,
+    /// Scale probe, if the baseline is a `/4` record that carries one.
+    pub scale: Option<BaselineScale>,
 }
 
 fn top_level_value(line: &str, key: &str) -> Option<String> {
@@ -66,9 +80,29 @@ pub fn parse_bench_json(text: &str) -> Result<BenchBaseline, String> {
     let mut calendar = None;
     let mut events_per_sec = None;
     let mut runs = Vec::new();
+    let mut scale = None;
     for line in text.lines() {
         let t = line.trim();
-        if t.starts_with("{\"id\":") || t.starts_with("{ \"id\":") {
+        if let Some(obj) = t.strip_prefix("\"scale\":").map(str::trim) {
+            let pairs =
+                parse_flat_object(obj).map_err(|e| format!("bad scale line `{obj}`: {e}"))?;
+            let mut scene = None;
+            let mut eps = None;
+            let mut spg = None;
+            for (k, v) in pairs {
+                match (k.as_str(), v) {
+                    ("scene", Scalar::Str(s)) => scene = Some(s),
+                    ("events_per_sec", Scalar::Num(n)) => eps = Some(n),
+                    ("sessions_per_gb", Scalar::Num(n)) => spg = Some(n),
+                    _ => {}
+                }
+            }
+            scale = Some(BaselineScale {
+                scene: scene.ok_or("scale line missing `scene`")?,
+                events_per_sec: eps.ok_or("scale line missing `events_per_sec`")?,
+                sessions_per_gb: spg.ok_or("scale line missing `sessions_per_gb`")?,
+            });
+        } else if t.starts_with("{\"id\":") || t.starts_with("{ \"id\":") {
             let obj = t.trim_end_matches(',');
             let pairs = parse_flat_object(obj).map_err(|e| format!("bad run line `{obj}`: {e}"))?;
             let mut id = None;
@@ -111,6 +145,7 @@ pub fn parse_bench_json(text: &str) -> Result<BenchBaseline, String> {
         calendar,
         events_per_sec: events_per_sec.ok_or("no aggregate `events_per_sec` found")?,
         runs,
+        scale,
     })
 }
 
@@ -132,6 +167,42 @@ pub struct RunDelta {
     pub events_changed: bool,
 }
 
+/// Scale-probe deltas when both recordings probed the same scene.
+#[derive(Clone, Debug)]
+pub struct ScaleDelta {
+    /// Scene id probed by both recordings.
+    pub scene: String,
+    /// Baseline probe events/sec.
+    pub base_events_per_sec: f64,
+    /// Current probe events/sec.
+    pub cur_events_per_sec: f64,
+    /// Baseline sessions per gigabyte.
+    pub base_sessions_per_gb: f64,
+    /// Current sessions per gigabyte.
+    pub cur_sessions_per_gb: f64,
+}
+
+impl ScaleDelta {
+    /// `cur / base` throughput ratio of the probe.
+    pub fn throughput_ratio(&self) -> f64 {
+        if self.base_events_per_sec > 0.0 {
+            self.cur_events_per_sec / self.base_events_per_sec
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `cur / base` memory-capacity ratio (sessions that fit in a GB);
+    /// below 1.0 means each session got more expensive.
+    pub fn capacity_ratio(&self) -> f64 {
+        if self.base_sessions_per_gb > 0.0 {
+            self.cur_sessions_per_gb / self.base_sessions_per_gb
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// The result of lining a current batch up against a baseline.
 #[derive(Clone, Debug)]
 pub struct Comparison {
@@ -145,6 +216,8 @@ pub struct Comparison {
     pub missing: Vec<(String, u64)>,
     /// `(id, seed)` present only in the current batch.
     pub extra: Vec<(String, u64)>,
+    /// Scale-probe deltas, when both recordings probed the same scene.
+    pub scale: Option<ScaleDelta>,
 }
 
 impl Comparison {
@@ -157,12 +230,35 @@ impl Comparison {
         }
     }
 
+    /// True when both recordings actually swept runs. A probe-only
+    /// batch (`repro --scenes … --scale <id>` with no experiment ids —
+    /// the CI scale-gate shape) records zero sweep throughput, which
+    /// must read as "no aggregate to compare", not as a regression to
+    /// zero.
+    pub fn aggregate_comparable(&self) -> bool {
+        self.base_events_per_sec > 0.0 && self.cur_events_per_sec > 0.0
+    }
+
     /// True when the aggregate throughput dropped by more than
-    /// `threshold_pct` percent relative to the baseline. Per-scenario
-    /// deltas are reported but only the aggregate gates: single-scenario
-    /// wall times on shared machines are too noisy to fail a build on.
+    /// `threshold_pct` percent relative to the baseline — or, when both
+    /// recordings carry a scale probe of the same scene, when the
+    /// probe's throughput or its sessions-per-GB capacity did.
+    /// Per-scenario deltas are reported but do not gate individually:
+    /// single-scenario wall times on shared machines are too noisy to
+    /// fail a build on. (Sessions-per-GB is RSS-derived and *does* gate:
+    /// allocator-level noise is far below any real per-session cost
+    /// change at 10^5 sessions.)
     pub fn regressed(&self, threshold_pct: f64) -> bool {
-        self.aggregate_ratio() < 1.0 - threshold_pct / 100.0
+        let floor = 1.0 - threshold_pct / 100.0;
+        if self.aggregate_comparable() && self.aggregate_ratio() < floor {
+            return true;
+        }
+        if let Some(s) = &self.scale {
+            if s.throughput_ratio() < floor || s.capacity_ratio() < floor {
+                return true;
+            }
+        }
+        false
     }
 
     /// Render the per-scenario delta table plus the aggregate verdict.
@@ -196,19 +292,40 @@ impl Comparison {
         for (id, seed) in &self.extra {
             let _ = writeln!(s, "  {id:<10} {seed:>6} only in current batch");
         }
-        let _ = writeln!(
-            s,
-            "  aggregate: {:.0} -> {:.0} ev/s ({:.3}x), threshold -{}%: {}",
-            self.base_events_per_sec,
-            self.cur_events_per_sec,
-            self.aggregate_ratio(),
-            threshold_pct,
-            if self.regressed(threshold_pct) {
-                "REGRESSED"
-            } else {
-                "ok"
-            }
-        );
+        if let Some(d) = &self.scale {
+            let _ = writeln!(
+                s,
+                "  scale {}: {:.0} -> {:.0} ev/s ({:.3}x), {:.0} -> {:.0} sessions/GB ({:.3}x)",
+                d.scene,
+                d.base_events_per_sec,
+                d.cur_events_per_sec,
+                d.throughput_ratio(),
+                d.base_sessions_per_gb,
+                d.cur_sessions_per_gb,
+                d.capacity_ratio()
+            );
+        }
+        let verdict = if self.regressed(threshold_pct) {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        if self.aggregate_comparable() {
+            let _ = writeln!(
+                s,
+                "  aggregate: {:.0} -> {:.0} ev/s ({:.3}x), threshold -{}%: {}",
+                self.base_events_per_sec,
+                self.cur_events_per_sec,
+                self.aggregate_ratio(),
+                threshold_pct,
+                verdict
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "  aggregate: n/a (probe-only batch), threshold -{threshold_pct}%: {verdict}"
+            );
+        }
         s
     }
 }
@@ -248,12 +365,23 @@ pub fn compare(current: &BenchRecord, baseline: &BenchBaseline) -> Comparison {
             extra.push((r.id.clone(), r.seed));
         }
     }
+    let scale = match (&current.scale, &baseline.scale) {
+        (Some(cur), Some(base)) if cur.scene == base.scene => Some(ScaleDelta {
+            scene: cur.scene.clone(),
+            base_events_per_sec: base.events_per_sec,
+            cur_events_per_sec: cur.events_per_sec(),
+            base_sessions_per_gb: base.sessions_per_gb,
+            cur_sessions_per_gb: cur.sessions_per_gb(),
+        }),
+        _ => None,
+    };
     Comparison {
         base_events_per_sec: baseline.events_per_sec,
         cur_events_per_sec: current.events_per_sec(),
         deltas,
         missing,
         extra,
+        scale,
     }
 }
 
@@ -281,6 +409,22 @@ mod tests {
                     queue_peak: 0,
                 })
                 .collect(),
+            scale: None,
+        }
+    }
+
+    fn scale_probe(events: u64, wall: f64, rss: u64) -> phantom_metrics::ScaleRecord {
+        phantom_metrics::ScaleRecord {
+            scene: "metro-100k".into(),
+            seed: 1996,
+            sessions: 100_000,
+            nodes: 300_052,
+            events,
+            wall_secs: wall,
+            rss_delta_bytes: rss,
+            arena_bytes: 40_000_000,
+            drops: 0,
+            queue_peak: 100,
         }
     }
 
@@ -355,6 +499,75 @@ mod tests {
         let cmp = compare(&cur, &base);
         assert!(cmp.deltas[0].events_changed);
         assert!(cmp.render(10.0).contains("event count changed"));
+    }
+
+    #[test]
+    fn scale_round_trips_and_gates_on_memory_and_throughput() {
+        let mut base_rec = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        base_rec.scale = Some(scale_probe(10_000_000, 4.0, 2_000_000_000));
+        let base = parse_bench_json(&base_rec.to_json()).unwrap();
+        let bs = base.scale.as_ref().expect("scale parsed from /4 baseline");
+        assert_eq!(bs.scene, "metro-100k");
+        assert!((bs.events_per_sec - 2_500_000.0).abs() < 1e-6);
+        assert!((bs.sessions_per_gb - 50_000.0).abs() < 1e-6);
+
+        // Same sweep speed; probe 20% slower and sessions 20% costlier.
+        let mut cur = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        cur.scale = Some(scale_probe(10_000_000, 5.0, 2_500_000_000));
+        let cmp = compare(&cur, &base);
+        let d = cmp.scale.as_ref().expect("matched scale probes");
+        assert!((d.throughput_ratio() - 0.8).abs() < 1e-9);
+        assert!((d.capacity_ratio() - 0.8).abs() < 1e-9);
+        assert!(cmp.regressed(10.0), "20% scale drop must gate at 10%");
+        assert!(!cmp.regressed(25.0), "20% scale drop passes at 25%");
+        assert!(cmp.render(10.0).contains("scale metro-100k"));
+
+        // An identical probe does not gate.
+        let mut same = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        same.scale = Some(scale_probe(10_000_000, 4.0, 2_000_000_000));
+        assert!(!compare(&same, &base).regressed(10.0));
+    }
+
+    #[test]
+    fn scale_is_ignored_when_either_side_lacks_it_or_scenes_differ() {
+        // /3-style baseline without a scale object.
+        let base =
+            parse_bench_json(&record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0).to_json()).unwrap();
+        assert!(base.scale.is_none());
+        let mut cur = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        cur.scale = Some(scale_probe(1, 100.0, u64::MAX / 2));
+        let cmp = compare(&cur, &base);
+        assert!(cmp.scale.is_none());
+        assert!(!cmp.regressed(10.0), "unmatched probe must not gate");
+
+        // Same schema but a different probed scene: no comparison.
+        let mut base_rec = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        let mut other = scale_probe(10_000_000, 4.0, 2_000_000_000);
+        other.scene = "metro-1m".into();
+        base_rec.scale = Some(other);
+        let base2 = parse_bench_json(&base_rec.to_json()).unwrap();
+        assert!(compare(&cur, &base2).scale.is_none());
+    }
+
+    #[test]
+    fn probe_only_batch_skips_the_aggregate_gate_but_not_the_scale_gate() {
+        // Baseline: full sweep + probe. Current: probe only (no ids),
+        // the CI scale-gate invocation. The zero aggregate must not
+        // read as a throughput collapse…
+        let mut base_rec = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        base_rec.scale = Some(scale_probe(10_000_000, 4.0, 2_000_000_000));
+        let base = parse_bench_json(&base_rec.to_json()).unwrap();
+        let mut cur = record(&[], 0.0);
+        cur.scale = Some(scale_probe(10_000_000, 4.0, 2_000_000_000));
+        let cmp = compare(&cur, &base);
+        assert!(!cmp.aggregate_comparable());
+        assert!(!cmp.regressed(10.0), "matching probe must pass");
+        assert!(cmp.render(10.0).contains("aggregate: n/a"));
+
+        // …but a genuine probe regression still gates.
+        let mut slow = record(&[], 0.0);
+        slow.scale = Some(scale_probe(10_000_000, 5.0, 2_500_000_000));
+        assert!(compare(&slow, &base).regressed(10.0));
     }
 
     #[test]

@@ -106,14 +106,26 @@ fn scene_command(
     let seed = seed.unwrap_or(DEFAULT_SCENE_SEED);
     match cmd {
         "check" => {
-            println!(
-                "{path}: ok (scene `{}`: {} switches, {} trunks, {} sessions, {} timeline events)",
-                scene.id,
-                scene.switches.len(),
-                scene.trunks.len(),
-                scene.sessions.len(),
-                scene.timeline.len()
-            );
+            if let Some(generate) = &scene.generate {
+                // Generated scenes declare no explicit lists; report the
+                // shape the generator will expand to.
+                println!(
+                    "{path}: ok (scene `{}`: generated, {} trunks, {} sessions, {} timeline events)",
+                    scene.id,
+                    generate.n_trunks(),
+                    generate.n_sessions(),
+                    scene.timeline.len()
+                );
+            } else {
+                println!(
+                    "{path}: ok (scene `{}`: {} switches, {} trunks, {} sessions, {} timeline events)",
+                    scene.id,
+                    scene.switches.len(),
+                    scene.trunks.len(),
+                    scene.sessions.len(),
+                    scene.timeline.len()
+                );
+            }
             ExitCode::SUCCESS
         }
         "run" => {

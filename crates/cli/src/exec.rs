@@ -3,7 +3,7 @@
 
 use crate::spec::{AlgorithmSpec, TopologySpec, TrafficSpec};
 use phantom_atm::allocator::RateAllocator;
-use phantom_atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_atm::network::{NetworkBuilder, SessionId, TrunkIdx};
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::Traffic;
 use phantom_baselines::{Aprc, Capc, Eprca, Erica, Osu};
@@ -270,7 +270,7 @@ pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport
 
     let tail = spec.duration.as_secs_f64() / 2.0;
     let session_rates_mbps: Vec<f64> = (0..spec.sessions.len())
-        .map(|i| cps_to_mbps(net.session_rate(&engine, i).mean_after(tail)))
+        .map(|i| cps_to_mbps(net.session_rate(&engine, SessionId(i)).mean_after(tail)))
         .collect();
     let mut trunk_macr_mbps = Vec::new();
     let mut trunk_utilization = Vec::new();

@@ -2,6 +2,7 @@
 //! substrate. These pin the paper's headline claims at small scale before
 //! the full scenario suite builds on them.
 
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::source::AbrSource;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
@@ -103,7 +104,7 @@ fn allocation_is_fair_across_ten_sessions() {
     let (mut engine, net) = phantom_net(10, 4);
     engine.run_until(SimTime::from_millis(800));
     let rates: Vec<f64> = (0..10)
-        .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+        .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.5))
         .collect();
     let jain = phantom_metrics::jain_index(&rates);
     assert!(jain > 0.99, "Jain index {jain:.4} for rates {rates:?}");
@@ -137,7 +138,7 @@ fn late_joiner_squeezes_the_allocation_down() {
         "after join: MACR {macr_both:.0} vs {pred_both:.0}"
     );
     // and the first session actually gave up bandwidth
-    let s0_late = net.session_acr(&engine, 0).mean_after(0.6);
+    let s0_late = net.session_acr(&engine, SessionId(0)).mean_after(0.6);
     assert!(s0_late < 0.8 * 5.0 * macr_alone);
 }
 
@@ -165,8 +166,8 @@ fn ni_mode_also_controls_the_link_but_coarser() {
     let q_tail = net.trunk_queue(&engine, TrunkIdx(0)).mean_after(0.5);
     assert!(q_tail < 5000.0, "NI-mode queue runaway: {q_tail} cells");
     // fairness is preserved (both sessions get NI'd symmetrically)
-    let r0 = net.session_rate(&engine, 0).mean_after(0.5);
-    let r1 = net.session_rate(&engine, 1).mean_after(0.5);
+    let r0 = net.session_rate(&engine, SessionId(0)).mean_after(0.5);
+    let r1 = net.session_rate(&engine, SessionId(1)).mean_after(0.5);
     let jain = phantom_metrics::jain_index(&[r0, r1]);
     assert!(jain > 0.95, "NI-mode unfair: {r0} vs {r1}");
 }

@@ -4,9 +4,11 @@
 //! (`BENCH_phantom.json`), so performance can be tracked run-over-run by
 //! scripts rather than by eyeballing terminal output. The writer is
 //! hand-rolled — the workspace builds without serde — and emits a stable,
-//! minimal schema (`phantom-bench/3`): overall runs/sec and events/sec,
-//! a provenance manifest, the event-calendar tag, and per-run wall time,
-//! event counts and health telemetry (drops, retransmits, queue peak).
+//! minimal schema (`phantom-bench/4`): overall runs/sec and events/sec,
+//! a provenance manifest, the event-calendar tag, per-run wall time,
+//! event counts and health telemetry (drops, retransmits, queue peak),
+//! plus an optional [`ScaleRecord`] — a memory-and-throughput probe of
+//! one large generated scene (sessions-per-GB, events/s at scale).
 
 use crate::json::{json_f64, json_str};
 use crate::manifest::Manifest;
@@ -44,6 +46,98 @@ impl RunRecord {
     }
 }
 
+/// Memory-and-throughput measurements for one large generated scene,
+/// the `scale` object of `phantom-bench/4`.
+///
+/// Collected by building and running the scene once on a quiet thread:
+/// resident-set growth over the whole build+run (when `/proc` is
+/// readable; 0 otherwise) alongside the engine's own accounting of node
+/// state, so the two can be compared — RSS includes the event calendar,
+/// port queues and allocator slack that `arena_bytes` deliberately
+/// excludes.
+#[derive(Clone, Debug)]
+pub struct ScaleRecord {
+    /// Scene id, e.g. `"metro-100k"`.
+    pub scene: String,
+    /// Master seed of the probe run.
+    pub seed: u64,
+    /// Sessions in the compiled scene.
+    pub sessions: u64,
+    /// Engine nodes in the compiled scene.
+    pub nodes: u64,
+    /// Simulator events dispatched by the probe run.
+    pub events: u64,
+    /// Wall-clock seconds for the probe run (build excluded).
+    pub wall_secs: f64,
+    /// Resident-set growth across build + run, in bytes (0 when RSS is
+    /// unreadable on this platform).
+    pub rss_delta_bytes: u64,
+    /// The engine's own accounting of per-node state
+    /// (`Engine::nodes_footprint_bytes`) after the run.
+    pub arena_bytes: u64,
+    /// Cells/packets dropped during the probe run.
+    pub drops: u64,
+    /// Deepest queue observed during the probe run, in items.
+    pub queue_peak: u64,
+}
+
+impl ScaleRecord {
+    /// Memory charged to one session: RSS growth when measured, the
+    /// arena accounting otherwise.
+    pub fn bytes_per_session(&self) -> f64 {
+        let bytes = if self.rss_delta_bytes > 0 {
+            self.rss_delta_bytes
+        } else {
+            self.arena_bytes
+        };
+        if self.sessions > 0 {
+            bytes as f64 / self.sessions as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sessions that fit in a gigabyte at the measured per-session cost —
+    /// the headline capacity number of the scale gate.
+    pub fn sessions_per_gb(&self) -> f64 {
+        let per = self.bytes_per_session();
+        if per > 0.0 {
+            1e9 / per
+        } else {
+            0.0
+        }
+    }
+
+    /// Events per wall-clock second for the probe run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as a single-line JSON object (the `scale` value).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"scene\": {}, \"seed\": {}, \"sessions\": {}, \"nodes\": {}, \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {}, \"rss_delta_bytes\": {}, \"arena_bytes\": {}, \"bytes_per_session\": {}, \"sessions_per_gb\": {}, \"drops\": {}, \"queue_peak\": {}}}",
+            json_str(&self.scene),
+            self.seed,
+            self.sessions,
+            self.nodes,
+            self.events,
+            json_f64(self.wall_secs),
+            json_f64(self.events_per_sec()),
+            self.rss_delta_bytes,
+            self.arena_bytes,
+            json_f64(self.bytes_per_session()),
+            json_f64(self.sessions_per_gb()),
+            self.drops,
+            self.queue_peak
+        )
+    }
+}
+
 /// One `repro` invocation's worth of measurements.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
@@ -60,6 +154,8 @@ pub struct BenchRecord {
     pub total_wall_secs: f64,
     /// Per-run measurements, in invocation order.
     pub runs: Vec<RunRecord>,
+    /// Scale probe of one large generated scene, when `--scale` ran.
+    pub scale: Option<ScaleRecord>,
 }
 
 impl BenchRecord {
@@ -121,7 +217,13 @@ impl BenchRecord {
             );
             s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
-        s.push_str("  ]\n}\n");
+        if let Some(scale) = &self.scale {
+            s.push_str("  ],\n");
+            let _ = writeln!(s, "  \"scale\": {}", scale.to_json_line());
+            s.push_str("}\n");
+        } else {
+            s.push_str("  ]\n}\n");
+        }
         s
     }
 
@@ -167,6 +269,22 @@ mod tests {
                     queue_peak: 40,
                 },
             ],
+            scale: None,
+        }
+    }
+
+    fn sample_scale() -> ScaleRecord {
+        ScaleRecord {
+            scene: "metro-100k".into(),
+            seed: 1996,
+            sessions: 100_000,
+            nodes: 300_052,
+            events: 10_000_000,
+            wall_secs: 4.0,
+            rss_delta_bytes: 2_000_000_000,
+            arena_bytes: 50_000_000,
+            drops: 123,
+            queue_peak: 16_384,
         }
     }
 
@@ -182,8 +300,8 @@ mod tests {
     fn json_is_well_formed_and_complete() {
         let j = sample().to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert!(j.contains("\"schema\": \"phantom-bench/3\""));
-        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/3\""));
+        assert!(j.contains("\"schema\": \"phantom-bench/4\""));
+        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/4\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"calendar\": \"timer-wheel/test\""));
         assert!(j.contains("\"events_total\": 4000000"));
@@ -192,6 +310,40 @@ mod tests {
         assert!(j.contains("\"retransmits\": 7"));
         assert!(j.contains("\"queue_peak\": 88"));
         // crude balance check, good enough for a fixed schema
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // no scale probe -> no scale key
+        assert!(!j.contains("\"scale\""));
+    }
+
+    #[test]
+    fn scale_derives_capacity_from_rss_with_arena_fallback() {
+        let mut s = sample_scale();
+        // 2 GB across 100k sessions: 20 kB each, 50k sessions/GB.
+        assert_eq!(s.bytes_per_session(), 20_000.0);
+        assert_eq!(s.sessions_per_gb(), 50_000.0);
+        assert_eq!(s.events_per_sec(), 2_500_000.0);
+        // RSS unreadable -> fall back to the engine's own accounting.
+        s.rss_delta_bytes = 0;
+        assert_eq!(s.bytes_per_session(), 500.0);
+        assert_eq!(s.sessions_per_gb(), 2_000_000.0);
+    }
+
+    #[test]
+    fn scale_json_is_a_single_line_with_derived_fields() {
+        let line = sample_scale().to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"scene\": \"metro-100k\""));
+        assert!(line.contains("\"sessions\": 100000"));
+        assert!(line.contains("\"events_per_sec\": 2500000"));
+        assert!(line.contains("\"bytes_per_session\": 20000"));
+        assert!(line.contains("\"sessions_per_gb\": 50000"));
+        assert!(line.contains("\"queue_peak\": 16384"));
+
+        let mut rec = sample();
+        rec.scale = Some(sample_scale());
+        let j = rec.to_json();
+        assert!(j.contains("\n  \"scale\": {\"scene\": \"metro-100k\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

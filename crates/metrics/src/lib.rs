@@ -38,7 +38,7 @@ pub mod registry;
 pub mod report;
 pub mod series;
 
-pub use bench_record::{BenchRecord, RunRecord};
+pub use bench_record::{BenchRecord, RunRecord, ScaleRecord};
 pub use convergence::{convergence_time, oscillation_amplitude};
 pub use fairness::{
     jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min,

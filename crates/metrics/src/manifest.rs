@@ -15,7 +15,11 @@ pub const TRACE_SCHEMA: &str = "phantom-trace/1";
 /// Schema tag for metrics snapshots (Prometheus text + JSON summary).
 pub const METRICS_SCHEMA: &str = "phantom-metrics/1";
 /// Schema tag for `BENCH_phantom.json`.
-pub const BENCH_SCHEMA: &str = "phantom-bench/3";
+///
+/// `/4` adds the optional `scale` object (a memory-and-throughput probe
+/// of one large generated scene: sessions-per-GB and events/s at scale);
+/// every `/3` field is unchanged, so `/3` baselines still parse.
+pub const BENCH_SCHEMA: &str = "phantom-bench/4";
 /// Schema tag for long-format figure CSVs.
 pub const CSV_SCHEMA: &str = "phantom-csv/1";
 /// Schema tag for `phantom analyze` reports.

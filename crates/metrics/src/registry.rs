@@ -246,15 +246,20 @@ impl Registry {
                         let bins = h.bins();
                         // Coalesce fine bins to at most ten exported
                         // boundaries; counts are cumulative per the
-                        // exposition format.
-                        let step = bins.len().div_ceil(10).max(1);
+                        // exposition format. Boundaries derive from the
+                        // *logical* bin count — `bins()` stores only the
+                        // materialized prefix and trailing bins read 0.
+                        let step = h.nbins().div_ceil(10).max(1);
                         let mut acc = 0u64;
-                        for (g, chunk) in bins.chunks(step).enumerate() {
-                            acc += chunk.iter().sum::<u64>();
-                            let edge = ((g * step + chunk.len()) as f64) * h.bin_width();
+                        let mut lo = 0usize;
+                        while lo < h.nbins() {
+                            let hi = (lo + step).min(h.nbins());
+                            acc += (lo..hi.min(bins.len())).map(|i| bins[i]).sum::<u64>();
+                            let edge = (hi as f64) * h.bin_width();
                             let mut labels = m.labels.clone();
                             labels.push(("le".to_string(), json_f64(edge).to_string()));
                             let _ = writeln!(out, "{name}_bucket{} {acc}", label_suffix(&labels));
+                            lo = hi;
                         }
                         // +Inf is mandatory and equals the total count
                         // (it absorbs the overflow bin).

@@ -15,6 +15,7 @@
 use super::onoff::run_with as onoff_with;
 use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_metrics::{convergence_time, ExperimentResult};
 use phantom_sim::SimTime;
@@ -30,12 +31,12 @@ pub fn run_eprca_basic(seed: u64) -> ExperimentResult {
         "EPRCA: two greedy sessions, 150 Mb/s",
         "reconstructed §5.1: EPRCA on the F2 configuration",
         TrunkIdx(0),
-        &[0, 1],
+        &[SessionId(0), SessionId(1)],
         0.5,
     );
     // EPRCA has no analytic fixed point; report rate balance instead.
-    let r0 = net.session_rate(&engine, 0).mean_after(0.5);
-    let r1 = net.session_rate(&engine, 1).mean_after(0.5);
+    let r0 = net.session_rate(&engine, SessionId(0)).mean_after(0.5);
+    let r1 = net.session_rate(&engine, SessionId(1)).mean_after(0.5);
     r.add_metric("rate_ratio", r0 / r1.max(1.0));
     // Oscillation of the queue around the congestion threshold.
     let q = net.trunk_queue(&engine, TrunkIdx(0));

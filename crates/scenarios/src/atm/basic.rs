@@ -7,6 +7,7 @@
 
 use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_core::fixed_point::{single_link_macr, single_link_rate};
@@ -24,7 +25,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         "two greedy sessions, negligible RTT, one 150 Mb/s link (Phantom)",
         "reconstructed from Section 2's introductory configuration",
         TrunkIdx(0),
-        &[0, 1],
+        &[SessionId(0), SessionId(1)],
         0.3,
     );
 

@@ -7,6 +7,7 @@
 
 use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_core::fixed_point::{single_link_macr, single_link_rate, single_link_utilization};
@@ -30,7 +31,7 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
         ),
         "explicit: 'utilization factor = 5' figure",
         TrunkIdx(0),
-        &[0],
+        &[SessionId(0)],
         0.4,
     );
 

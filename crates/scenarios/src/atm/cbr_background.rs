@@ -8,6 +8,7 @@
 //! bursty (a square-wave VBR), MACR must track both edges.
 
 use crate::common::AtmAlgorithm;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::Traffic;
@@ -57,7 +58,7 @@ pub fn run(seed: u64) -> ExperimentResult {
     for s in 0..2 {
         r.add_metric(
             &format!("cbr_abr{s}_measured_mbps"),
-            cps_to_mbps(net.session_rate(&engine, s).mean_after(0.6)),
+            cps_to_mbps(net.session_rate(&engine, SessionId(s)).mean_after(0.6)),
         );
     }
     r.add_metric("cbr_abr_predicted_mbps", cps_to_mbps(5.0 * macr_pred));

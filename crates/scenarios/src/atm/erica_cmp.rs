@@ -9,6 +9,7 @@
 //! utilization, queueing — and the bytes of per-port state.
 
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::cps_to_mbps;
 use phantom_baselines::Erica;
@@ -33,7 +34,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         let target = tp.mean_after(0.6);
         let conv = convergence_time(tp, target, 0.10).unwrap_or(f64::NAN) * 1e3;
         let rates: Vec<f64> = (0..5)
-            .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+            .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.5))
             .collect();
         let port = net.trunk_port(&engine, TrunkIdx(0));
 

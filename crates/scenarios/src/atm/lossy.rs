@@ -9,6 +9,7 @@
 //! at 0% / 0.1% / 1% / 5% per-cell loss on the bottleneck.
 
 use crate::common::AtmAlgorithm;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::Traffic;
@@ -39,7 +40,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         engine.run_until(SimTime::from_millis(800));
 
         let rates: Vec<f64> = (0..2)
-            .map(|s| net.session_rate(&engine, s).mean_after(0.4))
+            .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.4))
             .collect();
         r.add_metric(
             &format!("{label}_goodput_mbps"),

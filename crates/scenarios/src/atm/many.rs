@@ -7,6 +7,7 @@
 
 use super::run_standard;
 use crate::common::{greedy_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_core::fixed_point::{single_link_macr, single_link_utilization};
@@ -25,7 +26,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         "fifty greedy sessions on one 150 Mb/s link (Phantom)",
         "reconstructed: scalability of the constant-space estimator",
         TrunkIdx(0),
-        &[0, 25, 49],
+        &[SessionId(0), SessionId(25), SessionId(49)],
         0.5,
     );
 

@@ -15,6 +15,7 @@
 //! not floor-plus-share), and everyone else fair-shares what remains.
 
 use crate::common::AtmAlgorithm;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::{AtmParams, Traffic};
@@ -63,11 +64,11 @@ pub fn run(seed: u64) -> ExperimentResult {
     r.add_metric("macr_predicted_mbps", cps_to_mbps(macr_pred));
     r.add_metric(
         "guaranteed_measured_mbps",
-        cps_to_mbps(net.session_rate(&engine, 0).mean_after(0.5)),
+        cps_to_mbps(net.session_rate(&engine, SessionId(0)).mean_after(0.5)),
     );
     r.add_metric("guaranteed_predicted_mbps", MCR_MBPS);
     let others: Vec<f64> = (1..N)
-        .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+        .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.5))
         .collect();
     r.add_metric(
         "besteffort_mean_mbps",

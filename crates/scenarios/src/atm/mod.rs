@@ -17,7 +17,7 @@ pub mod rtt;
 pub mod staggered;
 pub mod statmux;
 
-use phantom_atm::network::{Network, TrunkIdx};
+use phantom_atm::network::{Network, SessionId, TrunkIdx};
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::AtmMsg;
 use phantom_metrics::ExperimentResult;
@@ -38,7 +38,7 @@ pub fn run_standard(
     describe: &str,
     note: &str,
     trunk: TrunkIdx,
-    traced_sessions: &[usize],
+    traced_sessions: &[SessionId],
     tail_from: f64,
 ) -> (Engine<AtmMsg>, Network, ExperimentResult) {
     engine.run_until(until);
@@ -58,7 +58,7 @@ pub(crate) fn collect_standard(
     net: &Network,
     result: &mut ExperimentResult,
     trunk: TrunkIdx,
-    traced_sessions: &[usize],
+    traced_sessions: &[SessionId],
     tail_from: f64,
 ) {
     let mut macr = phantom_sim::stats::TimeSeries::new();
@@ -72,7 +72,7 @@ pub(crate) fn collect_standard(
         for (t, v) in net.session_acr(engine, s).iter() {
             acr.push(phantom_sim::SimTime::from_secs_f64(t), cps_to_mbps(v));
         }
-        result.add_series(&format!("acr_mbps_s{s}"), acr);
+        result.add_series(&format!("acr_mbps_s{}", s.0), acr);
     }
 
     let port = net.trunk_port(engine, trunk);
@@ -88,14 +88,14 @@ pub(crate) fn collect_standard(
     result.add_metric("cell_drops", port.drops() as f64);
 
     let rates: Vec<f64> = (0..net.sessions.len())
-        .map(|s| net.session_rate(engine, s).mean_after(tail_from))
+        .map(|s| net.session_rate(engine, SessionId(s)).mean_after(tail_from))
         .collect();
     result.add_metric("jain_index", phantom_metrics::jain_index(&rates));
 
     // Cell-delay statistics of the first traced session (propagation +
     // queueing along the path).
     if let Some(&s) = traced_sessions.first() {
-        let dest = engine.node::<phantom_atm::dest::AbrDest>(net.sessions[s].dest);
+        let dest = engine.node::<phantom_atm::dest::AbrDest>(net.sessions[s.0].dest);
         if dest.delay_hist.count() > 0 {
             result.add_metric("cell_delay_mean_ms", dest.delay_hist.mean());
             result.add_metric("cell_delay_p99_ms", dest.delay_hist.quantile(0.99));

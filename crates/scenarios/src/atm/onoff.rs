@@ -9,6 +9,7 @@
 
 use super::run_standard;
 use crate::common::{onoff_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_metrics::ExperimentResult;
 use phantom_sim::SimTime;
@@ -27,7 +28,7 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
         ),
         "configuration 'analogous to Fig. 4' per the paper's Section 5 contexts",
         TrunkIdx(0),
-        &[0, 1],
+        &[SessionId(0), SessionId(1)],
         0.2,
     );
 
@@ -35,8 +36,8 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
     // session absorb the idle bandwidth during off phases?
     let q = net.trunk_queue(&engine, TrunkIdx(0));
     r.add_metric("queue_p99_proxy_cells", q.max_after(0.2));
-    let greedy_rate = net.session_rate(&engine, 0).mean_after(0.2);
-    let bursty_rate = net.session_rate(&engine, 1).mean_after(0.2);
+    let greedy_rate = net.session_rate(&engine, SessionId(0)).mean_after(0.2);
+    let bursty_rate = net.session_rate(&engine, SessionId(1)).mean_after(0.2);
     r.add_metric(
         "greedy_mean_mbps",
         phantom_atm::units::cps_to_mbps(greedy_rate),

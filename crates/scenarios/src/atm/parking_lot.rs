@@ -7,6 +7,7 @@
 //! weighted water-filler from `phantom_metrics`.
 
 use crate::common::{parking_lot, parking_lot_paths, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::cps_to_mbps;
 use phantom_metrics::fairness::Session;
@@ -24,7 +25,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         "parking lot: long session vs per-trunk cross sessions (Phantom)",
         "reconstructed: max-min fairness and beat-down resistance",
         TrunkIdx(0),
-        &[0, 1, 2],
+        &[SessionId(0), SessionId(1), SessionId(2)],
         0.5,
     );
 
@@ -34,7 +35,7 @@ pub fn run(seed: u64) -> ExperimentResult {
     let (pred_rates, pred_macr) = phantom_prediction(&caps, &sessions, 5.0);
 
     let measured: Vec<f64> = (0..3)
-        .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+        .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.5))
         .collect();
     for (i, (&m, &p)) in measured.iter().zip(&pred_rates).enumerate() {
         r.add_metric(&format!("rate_s{i}_measured_mbps"), cps_to_mbps(m));

@@ -13,6 +13,7 @@
 //! `A = 5·MACR`.
 
 use crate::common::AtmAlgorithm;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::Traffic;
@@ -39,15 +40,22 @@ pub fn run(seed: u64) -> ExperimentResult {
         "one session restricted by a 30 Mb/s downstream bottleneck (Phantom)",
     );
     r.add_note("explicit: 'the ratio between MACR and the link restriction is 5'");
-    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 1], 0.5);
+    super::collect_standard(
+        &engine,
+        &net,
+        &mut r,
+        TrunkIdx(0),
+        &[SessionId(0), SessionId(1)],
+        0.5,
+    );
 
     // Reference: weighted max-min with one phantom per link.
     let caps = vec![mbps_to_cps(150.0), mbps_to_cps(30.0)];
     let sessions = vec![Session::on(vec![0]), Session::on(vec![0, 1])];
     let (pred, macrs) = phantom_prediction(&caps, &sessions, 5.0);
 
-    let a = net.session_rate(&engine, 0).mean_after(0.5);
-    let bm = net.session_rate(&engine, 1).mean_after(0.5);
+    let a = net.session_rate(&engine, SessionId(0)).mean_after(0.5);
+    let bm = net.session_rate(&engine, SessionId(1)).mean_after(0.5);
     r.add_metric("a_measured_mbps", cps_to_mbps(a));
     r.add_metric("a_predicted_mbps", cps_to_mbps(pred[0]));
     r.add_metric("b_measured_mbps", cps_to_mbps(bm));

@@ -7,6 +7,7 @@
 //! both, so the allocation should stay fair despite the 500× RTT spread.
 
 use crate::common::AtmAlgorithm;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::Traffic;
@@ -32,12 +33,12 @@ pub fn run_with(alg: AtmAlgorithm, id: &str, seed: u64) -> ExperimentResult {
         &format!("two sessions, RTT 0.02 ms vs 10 ms, under {}", alg.name()),
         "reconstructed: RTT-fairness scenario",
         TrunkIdx(0),
-        &[0, 1],
+        &[SessionId(0), SessionId(1)],
         0.5,
     );
 
-    let short = net.session_rate(&engine, 0).mean_after(0.5);
-    let long = net.session_rate(&engine, 1).mean_after(0.5);
+    let short = net.session_rate(&engine, SessionId(0)).mean_after(0.5);
+    let long = net.session_rate(&engine, SessionId(1)).mean_after(0.5);
     r.add_metric("short_rtt_mbps", cps_to_mbps(short));
     r.add_metric("long_rtt_mbps", cps_to_mbps(long));
     r.add_metric("rate_ratio", short / long.max(1.0));

@@ -6,6 +6,7 @@
 //! adaptivity the paper contrasts against Jaffe's static scheme.
 
 use crate::common::{single_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::Traffic;
@@ -33,7 +34,14 @@ pub fn run(seed: u64) -> ExperimentResult {
         "ten sessions joining every 50 ms, five leaving at 700 ms",
     );
     r.add_note("reconstructed: adaptivity to joins/leaves");
-    super::collect_standard(&engine, &net, &mut r, TrunkIdx(0), &[0, 5, 9], 0.9);
+    super::collect_standard(
+        &engine,
+        &net,
+        &mut r,
+        TrunkIdx(0),
+        &[SessionId(0), SessionId(5), SessionId(9)],
+        0.9,
+    );
 
     let c = mbps_to_cps(150.0);
     // Windows where the active-session count is stable long enough to read

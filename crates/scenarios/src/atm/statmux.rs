@@ -11,6 +11,7 @@
 //! across seeds (`repro ext6 --seeds 5` shows the spread).
 
 use crate::common::{single_bottleneck, AtmAlgorithm};
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_atm::Traffic;
 use phantom_metrics::ExperimentResult;
@@ -48,7 +49,7 @@ pub fn run(seed: u64) -> ExperimentResult {
         r.add_metric(&format!("{name}_drops"), port.drops() as f64);
         // Long-run fairness across statistically identical sessions.
         let rates: Vec<f64> = (0..N)
-            .map(|s| net.session_rate(&engine, s).mean_after(0.3))
+            .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.3))
             .collect();
         r.add_metric(&format!("{name}_jain"), phantom_metrics::jain_index(&rates));
         if alg == AtmAlgorithm::Phantom {

@@ -7,6 +7,7 @@
 use crate::common::{
     greedy_bottleneck, onoff_bottleneck, tcp_rtt_dumbbell, AtmAlgorithm, TcpMechanism,
 };
+use phantom_atm::network::SessionId;
 use phantom_atm::network::TrunkIdx;
 use phantom_metrics::{convergence_time, jain_index, Table};
 use phantom_sim::{SimDuration, SimTime};
@@ -42,7 +43,7 @@ pub fn table_atm(seed: u64) -> Table {
         let target = tp.mean_after(0.6);
         let conv = convergence_time(tp, target, 0.10).unwrap_or(f64::NAN) * 1e3;
         let rates: Vec<f64> = (0..2)
-            .map(|s| net.session_rate(&engine, s).mean_after(0.5))
+            .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(0.5))
             .collect();
         let jain = jain_index(&rates);
         let util = crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 0.5);

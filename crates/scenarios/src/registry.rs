@@ -381,6 +381,27 @@ mod tests {
     }
 
     #[test]
+    fn suggest_id_handles_unicode_ids() {
+        // Multi-byte input must be measured in characters, not bytes:
+        // an accented typo is one substitution away from "fig2", and
+        // the distance/length math must neither panic on char
+        // boundaries nor inflate the miss length via UTF-8 byte counts.
+        assert_eq!(suggest_id("fíg2").as_deref(), Some("fig2"));
+        assert!(suggest_id("日本語の実験名😀").is_none());
+
+        // A registered unicode id is itself suggestible from an ASCII
+        // near-miss.
+        register_dynamic(DynamicExperiment {
+            id: "métro-test".into(),
+            describe: "unicode id stub".into(),
+            run: Arc::new(|_| {
+                ExperimentOutput::Figure(ExperimentResult::new("métro-test", "stub"))
+            }),
+        });
+        assert_eq!(suggest_id("metro-test").as_deref(), Some("métro-test"));
+    }
+
+    #[test]
     fn dynamic_entries_dispatch_and_list() {
         register_dynamic(DynamicExperiment {
             id: "dyn-test".into(),

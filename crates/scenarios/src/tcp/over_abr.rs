@@ -25,6 +25,7 @@
 
 use super::collect_tcp;
 use crate::common::{AtmAlgorithm, TcpMechanism};
+use phantom_atm::network::SessionId;
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::{NetworkBuilder, Traffic};
 use phantom_metrics::ExperimentResult;
@@ -62,7 +63,7 @@ fn abr_bandwidth_trace(seed: u64) -> Vec<(SimTime, f64)> {
 
     // The allowed rate of the carrier VC is its ACR trace; resample onto
     // a 20 ms grid for the capacity schedule.
-    let acr = net.session_acr(&engine, 0);
+    let acr = net.session_acr(&engine, SessionId(0));
     let mut points = Vec::new();
     let mut t = 0.1; // let the ATM loop initialize first
     while t < ATM_SECS {

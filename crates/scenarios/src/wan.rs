@@ -11,6 +11,7 @@
 //! for a backward RM to arrive).
 
 use crate::common::AtmAlgorithm;
+use phantom_atm::network::SessionId;
 use phantom_atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::Traffic;
@@ -54,7 +55,7 @@ pub fn table_wan(seed: u64) -> Table {
         let macr = net.trunk_macr(&engine, TrunkIdx(0));
         let conv = convergence_time(macr, pred, 0.15).unwrap_or(f64::NAN) * 1e3;
         let rates: Vec<f64> = (0..2)
-            .map(|s| net.session_rate(&engine, s).mean_after(1.0))
+            .map(|s| net.session_rate(&engine, SessionId(s)).mean_after(1.0))
             .collect();
         let util = crate::common::trunk_utilization(&engine, &net, TrunkIdx(0), 1.0);
         let max_q = net.trunk_port(&engine, TrunkIdx(0)).queue_high_water() as f64;

@@ -17,9 +17,9 @@
 //!   of the trunk, making a dynamic run a pure function of
 //!   `(scene, seed)`.
 
-use crate::model::{EventKind, Scene, TrafficDecl};
+use crate::model::{EventKind, GenerateDecl, GenerateKind, Scene, TrafficDecl};
 use phantom_atm::allocator::RateAllocator;
-use phantom_atm::network::{Network, NetworkBuilder, SwIdx, TrunkIdx};
+use phantom_atm::network::{Network, NetworkBuilder, SessionId, SwIdx, TrunkIdx};
 use phantom_atm::units::mbps_to_cps;
 use phantom_atm::{AdminCmd, AtmMsg, Traffic};
 use phantom_core::{MacrConfig, PhantomAllocator, PhantomConfig};
@@ -36,8 +36,8 @@ pub struct CompiledScene {
     pub until: SimTime,
     /// The trunk the standard panels watch.
     pub bottleneck: TrunkIdx,
-    /// ABR session indices (traced in the standard panels).
-    pub traced: Vec<usize>,
+    /// ABR session ids (traced in the standard panels).
+    pub traced: Vec<SessionId>,
     /// Tail start (seconds) for whole-run aggregate metrics.
     pub tail_from_secs: f64,
 }
@@ -142,34 +142,152 @@ fn lower_traffic(scene: &Scene, s: usize) -> Traffic {
     }
 }
 
+/// SplitMix64: the per-session jitter stream for generated scenes.
+/// Dependency-free and stable by construction — the jitter of session
+/// `i` is a pure function of the generation seed, so a metro scene is
+/// reproducible from its JSON alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Lower a generated ("metro") topology: drive the builder directly,
+/// leaning out per-session observability (no access-port measurement
+/// timers, strided ACR samples, coarse goodput sampling) so memory per
+/// session stays flat at 10^5–10^6 sessions. Only a 3-session sample
+/// (first/middle/last) is traced in the standard panels.
+fn compile_generated(scene: &Scene, g: &GenerateDecl, seed: u64) -> CompiledScene {
+    let alg = algorithm(&scene.algorithm);
+    let mut b = NetworkBuilder::new()
+        .cbr_priority(scene.cbr_priority)
+        .lean_access(true)
+        .acr_sample_stride(g.acr_stride)
+        .rate_sample_interval(ms_to_dur(g.rate_sample_ms));
+    if let Some(icr) = g.icr_mbps {
+        b = b.params(phantom_atm::params::AtmParams::paper().with_icr_mbps(icr));
+    }
+    let spread_ns = (g.start_spread_ms * 1e6).round() as u64;
+    let mut jstate = g.seed;
+    let mut jitter = move || {
+        if spread_ns == 0 {
+            Traffic::greedy()
+        } else {
+            Traffic::window(SimTime(splitmix64(&mut jstate) % spread_ns), SimTime::MAX)
+        }
+    };
+    match g.kind {
+        GenerateKind::FanIn {
+            leaves,
+            sessions_per_leaf,
+            leaf_mbps,
+            root_mbps,
+            prop_us,
+        } => {
+            let core = b.switch("core");
+            let sink = b.switch("sink");
+            // Trunk 0 is the shared root — the default bottleneck.
+            b.trunk(core, sink, root_mbps, us_to_dur(prop_us));
+            for l in 0..leaves {
+                let leaf = b.switch(&format!("leaf{l}"));
+                b.trunk(leaf, core, leaf_mbps, us_to_dur(prop_us));
+                for _ in 0..sessions_per_leaf {
+                    b.session(&[leaf, core, sink], jitter());
+                }
+            }
+        }
+        GenerateKind::ParkingLot {
+            hops,
+            long_sessions,
+            cross_per_hop,
+            hop_mbps,
+            prop_us,
+        } => {
+            let sws: Vec<SwIdx> = (0..=hops).map(|i| b.switch(&format!("s{i}"))).collect();
+            for h in 0..hops {
+                b.trunk(sws[h], sws[h + 1], hop_mbps, us_to_dur(prop_us));
+            }
+            for _ in 0..long_sessions {
+                b.session(&sws, jitter());
+            }
+            for h in 0..hops {
+                for _ in 0..cross_per_hop {
+                    b.session(&sws[h..=h + 1], jitter());
+                }
+            }
+        }
+    }
+
+    let mut engine = Engine::new(seed);
+    let net = {
+        // Generated scenes carry no per-trunk overrides (they declare no
+        // trunks), so the only Phantom knob is the scene-wide `u`.
+        let mut alloc = || -> Box<dyn RateAllocator> {
+            match scene.u {
+                None => alg.boxed(),
+                Some(u) => Box::new(PhantomAllocator::new(
+                    PhantomConfig::paper().with_utilization_factor(u),
+                )),
+            }
+        };
+        b.build(&mut engine, &mut alloc)
+    };
+    lower_link_timeline(scene, &net, &mut engine);
+
+    let n = g.n_sessions();
+    let mut sample = vec![0, n / 2, n - 1];
+    sample.dedup();
+    CompiledScene {
+        engine,
+        net,
+        until: ms_to_time(scene.duration_ms),
+        bottleneck: TrunkIdx(scene.bottleneck),
+        traced: sample.into_iter().map(SessionId).collect(),
+        tail_from_secs: scene
+            .analysis
+            .tail_from_ms
+            .unwrap_or(scene.duration_ms / 2.0)
+            / 1e3,
+    }
+}
+
 /// Lower a validated scene onto a fresh engine seeded with `seed`.
 ///
 /// Panics on unvalidated scenes — call [`Scene::validate`] (or parse
 /// through [`Scene::parse`]) first.
 pub fn compile(scene: &Scene, seed: u64) -> CompiledScene {
+    if let Some(g) = &scene.generate {
+        return compile_generated(scene, g, seed);
+    }
     let alg = algorithm(&scene.algorithm);
     let mut b = NetworkBuilder::new().cbr_priority(scene.cbr_priority);
     let sw: Vec<SwIdx> = scene.switches.iter().map(|n| b.switch(n)).collect();
+    // Name → index resolved once (first declaration wins, matching the
+    // linear scan this replaces) so compile stays O(hops), not
+    // O(hops × switches), on machine-generated topologies.
+    let mut by_name = std::collections::HashMap::new();
+    for (i, n) in scene.switches.iter().enumerate() {
+        by_name.entry(n.as_str()).or_insert(i);
+    }
     for t in &scene.trunks {
-        let a = sw[scene.switches.iter().position(|s| *s == t.a).unwrap()];
-        let bb = sw[scene.switches.iter().position(|s| *s == t.b).unwrap()];
+        let a = sw[by_name[t.a.as_str()]];
+        let bb = sw[by_name[t.b.as_str()]];
         b.trunk(a, bb, t.mbps, us_to_dur(t.prop_us));
     }
     let mut traced = Vec::new();
     for (i, s) in scene.sessions.iter().enumerate() {
-        let path: Vec<SwIdx> = s
-            .path
-            .iter()
-            .map(|h| sw[scene.switches.iter().position(|n| n == h).unwrap()])
-            .collect();
+        let path: Vec<SwIdx> = s.path.iter().map(|h| sw[by_name[h.as_str()]]).collect();
         let traffic = lower_traffic(scene, i);
         match s.cbr_mbps {
             Some(rate) => {
                 b.cbr_session(&path, rate, traffic);
             }
             None => {
-                b.session(&path, traffic);
-                traced.push(i);
+                let sid = b.session(&path, traffic);
+                debug_assert_eq!(sid.0, i, "session ids track declaration order");
+                traced.push(sid);
             }
         }
     }
@@ -185,9 +303,26 @@ pub fn compile(scene: &Scene, seed: u64) -> CompiledScene {
         b.build(&mut engine, &mut alloc)
     };
 
-    // Lower the link-level timeline to Admin messages on both
-    // directional ports. Churn events were already folded into the
-    // sessions' traffic windows above.
+    lower_link_timeline(scene, &net, &mut engine);
+
+    CompiledScene {
+        engine,
+        net,
+        until: ms_to_time(scene.duration_ms),
+        bottleneck: TrunkIdx(scene.bottleneck),
+        traced,
+        tail_from_secs: scene
+            .analysis
+            .tail_from_ms
+            .unwrap_or(scene.duration_ms / 2.0)
+            / 1e3,
+    }
+}
+
+/// Lower the link-level timeline to Admin messages on both directional
+/// ports of each referenced trunk. Churn events fold into the sessions'
+/// traffic windows instead and are skipped here.
+fn lower_link_timeline(scene: &Scene, net: &Network, engine: &mut Engine<AtmMsg>) {
     for e in &scene.timeline {
         let at = ms_to_time(e.at_ms);
         let (trunk, a_cmd, b_cmd) = match e.kind {
@@ -229,18 +364,5 @@ pub fn compile(scene: &Scene, seed: u64) -> CompiledScene {
         };
         engine.schedule(at, trunk.a_switch, AtmMsg::Admin(a_cmd));
         engine.schedule(at, trunk.b_switch, AtmMsg::Admin(b_cmd));
-    }
-
-    CompiledScene {
-        engine,
-        net,
-        until: ms_to_time(scene.duration_ms),
-        bottleneck: TrunkIdx(scene.bottleneck),
-        traced,
-        tail_from_secs: scene
-            .analysis
-            .tail_from_ms
-            .unwrap_or(scene.duration_ms / 2.0)
-            / 1e3,
     }
 }

@@ -35,9 +35,10 @@ pub mod run;
 pub use compile::{compile, CompiledScene};
 pub use json::Json;
 pub use model::{
-    AnalysisDecl, EpochDecl, EventKind, Scene, SessionDecl, TimelineEvent, TrafficDecl, TrunkDecl,
-    SCENE_SCHEMA,
+    AnalysisDecl, EpochDecl, EventKind, GenerateDecl, GenerateKind, Scene, SessionDecl,
+    TimelineEvent, TrafficDecl, TrunkDecl, SCENE_SCHEMA,
 };
 pub use run::{
     analysis_targets, load_scene_dir, load_scene_file, parse_scene, register_scene, run_scene,
+    scale_scene,
 };

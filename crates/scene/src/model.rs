@@ -48,6 +48,9 @@ pub struct Scene {
     pub u: Option<f64>,
     /// Strict-priority CBR queueing at every port.
     pub cbr_priority: bool,
+    /// Generated (parametric) topology. Mutually exclusive with
+    /// explicit `switches`/`trunks`/`sessions`.
+    pub generate: Option<GenerateDecl>,
     /// Switch names, in declaration order.
     pub switches: Vec<String>,
     /// Trunks, in declaration order.
@@ -92,6 +95,117 @@ pub struct SessionDecl {
     pub traffic: TrafficDecl,
     /// `Some(rate)` makes this an unresponsive CBR source at `rate` Mb/s.
     pub cbr_mbps: Option<f64>,
+}
+
+/// A seeded parametric topology: the "metro" scene class. Instead of
+/// declaring every switch/trunk/session, the scene names a generator
+/// shape and its parameters, and [`crate::compile::compile`] drives the
+/// `NetworkBuilder` directly — no per-session strings are ever
+/// materialized, so 10^5–10^6-session scenes compile in O(sessions)
+/// with small constants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateDecl {
+    /// Topology shape.
+    pub kind: GenerateKind,
+    /// Generation seed: per-session start jitter is a pure function of
+    /// `(seed, session index)`, independent of the run seed.
+    pub seed: u64,
+    /// Session activation times are spread uniformly over
+    /// `[0, start_spread_ms)` so 10^5 sources don't fire their initial
+    /// cell in the same nanosecond (0 = all greedy from t=0).
+    pub start_spread_ms: f64,
+    /// Destination goodput sampling period, ms (coarser than the 5 ms
+    /// figure default — per-session series dominate memory at scale).
+    pub rate_sample_ms: f64,
+    /// Record every `acr_stride`-th ACR update per source (1 = all).
+    pub acr_stride: u64,
+    /// Initial Cell Rate override, Mb/s. The paper's 8.5 Mb/s default
+    /// is per-figure realistic but catastrophic at metro scale (10^5
+    /// sources would offer 850 Gb/s at t=0); metro scenes set this near
+    /// the per-session fair share.
+    pub icr_mbps: Option<f64>,
+}
+
+/// The generator shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenerateKind {
+    /// `leaves` access switches each feeding `sessions_per_leaf`
+    /// sessions over a private trunk into one core switch, which drains
+    /// into a sink over the shared root trunk (trunk 0 — the natural
+    /// bottleneck). Trunks `1..=leaves` are the leaf uplinks.
+    FanIn {
+        /// Access switch count.
+        leaves: usize,
+        /// Sessions homed on each leaf.
+        sessions_per_leaf: usize,
+        /// Leaf → core uplink capacity, Mb/s.
+        leaf_mbps: f64,
+        /// Core → sink root capacity, Mb/s.
+        root_mbps: f64,
+        /// One-way propagation per trunk, microseconds.
+        prop_us: f64,
+    },
+    /// A chain of `hops + 1` switches. `long_sessions` sessions cross
+    /// every hop; `cross_per_hop` sessions ride each single hop. Trunk
+    /// `i` is hop `i` (bottleneck defaults to trunk 0).
+    ParkingLot {
+        /// Hop (trunk) count.
+        hops: usize,
+        /// Sessions crossing the whole chain.
+        long_sessions: usize,
+        /// Single-hop sessions per hop.
+        cross_per_hop: usize,
+        /// Per-hop capacity, Mb/s.
+        hop_mbps: f64,
+        /// One-way propagation per hop, microseconds.
+        prop_us: f64,
+    },
+}
+
+impl GenerateDecl {
+    /// Total sessions the generator will create.
+    pub fn n_sessions(&self) -> usize {
+        match self.kind {
+            GenerateKind::FanIn {
+                leaves,
+                sessions_per_leaf,
+                ..
+            } => leaves.saturating_mul(sessions_per_leaf),
+            GenerateKind::ParkingLot {
+                hops,
+                long_sessions,
+                cross_per_hop,
+                ..
+            } => long_sessions.saturating_add(hops.saturating_mul(cross_per_hop)),
+        }
+    }
+
+    /// Trunks the generator will create (indexable by `bottleneck` and
+    /// timeline trunk events).
+    pub fn n_trunks(&self) -> usize {
+        match self.kind {
+            GenerateKind::FanIn { leaves, .. } => leaves + 1,
+            GenerateKind::ParkingLot { hops, .. } => hops,
+        }
+    }
+
+    /// Capacity of generated trunk `t`, Mb/s.
+    pub fn trunk_mbps(&self, t: usize) -> f64 {
+        match self.kind {
+            GenerateKind::FanIn {
+                leaf_mbps,
+                root_mbps,
+                ..
+            } => {
+                if t == 0 {
+                    root_mbps
+                } else {
+                    leaf_mbps
+                }
+            }
+            GenerateKind::ParkingLot { hop_mbps, .. } => hop_mbps,
+        }
+    }
 }
 
 /// The offered-load patterns a scene can declare.
@@ -251,6 +365,141 @@ fn uint(j: &Json, path: &str, key: &str) -> Result<usize, String> {
 
 fn opt_uint(pairs: &[(String, Json)], key: &str, path: &str) -> Result<Option<usize>, String> {
     get(pairs, key).map(|j| uint(j, path, key)).transpose()
+}
+
+impl GenerateDecl {
+    fn from_json(j: &Json, path: &str) -> Result<GenerateDecl, String> {
+        let common = [
+            "kind",
+            "seed",
+            "start_spread_ms",
+            "rate_sample_ms",
+            "acr_stride",
+            "icr_mbps",
+        ];
+        let probe = j
+            .as_obj()
+            .ok_or_else(|| format!("{path}: expected an object"))?;
+        let kind_name = string(req(probe, "kind", path)?, path, "kind")?;
+        let kind = match kind_name.as_str() {
+            "fan_in" => {
+                let allowed: Vec<&str> = common
+                    .iter()
+                    .chain(&[
+                        "leaves",
+                        "sessions_per_leaf",
+                        "leaf_mbps",
+                        "root_mbps",
+                        "prop_us",
+                    ])
+                    .copied()
+                    .collect();
+                let p = expect_obj(j, path, &allowed)?;
+                GenerateKind::FanIn {
+                    leaves: uint(req(p, "leaves", path)?, path, "leaves")?,
+                    sessions_per_leaf: uint(
+                        req(p, "sessions_per_leaf", path)?,
+                        path,
+                        "sessions_per_leaf",
+                    )?,
+                    leaf_mbps: num(req(p, "leaf_mbps", path)?, path, "leaf_mbps")?,
+                    root_mbps: num(req(p, "root_mbps", path)?, path, "root_mbps")?,
+                    prop_us: num(req(p, "prop_us", path)?, path, "prop_us")?,
+                }
+            }
+            "parking_lot" => {
+                let allowed: Vec<&str> = common
+                    .iter()
+                    .chain(&[
+                        "hops",
+                        "long_sessions",
+                        "cross_per_hop",
+                        "hop_mbps",
+                        "prop_us",
+                    ])
+                    .copied()
+                    .collect();
+                let p = expect_obj(j, path, &allowed)?;
+                GenerateKind::ParkingLot {
+                    hops: uint(req(p, "hops", path)?, path, "hops")?,
+                    long_sessions: uint(req(p, "long_sessions", path)?, path, "long_sessions")?,
+                    cross_per_hop: uint(req(p, "cross_per_hop", path)?, path, "cross_per_hop")?,
+                    hop_mbps: num(req(p, "hop_mbps", path)?, path, "hop_mbps")?,
+                    prop_us: num(req(p, "prop_us", path)?, path, "prop_us")?,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "{path}.kind: unknown generator `{other}` (fan_in|parking_lot)"
+                ))
+            }
+        };
+        Ok(GenerateDecl {
+            kind,
+            seed: uint(req(probe, "seed", path)?, path, "seed")? as u64,
+            start_spread_ms: opt_num(probe, "start_spread_ms", path)?.unwrap_or(0.0),
+            rate_sample_ms: opt_num(probe, "rate_sample_ms", path)?.unwrap_or(5.0),
+            acr_stride: opt_uint(probe, "acr_stride", path)?.unwrap_or(1) as u64,
+            icr_mbps: opt_num(probe, "icr_mbps", path)?,
+        })
+    }
+
+    fn write(&self, out: &mut String) {
+        match self.kind {
+            GenerateKind::FanIn {
+                leaves,
+                sessions_per_leaf,
+                leaf_mbps,
+                root_mbps,
+                prop_us,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"fan_in","seed":{},"leaves":{leaves},"sessions_per_leaf":{sessions_per_leaf},"leaf_mbps":{},"root_mbps":{},"prop_us":{}"#,
+                    self.seed,
+                    json_f64(leaf_mbps),
+                    json_f64(root_mbps),
+                    json_f64(prop_us)
+                );
+            }
+            GenerateKind::ParkingLot {
+                hops,
+                long_sessions,
+                cross_per_hop,
+                hop_mbps,
+                prop_us,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"parking_lot","seed":{},"hops":{hops},"long_sessions":{long_sessions},"cross_per_hop":{cross_per_hop},"hop_mbps":{},"prop_us":{}"#,
+                    self.seed,
+                    json_f64(hop_mbps),
+                    json_f64(prop_us)
+                );
+            }
+        }
+        if self.start_spread_ms != 0.0 {
+            let _ = write!(
+                out,
+                r#","start_spread_ms":{}"#,
+                json_f64(self.start_spread_ms)
+            );
+        }
+        if self.rate_sample_ms != 5.0 {
+            let _ = write!(
+                out,
+                r#","rate_sample_ms":{}"#,
+                json_f64(self.rate_sample_ms)
+            );
+        }
+        if self.acr_stride != 1 {
+            let _ = write!(out, r#","acr_stride":{}"#, self.acr_stride);
+        }
+        if let Some(icr) = self.icr_mbps {
+            let _ = write!(out, r#","icr_mbps":{}"#, json_f64(icr));
+        }
+        out.push('}');
+    }
 }
 
 impl TrafficDecl {
@@ -419,6 +668,7 @@ impl Scene {
                 "duration_ms",
                 "u",
                 "cbr_priority",
+                "generate",
                 "switches",
                 "trunks",
                 "sessions",
@@ -431,22 +681,38 @@ impl Scene {
             Some(SCENE_SCHEMA) => {}
             _ => return Err(format!("scene.schema: expected \"{SCENE_SCHEMA}\"")),
         }
-        let switches = req(pairs, "switches", "scene")?
-            .as_arr()
-            .ok_or("scene.switches: expected an array")?
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                s.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| format!("switches[{i}]: expected a string"))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let generate = get(pairs, "generate")
+            .map(|g| GenerateDecl::from_json(g, "generate"))
+            .transpose()?;
+        // Generated scenes may omit the explicit topology keys entirely;
+        // declarative scenes keep the strict missing-key errors.
+        let topo_key = |key: &'static str| -> Result<Option<&Json>, String> {
+            match (get(pairs, key), &generate) {
+                (Some(j), _) => Ok(Some(j)),
+                (None, Some(_)) => Ok(None),
+                (None, None) => Err(format!("scene: missing key `{key}`")),
+            }
+        };
+        let switches = match topo_key("switches")? {
+            None => Vec::new(),
+            Some(j) => j
+                .as_arr()
+                .ok_or("scene.switches: expected an array")?
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("switches[{i}]: expected a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
 
         let mut trunks = Vec::new();
-        for (i, t) in req(pairs, "trunks", "scene")?
-            .as_arr()
-            .ok_or("scene.trunks: expected an array")?
+        for (i, t) in topo_key("trunks")?
+            .map(|j| j.as_arr().ok_or("scene.trunks: expected an array"))
+            .transpose()?
+            .unwrap_or(&[])
             .iter()
             .enumerate()
         {
@@ -468,9 +734,10 @@ impl Scene {
         }
 
         let mut sessions = Vec::new();
-        for (i, s) in req(pairs, "sessions", "scene")?
-            .as_arr()
-            .ok_or("scene.sessions: expected an array")?
+        for (i, s) in topo_key("sessions")?
+            .map(|j| j.as_arr().ok_or("scene.sessions: expected an array"))
+            .transpose()?
+            .unwrap_or(&[])
             .iter()
             .enumerate()
         {
@@ -570,6 +837,7 @@ impl Scene {
                     .ok_or("scene.cbr_priority: expected a boolean")?,
                 None => false,
             },
+            generate,
             switches,
             trunks,
             sessions,
@@ -600,6 +868,17 @@ impl Scene {
         }
         if self.cbr_priority {
             out.push_str(r#","cbr_priority":true"#);
+        }
+        if let Some(g) = &self.generate {
+            out.push_str(",\"generate\":");
+            g.write(&mut out);
+            // Generated scenes omit the (empty) explicit-topology keys:
+            // `Scene::parse(s.to_json()) == s` still holds because the
+            // decoder defaults them to empty when `generate` is present.
+            let _ = write!(out, r#","bottleneck":{}"#, self.bottleneck);
+            self.write_timeline_and_analysis(&mut out);
+            out.push('}');
+            return out;
         }
         out.push_str(",\"switches\":[");
         for (i, s) in self.switches.iter().enumerate() {
@@ -652,13 +931,20 @@ impl Scene {
             out.push('}');
         }
         let _ = write!(out, r#"],"bottleneck":{}"#, self.bottleneck);
+        self.write_timeline_and_analysis(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// The shared `to_json` tail: timeline and analysis blocks.
+    fn write_timeline_and_analysis(&self, out: &mut String) {
         if !self.timeline.is_empty() {
             out.push_str(",\"timeline\":[");
             for (i, e) in self.timeline.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                e.write(&mut out);
+                e.write(out);
             }
             out.push(']');
         }
@@ -678,16 +964,16 @@ impl Scene {
                 ("macr_mbps", a.macr_mbps),
             ] {
                 if let Some(v) = v {
-                    sep(&mut out);
+                    sep(out);
                     let _ = write!(out, r#""{key}":{}"#, json_f64(v));
                 }
             }
             if let Some(n) = a.n_sessions {
-                sep(&mut out);
+                sep(out);
                 let _ = write!(out, r#""n_sessions":{n}"#);
             }
             if !a.epochs.is_empty() {
-                sep(&mut out);
+                sep(out);
                 out.push_str("\"epochs\":[");
                 for (i, e) in a.epochs.iter().enumerate() {
                     if i > 0 {
@@ -714,8 +1000,6 @@ impl Scene {
             }
             out.push('}');
         }
-        out.push('}');
-        out
     }
 
     fn switch_index(&self, name: &str) -> Option<usize> {
@@ -741,6 +1025,104 @@ impl Scene {
                 .trunks
                 .iter()
                 .any(|t| t.u.is_some() || t.alpha_inc.is_some() || t.alpha_dec.is_some())
+    }
+
+    /// Declared capacity of the bottleneck trunk, Mb/s — works for both
+    /// explicit and generated topologies (call after [`Scene::validate`]).
+    pub fn bottleneck_mbps(&self) -> f64 {
+        match &self.generate {
+            Some(g) => g.trunk_mbps(self.bottleneck),
+            None => self.trunks[self.bottleneck].mbps,
+        }
+    }
+
+    /// Parameter-range checks for a generated topology. The session cap
+    /// bounds accidental `sessions_per_leaf: 1e9` typos, not the design
+    /// scale — 2×10^6 sessions is ~4×10^6 end-system nodes.
+    fn validate_generate(&self, g: &GenerateDecl) -> Result<(), String> {
+        const MAX_SESSIONS: usize = 2_000_000;
+        let pos = |v: f64, key: &str| -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{key}: must be positive and finite, got {v}"))
+            }
+        };
+        let count = |v: usize, key: &str, max: usize| -> Result<(), String> {
+            if (1..=max).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{key}: must be in 1..={max}, got {v}"))
+            }
+        };
+        match g.kind {
+            GenerateKind::FanIn {
+                leaves,
+                sessions_per_leaf,
+                leaf_mbps,
+                root_mbps,
+                prop_us,
+            } => {
+                count(leaves, "generate.leaves", 4096)?;
+                count(
+                    sessions_per_leaf,
+                    "generate.sessions_per_leaf",
+                    MAX_SESSIONS,
+                )?;
+                pos(leaf_mbps, "generate.leaf_mbps")?;
+                pos(root_mbps, "generate.root_mbps")?;
+                if !prop_us.is_finite() || prop_us < 0.0 {
+                    return Err("generate.prop_us: must be non-negative and finite".into());
+                }
+            }
+            GenerateKind::ParkingLot {
+                hops,
+                long_sessions,
+                cross_per_hop,
+                hop_mbps,
+                prop_us,
+            } => {
+                count(hops, "generate.hops", 1024)?;
+                if long_sessions == 0 && cross_per_hop == 0 {
+                    return Err(
+                        "generate: at least one of long_sessions/cross_per_hop must be nonzero"
+                            .into(),
+                    );
+                }
+                pos(hop_mbps, "generate.hop_mbps")?;
+                if !prop_us.is_finite() || prop_us < 0.0 {
+                    return Err("generate.prop_us: must be non-negative and finite".into());
+                }
+            }
+        }
+        if g.n_sessions() > MAX_SESSIONS {
+            return Err(format!(
+                "generate: {} sessions exceeds the {MAX_SESSIONS} cap",
+                g.n_sessions()
+            ));
+        }
+        if !g.start_spread_ms.is_finite()
+            || g.start_spread_ms < 0.0
+            || g.start_spread_ms > self.duration_ms
+        {
+            return Err(format!(
+                "generate.start_spread_ms: must lie within the run [0, {}] ms, got {}",
+                self.duration_ms, g.start_spread_ms
+            ));
+        }
+        pos(g.rate_sample_ms, "generate.rate_sample_ms")?;
+        if g.acr_stride == 0 {
+            return Err("generate.acr_stride: must be at least 1".into());
+        }
+        if let Some(icr) = g.icr_mbps {
+            // The end-system invariants (ICR in (0, PCR], above the MCR
+            // floor) are checked by the same validator the builder uses.
+            phantom_atm::params::AtmParams::paper()
+                .with_icr_mbps(icr)
+                .validate()
+                .map_err(|e| format!("generate.icr_mbps: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Semantic validation. Every error names the offending key.
@@ -792,7 +1174,16 @@ impl Scene {
             ));
         }
 
-        if self.switches.is_empty() {
+        if let Some(g) = &self.generate {
+            if !self.switches.is_empty() || !self.trunks.is_empty() || !self.sessions.is_empty() {
+                return Err(
+                    "generate: mutually exclusive with explicit switches/trunks/sessions".into(),
+                );
+            }
+            self.validate_generate(g)?;
+        }
+
+        if self.switches.is_empty() && self.generate.is_none() {
             return Err("switches: at least one switch is required".into());
         }
         for (i, s) in self.switches.iter().enumerate() {
@@ -804,7 +1195,7 @@ impl Scene {
             }
         }
 
-        if self.trunks.is_empty() {
+        if self.trunks.is_empty() && self.generate.is_none() {
             return Err("trunks: at least one trunk is required".into());
         }
         for (i, t) in self.trunks.iter().enumerate() {
@@ -841,15 +1232,21 @@ impl Scene {
                 ));
             }
         }
-        if self.bottleneck >= self.trunks.len() {
+        // Generated scenes are indexed against the trunks the generator
+        // *will* create.
+        let n_trunks = self
+            .generate
+            .as_ref()
+            .map(|g| g.n_trunks())
+            .unwrap_or(self.trunks.len());
+        if self.bottleneck >= n_trunks {
             return Err(format!(
                 "bottleneck: index {} out of range ({} trunks)",
-                self.bottleneck,
-                self.trunks.len()
+                self.bottleneck, n_trunks
             ));
         }
 
-        if self.sessions.is_empty() {
+        if self.sessions.is_empty() && self.generate.is_none() {
             return Err("sessions: at least one session is required".into());
         }
         for (i, s) in self.sessions.iter().enumerate() {
@@ -911,19 +1308,19 @@ impl Scene {
         // Timeline: valid references, plausible times, well-formed
         // churn windows and down/up alternation per trunk.
         let mut windows: Vec<(Option<f64>, Option<f64>)> = vec![(None, None); self.sessions.len()];
-        let mut flaps: Vec<Vec<(f64, bool)>> = vec![Vec::new(); self.trunks.len()];
+        let mut flaps: Vec<Vec<(f64, bool)>> = vec![Vec::new(); n_trunks];
         for (i, e) in self.timeline.iter().enumerate() {
             let path = format!("timeline[{i}]");
             time_in_run(e.at_ms, &format!("{path}.at_ms"))?;
             match &e.kind {
                 EventKind::SetCapacity { trunk, mbps } => {
-                    if *trunk >= self.trunks.len() {
+                    if *trunk >= n_trunks {
                         return Err(format!("{path}.trunk: index {trunk} out of range"));
                     }
                     pos(*mbps, &format!("{path}.mbps"))?;
                 }
                 EventKind::LinkDown { trunk } | EventKind::LinkUp { trunk } => {
-                    if *trunk >= self.trunks.len() {
+                    if *trunk >= n_trunks {
                         return Err(format!("{path}.trunk: index {trunk} out of range"));
                     }
                     flaps[*trunk].push((e.at_ms, matches!(e.kind, EventKind::LinkDown { .. })));

@@ -11,7 +11,7 @@ use crate::model::Scene;
 use phantom_analyze::{AnalysisTargets, EpochTarget};
 use phantom_atm::units::mbps_to_cps;
 use phantom_core::fixed_point::single_link_macr;
-use phantom_metrics::ExperimentResult;
+use phantom_metrics::{ExperimentResult, ScaleRecord};
 use phantom_scenarios::atm::run_standard;
 use phantom_scenarios::registry::{register_dynamic, DynamicExperiment, ExperimentOutput};
 use phantom_scenarios::shape::register_shape;
@@ -40,12 +40,60 @@ pub fn run_scene(scene: &Scene, seed: u64) -> ExperimentResult {
     result
 }
 
+/// Resident-set size of this process in bytes, read from
+/// `/proc/self/statm` (0 when unreadable — non-Linux or restricted
+/// `/proc`). Assumes 4 KiB pages, true on every Linux target this
+/// workspace builds for.
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1).and_then(|f| f.parse().ok()))
+        .map(|pages: u64| pages * 4096)
+        .unwrap_or(0)
+}
+
+/// Build and run `scene` once as a *scale probe*: measure resident-set
+/// growth across build + run, the engine's own per-node accounting, and
+/// run throughput. Returns the `phantom-bench/4` scale record plus the
+/// per-arena breakdown (for human-readable reporting).
+///
+/// The RSS delta is a whole-process measurement — run this on a quiet
+/// process (the `repro --scale` probe runs after the sweep, serially)
+/// or the number includes unrelated allocations.
+pub fn scale_scene(scene: &Scene, seed: u64) -> (ScaleRecord, Vec<phantom_sim::ArenaStats>) {
+    let rss0 = rss_bytes();
+    let c = compile(scene, seed);
+    let mut engine = c.engine;
+    let marker = phantom_sim::telemetry::begin_run();
+    let events_before = phantom_sim::thread_events_dispatched();
+    let start = std::time::Instant::now();
+    engine.run_until(c.until);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = phantom_sim::thread_events_dispatched() - events_before;
+    let counters = marker.finish();
+    let rss1 = rss_bytes();
+    let stats = engine.arena_stats();
+    let record = ScaleRecord {
+        scene: scene.id.clone(),
+        seed,
+        sessions: c.net.sessions.len() as u64,
+        nodes: stats.iter().map(|s| s.nodes as u64).sum(),
+        events,
+        wall_secs,
+        rss_delta_bytes: rss1.saturating_sub(rss0),
+        arena_bytes: engine.nodes_footprint_bytes() as u64,
+        drops: counters.drops,
+        queue_peak: counters.queue_peak,
+    };
+    (record, stats)
+}
+
 /// The analysis targets a scene predicts: bottleneck capacity, the
 /// `C/(1+n·u)` MACR fixed point (when declared via `macr_mbps` or
 /// `n_sessions`), and one [`EpochTarget`] per declared perturbation
 /// epoch.
 pub fn analysis_targets(scene: &Scene) -> AnalysisTargets {
-    let c = mbps_to_cps(scene.trunks[scene.bottleneck].mbps);
+    let c = mbps_to_cps(scene.bottleneck_mbps());
     let u = scene.u.unwrap_or(DEFAULT_U);
     let a = &scene.analysis;
     let macr_cps = a

@@ -1,0 +1,125 @@
+//! Generated-topology (metro) scenes: determinism and shape.
+//!
+//! The `generate` block expands a seeded parametric topology at
+//! compile time. These tests pin the contract the scale harness
+//! depends on: compilation is a pure function of `(scene, seed)` —
+//! same event stream, same session/node counts, run after run — and
+//! both generator kinds produce the declared shape.
+
+use phantom_scene::{compile, parse_scene, scale_scene};
+
+fn fan_in(id: &str, leaves: usize, per_leaf: usize) -> String {
+    format!(
+        r#"{{
+  "schema": "phantom-scene/1",
+  "id": "{id}",
+  "describe": "test fan-in",
+  "algorithm": "phantom",
+  "duration_ms": 20,
+  "generate": {{
+    "kind": "fan_in",
+    "seed": 7,
+    "leaves": {leaves},
+    "sessions_per_leaf": {per_leaf},
+    "leaf_mbps": 155.0,
+    "root_mbps": 622.0,
+    "prop_us": 10.0,
+    "start_spread_ms": 5.0,
+    "rate_sample_ms": 5.0,
+    "acr_stride": 4,
+    "icr_mbps": 0.5
+  }},
+  "analysis": {{ "n_sessions": {} }}
+}}"#,
+        leaves * per_leaf
+    )
+}
+
+const PARKING_LOT: &str = r#"{
+  "schema": "phantom-scene/1",
+  "id": "pl-test",
+  "describe": "test parking lot",
+  "algorithm": "phantom",
+  "duration_ms": 20,
+  "generate": {
+    "kind": "parking_lot",
+    "seed": 11,
+    "hops": 3,
+    "long_sessions": 4,
+    "cross_per_hop": 2,
+    "hop_mbps": 155.0,
+    "prop_us": 10.0,
+    "start_spread_ms": 5.0,
+    "rate_sample_ms": 5.0,
+    "acr_stride": 4,
+    "icr_mbps": 0.5
+  },
+  "analysis": { "n_sessions": 6 }
+}"#;
+
+#[test]
+fn fan_in_expands_to_the_declared_shape() {
+    let scene = parse_scene(&fan_in("fi-shape", 3, 5)).unwrap();
+    let c = compile(&scene, 1996);
+    // 3 leaves + 1 core + 1 sink switch; 15 sources + 15 dests.
+    assert_eq!(c.net.sessions.len(), 15);
+    assert_eq!(c.net.switches.len(), 5);
+    // Root trunk (trunk 0) is the declared bottleneck.
+    assert_eq!(scene.bottleneck_mbps(), 622.0);
+}
+
+#[test]
+fn parking_lot_expands_to_the_declared_shape() {
+    let scene = parse_scene(PARKING_LOT).unwrap();
+    let c = compile(&scene, 1996);
+    // 4 long + 3 hops x 2 cross sessions; hops + 1 switches... plus sink.
+    assert_eq!(c.net.sessions.len(), 10);
+    assert!(c.net.switches.len() >= 4);
+    assert_eq!(scene.bottleneck_mbps(), 155.0);
+}
+
+#[test]
+fn generated_scenes_are_deterministic_per_seed() {
+    let scene = parse_scene(&fan_in("fi-det", 2, 8)).unwrap();
+    let (a, arenas_a) = scale_scene(&scene, 1996);
+    let (b, arenas_b) = scale_scene(&scene, 1996);
+    // Same seed: identical event stream and telemetry, bit for bit.
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.sessions, b.sessions);
+    assert_eq!(a.nodes, b.nodes);
+    assert_eq!(a.drops, b.drops);
+    assert_eq!(a.queue_peak, b.queue_peak);
+    assert!(a.events > 0, "the generated scene must actually run");
+    let counts_a: Vec<_> = arenas_a.iter().map(|s| (s.type_name, s.nodes)).collect();
+    let counts_b: Vec<_> = arenas_b.iter().map(|s| (s.type_name, s.nodes)).collect();
+    assert_eq!(counts_a, counts_b);
+
+    // A different master seed keeps the topology but may reshuffle the
+    // event interleaving; the *shape* stays fixed.
+    let (c, _) = scale_scene(&scene, 7);
+    assert_eq!(c.sessions, a.sessions);
+    assert_eq!(c.nodes, a.nodes);
+}
+
+#[test]
+fn generate_round_trips_through_to_json() {
+    for text in [fan_in("fi-rt", 2, 3), PARKING_LOT.to_string()] {
+        let scene = parse_scene(&text).unwrap();
+        let back = parse_scene(&scene.to_json()).unwrap();
+        assert_eq!(scene, back);
+    }
+}
+
+#[test]
+fn generate_rejects_out_of_range_parameters() {
+    // Start spread must fit inside the run.
+    let bad =
+        fan_in("fi-bad", 2, 3).replace(r#""start_spread_ms": 5.0"#, r#""start_spread_ms": 50.0"#);
+    let e = parse_scene(&bad).unwrap_err();
+    assert!(e.contains("start_spread_ms"), "{e}");
+
+    // The accidental-typo session cap.
+    let huge = fan_in("fi-huge", 4096, 2_000_000);
+    let e = parse_scene(&huge).unwrap_err();
+    assert!(e.contains("sessions"), "{e}");
+}

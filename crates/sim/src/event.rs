@@ -532,6 +532,38 @@ mod tests {
     }
 
     #[test]
+    fn far_slab_capacity_stays_bounded_under_sliding_window() {
+        // Steady-state far-future traffic: a fixed-size window of
+        // pending beyond-horizon events slides forward for hundreds of
+        // horizons. The slab must reuse freed slots (via the intrusive
+        // free list and promotion-time `far_claim`) rather than growing
+        // with the *total* number of far events ever parked — the
+        // regression this guards against is an alloc-per-push slab,
+        // which at metro scale (10^5 pacing timers crossing the horizon
+        // continuously) would leak the slab without bound.
+        let mut q = EventQueue::new();
+        let horizon = SLICE_NS * WHEEL_SLOTS as u64;
+        const WINDOW: u64 = 16;
+        let gap = horizon / 8; // window spans 2 horizons: always far
+        let t = |i: u64| SimTime(2 * horizon + i * gap);
+        for i in 0..WINDOW {
+            q.push(t(i), NodeId(0), i);
+        }
+        for i in WINDOW..1000 {
+            q.push(t(i), NodeId(0), i);
+            assert_eq!(q.pop().unwrap().msg, i - WINDOW);
+        }
+        assert!(
+            q.far_slots.len() <= 2 * WINDOW as usize,
+            "far slab grew to {} slots for a {}-event window",
+            q.far_slots.len(),
+            WINDOW
+        );
+        let tail: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(tail, (1000 - WINDOW..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn overflow_events_promote_in_order() {
         let mut q = EventQueue::new();
         let horizon = SLICE_NS * WHEEL_SLOTS as u64;

@@ -64,7 +64,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use engine::{thread_events_dispatched, Ctx, Engine, Node, NodeId, TraceHook};
+pub use engine::{thread_events_dispatched, ArenaStats, Ctx, Engine, Node, NodeId, TraceHook};
 pub use event::CALENDAR;
 pub use fifo::BoundedFifo;
 pub use probe::{

@@ -246,9 +246,20 @@ impl Counter {
 }
 
 /// A fixed-bin histogram with exact count/sum and approximate quantiles.
+///
+/// Bin storage is allocated lazily: an empty histogram holds no bin
+/// memory at all, and `record` grows the bin vector only as far as the
+/// highest bin actually hit. A million idle histograms (one per session
+/// at metro scale) therefore cost a few hundred bytes each instead of
+/// `nbins * 8` — the eager `vec![0; 10_000]` here used to dominate the
+/// whole simulation's resident set at 10⁵+ sessions.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     bin_width: f64,
+    /// Logical bin count: values at or above `nbins * bin_width`
+    /// overflow. `bins.len() <= nbins`; trailing zero bins are not
+    /// stored.
+    nbins: usize,
     bins: Vec<u64>,
     overflow: u64,
     count: u64,
@@ -258,12 +269,14 @@ pub struct Histogram {
 
 impl Histogram {
     /// A histogram of `nbins` bins of width `bin_width`; values at or above
-    /// `nbins * bin_width` land in an overflow bin.
+    /// `nbins * bin_width` land in an overflow bin. Allocates nothing
+    /// until the first `record`.
     pub fn new(bin_width: f64, nbins: usize) -> Self {
         assert!(bin_width > 0.0 && nbins > 0);
         Histogram {
             bin_width,
-            bins: vec![0; nbins],
+            nbins,
+            bins: Vec::new(),
             overflow: 0,
             count: 0,
             sum: 0.0,
@@ -275,7 +288,10 @@ impl Histogram {
     pub fn record(&mut self, v: f64) {
         debug_assert!(v >= 0.0, "histogram values must be non-negative");
         let idx = (v / self.bin_width) as usize;
-        if idx < self.bins.len() {
+        if idx < self.nbins {
+            if idx >= self.bins.len() {
+                self.bins.resize(idx + 1, 0);
+            }
             self.bins[idx] += 1;
         } else {
             self.overflow += 1;
@@ -317,11 +333,20 @@ impl Histogram {
     }
 
     /// Per-bin counts (values in `[i*w, (i+1)*w)` land in bin `i`).
+    /// May be shorter than [`Histogram::nbins`]: trailing bins that were
+    /// never hit are not stored and count as zero.
     pub fn bins(&self) -> &[u64] {
         &self.bins
     }
 
-    /// Observations at or above `bins().len() * bin_width()`.
+    /// Logical bin count (the `nbins` passed at construction) — the
+    /// overflow threshold is `nbins() * bin_width()` regardless of how
+    /// many bins are materialized in [`Histogram::bins`].
+    pub fn nbins(&self) -> usize {
+        self.nbins
+    }
+
+    /// Observations at or above `nbins() * bin_width()`.
     pub fn overflow(&self) -> u64 {
         self.overflow
     }
@@ -621,8 +646,27 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.bin_width(), 1.0);
-        assert_eq!(h.bins(), &[1, 2, 0]);
+        // Lazy storage: bin 2 was never hit, so only the prefix exists.
+        assert_eq!(h.bins(), &[1, 2]);
+        assert_eq!(h.nbins(), 3);
         assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_bins_are_lazily_allocated() {
+        // A fresh histogram must hold no bin storage at all — at metro
+        // scale one histogram per session, eager `vec![0; nbins]` was
+        // ~80 KB/session and dominated the resident set.
+        let h = Histogram::new(0.1, 10_000);
+        assert!(h.bins().is_empty());
+        assert_eq!(h.nbins(), 10_000);
+        let mut h = Histogram::new(0.1, 10_000);
+        h.record(0.25); // bin 2: grows storage to exactly 3 bins
+        assert_eq!(h.bins(), &[0, 0, 1]);
+        // Overflow still keys off the logical bin count, not storage.
+        h.record(1_000.5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

@@ -4,8 +4,36 @@ use phantom_sim::event::EventQueue;
 use phantom_sim::fifo::{BoundedFifo, EnqueueResult};
 use phantom_sim::rng::derive_seed;
 use phantom_sim::stats::{Histogram, TimeSeries, TimeWeighted};
-use phantom_sim::{NodeId, SimTime};
+use phantom_sim::{Ctx, Engine, Node, NodeId, SimTime};
 use proptest::prelude::*;
+
+/// Minimal arena occupants for the id-stability property: three
+/// distinct concrete types so adds interleave across three arenas.
+struct TallyA {
+    tag: u64,
+    seen: u64,
+}
+struct TallyB {
+    tag: u64,
+    seen: u64,
+}
+struct TallyC {
+    tag: u64,
+    seen: u64,
+}
+
+macro_rules! tally_node {
+    ($t:ty) => {
+        impl Node<u64> for $t {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_, u64>, msg: u64) {
+                self.seen += msg;
+            }
+        }
+    };
+}
+tally_node!(TallyA);
+tally_node!(TallyB);
+tally_node!(TallyC);
 
 proptest! {
     /// Events always pop in non-decreasing time order, FIFO among ties.
@@ -98,6 +126,48 @@ proptest! {
     fn derived_seeds_distinct(master in any::<u64>(), a in 0u64..4096, b in 0u64..4096) {
         prop_assume!(a != b);
         prop_assert_ne!(derive_seed(master, a), derive_seed(master, b));
+    }
+
+    /// Arena-backed node ids stay stable under churn: interleaved
+    /// registration across multiple concrete types grows each typed
+    /// arena independently (reallocating its Vec underneath), yet the
+    /// `id → node` mapping never moves — messages scheduled against an
+    /// id *before* later growth land on the same node *after* it.
+    #[test]
+    fn arena_ids_stable_under_interleaved_growth(
+        kinds in proptest::collection::vec(0u8..3, 1..150),
+    ) {
+        let mut e = Engine::<u64>::new(7);
+        let mut expect: Vec<(u8, u64)> = Vec::new();
+        for (i, &k) in kinds.iter().enumerate() {
+            let tag = i as u64;
+            let id = match k {
+                0 => e.add_node(TallyA { tag, seen: 0 }),
+                1 => e.add_node(TallyB { tag, seen: 0 }),
+                _ => e.add_node(TallyC { tag, seen: 0 }),
+            };
+            // Ids are dense in registration order, independent of type.
+            prop_assert_eq!(id, NodeId(i));
+            expect.push((k, tag));
+            // Scheduled now, delivered only after every later add: the
+            // id must survive all intervening arena reallocations.
+            e.schedule(SimTime(i as u64 + 1), id, tag + 1);
+        }
+        e.run_until(SimTime(kinds.len() as u64 + 1));
+        for (i, &(k, tag)) in expect.iter().enumerate() {
+            let id = NodeId(i);
+            let (got_tag, seen) = match k {
+                0 => { let n = e.node::<TallyA>(id); (n.tag, n.seen) }
+                1 => { let n = e.node::<TallyB>(id); (n.tag, n.seen) }
+                _ => { let n = e.node::<TallyC>(id); (n.tag, n.seen) }
+            };
+            prop_assert_eq!(got_tag, tag, "id {} resolved to a different node", i);
+            prop_assert_eq!(seen, tag + 1, "message to id {} was misdelivered", i);
+        }
+        let stats = e.arena_stats();
+        prop_assert!(stats.len() <= 3);
+        prop_assert_eq!(stats.iter().map(|s| s.nodes).sum::<usize>(), kinds.len());
+        prop_assert_eq!(e.node_count(), kinds.len());
     }
 
     /// Sample-and-hold lookup returns exactly the last sample at or

@@ -12,6 +12,7 @@
 //! joins late to show the re-convergence.
 
 use phantom_atm::network::NetworkBuilder;
+use phantom_atm::network::SessionId;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::Traffic;
 use phantom_core::{MacrConfig, PhantomAllocator, PhantomConfig};
@@ -62,7 +63,7 @@ fn main() {
         .iter()
         .enumerate()
     {
-        let measured = net.session_rate(&engine, i).mean_after(0.7);
+        let measured = net.session_rate(&engine, SessionId(i)).mean_after(0.7);
         println!(
             "  {name:12} measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
             cps_to_mbps(measured),
@@ -77,8 +78,11 @@ fn main() {
             net.trunk_port(&engine, t).queue_high_water()
         );
     }
-    let before = net.session_rate(&engine, 0).value_at(0.35).unwrap_or(0.0);
-    let after = net.session_rate(&engine, 0).mean_after(0.7);
+    let before = net
+        .session_rate(&engine, SessionId(0))
+        .value_at(0.35)
+        .unwrap_or(0.0);
+    let after = net.session_rate(&engine, SessionId(0)).mean_after(0.7);
     println!(
         "\nlocal A gave up bandwidth to the late joiner: {:.1} → {:.1} Mb/s",
         cps_to_mbps(before),

@@ -15,6 +15,7 @@
 //! ```
 
 use phantom_atm::network::NetworkBuilder;
+use phantom_atm::network::SessionId;
 use phantom_atm::units::{cps_to_mbps, mbps_to_cps};
 use phantom_atm::{AtmParams, Traffic};
 use phantom_core::PhantomAllocator;
@@ -46,13 +47,13 @@ fn main() {
     println!("guaranteed session (MCR {mcr_mbps} Mb/s):");
     println!(
         "  measured {:6.2} Mb/s (pinned at its floor)",
-        cps_to_mbps(net.session_rate(&engine, 0).mean_after(0.5))
+        cps_to_mbps(net.session_rate(&engine, SessionId(0)).mean_after(0.5))
     );
     println!("best-effort sessions:");
     for s in 1..4 {
         println!(
             "  session {s}: {:6.2} Mb/s (predicted {:.2})",
-            cps_to_mbps(net.session_rate(&engine, s).mean_after(0.5)),
+            cps_to_mbps(net.session_rate(&engine, SessionId(s)).mean_after(0.5)),
             cps_to_mbps(5.0 * macr_pred)
         );
     }

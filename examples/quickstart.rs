@@ -10,6 +10,7 @@
 //! u = 5). The fixed point is MACR = C/(1+2u) ≈ 13.64 Mb/s and
 //! 5 × MACR ≈ 68.2 Mb/s per session.
 
+use phantom_atm::network::SessionId;
 use phantom_atm::units::cps_to_mbps;
 use phantom_atm::{NetworkBuilder, Traffic};
 use phantom_core::fixed_point::{single_link_macr, single_link_rate};
@@ -44,7 +45,7 @@ fn main() {
         cps_to_mbps(single_link_macr(c, 2, 5.0))
     );
     for s in 0..2 {
-        let rate = net.session_rate(&engine, s).mean_after(0.3);
+        let rate = net.session_rate(&engine, SessionId(s)).mean_after(0.3);
         println!(
             "rate s{s}: measured {:6.2} Mb/s, predicted {:6.2} Mb/s",
             cps_to_mbps(rate),

@@ -2,7 +2,7 @@
 //! single crate can check alone — simulation vs analytic prediction on
 //! composite topologies, registry completeness, end-to-end determinism.
 
-use phantom_repro::atm::network::{NetworkBuilder, TrunkIdx};
+use phantom_repro::atm::network::{NetworkBuilder, SessionId, TrunkIdx};
 use phantom_repro::atm::units::mbps_to_cps;
 use phantom_repro::atm::Traffic;
 use phantom_repro::core::PhantomAllocator;
@@ -41,7 +41,7 @@ fn check_chain(caps_mbps: &[f64], paths: &[Vec<usize>], seed: u64) {
     let sessions: Vec<Session> = paths.iter().cloned().map(Session::on).collect();
     let (pred, _) = phantom_prediction(&caps, &sessions, 5.0);
     for (i, &p) in pred.iter().enumerate() {
-        let measured = net.session_rate(&engine, i).mean_after(0.6);
+        let measured = net.session_rate(&engine, SessionId(i)).mean_after(0.6);
         assert!(
             (measured - p).abs() < 0.18 * p,
             "session {i}: measured {measured:.0} vs predicted {p:.0} cells/s \

@@ -3,6 +3,7 @@
 //! system composes: no panics, conservation holds, queues stay bounded,
 //! and nobody starves outright.
 
+use phantom_repro::atm::network::SessionId;
 use phantom_repro::atm::network::{NetworkBuilder, TrunkIdx};
 use phantom_repro::atm::source::AbrSource;
 use phantom_repro::atm::units::{cps_to_mbps, mbps_to_cps};
@@ -78,13 +79,13 @@ fn check(alg: AtmAlgorithm, seed: u64) {
     // Nobody starves: every ABR session delivers something in steady
     // state, and the guaranteed session holds a real share.
     for s in 0..5 {
-        let rate = net.session_rate(&engine, s).mean_after(0.4);
+        let rate = net.session_rate(&engine, SessionId(s)).mean_after(0.4);
         assert!(
             rate > 100.0,
             "{name}: session {s} starved ({rate:.0} cells/s)"
         );
     }
-    let guaranteed = net.session_rate(&engine, 4).mean_after(0.4);
+    let guaranteed = net.session_rate(&engine, SessionId(4)).mean_after(0.4);
     assert!(
         cps_to_mbps(guaranteed) > 5.0,
         "{name}: MCR session squeezed to {:.1} Mb/s",
@@ -138,7 +139,7 @@ fn kitchen_sink_is_deterministic() {
         let (engine, net) = kitchen_sink(AtmAlgorithm::Phantom, seed);
         let mut v = vec![engine.events_processed() as f64];
         for s in 0..5 {
-            v.push(net.session_rate(&engine, s).mean_after(0.4));
+            v.push(net.session_rate(&engine, SessionId(s)).mean_after(0.4));
         }
         v
     };
