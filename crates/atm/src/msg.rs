@@ -55,3 +55,44 @@ pub enum Timer {
         port: usize,
     },
 }
+
+impl AtmMsg {
+    /// The profiler's event-kind label for this message. Installed as
+    /// the engine's event classifier by `NetworkBuilder::build`, so a
+    /// profiled ATM run breaks its time down into cell deliveries, the
+    /// three timer flavours and admin commands.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            AtmMsg::Cell(_) => "cell",
+            AtmMsg::Timer(Timer::SourceTx) => "timer.source_tx",
+            AtmMsg::Timer(Timer::TxDone { .. }) => "timer.tx_done",
+            AtmMsg::Timer(Timer::Measure { .. }) => "timer.measure",
+            AtmMsg::Admin(_) => "admin",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_distinguish_every_flavour() {
+        assert_eq!(
+            AtmMsg::Timer(Timer::SourceTx).kind_label(),
+            "timer.source_tx"
+        );
+        assert_eq!(
+            AtmMsg::Timer(Timer::TxDone { port: 3 }).kind_label(),
+            "timer.tx_done"
+        );
+        assert_eq!(
+            AtmMsg::Timer(Timer::Measure { port: 0 }).kind_label(),
+            "timer.measure"
+        );
+        assert_eq!(
+            AtmMsg::Admin(AdminCmd::SetLoss { port: 0, loss: 1.0 }).kind_label(),
+            "admin"
+        );
+    }
+}

@@ -272,6 +272,11 @@ impl NetworkBuilder {
         engine: &mut Engine<AtmMsg>,
         alloc: &mut dyn FnMut() -> Box<dyn RateAllocator>,
     ) -> Network {
+        // Event-kind attribution for the in-run profiler (free when
+        // profiling is off: the classifier is only consulted from the
+        // instrumented run loop).
+        engine.set_event_classifier(|m| m.kind_label());
+
         // 1. Switch nodes.
         let switch_ids: Vec<NodeId> = self
             .switch_names

@@ -133,6 +133,33 @@ fn bench_engine(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // The profiler's *disabled* overhead is guarded by the benchmark
+    // above: profiling is always compiled, so `dispatch_100k_events`
+    // pays the one thread-local check per run call that every
+    // unprofiled run pays, and the bench regression gate
+    // (`repro bench --compare`) would catch it growing into the hot
+    // loop. This variant measures the *enabled* cost for contrast —
+    // two monotonic-clock readings per dispatch plus the attribution
+    // bookkeeping — so profile-guided sessions know the observer tax.
+    c.bench_function("engine/dispatch_100k_events_profiled", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::<u32>::new(1);
+                let a = e.add_node(PingPong {
+                    peer: phantom_sim::NodeId(1),
+                });
+                let p = e.add_node(PingPong { peer: a });
+                e.schedule(SimTime::ZERO, p, 0);
+                e
+            },
+            |mut e| {
+                let marker = phantom_sim::profile::begin_profile();
+                e.run_to_completion(100_000);
+                marker.finish()
+            },
+            BatchSize::SmallInput,
+        )
+    });
     // 256 staggered timers keep the calendar 256 deep with 32-byte
     // payloads — the regime every multi-source scenario runs in.
     c.bench_function("engine/dispatch_100k_events_deep_calendar", |b| {

@@ -29,7 +29,7 @@
 
 use phantom_analyze::{check_report, parse_baseline, render_baseline};
 use phantom_bench::compare::{compare, parse_bench_json, EXIT_BENCH_REGRESSION};
-use phantom_bench::DEFAULT_SEED;
+use phantom_bench::{logger, DEFAULT_SEED};
 use phantom_metrics::manifest::{BENCH_SCHEMA, CSV_SCHEMA};
 use phantom_metrics::{BenchRecord, Manifest, RunRecord};
 use phantom_scenarios::registry::{all_experiments, dynamic_experiments, suggest_id};
@@ -62,6 +62,9 @@ struct Args {
     compare: Option<PathBuf>,
     bench_threshold_pct: f64,
     scale: Option<String>,
+    profile_dir: Option<PathBuf>,
+    status_file: Option<PathBuf>,
+    level: logger::Level,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +90,9 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         bench_threshold_pct: 10.0,
         scale: None,
+        profile_dir: None,
+        status_file: None,
+        level: logger::Level::Normal,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -141,6 +147,18 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => {
                 args.scale = Some(it.next().ok_or("--scale needs a scene id")?);
             }
+            "--profile-dir" => {
+                args.profile_dir = Some(PathBuf::from(
+                    it.next().ok_or("--profile-dir needs a value")?,
+                ));
+            }
+            "--status-file" => {
+                args.status_file = Some(PathBuf::from(
+                    it.next().ok_or("--status-file needs a value")?,
+                ));
+            }
+            "-v" | "--verbose" => args.level = logger::Level::Verbose,
+            "-q" | "--quiet" => args.level = logger::Level::Quiet,
             "--gnuplot" => args.gnuplot = true,
             "--trace-dir" => {
                 args.trace_dir = Some(PathBuf::from(it.next().ok_or("--trace-dir needs a value")?));
@@ -185,10 +203,10 @@ fn report_single(run: &SweepRun, args: &Args) -> bool {
         let hint = suggest_id(&run.job.id)
             .map(|s| format!(" — did you mean `{s}`?"))
             .unwrap_or_default();
-        eprintln!(
-            "error: unknown experiment '{}'{hint} (try `repro list`)",
+        logger::error(&format!(
+            "unknown experiment '{}'{hint} (try `repro list`)",
             run.job.id
-        );
+        ));
         return false;
     };
     print!("{}", out.render(args.steps));
@@ -204,14 +222,14 @@ fn report_single(run: &SweepRun, args: &Args) -> bool {
     );
     let manifest = Manifest::new(CSV_SCHEMA, &run.job.id, run.job.seed, &run.job.id);
     if let Err(e) = out.write_csv_with_manifest(&args.csv_dir, &manifest.to_json()) {
-        eprintln!("warning: could not write CSV for {}: {e}", run.job.id);
+        logger::warn(&format!("could not write CSV for {}: {e}", run.job.id));
     } else {
         println!("   [csv: {}/{}.csv]", args.csv_dir.display(), run.job.id);
     }
     if args.gnuplot {
         if let ExperimentOutput::Figure(r) = out {
             if let Err(e) = r.write_gnuplot(&args.csv_dir) {
-                eprintln!("warning: gnuplot script for {}: {e}", run.job.id);
+                logger::warn(&format!("gnuplot script for {}: {e}", run.job.id));
             } else {
                 println!("   [gp:  {}/{}.gp]", args.csv_dir.display(), run.job.id);
             }
@@ -229,14 +247,16 @@ fn report_multi_seed(id: &str, runs: Vec<SweepRun>, args: &Args) -> bool {
         match run.output {
             Some(ExperimentOutput::Figure(r)) => figures.push(r),
             Some(ExperimentOutput::Table(_)) => {
-                eprintln!("note: {id} is a table; --seeds aggregates figures only");
+                logger::note(&format!("{id} is a table; --seeds aggregates figures only"));
                 break;
             }
             None => {
                 let hint = suggest_id(id)
                     .map(|s| format!(" — did you mean `{s}`?"))
                     .unwrap_or_default();
-                eprintln!("error: unknown experiment '{id}'{hint} (try `repro list`)");
+                logger::error(&format!(
+                    "unknown experiment '{id}'{hint} (try `repro list`)"
+                ));
                 return false;
             }
         }
@@ -261,7 +281,7 @@ fn report_multi_seed(id: &str, runs: Vec<SweepRun>, args: &Args) -> bool {
             &format!("{id};seeds={}", args.seeds),
         );
         if let Err(e) = t.write_csv_with_manifest(&args.csv_dir, Some(&manifest.to_json())) {
-            eprintln!("warning: could not write CSV: {e}");
+            logger::warn(&format!("could not write CSV: {e}"));
         }
         println!();
     }
@@ -272,18 +292,19 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            logger::error(&e);
             eprintln!(
                 "usage: repro [list | all | <id>...] [--scenes DIR] [--seed N] [--seeds N] \
                  [--jobs N] [--csv-dir DIR] [--bench-json PATH] [--steps N] [--gnuplot] \
                  [--trace-dir DIR] [--trace-filter KINDS] \
                  [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS] \
                  [--bench] [--compare BASELINE.json] [--bench-threshold PCT] \
-                 [--scale SCENE_ID]"
+                 [--scale SCENE_ID] [--profile-dir DIR] [--status-file PATH] [-v|-q]"
             );
             return ExitCode::FAILURE;
         }
     };
+    logger::set_level(args.level);
 
     // Load scene files first: they register as dynamic experiments, so
     // everything downstream — `list`, `all`, the sweep — sees them as
@@ -294,7 +315,7 @@ fn main() -> ExitCode {
         let scenes = match load_scene_dir(dir) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("error: {e}");
+                logger::error(&e);
                 return ExitCode::FAILURE;
             }
         };
@@ -346,7 +367,14 @@ fn main() -> ExitCode {
         trace_dir: args.trace_dir.clone(),
         trace_filter: args.trace_filter,
         analyze_window: args.analyze.then_some(args.window_secs),
+        profile_dir: args.profile_dir.clone(),
+        status_file: args.status_file.clone(),
     };
+    logger::info(&format!(
+        "dispatching {} run(s) on {} thread(s)",
+        jobs.len(),
+        args.jobs
+    ));
     let batch_start = std::time::Instant::now();
     let runs = run_sweep_with(&jobs, args.jobs, &opts);
     let total_wall_secs = batch_start.elapsed().as_secs_f64();
@@ -391,23 +419,23 @@ fn main() -> ExitCode {
                 continue;
             };
             if let Err(e) = std::fs::create_dir_all(&args.csv_dir) {
-                eprintln!("warning: {}: {e}", args.csv_dir.display());
+                logger::warn(&format!("{}: {e}", args.csv_dir.display()));
             }
             let rpath = args
                 .csv_dir
                 .join(format!("{}-{}-analysis.json", run.job.id, run.job.seed));
             match std::fs::write(&rpath, report.to_json()) {
                 Ok(()) => println!("   [analysis: {}]", rpath.display()),
-                Err(e) => eprintln!("warning: could not write {}: {e}", rpath.display()),
+                Err(e) => logger::warn(&format!("could not write {}: {e}", rpath.display())),
             }
             if args.write_baselines {
                 if let Err(e) = std::fs::create_dir_all(&args.baseline_dir) {
-                    eprintln!("warning: {}: {e}", args.baseline_dir.display());
+                    logger::warn(&format!("{}: {e}", args.baseline_dir.display()));
                 }
                 let bpath = args.baseline_dir.join(format!("{}.json", run.job.id));
                 match std::fs::write(&bpath, render_baseline(report, &run.job.id)) {
                     Ok(()) => println!("   [baseline written: {}]", bpath.display()),
-                    Err(e) => eprintln!("warning: could not write {}: {e}", bpath.display()),
+                    Err(e) => logger::warn(&format!("could not write {}: {e}", bpath.display())),
                 }
             }
             if args.check {
@@ -467,9 +495,19 @@ fn main() -> ExitCode {
                     record.drops,
                     record.queue_peak
                 );
+                let rss = match record.rss_delta_bytes {
+                    Some(b) => format!("rss +{:.1} MB", b as f64 / 1e6),
+                    None => {
+                        logger::warn(
+                            "rss unreadable on this platform (/proc/self/status); \
+                             per-session cost falls back to arena accounting",
+                        );
+                        "rss n/a".to_string()
+                    }
+                };
                 println!(
-                    "[scale: rss +{:.1} MB, arenas {:.1} MB — {:.0} bytes/session, {:.0} sessions/GB]",
-                    record.rss_delta_bytes as f64 / 1e6,
+                    "[scale: {}, arenas {:.1} MB — {:.0} bytes/session, {:.0} sessions/GB]",
+                    rss,
                     record.arena_bytes as f64 / 1e6,
                     record.bytes_per_session(),
                     record.sessions_per_gb()
@@ -485,9 +523,9 @@ fn main() -> ExitCode {
                 bench.scale = Some(record);
             }
             None => {
-                eprintln!(
-                    "error: --scale {scene_id}: no such scene (load its directory with --scenes)"
-                );
+                logger::error(&format!(
+                    "--scale {scene_id}: no such scene (load its directory with --scenes)"
+                ));
                 failed = true;
             }
         }
@@ -503,10 +541,10 @@ fn main() -> ExitCode {
                 args.jobs,
                 bench.events_per_sec()
             ),
-            Err(e) => eprintln!(
-                "warning: could not write {}: {e}",
+            Err(e) => logger::warn(&format!(
+                "could not write {}: {e}",
                 args.bench_json.display()
-            ),
+            )),
         }
     }
 
@@ -514,10 +552,9 @@ fn main() -> ExitCode {
     // scheduling incorrectly — surface it next to the bench numbers so a
     // "faster" run that cheated the calendar is never celebrated.
     if schedule_past_total > 0 {
-        eprintln!(
-            "warning: {schedule_past_total} send(s) clamped from the past \
-             (schedule_past telemetry)"
-        );
+        logger::warn(&format!(
+            "{schedule_past_total} send(s) clamped from the past (schedule_past telemetry)"
+        ));
     }
 
     let mut bench_regressed = false;
@@ -536,27 +573,27 @@ fn main() -> ExitCode {
                     let artifact = args.csv_dir.join("bench-compare.txt");
                     if std::fs::create_dir_all(&args.csv_dir).is_ok() {
                         if let Err(e) = std::fs::write(&artifact, &rendered) {
-                            eprintln!("warning: could not write {}: {e}", artifact.display());
+                            logger::warn(&format!("could not write {}: {e}", artifact.display()));
                         } else {
                             println!("  [comparison: {}]", artifact.display());
                         }
                     }
                     if cmp.regressed(args.bench_threshold_pct) {
-                        eprintln!(
-                            "error: aggregate events/sec regressed more than {}% vs {}",
+                        logger::error(&format!(
+                            "aggregate events/sec regressed more than {}% vs {}",
                             args.bench_threshold_pct,
                             path.display()
-                        );
+                        ));
                         bench_regressed = true;
                     }
                 }
                 Err(e) => {
-                    eprintln!("error: could not parse {}: {e}", path.display());
+                    logger::error(&format!("could not parse {}: {e}", path.display()));
                     failed = true;
                 }
             },
             Err(e) => {
-                eprintln!("error: could not read {}: {e}", path.display());
+                logger::error(&format!("could not read {}: {e}", path.display()));
                 failed = true;
             }
         }
@@ -564,12 +601,12 @@ fn main() -> ExitCode {
 
     if !check_failures.is_empty() {
         for f in &check_failures {
-            eprintln!("check failed: {f}");
+            logger::error(&format!("check failed: {f}"));
         }
-        eprintln!(
-            "error: {} metric(s) outside their baseline tolerance",
+        logger::error(&format!(
+            "{} metric(s) outside their baseline tolerance",
             check_failures.len()
-        );
+        ));
         failed = true;
     }
 

@@ -421,11 +421,30 @@ mod tests {
             nodes: 300_052,
             events,
             wall_secs: wall,
-            rss_delta_bytes: rss,
+            rss_delta_bytes: Some(rss),
             arena_bytes: 40_000_000,
             drops: 0,
             queue_peak: 100,
         }
+    }
+
+    #[test]
+    fn scale_line_with_null_rss_parses_and_compares() {
+        // A probe on a platform without /proc records `rss: null`; the
+        // baseline must still parse and the (arena-derived) capacity
+        // numbers must still gate.
+        let mut base_rec = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        let mut probe = scale_probe(10_000_000, 4.0, 0);
+        probe.rss_delta_bytes = None;
+        base_rec.scale = Some(probe.clone());
+        assert!(base_rec.to_json().contains("\"rss_delta_bytes\": null"));
+        let base = parse_bench_json(&base_rec.to_json()).unwrap();
+        let bs = base.scale.as_ref().expect("null-rss scale line parses");
+        // 40 MB arena / 100k sessions = 400 B/session = 2.5M sessions/GB.
+        assert!((bs.sessions_per_gb - 2_500_000.0).abs() < 1e-6);
+        let mut cur = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        cur.scale = Some(probe);
+        assert!(!compare(&cur, &base).regressed(10.0));
     }
 
     #[test]

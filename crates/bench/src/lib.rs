@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod logger;
 
 use phantom_scenarios::registry::{all_experiments, Experiment};
 

@@ -1,0 +1,89 @@
+//! Tiny leveled stderr logger for the harness binaries.
+//!
+//! The `repro` binary used to scatter bare `eprintln!("warning: …")`
+//! calls; this module puts them behind one process-wide level so
+//! `--quiet` CI invocations and `-v` interactive ones share the call
+//! sites. Deliberately minimal — no timestamps, no targets, no
+//! dependency — because the harness needs exactly three behaviors:
+//! errors always print, warnings/notes print unless quieted, and info
+//! chatter (heartbeats, per-artifact confirmations) prints only when
+//! asked for.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of the process, lowest to highest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Errors only (`-q`).
+    Quiet = 0,
+    /// Errors, warnings and notes — the default.
+    Normal = 1,
+    /// Everything, including heartbeat/info chatter (`-v`).
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
+
+/// Set the process-wide level (normally once, from argument parsing).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Normal,
+        _ => Level::Verbose,
+    }
+}
+
+/// True when info-level chatter should print (`-v`).
+pub fn verbose() -> bool {
+    level() >= Level::Verbose
+}
+
+/// Print an error to stderr. Never suppressed: an error accompanies a
+/// failure exit code, and a silent failure is worse than a noisy one.
+pub fn error(msg: &str) {
+    eprintln!("error: {msg}");
+}
+
+/// Print a warning to stderr unless the process is quieted.
+pub fn warn(msg: &str) {
+    if level() >= Level::Normal {
+        eprintln!("warning: {msg}");
+    }
+}
+
+/// Print a note to stderr unless the process is quieted.
+pub fn note(msg: &str) {
+    if level() >= Level::Normal {
+        eprintln!("note: {msg}");
+    }
+}
+
+/// Print info chatter to stderr, only at verbose level.
+pub fn info(msg: &str) {
+    if verbose() {
+        eprintln!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_round_trip() {
+        assert!(Level::Quiet < Level::Normal && Level::Normal < Level::Verbose);
+        let prev = level();
+        set_level(Level::Verbose);
+        assert!(verbose());
+        assert_eq!(level(), Level::Verbose);
+        set_level(Level::Quiet);
+        assert!(!verbose());
+        assert_eq!(level(), Level::Quiet);
+        set_level(prev);
+    }
+}

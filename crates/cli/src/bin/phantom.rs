@@ -7,12 +7,15 @@
 //! phantom list              built-in experiments + committed scene files
 //! phantom trace-lint <file.jsonl>   validate a trace artifact
 //! phantom analyze <file.jsonl>      trace -> phantom-analysis/1 report
+//! phantom profile <file.json>       render a phantom-profile/1 artifact
+//! phantom status <file> [--watch]   pretty-print a phantom-status/1 file
 //! ```
 //!
 //! A file whose first non-blank byte is `{` is treated as a
 //! `phantom-scene/1` document (declarative topology + workload +
 //! mid-run timeline); anything else is the line-oriented topology DSL.
 
+use phantom_analyze::jsonl::{parse_flat_object, Scalar};
 use phantom_analyze::{analyze_trace_str, lint_trace_str, AnalysisTargets, LintError};
 use phantom_cli::{
     compare_algorithms, parse_str, predict, run_scene_opts, run_spec_opts, sweep_u, RunOptions,
@@ -42,11 +45,20 @@ fn usage() -> ExitCode {
     eprintln!("                                                 # exit 1 invalid, 2 truncated");
     eprintln!("       phantom analyze <file.jsonl> [--window MS] [--out F.json]");
     eprintln!("                                                 # phantom-analysis/1 report");
+    eprintln!("       phantom profile <file.json>               # render a phantom-profile/1");
+    eprintln!("                                                 # artifact as a self-time table");
+    eprintln!("       phantom status <file> [--watch]           # pretty-print a phantom-status/1");
+    eprintln!("                                                 # file; --watch polls until done");
     eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
     eprintln!("       ... [--seed N]                            # override the run seed");
     eprintln!("       run ... [--trace F.jsonl] [--trace-filter KINDS]  # JSONL event trace");
     eprintln!("       run ... [--metrics F.prom]                # metrics snapshot + F.prom.json");
     eprintln!("       run ... [-v]                              # progress heartbeat on stderr");
+    eprintln!(
+        "       run ... [--profile F.json]                # phantom-profile/1 engine profile"
+    );
+    eprintln!("       run ... [--status-file F.json]            # live phantom-status/1 heartbeat");
+    eprintln!("       run ... [--post-mortem F.jsonl]           # panic flight-recorder dump");
     eprintln!("       run <scene.json> [--analyze]              # live phantom-analysis/1 report");
     eprintln!();
     eprintln!("scene file format: phantom-scene/1 JSON — see schemas/phantom-scene-v1.md");
@@ -249,6 +261,176 @@ fn analyze(path: &str, window_secs: Option<f64>, out: Option<&str>) -> Result<()
     Ok(())
 }
 
+/// Find `key` in a parsed flat object.
+fn field<'a>(pairs: &'a [(String, Scalar)], key: &str) -> Option<&'a Scalar> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Numeric field, `None` when absent or `null`.
+fn num(pairs: &[(String, Scalar)], key: &str) -> Option<f64> {
+    match field(pairs, key) {
+        Some(Scalar::Num(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// String field, `None` when absent.
+fn text<'a>(pairs: &'a [(String, Scalar)], key: &str) -> Option<&'a str> {
+    match field(pairs, key) {
+        Some(Scalar::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// `phantom profile`: re-read a `phantom-profile/1` document and render
+/// it as sorted self-time tables. The document is line-oriented by
+/// construction — every attribution row is one flat JSON object on its
+/// own line and every top-level scalar sits alone on its own line — so
+/// the same flat-object scanner that reads traces reads this.
+fn show_profile(path: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut section = String::new();
+    // (section, name, events, self_secs, share)
+    let mut rows: Vec<(String, String, u64, f64, f64)> = Vec::new();
+    let mut scalars: Vec<(String, Scalar)> = Vec::new();
+    let mut manifest: Vec<(String, Scalar)> = Vec::new();
+    let mut calendar: Vec<(String, Scalar)> = Vec::new();
+    for (lineno, raw) in doc.lines().enumerate() {
+        let t = raw.trim().trim_end_matches(',');
+        if t == "{" || t == "}" || t == "]" || t.is_empty() {
+            continue;
+        }
+        let err = |e: String| format!("{path}:{}: {e}", lineno + 1);
+        if t.starts_with('{') {
+            let pairs = parse_flat_object(t).map_err(err)?;
+            rows.push((
+                section.clone(),
+                text(&pairs, "name").unwrap_or("?").to_string(),
+                num(&pairs, "events").unwrap_or(0.0) as u64,
+                num(&pairs, "self_secs").unwrap_or(0.0),
+                num(&pairs, "share").unwrap_or(0.0),
+            ));
+            continue;
+        }
+        let Some((key, val)) = t.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let val = val.trim();
+        if val == "[" {
+            section = key;
+        } else if val.starts_with('{') {
+            let pairs = parse_flat_object(val).map_err(err)?;
+            match key.as_str() {
+                "manifest" => manifest = pairs,
+                "calendar" => calendar = pairs,
+                _ => {}
+            }
+        } else {
+            let pairs = parse_flat_object(&format!("{{\"v\": {val}}}")).map_err(err)?;
+            scalars.push((key, pairs.into_iter().next().expect("one pair").1));
+        }
+    }
+    if text(&scalars, "schema") != Some("phantom-profile/1") {
+        return Err(format!("{path}: not a phantom-profile/1 document"));
+    }
+    println!(
+        "phantom-profile/1 — {} (seed {})",
+        text(&manifest, "scenario").unwrap_or("?"),
+        num(&manifest, "seed").unwrap_or(0.0) as u64
+    );
+    println!(
+        "  loop wall {:.3}s of {:.3}s harness wall — {} events in {} dispatches \
+         (batching {:.2}x), {:.0} events/s, {:.1}% attributed",
+        num(&scalars, "loop_wall_secs").unwrap_or(0.0),
+        num(&scalars, "wall_secs").unwrap_or(0.0),
+        num(&scalars, "events").unwrap_or(0.0) as u64,
+        num(&scalars, "dispatches").unwrap_or(0.0) as u64,
+        num(&scalars, "batching").unwrap_or(1.0),
+        num(&scalars, "events_per_sec").unwrap_or(0.0),
+        num(&scalars, "attributed_share").unwrap_or(0.0) * 100.0,
+    );
+    for sec in ["nodes", "kinds", "phases"] {
+        let mut list: Vec<_> = rows.iter().filter(|r| r.0 == sec).collect();
+        if list.is_empty() {
+            continue;
+        }
+        list.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+        println!();
+        println!(
+            "  {:34} {:>12} {:>10} {:>7}",
+            sec, "events", "self", "share"
+        );
+        for r in list {
+            println!(
+                "    {:32} {:>12} {:>9.3}s {:>6.1}%",
+                r.1,
+                r.2,
+                r.3,
+                r.4 * 100.0
+            );
+        }
+    }
+    if !calendar.is_empty() {
+        println!();
+        println!(
+            "  calendar: {} active inserts, {} wheel pushes, {} far pushes; \
+             {} advances ({} promoted, {} sorted), occupancy mean {:.1} / max {}",
+            num(&calendar, "active_inserts").unwrap_or(0.0) as u64,
+            num(&calendar, "wheel_pushes").unwrap_or(0.0) as u64,
+            num(&calendar, "far_pushes").unwrap_or(0.0) as u64,
+            num(&calendar, "advances").unwrap_or(0.0) as u64,
+            num(&calendar, "promoted").unwrap_or(0.0) as u64,
+            num(&calendar, "sorted_entries").unwrap_or(0.0) as u64,
+            num(&calendar, "occupied_mean").unwrap_or(0.0),
+            num(&calendar, "occupied_max").unwrap_or(0.0) as u64,
+        );
+    }
+    Ok(())
+}
+
+/// `phantom status`: pretty-print a `phantom-status/1` file as one
+/// line; with `--watch`, poll about once a second until the writer
+/// reports `done`. Reads are safe mid-run because the writer replaces
+/// the file atomically.
+fn show_status(path: &str, watch: bool) -> Result<(), String> {
+    loop {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let pairs = parse_flat_object(doc.trim()).map_err(|e| format!("{path}: {e}"))?;
+        if text(&pairs, "schema") != Some("phantom-status/1") {
+            return Err(format!("{path}: not a phantom-status/1 document"));
+        }
+        let state = text(&pairs, "state").unwrap_or("?").to_string();
+        let mut line = format!(
+            "{} seed {}: {} {:.0}% ({}/{} {}) — {} events, {:.0}/s, wall {:.1}s",
+            text(&pairs, "scenario").unwrap_or("?"),
+            num(&pairs, "seed").unwrap_or(0.0) as u64,
+            state,
+            num(&pairs, "progress").unwrap_or(0.0) * 100.0,
+            num(&pairs, "done").unwrap_or(0.0) as u64,
+            num(&pairs, "total").unwrap_or(0.0) as u64,
+            text(&pairs, "unit").unwrap_or("?"),
+            num(&pairs, "events").unwrap_or(0.0) as u64,
+            num(&pairs, "events_per_sec").unwrap_or(0.0),
+            num(&pairs, "wall_secs").unwrap_or(0.0),
+        );
+        if let Some(eta) = num(&pairs, "eta_secs") {
+            line.push_str(&format!(", eta {eta:.1}s"));
+        }
+        if let Some(rss) = num(&pairs, "rss_bytes") {
+            line.push_str(&format!(", rss {:.0} MB", rss / 1e6));
+        }
+        if let (Some(sim), Some(end)) = (num(&pairs, "sim_secs"), num(&pairs, "sim_end_secs")) {
+            line.push_str(&format!(", sim {sim:.2}/{end:.2}s"));
+        }
+        println!("{line}");
+        if !watch || state == "done" {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1000));
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -303,6 +485,33 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.first().map(String::as_str) == Some("profile") {
+        let [_, path] = args.as_slice() else {
+            return usage();
+        };
+        return match show_profile(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.first().map(String::as_str) == Some("status") {
+        let watch = take_switch(&mut args, "--watch");
+        let [_, path] = args.as_slice() else {
+            return usage();
+        };
+        return match show_status(path, watch) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut jobs = 1usize;
     let mut seed: Option<u64> = None;
     let analyze = take_switch(&mut args, "--analyze");
@@ -328,6 +537,15 @@ fn main() -> ExitCode {
         }
         if let Some(v) = take_value(&mut args, "--metrics")? {
             opts.metrics = Some(PathBuf::from(v));
+        }
+        if let Some(v) = take_value(&mut args, "--profile")? {
+            opts.profile = Some(PathBuf::from(v));
+        }
+        if let Some(v) = take_value(&mut args, "--status-file")? {
+            opts.status_file = Some(PathBuf::from(v));
+        }
+        if let Some(v) = take_value(&mut args, "--post-mortem")? {
+            opts.post_mortem = Some(PathBuf::from(v));
         }
         Ok(())
     })();

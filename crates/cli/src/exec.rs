@@ -9,11 +9,14 @@ use phantom_atm::Traffic;
 use phantom_baselines::{Aprc, Capc, Eprca, Erica, Osu};
 use phantom_core::{PhantomAllocator, PhantomConfig, PhantomNi};
 use phantom_metrics::fairness::Session;
-use phantom_metrics::manifest::{Manifest, METRICS_SCHEMA, TRACE_SCHEMA};
-use phantom_metrics::{jain_index, phantom_prediction, Registry, Table};
-use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard};
+use phantom_metrics::manifest::{
+    Manifest, METRICS_SCHEMA, POSTMORTEM_SCHEMA, PROFILE_SCHEMA, TRACE_SCHEMA,
+};
+use phantom_metrics::{jain_index, phantom_prediction, ProfileRecord, Registry, RunStatus, Table};
+use phantom_sim::flight::{self, FlightProbe};
+use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard, TeeProbe};
 use phantom_sim::telemetry::{self, RunCounters};
-use phantom_sim::{Engine, SimDuration, SimTime};
+use phantom_sim::{profile, Engine, SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -49,8 +52,18 @@ pub struct RunOptions {
     /// Write a Prometheus-style metrics snapshot to this path, plus a
     /// JSON summary to the same path with `.json` appended.
     pub metrics: Option<PathBuf>,
-    /// Print a progress heartbeat to stderr (events/s, sim/wall ratio).
+    /// Print a progress heartbeat to stderr (events/s, sim/wall ratio,
+    /// ETA, RSS) after each run slice.
     pub verbose: bool,
+    /// Write a `phantom-profile/1` engine profile (where the wall time
+    /// went: node types, event kinds, calendar phases) to this path.
+    pub profile: Option<PathBuf>,
+    /// Atomically rewrite a `phantom-status/1` liveness file here after
+    /// each run slice; `phantom status FILE [--watch]` pretty-prints it.
+    pub status_file: Option<PathBuf>,
+    /// Arm the panic flight recorder: on panic, a `phantom-postmortem/1`
+    /// dump (engine snapshot + recent-event ring) lands at this path.
+    pub post_mortem: Option<PathBuf>,
     /// Scenario name recorded in artifact manifests (e.g. the topology
     /// file path); empty means `"cli"`.
     pub scenario: String,
@@ -142,8 +155,53 @@ pub(crate) fn trace_probe(
     }))
 }
 
-fn install_trace(opts: &RunOptions, manifest: &Manifest) -> Result<Option<ProbeGuard>, String> {
-    Ok(trace_probe(opts, manifest)?.map(ProbeGuard::install))
+/// Install every requested probe for a run: any subset of {trace,
+/// analysis tap, flight ring} composes through one [`TeeProbe`].
+pub(crate) fn install_probes(mut probes: Vec<Box<dyn Probe>>) -> Option<ProbeGuard> {
+    match probes.len() {
+        0 => None,
+        1 => Some(ProbeGuard::install(probes.pop().expect("len checked"))),
+        _ => Some(ProbeGuard::install(Box::new(
+            probes.into_iter().fold(TeeProbe::new(), TeeProbe::and),
+        ))),
+    }
+}
+
+/// Arm the panic flight recorder when `opts.post_mortem` asks for it,
+/// returning the disarm guard and the ring-feeding probe to tee into
+/// the run's probe chain. The dump's first line is the run manifest
+/// re-stamped with the post-mortem schema.
+pub(crate) fn arm_flight(
+    opts: &RunOptions,
+    manifest: &Manifest,
+) -> (Option<flight::FlightGuard>, Option<Box<dyn Probe>>) {
+    match &opts.post_mortem {
+        Some(path) => {
+            let manifest_json = manifest.for_schema(POSTMORTEM_SCHEMA).to_json();
+            let guard = flight::arm(path, Some(&manifest_json), flight::DEFAULT_RING_CAP);
+            (Some(guard), Some(Box::new(FlightProbe)))
+        }
+        None => (None, None),
+    }
+}
+
+/// Write the `phantom-profile/1` artifact for a finished profile
+/// bracket. A CLI user asked for this file explicitly, so failures are
+/// hard errors (unlike the sweep harness, which degrades silently).
+pub(crate) fn write_profile(
+    path: &Path,
+    manifest: &Manifest,
+    wall_secs: f64,
+    report: phantom_sim::ProfileReport,
+) -> Result<(), String> {
+    let record = ProfileRecord {
+        manifest: manifest.for_schema(PROFILE_SCHEMA),
+        wall_secs,
+        report,
+    };
+    record
+        .write(path)
+        .map_err(|e| format!("cannot write profile {}: {e}", path.display()))
 }
 
 fn ensure_parent(path: &Path) -> Result<(), String> {
@@ -174,37 +232,83 @@ pub(crate) fn write_metrics(
     Ok(())
 }
 
-/// Run the engine to `end` in ten slices, printing a heartbeat to
-/// stderr after each: percent done, events/s, and the sim/wall ratio.
-/// Slicing `run_until` cannot change results — the event order within
-/// each slice is exactly the order of one uninterrupted run.
-fn run_with_heartbeat<M: 'static>(engine: &mut Engine<M>, end: SimTime) {
+/// Run the engine to `end` in ten slices, emitting the requested
+/// liveness signals after each: a stderr heartbeat line (percent done,
+/// events/s, sim/wall ratio, ETA, RSS) when `verbose`, and an atomic
+/// `phantom-status/1` rewrite when `status` names a file (final write
+/// has `state: "done"`). Slicing `run_until` cannot change results —
+/// the event order within each slice is exactly the order of one
+/// uninterrupted run.
+pub(crate) fn run_sliced<M: 'static>(
+    engine: &mut Engine<M>,
+    end: SimTime,
+    verbose: bool,
+    status: Option<&Path>,
+    scenario: &str,
+    seed: u64,
+) -> Result<(), String> {
+    const SLICES: u64 = 10;
     let total = (end - SimTime::ZERO).as_secs_f64();
     let wall_start = std::time::Instant::now();
-    for i in 1..=10u32 {
-        let target = if i == 10 {
+    let events_before = engine.events_processed();
+    for i in 1..=SLICES {
+        let target = if i == SLICES {
             end
         } else {
-            SimTime::ZERO + SimDuration::from_secs_f64(total * f64::from(i) / 10.0)
+            SimTime::ZERO + SimDuration::from_secs_f64(total * i as f64 / SLICES as f64)
         };
         engine.run_until(target);
         let wall = wall_start.elapsed().as_secs_f64().max(1e-9);
-        let sim = total * f64::from(i) / 10.0;
-        eprintln!(
-            "[{:3}%] sim {:.3}s  wall {:.2}s  {:.0} events/s  sim/wall {:.2}x",
-            i * 10,
-            sim,
-            wall,
-            engine.events_processed() as f64 / wall,
-            sim / wall
-        );
+        let sim = total * i as f64 / SLICES as f64;
+        let events = engine.events_processed() - events_before;
+        let eta = (i < SLICES).then(|| wall / i as f64 * (SLICES - i) as f64);
+        let rss = telemetry::rss_bytes();
+        if verbose {
+            eprintln!(
+                "[{:3}%] sim {:.3}s  wall {:.2}s  {:.0} events/s  sim/wall {:.2}x  eta {}  rss {}",
+                i * 100 / SLICES,
+                sim,
+                wall,
+                events as f64 / wall,
+                sim / wall,
+                eta.map_or_else(|| "--".to_string(), |e| format!("{e:.1}s")),
+                rss.map_or_else(
+                    || "n/a".to_string(),
+                    |b| format!("{:.0} MB", b as f64 / 1e6)
+                ),
+            );
+        }
+        if let Some(path) = status {
+            let st = RunStatus {
+                scenario: scenario.to_string(),
+                seed,
+                state: if i == SLICES { "done" } else { "running" }.to_string(),
+                wall_secs: wall,
+                events,
+                events_per_sec: events as f64 / wall,
+                done: i,
+                total: SLICES,
+                unit: "slices".to_string(),
+                eta_secs: eta,
+                rss_bytes: rss,
+                sim_secs: Some(sim),
+                sim_end_secs: Some(total),
+            };
+            st.write(path)
+                .map_err(|e| format!("cannot write status {}: {e}", path.display()))?;
+        }
     }
+    Ok(())
 }
 
 /// [`run_spec`] with observability: optional JSONL trace, optional
-/// metrics snapshot, optional progress heartbeat.
+/// metrics snapshot, optional progress heartbeat and status file,
+/// optional engine profile, optional panic flight recorder. None of
+/// them changes the simulation — a run with every option on produces
+/// the same report as a bare [`run_spec`].
 pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport, String> {
     spec.validate()?;
+    let wall_start = std::time::Instant::now();
     let mut b = NetworkBuilder::new().cbr_priority(spec.cbr_priority);
     let switches: Vec<_> = spec.switches.iter().map(|n| b.switch(n)).collect();
     for t in &spec.trunks {
@@ -252,20 +356,40 @@ pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport
         net.bind_metrics(&mut engine, &r);
         r
     });
-    let guard = install_trace(opts, &manifest)?;
+    let (_flight_guard, flight_probe) = arm_flight(opts, &manifest);
+    let mut probes: Vec<Box<dyn Probe>> = Vec::new();
+    if let Some(trace) = trace_probe(opts, &manifest)? {
+        probes.push(trace);
+    }
+    if let Some(flight) = flight_probe {
+        probes.push(flight);
+    }
+    let guard = install_probes(probes);
     let marker = telemetry::begin_run();
+    let prof = opts.profile.as_ref().map(|_| profile::begin_profile());
 
     let end = SimTime::ZERO + spec.duration;
-    if opts.verbose {
-        run_with_heartbeat(&mut engine, end);
+    if opts.verbose || opts.status_file.is_some() {
+        run_sliced(
+            &mut engine,
+            end,
+            opts.verbose,
+            opts.status_file.as_deref(),
+            scenario,
+            spec.seed,
+        )?;
     } else {
         engine.run_until(end);
     }
+    let report = prof.map(profile::ProfileMarker::finish);
     let counters = marker.finish();
     drop(guard); // flushes the trace file
 
     if let (Some(path), Some(reg)) = (&opts.metrics, &registry) {
         write_metrics(path, reg, &manifest)?;
+    }
+    if let (Some(path), Some(report)) = (&opts.profile, report) {
+        write_profile(path, &manifest, wall_start.elapsed().as_secs_f64(), report)?;
     }
 
     let tail = spec.duration.as_secs_f64() / 2.0;
@@ -528,6 +652,9 @@ run 400ms seed=3
         let opts = RunOptions {
             trace: Some(dir.join("run.jsonl")),
             metrics: Some(dir.join("run.prom")),
+            profile: Some(dir.join("run.profile.json")),
+            status_file: Some(dir.join("run.status.json")),
+            post_mortem: Some(dir.join("run.pm.jsonl")),
             scenario: "dumbbell".into(),
             ..Default::default()
         };
@@ -537,6 +664,48 @@ run 400ms seed=3
             plain.render(&spec),
             traced.render(&spec),
             "observability must not change the simulation"
+        );
+
+        let profile = std::fs::read_to_string(dir.join("run.profile.json")).unwrap();
+        assert!(profile.starts_with("{\n  \"schema\": \"phantom-profile/1\""));
+        assert!(profile.contains("\"scenario\":\"dumbbell\""));
+        for name in ["\"calendar.pop\"", "\"calendar.advance.scan\"", "\"cell\""] {
+            assert!(profile.contains(name), "{name} missing from profile");
+        }
+        let share_line = profile
+            .lines()
+            .find(|l| l.contains("\"attributed_share\""))
+            .unwrap();
+        let share: f64 = share_line
+            .trim()
+            .trim_end_matches(',')
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            share > 0.9 && share <= 1.0 + 1e-9,
+            "node + phase self-times must account for the loop wall: {share}"
+        );
+
+        let status = std::fs::read_to_string(dir.join("run.status.json")).unwrap();
+        assert!(status.starts_with("{\"schema\": \"phantom-status/1\""));
+        assert!(status.ends_with("}\n"));
+        for key in [
+            "\"state\": \"done\"",
+            "\"done\": 10",
+            "\"total\": 10",
+            "\"unit\": \"slices\"",
+            "\"progress\": 1",
+            "\"sim_end_secs\": 0.4",
+        ] {
+            assert!(status.contains(key), "{key} missing from status: {status}");
+        }
+
+        assert!(
+            !dir.join("run.pm.jsonl").exists(),
+            "a run that finishes normally writes no post-mortem"
         );
 
         let trace = std::fs::read_to_string(dir.join("run.jsonl")).unwrap();
@@ -591,11 +760,82 @@ run 400ms seed=3
             ("phantom-bench-v3.md", "phantom-bench/3"),
             ("phantom-csv-v1.md", "phantom-csv/1"),
             ("phantom-scene-v1.md", "phantom-scene/1"),
+            ("phantom-profile-v1.md", "phantom-profile/1"),
+            ("phantom-status-v1.md", "phantom-status/1"),
+            ("phantom-postmortem-v1.md", "phantom-postmortem/1"),
         ] {
             let doc = std::fs::read_to_string(schemas.join(file)).unwrap();
             assert!(doc.contains(tag), "{file} must document {tag}");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A flight-recorder dump must round-trip through the analyzer's
+    /// flat-object parser: every line of the post-mortem — manifest,
+    /// snapshot, arena rows, retained events — is one parseable flat
+    /// JSON object, and the snapshot reflects the run that fed it.
+    #[test]
+    fn flight_dump_round_trips_through_the_flat_parser() {
+        use phantom_analyze::jsonl::{parse_flat_object, Scalar};
+
+        let dir = std::env::temp_dir().join("phantom_cli_flight_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let spec = parse_str(DUMBBELL).unwrap();
+        let manifest = Manifest::new(POSTMORTEM_SCHEMA, "dumbbell", spec.seed, "cfg");
+        // Arm outside run_spec_opts so the recorder survives the run and
+        // `dump_now` can render what a panic hook would have written.
+        let _g = flight::arm(&dir.join("pm.jsonl"), Some(&manifest.to_json()), 32);
+        let _probe = ProbeGuard::install(Box::new(FlightProbe));
+        let report = run_spec_opts(&spec, &RunOptions::default()).unwrap();
+        let dump = flight::dump_now("inspection").expect("recorder is armed");
+
+        let get = |pairs: &[(String, Scalar)], key: &str| -> Scalar {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("{key} missing"))
+        };
+        let mut arenas = 0u32;
+        let mut events = 0u32;
+        for (i, line) in dump.lines().enumerate() {
+            let pairs =
+                parse_flat_object(line).unwrap_or_else(|e| panic!("dump line {i}: {e}: {line}"));
+            match i {
+                0 => assert_eq!(
+                    get(&pairs, "schema"),
+                    Scalar::Str("phantom-postmortem/1".into())
+                ),
+                1 => {
+                    assert_eq!(get(&pairs, "record"), Scalar::Str("snapshot".into()));
+                    assert_eq!(get(&pairs, "panic"), Scalar::Str("inspection".into()));
+                    let dispatches = match get(&pairs, "dispatches") {
+                        Scalar::Num(n) => n as u64,
+                        other => panic!("dispatches: {other:?}"),
+                    };
+                    assert!(
+                        dispatches <= report.events && dispatches > 0,
+                        "snapshot dispatches {dispatches} vs {} events",
+                        report.events
+                    );
+                }
+                _ => match get(&pairs, "record") {
+                    Scalar::Str(r) if r == "arena" => {
+                        let _ = get(&pairs, "type");
+                        arenas += 1;
+                    }
+                    Scalar::Str(r) if r == "event" => {
+                        // phantom-trace/1 field layout, tagged as a record
+                        let _ = get(&pairs, "t");
+                        let _ = get(&pairs, "kind");
+                        events += 1;
+                    }
+                    other => panic!("unexpected record on line {i}: {other:?}"),
+                },
+            }
+        }
+        assert!(arenas > 0, "dump lists the typed arenas");
+        assert!(events > 0, "dump retains a ring of recent events");
     }
 
     #[test]

@@ -8,13 +8,16 @@
 //! targets *the scene itself declares* (`analysis_targets`), since the
 //! file in hand is the authority when running it directly.
 
-use crate::exec::{trace_probe, write_metrics, RunOptions};
+use crate::exec::{
+    arm_flight, install_probes, run_sliced, trace_probe, write_metrics, write_profile, RunOptions,
+};
 use phantom_analyze::{AnalysisHandle, AnalysisReport, AnalysisSink, StreamingAnalyzer};
 use phantom_metrics::manifest::{Manifest, METRICS_SCHEMA, TRACE_SCHEMA};
 use phantom_metrics::{ExperimentResult, Registry};
 use phantom_scenarios::atm::run_standard;
 use phantom_scene::{analysis_targets, compile, CompiledScene, Scene};
-use phantom_sim::probe::{Probe, ProbeGuard, TeeProbe};
+use phantom_sim::probe::Probe;
+use phantom_sim::profile;
 use phantom_sim::telemetry::{self, RunCounters};
 
 /// Everything one scene run produced.
@@ -31,13 +34,16 @@ pub struct SceneReport {
 
 /// Compile and run a validated scene with the requested observability:
 /// optional JSONL trace, optional metrics snapshot, optional live
-/// `phantom-analysis/1` tap with window width `analyze_window` seconds.
+/// `phantom-analysis/1` tap with window width `analyze_window` seconds,
+/// plus the run-wide options (heartbeat, status file, engine profile,
+/// panic flight recorder). None of them changes the simulation.
 pub fn run_scene_opts(
     scene: &Scene,
     seed: u64,
     analyze_window: Option<f64>,
     opts: &RunOptions,
 ) -> Result<SceneReport, String> {
+    let wall_start = std::time::Instant::now();
     let manifest = Manifest::new(TRACE_SCHEMA, &scene.id, seed, &scene.id);
     let CompiledScene {
         mut engine,
@@ -62,17 +68,35 @@ pub fn run_scene_opts(
         }
         None => (None, None),
     };
-    let guard = match (trace_probe(opts, &manifest)?, tap) {
-        (Some(trace), Some(tap)) => Some(ProbeGuard::install(Box::new(
-            TeeProbe::new().and(tap).and(trace),
-        ))),
-        (Some(trace), None) => Some(ProbeGuard::install(trace)),
-        (None, Some(tap)) => Some(ProbeGuard::install(tap)),
-        (None, None) => None,
-    };
+    let (_flight_guard, flight_probe) = arm_flight(opts, &manifest);
+    let mut probes: Vec<Box<dyn Probe>> = Vec::new();
+    if let Some(tap) = tap {
+        probes.push(tap);
+    }
+    if let Some(trace) = trace_probe(opts, &manifest)? {
+        probes.push(trace);
+    }
+    if let Some(flight) = flight_probe {
+        probes.push(flight);
+    }
+    let guard = install_probes(probes);
 
     let marker = telemetry::begin_run();
+    let prof = opts.profile.as_ref().map(|_| profile::begin_profile());
     let events_before = phantom_sim::thread_events_dispatched();
+    // Pre-drive the engine to `until` in heartbeat slices when liveness
+    // was requested; `run_standard`'s first action is `run_until(until)`,
+    // which then finds no work left, so the results are identical.
+    if opts.verbose || opts.status_file.is_some() {
+        run_sliced(
+            &mut engine,
+            until,
+            opts.verbose,
+            opts.status_file.as_deref(),
+            &scene.id,
+            seed,
+        )?;
+    }
     let (_engine, _net, result) = run_standard(
         engine,
         net,
@@ -85,12 +109,16 @@ pub fn run_scene_opts(
         tail_from_secs,
     );
     let events = phantom_sim::thread_events_dispatched() - events_before;
+    let report = prof.map(profile::ProfileMarker::finish);
     let counters = marker.finish();
     drop(guard); // flushes the trace file
     let analysis = handle.and_then(AnalysisHandle::finish);
 
     if let (Some(path), Some(reg)) = (&opts.metrics, &registry) {
         write_metrics(path, reg, &manifest.for_schema(METRICS_SCHEMA))?;
+    }
+    if let (Some(path), Some(report)) = (&opts.profile, report) {
+        write_profile(path, &manifest, wall_start.elapsed().as_secs_f64(), report)?;
     }
 
     Ok(SceneReport {
@@ -130,6 +158,8 @@ mod tests {
         let opts = RunOptions {
             trace: Some(dir.join("run.jsonl")),
             metrics: Some(dir.join("run.prom")),
+            profile: Some(dir.join("run.profile.json")),
+            status_file: Some(dir.join("run.status.json")),
             ..RunOptions::default()
         };
         let report = run_scene_opts(
@@ -154,6 +184,17 @@ mod tests {
         assert!(trace.lines().count() > 1);
         let prom = std::fs::read_to_string(dir.join("run.prom")).unwrap();
         assert!(prom.starts_with("# manifest: {\"schema\":\"phantom-metrics/1\""));
+        let profile = std::fs::read_to_string(dir.join("run.profile.json")).unwrap();
+        assert!(profile.starts_with("{\n  \"schema\": \"phantom-profile/1\""));
+        assert!(profile.contains("\"scenario\":\"cli-scene-test\""));
+        assert!(profile.contains("\"calendar.pop\""));
+        let status = std::fs::read_to_string(dir.join("run.status.json")).unwrap();
+        assert!(
+            status.starts_with("{\"schema\": \"phantom-status/1\""),
+            "{status}"
+        );
+        assert!(status.contains("\"state\": \"done\""));
+        assert!(status.contains("\"unit\": \"slices\""));
         let _ = std::fs::remove_dir_all(&dir);
 
         // Untraced rerun is identical: observability never changes the run.

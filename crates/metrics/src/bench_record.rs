@@ -50,11 +50,11 @@ impl RunRecord {
 /// the `scale` object of `phantom-bench/4`.
 ///
 /// Collected by building and running the scene once on a quiet thread:
-/// resident-set growth over the whole build+run (when `/proc` is
-/// readable; 0 otherwise) alongside the engine's own accounting of node
-/// state, so the two can be compared — RSS includes the event calendar,
-/// port queues and allocator slack that `arena_bytes` deliberately
-/// excludes.
+/// resident-set growth over the whole build+run (`None` when `/proc`
+/// is unreadable on this platform) alongside the engine's own
+/// accounting of node state, so the two can be compared — RSS includes
+/// the event calendar, port queues and allocator slack that
+/// `arena_bytes` deliberately excludes.
 #[derive(Clone, Debug)]
 pub struct ScaleRecord {
     /// Scene id, e.g. `"metro-100k"`.
@@ -69,9 +69,9 @@ pub struct ScaleRecord {
     pub events: u64,
     /// Wall-clock seconds for the probe run (build excluded).
     pub wall_secs: f64,
-    /// Resident-set growth across build + run, in bytes (0 when RSS is
-    /// unreadable on this platform).
-    pub rss_delta_bytes: u64,
+    /// Resident-set growth across build + run, in bytes; `None` when
+    /// RSS is unreadable on this platform (renders as JSON `null`).
+    pub rss_delta_bytes: Option<u64>,
     /// The engine's own accounting of per-node state
     /// (`Engine::nodes_footprint_bytes`) after the run.
     pub arena_bytes: u64,
@@ -85,10 +85,9 @@ impl ScaleRecord {
     /// Memory charged to one session: RSS growth when measured, the
     /// arena accounting otherwise.
     pub fn bytes_per_session(&self) -> f64 {
-        let bytes = if self.rss_delta_bytes > 0 {
-            self.rss_delta_bytes
-        } else {
-            self.arena_bytes
+        let bytes = match self.rss_delta_bytes {
+            Some(rss) if rss > 0 => rss,
+            _ => self.arena_bytes,
         };
         if self.sessions > 0 {
             bytes as f64 / self.sessions as f64
@@ -128,7 +127,10 @@ impl ScaleRecord {
             self.events,
             json_f64(self.wall_secs),
             json_f64(self.events_per_sec()),
-            self.rss_delta_bytes,
+            match self.rss_delta_bytes {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            },
             self.arena_bytes,
             json_f64(self.bytes_per_session()),
             json_f64(self.sessions_per_gb()),
@@ -281,7 +283,7 @@ mod tests {
             nodes: 300_052,
             events: 10_000_000,
             wall_secs: 4.0,
-            rss_delta_bytes: 2_000_000_000,
+            rss_delta_bytes: Some(2_000_000_000),
             arena_bytes: 50_000_000,
             drops: 123,
             queue_peak: 16_384,
@@ -323,10 +325,22 @@ mod tests {
         assert_eq!(s.bytes_per_session(), 20_000.0);
         assert_eq!(s.sessions_per_gb(), 50_000.0);
         assert_eq!(s.events_per_sec(), 2_500_000.0);
-        // RSS unreadable -> fall back to the engine's own accounting.
-        s.rss_delta_bytes = 0;
+        // RSS unreadable -> fall back to the engine's own accounting,
+        // whether the probe failed (None) or measured no growth (0).
+        s.rss_delta_bytes = None;
         assert_eq!(s.bytes_per_session(), 500.0);
         assert_eq!(s.sessions_per_gb(), 2_000_000.0);
+        s.rss_delta_bytes = Some(0);
+        assert_eq!(s.bytes_per_session(), 500.0);
+    }
+
+    #[test]
+    fn unreadable_rss_renders_as_null() {
+        let mut s = sample_scale();
+        s.rss_delta_bytes = None;
+        let line = s.to_json_line();
+        assert!(line.contains("\"rss_delta_bytes\": null"));
+        assert!(line.contains("\"bytes_per_session\": 500"));
     }
 
     #[test]

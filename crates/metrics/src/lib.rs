@@ -22,6 +22,10 @@
 //!   JSON summary.
 //! * [`manifest`] — the provenance manifest (scenario, seed, config
 //!   hash, git rev, schema version) embedded in every artifact.
+//! * [`profile_record`] — the `phantom-profile/1` artifact wrapping the
+//!   engine's in-run profiler report (`phantom run --profile`).
+//! * [`status`] — live run-status files (`phantom-status/1`), rewritten
+//!   atomically every heartbeat for `phantom status` to poll.
 //! * [`json`] — the hand-rolled JSON emission helpers all of the above
 //!   share (the workspace builds without serde).
 
@@ -34,9 +38,11 @@ pub mod fairness;
 pub mod json;
 pub mod loghist;
 pub mod manifest;
+pub mod profile_record;
 pub mod registry;
 pub mod report;
 pub mod series;
+pub mod status;
 
 pub use bench_record::{BenchRecord, RunRecord, ScaleRecord};
 pub use convergence::{convergence_time, oscillation_amplitude};
@@ -45,5 +51,7 @@ pub use fairness::{
 };
 pub use loghist::LogHistogram;
 pub use manifest::{fnv1a_64, Manifest};
+pub use profile_record::ProfileRecord;
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 pub use report::{aggregate_runs, ExperimentResult, Table};
+pub use status::{write_atomic, RunStatus};

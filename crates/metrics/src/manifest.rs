@@ -24,6 +24,14 @@ pub const BENCH_SCHEMA: &str = "phantom-bench/4";
 pub const CSV_SCHEMA: &str = "phantom-csv/1";
 /// Schema tag for `phantom analyze` reports.
 pub const ANALYSIS_SCHEMA: &str = "phantom-analysis/1";
+/// Schema tag for in-run profiler reports (`phantom run --profile`,
+/// `repro --profile-dir`).
+pub const PROFILE_SCHEMA: &str = "phantom-profile/1";
+/// Schema tag for live run-status files (`--status-file`), one flat
+/// JSON object rewritten atomically while a run is in flight.
+pub const STATUS_SCHEMA: &str = "phantom-status/1";
+/// Schema tag for panic flight-recorder dumps (post-mortem JSONL).
+pub const POSTMORTEM_SCHEMA: &str = "phantom-postmortem/1";
 
 /// The git revision this binary was built from ("unknown" outside a
 /// checkout); embedded at compile time by the crate's build script.

@@ -1,0 +1,241 @@
+//! The `phantom-profile/1` artifact: a serialized engine profile.
+//!
+//! [`ProfileRecord`] wraps a [`phantom_sim::ProfileReport`] with a
+//! provenance [`Manifest`] and renders it as the JSON document written
+//! by `phantom run --profile` and `repro --profile-dir`. Like every
+//! artifact in this workspace the writer is hand-rolled (no serde), and
+//! the layout is deliberately line-oriented: each attribution row —
+//! node type, event kind, calendar phase — is one flat JSON object on
+//! its own line, so `phantom profile` can re-read the document with the
+//! same line-wise scanner the analyzer uses for JSONL traces.
+
+use crate::json::{json_f64, json_str};
+use crate::manifest::Manifest;
+use phantom_sim::{ProfileEntry, ProfileReport};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One profiled run (or batch of runs) plus its provenance.
+#[derive(Clone, Debug)]
+pub struct ProfileRecord {
+    /// Provenance of the profiled run (scenario, seed, config hash, rev).
+    pub manifest: Manifest,
+    /// Harness wall-clock seconds for the whole run, including scenario
+    /// build and artifact writing — everything *around* the engine loop.
+    pub wall_secs: f64,
+    /// The engine's own attribution, harvested from the profile bracket.
+    pub report: ProfileReport,
+}
+
+impl ProfileRecord {
+    /// Wall time spent inside profiled engine run loops, seconds — the
+    /// denominator every `share` field is computed against.
+    pub fn loop_wall_secs(&self) -> f64 {
+        self.report.wall_ns as f64 / 1e9
+    }
+
+    /// Fraction of the loop wall time attributed to a named bucket
+    /// (nodes + phases partition the loop by construction).
+    pub fn attributed_share(&self) -> f64 {
+        if self.report.wall_ns == 0 {
+            0.0
+        } else {
+            self.report.attributed_ns() as f64 / self.report.wall_ns as f64
+        }
+    }
+
+    /// Logical events per second of loop wall time.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.loop_wall_secs();
+        if secs > 0.0 {
+            self.report.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn entry_line(&self, e: &ProfileEntry) -> String {
+        let share = if self.report.wall_ns == 0 {
+            0.0
+        } else {
+            e.self_ns as f64 / self.report.wall_ns as f64
+        };
+        format!(
+            "{{\"name\": {}, \"events\": {}, \"self_secs\": {}, \"share\": {}}}",
+            json_str(&e.name),
+            e.events,
+            json_f64(e.self_ns as f64 / 1e9),
+            json_f64(share)
+        )
+    }
+
+    fn entry_array(&self, s: &mut String, key: &str, entries: &[ProfileEntry], last: bool) {
+        let _ = writeln!(s, "  {}: [", json_str(key));
+        for (i, e) in entries.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&self.entry_line(e));
+            s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+        }
+        s.push_str(if last { "  ]\n" } else { "  ],\n" });
+    }
+
+    /// Serialize as the `phantom-profile/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json_str(&self.manifest.schema));
+        let _ = writeln!(s, "  \"manifest\": {},", self.manifest.to_json());
+        let _ = writeln!(s, "  \"wall_secs\": {},", json_f64(self.wall_secs));
+        let _ = writeln!(
+            s,
+            "  \"loop_wall_secs\": {},",
+            json_f64(self.loop_wall_secs())
+        );
+        let _ = writeln!(s, "  \"dispatches\": {},", r.dispatches);
+        let _ = writeln!(s, "  \"events\": {},", r.events);
+        let _ = writeln!(
+            s,
+            "  \"events_per_sec\": {},",
+            json_f64(self.events_per_sec())
+        );
+        let _ = writeln!(s, "  \"batching\": {},", json_f64(r.batching()));
+        let _ = writeln!(
+            s,
+            "  \"attributed_share\": {},",
+            json_f64(self.attributed_share())
+        );
+        self.entry_array(&mut s, "nodes", &r.nodes, false);
+        self.entry_array(&mut s, "kinds", &r.kinds, false);
+        self.entry_array(&mut s, "phases", &r.phases, false);
+        let c = &r.calendar;
+        let _ = writeln!(
+            s,
+            "  \"calendar\": {{\"active_inserts\": {}, \"wheel_pushes\": {}, \"far_pushes\": {}, \"advances\": {}, \"promoted\": {}, \"sorted_entries\": {}, \"occupied_mean\": {}, \"occupied_max\": {}}}",
+            c.active_inserts,
+            c.wheel_pushes,
+            c.far_pushes,
+            c.advances,
+            c.promoted,
+            c.sorted_entries,
+            json_f64(r.occupied_mean()),
+            c.occupied_slices_max
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the JSON document to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::PROFILE_SCHEMA;
+    use phantom_sim::CalendarStats;
+
+    fn sample() -> ProfileRecord {
+        let entry = |name: &str, events: u64, self_ns: u64| ProfileEntry {
+            name: name.to_string(),
+            events,
+            self_ns,
+        };
+        ProfileRecord {
+            manifest: Manifest::new(PROFILE_SCHEMA, "fig2", 1996, "u=5"),
+            wall_secs: 1.5,
+            report: ProfileReport {
+                wall_ns: 1_000_000_000,
+                dispatches: 400,
+                events: 500,
+                nodes: vec![
+                    entry("atm::AtmSwitch", 300, 600_000_000),
+                    entry("atm::Source", 200, 150_000_000),
+                ],
+                kinds: vec![
+                    entry("cell", 450, 700_000_000),
+                    entry("timer.measure", 50, 50_000_000),
+                ],
+                phases: vec![
+                    entry("calendar.pop", 400, 200_000_000),
+                    entry("calendar.advance.scan", 10, 20_000_000),
+                    entry("calendar.advance.promote", 5, 10_000_000),
+                    entry("calendar.advance.sort", 40, 20_000_000),
+                ],
+                calendar: CalendarStats {
+                    active_inserts: 100,
+                    wheel_pushes: 280,
+                    far_pushes: 20,
+                    advances: 10,
+                    promoted: 5,
+                    sorted_entries: 40,
+                    occupied_slices_sum: 30,
+                    occupied_slices_max: 7,
+                    advance_ns: 50_000_000,
+                    scan_ns: 20_000_000,
+                    promote_ns: 10_000_000,
+                    sort_ns: 20_000_000,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn derived_rates_use_the_loop_wall() {
+        let r = sample();
+        assert_eq!(r.loop_wall_secs(), 1.0);
+        assert_eq!(r.events_per_sec(), 500.0);
+        // 600+150 node ms + 200+20+10+20 phase ms = 1000 ms = the loop.
+        assert_eq!(r.attributed_share(), 1.0);
+        assert!((r.report.batching() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_rows_are_single_lines_and_braces_balance() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\n  \"schema\": \"phantom-profile/1\""));
+        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-profile/1\""));
+        // every attribution row is one flat object on its own line
+        assert!(j.contains("\n    {\"name\": \"atm::AtmSwitch\", \"events\": 300, \"self_secs\": 0.6, \"share\": 0.6}"));
+        assert!(j.contains("\n    {\"name\": \"cell\", \"events\": 450"));
+        assert!(j.contains("\n    {\"name\": \"calendar.pop\", \"events\": 400"));
+        assert!(j.contains("\"attributed_share\": 1"));
+        assert!(j.contains(
+            "\"calendar\": {\"active_inserts\": 100, \"wheel_pushes\": 280, \"far_pushes\": 20"
+        ));
+        assert!(j.contains("\"occupied_mean\": 3, \"occupied_max\": 7"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_serializes_without_nan() {
+        let rec = ProfileRecord {
+            manifest: Manifest::new(PROFILE_SCHEMA, "idle", 1, "cfg"),
+            wall_secs: 0.0,
+            report: ProfileReport::default(),
+        };
+        let j = rec.to_json();
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        assert!(j.contains("\"events_per_sec\": 0"));
+        assert_eq!(rec.attributed_share(), 0.0);
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("phantom-profile-record-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("profile.json");
+        sample().write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), sample().to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,264 @@
+//! Live run-status files (`phantom-status/1`).
+//!
+//! A long run (a metro-scale scene, a 31-run sweep) is a black box from
+//! the outside: is it at 10% or 90%? [`RunStatus`] is the answer — a
+//! single flat JSON object the harness rewrites every heartbeat, which
+//! `phantom status FILE [--watch]` pretty-prints. Because a reader polls
+//! the file *while* the writer rewrites it, every update goes through
+//! [`write_atomic`]: write a unique temp file in the same directory,
+//! then `rename(2)` over the target. A poller therefore always sees
+//! either the previous complete document or the next one — never a
+//! torn write — which the status-file tests pin down by hammering the
+//! reader from another thread.
+
+use crate::json::{json_f64, json_str};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of a running (or just-finished) invocation.
+///
+/// `Option` fields render as JSON `null` when unknown: ETA before the
+/// rate settles, RSS on platforms without `/proc`, simulated time for
+/// batch sweeps where it has no single value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunStatus {
+    /// Scenario or batch id, e.g. `"fig2"` or `"sweep"`.
+    pub scenario: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// `"running"` while in flight, `"done"` on the final write.
+    pub state: String,
+    /// Wall-clock seconds since the run started.
+    pub wall_secs: f64,
+    /// Simulator events dispatched so far.
+    pub events: u64,
+    /// Events per wall-clock second so far.
+    pub events_per_sec: f64,
+    /// Progress units finished (heartbeat slices, or sweep runs).
+    pub done: u64,
+    /// Total progress units.
+    pub total: u64,
+    /// What `done`/`total` count: `"slices"` or `"runs"`.
+    pub unit: String,
+    /// Estimated seconds to completion, when the rate has settled.
+    pub eta_secs: Option<f64>,
+    /// Resident set size in bytes, when `/proc` is readable.
+    pub rss_bytes: Option<u64>,
+    /// Simulated seconds reached, for single runs.
+    pub sim_secs: Option<f64>,
+    /// Simulated seconds at which the run ends, for single runs.
+    pub sim_end_secs: Option<f64>,
+}
+
+impl RunStatus {
+    /// A fresh `"running"` status with all progress fields at zero.
+    pub fn starting(scenario: &str, seed: u64, total: u64, unit: &str) -> Self {
+        RunStatus {
+            scenario: scenario.to_string(),
+            seed,
+            state: "running".to_string(),
+            wall_secs: 0.0,
+            events: 0,
+            events_per_sec: 0.0,
+            done: 0,
+            total,
+            unit: unit.to_string(),
+            eta_secs: None,
+            rss_bytes: None,
+            sim_secs: None,
+            sim_end_secs: None,
+        }
+    }
+
+    /// Fraction complete in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+
+    /// Render as one flat single-line JSON object (plus trailing
+    /// newline), parseable by the analyzer's flat-object scanner.
+    pub fn to_json_line(&self) -> String {
+        let opt_f64 = |v: &Option<f64>| match v {
+            Some(v) => json_f64(*v),
+            None => "null".to_string(),
+        };
+        let opt_u64 = |v: &Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"schema\": {}, \"scenario\": {}, \"seed\": {}, \"state\": {}, \"wall_secs\": {}, \"events\": {}, \"events_per_sec\": {}, \"done\": {}, \"total\": {}, \"unit\": {}, \"progress\": {}, \"eta_secs\": {}, \"rss_bytes\": {}, \"sim_secs\": {}, \"sim_end_secs\": {}}}\n",
+            json_str(crate::manifest::STATUS_SCHEMA),
+            json_str(&self.scenario),
+            self.seed,
+            json_str(&self.state),
+            json_f64(self.wall_secs),
+            self.events,
+            json_f64(self.events_per_sec),
+            self.done,
+            self.total,
+            json_str(&self.unit),
+            json_f64(self.progress()),
+            opt_f64(&self.eta_secs),
+            opt_u64(&self.rss_bytes),
+            opt_f64(&self.sim_secs),
+            opt_f64(&self.sim_end_secs)
+        )
+    }
+
+    /// Atomically (re)write this status to `path`; see [`write_atomic`].
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, &self.to_json_line())
+    }
+}
+
+/// Per-process counter making concurrent temp names unique even when
+/// two threads update different status files in the same directory.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` atomically: the bytes land in a unique
+/// sibling temp file first and are moved into place with `rename(2)`,
+/// so a concurrent reader sees either the old document or the new one,
+/// never a prefix. The temp file stays on the same filesystem as the
+/// target (same directory), which is what makes the rename atomic.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}.{}", std::process::id(), seq));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStatus {
+        RunStatus {
+            scenario: "fig2".into(),
+            seed: 1996,
+            state: "running".into(),
+            wall_secs: 2.5,
+            events: 5_000_000,
+            events_per_sec: 2_000_000.0,
+            done: 3,
+            total: 10,
+            unit: "slices".into(),
+            eta_secs: Some(5.8),
+            rss_bytes: Some(123_456_789),
+            sim_secs: Some(1.5),
+            sim_end_secs: Some(5.0),
+        }
+    }
+
+    #[test]
+    fn json_line_is_flat_and_complete() {
+        let line = sample().to_json_line();
+        assert!(line.ends_with("}\n"));
+        assert_eq!(line.matches('\n').count(), 1, "single line");
+        assert!(line.starts_with("{\"schema\": \"phantom-status/1\""));
+        assert!(line.contains("\"scenario\": \"fig2\""));
+        assert!(line.contains("\"state\": \"running\""));
+        assert!(line.contains("\"progress\": 0.3"));
+        assert!(line.contains("\"eta_secs\": 5.8"));
+        assert!(line.contains("\"rss_bytes\": 123456789"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn unknown_fields_render_as_null() {
+        let mut s = sample();
+        s.eta_secs = None;
+        s.rss_bytes = None;
+        s.sim_secs = None;
+        s.sim_end_secs = None;
+        let line = s.to_json_line();
+        assert!(line.contains("\"eta_secs\": null"));
+        assert!(line.contains("\"rss_bytes\": null"));
+        assert!(line.contains("\"sim_secs\": null"));
+        assert!(line.contains("\"sim_end_secs\": null"));
+    }
+
+    #[test]
+    fn starting_status_is_zeroed_and_running() {
+        let s = RunStatus::starting("sweep", 7, 31, "runs");
+        assert_eq!(s.state, "running");
+        assert_eq!(s.progress(), 0.0);
+        assert_eq!(s.total, 31);
+        assert!(s.to_json_line().contains("\"unit\": \"runs\""));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up_temp_files() {
+        let dir = std::env::temp_dir().join("phantom-status-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.status.json");
+        let mut s = sample();
+        s.write(&path).unwrap();
+        s.done = 9;
+        s.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("\"done\": 9"));
+        // no .tmp stragglers next to the target
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The load-bearing property: a reader polling mid-rewrite never
+    /// observes a torn document. A writer thread rewrites the file as
+    /// fast as it can while the main thread reads it in a tight loop;
+    /// every observed snapshot must be one complete JSON line.
+    #[test]
+    fn concurrent_reader_never_sees_a_partial_document() {
+        let dir = std::env::temp_dir().join("phantom-status-race-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.status.json");
+        sample().write(&path).unwrap();
+
+        let writer_path = path.clone();
+        let writer = std::thread::spawn(move || {
+            let mut s = sample();
+            for i in 0..500u64 {
+                s.done = i % 11;
+                s.events = i * 1_000;
+                s.write(&writer_path).unwrap();
+            }
+        });
+
+        let mut reads = 0u32;
+        while !writer.is_finished() {
+            let back = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                back.starts_with("{\"schema\": \"phantom-status/1\"") && back.ends_with("}\n"),
+                "torn status read: {back:?}"
+            );
+            reads += 1;
+        }
+        writer.join().unwrap();
+        assert!(reads > 0, "reader should have raced at least once");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,11 +12,12 @@
 use crate::registry::{run_experiment, ExperimentOutput};
 use crate::shape::targets_for;
 use phantom_analyze::{AnalysisHandle, AnalysisReport, AnalysisSink, StreamingAnalyzer};
-use phantom_metrics::manifest::{Manifest, TRACE_SCHEMA};
+use phantom_metrics::manifest::{Manifest, PROFILE_SCHEMA, TRACE_SCHEMA};
+use phantom_metrics::{ProfileRecord, RunStatus};
 use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard, TeeProbe};
 use phantom_sim::telemetry::{self, RunCounters};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One unit of work: an experiment id plus the seed to run it under.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +43,77 @@ pub struct SweepOptions {
     /// tap always sees the *unfiltered* event stream, so the report is
     /// identical whether or not the written trace is filtered.
     pub analyze_window: Option<f64>,
+    /// Profile each run with the engine's in-run profiler and write one
+    /// `phantom-profile/1` report per run into this directory, named
+    /// `<id>-<seed>-profile.json` (deterministic names, so parallel
+    /// workers never collide). Profiling attributes wall time only — it
+    /// never changes results. `None` (the default) keeps the profiler
+    /// off, which is what the bench gate measures.
+    pub profile_dir: Option<PathBuf>,
+    /// Atomically rewrite a `phantom-status/1` file here as runs finish
+    /// (batch-level progress: runs done / total, events/s, ETA, RSS),
+    /// for `phantom status FILE --watch` to poll.
+    pub status_file: Option<PathBuf>,
+}
+
+/// Shared batch-progress state behind [`SweepOptions::status_file`]:
+/// workers bump the counters as runs finish and the finishing worker
+/// rewrites the status file. Writes go through the atomic temp+rename
+/// writer, so concurrent finishers and external readers are all safe.
+struct SweepProgress {
+    path: PathBuf,
+    scenario: String,
+    seed: u64,
+    total: u64,
+    done: AtomicU64,
+    events: AtomicU64,
+    start: std::time::Instant,
+}
+
+impl SweepProgress {
+    fn new(path: &Path, jobs_list: &[SweepJob]) -> Self {
+        let p = SweepProgress {
+            path: path.to_path_buf(),
+            scenario: "sweep".to_string(),
+            seed: jobs_list.first().map_or(0, |j| j.seed),
+            total: jobs_list.len() as u64,
+            done: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            start: std::time::Instant::now(),
+        };
+        let _ = p.status(0, 0, "running").write(&p.path);
+        p
+    }
+
+    fn status(&self, done: u64, events: u64, state: &str) -> RunStatus {
+        let wall_secs = self.start.elapsed().as_secs_f64();
+        let mut s = RunStatus::starting(&self.scenario, self.seed, self.total, "runs");
+        s.state = state.to_string();
+        s.wall_secs = wall_secs;
+        s.done = done;
+        s.events = events;
+        s.events_per_sec = if wall_secs > 0.0 {
+            events as f64 / wall_secs
+        } else {
+            0.0
+        };
+        s.eta_secs = (done > 0 && done < self.total)
+            .then(|| wall_secs / done as f64 * (self.total - done) as f64);
+        s.rss_bytes = telemetry::rss_bytes();
+        s
+    }
+
+    fn note_run(&self, run_events: u64) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let events = self.events.fetch_add(run_events, Ordering::Relaxed) + run_events;
+        let _ = self.status(done, events, "running").write(&self.path);
+    }
+
+    fn finish(&self) {
+        let done = self.done.load(Ordering::Relaxed);
+        let events = self.events.load(Ordering::Relaxed);
+        let _ = self.status(done, events, "done").write(&self.path);
+    }
 }
 
 /// The outcome of one job.
@@ -104,11 +176,25 @@ fn run_one(job: &SweepJob, opts: &SweepOptions) -> SweepRun {
         (None, None) => None,
     };
     let marker = telemetry::begin_run();
+    let prof = opts
+        .profile_dir
+        .as_ref()
+        .map(|_| phantom_sim::profile::begin_profile());
     let events_before = phantom_sim::thread_events_dispatched();
     let start = std::time::Instant::now();
     let output = run_experiment(&job.id, job.seed);
     let events = phantom_sim::thread_events_dispatched() - events_before;
     let wall_secs = start.elapsed().as_secs_f64();
+    if let (Some(bracket), Some(dir)) = (prof, opts.profile_dir.as_ref()) {
+        let record = ProfileRecord {
+            manifest: Manifest::new(PROFILE_SCHEMA, &job.id, job.seed, &job.id),
+            wall_secs,
+            report: bracket.finish(),
+        };
+        // Like the trace probe, an unwritable profile degrades this run's
+        // observability rather than aborting the sweep.
+        let _ = record.write(&dir.join(format!("{}-{}-profile.json", job.id, job.seed)));
+    }
     let counters = marker.finish();
     drop(guard); // flushes the trace file
     let analysis = handle.and_then(AnalysisHandle::finish);
@@ -132,31 +218,54 @@ pub fn run_sweep(jobs_list: &[SweepJob], jobs: usize) -> Vec<SweepRun> {
 /// its own probe, so traces stay deterministic at any `--jobs` level.
 pub fn run_sweep_with(jobs_list: &[SweepJob], jobs: usize, opts: &SweepOptions) -> Vec<SweepRun> {
     let workers = jobs.max(1).min(jobs_list.len());
-    if workers <= 1 {
-        return jobs_list.iter().map(|j| run_one(j, opts)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, SweepRun)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs_list.get(i) else { break };
-                        local.push((i, run_one(job, opts)));
-                    }
-                    local
-                })
+    let progress = opts
+        .status_file
+        .as_ref()
+        .map(|p| SweepProgress::new(p, jobs_list));
+    let note = |run: &SweepRun| {
+        if let Some(p) = &progress {
+            p.note_run(run.events);
+        }
+    };
+    let out = if workers <= 1 {
+        jobs_list
+            .iter()
+            .map(|j| {
+                let run = run_one(j, opts);
+                note(&run);
+                run
             })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, SweepRun)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs_list.get(i) else { break };
+                            let run = run_one(job, opts);
+                            note(&run);
+                            local.push((i, run));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    };
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -218,6 +327,7 @@ mod tests {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::ALL,
             analyze_window: None,
+            ..SweepOptions::default()
         };
         let serial = run_sweep_with(&batch, 1, &opts);
         let parallel = run_sweep_with(&batch, 4, &opts);
@@ -244,6 +354,68 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The PR 7 acceptance at the sweep level: a profiled, status-filed
+    /// sweep produces byte-identical results; every run gets a
+    /// `phantom-profile/1` report whose attributed share is sane; the
+    /// status file ends in state `done` with every run counted and a
+    /// well-formed final document.
+    #[test]
+    fn profiled_sweep_is_identical_and_writes_profile_and_status() {
+        let batch = jobs(&[("fig2", 1996), ("fig4", 1996)]);
+        let plain = run_sweep(&batch, 1);
+
+        let dir = std::env::temp_dir().join(format!("phantom-sweep-prof-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let status_path = dir.join("run.status.json");
+        let opts = SweepOptions {
+            profile_dir: Some(dir.clone()),
+            status_file: Some(status_path.clone()),
+            ..SweepOptions::default()
+        };
+        let profiled = run_sweep_with(&batch, 2, &opts);
+
+        for (a, b) in plain.iter().zip(&profiled) {
+            assert_eq!(a.events, b.events, "profiling must not change dispatch");
+            assert_eq!(a.counters, b.counters, "telemetry must be identical");
+            assert_eq!(
+                a.output.as_ref().unwrap().render(0),
+                b.output.as_ref().unwrap().render(0),
+                "reports must be byte-identical under the profiler"
+            );
+        }
+
+        for job in &batch {
+            let path = dir.join(format!("{}-{}-profile.json", job.id, job.seed));
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.contains("\"schema\": \"phantom-profile/1\""));
+            assert!(text.contains(&format!("\"scenario\":\"{}\"", job.id)));
+            assert!(text.contains("\"name\": \"calendar.pop\""));
+            assert!(
+                text.contains("\"name\": \"cell\""),
+                "the ATM classifier labels cell dispatches: {}",
+                job.id
+            );
+            let share = text
+                .lines()
+                .find_map(|l| l.trim().strip_prefix("\"attributed_share\": "))
+                .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+                .expect("attributed_share field");
+            assert!(
+                share > 0.9 && share <= 1.0 + 1e-9,
+                "attribution must cover the loop wall: {share}"
+            );
+        }
+
+        let st = std::fs::read_to_string(&status_path).unwrap();
+        assert!(st.starts_with("{\"schema\": \"phantom-status/1\""));
+        assert!(st.ends_with("}\n"));
+        assert!(st.contains("\"state\": \"done\""));
+        assert!(st.contains("\"done\": 2") && st.contains("\"total\": 2"));
+        assert!(st.contains("\"unit\": \"runs\""));
+        assert!(st.contains("\"progress\": 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Acceptance: every drop the run's telemetry counted appears as a
     /// `drop` event in the JSONL trace (the probe and the counters watch
     /// the same queue sites), and the per-interval MACR updates all land
@@ -256,6 +428,7 @@ mod tests {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::ALL,
             analyze_window: None,
+            ..SweepOptions::default()
         };
         let batch = jobs(&[("fig2", 1996), ("fig14", 1996)]);
         let out = run_sweep_with(&batch, 2, &opts);
@@ -298,6 +471,7 @@ mod tests {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::ALL,
             analyze_window: Some(phantom_analyze::DEFAULT_WINDOW_SECS),
+            ..SweepOptions::default()
         };
         let batch = jobs(&[("fig2", 1996), ("fig4", 1996)]);
         let serial = run_sweep_with(&batch, 1, &opts);
@@ -342,6 +516,7 @@ mod tests {
             trace_dir: Some(dir.clone()),
             trace_filter: KindSet::parse("macr,drop").unwrap(),
             analyze_window: None,
+            ..SweepOptions::default()
         };
         let out = run_sweep_with(&jobs(&[("fig2", 7)]), 1, &opts);
         assert!(out[0].output.is_some());

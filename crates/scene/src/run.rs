@@ -40,28 +40,22 @@ pub fn run_scene(scene: &Scene, seed: u64) -> ExperimentResult {
     result
 }
 
-/// Resident-set size of this process in bytes, read from
-/// `/proc/self/statm` (0 when unreadable — non-Linux or restricted
-/// `/proc`). Assumes 4 KiB pages, true on every Linux target this
-/// workspace builds for.
-fn rss_bytes() -> u64 {
-    std::fs::read_to_string("/proc/self/statm")
-        .ok()
-        .and_then(|s| s.split_whitespace().nth(1).and_then(|f| f.parse().ok()))
-        .map(|pages: u64| pages * 4096)
-        .unwrap_or(0)
-}
-
 /// Build and run `scene` once as a *scale probe*: measure resident-set
 /// growth across build + run, the engine's own per-node accounting, and
 /// run throughput. Returns the `phantom-bench/4` scale record plus the
 /// per-arena breakdown (for human-readable reporting).
 ///
+/// RSS comes from [`phantom_sim::telemetry::rss_bytes`] (the same
+/// reader the heartbeat uses); when `/proc/self/status` is unreadable
+/// on this platform the record carries `rss_delta_bytes: None` and the
+/// capacity numbers fall back to the engine's own arena accounting —
+/// the probe degrades, it does not fail.
+///
 /// The RSS delta is a whole-process measurement — run this on a quiet
 /// process (the `repro --scale` probe runs after the sweep, serially)
 /// or the number includes unrelated allocations.
 pub fn scale_scene(scene: &Scene, seed: u64) -> (ScaleRecord, Vec<phantom_sim::ArenaStats>) {
-    let rss0 = rss_bytes();
+    let rss0 = phantom_sim::telemetry::rss_bytes();
     let c = compile(scene, seed);
     let mut engine = c.engine;
     let marker = phantom_sim::telemetry::begin_run();
@@ -71,7 +65,7 @@ pub fn scale_scene(scene: &Scene, seed: u64) -> (ScaleRecord, Vec<phantom_sim::A
     let wall_secs = start.elapsed().as_secs_f64();
     let events = phantom_sim::thread_events_dispatched() - events_before;
     let counters = marker.finish();
-    let rss1 = rss_bytes();
+    let rss1 = phantom_sim::telemetry::rss_bytes();
     let stats = engine.arena_stats();
     let record = ScaleRecord {
         scene: scene.id.clone(),
@@ -80,7 +74,10 @@ pub fn scale_scene(scene: &Scene, seed: u64) -> (ScaleRecord, Vec<phantom_sim::A
         nodes: stats.iter().map(|s| s.nodes as u64).sum(),
         events,
         wall_secs,
-        rss_delta_bytes: rss1.saturating_sub(rss0),
+        rss_delta_bytes: match (rss0, rss1) {
+            (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+            _ => None,
+        },
         arena_bytes: engine.nodes_footprint_bytes() as u64,
         drops: counters.drops,
         queue_peak: counters.queue_peak,

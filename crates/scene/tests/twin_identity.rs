@@ -32,6 +32,7 @@ fn opts(trace_dir: &Path) -> SweepOptions {
         trace_dir: Some(trace_dir.to_path_buf()),
         trace_filter: KindSet::ALL,
         analyze_window: Some(DEFAULT_WINDOW_SECS),
+        ..SweepOptions::default()
     }
 }
 
@@ -127,6 +128,7 @@ fn churn_scene_reconverges_within_five_percent_every_epoch() {
             trace_dir: None,
             trace_filter: KindSet::ALL,
             analyze_window: Some(DEFAULT_WINDOW_SECS),
+            ..SweepOptions::default()
         },
     );
     let report = runs[0].analysis.as_ref().expect("analysis report");

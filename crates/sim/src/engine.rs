@@ -26,6 +26,7 @@
 //! no per-event branching on the hook.
 
 use crate::event::EventQueue;
+use crate::profile::LoopProf;
 use crate::rng::derive_seed;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -34,6 +35,7 @@ use std::any::{Any, TypeId};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::mem::size_of;
+use std::time::Instant;
 
 /// Identifier of a node within one [`Engine`]; dense indices starting at 0.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -249,6 +251,12 @@ pub struct Engine<M> {
     seed: u64,
     events_processed: u64,
     trace: Option<TraceHook<M>>,
+    /// Force the profiler on for this engine regardless of the
+    /// thread-local bracket (see [`Engine::profile`]).
+    profiling: bool,
+    /// Optional message classifier for the profiler's per-event-kind
+    /// view; unclassified dispatches land in the `"event"` bucket.
+    classify: Option<fn(&M) -> &'static str>,
 }
 
 impl<M: 'static> Engine<M> {
@@ -264,7 +272,28 @@ impl<M: 'static> Engine<M> {
             seed,
             events_processed: 0,
             trace: None,
+            profiling: false,
+            classify: None,
         }
+    }
+
+    /// Force the in-run profiler on (or off) for this engine. The usual
+    /// way to profile is the thread-local bracket
+    /// ([`crate::profile::begin_profile`]), which also covers engines
+    /// built inside scenario code; this switch exists for callers that
+    /// own their engine directly. Either way the harvest is the
+    /// thread-local collector, so bracket the run with
+    /// `begin_profile`/`finish` to read the report. Profiling never
+    /// changes simulation results — only wall-clock cost.
+    pub fn profile(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Install a classifier mapping each message to a stable event-kind
+    /// name for the profiler's per-kind view (e.g. `"cell"` vs
+    /// `"timer.tx_done"`). Only called while profiling is enabled.
+    pub fn set_event_classifier(&mut self, f: fn(&M) -> &'static str) {
+        self.classify = Some(f);
     }
 
     /// Register a node; its id is returned and is stable for the whole run.
@@ -389,22 +418,29 @@ impl<M: 'static> Engine<M> {
         true
     }
 
+    /// True when any opt-in observer wants the per-event slow loop:
+    /// a trace hook, the profiler (engine switch or thread bracket) or
+    /// an armed flight recorder. Checked once per run call — the
+    /// untraced, unprofiled fast path stays free of per-event branches.
+    #[inline]
+    fn instrumented(&self) -> bool {
+        self.trace.is_some()
+            || self.profiling
+            || crate::profile::enabled()
+            || crate::flight::armed()
+    }
+
     /// Run until the clock reaches `t` (inclusive of events at exactly `t`).
     /// The clock is left at `t` even if the calendar empties earlier.
     pub fn run_until(&mut self, t: SimTime) {
         let start = self.events_processed;
-        if self.trace.is_none() {
+        if !self.instrumented() {
             // Fast path: no per-event hook check, one heap access per event.
             while let Some(ev) = self.queue.pop_at_or_before(t) {
                 self.dispatch(ev.time, ev.dst, ev.msg);
             }
         } else {
-            while let Some(ev) = self.queue.pop_at_or_before(t) {
-                if let Some(hook) = self.trace.as_mut() {
-                    hook(ev.time, ev.dst, &ev.msg);
-                }
-                self.dispatch(ev.time, ev.dst, ev.msg);
-            }
+            self.run_instrumented(Some(t), u64::MAX);
         }
         note_dispatched(self.events_processed - start);
         if self.now < t {
@@ -416,23 +452,89 @@ impl<M: 'static> Engine<M> {
     /// Returns the number of events dispatched by this call.
     pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
         let start = self.events_processed;
-        if self.trace.is_none() {
+        if !self.instrumented() {
             while self.events_processed - start < max_events {
                 let Some(ev) = self.queue.pop() else { break };
                 self.dispatch(ev.time, ev.dst, ev.msg);
             }
         } else {
-            while self.events_processed - start < max_events {
-                let Some(ev) = self.queue.pop() else { break };
-                if let Some(hook) = self.trace.as_mut() {
-                    hook(ev.time, ev.dst, &ev.msg);
-                }
-                self.dispatch(ev.time, ev.dst, ev.msg);
-            }
+            self.run_instrumented(None, max_events);
         }
         let done = self.events_processed - start;
         note_dispatched(done);
         done
+    }
+
+    /// The observed run loop: trace hook, profiler timing and flight
+    /// recorder cursors, each behind its own check. Dispatch order is
+    /// identical to the fast loop — observers read, never steer.
+    ///
+    /// Profiler timing uses chained timestamps: the interval from the
+    /// previous dispatch's end to the pop's return is calendar time, the
+    /// interval across the dispatch (including any trace hook) is the
+    /// destination node's self time. Every nanosecond of loop wall time
+    /// lands in exactly one bucket, so bucket totals sum to the loop
+    /// wall by construction.
+    #[cold]
+    #[inline(never)]
+    fn run_instrumented(&mut self, until: Option<SimTime>, max_events: u64) {
+        let profiling = self.profiling || crate::profile::enabled();
+        let flight_on = crate::flight::armed();
+        if flight_on {
+            crate::flight::note_run_start(&self.arena_stats());
+        }
+        if profiling {
+            self.queue.set_profiling(true);
+        }
+        let start = self.events_processed;
+        let mut prof = profiling.then(|| LoopProf::new(self.arenas.len()));
+        let loop_start = Instant::now();
+        let mut mark = loop_start;
+        while self.events_processed - start < max_events {
+            let ev = match until {
+                Some(t) => self.queue.pop_at_or_before(t),
+                None => self.queue.pop(),
+            };
+            let Some(ev) = ev else { break };
+            let popped = prof.as_mut().map(|p| {
+                let now = Instant::now();
+                p.pop_ns += now.duration_since(mark).as_nanos() as u64;
+                now
+            });
+            if let Some(hook) = self.trace.as_mut() {
+                hook(ev.time, ev.dst, &ev.msg);
+            }
+            let dst = ev.dst;
+            let arena = self.locs[dst.0].arena as usize;
+            let kind = match (&prof, self.classify) {
+                (Some(_), Some(f)) => f(&ev.msg),
+                _ => "event",
+            };
+            let before = self.events_processed;
+            self.dispatch(ev.time, dst, ev.msg);
+            if let Some(p) = prof.as_mut() {
+                let done = Instant::now();
+                let ns = done
+                    .duration_since(popped.expect("popped set while profiling"))
+                    .as_nanos() as u64;
+                p.note(arena, kind, ns, self.events_processed - before);
+                mark = done;
+            }
+            if flight_on {
+                crate::flight::note_dispatch(self.now, self.events_processed, self.queue.len());
+            }
+        }
+        if let Some(mut p) = prof {
+            let end = Instant::now();
+            // The final failed pop (or cap check) since the last mark is
+            // calendar time too.
+            p.pop_ns += end.duration_since(mark).as_nanos() as u64;
+            p.wall_ns = end.duration_since(loop_start).as_nanos() as u64;
+            let cal = self.queue.take_profile();
+            self.queue.set_profiling(false);
+            let names: Vec<&'static str> = self.arenas.iter().map(|a| a.type_name()).collect();
+            crate::profile::merge_run(p, &cal, &names);
+        }
     }
 
     /// Immutable access to a node, downcast to its concrete type.
@@ -772,6 +874,71 @@ mod tests {
         assert_eq!(stats.iter().map(|s| s.nodes).sum::<usize>(), 100);
         assert!(stats[0].type_name.contains("Collector"));
     }
+
+    #[test]
+    fn profiled_run_is_identical_and_attributes_all_wall_time() {
+        let run = |profiled: bool| {
+            let marker = profiled.then(crate::profile::begin_profile);
+            let mut e = Engine::<u32>::new(7);
+            let c = e.add_node(Collector::default());
+            let r = e.add_node(Relay { dst: c });
+            e.set_event_classifier(|m| if *m % 2 == 0 { "even" } else { "odd" });
+            for i in 0..50 {
+                e.schedule(SimTime::from_micros(i), r, i as u32);
+            }
+            // A far-future event exercises the overflow/promote phases.
+            e.schedule(SimTime::from_millis(200), c, 999);
+            e.run_until(SimTime::from_secs(1));
+            (
+                e.node::<Collector>(c).got.clone(),
+                e.events_processed(),
+                marker.map(ProfileMarker::finish),
+            )
+        };
+        let (got_plain, n_plain, _) = run(false);
+        let (got_prof, n_prof, report) = run(true);
+        assert_eq!(got_plain, got_prof, "profiling must not perturb the run");
+        assert_eq!(n_plain, n_prof);
+        let r = report.unwrap();
+        assert_eq!(r.dispatches, 101, "50 relays + 50 deliveries + 1 far");
+        assert_eq!(r.nodes.len(), 2, "one bucket per concrete node type");
+        assert!(r.nodes.iter().any(|e| e.name.contains("Collector")));
+        assert_eq!(r.nodes.iter().map(|e| e.events).sum::<u64>(), 101);
+        let kinds: Vec<&str> = r.kinds.iter().map(|e| e.name.as_str()).collect();
+        assert!(kinds.contains(&"even") && kinds.contains(&"odd"));
+        // Push counters only see in-run sends (pre-run `schedule` calls
+        // happen before the loop enables queue profiling): the 50 relay
+        // forwards land in the current slice or a wheel bucket.
+        assert_eq!(r.calendar.active_inserts + r.calendar.wheel_pushes, 50);
+        assert!(r.calendar.promoted >= 1, "the 200ms event promotes in-run");
+        assert!(r.calendar.advances > 0);
+        assert!(r.wall_ns > 0);
+        // The attribution partition: nodes + calendar phases cover the
+        // loop wall time (only un-sub-attributed slack inside `advance`
+        // is lost, far below 5%).
+        let attributed = r.attributed_ns();
+        assert!(
+            attributed <= r.wall_ns && attributed as f64 >= r.wall_ns as f64 * 0.90,
+            "attributed {attributed} ns vs wall {} ns",
+            r.wall_ns
+        );
+    }
+
+    #[test]
+    fn engine_profile_switch_collects_without_a_bracket() {
+        let _ = crate::profile::take_report(); // reset the thread collector
+        let mut e = Engine::<u32>::new(1);
+        let c = e.add_node(Collector::default());
+        e.profile(true);
+        e.schedule(SimTime::from_micros(1), c, 0);
+        e.run_until(SimTime::from_millis(1));
+        let r = crate::profile::take_report();
+        assert_eq!(r.dispatches, 1);
+        assert_eq!(r.kinds[0].name, "event", "no classifier → fallback kind");
+        assert!(!crate::profile::enabled());
+    }
+
+    use crate::profile::ProfileMarker;
 
     #[test]
     fn thread_counter_tracks_dispatches() {

@@ -27,9 +27,11 @@
 //! list) while 24-byte `(time, seq, slot)` keys sit in the overflow heap.
 
 use crate::engine::NodeId;
+use crate::profile::CalendarStats;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
 
 /// Calendar identifier recorded in benchmark artifacts (the
 /// `phantom-bench/3` `calendar` field), so a benchmark record says which
@@ -178,6 +180,10 @@ pub struct EventQueue<M> {
     /// Total pending events across active + wheel + overflow.
     len: usize,
     next_seq: u64,
+    /// Profiling counters/timers, boxed out of the hot struct; `None`
+    /// (the default) costs one predictable branch per push and none on
+    /// the pop fast path.
+    prof: Option<Box<CalendarStats>>,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -199,6 +205,30 @@ impl<M> EventQueue<M> {
             cursor: 0,
             len: 0,
             next_seq: 0,
+            prof: None,
+        }
+    }
+
+    /// Enable or disable profiling counters. While enabled, pushes are
+    /// classified by destination (active run / wheel bucket / far slab +
+    /// overflow heap) and the cold [`advance`](Self::advance) path times
+    /// its scan, promote and sort phases.
+    pub(crate) fn set_profiling(&mut self, on: bool) {
+        if on {
+            if self.prof.is_none() {
+                self.prof = Some(Box::default());
+            }
+        } else {
+            self.prof = None;
+        }
+    }
+
+    /// Take (and reset) the accumulated profiling stats, leaving
+    /// profiling enabled if it was.
+    pub(crate) fn take_profile(&mut self) -> CalendarStats {
+        match self.prof.as_deref_mut() {
+            Some(p) => std::mem::take(p),
+            None => CalendarStats::default(),
         }
     }
 
@@ -209,6 +239,15 @@ impl<M> EventQueue<M> {
         self.next_seq += 1;
         self.len += 1;
         let slice = time.0 >> SLICE_SHIFT;
+        if let Some(p) = self.prof.as_deref_mut() {
+            if slice <= self.cursor {
+                p.active_inserts += 1;
+            } else if slice - self.cursor < WHEEL_SLOTS as u64 {
+                p.wheel_pushes += 1;
+            } else {
+                p.far_pushes += 1;
+            }
+        }
         if slice <= self.cursor {
             // Current slice (or a past-time push): keep the active run
             // sorted. The new entry has the highest seq so far, so among
@@ -282,6 +321,11 @@ impl<M> EventQueue<M> {
     /// active run. Caller guarantees `active` is empty and `len > 0`.
     #[cold]
     fn advance(&mut self) {
+        // Timestamps are taken only while profiling; `advance` runs once
+        // per occupied slice, so even then the clock reads are far off
+        // the per-event path.
+        let prof_on = self.prof.is_some();
+        let t0 = prof_on.then(Instant::now);
         let from_wheel = self.next_occupied_slice();
         let from_overflow = self.overflow.peek().map(|k| k.time.0 >> SLICE_SHIFT);
         let target = match (from_wheel, from_overflow) {
@@ -291,9 +335,11 @@ impl<M> EventQueue<M> {
             (None, None) => unreachable!("advance called on an empty calendar"),
         };
         self.cursor = target;
+        let t1 = prof_on.then(Instant::now);
         // Promote overflow entries that now fall inside the window (or on
         // the new cursor slice itself; the sort below restores their order
         // among the bucket's entries).
+        let mut promoted = 0u64;
         while let Some(top) = self.overflow.peek() {
             let slice = top.time.0 >> SLICE_SHIFT;
             if slice - self.cursor >= WHEEL_SLOTS as u64 {
@@ -301,6 +347,7 @@ impl<M> EventQueue<M> {
             }
             let key = self.overflow.pop().expect("peeked key vanished");
             let (dst, msg) = self.far_claim(key.slot);
+            promoted += 1;
             let entry = Entry {
                 time: key.time,
                 seq: key.seq,
@@ -315,6 +362,7 @@ impl<M> EventQueue<M> {
                 self.occupied[idx >> 6] |= 1u64 << (idx & 63);
             }
         }
+        let t2 = prof_on.then(Instant::now);
         // Drain the cursor's bucket and restore exact (time, seq) order
         // with one small sort — the only per-slice ordering work.
         let idx = (self.cursor & SLOT_MASK) as usize;
@@ -326,6 +374,25 @@ impl<M> EventQueue<M> {
             .make_contiguous()
             .sort_unstable_by_key(|e| (e.time, e.seq));
         debug_assert!(!self.active.is_empty(), "advance loaded nothing");
+        if let Some(p) = self.prof.as_deref_mut() {
+            let t3 = Instant::now();
+            let ns = |a: Instant, b: Instant| b.duration_since(a).as_nanos() as u64;
+            let (t0, t1, t2) = (t0.unwrap(), t1.unwrap(), t2.unwrap());
+            p.advances += 1;
+            p.promoted += promoted;
+            p.sorted_entries += self.active.len() as u64;
+            p.scan_ns += ns(t0, t1);
+            p.promote_ns += ns(t1, t2);
+            p.sort_ns += ns(t2, t3);
+            p.advance_ns += ns(t0, t3);
+            let occ: u64 = self
+                .occupied
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum();
+            p.occupied_slices_sum += occ;
+            p.occupied_slices_max = p.occupied_slices_max.max(occ);
+        }
     }
 
     /// Absolute slice number of the first occupied wheel bucket strictly

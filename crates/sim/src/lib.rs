@@ -22,6 +22,12 @@
 //!   installed.
 //! * [`telemetry`] — thread-local run-wide counters (drops, retransmits,
 //!   queue peak) harvested per run by harnesses.
+//! * [`profile`] — in-run engine profiler attributing wall time per node
+//!   type, event kind and calendar phase; always compiled, off by
+//!   default, one branch per run call when disabled.
+//! * [`flight`] — panic flight recorder: a ring of the last semantic
+//!   events plus an engine snapshot, dumped as post-mortem JSONL from a
+//!   chained panic hook.
 //!
 //! The kernel is deliberately synchronous: a flow-control simulation is
 //! CPU-bound and must be deterministic, so an async runtime would add
@@ -57,7 +63,9 @@
 pub mod engine;
 pub mod event;
 pub mod fifo;
+pub mod flight;
 pub mod probe;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -67,10 +75,12 @@ pub mod trace;
 pub use engine::{thread_events_dispatched, ArenaStats, Ctx, Engine, Node, NodeId, TraceHook};
 pub use event::CALENDAR;
 pub use fifo::BoundedFifo;
+pub use flight::{FlightGuard, FlightProbe};
 pub use probe::{
     install_thread_probe, take_thread_probe, DropReason, JsonlProbe, KindSet, Probe, ProbeEvent,
     ProbeGuard, ProbeKind, RingProbe,
 };
+pub use profile::{CalendarStats, ProfileEntry, ProfileMarker, ProfileReport};
 pub use rng::SeedStream;
 pub use stats::{Counter, Histogram, TimeSeries, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -97,9 +97,48 @@ impl RunMarker {
     }
 }
 
+/// Resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmRSS`). Returns `None` when the file is
+/// missing or unparsable (non-Linux platforms, locked-down containers)
+/// — callers degrade to reporting "rss unavailable" rather than
+/// failing. Shared by the heartbeat's RSS field and the `repro --scale`
+/// memory probe.
+pub fn rss_bytes() -> Option<u64> {
+    parse_vmrss(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+fn parse_vmrss(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))?
+        .trim()
+        .strip_suffix("kB")?
+        .trim();
+    rest.parse::<u64>().ok().map(|kb| kb * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vmrss_parses_the_proc_line() {
+        let status = "Name:\tphantom\nVmPeak:\t  200 kB\nVmRSS:\t  1524 kB\nThreads:\t1\n";
+        assert_eq!(parse_vmrss(status), Some(1524 * 1024));
+        assert_eq!(parse_vmrss("Name:\tx\n"), None, "no VmRSS line");
+        assert_eq!(parse_vmrss("VmRSS:\tgarbage kB\n"), None);
+        assert_eq!(parse_vmrss("VmRSS:\t12\n"), None, "missing unit");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_bytes_reads_a_plausible_value() {
+        let rss = rss_bytes().expect("/proc/self/status readable on Linux");
+        assert!(
+            rss > 64 * 1024,
+            "a live process has at least 64 KiB resident"
+        );
+    }
 
     #[test]
     fn brackets_isolate_runs() {

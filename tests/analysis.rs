@@ -46,6 +46,7 @@ fn streaming_two_pass_and_live_tap_agree_on_fig_traces() {
         trace_dir: Some(dir.clone()),
         trace_filter: KindSet::ALL,
         analyze_window: Some(DEFAULT_WINDOW_SECS),
+        ..SweepOptions::default()
     };
     let batch = vec![
         SweepJob {

@@ -43,6 +43,7 @@ fn run_matrix_point(jobs: usize, tag: &str) -> BTreeMap<String, Fingerprint> {
         trace_dir: Some(dir.clone()),
         trace_filter: KindSet::ALL,
         analyze_window: None,
+        ..SweepOptions::default()
     };
     let batch: Vec<SweepJob> = IDS
         .iter()
