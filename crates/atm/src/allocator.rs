@@ -100,6 +100,27 @@ pub trait RateAllocator: Any {
 
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize the allocator's evolving state for a checkpoint.
+    /// Configuration is static and must not be written. The default
+    /// refuses, so an algorithm that has not audited its state for
+    /// checkpointing fails loudly instead of resuming wrong.
+    fn save_state(&self, _w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        Err(format!(
+            "allocator {} does not support checkpointing",
+            self.name()
+        ))
+    }
+
+    /// Overwrite the evolving state from a [`RateAllocator::save_state`]
+    /// record. The allocator must have been rebuilt with the original
+    /// configuration.
+    fn restore_state(&mut self, _r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        Err(format!(
+            "allocator {} does not support checkpointing",
+            self.name()
+        ))
+    }
 }
 
 /// A pass-through allocator: no control at all. Sources stay at whatever
@@ -117,6 +138,12 @@ impl RateAllocator for NoControl {
     }
     fn name(&self) -> &'static str {
         "none"
+    }
+    fn save_state(&self, _w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        Ok(()) // stateless
+    }
+    fn restore_state(&mut self, _r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        Ok(())
     }
 }
 
@@ -136,6 +163,12 @@ impl RateAllocator for FixedEr {
     }
     fn name(&self) -> &'static str {
         "fixed-er"
+    }
+    fn save_state(&self, _w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        Ok(()) // the stamped rate is configuration, not evolving state
+    }
+    fn restore_state(&mut self, _r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        Ok(())
     }
 }
 

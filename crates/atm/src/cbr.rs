@@ -85,6 +85,18 @@ impl Node<AtmMsg> for CbrSource {
             AtmMsg::Admin(c) => unreachable!("CBR source received {c:?}"),
         }
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.scope("gate", |w| self.gate.save_state(w));
+        w.u64("cells_sent", self.cells_sent);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        r.scope("gate", |r| self.gate.restore_state(r))?;
+        self.cells_sent = r.u64("cells_sent")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -128,6 +128,28 @@ impl Node<AtmMsg> for AbrDest {
             AtmMsg::Admin(c) => unreachable!("destination received {c:?}"),
         }
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        // vc, reply_to, prop and the sample interval are static.
+        w.bool("efci_seen", self.efci_seen);
+        w.u64("cells_received", self.cells_received);
+        w.u64("data_received", self.data_received);
+        w.u64("rm_turned", self.rm_turned);
+        w.u64("data_in_window", self.data_in_window);
+        w.scope("rate_series", |w| self.rate_series.save(w));
+        w.scope("delay_hist", |w| self.delay_hist.save(w));
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.efci_seen = r.bool("efci_seen")?;
+        self.cells_received = r.u64("cells_received")?;
+        self.data_received = r.u64("data_received")?;
+        self.rm_turned = r.u64("rm_turned")?;
+        self.data_in_window = r.u64("data_in_window")?;
+        r.scope("rate_series", |r| self.rate_series.restore(r))?;
+        r.scope("delay_hist", |r| self.delay_hist.restore(r))
+    }
 }
 
 #[cfg(test)]

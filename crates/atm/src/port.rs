@@ -364,4 +364,52 @@ impl Port {
     pub fn measure_interval(&self) -> SimDuration {
         self.measure_interval
     }
+
+    /// Serialize the port's evolving state for a checkpoint. Static
+    /// configuration (link target, propagation delay, queue bounds,
+    /// measurement interval) is not written — it comes back when the
+    /// scenario is rebuilt. Capacity and loss probability *are* written:
+    /// scene timelines mutate them mid-run.
+    pub fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.scope("q", |w| self.queue.save(w, Cell::encode_str));
+        if let Some(high) = &self.high {
+            w.scope("hq", |w| high.save(w, Cell::encode_str));
+        }
+        w.f64("capacity", self.capacity);
+        w.bool("busy", self.busy);
+        w.f64("loss_prob", self.loss_prob);
+        w.u64("arrivals", self.arrivals);
+        w.u64("departures", self.departures);
+        w.u64("wire_losses", self.wire_losses);
+        w.scope("tw", |w| self.queue_tw.save(w));
+        w.scope("macr", |w| self.macr_series.save(w));
+        w.scope("qs", |w| self.queue_series.save(w));
+        w.scope("tp", |w| self.throughput_series.save(w));
+        let mut alloc = Ok(());
+        w.scope("alloc", |w| alloc = self.allocator.save_state(w));
+        alloc
+    }
+
+    /// Overwrite the port's evolving state from a [`Port::save_state`]
+    /// record. The port must have been rebuilt with the original static
+    /// configuration (including CBR priority, which decides whether the
+    /// high queue exists).
+    pub fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        r.scope("q", |r| self.queue.restore(r, Cell::decode_str))?;
+        if let Some(high) = &mut self.high {
+            r.scope("hq", |r| high.restore(r, Cell::decode_str))?;
+        }
+        // Route through the setter so cell_time is recomputed in lock-step.
+        self.set_capacity(r.f64("capacity")?);
+        self.busy = r.bool("busy")?;
+        self.loss_prob = r.f64("loss_prob")?;
+        self.arrivals = r.u64("arrivals")?;
+        self.departures = r.u64("departures")?;
+        self.wire_losses = r.u64("wire_losses")?;
+        r.scope("tw", |r| self.queue_tw.restore(r))?;
+        r.scope("macr", |r| self.macr_series.restore(r))?;
+        r.scope("qs", |r| self.queue_series.restore(r))?;
+        r.scope("tp", |r| self.throughput_series.restore(r))?;
+        r.scope("alloc", |r| self.allocator.restore_state(r))
+    }
 }

@@ -196,6 +196,44 @@ impl Node<AtmMsg> for AbrSource {
             AtmMsg::Admin(c) => unreachable!("source received {c:?}"),
         }
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        // Params, vc, next hop, prop and the sampling stride are static.
+        w.scope("gate", |w| self.gate.save_state(w));
+        w.f64("acr", self.acr);
+        // `pace` is recomputed from `pace_acr` on restore (the invariant
+        // pace == pacing_interval(pace_acr) holds at every dispatch edge).
+        w.f64("pace_acr", self.pace_acr);
+        w.u64("cells_since_rm", u64::from(self.cells_since_rm));
+        w.u64("unacked_rm", u64::from(self.unacked_rm));
+        w.bool("has_last_tx", self.last_tx.is_some());
+        w.u64("last_tx", self.last_tx.map_or(0, |t| t.0));
+        w.bool("was_active", self.was_active);
+        w.u64("cells_sent", self.cells_sent);
+        w.u64("rm_sent", self.rm_sent);
+        w.u64("rm_received", self.rm_received);
+        w.scope("acr_series", |w| self.acr_series.save(w));
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        r.scope("gate", |r| self.gate.restore_state(r))?;
+        self.acr = r.f64("acr")?;
+        self.pace_acr = r.f64("pace_acr")?;
+        self.pace = pacing_interval(self.pace_acr);
+        self.cells_since_rm = r.u64("cells_since_rm")? as u32;
+        self.unacked_rm = r.u64("unacked_rm")? as u32;
+        self.last_tx = if r.bool("has_last_tx")? {
+            Some(SimTime(r.u64("last_tx")?))
+        } else {
+            None
+        };
+        self.was_active = r.bool("was_active")?;
+        self.cells_sent = r.u64("cells_sent")?;
+        self.rm_sent = r.u64("rm_sent")?;
+        self.rm_received = r.u64("rm_received")?;
+        r.scope("acr_series", |r| self.acr_series.restore(r))
+    }
 }
 
 #[cfg(test)]

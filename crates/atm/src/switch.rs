@@ -148,4 +148,31 @@ impl Node<AtmMsg> for Switch {
             },
         }
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        // Routes, name and the route base are topology: rebuilt, not saved.
+        w.u64("ports", self.ports.len() as u64);
+        let mut res = Ok(());
+        for (i, p) in self.ports.iter().enumerate() {
+            if res.is_ok() {
+                w.scope(&format!("p{i}"), |w| res = p.save_state(w));
+            }
+        }
+        res
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        let n = r.u64("ports")? as usize;
+        if n != self.ports.len() {
+            return Err(format!(
+                "checkpoint has {n} ports but switch {} was rebuilt with {}",
+                self.name,
+                self.ports.len()
+            ));
+        }
+        for (i, p) in self.ports.iter_mut().enumerate() {
+            r.scope(&format!("p{i}"), |r| p.restore_state(r))?;
+        }
+        Ok(())
+    }
 }

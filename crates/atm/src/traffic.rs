@@ -223,6 +223,31 @@ impl TrafficGate {
         self.traffic
     }
 
+    /// Serialize the gate's evolving state for a checkpoint. Only
+    /// [`Traffic::Random`] has any: the current phase and its end time.
+    /// The model itself is configuration and not written.
+    pub fn save_state(&self, w: &mut phantom_sim::KvWriter) {
+        match self.random {
+            Some((active, until)) => {
+                w.bool("sampled", true);
+                w.bool("active", active);
+                w.u64("until", until.0);
+            }
+            None => w.bool("sampled", false),
+        }
+    }
+
+    /// Overwrite the gate's evolving state from a
+    /// [`TrafficGate::save_state`] record.
+    pub fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.random = if r.bool("sampled")? {
+            Some((r.bool("active")?, SimTime(r.u64("until")?)))
+        } else {
+            None
+        };
+        Ok(())
+    }
+
     /// Is the source allowed to send at `now`? When inactive, also
     /// returns the wake-up time (if the model ever resumes).
     pub fn poll(

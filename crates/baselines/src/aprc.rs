@@ -112,6 +112,22 @@ impl RateAllocator for Aprc {
     fn name(&self) -> &'static str {
         "aprc"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.f64("macr", self.macr);
+        w.u64("queue", self.queue as u64);
+        w.u64("prev_queue", self.prev_queue as u64);
+        w.bool("congested", self.congested);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.macr = r.f64("macr")?;
+        self.queue = r.u64("queue")? as usize;
+        self.prev_queue = r.u64("prev_queue")? as usize;
+        self.congested = r.bool("congested")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,20 @@ impl RateAllocator for Capc {
     fn name(&self) -> &'static str {
         "capc"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.f64("ers", self.ers);
+        w.u64("queue", self.queue as u64);
+        w.f64("capacity", self.capacity);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.ers = r.f64("ers")?;
+        self.queue = r.u64("queue")? as usize;
+        self.capacity = r.f64("capacity")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,18 @@ impl RateAllocator for Eprca {
     fn name(&self) -> &'static str {
         "eprca"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.f64("macr", self.macr);
+        w.u64("queue", self.queue as u64);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.macr = r.f64("macr")?;
+        self.queue = r.u64("queue")? as usize;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,36 @@ impl RateAllocator for Erica {
     fn name(&self) -> &'static str {
         "erica"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.f64("capacity", self.capacity);
+        w.f64("z", self.z);
+        w.f64("fairshare", self.fairshare);
+        w.u64("n_active", self.n_active as u64);
+        // HashSet iteration order is nondeterministic; sort so identical
+        // states produce identical checkpoints.
+        let mut vcs: Vec<u64> = self.active.iter().map(|vc| u64::from(vc.0)).collect();
+        vcs.sort_unstable();
+        w.u64_list("active", &vcs);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.capacity = r.f64("capacity")?;
+        self.z = r.f64("z")?;
+        self.fairshare = r.f64("fairshare")?;
+        self.n_active = r.u64("n_active")? as usize;
+        self.active = r
+            .u64_list("active")?
+            .into_iter()
+            .map(|v| {
+                u32::try_from(v)
+                    .map(VcId)
+                    .map_err(|_| "vc out of range".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

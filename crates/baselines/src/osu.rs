@@ -104,6 +104,18 @@ impl RateAllocator for Osu {
     fn name(&self) -> &'static str {
         "osu"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.f64("z", self.z);
+        w.f64("capacity", self.capacity);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.z = r.f64("z")?;
+        self.capacity = r.f64("capacity")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,9 @@ struct Args {
     scale: Option<String>,
     profile_dir: Option<PathBuf>,
     status_file: Option<PathBuf>,
+    heartbeat_secs: Option<f64>,
+    post_mortem_dir: Option<PathBuf>,
+    post_mortem_depth: Option<usize>,
     level: logger::Level,
 }
 
@@ -92,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
         scale: None,
         profile_dir: None,
         status_file: None,
+        heartbeat_secs: None,
+        post_mortem_dir: None,
+        post_mortem_depth: None,
         level: logger::Level::Normal,
     };
     let mut it = std::env::args().skip(1);
@@ -156,6 +162,25 @@ fn parse_args() -> Result<Args, String> {
                 args.status_file = Some(PathBuf::from(
                     it.next().ok_or("--status-file needs a value")?,
                 ));
+            }
+            "--heartbeat" => {
+                let v = it.next().ok_or("--heartbeat needs a value (secs)")?;
+                match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 => args.heartbeat_secs = Some(s),
+                    _ => return Err(format!("bad heartbeat (secs): {v}")),
+                }
+            }
+            "--post-mortem" => {
+                args.post_mortem_dir = Some(PathBuf::from(
+                    it.next().ok_or("--post-mortem needs a directory")?,
+                ));
+            }
+            "--post-mortem-depth" => {
+                let v = it.next().ok_or("--post-mortem-depth needs a value")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => args.post_mortem_depth = Some(n),
+                    _ => return Err(format!("bad post-mortem depth: {v}")),
+                }
             }
             "-v" | "--verbose" => args.level = logger::Level::Verbose,
             "-q" | "--quiet" => args.level = logger::Level::Quiet,
@@ -299,7 +324,8 @@ fn main() -> ExitCode {
                  [--trace-dir DIR] [--trace-filter KINDS] \
                  [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS] \
                  [--bench] [--compare BASELINE.json] [--bench-threshold PCT] \
-                 [--scale SCENE_ID] [--profile-dir DIR] [--status-file PATH] [-v|-q]"
+                 [--scale SCENE_ID] [--profile-dir DIR] [--status-file PATH] \
+                 [--heartbeat SECS] [--post-mortem DIR] [--post-mortem-depth N] [-v|-q]"
             );
             return ExitCode::FAILURE;
         }
@@ -369,6 +395,9 @@ fn main() -> ExitCode {
         analyze_window: args.analyze.then_some(args.window_secs),
         profile_dir: args.profile_dir.clone(),
         status_file: args.status_file.clone(),
+        heartbeat_secs: args.heartbeat_secs,
+        post_mortem_dir: args.post_mortem_dir.clone(),
+        post_mortem_depth: args.post_mortem_depth,
     };
     logger::info(&format!(
         "dispatching {} run(s) on {} thread(s)",

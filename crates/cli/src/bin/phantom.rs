@@ -24,7 +24,7 @@ use phantom_scenarios::registry::all_experiments;
 use phantom_scenarios::shape::targets_for;
 use phantom_scene::{load_scene_dir, parse_scene};
 use phantom_sim::probe::KindSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Seed for scene runs when `--seed` is not given (the sweep default).
@@ -35,6 +35,9 @@ const EXIT_INVALID: u8 = 1;
 /// `trace-lint` exit code for a trace whose final line was cut short
 /// (e.g. the producer died mid-write) — distinct so callers can retry.
 const EXIT_TRUNCATED: u8 = 2;
+/// `diverge` exit code when the traces differ (0 = identical, 1 =
+/// operational error) — CI gates branch on it.
+const EXIT_DIVERGED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!("usage: phantom <run|predict|check> <topology-file|scene.json>");
@@ -49,6 +52,11 @@ fn usage() -> ExitCode {
     eprintln!("                                                 # artifact as a self-time table");
     eprintln!("       phantom status <file> [--watch]           # pretty-print a phantom-status/1");
     eprintln!("                                                 # file; --watch polls until done");
+    eprintln!("       phantom resume <ckpt.jsonl> [--until MS]  # continue a checkpointed run;");
+    eprintln!("                                                 # trace suffix is byte-identical");
+    eprintln!("       phantom diverge <a.jsonl> <b.jsonl> [--context N] [--out F]");
+    eprintln!("                       [--checkpoints DIR]       # first divergent event + state");
+    eprintln!("                                                 # diff; exit 0 same, 3 diverged");
     eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
     eprintln!("       ... [--seed N]                            # override the run seed");
     eprintln!("       run ... [--trace F.jsonl] [--trace-filter KINDS]  # JSONL event trace");
@@ -58,7 +66,13 @@ fn usage() -> ExitCode {
         "       run ... [--profile F.json]                # phantom-profile/1 engine profile"
     );
     eprintln!("       run ... [--status-file F.json]            # live phantom-status/1 heartbeat");
+    eprintln!(
+        "       run ... [--heartbeat SECS]                # sim-secs between -v/status beats"
+    );
     eprintln!("       run ... [--post-mortem F.jsonl]           # panic flight-recorder dump");
+    eprintln!("       run ... [--post-mortem-depth N]           # events kept in the dump ring");
+    eprintln!("       run ... [--checkpoint-every S|Nev] [--checkpoint-dir DIR]");
+    eprintln!("                                                 # periodic phantom-checkpoint/1");
     eprintln!("       run <scene.json> [--analyze]              # live phantom-analysis/1 report");
     eprintln!();
     eprintln!("scene file format: phantom-scene/1 JSON — see schemas/phantom-scene-v1.md");
@@ -392,10 +406,21 @@ fn show_profile(path: &str) -> Result<(), String> {
 /// `phantom status`: pretty-print a `phantom-status/1` file as one
 /// line; with `--watch`, poll about once a second until the writer
 /// reports `done`. Reads are safe mid-run because the writer replaces
-/// the file atomically.
+/// the file atomically. A watched file that disappears after we saw it
+/// at least once means the run (or its harness) cleaned up — that is a
+/// normal end of watch, not an error.
 fn show_status(path: &str, watch: bool) -> Result<(), String> {
+    let mut seen_once = false;
     loop {
-        let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) if watch && seen_once && e.kind() == std::io::ErrorKind::NotFound => {
+                println!("run ended: status file {path} removed");
+                return Ok(());
+            }
+            Err(e) => return Err(format!("cannot read {path}: {e}")),
+        };
+        seen_once = true;
         let pairs = parse_flat_object(doc.trim()).map_err(|e| format!("{path}: {e}"))?;
         if text(&pairs, "schema") != Some("phantom-status/1") {
             return Err(format!("{path}: not a phantom-status/1 document"));
@@ -498,6 +523,63 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.first().map(String::as_str) == Some("diverge") {
+        let parsed = (|| -> Result<phantom_cli::DivergeOptions, String> {
+            let mut opts = phantom_cli::DivergeOptions::default();
+            if let Some(v) = take_value(&mut args, "--context")? {
+                opts.context = v.parse().map_err(|_| format!("bad context: {v}"))?;
+            }
+            if let Some(v) = take_value(&mut args, "--checkpoints")? {
+                opts.checkpoints = Some(PathBuf::from(v));
+            }
+            Ok(opts)
+        })();
+        let dopts = match parsed {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        let out = match take_value(&mut args, "--out") {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        let [_, a, b] = args.as_slice() else {
+            return usage();
+        };
+        return match phantom_cli::diverge(Path::new(a), Path::new(b), &dopts) {
+            Ok((outcome, report)) => {
+                match &out {
+                    Some(f) => {
+                        if let Err(e) = std::fs::write(f, &report) {
+                            eprintln!("error: cannot write {f}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    None => print!("{report}"),
+                }
+                match outcome {
+                    phantom_cli::DivergeOutcome::Identical { lines } => {
+                        eprintln!("no divergence: {lines} lines identical");
+                        ExitCode::SUCCESS
+                    }
+                    phantom_cli::DivergeOutcome::Diverged { line } => {
+                        eprintln!("traces diverge at line {line}");
+                        ExitCode::from(EXIT_DIVERGED)
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.first().map(String::as_str) == Some("status") {
         let watch = take_switch(&mut args, "--watch");
         let [_, path] = args.as_slice() else {
@@ -514,6 +596,7 @@ fn main() -> ExitCode {
 
     let mut jobs = 1usize;
     let mut seed: Option<u64> = None;
+    let mut until: Option<phantom_sim::SimTime> = None;
     let analyze = take_switch(&mut args, "--analyze");
     let mut opts = RunOptions {
         verbose: take_switch(&mut args, "-v"),
@@ -547,6 +630,30 @@ fn main() -> ExitCode {
         if let Some(v) = take_value(&mut args, "--post-mortem")? {
             opts.post_mortem = Some(PathBuf::from(v));
         }
+        if let Some(v) = take_value(&mut args, "--post-mortem-depth")? {
+            opts.post_mortem_depth = match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => return Err(format!("bad post-mortem depth: {v}")),
+            };
+        }
+        if let Some(v) = take_value(&mut args, "--heartbeat")? {
+            opts.heartbeat_secs = match v.parse::<f64>() {
+                Ok(s) if s > 0.0 => Some(s),
+                _ => return Err(format!("bad heartbeat (sim-secs): {v}")),
+            };
+        }
+        if let Some(v) = take_value(&mut args, "--checkpoint-every")? {
+            opts.checkpoint_every = Some(phantom_cli::CheckpointEvery::parse(&v)?);
+        }
+        if let Some(v) = take_value(&mut args, "--checkpoint-dir")? {
+            opts.checkpoint_dir = Some(PathBuf::from(v));
+        }
+        if let Some(v) = take_value(&mut args, "--until")? {
+            until = match v.parse::<f64>() {
+                Ok(ms) if ms >= 0.0 => Some(phantom_sim::SimTime((ms * 1e6).round() as u64)),
+                _ => return Err(format!("bad until (ms): {v}")),
+            };
+        }
         Ok(())
     })();
     if let Err(e) = flags {
@@ -559,6 +666,25 @@ fn main() -> ExitCode {
         [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.clone())),
         _ => return usage(),
     };
+    // `resume` takes a checkpoint file, not an input file — and a
+    // checkpoint also starts with `{`, so this must branch before the
+    // scene-vs-DSL sniff below.
+    if cmd == "resume" {
+        return match phantom_cli::resume(Path::new(path), until, &opts) {
+            Ok(outcome) => {
+                print!("{}", outcome.rendered);
+                println!(
+                    "   [resumed from {path}: {} events total, {} drops, peak queue {}]",
+                    outcome.events, outcome.counters.drops, outcome.counters.queue_peak
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let input = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -566,6 +692,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Checkpoints embed the original input so `phantom resume` can
+    // rebuild the topology without the file.
+    opts.checkpoint_source = input.clone();
     // A scene document starts with `{`; the topology DSL never does.
     if input.trim_start().starts_with('{') {
         return scene_command(cmd, path, &input, seed, analyze, &opts);

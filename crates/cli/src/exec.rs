@@ -64,9 +64,64 @@ pub struct RunOptions {
     /// Arm the panic flight recorder: on panic, a `phantom-postmortem/1`
     /// dump (engine snapshot + recent-event ring) lands at this path.
     pub post_mortem: Option<PathBuf>,
+    /// Ring depth of the flight recorder (`--post-mortem-depth`): how
+    /// many recent events a post-mortem dump retains. `None` keeps the
+    /// default ([`flight::DEFAULT_RING_CAP`]).
+    pub post_mortem_depth: Option<usize>,
+    /// Heartbeat interval in *simulated* seconds (`--heartbeat`): how
+    /// often the `-v` stderr line and the status file are refreshed.
+    /// `None` keeps the historical default of ten slices per run.
+    pub heartbeat_secs: Option<f64>,
+    /// Emit a `phantom-checkpoint/1` artifact this often (sim-seconds,
+    /// or every N dispatched events with an `ev` suffix). Requires
+    /// [`RunOptions::checkpoint_dir`] and [`RunOptions::checkpoint_source`].
+    pub checkpoint_every: Option<CheckpointEvery>,
+    /// Directory receiving periodic checkpoints, named
+    /// `ckpt-<now_ns>-<events>.jsonl` (zero-padded, so lexical order is
+    /// simulation order).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// The original input text (scene JSON or topology DSL) embedded in
+    /// each checkpoint so `phantom resume` can rebuild the topology.
+    /// Must be non-empty when checkpointing is requested.
+    pub checkpoint_source: String,
     /// Scenario name recorded in artifact manifests (e.g. the topology
     /// file path); empty means `"cli"`.
     pub scenario: String,
+}
+
+/// Checkpoint cadence: a simulated-time period, or an event-count period
+/// (`--checkpoint-every 0.05` vs `--checkpoint-every 250000ev`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CheckpointEvery {
+    /// Checkpoint at every multiple of this many simulated seconds.
+    SimSecs(f64),
+    /// Checkpoint at every multiple of this many dispatched events.
+    Events(u64),
+}
+
+impl CheckpointEvery {
+    /// Parse the `--checkpoint-every` argument: a positive float means
+    /// sim-seconds, a positive integer with an `ev` suffix means events.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(n) = s.strip_suffix("ev") {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("bad checkpoint event count: {s}"))?;
+            if n == 0 {
+                return Err("checkpoint event period must be positive".into());
+            }
+            Ok(CheckpointEvery::Events(n))
+        } else {
+            let secs: f64 = s
+                .parse()
+                .map_err(|_| format!("bad checkpoint period (sim-secs or Nev): {s}"))?;
+            // NaN fails the comparison too, so it is rejected here.
+            if secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(format!("checkpoint period must be positive: {s}"));
+            }
+            Ok(CheckpointEvery::SimSecs(secs))
+        }
+    }
 }
 
 impl RunReport {
@@ -178,7 +233,8 @@ pub(crate) fn arm_flight(
     match &opts.post_mortem {
         Some(path) => {
             let manifest_json = manifest.for_schema(POSTMORTEM_SCHEMA).to_json();
-            let guard = flight::arm(path, Some(&manifest_json), flight::DEFAULT_RING_CAP);
+            let depth = opts.post_mortem_depth.unwrap_or(flight::DEFAULT_RING_CAP);
+            let guard = flight::arm(path, Some(&manifest_json), depth);
             (Some(guard), Some(Box::new(FlightProbe)))
         }
         None => (None, None),
@@ -232,45 +288,65 @@ pub(crate) fn write_metrics(
     Ok(())
 }
 
-/// Run the engine to `end` in ten slices, emitting the requested
-/// liveness signals after each: a stderr heartbeat line (percent done,
-/// events/s, sim/wall ratio, ETA, RSS) when `verbose`, and an atomic
-/// `phantom-status/1` rewrite when `status` names a file (final write
-/// has `state: "done"`). Slicing `run_until` cannot change results —
-/// the event order within each slice is exactly the order of one
-/// uninterrupted run.
-pub(crate) fn run_sliced<M: 'static>(
-    engine: &mut Engine<M>,
+/// Drive the engine to `end` in heartbeat-sized slices, emitting the
+/// requested liveness signals after each: a stderr heartbeat line
+/// (percent done, events/s, sim/wall ratio, ETA, RSS) when `verbose`,
+/// and an atomic `phantom-status/1` rewrite when `--status-file` names a
+/// file (final write has `state: "done"`). The slice width is
+/// [`RunOptions::heartbeat_secs`] of simulated time (default: a tenth of
+/// the remaining horizon). When a checkpoint driver is supplied, every
+/// slice advances through it so `phantom-checkpoint/1` artifacts land at
+/// their exact cadence. Slicing `run_until` cannot change results — the
+/// event order within each slice is exactly the order of one
+/// uninterrupted run. Starts from the engine's current clock, so resumed
+/// runs report progress over the remaining horizon only.
+pub(crate) fn run_driver(
+    engine: &mut Engine<phantom_atm::AtmMsg>,
     end: SimTime,
-    verbose: bool,
-    status: Option<&Path>,
+    opts: &RunOptions,
     scenario: &str,
     seed: u64,
+    mut ckpt: Option<&mut crate::checkpoint::CkptDriver<'_>>,
 ) -> Result<(), String> {
-    const SLICES: u64 = 10;
-    let total = (end - SimTime::ZERO).as_secs_f64();
+    let from = engine.now();
+    let total = (end - from).as_secs_f64();
+    let liveness = opts.verbose || opts.status_file.is_some();
+    let slices: u64 = if liveness && total > 0.0 {
+        let hb = opts.heartbeat_secs.unwrap_or(total / 10.0);
+        // Bound the slice count so a tiny heartbeat over a long horizon
+        // cannot turn the run into pure bookkeeping.
+        ((total / hb.max(1e-9)).ceil() as u64).clamp(1, 100_000)
+    } else {
+        1
+    };
     let wall_start = std::time::Instant::now();
     let events_before = engine.events_processed();
-    for i in 1..=SLICES {
-        let target = if i == SLICES {
+    for i in 1..=slices {
+        let target = if i == slices {
             end
         } else {
-            SimTime::ZERO + SimDuration::from_secs_f64(total * i as f64 / SLICES as f64)
+            from + SimDuration::from_secs_f64(total * i as f64 / slices as f64)
         };
-        engine.run_until(target);
+        match ckpt.as_deref_mut() {
+            Some(ck) => ck.advance(engine, target)?,
+            None => engine.run_until(target),
+        }
+        if !liveness {
+            continue;
+        }
         let wall = wall_start.elapsed().as_secs_f64().max(1e-9);
-        let sim = total * i as f64 / SLICES as f64;
+        let sim = (target - SimTime::ZERO).as_secs_f64();
         let events = engine.events_processed() - events_before;
-        let eta = (i < SLICES).then(|| wall / i as f64 * (SLICES - i) as f64);
+        let eta = (i < slices).then(|| wall / i as f64 * (slices - i) as f64);
         let rss = telemetry::rss_bytes();
-        if verbose {
+        if opts.verbose {
             eprintln!(
                 "[{:3}%] sim {:.3}s  wall {:.2}s  {:.0} events/s  sim/wall {:.2}x  eta {}  rss {}",
-                i * 100 / SLICES,
+                i * 100 / slices,
                 sim,
                 wall,
                 events as f64 / wall,
-                sim / wall,
+                (sim - (from - SimTime::ZERO).as_secs_f64()) / wall,
                 eta.map_or_else(|| "--".to_string(), |e| format!("{e:.1}s")),
                 rss.map_or_else(
                     || "n/a".to_string(),
@@ -278,21 +354,21 @@ pub(crate) fn run_sliced<M: 'static>(
                 ),
             );
         }
-        if let Some(path) = status {
+        if let Some(path) = opts.status_file.as_deref() {
             let st = RunStatus {
                 scenario: scenario.to_string(),
                 seed,
-                state: if i == SLICES { "done" } else { "running" }.to_string(),
+                state: if i == slices { "done" } else { "running" }.to_string(),
                 wall_secs: wall,
                 events,
                 events_per_sec: events as f64 / wall,
                 done: i,
-                total: SLICES,
+                total: slices,
                 unit: "slices".to_string(),
                 eta_secs: eta,
                 rss_bytes: rss,
                 sim_secs: Some(sim),
-                sim_end_secs: Some(total),
+                sim_end_secs: Some((end - SimTime::ZERO).as_secs_f64()),
             };
             st.write(path)
                 .map_err(|e| format!("cannot write status {}: {e}", path.display()))?;
@@ -301,14 +377,13 @@ pub(crate) fn run_sliced<M: 'static>(
     Ok(())
 }
 
-/// [`run_spec`] with observability: optional JSONL trace, optional
-/// metrics snapshot, optional progress heartbeat and status file,
-/// optional engine profile, optional panic flight recorder. None of
-/// them changes the simulation — a run with every option on produces
-/// the same report as a bare [`run_spec`].
-pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport, String> {
-    spec.validate()?;
-    let wall_start = std::time::Instant::now();
+/// Build the simulated network for a validated topology spec: a fresh
+/// engine seeded from the spec and the wired [`Network`] handle. Shared
+/// by [`run_spec_opts`] and `phantom resume`, which must reconstruct the
+/// topology identically before restoring checkpointed dynamics into it.
+pub(crate) fn build_topology(
+    spec: &TopologySpec,
+) -> (Engine<phantom_atm::AtmMsg>, phantom_atm::network::Network) {
     let mut b = NetworkBuilder::new().cbr_priority(spec.cbr_priority);
     let switches: Vec<_> = spec.switches.iter().map(|n| b.switch(n)).collect();
     for t in &spec.trunks {
@@ -341,6 +416,56 @@ pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport
     let mut engine = Engine::new(spec.seed);
     let alg = spec.algorithm;
     let net = b.build(&mut engine, &mut || allocator_for(alg));
+    (engine, net)
+}
+
+/// Collect the tail-window report of a finished topology run. Shared by
+/// [`run_spec_opts`] and `phantom resume`, so a resumed run renders the
+/// byte-identical report of its uninterrupted twin.
+pub(crate) fn collect_report(
+    spec: &TopologySpec,
+    engine: &Engine<phantom_atm::AtmMsg>,
+    net: &phantom_atm::network::Network,
+    counters: RunCounters,
+) -> RunReport {
+    let tail = spec.duration.as_secs_f64() / 2.0;
+    let session_rates_mbps: Vec<f64> = (0..spec.sessions.len())
+        .map(|i| cps_to_mbps(net.session_rate(engine, SessionId(i)).mean_after(tail)))
+        .collect();
+    let mut trunk_macr_mbps = Vec::new();
+    let mut trunk_utilization = Vec::new();
+    let mut trunk_mean_queue = Vec::new();
+    let mut trunk_peak_queue = Vec::new();
+    for i in 0..spec.trunks.len() {
+        let t = TrunkIdx(i);
+        trunk_macr_mbps.push(cps_to_mbps(net.trunk_macr(engine, t).mean_after(tail)));
+        let port = net.trunk_port(engine, t);
+        trunk_utilization.push(net.trunk_throughput(engine, t).mean_after(tail) / port.capacity());
+        trunk_mean_queue.push(net.trunk_queue(engine, t).mean_after(tail));
+        trunk_peak_queue.push(port.queue_high_water());
+    }
+    let jain = jain_index(&session_rates_mbps);
+    RunReport {
+        session_rates_mbps,
+        trunk_macr_mbps,
+        trunk_utilization,
+        trunk_mean_queue,
+        trunk_peak_queue,
+        jain,
+        events: engine.events_processed(),
+        counters,
+    }
+}
+
+/// [`run_spec`] with observability: optional JSONL trace, optional
+/// metrics snapshot, optional progress heartbeat and status file,
+/// optional engine profile, optional panic flight recorder, optional
+/// periodic checkpoints. None of them changes the simulation — a run
+/// with every option on produces the same report as a bare [`run_spec`].
+pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport, String> {
+    spec.validate()?;
+    let wall_start = std::time::Instant::now();
+    let (mut engine, net) = build_topology(spec);
 
     // One manifest describes the run; each artifact re-stamps it with
     // its own schema id. The config hash covers the whole parsed spec.
@@ -369,18 +494,19 @@ pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport
     let prof = opts.profile.as_ref().map(|_| profile::begin_profile());
 
     let end = SimTime::ZERO + spec.duration;
-    if opts.verbose || opts.status_file.is_some() {
-        run_sliced(
-            &mut engine,
-            end,
-            opts.verbose,
-            opts.status_file.as_deref(),
-            scenario,
-            spec.seed,
-        )?;
+    let mut ckpt = crate::checkpoint::CkptDriver::from_opts(
+        opts,
+        &manifest,
+        crate::checkpoint::KIND_TOPOLOGY,
+        end,
+        &marker,
+    )?;
+    if opts.verbose || opts.status_file.is_some() || ckpt.is_some() {
+        run_driver(&mut engine, end, opts, scenario, spec.seed, ckpt.as_mut())?;
     } else {
         engine.run_until(end);
     }
+    drop(ckpt);
     let report = prof.map(profile::ProfileMarker::finish);
     let counters = marker.finish();
     drop(guard); // flushes the trace file
@@ -392,33 +518,7 @@ pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport
         write_profile(path, &manifest, wall_start.elapsed().as_secs_f64(), report)?;
     }
 
-    let tail = spec.duration.as_secs_f64() / 2.0;
-    let session_rates_mbps: Vec<f64> = (0..spec.sessions.len())
-        .map(|i| cps_to_mbps(net.session_rate(&engine, SessionId(i)).mean_after(tail)))
-        .collect();
-    let mut trunk_macr_mbps = Vec::new();
-    let mut trunk_utilization = Vec::new();
-    let mut trunk_mean_queue = Vec::new();
-    let mut trunk_peak_queue = Vec::new();
-    for i in 0..spec.trunks.len() {
-        let t = TrunkIdx(i);
-        trunk_macr_mbps.push(cps_to_mbps(net.trunk_macr(&engine, t).mean_after(tail)));
-        let port = net.trunk_port(&engine, t);
-        trunk_utilization.push(net.trunk_throughput(&engine, t).mean_after(tail) / port.capacity());
-        trunk_mean_queue.push(net.trunk_queue(&engine, t).mean_after(tail));
-        trunk_peak_queue.push(port.queue_high_water());
-    }
-    let jain = jain_index(&session_rates_mbps);
-    Ok(RunReport {
-        session_rates_mbps,
-        trunk_macr_mbps,
-        trunk_utilization,
-        trunk_mean_queue,
-        trunk_peak_queue,
-        jain,
-        events: engine.events_processed(),
-        counters,
-    })
+    Ok(collect_report(spec, &engine, &net, counters))
 }
 
 /// Closed-form phantom prediction for the topology (ignores traffic
@@ -763,6 +863,8 @@ run 400ms seed=3
             ("phantom-profile-v1.md", "phantom-profile/1"),
             ("phantom-status-v1.md", "phantom-status/1"),
             ("phantom-postmortem-v1.md", "phantom-postmortem/1"),
+            ("phantom-checkpoint-v1.md", "phantom-checkpoint/1"),
+            ("phantom-diverge-v1.md", "phantom-diverge/1"),
         ] {
             let doc = std::fs::read_to_string(schemas.join(file)).unwrap();
             assert!(doc.contains(tag), "{file} must document {tag}");

@@ -26,13 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod diverge;
 pub mod exec;
 pub mod parse;
 pub mod scene;
 pub mod spec;
 
+pub use checkpoint::{nearest_checkpoint, read_checkpoint, resume, CheckpointDoc, ResumeOutcome};
+pub use diverge::{diverge, DivergeOptions, DivergeOutcome};
 pub use exec::{
-    compare_algorithms, predict, run_spec, run_spec_opts, sweep_u, RunOptions, RunReport,
+    compare_algorithms, predict, run_spec, run_spec_opts, sweep_u, CheckpointEvery, RunOptions,
+    RunReport,
 };
 pub use parse::{parse_str, ParseError};
 pub use scene::{run_scene_opts, SceneReport};

@@ -8,8 +8,9 @@
 //! targets *the scene itself declares* (`analysis_targets`), since the
 //! file in hand is the authority when running it directly.
 
+use crate::checkpoint::{CkptDriver, KIND_SCENE};
 use crate::exec::{
-    arm_flight, install_probes, run_sliced, trace_probe, write_metrics, write_profile, RunOptions,
+    arm_flight, install_probes, run_driver, trace_probe, write_metrics, write_profile, RunOptions,
 };
 use phantom_analyze::{AnalysisHandle, AnalysisReport, AnalysisSink, StreamingAnalyzer};
 use phantom_metrics::manifest::{Manifest, METRICS_SCHEMA, TRACE_SCHEMA};
@@ -85,18 +86,14 @@ pub fn run_scene_opts(
     let prof = opts.profile.as_ref().map(|_| profile::begin_profile());
     let events_before = phantom_sim::thread_events_dispatched();
     // Pre-drive the engine to `until` in heartbeat slices when liveness
-    // was requested; `run_standard`'s first action is `run_until(until)`,
-    // which then finds no work left, so the results are identical.
-    if opts.verbose || opts.status_file.is_some() {
-        run_sliced(
-            &mut engine,
-            until,
-            opts.verbose,
-            opts.status_file.as_deref(),
-            &scene.id,
-            seed,
-        )?;
+    // or checkpointing was requested; `run_standard`'s first action is
+    // `run_until(until)`, which then finds no work left, so the results
+    // are identical.
+    let mut ckpt = CkptDriver::from_opts(opts, &manifest, KIND_SCENE, until, &marker)?;
+    if opts.verbose || opts.status_file.is_some() || ckpt.is_some() {
+        run_driver(&mut engine, until, opts, &scene.id, seed, ckpt.as_mut())?;
     }
+    drop(ckpt);
     let (_engine, _net, result) = run_standard(
         engine,
         net,

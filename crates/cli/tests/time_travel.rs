@@ -1,0 +1,368 @@
+//! PR 8 acceptance: deterministic time-travel.
+//!
+//! The hard contract under test: a run interrupted at a checkpoint and
+//! resumed produces a trace suffix byte-identical to the uninterrupted
+//! run — same report, same analysis — and `phantom diverge` localizes an
+//! injected perturbation to its first differing event.
+
+use phantom_cli::exec::CheckpointEvery;
+use phantom_cli::{diverge, resume, run_scene_opts, DivergeOptions, DivergeOutcome, RunOptions};
+use phantom_scene::{analysis_targets, parse_scene, Scene};
+use std::path::{Path, PathBuf};
+
+fn scenes_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenes")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phantom-tt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn load_scene(file: &str) -> (Scene, String) {
+    let text = std::fs::read_to_string(scenes_dir().join(file)).unwrap();
+    (parse_scene(&text).unwrap(), text)
+}
+
+/// The full resume contract for one scene:
+///
+/// 1. checkpointing never perturbs the run (trace bytes + report equal
+///    to an uncheckpointed run);
+/// 2. resuming from a mid-run checkpoint writes a suffix that stitches
+///    byte-identically onto the uninterrupted trace's prefix;
+/// 3. the resumed report and the re-analyzed stitched trace match the
+///    uninterrupted run's.
+fn assert_resume_contract(file: &str, every: CheckpointEvery) {
+    let (scene, source) = load_scene(file);
+    let seed = 1996;
+    let dir = tmp(&scene.id.clone());
+    let window = phantom_analyze::DEFAULT_WINDOW_SECS;
+
+    // Uninterrupted reference run, traced + live-analyzed.
+    let full_trace = dir.join("full.jsonl");
+    let plain = run_scene_opts(
+        &scene,
+        seed,
+        Some(window),
+        &RunOptions {
+            trace: Some(full_trace.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let full_bytes = std::fs::read(&full_trace).unwrap();
+    let want_render = plain.result.render(0);
+    let want_analysis = plain.analysis.as_ref().unwrap().to_json();
+
+    // Checkpointed run: byte-identical trace and report.
+    let ck_trace = dir.join("checkpointed.jsonl");
+    let ck_dir = dir.join("ckpts");
+    let checkpointed = run_scene_opts(
+        &scene,
+        seed,
+        None,
+        &RunOptions {
+            trace: Some(ck_trace.clone()),
+            checkpoint_every: Some(every),
+            checkpoint_dir: Some(ck_dir.clone()),
+            checkpoint_source: source.clone(),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        std::fs::read(&ck_trace).unwrap(),
+        full_bytes,
+        "{file}: checkpointing must not perturb the trace"
+    );
+    assert_eq!(
+        checkpointed.result.render(0),
+        want_render,
+        "{file}: checkpointing must not perturb the report"
+    );
+    let mut ckpts: Vec<PathBuf> = std::fs::read_dir(&ck_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    ckpts.sort(); // zero-padded names: lexical order is sim order
+    assert!(
+        ckpts.len() >= 2,
+        "{file}: expected several checkpoints, got {}",
+        ckpts.len()
+    );
+
+    // Resume from a mid-run checkpoint; the suffix must stitch onto the
+    // uninterrupted prefix byte-for-byte.
+    let mid = &ckpts[ckpts.len() / 2];
+    let doc = phantom_cli::read_checkpoint(mid).unwrap();
+    assert!(doc.trace_offset > 0 && (doc.trace_offset as usize) < full_bytes.len());
+    let suffix = dir.join("suffix.jsonl");
+    let outcome = resume(
+        mid,
+        None,
+        &RunOptions {
+            trace: Some(suffix.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let mut stitched = full_bytes[..doc.trace_offset as usize].to_vec();
+    stitched.extend_from_slice(&std::fs::read(&suffix).unwrap());
+    assert_eq!(
+        stitched, full_bytes,
+        "{file}: stitched trace must equal the uninterrupted trace"
+    );
+    assert_eq!(
+        outcome.rendered, want_render,
+        "{file}: resumed report must equal the uninterrupted report"
+    );
+    assert_eq!(outcome.events, plain.events, "{file}: total event count");
+
+    // Re-analyzing the stitched trace reproduces the live analysis.
+    let stitched_analysis = phantom_analyze::analyze_trace_str(
+        std::str::from_utf8(&stitched).unwrap(),
+        analysis_targets(&scene),
+        window,
+    )
+    .unwrap();
+    assert_eq!(
+        stitched_analysis.to_json(),
+        want_analysis,
+        "{file}: stitched-trace analysis must equal the live analysis"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_contract_fig2() {
+    assert_resume_contract("fig2.json", CheckpointEvery::SimSecs(0.1));
+}
+
+#[test]
+fn resume_contract_fig4() {
+    assert_resume_contract("fig4.json", CheckpointEvery::SimSecs(0.2));
+}
+
+#[test]
+fn resume_contract_fig6() {
+    // Event-count cadence on one scene so both boundary kinds are
+    // exercised end to end.
+    assert_resume_contract("fig6.json", CheckpointEvery::Events(200_000));
+}
+
+#[test]
+fn resume_contract_churn() {
+    // Mid-run dynamic events (joins at 300 ms, leaves at 600 ms) must
+    // survive the checkpoint round-trip like everything else.
+    assert_resume_contract("churn.json", CheckpointEvery::SimSecs(0.2));
+}
+
+/// The `--jobs 1` vs `--jobs 4` half of the acceptance: four resumes of
+/// the same checkpoint running concurrently (probes and telemetry are
+/// thread-local) must each produce output byte-identical to a serial
+/// resume.
+#[test]
+fn concurrent_resumes_match_serial() {
+    let (scene, source) = load_scene("churn.json");
+    let dir = tmp("jobs");
+    let ck_dir = dir.join("ckpts");
+    run_scene_opts(
+        &scene,
+        1996,
+        None,
+        &RunOptions {
+            checkpoint_every: Some(CheckpointEvery::SimSecs(0.3)),
+            checkpoint_dir: Some(ck_dir.clone()),
+            checkpoint_source: source,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let mut ckpts: Vec<PathBuf> = std::fs::read_dir(&ck_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    ckpts.sort();
+    let mid = ckpts[ckpts.len() / 2].clone();
+
+    let serial_suffix = dir.join("serial.jsonl");
+    let serial = resume(
+        &mid,
+        None,
+        &RunOptions {
+            trace: Some(serial_suffix.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let serial_bytes = std::fs::read(&serial_suffix).unwrap();
+
+    let results: Vec<_> = std::thread::scope(|s| {
+        (0..4)
+            .map(|i| {
+                let mid = mid.clone();
+                let suffix = dir.join(format!("par-{i}.jsonl"));
+                s.spawn(move || {
+                    let out = resume(
+                        &mid,
+                        None,
+                        &RunOptions {
+                            trace: Some(suffix.clone()),
+                            ..RunOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    (out, std::fs::read(&suffix).unwrap())
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (out, bytes) in results {
+        assert_eq!(
+            out.rendered, serial.rendered,
+            "reports must not depend on jobs"
+        );
+        assert_eq!(out.events, serial.events);
+        assert_eq!(bytes, serial_bytes, "suffix traces must not depend on jobs");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The million-session scene, same contract. Ignored by default: it is
+/// minutes of debug-build wall time. Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "large scene; run explicitly"]
+fn resume_contract_metro_chain_10k() {
+    // The metro scene simulates 200 ms, so checkpoint at 50 ms.
+    assert_resume_contract("metro/metro-chain-10k.json", CheckpointEvery::SimSecs(0.05));
+}
+
+const DUMBBELL_A: &str = r#"{
+    "schema": "phantom-scene/1",
+    "id": "tt-diverge",
+    "describe": "divergence-injection twin A",
+    "algorithm": "phantom",
+    "duration_ms": 300,
+    "switches": ["s1", "s2"],
+    "trunks": [{"a": "s1", "b": "s2", "mbps": 150, "prop_us": 10}],
+    "sessions": [
+        {"id": "g0", "path": ["s1", "s2"], "traffic": {"kind": "greedy"}},
+        {"id": "g1", "path": ["s1", "s2"], "traffic": {"kind": "greedy"}}
+    ],
+    "bottleneck": 0,
+    "analysis": {"n_sessions": 2}
+}"#;
+
+/// `phantom diverge` must call two identical-seed runs identical, and
+/// localize an injected single-parameter perturbation (`alpha_dec`
+/// 0.25 -> 0.26 on the bottleneck trunk) to its first differing event —
+/// with the engine-state diff when run A's checkpoints are at hand.
+#[test]
+fn diverge_localizes_an_injected_perturbation() {
+    let dir = tmp("diverge");
+    let scene_a = parse_scene(DUMBBELL_A).unwrap();
+    let perturbed_src =
+        DUMBBELL_A.replace("\"prop_us\": 10}", "\"prop_us\": 10, \"alpha_dec\": 0.26}");
+    let scene_b = parse_scene(&perturbed_src).unwrap();
+
+    let trace_a = dir.join("a.jsonl");
+    let trace_b = dir.join("b.jsonl");
+    let ck_dir = dir.join("ckpts");
+    run_scene_opts(
+        &scene_a,
+        7,
+        None,
+        &RunOptions {
+            trace: Some(trace_a.clone()),
+            checkpoint_every: Some(CheckpointEvery::SimSecs(0.01)),
+            checkpoint_dir: Some(ck_dir.clone()),
+            checkpoint_source: DUMBBELL_A.to_string(),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    run_scene_opts(
+        &scene_b,
+        7,
+        None,
+        &RunOptions {
+            trace: Some(trace_b.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Identical traces: exit path 0.
+    let (same, report) = diverge(&trace_a, &trace_a, &DivergeOptions::default()).unwrap();
+    assert!(matches!(same, DivergeOutcome::Identical { .. }));
+    assert!(report.contains("\"identical\":true"), "{report}");
+
+    // Perturbed twin: first divergence found, context retained, and the
+    // checkpoint-backed engine-state diff produced.
+    let (out, report) = diverge(
+        &trace_a,
+        &trace_b,
+        &DivergeOptions {
+            context: 4,
+            checkpoints: Some(ck_dir),
+        },
+    )
+    .unwrap();
+    let DivergeOutcome::Diverged { line } = out else {
+        panic!("perturbed twin must diverge");
+    };
+    assert!(line > 1, "the manifest lines match");
+    assert!(report.contains("\"identical\":false"), "{report}");
+    assert!(
+        report.contains("\"record\":\"first-divergence\""),
+        "{report}"
+    );
+    assert!(report.contains("\"record\":\"context\""), "{report}");
+    // The perturbation is the decrease factor, so the first differing
+    // event is a MACR update (embedded as an escaped JSON string).
+    assert!(report.contains("\\\"kind\\\":\\\"macr\\\""), "{report}");
+    assert!(report.contains("\"record\":\"checkpoint\""), "{report}");
+    assert!(report.contains("\"record\":\"replay\""), "{report}");
+    assert!(report.contains("\"record\":\"summary\""), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (f): `phantom status --watch` must treat a status file
+/// vanishing mid-watch as a normal end of run, not an error.
+#[test]
+fn status_watch_survives_file_removal() {
+    let dir = tmp("watch");
+    let path = dir.join("run.status.json");
+    let status = phantom_metrics::RunStatus::starting("tt-watch", 7, 100, "slices");
+    status.write(&path).unwrap();
+
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_phantom"))
+        .args(["status", path.to_str().unwrap(), "--watch"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Let the watcher read the file at least once (it polls every
+    // second), then yank it.
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    std::fs::remove_file(&path).unwrap();
+
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "watch must exit cleanly: {:?}\nstdout: {stdout}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("tt-watch"), "{stdout}");
+    assert!(stdout.contains("run ended"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -103,6 +103,25 @@ impl RateAllocator for PhantomNi {
     fn name(&self) -> &'static str {
         "phantom-ni"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.bool("init", self.est.is_some());
+        if let Some(e) = &self.est {
+            w.scope("est", |w| e.save(w));
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.est = if r.bool("init")? {
+            let mut e = MacrEstimator::new(self.cfg.macr, 1.0);
+            r.scope("est", |r| e.restore(r))?;
+            Some(e)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,26 @@ impl MacrEstimator {
         &self.cfg
     }
 
+    /// Serialize the evolving state for a checkpoint (exact round-trip).
+    /// The configuration is static and not written.
+    pub fn save(&self, w: &mut phantom_sim::KvWriter) {
+        w.f64("macr", self.macr);
+        w.f64("dev", self.dev);
+        w.f64("last_err", self.last_err);
+        w.f64("last_gain", self.last_gain);
+    }
+
+    /// Overwrite the evolving state from a [`MacrEstimator::save`]
+    /// record. The estimator must have been rebuilt with the original
+    /// configuration.
+    pub fn restore(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.macr = r.f64("macr")?;
+        self.dev = r.f64("dev")?;
+        self.last_err = r.f64("last_err")?;
+        self.last_gain = r.f64("last_gain")?;
+        Ok(())
+    }
+
     /// Feed one interval's residual-bandwidth measurement (`residual` may
     /// be negative in overload when measuring against arrivals).
     /// `capacity` bounds the estimate from above.

@@ -102,6 +102,29 @@ impl RateAllocator for PhantomAllocator {
     fn name(&self) -> &'static str {
         "phantom"
     }
+
+    fn save_state(&self, w: &mut phantom_sim::KvWriter) -> Result<(), String> {
+        w.f64("capacity", self.capacity);
+        w.bool("init", self.est.is_some());
+        if let Some(e) = &self.est {
+            w.scope("est", |w| e.save(w));
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut phantom_sim::KvReader) -> Result<(), String> {
+        self.capacity = r.f64("capacity")?;
+        self.est = if r.bool("init")? {
+            // The constructor argument only seeds the initial estimate,
+            // which the restore below overwrites.
+            let mut e = MacrEstimator::new(self.cfg.macr, 1.0);
+            r.scope("est", |r| e.restore(r))?;
+            Some(e)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,14 @@ pub const PROFILE_SCHEMA: &str = "phantom-profile/1";
 pub const STATUS_SCHEMA: &str = "phantom-status/1";
 /// Schema tag for panic flight-recorder dumps (post-mortem JSONL).
 pub const POSTMORTEM_SCHEMA: &str = "phantom-postmortem/1";
+/// Schema tag for engine checkpoints (`phantom run --checkpoint-every`),
+/// a JSONL rendering of a complete mid-run engine snapshot plus the
+/// provenance needed to rebuild the topology and resume byte-identically.
+pub const CHECKPOINT_SCHEMA: &str = "phantom-checkpoint/1";
+/// Schema tag for trace-divergence reports (`phantom diverge`): the
+/// first divergent event between two traces, its context window, and —
+/// when checkpoints are available — an engine-state diff localizing it.
+pub const DIVERGE_SCHEMA: &str = "phantom-diverge/1";
 
 /// The git revision this binary was built from ("unknown" outside a
 /// checkout); embedded at compile time by the crate's build script.

@@ -12,8 +12,9 @@
 use crate::registry::{run_experiment, ExperimentOutput};
 use crate::shape::targets_for;
 use phantom_analyze::{AnalysisHandle, AnalysisReport, AnalysisSink, StreamingAnalyzer};
-use phantom_metrics::manifest::{Manifest, PROFILE_SCHEMA, TRACE_SCHEMA};
+use phantom_metrics::manifest::{Manifest, POSTMORTEM_SCHEMA, PROFILE_SCHEMA, TRACE_SCHEMA};
 use phantom_metrics::{ProfileRecord, RunStatus};
+use phantom_sim::flight;
 use phantom_sim::probe::{FilterProbe, JsonlProbe, KindSet, Probe, ProbeGuard, TeeProbe};
 use phantom_sim::telemetry::{self, RunCounters};
 use std::path::{Path, PathBuf};
@@ -54,6 +55,18 @@ pub struct SweepOptions {
     /// (batch-level progress: runs done / total, events/s, ETA, RSS),
     /// for `phantom status FILE --watch` to poll.
     pub status_file: Option<PathBuf>,
+    /// Minimum wall-clock seconds between status rewrites
+    /// (`--heartbeat`). `None` rewrites on every run finish — fine for
+    /// figure sweeps, wasteful for thousand-run batches. The final
+    /// `done` write always lands regardless.
+    pub heartbeat_secs: Option<f64>,
+    /// Arm the panic flight recorder around every run, writing a
+    /// `phantom-postmortem/1` dump to `<id>-<seed>-postmortem.jsonl` in
+    /// this directory if that run panics.
+    pub post_mortem_dir: Option<PathBuf>,
+    /// Ring depth of the flight recorder (`--post-mortem-depth`): how
+    /// many recent events a dump retains. `None` keeps the default.
+    pub post_mortem_depth: Option<usize>,
 }
 
 /// Shared batch-progress state behind [`SweepOptions::status_file`]:
@@ -68,10 +81,16 @@ struct SweepProgress {
     done: AtomicU64,
     events: AtomicU64,
     start: std::time::Instant,
+    /// Heartbeat interval in milliseconds; 0 means "every run".
+    heartbeat_ms: u64,
+    /// Wall millis (since `start`) of the last status write; workers
+    /// race on it with `compare_exchange`, so at most one finisher per
+    /// heartbeat window pays for the rewrite.
+    last_write_ms: AtomicU64,
 }
 
 impl SweepProgress {
-    fn new(path: &Path, jobs_list: &[SweepJob]) -> Self {
+    fn new(path: &Path, jobs_list: &[SweepJob], heartbeat_secs: Option<f64>) -> Self {
         let p = SweepProgress {
             path: path.to_path_buf(),
             scenario: "sweep".to_string(),
@@ -80,6 +99,8 @@ impl SweepProgress {
             done: AtomicU64::new(0),
             events: AtomicU64::new(0),
             start: std::time::Instant::now(),
+            heartbeat_ms: heartbeat_secs.map_or(0, |s| (s.max(0.0) * 1000.0) as u64),
+            last_write_ms: AtomicU64::new(0),
         };
         let _ = p.status(0, 0, "running").write(&p.path);
         p
@@ -106,6 +127,22 @@ impl SweepProgress {
     fn note_run(&self, run_events: u64) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         let events = self.events.fetch_add(run_events, Ordering::Relaxed) + run_events;
+        if self.heartbeat_ms > 0 {
+            let now_ms = self.start.elapsed().as_millis() as u64;
+            let last = self.last_write_ms.load(Ordering::Relaxed);
+            let due = now_ms.saturating_sub(last) >= self.heartbeat_ms;
+            // One finisher per window wins the exchange and writes; the
+            // rest skip — their counts land in the next heartbeat (or
+            // the final `done` write, which is unconditional).
+            if !due
+                || self
+                    .last_write_ms
+                    .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+            {
+                return;
+            }
+        }
         let _ = self.status(done, events, "running").write(&self.path);
     }
 
@@ -162,18 +199,43 @@ fn analysis_sink(job: &SweepJob, opts: &SweepOptions) -> Option<(Box<dyn Probe>,
     Some((Box::new(sink), handle))
 }
 
+/// Arm the panic flight recorder for one run, if a post-mortem
+/// directory is configured. Mirrors the profile writer's silent-degrade
+/// semantics: an uncreatable directory disables the recorder for this
+/// run rather than aborting the sweep.
+fn flight_recorder(
+    job: &SweepJob,
+    opts: &SweepOptions,
+) -> Option<(flight::FlightGuard, Box<dyn Probe>)> {
+    let dir = opts.post_mortem_dir.as_ref()?;
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{}-{}-postmortem.jsonl", job.id, job.seed));
+    let manifest = Manifest::new(POSTMORTEM_SCHEMA, &job.id, job.seed, &job.id);
+    let depth = opts.post_mortem_depth.unwrap_or(flight::DEFAULT_RING_CAP);
+    let guard = flight::arm(&path, Some(&manifest.to_json()), depth);
+    Some((guard, Box::new(flight::FlightProbe)))
+}
+
 fn run_one(job: &SweepJob, opts: &SweepOptions) -> SweepRun {
     let (tap, handle) = match analysis_sink(job, opts) {
         Some((tap, handle)) => (Some(tap), Some(handle)),
         None => (None, None),
     };
-    let guard = match (trace_probe(job, opts), tap) {
-        (Some(trace), Some(tap)) => Some(ProbeGuard::install(Box::new(
-            TeeProbe::new().and(tap).and(trace),
+    // Held for the whole run: dropping disarms the recorder.
+    let (_flight_guard, flight_tap) = match flight_recorder(job, opts) {
+        Some((guard, tap)) => (Some(guard), Some(tap)),
+        None => (None, None),
+    };
+    let mut probes: Vec<Box<dyn Probe>> = Vec::new();
+    probes.extend(flight_tap);
+    probes.extend(tap);
+    probes.extend(trace_probe(job, opts));
+    let guard = match probes.len() {
+        0 => None,
+        1 => Some(ProbeGuard::install(probes.pop().expect("len checked"))),
+        _ => Some(ProbeGuard::install(Box::new(
+            probes.into_iter().fold(TeeProbe::new(), TeeProbe::and),
         ))),
-        (Some(trace), None) => Some(ProbeGuard::install(trace)),
-        (None, Some(tap)) => Some(ProbeGuard::install(tap)),
-        (None, None) => None,
     };
     let marker = telemetry::begin_run();
     let prof = opts
@@ -221,7 +283,7 @@ pub fn run_sweep_with(jobs_list: &[SweepJob], jobs: usize, opts: &SweepOptions) 
     let progress = opts
         .status_file
         .as_ref()
-        .map(|p| SweepProgress::new(p, jobs_list));
+        .map(|p| SweepProgress::new(p, jobs_list, opts.heartbeat_secs));
     let note = |run: &SweepRun| {
         if let Some(p) = &progress {
             p.note_run(run.events);
@@ -505,6 +567,54 @@ mod tests {
             serial[0].analysis.as_ref().unwrap().to_json(),
             "the tap must see the unfiltered stream"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// PR 8 satellites at the sweep level: a heartbeat-throttled,
+    /// flight-armed sweep is byte-identical to a plain one; the status
+    /// file still ends in an unconditional `done` write even when the
+    /// heartbeat interval is far longer than the whole batch; and a
+    /// clean run leaves no post-mortem dump behind (the recorder only
+    /// writes on panic).
+    #[test]
+    fn heartbeat_and_post_mortem_do_not_change_results() {
+        let batch = jobs(&[("fig2", 1996), ("fig4", 1996)]);
+        let plain = run_sweep(&batch, 1);
+
+        let dir = std::env::temp_dir().join(format!("phantom-sweep-hb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let status_path = dir.join("run.status.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = SweepOptions {
+            status_file: Some(status_path.clone()),
+            heartbeat_secs: Some(3600.0), // throttles every mid-run write
+            post_mortem_dir: Some(dir.clone()),
+            post_mortem_depth: Some(64),
+            ..SweepOptions::default()
+        };
+        let out = run_sweep_with(&batch, 2, &opts);
+
+        for (a, b) in plain.iter().zip(&out) {
+            assert_eq!(a.events, b.events, "arming must not change dispatch");
+            assert_eq!(a.counters, b.counters, "telemetry must be identical");
+            assert_eq!(
+                a.output.as_ref().unwrap().render(0),
+                b.output.as_ref().unwrap().render(0),
+                "reports must be byte-identical with the recorder armed"
+            );
+        }
+
+        // The final write is unconditional, so despite the 1-hour
+        // heartbeat the file must end in state `done` with full counts.
+        let st = std::fs::read_to_string(&status_path).unwrap();
+        assert!(st.contains("\"state\": \"done\""));
+        assert!(st.contains("\"done\": 2") && st.contains("\"total\": 2"));
+
+        // No panic, no dump.
+        for job in &batch {
+            let dump = dir.join(format!("{}-{}-postmortem.jsonl", job.id, job.seed));
+            assert!(!dump.exists(), "clean runs write no post-mortem");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,6 +28,9 @@
 use crate::event::EventQueue;
 use crate::profile::LoopProf;
 use crate::rng::derive_seed;
+use crate::snapshot::{
+    EngineSnapshot, EventSnapshot, KvReader, KvWriter, NodeSnapshot, SnapshotMessage,
+};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -46,6 +49,30 @@ pub struct NodeId(pub usize);
 pub trait Node<M>: Any {
     /// Handle a message delivered at `ctx.now()`.
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
+
+    /// Serialize every *dynamic* field into `w` for a checkpoint.
+    ///
+    /// Configuration that the scenario rebuilds identically from its
+    /// source (topology, rates, ids) must not be written — only state
+    /// that evolves as events fire. The default refuses, so engines whose
+    /// node types predate checkpointing fail loudly instead of silently
+    /// dropping state.
+    fn save_state(&self, _w: &mut KvWriter) -> Result<(), String> {
+        Err(format!(
+            "{} does not support checkpointing",
+            std::any::type_name::<Self>()
+        ))
+    }
+
+    /// Overwrite this node's dynamic fields from a checkpoint written by
+    /// [`Node::save_state`]. The node was just rebuilt by the scenario,
+    /// so static configuration is already in place.
+    fn restore_state(&mut self, _r: &mut KvReader) -> Result<(), String> {
+        Err(format!(
+            "{} does not support checkpointing",
+            std::any::type_name::<Self>()
+        ))
+    }
 }
 
 /// Observer invoked for every delivered event: `(time, destination, &msg)`.
@@ -194,6 +221,8 @@ trait NodeArena<M> {
     /// owned by the nodes themselves (queues, series) are not visible
     /// from here and are not counted.
     fn bytes(&self) -> usize;
+    fn save_node(&self, slot: u32, w: &mut KvWriter) -> Result<(), String>;
+    fn restore_node(&mut self, slot: u32, r: &mut KvReader) -> Result<(), String>;
 }
 
 impl<M: 'static, N: Node<M>> NodeArena<M> for TypedArena<N> {
@@ -220,6 +249,14 @@ impl<M: 'static, N: Node<M>> NodeArena<M> for TypedArena<N> {
 
     fn bytes(&self) -> usize {
         self.nodes.capacity() * size_of::<N>()
+    }
+
+    fn save_node(&self, slot: u32, w: &mut KvWriter) -> Result<(), String> {
+        self.nodes[slot as usize].save_state(w)
+    }
+
+    fn restore_node(&mut self, slot: u32, r: &mut KvReader) -> Result<(), String> {
+        self.nodes[slot as usize].restore_state(r)
     }
 }
 
@@ -465,6 +502,39 @@ impl<M: 'static> Engine<M> {
         done
     }
 
+    /// Run until the clock reaches `t` or `max_events` have been
+    /// dispatched, whichever comes first. Returns the number of events
+    /// dispatched by this call. The clock advances to `t` only when the
+    /// calendar ran dry of events at or before `t` (i.e. the time bound,
+    /// not the event cap, ended the call) — a capped stop leaves `now` at
+    /// the last dispatched event so a checkpoint taken here resumes
+    /// mid-flight.
+    ///
+    /// The combined bound exists for checkpointing: `--checkpoint-every
+    /// Nev` slices a run by event count while the scenario still drives
+    /// the overall horizon by time.
+    pub fn run_until_capped(&mut self, t: SimTime, max_events: u64) -> u64 {
+        let start = self.events_processed;
+        if !self.instrumented() {
+            while self.events_processed - start < max_events {
+                let Some(ev) = self.queue.pop_at_or_before(t) else {
+                    break;
+                };
+                self.dispatch(ev.time, ev.dst, ev.msg);
+            }
+        } else {
+            self.run_instrumented(Some(t), max_events);
+        }
+        let done = self.events_processed - start;
+        note_dispatched(done);
+        // `done` can overshoot `max_events` via coalescing; either way a
+        // cap-limited stop must not advance the clock past real events.
+        if done < max_events && self.now < t {
+            self.now = t;
+        }
+        done
+    }
+
     /// The observed run loop: trace hook, profiler timing and flight
     /// recorder cursors, each behind its own check. Dispatch order is
     /// identical to the fast loop — observers read, never steer.
@@ -562,6 +632,109 @@ impl<M: 'static> Engine<M> {
             .downcast_mut::<TypedArena<N>>()
             .expect("node type mismatch");
         &mut typed.nodes[loc.slot as usize]
+    }
+}
+
+impl<M: 'static + SnapshotMessage> Engine<M> {
+    /// Capture the engine's complete dynamic state: every node's fields,
+    /// every per-node RNG stream, every pending calendar event with its
+    /// `(time, seq)` ordering key, and the clock/dispatch counters.
+    ///
+    /// The snapshot deliberately excludes static topology: restoring
+    /// happens into an engine freshly rebuilt by the same scenario code
+    /// (same node types registered in the same order), which
+    /// [`Engine::restore`] then overwrites with the captured dynamics.
+    /// Fails if any registered node type does not implement
+    /// [`Node::save_state`].
+    pub fn snapshot(&self) -> Result<EngineSnapshot, String> {
+        let mut nodes = Vec::with_capacity(self.locs.len());
+        for (id, loc) in self.locs.iter().enumerate() {
+            let arena = &self.arenas[loc.arena as usize];
+            let mut w = KvWriter::new();
+            arena
+                .save_node(loc.slot, &mut w)
+                .map_err(|e| format!("node {id}: {e}"))?;
+            nodes.push(NodeSnapshot {
+                id,
+                type_name: arena.type_name().to_string(),
+                rng: self.rngs[id].state(),
+                state: w.finish(),
+            });
+        }
+        let mut events = Vec::with_capacity(self.queue.len());
+        self.queue.for_each_pending(|time, seq, dst, msg| {
+            events.push(EventSnapshot {
+                time,
+                seq,
+                dst: dst.0,
+                msg: msg.encode(),
+            });
+        });
+        // `for_each_pending` walks storage tiers, not delivery order;
+        // canonicalize so the artifact (and diffs over it) are stable.
+        events.sort_by_key(|e| (e.time, e.seq));
+        Ok(EngineSnapshot {
+            now: self.now,
+            events_processed: self.events_processed,
+            next_seq: self.queue.next_seq(),
+            nodes,
+            events,
+        })
+    }
+
+    /// Overwrite this engine's dynamic state from `snap`.
+    ///
+    /// The engine must already hold the same topology the snapshot was
+    /// taken from — same node count, same concrete type per id, in the
+    /// same registration order — which the caller guarantees by re-running
+    /// the scenario construction that produced the original engine.
+    /// After restore, the engine's future event sequence is exactly the
+    /// sequence the snapshotted engine would have produced.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), String> {
+        if snap.nodes.len() != self.locs.len() {
+            return Err(format!(
+                "checkpoint has {} nodes but the rebuilt engine has {} — \
+                 scenario/config mismatch",
+                snap.nodes.len(),
+                self.locs.len()
+            ));
+        }
+        for (id, ns) in snap.nodes.iter().enumerate() {
+            if ns.id != id {
+                return Err(format!("checkpoint node records out of order at {id}"));
+            }
+            let loc = self.locs[id];
+            let arena = &mut self.arenas[loc.arena as usize];
+            if arena.type_name() != ns.type_name {
+                return Err(format!(
+                    "node {id}: checkpoint type {} but engine has {}",
+                    ns.type_name,
+                    arena.type_name()
+                ));
+            }
+            let mut r = KvReader::parse(&ns.state).map_err(|e| format!("node {id}: {e}"))?;
+            arena
+                .restore_node(loc.slot, &mut r)
+                .map_err(|e| format!("node {id}: {e}"))?;
+            self.rngs[id] = SmallRng::from_state(ns.rng);
+        }
+        let mut queue = EventQueue::new();
+        for ev in &snap.events {
+            if ev.dst >= self.locs.len() {
+                return Err(format!(
+                    "pending event targets node {} beyond the rebuilt topology",
+                    ev.dst
+                ));
+            }
+            let msg = M::decode(&ev.msg)
+                .map_err(|e| format!("pending event at {:?} seq {}: {e}", ev.time, ev.seq))?;
+            queue.restore_push(ev.time, ev.seq, NodeId(ev.dst), msg);
+        }
+        queue.set_next_seq(snap.next_seq);
+        self.queue = queue;
+        self.now = snap.now;
+        self.events_processed = snap.events_processed;
+        Ok(())
     }
 }
 
@@ -939,6 +1112,147 @@ mod tests {
     }
 
     use crate::profile::ProfileMarker;
+
+    /// A node with RNG use, accumulated state and self-scheduling across
+    /// wildly different timer horizons — the shape checkpointing must
+    /// capture exactly.
+    struct Mixer {
+        count: u32,
+        draws: Vec<u64>,
+        horizon_ns: u64,
+    }
+
+    impl Node<u32> for Mixer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+            self.count += 1;
+            let v = ctx.rng().gen::<u64>();
+            self.draws.push(v);
+            if self.count < 40 {
+                // Alternate near rescheduling with a far-future horizon so
+                // pending events live in the active run, the wheel and the
+                // far slab at any given instant.
+                let delay = if self.count.is_multiple_of(3) {
+                    SimDuration::from_nanos(self.horizon_ns)
+                } else {
+                    SimDuration::from_micros(1 + (v % 50))
+                };
+                ctx.send_self(delay, msg + 1);
+            }
+        }
+
+        fn save_state(&self, w: &mut KvWriter) -> Result<(), String> {
+            w.u64("count", self.count as u64);
+            w.u64_list("draws", &self.draws);
+            Ok(())
+        }
+
+        fn restore_state(&mut self, r: &mut KvReader) -> Result<(), String> {
+            self.count = r.u64("count")? as u32;
+            self.draws = r.u64_list("draws")?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn run_until_capped_stops_at_the_cap_without_advancing_the_clock() {
+        struct Forever;
+        impl Node<u32> for Forever {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+                ctx.send_self(SimDuration::from_micros(1), 0);
+            }
+        }
+        let mut e = Engine::<u32>::new(1);
+        let f = e.add_node(Forever);
+        e.schedule(SimTime::ZERO, f, 0);
+        assert_eq!(e.run_until_capped(SimTime::from_secs(1), 10), 10);
+        assert_eq!(
+            e.now(),
+            SimTime::from_micros(9),
+            "cap-limited stop leaves the clock at the last dispatched event"
+        );
+        // Same bound again: the time limit now ends the call and the
+        // clock advances to it.
+        let done = e.run_until_capped(SimTime::from_micros(20), u64::MAX);
+        assert_eq!(done, 11);
+        assert_eq!(e.now(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn snapshot_restores_into_a_rebuilt_engine_byte_identically() {
+        let build = |seed| {
+            let mut e = Engine::<u32>::new(seed);
+            let a = e.add_node(Mixer {
+                count: 0,
+                draws: vec![],
+                horizon_ns: 100_000_013, // far beyond the wheel window → far slab
+            });
+            let b = e.add_node(Mixer {
+                count: 0,
+                draws: vec![],
+                horizon_ns: 70_000,
+            });
+            e.schedule(SimTime::ZERO, a, 0);
+            e.schedule(SimTime(1), b, 100);
+            (e, a, b)
+        };
+        let finish = |e: &mut Engine<u32>, a: NodeId, b: NodeId| {
+            e.run_to_completion(u64::MAX);
+            (
+                e.node::<Mixer>(a).draws.clone(),
+                e.node::<Mixer>(b).draws.clone(),
+                e.events_processed(),
+                e.now(),
+            )
+        };
+
+        // Uninterrupted reference run.
+        let (mut reference, a, b) = build(42);
+        let want = finish(&mut reference, a, b);
+
+        // Interrupted run: stop mid-flight (by event count, so the stop
+        // lands at an arbitrary instant), snapshot, restore into a fresh
+        // engine, finish there.
+        let (mut first, ..) = build(42);
+        first.run_until_capped(SimTime::MAX, 25);
+        let snap = first.snapshot().expect("snapshot");
+        assert!(
+            !snap.events.is_empty(),
+            "mid-run snapshot must carry pending events"
+        );
+        let (mut resumed, ra, rb) = build(42);
+        resumed.restore(&snap).expect("restore");
+        assert_eq!(resumed.events_processed(), first.events_processed());
+        let got = finish(&mut resumed, ra, rb);
+        assert_eq!(got, want, "resumed run must match the uninterrupted run");
+    }
+
+    #[test]
+    fn restore_rejects_topology_mismatches() {
+        let mut e = Engine::<u32>::new(1);
+        e.add_node(Mixer {
+            count: 0,
+            draws: vec![],
+            horizon_ns: 1,
+        });
+        let snap = e.snapshot().unwrap();
+
+        let mut fewer = Engine::<u32>::new(1);
+        let err = fewer.restore(&snap).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+
+        let mut other = Engine::<u32>::new(1);
+        other.add_node(Collector::default());
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.contains("checkpoint type"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_fails_loudly_for_uncheckpointable_nodes() {
+        let mut e = Engine::<u32>::new(1);
+        e.add_node(Collector::default());
+        let err = e.snapshot().unwrap_err();
+        assert!(err.contains("does not support checkpointing"), "{err}");
+    }
 
     #[test]
     fn thread_counter_tracks_dispatches() {

@@ -490,6 +490,81 @@ impl<M> EventQueue<M> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// The next insertion sequence number — part of the `(time, seq)`
+    /// ordering state a checkpoint must capture: a restored calendar
+    /// that re-used lower sequence numbers would tie-break future
+    /// same-timestamp sends differently from the uninterrupted run.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Overwrite the insertion sequence counter (checkpoint restore
+    /// only, after re-inserting the pending set via
+    /// [`EventQueue::restore_push`]).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// Visit every pending event — active run, wheel buckets, and
+    /// far-future slab occupants keyed by the overflow heap — in
+    /// arbitrary order, without disturbing the queue. Callers that need
+    /// delivery order sort by `(time, seq)`, which is the exact total
+    /// order [`EventQueue::pop`] delivers.
+    pub fn for_each_pending(&self, mut f: impl FnMut(SimTime, u64, NodeId, &M)) {
+        for e in &self.active {
+            f(e.time, e.seq, e.dst, &e.msg);
+        }
+        for bucket in &self.wheel {
+            for e in bucket {
+                f(e.time, e.seq, e.dst, &e.msg);
+            }
+        }
+        for key in self.overflow.iter() {
+            match &self.far_slots[key.slot as usize] {
+                Slot::Full(dst, msg) => f(key.time, key.seq, *dst, msg),
+                Slot::Free(..) => unreachable!("overflow key points at an empty slot"),
+            }
+        }
+    }
+
+    /// Re-insert one event under its *original* sequence number
+    /// (checkpoint restore). Unlike [`EventQueue::push`] this neither
+    /// assigns nor advances `next_seq`; the caller re-inserts the whole
+    /// pending set (any order), then calls [`EventQueue::set_next_seq`]
+    /// with the checkpointed counter. Internal placement (bucket vs
+    /// overflow) may differ from the original queue — delivery order is
+    /// governed solely by `(time, seq)`, so pops are identical.
+    pub fn restore_push(&mut self, time: SimTime, seq: u64, dst: NodeId, msg: M) {
+        self.len += 1;
+        let slice = time.0 >> SLICE_SHIFT;
+        if slice <= self.cursor {
+            let at = self
+                .active
+                .partition_point(|e| (e.time, e.seq) <= (time, seq));
+            self.active.insert(
+                at,
+                Entry {
+                    time,
+                    seq,
+                    dst,
+                    msg,
+                },
+            );
+        } else if slice - self.cursor < WHEEL_SLOTS as u64 {
+            let idx = (slice & SLOT_MASK) as usize;
+            self.wheel[idx].push(Entry {
+                time,
+                seq,
+                dst,
+                msg,
+            });
+            self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+        } else {
+            let slot = self.far_alloc(dst, msg);
+            self.overflow.push(HeapKey { time, seq, slot });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -663,6 +738,53 @@ mod tests {
         expect.sort_unstable();
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
         assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn pending_snapshot_restores_to_the_identical_pop_sequence() {
+        // Populate every storage tier: active run (pop once to warm it),
+        // wheel buckets, and far slab + overflow heap; include
+        // same-timestamp runs whose FIFO order rides on `seq`.
+        let horizon = SLICE_NS * WHEEL_SLOTS as u64;
+        let mut q = EventQueue::new();
+        q.push(SimTime(100), NodeId(0), 0u32);
+        q.push(SimTime(150), NodeId(1), 1);
+        for i in 0..5 {
+            q.push(SimTime(40_000), NodeId(2), 10 + i); // same-time burst
+        }
+        q.push(SimTime(horizon * 3 + 7), NodeId(3), 30); // far slab
+        q.push(SimTime(horizon * 2 + 7), NodeId(3), 31); // far slab
+        q.push(SimTime(9_000), NodeId(4), 40);
+        assert_eq!(q.pop().unwrap().msg, 0, "warm the active run");
+
+        let mut pending: Vec<(SimTime, u64, NodeId, u32)> = Vec::new();
+        q.for_each_pending(|t, s, d, m| pending.push((t, s, d, *m)));
+        assert_eq!(pending.len(), q.len());
+        pending.sort_by_key(|(t, s, ..)| (*t, *s));
+
+        let mut restored = EventQueue::new();
+        for (t, s, d, m) in &pending {
+            restored.restore_push(*t, *s, *d, *m);
+        }
+        restored.set_next_seq(q.next_seq());
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.next_seq(), q.next_seq());
+
+        // Interleave fresh pushes mid-drain: the restored queue must
+        // assign them the same seqs and deliver identically.
+        let drain = |q: &mut EventQueue<u32>| {
+            let mut out = Vec::new();
+            let mut pushed = false;
+            while let Some(e) = q.pop() {
+                out.push((e.time, e.seq, e.dst, e.msg));
+                if !pushed && e.msg == 12 {
+                    q.push(SimTime(40_000), NodeId(9), 99); // same-time late arrival
+                    pushed = true;
+                }
+            }
+            out
+        };
+        assert_eq!(drain(&mut restored), drain(&mut q));
     }
 
     /// The binary-heap calendar the wheel replaced, kept as the ordering

@@ -116,6 +116,44 @@ impl<T> BoundedFifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
     }
+
+    /// Serialize the queue contents and counters for a checkpoint.
+    /// `enc` renders one item as a single-line string (typically a
+    /// [`crate::snapshot::SnapshotMessage`] encoding). Capacity is
+    /// static configuration and not written.
+    pub fn save(&self, w: &mut crate::snapshot::KvWriter, mut enc: impl FnMut(&T) -> String) {
+        w.u64("arrivals", self.arrivals);
+        w.u64("departures", self.departures);
+        w.u64("drops", self.drops);
+        w.u64("high_water", self.high_water as u64);
+        w.u64("len", self.items.len() as u64);
+        for (i, item) in self.items.iter().enumerate() {
+            w.str(&format!("q{i}"), &enc(item));
+        }
+    }
+
+    /// Overwrite this queue from a [`BoundedFifo::save`] record. Items
+    /// re-enter directly — the restore path deliberately bypasses
+    /// [`BoundedFifo::push`] so no drop/telemetry accounting fires.
+    pub fn restore(
+        &mut self,
+        r: &mut crate::snapshot::KvReader,
+        mut dec: impl FnMut(&str) -> Result<T, String>,
+    ) -> Result<(), String> {
+        self.arrivals = r.u64("arrivals")?;
+        self.departures = r.u64("departures")?;
+        self.drops = r.u64("drops")?;
+        self.high_water = r.u64("high_water")? as usize;
+        let len = r.u64("len")? as usize;
+        if len > self.cap {
+            return Err(format!("{len} queued items exceed capacity {}", self.cap));
+        }
+        self.items.clear();
+        for i in 0..len {
+            self.items.push_back(dec(&r.str(&format!("q{i}"))?)?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

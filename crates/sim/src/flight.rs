@@ -48,6 +48,9 @@ struct FlightState {
     path: PathBuf,
     manifest: Option<String>,
     ring: RingProbe,
+    /// Configured ring depth, recorded in the dump's snapshot line so a
+    /// post-mortem says how much tail it *could* have retained.
+    ring_cap: usize,
     sim_time: SimTime,
     dispatches: u64,
     pending_events: usize,
@@ -88,6 +91,7 @@ pub fn arm(path: &Path, manifest_json: Option<&str>, ring_cap: usize) -> FlightG
             path: path.to_path_buf(),
             manifest: manifest_json.map(str::to_string),
             ring: RingProbe::new(ring_cap),
+            ring_cap,
             sim_time: SimTime::ZERO,
             dispatches: 0,
             pending_events: 0,
@@ -172,13 +176,14 @@ fn render_dump(st: &FlightState, panic_msg: &str) -> String {
     }
     out.push('\n');
     out.push_str(&format!(
-        "{{\"record\":\"snapshot\",\"panic\":\"{}\",\"sim_secs\":{},\"dispatches\":{},\"pending_events\":{},\"ring_seen\":{},\"ring_len\":{}}}\n",
+        "{{\"record\":\"snapshot\",\"panic\":\"{}\",\"sim_secs\":{},\"dispatches\":{},\"pending_events\":{},\"ring_seen\":{},\"ring_len\":{},\"ring_cap\":{}}}\n",
         json_escape(panic_msg),
         st.sim_time.as_secs_f64(),
         st.dispatches,
         st.pending_events,
         st.ring.seen(),
         st.ring.events().count(),
+        st.ring_cap,
     ));
     for &(name, nodes, bytes) in &st.arenas {
         out.push_str(&format!(
@@ -309,6 +314,7 @@ mod tests {
         assert_eq!(events.len(), 2, "ring keeps only the most recent");
         assert!(events[1].contains("\"session\":4"));
         assert!(dump.contains("\"ring_seen\":5"));
+        assert!(dump.contains("\"ring_cap\":2"), "snapshot records depth");
     }
 
     #[test]

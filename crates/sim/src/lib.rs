@@ -28,6 +28,9 @@
 //! * [`flight`] — panic flight recorder: a ring of the last semantic
 //!   events plus an engine snapshot, dumped as post-mortem JSONL from a
 //!   chained panic hook.
+//! * [`snapshot`] — engine checkpointing: complete dynamic-state
+//!   snapshots (node fields, RNG streams, timer-wheel contents) that
+//!   restore into a rebuilt engine and resume byte-identically.
 //!
 //! The kernel is deliberately synchronous: a flow-control simulation is
 //! CPU-bound and must be deterministic, so an async runtime would add
@@ -67,6 +70,7 @@ pub mod flight;
 pub mod probe;
 pub mod profile;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -82,5 +86,8 @@ pub use probe::{
 };
 pub use profile::{CalendarStats, ProfileEntry, ProfileMarker, ProfileReport};
 pub use rng::SeedStream;
+pub use snapshot::{
+    EngineSnapshot, EventSnapshot, KvReader, KvWriter, NodeSnapshot, SnapshotMessage,
+};
 pub use stats::{Counter, Histogram, TimeSeries, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -272,6 +272,19 @@ pub fn take_thread_probe() -> Option<Box<dyn Probe>> {
     probe
 }
 
+/// Flush this thread's probe (if any) without uninstalling it.
+///
+/// Checkpointing needs this: a checkpoint records the trace file's byte
+/// offset at the snapshot instant, which is only meaningful once every
+/// event up to that instant has reached the file.
+pub fn flush_thread_probe() {
+    TAP.with(|tap| {
+        if let Some(p) = tap.borrow_mut().as_mut() {
+            p.flush();
+        }
+    });
+}
+
 /// True when a probe is installed on this thread.
 #[inline]
 pub fn probe_enabled() -> bool {

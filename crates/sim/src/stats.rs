@@ -11,6 +11,7 @@
 //! * [`IntervalSampler`] — tumbling-window [`RunningStats`] over a
 //!   timestamped scalar stream.
 
+use crate::snapshot::{KvReader, KvWriter};
 use crate::time::SimTime;
 
 /// A recorded sequence of `(time, value)` samples.
@@ -153,6 +154,29 @@ impl TimeSeries {
             i => Some(self.values[i - 1]),
         }
     }
+
+    /// Serialize the recorded samples for a checkpoint (exact
+    /// round-trip). Callers namespace via [`KvWriter::scope`].
+    pub fn save(&self, w: &mut KvWriter) {
+        w.f64_list("times", &self.times);
+        w.f64_list("values", &self.values);
+    }
+
+    /// Overwrite this series from a [`TimeSeries::save`] record.
+    pub fn restore(&mut self, r: &mut KvReader) -> Result<(), String> {
+        let times = r.f64_list("times")?;
+        let values = r.f64_list("values")?;
+        if times.len() != values.len() {
+            return Err(format!(
+                "time series length mismatch: {} times vs {} values",
+                times.len(),
+                values.len()
+            ));
+        }
+        self.times = times;
+        self.values = values;
+        Ok(())
+    }
 }
 
 /// Exact time-weighted statistics of a piecewise-constant signal.
@@ -221,6 +245,25 @@ impl TimeWeighted {
             integral += self.last_v * (end - self.last_t).as_secs_f64();
         }
         integral / end.as_secs_f64()
+    }
+
+    /// Serialize the accumulator for a checkpoint (exact round-trip).
+    pub fn save(&self, w: &mut KvWriter) {
+        w.u64("last_t", self.last_t.0);
+        w.f64("last_v", self.last_v);
+        w.f64("integral", self.integral);
+        w.f64("max", self.max);
+        w.bool("started", self.started);
+    }
+
+    /// Overwrite this accumulator from a [`TimeWeighted::save`] record.
+    pub fn restore(&mut self, r: &mut KvReader) -> Result<(), String> {
+        self.last_t = SimTime(r.u64("last_t")?);
+        self.last_v = r.f64("last_v")?;
+        self.integral = r.f64("integral")?;
+        self.max = r.f64("max")?;
+        self.started = r.bool("started")?;
+        Ok(())
     }
 }
 
@@ -349,6 +392,36 @@ impl Histogram {
     /// Observations at or above `nbins() * bin_width()`.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Serialize the observations for a checkpoint. Bin geometry
+    /// (`bin_width`, `nbins`) is static configuration and not written.
+    pub fn save(&self, w: &mut KvWriter) {
+        w.u64_list("bins", &self.bins);
+        w.u64("overflow", self.overflow);
+        w.u64("count", self.count);
+        w.f64("sum", self.sum);
+        w.f64("max", self.max);
+    }
+
+    /// Overwrite this histogram's observations from a
+    /// [`Histogram::save`] record. The histogram must have been rebuilt
+    /// with the original bin geometry.
+    pub fn restore(&mut self, r: &mut KvReader) -> Result<(), String> {
+        let bins = r.u64_list("bins")?;
+        if bins.len() > self.nbins {
+            return Err(format!(
+                "histogram has {} bins but geometry allows {}",
+                bins.len(),
+                self.nbins
+            ));
+        }
+        self.bins = bins;
+        self.overflow = r.u64("overflow")?;
+        self.count = r.u64("count")?;
+        self.sum = r.f64("sum")?;
+        self.max = r.f64("max")?;
+        Ok(())
     }
 
     /// Approximate `q`-quantile (`0 <= q <= 1`), resolved to bin width.

@@ -83,7 +83,33 @@ pub fn begin_run() -> RunMarker {
     }
 }
 
+/// Add a checkpoint's saved counters into the current bracket, so a
+/// resumed run's [`RunMarker::finish`] reports checkpoint + suffix
+/// totals — the same numbers the uninterrupted run would have printed.
+/// Call *after* [`begin_run`] (the marker snapshots the monotonic
+/// counters at bracket start, so additions after it land in the delta).
+pub fn preload(c: &RunCounters) {
+    DROPS.with(|cell| cell.set(cell.get().wrapping_add(c.drops)));
+    RETRANSMITS.with(|cell| cell.set(cell.get().wrapping_add(c.retransmits)));
+    SCHEDULE_PAST.with(|cell| cell.set(cell.get().wrapping_add(c.schedule_past)));
+    note_queue_depth(c.queue_peak as usize);
+}
+
 impl RunMarker {
+    /// Read the bracket's counters so far without closing it. A mid-run
+    /// checkpoint records these, so a resumed run can [`preload`] them
+    /// and report uninterrupted totals.
+    pub fn so_far(&self) -> RunCounters {
+        RunCounters {
+            drops: DROPS.with(Cell::get).wrapping_sub(self.drops0),
+            retransmits: RETRANSMITS.with(Cell::get).wrapping_sub(self.retransmits0),
+            queue_peak: QUEUE_PEAK.with(Cell::get),
+            schedule_past: SCHEDULE_PAST
+                .with(Cell::get)
+                .wrapping_sub(self.schedule_past0),
+        }
+    }
+
     /// Close the bracket and read this run's counters.
     pub fn finish(self) -> RunCounters {
         RunCounters {
@@ -137,6 +163,29 @@ mod tests {
         assert!(
             rss > 64 * 1024,
             "a live process has at least 64 KiB resident"
+        );
+    }
+
+    #[test]
+    fn preload_adds_into_the_open_bracket() {
+        let m = begin_run();
+        preload(&RunCounters {
+            drops: 5,
+            retransmits: 2,
+            queue_peak: 9,
+            schedule_past: 1,
+        });
+        note_drop();
+        note_queue_depth(4); // below the preloaded peak
+        let c = m.finish();
+        assert_eq!(
+            c,
+            RunCounters {
+                drops: 6,
+                retransmits: 2,
+                queue_peak: 9,
+                schedule_past: 1
+            }
         );
     }
 

@@ -193,3 +193,217 @@ proptest! {
         prop_assert!(ts.value_at(-1.0).is_none());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore equivalence (PR 8)
+// ---------------------------------------------------------------------------
+
+use phantom_sim::{KvReader, KvWriter, SimDuration};
+use rand::Rng;
+
+/// ~33.6 ms: the timer wheel's near-future window. Delays beyond it land
+/// in the far slab + overflow heap, which the snapshot must also carry.
+const WHEEL_HORIZON_NS: u64 = 8192 * 4096;
+
+/// A self-scheduling node that logs every delivery `(now_ns, msg)`,
+/// consumes RNG words, and reschedules with a configured delay — so a
+/// population of these exercises arbitrary interleavings of arenas,
+/// wheel buckets and the far-future structures.
+struct Pinger {
+    /// Static config, rebuilt from scratch on restore: reschedule delay.
+    delay_ns: u64,
+    /// Static config: how many deliveries before this node goes quiet.
+    limit: u32,
+    // Dynamic state below — exactly what save/restore must carry.
+    count: u32,
+    log_t: Vec<u64>,
+    log_m: Vec<u64>,
+}
+
+impl Pinger {
+    fn new(delay_ns: u64, limit: u32) -> Self {
+        Pinger {
+            delay_ns,
+            limit,
+            count: 0,
+            log_t: Vec::new(),
+            log_m: Vec::new(),
+        }
+    }
+}
+
+/// A second concrete type with different dynamics (jittered delays), so
+/// the engine holds at least two typed arenas and restore has to route
+/// state back to the right one.
+struct Jitterer {
+    delay_ns: u64,
+    limit: u32,
+    count: u32,
+    log_t: Vec<u64>,
+    log_m: Vec<u64>,
+}
+
+macro_rules! checkpointed_pinger {
+    ($t:ty, $jitter:expr) => {
+        impl Node<u32> for $t {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, msg: u32) {
+                self.count += 1;
+                self.log_t.push(ctx.now().0);
+                self.log_m.push(msg as u64);
+                let draw = ctx.rng().gen::<u64>();
+                if self.count < self.limit {
+                    let jitter = if $jitter { draw % 10_000 } else { 0 };
+                    ctx.send_self(SimDuration::from_nanos(self.delay_ns + jitter), msg + 1);
+                }
+            }
+
+            fn save_state(&self, w: &mut KvWriter) -> Result<(), String> {
+                w.u64("count", self.count as u64);
+                w.u64_list("log_t", &self.log_t);
+                w.u64_list("log_m", &self.log_m);
+                Ok(())
+            }
+
+            fn restore_state(&mut self, r: &mut KvReader) -> Result<(), String> {
+                self.count = r.u64("count")? as u32;
+                self.log_t = r.u64_list("log_t")?;
+                self.log_m = r.u64_list("log_m")?;
+                Ok(())
+            }
+        }
+    };
+}
+checkpointed_pinger!(Pinger, false);
+checkpointed_pinger!(Jitterer, true);
+
+/// Build an engine from a delay spec: `(is_jitterer, delay_ns)` per
+/// node. Rebuilding from the same spec models the CLI's
+/// rebuild-then-restore flow: static config comes from the source,
+/// dynamics from the checkpoint.
+fn build(seed: u64, spec: &[(bool, u64)], limit: u32) -> Engine<u32> {
+    let mut e = Engine::new(seed);
+    for &(jitter, delay_ns) in spec {
+        let id = if jitter {
+            e.add_node(Jitterer {
+                delay_ns,
+                limit,
+                count: 0,
+                log_t: Vec::new(),
+                log_m: Vec::new(),
+            })
+        } else {
+            e.add_node(Pinger::new(delay_ns, limit))
+        };
+        e.schedule(SimTime(delay_ns % 7), id, 0);
+    }
+    e
+}
+
+/// Every node's delivery log, in node order — the "trace" the contract
+/// compares.
+fn logs(e: &Engine<u32>, spec: &[(bool, u64)]) -> Vec<(u32, Vec<u64>, Vec<u64>)> {
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(jitter, _))| {
+            let id = NodeId(i);
+            if jitter {
+                let n = e.node::<Jitterer>(id);
+                (n.count, n.log_t.clone(), n.log_m.clone())
+            } else {
+                let n = e.node::<Pinger>(id);
+                (n.count, n.log_t.clone(), n.log_m.clone())
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The resume contract at the kernel level: for an arbitrary mix of
+    /// node types and timer horizons (microseconds up to multi-second
+    /// far-future delays), snapshotting after an arbitrary number of
+    /// events and restoring into a freshly built engine reproduces the
+    /// uninterrupted run exactly — same per-node delivery logs, same
+    /// final clock, same event count, and a byte-identical final
+    /// snapshot.
+    #[test]
+    fn snapshot_restore_matches_uninterrupted_run(
+        seed in 0u64..1_000_000,
+        spec in proptest::collection::vec(
+            (any::<bool>(), prop_oneof![
+                1_000u64..50_000,                       // near: active run / wheel
+                1_000_000u64..10_000_000,               // mid-wheel
+                40_000_000u64..2_000_000_000,           // far slab + overflow heap
+            ]),
+            2..5,
+        ),
+        cut in 1u64..39,
+    ) {
+        // At least spec.len()*limit >= 40 events run in total, and
+        // cut < 40, so the snapshot always lands strictly mid-run (a
+        // cap that outlives the run would advance the clock to the
+        // `run_until_capped` bound instead of the last event).
+        let limit = 20;
+
+        let mut reference = build(seed, &spec, limit);
+        reference.run_to_completion(u64::MAX);
+        let want_logs = logs(&reference, &spec);
+        let want_final = reference.snapshot().expect("reference snapshot");
+
+        let mut first = build(seed, &spec, limit);
+        first.run_until_capped(SimTime::MAX, cut);
+        let snap = first.snapshot().expect("mid-run snapshot");
+
+        let mut resumed = build(seed, &spec, limit);
+        resumed.restore(&snap).expect("restore");
+        prop_assert_eq!(resumed.events_processed(), first.events_processed());
+        resumed.run_to_completion(u64::MAX);
+
+        prop_assert_eq!(logs(&resumed, &spec), want_logs,
+            "per-node delivery logs must match the uninterrupted run");
+        let got_final = resumed.snapshot().expect("resumed snapshot");
+        prop_assert_eq!(got_final, want_final,
+            "final engine state must be byte-identical");
+    }
+}
+
+/// Pin the far-future coverage the property relies on: with multi-second
+/// reschedules in play, a mid-run snapshot must actually carry events
+/// beyond the wheel window (far slab + overflow heap occupants), and
+/// restoring must land them at the right instants.
+#[test]
+fn snapshot_carries_far_slab_and_overflow_occupants() {
+    let spec = [
+        (false, 6_000u64),
+        (true, 500_000_000),
+        (false, 1_999_999_937),
+    ];
+    let limit = 12;
+    let mut e = build(7, &spec, limit);
+    e.run_until_capped(SimTime::MAX, 8);
+    let snap = e.snapshot().expect("snapshot");
+    let far = snap
+        .events
+        .iter()
+        .filter(|ev| ev.time.0 > snap.now.0 + WHEEL_HORIZON_NS)
+        .count();
+    assert!(
+        far >= 2,
+        "snapshot must include far-future occupants (got {far} beyond the wheel window)"
+    );
+
+    let mut reference = build(7, &spec, limit);
+    reference.run_to_completion(u64::MAX);
+
+    let mut resumed = build(7, &spec, limit);
+    resumed.restore(&snap).expect("restore");
+    resumed.run_to_completion(u64::MAX);
+    assert_eq!(logs(&resumed, &spec), logs(&reference, &spec));
+    assert_eq!(resumed.now(), reference.now());
+    assert_eq!(
+        resumed.snapshot().unwrap(),
+        reference.snapshot().unwrap(),
+        "restored far-future events must replay byte-identically"
+    );
+}

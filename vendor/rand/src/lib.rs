@@ -158,6 +158,22 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's raw xoshiro256++ state. Together with
+        /// [`SmallRng::from_state`] this lets a simulator checkpoint and
+        /// restore a generator mid-stream: the restored generator emits
+        /// exactly the sequence the original would have.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by
+        /// [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
