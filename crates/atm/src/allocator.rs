@@ -67,7 +67,7 @@ impl AllocatorTelemetry {
 }
 
 /// A constant-space per-port rate-control algorithm.
-pub trait RateAllocator: Any {
+pub trait RateAllocator: Any + Send {
     /// Called at the end of every measurement interval.
     fn on_interval(&mut self, m: &PortMeasurement);
 

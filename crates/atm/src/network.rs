@@ -26,7 +26,7 @@ use crate::traffic::Traffic;
 use crate::units::mbps_to_cps;
 use phantom_metrics::Registry;
 use phantom_sim::stats::TimeSeries;
-use phantom_sim::{Engine, NodeId, SimDuration, SimTime};
+use phantom_sim::{Engine, NodeId, ShardHints, SimDuration, SimTime};
 
 /// Index of a switch within the builder.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -442,6 +442,31 @@ impl NetworkBuilder {
                 AtmMsg::Timer(Timer::Measure { port: 0 }),
             );
         }
+
+        // 6. Shard hints: every inter-node message crosses a declared
+        // link (trunk or access), so the minimum declared propagation
+        // delay is a sound conservative lookahead for `--shards` runs.
+        // Both endpoints of each session are anchored to its *first*
+        // switch: the source-side access link and the whole forward data
+        // path from the first switch stay shard-local for single-trunk
+        // scenes, and fan-in destinations spread with their sources.
+        let lookahead = self
+            .trunks
+            .iter()
+            .map(|t| t.prop)
+            .chain(self.sessions.iter().map(|s| s.access_prop))
+            .min()
+            .unwrap_or(SimDuration::ZERO);
+        let mut affinity = Vec::with_capacity(sessions.len() * 2);
+        for h in &sessions {
+            let anchor = switch_ids[h.path[0]];
+            affinity.push((h.source, anchor));
+            affinity.push((h.dest, anchor));
+        }
+        engine.set_shard_hints(ShardHints {
+            lookahead,
+            affinity,
+        });
 
         Network {
             switches: switch_ids

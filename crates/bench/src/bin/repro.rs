@@ -14,6 +14,7 @@
 //! repro fig2 --analyze --check            # gate against committed baselines
 //! repro fig2 --analyze --write-baselines  # refresh the committed baselines
 //! repro all --bench --compare BENCH_phantom.json   # events/sec delta gate
+//! repro --scenes DIR --shard-scaling metro-100k    # events/s at --shards 1/2/4
 //! ```
 //!
 //! Artifacts land in `target/experiments/<id>.csv` (long format:
@@ -35,7 +36,7 @@ use phantom_metrics::{BenchRecord, Manifest, RunRecord};
 use phantom_scenarios::registry::{all_experiments, dynamic_experiments, suggest_id};
 use phantom_scenarios::sweep::{run_sweep_with, SweepJob, SweepOptions, SweepRun};
 use phantom_scenarios::ExperimentOutput;
-use phantom_scene::{load_scene_dir, register_scene, scale_scene};
+use phantom_scene::{load_scene_dir, register_scene, scale_scene, shard_scale_scene};
 use phantom_sim::probe::KindSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,6 +63,8 @@ struct Args {
     compare: Option<PathBuf>,
     bench_threshold_pct: f64,
     scale: Option<String>,
+    shards: usize,
+    shard_scaling: Option<String>,
     profile_dir: Option<PathBuf>,
     status_file: Option<PathBuf>,
     heartbeat_secs: Option<f64>,
@@ -93,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         bench_threshold_pct: 10.0,
         scale: None,
+        shards: 0,
+        shard_scaling: None,
         profile_dir: None,
         status_file: None,
         heartbeat_secs: None,
@@ -152,6 +157,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scale" => {
                 args.scale = Some(it.next().ok_or("--scale needs a scene id")?);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse().map_err(|_| format!("bad shard count: {v}"))?;
+            }
+            "--shard-scaling" => {
+                args.shard_scaling = Some(it.next().ok_or("--shard-scaling needs a scene id")?);
             }
             "--profile-dir" => {
                 args.profile_dir = Some(PathBuf::from(
@@ -324,7 +336,8 @@ fn main() -> ExitCode {
                  [--trace-dir DIR] [--trace-filter KINDS] \
                  [--analyze] [--check] [--write-baselines] [--baseline-dir DIR] [--window MS] \
                  [--bench] [--compare BASELINE.json] [--bench-threshold PCT] \
-                 [--scale SCENE_ID] [--profile-dir DIR] [--status-file PATH] \
+                 [--scale SCENE_ID] [--shards N] [--shard-scaling SCENE_ID] \
+                 [--profile-dir DIR] [--status-file PATH] \
                  [--heartbeat SECS] [--post-mortem DIR] [--post-mortem-depth N] [-v|-q]"
             );
             return ExitCode::FAILURE;
@@ -360,7 +373,7 @@ fn main() -> ExitCode {
     }
     let args = args;
 
-    if args.list || (args.ids.is_empty() && args.scale.is_none()) {
+    if args.list || (args.ids.is_empty() && args.scale.is_none() && args.shard_scaling.is_none()) {
         println!("experiments (run with `repro all` or `repro <id>...`):");
         for e in all_experiments() {
             println!("  {:8} {}", e.id, e.describe);
@@ -393,6 +406,7 @@ fn main() -> ExitCode {
         trace_dir: args.trace_dir.clone(),
         trace_filter: args.trace_filter,
         analyze_window: args.analyze.then_some(args.window_secs),
+        shards: args.shards,
         profile_dir: args.profile_dir.clone(),
         status_file: args.status_file.clone(),
         heartbeat_secs: args.heartbeat_secs,
@@ -436,6 +450,7 @@ fn main() -> ExitCode {
             })
             .collect(),
         scale: None,
+        shard_scaling: Vec::new(),
     };
 
     // Analysis artifacts and the baseline gate. Reports are written per
@@ -560,7 +575,50 @@ fn main() -> ExitCode {
         }
     }
 
-    if !bench.runs.is_empty() || bench.scale.is_some() {
+    // The shard-scaling probe: the same scene at --shards 1, 2 and 4,
+    // serially so the points don't contend with each other. Advisory
+    // numbers — speedup depends on the machine's core count — but the
+    // event counts must agree exactly, which IS a hard check.
+    if let Some(scene_id) = &args.shard_scaling {
+        match loaded_scenes.iter().find(|s| s.id == *scene_id) {
+            Some(scene) => {
+                let mut base_events = None;
+                for shards in [1usize, 2, 4] {
+                    let p = shard_scale_scene(scene, args.seed, shards);
+                    println!(
+                        "[shard-scaling: {} at --shards {} — {} events in {:.2}s ({:.0} events/s)]",
+                        p.scene,
+                        p.shards,
+                        p.events,
+                        p.wall_secs,
+                        p.events_per_sec()
+                    );
+                    match base_events {
+                        None => base_events = Some(p.events),
+                        Some(b) if b != p.events => {
+                            logger::error(&format!(
+                                "shard-scaling: event count diverged across shard counts \
+                                 ({b} at --shards 1 vs {} at --shards {shards}) — \
+                                 determinism violation",
+                                p.events
+                            ));
+                            failed = true;
+                        }
+                        Some(_) => {}
+                    }
+                    bench.shard_scaling.push(p);
+                }
+            }
+            None => {
+                logger::error(&format!(
+                    "--shard-scaling {scene_id}: no such scene (load its directory with --scenes)"
+                ));
+                failed = true;
+            }
+        }
+    }
+
+    if !bench.runs.is_empty() || bench.scale.is_some() || !bench.shard_scaling.is_empty() {
         match bench.write(&args.bench_json) {
             Ok(()) => println!(
                 "[bench: {} — {} runs in {:.2}s on {} thread(s), {:.0} events/s]",

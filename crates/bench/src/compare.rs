@@ -10,10 +10,13 @@
 //! The reader is line-oriented on purpose: `BenchRecord::to_json` emits
 //! one flat object per run line, so each line parses with the same
 //! dependency-free scalar-object parser the trace analyzer uses.
-//! `phantom-bench/2` (no `calendar` field), `/3` (no `scale` object) and
-//! `/4` baselines are all accepted — comparing across the calendar
-//! change is the whole point of the gate, and the scale probe gates only
-//! when both recordings carry one for the same scene.
+//! `phantom-bench/2` (no `calendar` field), `/3` (no `scale` object),
+//! `/4` (no `shard_scaling` array) and `/5` baselines are all accepted —
+//! comparing across the calendar change is the whole point of the gate,
+//! and the scale probe gates only when both recordings carry one for the
+//! same scene. Shard-scaling points are compared and rendered but never
+//! gate: parallel speedup depends on the machine's core count, which CI
+//! runners do not pin.
 
 use phantom_analyze::jsonl::{parse_flat_object, Scalar};
 use phantom_metrics::BenchRecord;
@@ -48,6 +51,19 @@ pub struct BaselineScale {
     pub sessions_per_gb: f64,
 }
 
+/// One shard-scaling point parsed out of a `phantom-bench/5` baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineShardPoint {
+    /// Shard count of the point.
+    pub shards: u64,
+    /// Scene id of the probe.
+    pub scene: String,
+    /// Events per wall-clock second at this shard count.
+    pub events_per_sec: f64,
+    /// Events dispatched — identical across shard counts by contract.
+    pub events: u64,
+}
+
 /// The subset of a `BENCH_phantom.json` document the comparison needs.
 #[derive(Clone, Debug)]
 pub struct BenchBaseline {
@@ -61,6 +77,9 @@ pub struct BenchBaseline {
     pub runs: Vec<BaselineRun>,
     /// Scale probe, if the baseline is a `/4` record that carries one.
     pub scale: Option<BaselineScale>,
+    /// Shard-scaling points, if the baseline is a `/5` record that
+    /// carries them; empty for older baselines.
+    pub shard_scaling: Vec<BaselineShardPoint>,
 }
 
 fn top_level_value(line: &str, key: &str) -> Option<String> {
@@ -81,9 +100,13 @@ pub fn parse_bench_json(text: &str) -> Result<BenchBaseline, String> {
     let mut events_per_sec = None;
     let mut runs = Vec::new();
     let mut scale = None;
+    let mut shard_scaling = Vec::new();
     for line in text.lines() {
         let t = line.trim();
         if let Some(obj) = t.strip_prefix("\"scale\":").map(str::trim) {
+            // In a `/5` document with a `shard_scaling` probe the scale
+            // line is no longer last, so it carries a trailing comma.
+            let obj = obj.trim_end_matches(',');
             let pairs =
                 parse_flat_object(obj).map_err(|e| format!("bad scale line `{obj}`: {e}"))?;
             let mut scene = None;
@@ -101,6 +124,29 @@ pub fn parse_bench_json(text: &str) -> Result<BenchBaseline, String> {
                 scene: scene.ok_or("scale line missing `scene`")?,
                 events_per_sec: eps.ok_or("scale line missing `events_per_sec`")?,
                 sessions_per_gb: spg.ok_or("scale line missing `sessions_per_gb`")?,
+            });
+        } else if t.starts_with("{\"shards\":") {
+            let obj = t.trim_end_matches(',');
+            let pairs =
+                parse_flat_object(obj).map_err(|e| format!("bad shard line `{obj}`: {e}"))?;
+            let mut shards = None;
+            let mut scene = None;
+            let mut eps = None;
+            let mut events = None;
+            for (k, v) in pairs {
+                match (k.as_str(), v) {
+                    ("shards", Scalar::Num(n)) => shards = Some(n as u64),
+                    ("scene", Scalar::Str(s)) => scene = Some(s),
+                    ("events_per_sec", Scalar::Num(n)) => eps = Some(n),
+                    ("events", Scalar::Num(n)) => events = Some(n as u64),
+                    _ => {}
+                }
+            }
+            shard_scaling.push(BaselineShardPoint {
+                shards: shards.ok_or("shard line missing `shards`")?,
+                scene: scene.ok_or("shard line missing `scene`")?,
+                events_per_sec: eps.ok_or("shard line missing `events_per_sec`")?,
+                events: events.ok_or("shard line missing `events`")?,
             });
         } else if t.starts_with("{\"id\":") || t.starts_with("{ \"id\":") {
             let obj = t.trim_end_matches(',');
@@ -146,6 +192,7 @@ pub fn parse_bench_json(text: &str) -> Result<BenchBaseline, String> {
         events_per_sec: events_per_sec.ok_or("no aggregate `events_per_sec` found")?,
         runs,
         scale,
+        shard_scaling,
     })
 }
 
@@ -203,6 +250,33 @@ impl ScaleDelta {
     }
 }
 
+/// Advisory delta for one shard count probed by both recordings.
+#[derive(Clone, Debug)]
+pub struct ShardScaleDelta {
+    /// Shard count of the matched points.
+    pub shards: u64,
+    /// Scene id probed by both recordings.
+    pub scene: String,
+    /// Baseline events/sec at this shard count.
+    pub base_events_per_sec: f64,
+    /// Current events/sec at this shard count.
+    pub cur_events_per_sec: f64,
+    /// True when the event count differs between the recordings — on a
+    /// fixed scene that is a determinism red flag, not a perf delta.
+    pub events_changed: bool,
+}
+
+impl ShardScaleDelta {
+    /// `cur / base` throughput ratio at this shard count.
+    pub fn ratio(&self) -> f64 {
+        if self.base_events_per_sec > 0.0 {
+            self.cur_events_per_sec / self.base_events_per_sec
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// The result of lining a current batch up against a baseline.
 #[derive(Clone, Debug)]
 pub struct Comparison {
@@ -218,6 +292,11 @@ pub struct Comparison {
     pub extra: Vec<(String, u64)>,
     /// Scale-probe deltas, when both recordings probed the same scene.
     pub scale: Option<ScaleDelta>,
+    /// Shard-scaling deltas for shard counts probed by both recordings
+    /// on the same scene. Advisory only — never part of [`Self::regressed`],
+    /// because parallel speedup is a property of the machine's core
+    /// count as much as of the code.
+    pub shard_scaling: Vec<ShardScaleDelta>,
 }
 
 impl Comparison {
@@ -305,6 +384,22 @@ impl Comparison {
                 d.capacity_ratio()
             );
         }
+        for d in &self.shard_scaling {
+            let _ = writeln!(
+                s,
+                "  shards={} {}: {:.0} -> {:.0} ev/s ({:.3}x, advisory){}",
+                d.shards,
+                d.scene,
+                d.base_events_per_sec,
+                d.cur_events_per_sec,
+                d.ratio(),
+                if d.events_changed {
+                    "  [! event count changed]"
+                } else {
+                    ""
+                }
+            );
+        }
         let verdict = if self.regressed(threshold_pct) {
             "REGRESSED"
         } else {
@@ -375,6 +470,22 @@ pub fn compare(current: &BenchRecord, baseline: &BenchBaseline) -> Comparison {
         }),
         _ => None,
     };
+    let mut shard_scaling = Vec::new();
+    for b in &baseline.shard_scaling {
+        if let Some(c) = current
+            .shard_scaling
+            .iter()
+            .find(|c| c.shards as u64 == b.shards && c.scene == b.scene)
+        {
+            shard_scaling.push(ShardScaleDelta {
+                shards: b.shards,
+                scene: b.scene.clone(),
+                base_events_per_sec: b.events_per_sec,
+                cur_events_per_sec: c.events_per_sec(),
+                events_changed: c.events != b.events,
+            });
+        }
+    }
     Comparison {
         base_events_per_sec: baseline.events_per_sec,
         cur_events_per_sec: current.events_per_sec(),
@@ -382,6 +493,7 @@ pub fn compare(current: &BenchRecord, baseline: &BenchBaseline) -> Comparison {
         missing,
         extra,
         scale,
+        shard_scaling,
     }
 }
 
@@ -410,7 +522,21 @@ mod tests {
                 })
                 .collect(),
             scale: None,
+            shard_scaling: Vec::new(),
         }
+    }
+
+    fn shard_points(walls: &[(usize, f64)]) -> Vec<phantom_metrics::ShardScalePoint> {
+        walls
+            .iter()
+            .map(|&(shards, wall)| phantom_metrics::ShardScalePoint {
+                shards,
+                scene: "metro-100k".into(),
+                seed: 1996,
+                events: 10_000_000,
+                wall_secs: wall,
+            })
+            .collect()
     }
 
     fn scale_probe(events: u64, wall: f64, rss: u64) -> phantom_metrics::ScaleRecord {
@@ -587,6 +713,59 @@ mod tests {
         let mut slow = record(&[], 0.0);
         slow.scale = Some(scale_probe(10_000_000, 5.0, 2_500_000_000));
         assert!(compare(&slow, &base).regressed(10.0));
+    }
+
+    #[test]
+    fn shard_scaling_round_trips_and_stays_advisory() {
+        let mut base_rec = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        // Include a scale probe: with `shard_scaling` present the scale
+        // line is no longer last, so it renders with a trailing comma
+        // that the parser must tolerate.
+        base_rec.scale = Some(scale_probe(50_000_000, 25.0, 2_000_000_000));
+        base_rec.shard_scaling = shard_points(&[(1, 4.0), (2, 2.5), (4, 1.6)]);
+        let base = parse_bench_json(&base_rec.to_json()).unwrap();
+        assert!(
+            base.scale.is_some(),
+            "scale line with trailing comma parses"
+        );
+        assert_eq!(base.shard_scaling.len(), 3);
+        assert_eq!(base.shard_scaling[0].shards, 1);
+        assert_eq!(base.shard_scaling[0].scene, "metro-100k");
+        assert!((base.shard_scaling[0].events_per_sec - 2_500_000.0).abs() < 1e-6);
+        assert_eq!(base.shard_scaling[2].events, 10_000_000);
+
+        // Current batch: shards=1 matches, shards=4 is 2x slower,
+        // shards=2 not re-measured. The huge shards=4 drop must be
+        // reported but must NOT gate.
+        let mut cur = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        cur.shard_scaling = shard_points(&[(1, 4.0), (4, 3.2)]);
+        let cmp = compare(&cur, &base);
+        assert_eq!(cmp.shard_scaling.len(), 2);
+        assert!((cmp.shard_scaling[0].ratio() - 1.0).abs() < 1e-9);
+        assert!((cmp.shard_scaling[1].ratio() - 0.5).abs() < 1e-9);
+        assert!(!cmp.shard_scaling[1].events_changed);
+        assert!(
+            !cmp.regressed(10.0),
+            "shard-scaling deltas are advisory and must not gate"
+        );
+        let txt = cmp.render(10.0);
+        assert!(txt.contains("shards=4 metro-100k"));
+        assert!(txt.contains("advisory"));
+
+        // A /4 baseline (no shard lines) parses to an empty vec and
+        // produces no shard deltas.
+        let v4 =
+            parse_bench_json(&record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0).to_json()).unwrap();
+        assert!(v4.shard_scaling.is_empty());
+        assert!(compare(&cur, &v4).shard_scaling.is_empty());
+
+        // An event-count mismatch on a matched point is flagged.
+        let mut drifted = record(&[("fig2", 1996, 1.0, 1_000_000)], 1.0);
+        drifted.shard_scaling = shard_points(&[(1, 4.0)]);
+        drifted.shard_scaling[0].events = 9_999_999;
+        let cmp2 = compare(&drifted, &base);
+        assert!(cmp2.shard_scaling[0].events_changed);
+        assert!(cmp2.render(10.0).contains("event count changed"));
     }
 
     #[test]

@@ -73,6 +73,8 @@ fn usage() -> ExitCode {
     eprintln!("       run ... [--post-mortem-depth N]           # events kept in the dump ring");
     eprintln!("       run ... [--checkpoint-every S|Nev] [--checkpoint-dir DIR]");
     eprintln!("                                                 # periodic phantom-checkpoint/1");
+    eprintln!("       run ... [--shards N]                      # intra-run PDES shards; output");
+    eprintln!("                                                 # byte-identical at any N >= 1");
     eprintln!("       run <scene.json> [--analyze]              # live phantom-analysis/1 report");
     eprintln!();
     eprintln!("scene file format: phantom-scene/1 JSON — see schemas/phantom-scene-v1.md");
@@ -642,6 +644,11 @@ fn main() -> ExitCode {
                 _ => return Err(format!("bad heartbeat (sim-secs): {v}")),
             };
         }
+        if let Some(v) = take_value(&mut args, "--shards")? {
+            opts.shards = v
+                .parse::<usize>()
+                .map_err(|_| format!("bad shard count: {v}"))?;
+        }
         if let Some(v) = take_value(&mut args, "--checkpoint-every")? {
             opts.checkpoint_every = Some(phantom_cli::CheckpointEvery::parse(&v)?);
         }
@@ -670,6 +677,16 @@ fn main() -> ExitCode {
     // checkpoint also starts with `{`, so this must branch before the
     // scene-vs-DSL sniff below.
     if cmd == "resume" {
+        // A checkpoint records the serial engine's exact calendar state;
+        // resuming it sharded would splice two different deterministic
+        // interleavings into one trace.
+        if opts.shards > 0 {
+            eprintln!(
+                "error: --shards is not yet compatible with resume: a checkpointed run \
+                 must continue on the serial engine; drop --shards"
+            );
+            return ExitCode::FAILURE;
+        }
         return match phantom_cli::resume(Path::new(path), until, &opts) {
             Ok(outcome) => {
                 print!("{}", outcome.rendered);

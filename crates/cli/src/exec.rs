@@ -87,6 +87,12 @@ pub struct RunOptions {
     /// Scenario name recorded in artifact manifests (e.g. the topology
     /// file path); empty means `"cli"`.
     pub scenario: String,
+    /// Intra-run shard count (`--shards`): run the engine on this many
+    /// conservative PDES shards. 0 (the default) keeps the serial
+    /// engine. Incompatible with checkpointing for now — checkpoints
+    /// would have to land exactly on epoch barriers to stay
+    /// well-defined, so the combination is rejected up front.
+    pub shards: usize,
 }
 
 /// Checkpoint cadence: a simulated-time period, or an event-count period
@@ -464,6 +470,15 @@ pub(crate) fn collect_report(
 /// with every option on produces the same report as a bare [`run_spec`].
 pub fn run_spec_opts(spec: &TopologySpec, opts: &RunOptions) -> Result<RunReport, String> {
     spec.validate()?;
+    if opts.shards > 0 && opts.checkpoint_every.is_some() {
+        return Err(
+            "--shards is not yet compatible with --checkpoint-every: checkpoints are only \
+             well-defined at shard epoch barriers; drop one of the two flags"
+                .into(),
+        );
+    }
+    // Scoped to this run; restored on drop, panics included.
+    let _shard_guard = phantom_sim::ShardGuard::new(opts.shards);
     let wall_start = std::time::Instant::now();
     let (mut engine, net) = build_topology(spec);
 

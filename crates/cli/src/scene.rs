@@ -44,6 +44,15 @@ pub fn run_scene_opts(
     analyze_window: Option<f64>,
     opts: &RunOptions,
 ) -> Result<SceneReport, String> {
+    if opts.shards > 0 && opts.checkpoint_every.is_some() {
+        return Err(
+            "--shards is not yet compatible with --checkpoint-every: checkpoints are only \
+             well-defined at shard epoch barriers; drop one of the two flags"
+                .into(),
+        );
+    }
+    // Scoped to this run; restored on drop, panics included.
+    let _shard_guard = phantom_sim::ShardGuard::new(opts.shards);
     let wall_start = std::time::Instant::now();
     let manifest = Manifest::new(TRACE_SCHEMA, &scene.id, seed, &scene.id);
     let CompiledScene {

@@ -4,11 +4,13 @@
 //! (`BENCH_phantom.json`), so performance can be tracked run-over-run by
 //! scripts rather than by eyeballing terminal output. The writer is
 //! hand-rolled — the workspace builds without serde — and emits a stable,
-//! minimal schema (`phantom-bench/4`): overall runs/sec and events/sec,
+//! minimal schema (`phantom-bench/5`): overall runs/sec and events/sec,
 //! a provenance manifest, the event-calendar tag, per-run wall time,
 //! event counts and health telemetry (drops, retransmits, queue peak),
 //! plus an optional [`ScaleRecord`] — a memory-and-throughput probe of
-//! one large generated scene (sessions-per-GB, events/s at scale).
+//! one large generated scene (sessions-per-GB, events/s at scale) — and
+//! an optional `shard_scaling` array of [`ShardScalePoint`]s: the scale
+//! scene's events/s re-measured at several `--shards` counts.
 
 use crate::json::{json_f64, json_str};
 use crate::manifest::Manifest;
@@ -140,6 +142,48 @@ impl ScaleRecord {
     }
 }
 
+/// One point of the intra-run shard-scaling probe: the scale scene run
+/// once at a fixed `--shards` count. An element of the `shard_scaling`
+/// array introduced by `phantom-bench/5`.
+#[derive(Clone, Debug)]
+pub struct ShardScalePoint {
+    /// Shard count of this run (1 = sharded engine, one worker).
+    pub shards: usize,
+    /// Scene id, e.g. `"metro-100k"`.
+    pub scene: String,
+    /// Master seed of the probe run.
+    pub seed: u64,
+    /// Simulator events dispatched (identical at every shard count —
+    /// anything else is a determinism bug).
+    pub events: u64,
+    /// Wall-clock seconds for the run (build excluded).
+    pub wall_secs: f64,
+}
+
+impl ShardScalePoint {
+    /// Events per wall-clock second at this shard count.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as a single-line JSON object (one `shard_scaling` element).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"shards\": {}, \"scene\": {}, \"seed\": {}, \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {}}}",
+            self.shards,
+            json_str(&self.scene),
+            self.seed,
+            self.events,
+            json_f64(self.wall_secs),
+            json_f64(self.events_per_sec())
+        )
+    }
+}
+
 /// One `repro` invocation's worth of measurements.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
@@ -158,6 +202,9 @@ pub struct BenchRecord {
     pub runs: Vec<RunRecord>,
     /// Scale probe of one large generated scene, when `--scale` ran.
     pub scale: Option<ScaleRecord>,
+    /// Intra-run shard-scaling points (`--shard-scaling`): the scale
+    /// scene re-run at each shard count. Empty when the probe didn't run.
+    pub shard_scaling: Vec<ShardScalePoint>,
 }
 
 impl BenchRecord {
@@ -219,12 +266,32 @@ impl BenchRecord {
             );
             s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
+        // Close the runs array, then append the optional trailing
+        // blocks in a fixed order: `scale`, then `shard_scaling`.
+        let mut tail: Vec<String> = Vec::new();
         if let Some(scale) = &self.scale {
-            s.push_str("  ],\n");
-            let _ = writeln!(s, "  \"scale\": {}", scale.to_json_line());
-            s.push_str("}\n");
-        } else {
+            tail.push(format!("  \"scale\": {}", scale.to_json_line()));
+        }
+        if !self.shard_scaling.is_empty() {
+            let mut block = String::from("  \"shard_scaling\": [\n");
+            for (i, p) in self.shard_scaling.iter().enumerate() {
+                block.push_str("    ");
+                block.push_str(&p.to_json_line());
+                block.push_str(if i + 1 < self.shard_scaling.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            block.push_str("  ]");
+            tail.push(block);
+        }
+        if tail.is_empty() {
             s.push_str("  ]\n}\n");
+        } else {
+            s.push_str("  ],\n");
+            s.push_str(&tail.join(",\n"));
+            s.push_str("\n}\n");
         }
         s
     }
@@ -272,6 +339,7 @@ mod tests {
                 },
             ],
             scale: None,
+            shard_scaling: Vec::new(),
         }
     }
 
@@ -302,8 +370,8 @@ mod tests {
     fn json_is_well_formed_and_complete() {
         let j = sample().to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert!(j.contains("\"schema\": \"phantom-bench/4\""));
-        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/4\""));
+        assert!(j.contains("\"schema\": \"phantom-bench/5\""));
+        assert!(j.contains("\"manifest\": {\"schema\":\"phantom-bench/5\""));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"calendar\": \"timer-wheel/test\""));
         assert!(j.contains("\"events_total\": 4000000"));
@@ -314,8 +382,9 @@ mod tests {
         // crude balance check, good enough for a fixed schema
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
-        // no scale probe -> no scale key
+        // no scale probe -> no scale key; no shard probe -> no array
         assert!(!j.contains("\"scale\""));
+        assert!(!j.contains("\"shard_scaling\""));
     }
 
     #[test]
@@ -360,6 +429,57 @@ mod tests {
         assert!(j.contains("\n  \"scale\": {\"scene\": \"metro-100k\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn shard_scaling_renders_one_point_per_line_after_scale() {
+        let p1 = ShardScalePoint {
+            shards: 1,
+            scene: "metro-100k".into(),
+            seed: 1996,
+            events: 10_000_000,
+            wall_secs: 5.0,
+        };
+        assert_eq!(p1.events_per_sec(), 2_000_000.0);
+        let line = p1.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"shards\": 1, \"scene\": \"metro-100k\""));
+        assert!(line.contains("\"events_per_sec\": 2000000"));
+
+        let mut rec = sample();
+        rec.scale = Some(sample_scale());
+        rec.shard_scaling = vec![
+            p1,
+            ShardScalePoint {
+                shards: 4,
+                scene: "metro-100k".into(),
+                seed: 1996,
+                events: 10_000_000,
+                wall_secs: 2.0,
+            },
+        ];
+        let j = rec.to_json();
+        assert!(j.contains("\n  \"scale\": {\"scene\": \"metro-100k\""));
+        assert!(j.contains("\n  \"shard_scaling\": [\n"));
+        assert!(j.contains("\n    {\"shards\": 1, "));
+        assert!(j.contains("\n    {\"shards\": 4, "));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        // shard_scaling without a scale probe still closes cleanly
+        let mut rec2 = sample();
+        rec2.shard_scaling = vec![ShardScalePoint {
+            shards: 2,
+            scene: "metro-100k".into(),
+            seed: 1,
+            events: 100,
+            wall_secs: 1.0,
+        }];
+        let j2 = rec2.to_json();
+        assert!(!j2.contains("\"scale\""));
+        assert!(j2.contains("  ],\n  \"shard_scaling\": [\n"));
+        assert_eq!(j2.matches('{').count(), j2.matches('}').count());
+        assert_eq!(j2.matches('[').count(), j2.matches(']').count());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod report;
 pub mod series;
 pub mod status;
 
-pub use bench_record::{BenchRecord, RunRecord, ScaleRecord};
+pub use bench_record::{BenchRecord, RunRecord, ScaleRecord, ShardScalePoint};
 pub use convergence::{convergence_time, oscillation_amplitude};
 pub use fairness::{
     jain_index, max_min_fair, normalized_jain_index, phantom_prediction, weighted_max_min,

@@ -18,8 +18,10 @@ pub const METRICS_SCHEMA: &str = "phantom-metrics/1";
 ///
 /// `/4` adds the optional `scale` object (a memory-and-throughput probe
 /// of one large generated scene: sessions-per-GB and events/s at scale);
-/// every `/3` field is unchanged, so `/3` baselines still parse.
-pub const BENCH_SCHEMA: &str = "phantom-bench/4";
+/// `/5` adds the optional `shard_scaling` array (events/s at `--shards`
+/// 1/2/4 on the scale scene). Every earlier field is unchanged, so `/3`
+/// and `/4` baselines still parse.
+pub const BENCH_SCHEMA: &str = "phantom-bench/5";
 /// Schema tag for long-format figure CSVs.
 pub const CSV_SCHEMA: &str = "phantom-csv/1";
 /// Schema tag for `phantom analyze` reports.

@@ -8,72 +8,76 @@
 //!
 //! Gauges are *sampled series*: nodes set them on their own sim-time
 //! cadence (the measurement interval), so a snapshot also carries each
-//! gauge's mean/max over the run, not just the final value. A run is
-//! single-threaded, so handles are `Rc`-based; parallel sweeps give each
-//! worker its own registry.
+//! gauge's mean/max over the run, not just the final value. Handles are
+//! `Arc`-based (counters are atomics, series sit behind uncontended
+//! mutexes) so nodes holding them can run on intra-run shard worker
+//! threads; the registry itself stays with the run's driving thread,
+//! and parallel sweeps still give each worker its own registry.
 
 use crate::json::{json_f64, json_str};
 use crate::manifest::Manifest;
 use phantom_sim::stats::{Histogram, TimeSeries};
 use phantom_sim::SimTime;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Handle to a registered monotonic counter.
 #[derive(Clone, Debug)]
-pub struct CounterHandle(Rc<Cell<u64>>);
+pub struct CounterHandle(Arc<AtomicU64>);
 
 impl CounterHandle {
     /// Increment by one.
     #[inline]
     pub fn inc(&self) {
-        self.0.set(self.0.get() + 1);
+        self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increment by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get() + n);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current count.
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// Handle to a registered gauge (a sampled time series).
 #[derive(Clone, Debug)]
-pub struct GaugeHandle(Rc<RefCell<TimeSeries>>);
+pub struct GaugeHandle(Arc<Mutex<TimeSeries>>);
 
 impl GaugeHandle {
     /// Record the gauge's value at sim time `t` (non-decreasing).
     pub fn set(&self, t: SimTime, v: f64) {
-        self.0.borrow_mut().push(t, v);
+        self.0.lock().expect("gauge poisoned").push(t, v);
     }
 
     /// The most recent sample, if any.
     pub fn last(&self) -> Option<f64> {
-        self.0.borrow().last()
+        self.0.lock().expect("gauge poisoned").last()
     }
 }
 
 /// Handle to a registered histogram.
 #[derive(Clone, Debug)]
-pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
 
 impl HistogramHandle {
     /// Record one observation `v >= 0`.
     pub fn record(&self, v: f64) {
-        self.0.borrow_mut().record(v);
+        self.0.lock().expect("histogram poisoned").record(v);
     }
 }
 
 enum Slot {
-    Counter(Rc<Cell<u64>>),
-    Gauge(Rc<RefCell<TimeSeries>>),
-    Histogram(Rc<RefCell<Histogram>>),
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<Mutex<TimeSeries>>),
+    Histogram(Arc<Mutex<Histogram>>),
 }
 
 struct Metric {
@@ -145,11 +149,11 @@ impl Registry {
     /// Register a counter named `name` with `labels`; returns its handle.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
         check_name(name);
-        let cell = Rc::new(Cell::new(0));
+        let cell = Arc::new(AtomicU64::new(0));
         self.metrics.borrow_mut().push(Metric {
             name: name.to_string(),
             labels: own_labels(labels),
-            slot: Slot::Counter(Rc::clone(&cell)),
+            slot: Slot::Counter(Arc::clone(&cell)),
         });
         CounterHandle(cell)
     }
@@ -157,11 +161,11 @@ impl Registry {
     /// Register a gauge named `name` with `labels`; returns its handle.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
         check_name(name);
-        let series = Rc::new(RefCell::new(TimeSeries::new()));
+        let series = Arc::new(Mutex::new(TimeSeries::new()));
         self.metrics.borrow_mut().push(Metric {
             name: name.to_string(),
             labels: own_labels(labels),
-            slot: Slot::Gauge(Rc::clone(&series)),
+            slot: Slot::Gauge(Arc::clone(&series)),
         });
         GaugeHandle(series)
     }
@@ -175,11 +179,11 @@ impl Registry {
         nbins: usize,
     ) -> HistogramHandle {
         check_name(name);
-        let hist = Rc::new(RefCell::new(Histogram::new(bin_width, nbins)));
+        let hist = Arc::new(Mutex::new(Histogram::new(bin_width, nbins)));
         self.metrics.borrow_mut().push(Metric {
             name: name.to_string(),
             labels: own_labels(labels),
-            slot: Slot::Histogram(Rc::clone(&hist)),
+            slot: Slot::Histogram(Arc::clone(&hist)),
         });
         HistogramHandle(hist)
     }
@@ -226,14 +230,14 @@ impl Registry {
                             let _ = writeln!(out, "# TYPE {name} counter");
                             typed = true;
                         }
-                        let _ = writeln!(out, "{name}{suffix} {}", c.get());
+                        let _ = writeln!(out, "{name}{suffix} {}", c.load(Ordering::Relaxed));
                     }
                     Slot::Gauge(g) => {
                         if !typed {
                             let _ = writeln!(out, "# TYPE {name} gauge");
                             typed = true;
                         }
-                        let g = g.borrow();
+                        let g = g.lock().expect("gauge poisoned");
                         let _ =
                             writeln!(out, "{name}{suffix} {}", json_f64(g.last().unwrap_or(0.0)));
                     }
@@ -242,7 +246,7 @@ impl Registry {
                             let _ = writeln!(out, "# TYPE {name} histogram");
                             typed = true;
                         }
-                        let h = h.borrow();
+                        let h = h.lock().expect("histogram poisoned");
                         let bins = h.bins();
                         // Coalesce fine bins to at most ten exported
                         // boundaries; counts are cumulative per the
@@ -294,10 +298,13 @@ impl Registry {
             );
             let body = match &m.slot {
                 Slot::Counter(c) => {
-                    format!("{head}, \"type\": \"counter\", \"value\": {}}}", c.get())
+                    format!(
+                        "{head}, \"type\": \"counter\", \"value\": {}}}",
+                        c.load(Ordering::Relaxed)
+                    )
                 }
                 Slot::Gauge(g) => {
-                    let g = g.borrow();
+                    let g = g.lock().expect("gauge poisoned");
                     format!(
                         "{head}, \"type\": \"gauge\", \"last\": {}, \"mean\": {}, \"max\": {}, \"samples\": {}}}",
                         json_f64(g.last().unwrap_or(0.0)),
@@ -307,7 +314,7 @@ impl Registry {
                     )
                 }
                 Slot::Histogram(h) => {
-                    let h = h.borrow();
+                    let h = h.lock().expect("histogram poisoned");
                     format!(
                         "{head}, \"type\": \"histogram\", \"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
                         h.count(),

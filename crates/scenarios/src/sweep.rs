@@ -67,6 +67,12 @@ pub struct SweepOptions {
     /// Ring depth of the flight recorder (`--post-mortem-depth`): how
     /// many recent events a dump retains. `None` keeps the default.
     pub post_mortem_depth: Option<usize>,
+    /// Intra-run shard count (`--shards`): run each simulation's engine
+    /// on this many conservative PDES shards. 0 (the default) keeps the
+    /// serial engine. Results are byte-identical at any non-zero shard
+    /// count (but use a different — equally deterministic — equal-time
+    /// tie-break than the serial engine; see `phantom_sim::shard`).
+    pub shards: usize,
 }
 
 /// Shared batch-progress state behind [`SweepOptions::status_file`]:
@@ -244,6 +250,9 @@ fn run_one(job: &SweepJob, opts: &SweepOptions) -> SweepRun {
         .map(|_| phantom_sim::profile::begin_profile());
     let events_before = phantom_sim::thread_events_dispatched();
     let start = std::time::Instant::now();
+    // Restores the worker thread's previous request on drop, panics
+    // included, so one run's shard request never leaks into the next.
+    let _shard_guard = phantom_sim::ShardGuard::new(opts.shards);
     let output = run_experiment(&job.id, job.seed);
     let events = phantom_sim::thread_events_dispatched() - events_before;
     let wall_secs = start.elapsed().as_secs_f64();

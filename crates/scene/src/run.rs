@@ -11,7 +11,7 @@ use crate::model::Scene;
 use phantom_analyze::{AnalysisTargets, EpochTarget};
 use phantom_atm::units::mbps_to_cps;
 use phantom_core::fixed_point::single_link_macr;
-use phantom_metrics::{ExperimentResult, ScaleRecord};
+use phantom_metrics::{ExperimentResult, ScaleRecord, ShardScalePoint};
 use phantom_scenarios::atm::run_standard;
 use phantom_scenarios::registry::{register_dynamic, DynamicExperiment, ExperimentOutput};
 use phantom_scenarios::shape::register_shape;
@@ -83,6 +83,32 @@ pub fn scale_scene(scene: &Scene, seed: u64) -> (ScaleRecord, Vec<phantom_sim::A
         queue_peak: counters.queue_peak,
     };
     (record, stats)
+}
+
+/// Build and run `scene` once at a fixed `--shards` count, measuring
+/// events dispatched and wall-clock time — one point of the
+/// `phantom-bench/5` `shard_scaling` array. The build is excluded from
+/// the measurement; the run is the same conservative-PDES execution
+/// `phantom run --shards N` performs, so the events count must be
+/// identical at every shard count.
+pub fn shard_scale_scene(scene: &Scene, seed: u64, shards: usize) -> ShardScalePoint {
+    let _guard = phantom_sim::ShardGuard::new(shards);
+    let c = compile(scene, seed);
+    let mut engine = c.engine;
+    let marker = phantom_sim::telemetry::begin_run();
+    let events_before = phantom_sim::thread_events_dispatched();
+    let start = std::time::Instant::now();
+    engine.run_until(c.until);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = phantom_sim::thread_events_dispatched() - events_before;
+    let _ = marker.finish();
+    ShardScalePoint {
+        shards,
+        scene: scene.id.clone(),
+        seed,
+        events,
+        wall_secs,
+    }
 }
 
 /// The analysis targets a scene predicts: bottleneck capacity, the

@@ -28,6 +28,7 @@
 use crate::event::EventQueue;
 use crate::profile::LoopProf;
 use crate::rng::derive_seed;
+use crate::shard::{partition, EpochShared, ProbeRec, ShardHints, Staged, KEY_SHIFT};
 use crate::snapshot::{
     EngineSnapshot, EventSnapshot, KvReader, KvWriter, NodeSnapshot, SnapshotMessage,
 };
@@ -35,9 +36,11 @@ use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::{Any, TypeId};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::HashMap;
 use std::mem::size_of;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 /// Identifier of a node within one [`Engine`]; dense indices starting at 0.
@@ -46,7 +49,12 @@ pub struct NodeId(pub usize);
 
 /// A simulation actor. Implementors hold all of their own state; the only
 /// way state changes is through [`Node::on_event`].
-pub trait Node<M>: Any {
+///
+/// `Send` is required so a node can be dispatched by an intra-run shard
+/// worker thread (see [`crate::shard`]); a node is never accessed by two
+/// threads at once — each shard owns its nodes exclusively for the whole
+/// run.
+pub trait Node<M>: Any + Send {
     /// Handle a message delivered at `ctx.now()`.
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
 
@@ -113,6 +121,31 @@ pub struct Ctx<'a, M> {
     queue: &'a mut EventQueue<M>,
     rng: &'a mut SmallRng,
     coalesced: u64,
+    /// Upper bound on [`Ctx::quiet_until`]. `SimTime::MAX` on the serial
+    /// path; `now` on the sharded path, where other shards may dispatch
+    /// at any instant after `now` and the local calendar minimum is not
+    /// a global quiescence bound.
+    quiet_cap: SimTime,
+    /// Sharded-run send routing; `None` on the serial path.
+    shard: Option<ShardSend<'a, M>>,
+}
+
+/// Sharded send state lent to a [`Ctx`] for one dispatch: the executing
+/// node's key-minting counter plus the partition map and the staging
+/// queues for cross-shard sends (see [`crate::shard`]).
+struct ShardSend<'a, M> {
+    /// `(self_id + 1) << KEY_SHIFT`.
+    key_base: u64,
+    /// The executing node's per-sender counter (low key bits).
+    counter: &'a mut u64,
+    /// Node id → shard.
+    node_shard: &'a [u32],
+    my_shard: u32,
+    /// Staging queues, indexed by destination shard.
+    staged: &'a mut [Vec<Staged<M>>],
+    /// End (exclusive) of the current epoch window. Cross-shard sends
+    /// must land at or after it — guaranteed by the lookahead.
+    epoch_end: SimTime,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -126,9 +159,50 @@ impl<'a, M> Ctx<'a, M> {
         self.self_id
     }
 
+    /// Route one outgoing event: straight into the calendar serially;
+    /// under sharding, mint the deterministic ordering key and either
+    /// insert locally or stage for the destination shard.
+    #[inline]
+    fn push_event(&mut self, at: SimTime, dst: NodeId, msg: M) {
+        match &mut self.shard {
+            None => self.queue.push(at, dst, msg),
+            Some(s) => {
+                let key = s.key_base | *s.counter;
+                *s.counter += 1;
+                debug_assert!(
+                    *s.counter < 1 << KEY_SHIFT,
+                    "per-sender key space exhausted"
+                );
+                let to = s.node_shard[dst.0];
+                if to == s.my_shard {
+                    self.queue.restore_push(at, key, dst, msg);
+                } else {
+                    assert!(
+                        at >= s.epoch_end,
+                        "cross-shard send from node {} to node {} arrives at {:?}, \
+                         inside the current epoch (ends {:?}): the topology's declared \
+                         lookahead is violated — an inter-node message was sent with \
+                         less than the minimum link propagation delay",
+                        self.self_id.0,
+                        dst.0,
+                        at,
+                        s.epoch_end
+                    );
+                    s.staged[to as usize].push(Staged {
+                        time: at,
+                        key,
+                        dst,
+                        msg,
+                    });
+                }
+            }
+        }
+    }
+
     /// Deliver `msg` to `dst` after `delay`.
     pub fn send(&mut self, dst: NodeId, delay: SimDuration, msg: M) {
-        self.queue.push(self.now + delay, dst, msg);
+        let at = self.now + delay;
+        self.push_event(at, dst, msg);
     }
 
     /// Deliver `msg` to `dst` at absolute time `at` (must not be in the
@@ -145,7 +219,7 @@ impl<'a, M> Ctx<'a, M> {
         } else {
             at
         };
-        self.queue.push(at, dst, msg);
+        self.push_event(at, dst, msg);
     }
 
     /// Deliver `msg` back to the executing node after `delay`.
@@ -169,8 +243,17 @@ impl<'a, M> Ctx<'a, M> {
     /// instant strictly before `quiet_until()` in one dispatch — the
     /// busy-port cell batch in `phantom-atm` — with byte-identical
     /// results.
+    ///
+    /// On the sharded path this degenerates to `now()`: a local shard's
+    /// calendar minimum says nothing about other shards, so the only
+    /// sound quiescence bound is the current instant. Batching nodes then
+    /// fall back to one unit of work per timer, identically at every
+    /// shard count.
     pub fn quiet_until(&self) -> SimTime {
-        self.queue.peek_time().unwrap_or(SimTime::MAX)
+        self.queue
+            .peek_time()
+            .unwrap_or(SimTime::MAX)
+            .min(self.quiet_cap)
     }
 
     /// Report `n` logical events handled inside this dispatch beyond the
@@ -202,17 +285,40 @@ struct Loc {
 }
 
 /// One contiguous storage block for every node of a single concrete type.
+///
+/// Nodes sit in `UnsafeCell` so the sharded run path can hand disjoint
+/// `&mut N` out of a *shared* arena reference — one shard worker per
+/// node, enforced by the partition map. `UnsafeCell<N>` has the same
+/// layout as `N`, so the serial path's cache behaviour is unchanged.
 struct TypedArena<N> {
-    nodes: Vec<N>,
+    nodes: Vec<UnsafeCell<N>>,
 }
+
+// SAFETY: the arena is a fixed-size slot table. Shared access only ever
+// happens on the sharded run path, where each slot is dispatched (or
+// read) by exactly one thread at a time — the engine partitions node ids
+// disjointly across shard workers and joins them before any other access.
+// Handing `&mut N` across threads under that exclusivity protocol is the
+// `Mutex` pattern, which requires `N: Send` (guaranteed by `Node: Send`).
+#[allow(unsafe_code)]
+unsafe impl<N: Send> Sync for TypedArena<N> {}
 
 /// Object-safe facade over a [`TypedArena<N>`]. The engine owns arenas
 /// through this trait; the single virtual call per dispatch lands in a
 /// monomorphized body whose `on_event` call is static and inlinable —
 /// the same indirect-call count as the old `Box<dyn Node>` layout, but
-/// with same-type nodes stored back to back.
-trait NodeArena<M> {
+/// with same-type nodes stored back to back. `Sync` so shard workers can
+/// dispatch through a shared arena slice (see [`TypedArena`]).
+trait NodeArena<M>: Sync {
     fn dispatch(&mut self, slot: u32, ctx: &mut Ctx<'_, M>, msg: M);
+    /// Dispatch through a shared reference, for shard workers.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other thread accesses `slot`
+    /// concurrently — the engine's shard partition assigns each slot to
+    /// exactly one worker for the duration of the run.
+    #[allow(unsafe_code)]
+    unsafe fn dispatch_shared(&self, slot: u32, ctx: &mut Ctx<'_, M>, msg: M);
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
     fn len(&self) -> usize;
@@ -228,7 +334,17 @@ trait NodeArena<M> {
 impl<M: 'static, N: Node<M>> NodeArena<M> for TypedArena<N> {
     #[inline]
     fn dispatch(&mut self, slot: u32, ctx: &mut Ctx<'_, M>, msg: M) {
-        self.nodes[slot as usize].on_event(ctx, msg);
+        self.nodes[slot as usize].get_mut().on_event(ctx, msg);
+    }
+
+    #[inline]
+    #[allow(unsafe_code)]
+    unsafe fn dispatch_shared(&self, slot: u32, ctx: &mut Ctx<'_, M>, msg: M) {
+        // SAFETY: per the trait contract the caller holds exclusive
+        // logical ownership of `slot`; no other reference to this node
+        // exists while `on_event` runs.
+        let node = unsafe { &mut *self.nodes[slot as usize].get() };
+        node.on_event(ctx, msg);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -248,15 +364,21 @@ impl<M: 'static, N: Node<M>> NodeArena<M> for TypedArena<N> {
     }
 
     fn bytes(&self) -> usize {
-        self.nodes.capacity() * size_of::<N>()
+        self.nodes.capacity() * size_of::<UnsafeCell<N>>()
     }
 
     fn save_node(&self, slot: u32, w: &mut KvWriter) -> Result<(), String> {
-        self.nodes[slot as usize].save_state(w)
+        #[allow(unsafe_code)]
+        // SAFETY: `save_node` takes `&self` on the engine's single
+        // driving thread while no shard workers are alive (they are
+        // scoped to `run_until` and joined before it returns), so the
+        // shared read cannot race a dispatch.
+        let node = unsafe { &*self.nodes[slot as usize].get() };
+        node.save_state(w)
     }
 
     fn restore_node(&mut self, slot: u32, r: &mut KvReader) -> Result<(), String> {
-        self.nodes[slot as usize].restore_state(r)
+        self.nodes[slot as usize].get_mut().restore_state(r)
     }
 }
 
@@ -294,6 +416,23 @@ pub struct Engine<M> {
     /// Optional message classifier for the profiler's per-event-kind
     /// view; unclassified dispatches land in the `"event"` bucket.
     classify: Option<fn(&M) -> &'static str>,
+    /// Per-node send counters minting sharded ordering keys. Persisted
+    /// across `run_until` calls so heartbeat-sliced runs mint the same
+    /// keys as single-call runs. Empty until the first sharded run.
+    send_seq: Vec<u64>,
+    /// Partitioning hints attached by the topology builder; absent hints
+    /// (or a zero lookahead) make any shard request fall back to the
+    /// serial path.
+    shard_hints: Option<ShardHints>,
+    /// Cached partition for the current `(shard count, node count)`.
+    shard_plan: Option<ShardPlan>,
+}
+
+/// A computed node-to-shard assignment, cached across `run_until` slices.
+struct ShardPlan {
+    k: usize,
+    nodes: usize,
+    node_shard: Vec<u32>,
 }
 
 impl<M: 'static> Engine<M> {
@@ -311,7 +450,24 @@ impl<M: 'static> Engine<M> {
             trace: None,
             profiling: false,
             classify: None,
+            send_seq: Vec::new(),
+            shard_hints: None,
+            shard_plan: None,
         }
+    }
+
+    /// Attach topology partitioning hints (see [`ShardHints`]); builders
+    /// call this at the end of construction. Without hints — or with a
+    /// zero lookahead — a [`crate::shard::set_shards`] request is ignored
+    /// and the engine runs serially.
+    pub fn set_shard_hints(&mut self, hints: ShardHints) {
+        self.shard_hints = Some(hints);
+        self.shard_plan = None;
+    }
+
+    /// The attached partitioning hints, if any.
+    pub fn shard_hints(&self) -> Option<&ShardHints> {
+        self.shard_hints.as_ref()
     }
 
     /// Force the in-run profiler on (or off) for this engine. The usual
@@ -356,7 +512,7 @@ impl<M: 'static> Engine<M> {
             .downcast_mut::<TypedArena<N>>()
             .expect("arena registry out of sync");
         let slot = u32::try_from(typed.nodes.len()).expect("arena slot overflow");
-        typed.nodes.push(node);
+        typed.nodes.push(UnsafeCell::new(node));
         self.locs.push(Loc { arena, slot });
         self.rngs
             .push(SmallRng::seed_from_u64(derive_seed(self.seed, id.0 as u64)));
@@ -436,6 +592,8 @@ impl<M: 'static> Engine<M> {
             queue: &mut self.queue,
             rng: &mut self.rngs[dst.0],
             coalesced: 0,
+            quiet_cap: SimTime::MAX,
+            shard: None,
         };
         self.arenas[loc.arena as usize].dispatch(loc.slot, &mut ctx, msg);
         self.events_processed += 1 + ctx.coalesced;
@@ -465,24 +623,6 @@ impl<M: 'static> Engine<M> {
             || self.profiling
             || crate::profile::enabled()
             || crate::flight::armed()
-    }
-
-    /// Run until the clock reaches `t` (inclusive of events at exactly `t`).
-    /// The clock is left at `t` even if the calendar empties earlier.
-    pub fn run_until(&mut self, t: SimTime) {
-        let start = self.events_processed;
-        if !self.instrumented() {
-            // Fast path: no per-event hook check, one heap access per event.
-            while let Some(ev) = self.queue.pop_at_or_before(t) {
-                self.dispatch(ev.time, ev.dst, ev.msg);
-            }
-        } else {
-            self.run_instrumented(Some(t), u64::MAX);
-        }
-        note_dispatched(self.events_processed - start);
-        if self.now < t {
-            self.now = t;
-        }
     }
 
     /// Run until the calendar is empty or `max_events` have been dispatched.
@@ -618,7 +758,13 @@ impl<M: 'static> Engine<M> {
             .as_any()
             .downcast_ref::<TypedArena<N>>()
             .expect("node type mismatch");
-        &typed.nodes[loc.slot as usize]
+        #[allow(unsafe_code)]
+        // SAFETY: `&self` on the driving thread; shard workers are scoped
+        // to `run_until` and joined before it returns, so no concurrent
+        // mutation of the slot can exist.
+        unsafe {
+            &*typed.nodes[loc.slot as usize].get()
+        }
     }
 
     /// Mutable access to a node, downcast to its concrete type.
@@ -631,7 +777,479 @@ impl<M: 'static> Engine<M> {
             .as_any_mut()
             .downcast_mut::<TypedArena<N>>()
             .expect("node type mismatch");
-        &mut typed.nodes[loc.slot as usize]
+        typed.nodes[loc.slot as usize].get_mut()
+    }
+}
+
+/// Raw-pointer wrapper asserting cross-thread shareability of a table
+/// whose entries shard workers access *disjointly* (each worker touches
+/// only its own nodes' indices).
+struct SyncPtr<T>(*mut T);
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+
+// SAFETY: the pointer targets a table that outlives every worker (the
+// engine's `rngs`/`send_seq` vectors, alive across the scoped threads),
+// and the shard partition guarantees index-disjoint access — the same
+// exclusivity protocol as the node arenas.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+/// What one shard worker hands back when its run ends.
+struct WorkerOut<M> {
+    queue: EventQueue<M>,
+    events: u64,
+    prof: Option<LoopProf>,
+    cal: crate::profile::CalendarStats,
+    counters: Option<crate::telemetry::RunCounters>,
+}
+
+/// One shard's run state: its calendar, its staging queues, and shared
+/// views of the engine tables it may touch (disjointly from its peers).
+struct ShardWorker<'a, M> {
+    w: usize,
+    queue: EventQueue<M>,
+    /// Cross-shard sends staged this epoch, by destination shard.
+    staged: Vec<Vec<Staged<M>>>,
+    arenas: &'a [Box<dyn NodeArena<M>>],
+    locs: &'a [Loc],
+    node_shard: &'a [u32],
+    rngs: SyncPtr<SmallRng>,
+    seqs: SyncPtr<u64>,
+    classify: Option<fn(&M) -> &'static str>,
+    events: u64,
+    /// `(time, key)` of the in-flight dispatch, shared with the thread's
+    /// buffering probe so emissions carry their merge-order tag.
+    cur: Option<Rc<Cell<(u64, u64)>>>,
+    /// The buffering probe's output, drained at each epoch barrier.
+    out: Option<Rc<RefCell<Vec<ProbeRec>>>>,
+    prof: Option<LoopProf>,
+}
+
+impl<'a, M: 'static> ShardWorker<'a, M> {
+    /// Dispatch every local event in `[window start, cap]`; sends beyond
+    /// the shard stage until [`ShardWorker::publish`].
+    fn run_window(&mut self, cap: SimTime, end: SimTime) {
+        let t0 = self.prof.as_ref().map(|_| Instant::now());
+        let mut mark = t0;
+        loop {
+            let Some(ev) = self.queue.pop_at_or_before(cap) else {
+                break;
+            };
+            let popped = self.prof.as_mut().map(|p| {
+                let now = Instant::now();
+                p.pop_ns += now.duration_since(mark.expect("mark set")).as_nanos() as u64;
+                now
+            });
+            debug_assert_eq!(
+                self.node_shard[ev.dst.0], self.w as u32,
+                "event routed to the wrong shard"
+            );
+            if let Some(cur) = &self.cur {
+                cur.set((ev.time.0, ev.seq));
+            }
+            let loc = self.locs[ev.dst.0];
+            let kind = match (&self.prof, self.classify) {
+                (Some(_), Some(f)) => f(&ev.msg),
+                _ => "event",
+            };
+            let before = self.events;
+            #[allow(unsafe_code)]
+            // SAFETY: `ev.dst` belongs to this shard (asserted above), so
+            // this worker is the only thread touching its RNG stream, its
+            // send counter and its arena slot for the whole run.
+            let mut ctx = Ctx {
+                now: ev.time,
+                self_id: ev.dst,
+                queue: &mut self.queue,
+                rng: unsafe { &mut *self.rngs.0.add(ev.dst.0) },
+                coalesced: 0,
+                quiet_cap: ev.time,
+                shard: Some(ShardSend {
+                    key_base: (ev.dst.0 as u64 + 1) << KEY_SHIFT,
+                    counter: unsafe { &mut *self.seqs.0.add(ev.dst.0) },
+                    node_shard: self.node_shard,
+                    my_shard: self.w as u32,
+                    staged: &mut self.staged,
+                    epoch_end: end,
+                }),
+            };
+            #[allow(unsafe_code)]
+            // SAFETY: same slot-exclusivity argument as above.
+            unsafe {
+                self.arenas[loc.arena as usize].dispatch_shared(loc.slot, &mut ctx, ev.msg)
+            };
+            self.events += 1 + ctx.coalesced;
+            if let Some(p) = self.prof.as_mut() {
+                let done = Instant::now();
+                let ns = done
+                    .duration_since(popped.expect("popped set while profiling"))
+                    .as_nanos() as u64;
+                p.note(loc.arena as usize, kind, ns, self.events - before);
+                mark = Some(done);
+            }
+        }
+        if let Some(p) = self.prof.as_mut() {
+            let done = Instant::now();
+            p.pop_ns += done.duration_since(mark.expect("mark set")).as_nanos() as u64;
+            // Summed across windows and workers: under sharding the
+            // profiler reports CPU time, not wall time.
+            p.wall_ns += done.duration_since(t0.expect("t0 set")).as_nanos() as u64;
+        }
+    }
+
+    /// Publish staged cross-shard sends and buffered probe emissions into
+    /// the shared epoch state (before barrier A).
+    fn publish(&mut self, shared: &EpochShared<M>) {
+        for to in 0..self.staged.len() {
+            if to != self.w && !self.staged[to].is_empty() {
+                let mut slot = shared.inbox[to][self.w].lock().expect("inbox poisoned");
+                slot.append(&mut self.staged[to]);
+            }
+        }
+        if let Some(out) = &self.out {
+            let mut buf = out.borrow_mut();
+            if !buf.is_empty() {
+                let mut slot = shared.probes[self.w].lock().expect("probe slot poisoned");
+                slot.append(&mut buf);
+            }
+        }
+    }
+
+    /// Drain this shard's inbox into its calendar and publish its new
+    /// minimum pending time (between barriers A and B).
+    fn drain_inbox(&mut self, shared: &EpochShared<M>) {
+        for from in &shared.inbox[self.w] {
+            let mut v = from.lock().expect("inbox poisoned");
+            for s in v.drain(..) {
+                self.queue.restore_push(s.time, s.key, s.dst, s.msg);
+            }
+        }
+        let min = self.queue.peek_time().map_or(u64::MAX, |t| t.0);
+        shared.mins[self.w].store(min, Ordering::Relaxed);
+    }
+
+    /// The non-coordinator epoch loop: window, publish, drain, then wait
+    /// for the coordinator's next-window decision.
+    fn epoch_loop(&mut self, shared: &EpochShared<M>, until: SimTime) {
+        loop {
+            let e = shared.end.load(Ordering::Relaxed);
+            let cap = SimTime((e - 1).min(until.0));
+            self.run_window(cap, SimTime(e));
+            self.publish(shared);
+            shared.barrier.wait(); // A: all sends and probes published
+            self.drain_inbox(shared);
+            shared.barrier.wait(); // B: all calendars updated, mins out
+            shared.barrier.wait(); // C: coordinator picked the next window
+            if shared.done.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+    }
+}
+
+/// Replay buffered probe emissions into the real probe in deterministic
+/// global dispatch order: `(dispatch time, dispatch key, emission idx)`.
+fn deliver_probe_recs(real: &mut dyn crate::probe::Probe, recs: &mut Vec<ProbeRec>) {
+    recs.sort_unstable_by_key(|r| (r.at, r.key, r.idx));
+    for r in recs.drain(..) {
+        real.on_event(r.t, r.node, &r.ev);
+    }
+}
+
+/// Install a fresh buffering probe on the current thread, returning the
+/// shared cursor and output buffer handles the worker drives.
+#[allow(clippy::type_complexity)]
+fn install_buffer_probe() -> (Rc<Cell<(u64, u64)>>, Rc<RefCell<Vec<ProbeRec>>>) {
+    let cur = Rc::new(Cell::new((0u64, u64::MAX)));
+    let out: Rc<RefCell<Vec<ProbeRec>>> = Rc::default();
+    let prev = crate::probe::install_thread_probe(Box::new(crate::shard::BufferProbe::new(
+        Rc::clone(&cur),
+        Rc::clone(&out),
+    )));
+    debug_assert!(prev.is_none(), "buffer probe replaced a live probe");
+    drop(prev);
+    (cur, out)
+}
+
+impl<M: 'static + Send> Engine<M> {
+    /// Run until the clock reaches `t` (inclusive of events at exactly `t`).
+    /// The clock is left at `t` even if the calendar empties earlier.
+    ///
+    /// When the current thread requested intra-run shards
+    /// ([`crate::shard::set_shards`]) and the engine carries
+    /// [`ShardHints`] with a non-zero lookahead, the run executes on the
+    /// conservative sharded path: byte-identical results at any shard
+    /// count, but a *different* (equally deterministic) equal-time
+    /// tie-break than the serial engine. A trace hook or an armed flight
+    /// recorder forces the serial loop — consistently at every shard
+    /// count, so the invariance contract still holds.
+    pub fn run_until(&mut self, t: SimTime) {
+        let start = self.events_processed;
+        let k = crate::shard::shards();
+        let sharded = k > 0
+            && self.trace.is_none()
+            && !crate::flight::armed()
+            && self
+                .shard_hints
+                .as_ref()
+                .is_some_and(|h| !h.lookahead.is_zero());
+        if sharded {
+            self.run_sharded(t, k);
+        } else if !self.instrumented() {
+            // Fast path: no per-event hook check, one heap access per event.
+            while let Some(ev) = self.queue.pop_at_or_before(t) {
+                self.dispatch(ev.time, ev.dst, ev.msg);
+            }
+        } else {
+            self.run_instrumented(Some(t), u64::MAX);
+        }
+        note_dispatched(self.events_processed - start);
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// The conservative sharded run: partition the calendar, advance all
+    /// shards in lookahead-bounded epochs (worker 0 rides the calling
+    /// thread and doubles as coordinator), then merge the calendars back.
+    #[cold]
+    fn run_sharded(&mut self, until: SimTime, k: usize) {
+        let n = self.locs.len();
+        if self.send_seq.len() < n {
+            self.send_seq.resize(n, 0);
+        }
+        let fresh_plan = !matches!(
+            &self.shard_plan,
+            Some(p) if p.k == k && p.nodes == n
+        );
+        if fresh_plan {
+            let hints = self
+                .shard_hints
+                .as_ref()
+                .expect("sharded run without hints");
+            self.shard_plan = Some(ShardPlan {
+                k,
+                nodes: n,
+                node_shard: partition(n, hints, k),
+            });
+        }
+        let plan = self.shard_plan.take().expect("plan just ensured");
+        let lookahead = self.shard_hints.as_ref().expect("hints present").lookahead;
+
+        // Split the calendar into per-shard calendars, preserving every
+        // event's ordering key.
+        let saved_next_seq = self.queue.next_seq();
+        let mut old = std::mem::take(&mut self.queue);
+        let mut queues: Vec<EventQueue<M>> = (0..k).map(|_| EventQueue::new()).collect();
+        while let Some(ev) = old.pop() {
+            let s = plan.node_shard[ev.dst.0] as usize;
+            queues[s].restore_push(ev.time, ev.seq, ev.dst, ev.msg);
+        }
+
+        let profiling = self.profiling || crate::profile::enabled();
+        if profiling {
+            for q in &mut queues {
+                q.set_profiling(true);
+            }
+        }
+
+        // Take over the thread probe: workers buffer emissions, the
+        // coordinator replays them merged in global dispatch order.
+        let mut real = crate::probe::take_thread_probe();
+        let trace_active = real.is_some();
+
+        let first = queues.iter().filter_map(|q| q.peek_time()).min();
+        let names: Vec<&'static str> = self.arenas.iter().map(|a| a.type_name()).collect();
+
+        let outs: Vec<WorkerOut<M>> = match first {
+            Some(first) if first <= until => {
+                let rngs = SyncPtr(self.rngs.as_mut_ptr());
+                let seqs = SyncPtr(self.send_seq.as_mut_ptr());
+                let arenas: &[Box<dyn NodeArena<M>>] = &self.arenas;
+                let locs: &[Loc] = &self.locs;
+                let node_shard: &[u32] = &plan.node_shard;
+                let classify = self.classify;
+                let end0 = SimTime(first.0.saturating_add(lookahead.0));
+
+                let make_worker = |w: usize, queue: EventQueue<M>| {
+                    let (cur, out) = if trace_active {
+                        let (c, o) = install_buffer_probe();
+                        (Some(c), Some(o))
+                    } else {
+                        (None, None)
+                    };
+                    ShardWorker {
+                        w,
+                        queue,
+                        staged: (0..k).map(|_| Vec::new()).collect(),
+                        arenas,
+                        locs,
+                        node_shard,
+                        rngs,
+                        seqs,
+                        classify,
+                        events: 0,
+                        cur,
+                        out,
+                        prof: profiling.then(|| LoopProf::new(arenas.len())),
+                    }
+                };
+                let finish_worker = |mut wk: ShardWorker<'_, M>,
+                                     counters: Option<crate::telemetry::RunCounters>|
+                 -> WorkerOut<M> {
+                    if wk.cur.is_some() {
+                        drop(crate::probe::take_thread_probe());
+                    }
+                    let cal = wk.queue.take_profile();
+                    WorkerOut {
+                        queue: wk.queue,
+                        events: wk.events,
+                        prof: wk.prof.take(),
+                        cal,
+                        counters,
+                    }
+                };
+
+                if k == 1 {
+                    // Single shard: same windows, same ordering keys and
+                    // the same merged probe order as k ≥ 2, with no
+                    // threads or barriers.
+                    let mut wk = make_worker(0, queues.pop().expect("one queue"));
+                    let mut s = first.0;
+                    loop {
+                        let e = s.saturating_add(lookahead.0);
+                        let cap = SimTime((e - 1).min(until.0));
+                        wk.run_window(cap, SimTime(e));
+                        if let (Some(p), Some(out)) = (real.as_deref_mut(), wk.out.as_ref()) {
+                            deliver_probe_recs(p, &mut out.borrow_mut());
+                        }
+                        match wk.queue.peek_time() {
+                            Some(t) if t <= until => s = t.0,
+                            _ => break,
+                        }
+                    }
+                    vec![finish_worker(wk, None)]
+                } else {
+                    let shared = EpochShared::<M>::new(k, first, end0);
+                    let mut rest: Vec<EventQueue<M>> = queues.split_off(1);
+                    let q0 = queues.pop().expect("shard 0 queue");
+                    let shared_ref = &shared;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = rest
+                            .drain(..)
+                            .enumerate()
+                            .map(|(i, q)| {
+                                let w = i + 1;
+                                scope.spawn(move || {
+                                    let marker = crate::telemetry::begin_run();
+                                    let mut wk = make_worker(w, q);
+                                    wk.epoch_loop(shared_ref, until);
+                                    finish_worker(wk, Some(marker.finish()))
+                                })
+                            })
+                            .collect();
+
+                        // Worker 0 + coordinator, on the calling thread.
+                        let mut wk = make_worker(0, q0);
+                        loop {
+                            let e = shared.end.load(Ordering::Relaxed);
+                            let cap = SimTime((e - 1).min(until.0));
+                            wk.run_window(cap, SimTime(e));
+                            wk.publish(&shared);
+                            shared.barrier.wait(); // A
+                            wk.drain_inbox(&shared);
+                            shared.barrier.wait(); // B
+                                                   // Coordinator: merge this epoch's probe
+                                                   // buffers in global order, pick the next
+                                                   // window (the global minimum pending time).
+                            if trace_active {
+                                let mut merged: Vec<ProbeRec> = Vec::new();
+                                for slot in &shared.probes {
+                                    merged.append(&mut slot.lock().expect("probe slot"));
+                                }
+                                if let Some(p) = real.as_deref_mut() {
+                                    deliver_probe_recs(p, &mut merged);
+                                }
+                            }
+                            let min = shared
+                                .mins
+                                .iter()
+                                .map(|m| m.load(Ordering::Relaxed))
+                                .min()
+                                .expect("k >= 1");
+                            if min > until.0 {
+                                shared.done.store(true, Ordering::Relaxed);
+                            } else {
+                                shared.start.store(min, Ordering::Relaxed);
+                                shared
+                                    .end
+                                    .store(min.saturating_add(lookahead.0), Ordering::Relaxed);
+                            }
+                            shared.barrier.wait(); // C
+                            if shared.done.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        let mut outs = vec![finish_worker(wk, None)];
+                        outs.extend(
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("shard worker panicked")),
+                        );
+                        outs
+                    })
+                }
+            }
+            _ => {
+                // Nothing pending at or before the horizon.
+                queues
+                    .into_iter()
+                    .map(|queue| WorkerOut {
+                        queue,
+                        events: 0,
+                        prof: None,
+                        cal: crate::profile::CalendarStats::default(),
+                        counters: None,
+                    })
+                    .collect()
+            }
+        };
+
+        // Merge the shard calendars back into one (a fresh queue, as in
+        // `restore`: the drained original's cursor has advanced past the
+        // remaining events' slices). Harvest per-worker accounting.
+        let mut fresh = EventQueue::new();
+        let mut total = 0u64;
+        for o in outs {
+            total += o.events;
+            if let Some(c) = &o.counters {
+                crate::telemetry::preload(c);
+            }
+            if profiling {
+                if let Some(p) = o.prof {
+                    crate::profile::merge_run(p, &o.cal, &names);
+                }
+            }
+            let mut q = o.queue;
+            while let Some(ev) = q.pop() {
+                fresh.restore_push(ev.time, ev.seq, ev.dst, ev.msg);
+            }
+        }
+        fresh.set_next_seq(saved_next_seq);
+        self.queue = fresh;
+        self.events_processed += total;
+        self.shard_plan = Some(plan);
+        if let Some(p) = real {
+            drop(crate::probe::install_thread_probe(p));
+        }
     }
 }
 

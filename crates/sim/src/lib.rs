@@ -31,10 +31,16 @@
 //! * [`snapshot`] — engine checkpointing: complete dynamic-state
 //!   snapshots (node fields, RNG streams, timer-wheel contents) that
 //!   restore into a rebuilt engine and resume byte-identically.
+//! * [`shard`] — conservative intra-run parallelism: the topology is
+//!   partitioned into shards that advance in lookahead-bounded epochs on
+//!   their own threads, with deterministic cross-shard merge — byte-
+//!   identical output at any shard count.
 //!
-//! The kernel is deliberately synchronous: a flow-control simulation is
-//! CPU-bound and must be deterministic, so an async runtime would add
-//! overhead and nondeterminism without benefit.
+//! The kernel is deliberately synchronous by default: a flow-control
+//! simulation is CPU-bound and must be deterministic, so an async runtime
+//! would add overhead and nondeterminism without benefit. The opt-in
+//! sharded path keeps that bargain by trading asynchrony for conservative
+//! time barriers.
 //!
 //! ## Example
 //!
@@ -60,7 +66,11 @@
 //! assert_eq!(engine.now(), SimTime::from_secs_f64(1.0));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the sharded run path ([`shard`]) holds nodes in
+// `UnsafeCell` arenas so disjoint shard workers can dispatch through a
+// shared reference. Every use is a scoped `#[allow(unsafe_code)]` with a
+// SAFETY argument; everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -70,6 +80,7 @@ pub mod flight;
 pub mod probe;
 pub mod profile;
 pub mod rng;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
@@ -86,6 +97,7 @@ pub use probe::{
 };
 pub use profile::{CalendarStats, ProfileEntry, ProfileMarker, ProfileReport};
 pub use rng::SeedStream;
+pub use shard::{set_shards, shards, ShardGuard, ShardHints};
 pub use snapshot::{
     EngineSnapshot, EventSnapshot, KvReader, KvWriter, NodeSnapshot, SnapshotMessage,
 };

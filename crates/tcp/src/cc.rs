@@ -22,7 +22,7 @@ pub struct CcStats {
 }
 
 /// A TCP congestion-control state machine (window arithmetic included).
-pub trait CongestionControl: Any {
+pub trait CongestionControl: Any + Send {
     /// Process a cumulative ACK; `ecn_echo` = the receiver echoed a
     /// congestion mark (freeze growth).
     fn on_ack(&mut self, ack: u64, ecn_echo: bool) -> AckResult;

@@ -17,7 +17,7 @@ use crate::source::TcpSource;
 use crate::vegas::{Vegas, VegasConfig};
 use phantom_metrics::Registry;
 use phantom_sim::stats::TimeSeries;
-use phantom_sim::{Engine, NodeId, SimDuration, SimTime};
+use phantom_sim::{Engine, NodeId, ShardHints, SimDuration, SimTime};
 
 /// Index of a router within the builder.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -367,6 +367,29 @@ impl TcpNetworkBuilder {
                 TcpMsg::Timer(TcpTimer::Measure { port: 0 }),
             );
         }
+
+        // Shard hints: the minimum declared propagation delay (trunks
+        // and access links) bounds every inter-node message, so it is a
+        // sound conservative lookahead for `--shards` runs. Both flow
+        // endpoints anchor to the flow's first router, keeping each
+        // access link and single-trunk data path shard-local.
+        let lookahead = self
+            .trunks
+            .iter()
+            .map(|t| t.prop)
+            .chain(self.flows.iter().map(|f| f.access_prop))
+            .min()
+            .unwrap_or(SimDuration::ZERO);
+        let mut affinity = Vec::with_capacity(flows.len() * 2);
+        for h in &flows {
+            let anchor = router_ids[h.path[0]];
+            affinity.push((h.source, anchor));
+            affinity.push((h.sink, anchor));
+        }
+        engine.set_shard_hints(ShardHints {
+            lookahead,
+            affinity,
+        });
 
         TcpNetwork {
             routers: router_ids,

@@ -95,7 +95,7 @@ impl QdiscTelemetry {
 }
 
 /// A router queue discipline (constant space, like the switch allocators).
-pub trait QueueDiscipline: Any {
+pub trait QueueDiscipline: Any + Send {
     /// Decide the fate of an arriving packet given the current queue
     /// state. Non-data packets should normally be enqueued untouched.
     fn on_arrival(

@@ -1,24 +1,50 @@
-//! End-to-end determinism acceptance for the timer-wheel calendar and
-//! busy-port cell batching.
+//! End-to-end determinism acceptance for the timer-wheel calendar,
+//! busy-port cell batching and intra-run PDES sharding.
 //!
 //! The event calendar was swapped (binary heap → hierarchical timer
-//! wheel) and busy ports may now emit up to `tx_batch_limit()` cells per
-//! `TxDone` inside the quiet window. Both are pure performance changes:
-//! the delivered event order — and therefore every probe event a run
-//! emits — must be exactly what the heap produced, at any `--jobs`
-//! level and any batch limit. This test pins that end to end on one ATM
-//! experiment (fig2) and one TCP experiment (fig17) by digesting the
-//! full JSONL traces across the `{jobs 1, jobs 4} × {batch 64, batch 1}`
-//! matrix.
+//! wheel), busy ports may emit up to `tx_batch_limit()` cells per
+//! `TxDone` inside the quiet window, and one run may now execute on
+//! several conservative shards (`--shards N`). All are pure performance
+//! changes within their contract: the delivered event order — and
+//! therefore every probe event a run emits — must be identical at any
+//! `--jobs` level, any batch limit and any shard count ≥ 1. (Shard
+//! count 0, the serial engine, uses a different equal-time tie-break
+//! and is pinned by the pre-existing serial matrix.) This test digests
+//! full JSONL traces across the `{shards 1,2,4} × {jobs 1,4} ×
+//! {batch 64,1}` matrix on one ATM experiment (fig2), one TCP
+//! experiment (fig17) and a generated metro scene (metro-chain-10k,
+//! shortened so the debug-build matrix stays fast).
 
 use phantom_repro::atm::{set_tx_batch_limit, tx_batch_limit};
 use phantom_repro::metrics::fnv1a_64;
 use phantom_repro::scenarios::sweep::{run_sweep_with, SweepJob, SweepOptions};
 use phantom_repro::sim::probe::KindSet;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, Once};
+
+/// Serializes the two matrix tests: both flip the process-global batch
+/// limit, and the harness runs test functions in parallel.
+static BATCH_LIMIT_LOCK: Mutex<()> = Mutex::new(());
 
 const SEED: u64 = 1996;
-const IDS: [&str; 2] = ["fig2", "fig17"];
+const IDS: [&str; 3] = ["fig2", "fig17", "metro-chain-10k"];
+
+/// Register a shortened metro-chain-10k (8 ms instead of the committed
+/// duration) as a dynamic experiment, once per process. The topology —
+/// and thus the shard partition — is exactly the committed scene's.
+fn register_short_metro() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("scenes/metro/metro-chain-10k.json"),
+        )
+        .expect("committed metro scene");
+        let mut scene = phantom_repro::scene::parse_scene(&text).expect("scene parses");
+        scene.duration_ms = 8.0;
+        phantom_repro::scene::register_scene(scene);
+    });
+}
 
 /// One configuration's fingerprints: per experiment id, the FNV-1a
 /// digest of the trace body (everything after the manifest line — the
@@ -33,7 +59,8 @@ struct Fingerprint {
     queue_peak: u64,
 }
 
-fn run_matrix_point(jobs: usize, tag: &str) -> BTreeMap<String, Fingerprint> {
+fn run_matrix_point(jobs: usize, shards: usize, tag: &str) -> BTreeMap<String, Fingerprint> {
+    register_short_metro();
     let dir = std::env::temp_dir().join(format!(
         "phantom-trace-determinism-{}-{tag}",
         std::process::id()
@@ -43,6 +70,7 @@ fn run_matrix_point(jobs: usize, tag: &str) -> BTreeMap<String, Fingerprint> {
         trace_dir: Some(dir.clone()),
         trace_filter: KindSet::ALL,
         analyze_window: None,
+        shards,
         ..SweepOptions::default()
     };
     let batch: Vec<SweepJob> = IDS
@@ -79,24 +107,25 @@ fn run_matrix_point(jobs: usize, tag: &str) -> BTreeMap<String, Fingerprint> {
     out
 }
 
-/// The full matrix in one test: the four `{jobs} × {batch limit}`
-/// configurations must produce identical trace digests, event counts and
-/// telemetry per experiment. One test function (not four) because the
-/// batch limit is process-global and the harness runs tests in parallel.
+/// The serial matrix: `{jobs} × {batch limit}` at shards 0 must produce
+/// identical trace digests, event counts and telemetry per experiment.
+/// One test function (not four) because the batch limit is
+/// process-global and the harness runs tests in parallel.
 #[test]
 fn traces_are_identical_across_jobs_and_batch_limits() {
+    let _lock = BATCH_LIMIT_LOCK.lock().unwrap();
     let default_limit = tx_batch_limit();
     assert_eq!(default_limit, 64, "documented default batch limit");
 
-    let reference = run_matrix_point(1, "j1-b64");
+    let reference = run_matrix_point(1, 0, "serial-j1-b64");
     let variants = [
-        (4, default_limit, "j4-b64"),
-        (1, 1, "j1-b1"),
-        (4, 1, "j4-b1"),
+        (4, default_limit, "serial-j4-b64"),
+        (1, 1, "serial-j1-b1"),
+        (4, 1, "serial-j4-b1"),
     ];
     for (jobs, limit, tag) in variants {
         set_tx_batch_limit(limit);
-        let got = run_matrix_point(jobs, tag);
+        let got = run_matrix_point(jobs, 0, tag);
         set_tx_batch_limit(default_limit);
         for id in IDS {
             assert_eq!(
@@ -111,5 +140,46 @@ fn traces_are_identical_across_jobs_and_batch_limits() {
             "{id}: the determinism check must cover a substantial run, saw {}",
             reference[id].events
         );
+    }
+}
+
+/// The sharded matrix: every `{shards 1,2,4} × {jobs 1,4} × {batch
+/// 64,1}` point must match the `shards=1, jobs=1, batch=64` reference
+/// byte for byte — the `--shards` determinism contract, proven one
+/// level below the `--jobs` one.
+#[test]
+fn traces_are_identical_across_shard_counts() {
+    let _lock = BATCH_LIMIT_LOCK.lock().unwrap();
+    let default_limit = tx_batch_limit();
+    let reference = run_matrix_point(1, 1, "shard-s1-j1-b64");
+    for id in IDS {
+        assert!(
+            reference[id].events > 10_000,
+            "{id}: the shard determinism check must cover a substantial run, saw {}",
+            reference[id].events
+        );
+    }
+    let mut variants = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for jobs in [1usize, 4] {
+            for batch in [default_limit, 1] {
+                if (shards, jobs, batch) != (1, 1, default_limit) {
+                    variants.push((shards, jobs, batch));
+                }
+            }
+        }
+    }
+    for (shards, jobs, batch) in variants {
+        set_tx_batch_limit(batch);
+        let tag = format!("shard-s{shards}-j{jobs}-b{batch}");
+        let got = run_matrix_point(jobs, shards, &tag);
+        set_tx_batch_limit(default_limit);
+        for id in IDS {
+            assert_eq!(
+                got[id], reference[id],
+                "{id} at shards={shards} jobs={jobs} batch={batch} must match \
+                 shards=1 jobs=1 batch={default_limit}"
+            );
+        }
     }
 }
