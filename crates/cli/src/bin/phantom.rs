@@ -22,13 +22,17 @@ use phantom_cli::{
 };
 use phantom_scenarios::registry::all_experiments;
 use phantom_scenarios::shape::targets_for;
-use phantom_scene::{load_scene_dir, parse_scene};
+use phantom_scene::{check_error_json, check_ok_json, load_scene_dir, parse_scene, Json};
 use phantom_sim::probe::KindSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Seed for scene runs when `--seed` is not given (the sweep default).
 const DEFAULT_SCENE_SEED: u64 = 1996;
+
+/// Default `--server` for `phantom submit` / `phantom jobs`, matching
+/// the default `phantom serve --listen`.
+const DEFAULT_SERVER: &str = "127.0.0.1:8790";
 
 /// `trace-lint` exit code for a structurally invalid trace.
 const EXIT_INVALID: u8 = 1;
@@ -57,6 +61,16 @@ fn usage() -> ExitCode {
     eprintln!("       phantom diverge <a.jsonl> <b.jsonl> [--context N] [--out F]");
     eprintln!("                       [--checkpoints DIR]       # first divergent event + state");
     eprintln!("                                                 # diff; exit 0 same, 3 diverged");
+    eprintln!("       phantom serve [--listen ADDR] [--workers N] [--queue N] [--spool DIR]");
+    eprintln!("                                                 # phantom-as-a-service daemon;");
+    eprintln!("                                                 # SIGTERM drains and exits 0");
+    eprintln!("       phantom submit <scene.json> [--server H:P] [--seed N] [--storm N]");
+    eprintln!("                                                 # POST a scene; --storm floods N");
+    eprintln!("       phantom jobs [ID] [--server H:P] [--cancel] [--trace-out F] [--analysis]");
+    eprintln!("                                                 # list/inspect/cancel server jobs");
+    eprintln!(
+        "       check <file> [--json]                     # machine-readable phantom-check/1"
+    );
     eprintln!("       ... [--jobs N]                            # parallel sweep/compare runs");
     eprintln!("       ... [--seed N]                            # override the run seed");
     eprintln!("       run ... [--trace F.jsonl] [--trace-filter KINDS]  # JSONL event trace");
@@ -122,11 +136,18 @@ fn scene_command(
     input: &str,
     seed: Option<u64>,
     analyze: bool,
+    json: bool,
     opts: &RunOptions,
 ) -> ExitCode {
     let scene = match parse_scene(input) {
         Ok(s) => s,
         Err(e) => {
+            // `check --json` keeps the exact error text, wrapped in the
+            // phantom-check/1 envelope (the same body the serve daemon
+            // returns for a 400); stderr keeps the prose form either way.
+            if json && cmd == "check" {
+                println!("{}", check_error_json(path, &e));
+            }
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -134,7 +155,9 @@ fn scene_command(
     let seed = seed.unwrap_or(DEFAULT_SCENE_SEED);
     match cmd {
         "check" => {
-            if let Some(generate) = &scene.generate {
+            if json {
+                println!("{}", check_ok_json(path, &scene));
+            } else if let Some(generate) = &scene.generate {
                 // Generated scenes declare no explicit lists; report the
                 // shape the generator will expand to.
                 println!(
@@ -596,10 +619,21 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_command(args);
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        return submit_command(args);
+    }
+    if args.first().map(String::as_str) == Some("jobs") {
+        return jobs_command(args);
+    }
+
     let mut jobs = 1usize;
     let mut seed: Option<u64> = None;
     let mut until: Option<phantom_sim::SimTime> = None;
     let analyze = take_switch(&mut args, "--analyze");
+    let json_check = take_switch(&mut args, "--json");
     let mut opts = RunOptions {
         verbose: take_switch(&mut args, "-v"),
         ..RunOptions::default()
@@ -712,9 +746,13 @@ fn main() -> ExitCode {
     // Checkpoints embed the original input so `phantom resume` can
     // rebuild the topology without the file.
     opts.checkpoint_source = input.clone();
+    if json_check && cmd != "check" {
+        eprintln!("error: --json applies to `phantom check`");
+        return ExitCode::FAILURE;
+    }
     // A scene document starts with `{`; the topology DSL never does.
     if input.trim_start().starts_with('{') {
-        return scene_command(cmd, path, &input, seed, analyze, &opts);
+        return scene_command(cmd, path, &input, seed, analyze, json_check, &opts);
     }
     if analyze {
         eprintln!("error: --analyze applies to scene files; for traces use `phantom analyze`");
@@ -723,6 +761,9 @@ fn main() -> ExitCode {
     let mut spec = match parse_str(&input) {
         Ok(s) => s,
         Err(e) => {
+            if json_check {
+                println!("{}", check_error_json(path, &e.to_string()));
+            }
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -733,12 +774,27 @@ fn main() -> ExitCode {
     opts.scenario = path.to_string();
     let outcome = match cmd {
         "check" => {
-            println!(
-                "{path}: ok ({} switches, {} trunks, {} sessions)",
-                spec.switches.len(),
-                spec.trunks.len(),
-                spec.sessions.len()
-            );
+            if json_check {
+                println!(
+                    "{}",
+                    Json::Obj(vec![
+                        ("schema".into(), Json::Str("phantom-check/1".into())),
+                        ("ok".into(), Json::Bool(true)),
+                        ("file".into(), Json::Str(path.into())),
+                        ("switches".into(), Json::Num(spec.switches.len() as f64)),
+                        ("trunks".into(), Json::Num(spec.trunks.len() as f64)),
+                        ("sessions".into(), Json::Num(spec.sessions.len() as f64)),
+                    ])
+                    .dump()
+                );
+            } else {
+                println!(
+                    "{path}: ok ({} switches, {} trunks, {} sessions)",
+                    spec.switches.len(),
+                    spec.trunks.len(),
+                    spec.sessions.len()
+                );
+            }
             Ok(())
         }
         "predict" => predict(&spec).map(|text| print!("{text}")),
@@ -757,6 +813,227 @@ fn main() -> ExitCode {
         }
         _ => return usage(),
     };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `phantom serve`: run the phantom-serve daemon in the foreground
+/// until SIGTERM drains it (then exit 0).
+fn serve_command(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<phantom_serve::ServerConfig, String> {
+        let mut cfg = phantom_serve::ServerConfig {
+            listen: DEFAULT_SERVER.to_string(),
+            ..phantom_serve::ServerConfig::default()
+        };
+        if let Some(v) = take_value(&mut args, "--listen")? {
+            cfg.listen = v;
+        }
+        if let Some(v) = take_value(&mut args, "--workers")? {
+            cfg.workers = match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return Err(format!("bad workers: {v}")),
+            };
+        }
+        if let Some(v) = take_value(&mut args, "--queue")? {
+            cfg.queue_cap = match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return Err(format!("bad queue: {v}")),
+            };
+        }
+        if let Some(v) = take_value(&mut args, "--spool")? {
+            cfg.spool = Some(PathBuf::from(v));
+        }
+        if args.len() != 1 {
+            return Err(format!("unexpected arguments: {}", args[1..].join(" ")));
+        }
+        Ok(cfg)
+    })();
+    let cfg = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match phantom_serve::serve(cfg, true) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `phantom submit`: POST a scene to a running daemon; `--storm N`
+/// floods N copies through the bounded queue and reports what the
+/// admission control did.
+fn submit_command(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<(String, Option<u64>, Option<usize>), String> {
+        let server = take_value(&mut args, "--server")?.unwrap_or_else(|| DEFAULT_SERVER.into());
+        let seed = match take_value(&mut args, "--seed")? {
+            Some(v) => Some(v.parse::<u64>().map_err(|_| format!("bad seed: {v}"))?),
+            None => None,
+        };
+        let storm = match take_value(&mut args, "--storm")? {
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => return Err(format!("bad storm count: {v}")),
+            },
+            None => None,
+        };
+        Ok((server, seed, storm))
+    })();
+    let (server, seed, storm) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let [_, path] = args.as_slice() else {
+        return usage();
+    };
+    let scene_text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(n) = storm {
+        let seed0 = seed.unwrap_or(phantom_serve::DEFAULT_SEED);
+        return match phantom_serve::client::storm(&server, &scene_text, n, seed0) {
+            Ok(report) => {
+                let done = report
+                    .final_states
+                    .iter()
+                    .filter(|(_, s)| s == "done")
+                    .count();
+                println!(
+                    "storm: {} submitted, {} admitted ({} retries after 429), {} done, \
+                     {} dropped, {} server errors, peak queue depth {}",
+                    n,
+                    report.admitted.len(),
+                    report.retries_429,
+                    done,
+                    report.dropped,
+                    report.server_errors,
+                    report.depth_samples.iter().copied().max().unwrap_or(0),
+                );
+                if report.dropped == 0 && report.server_errors == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match phantom_serve::client::submit(&server, &scene_text, seed) {
+        Ok(resp) => {
+            let body = String::from_utf8_lossy(&resp.body);
+            if resp.status == 202 {
+                println!("{}", body.trim_end());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: server answered {}: {}", resp.status, body.trim());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `phantom jobs`: list jobs, or inspect/cancel one (`--cancel`,
+/// `--trace-out F` to save the streamed trace, `--analysis` for the
+/// report). Unknown ids surface the server's edit-distance hint.
+fn jobs_command(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<(String, bool, Option<String>, bool), String> {
+        let server = take_value(&mut args, "--server")?.unwrap_or_else(|| DEFAULT_SERVER.into());
+        let cancel = take_switch(&mut args, "--cancel");
+        let trace_out = take_value(&mut args, "--trace-out")?;
+        let analysis = take_switch(&mut args, "--analysis");
+        Ok((server, cancel, trace_out, analysis))
+    })();
+    let (server, cancel, trace_out, analysis) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let id = match args.as_slice() {
+        [_] => None,
+        [_, id] => Some(id.clone()),
+        _ => return usage(),
+    };
+    let Some(id) = id else {
+        if cancel || trace_out.is_some() || analysis {
+            eprintln!("error: --cancel/--trace-out/--analysis need a job id");
+            return ExitCode::FAILURE;
+        }
+        return match phantom_serve::client::list(&server) {
+            Ok(resp) if resp.status == 200 => {
+                println!("{}", String::from_utf8_lossy(&resp.body).trim_end());
+                ExitCode::SUCCESS
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "error: server answered {}: {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body).trim()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    };
+    let outcome = (|| -> Result<(), String> {
+        if cancel {
+            let resp = phantom_serve::client::cancel(&server, &id)?;
+            let body = String::from_utf8_lossy(&resp.body).trim_end().to_string();
+            if resp.status != 200 {
+                return Err(format!("server answered {}: {}", resp.status, body));
+            }
+            println!("{body}");
+        }
+        if let Some(out) = &trace_out {
+            let bytes = phantom_serve::client::fetch_trace(&server, &id)?;
+            std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {} trace bytes to {out}", bytes.len());
+        }
+        if analysis {
+            let resp = phantom_serve::client::fetch_analysis(&server, &id)?;
+            let body = String::from_utf8_lossy(&resp.body).trim_end().to_string();
+            if resp.status != 200 {
+                return Err(format!("server answered {}: {}", resp.status, body));
+            }
+            println!("{body}");
+        }
+        if !cancel && trace_out.is_none() && !analysis {
+            let resp = phantom_serve::client::job_record(&server, &id)?;
+            let body = String::from_utf8_lossy(&resp.body).trim_end().to_string();
+            if resp.status != 200 {
+                return Err(format!("server answered {}: {}", resp.status, body));
+            }
+            println!("{body}");
+        }
+        Ok(())
+    })();
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -86,10 +86,19 @@ struct Metric {
     slot: Slot,
 }
 
+/// The content-type a Prometheus scraper expects for the text
+/// exposition format rendered by [`Registry::to_prometheus`].
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Fallback `# HELP` text for families registered without
+/// [`Registry::set_help`].
+const NO_HELP: &str = "phantom metric (no help registered)";
+
 /// The metric registry for one run. Cloning shares the underlying list.
 #[derive(Clone, Default)]
 pub struct Registry {
     metrics: Rc<RefCell<Vec<Metric>>>,
+    help: Rc<RefCell<Vec<(String, String)>>>,
 }
 
 fn check_name(name: &str) {
@@ -188,6 +197,30 @@ impl Registry {
         HistogramHandle(hist)
     }
 
+    /// Attach `# HELP` text to the metric family `name` (all samples of
+    /// the family share it, per the exposition format). Last call wins;
+    /// families without help render the explicit fallback text, so a
+    /// scraper always sees exactly one `# HELP` line per family.
+    pub fn set_help(&self, name: &str, help: &str) {
+        check_name(name);
+        let mut table = self.help.borrow_mut();
+        match table.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = help.to_string(),
+            None => table.push((name.to_string(), help.to_string())),
+        }
+    }
+
+    /// The help text for family `name` — registered or fallback —
+    /// escaped for the exposition format (`\\` and `\n`).
+    fn help_for(&self, name: &str) -> String {
+        let table = self.help.borrow();
+        let text = table
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(NO_HELP, |(_, h)| h.as_str());
+        text.replace('\\', "\\\\").replace('\n', "\\n")
+    }
+
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
         self.metrics.borrow().len()
@@ -208,8 +241,9 @@ impl Registry {
     ///
     /// Samples are grouped by metric family (in first-registration
     /// order) — the text format requires every sample of a family to sit
-    /// consecutively under a single `# TYPE` line, even when nodes
-    /// registered the families interleaved.
+    /// consecutively under a single `# HELP`/`# TYPE` pair, even when
+    /// nodes registered the families interleaved. Serve the result with
+    /// [`PROMETHEUS_CONTENT_TYPE`].
     pub fn to_prometheus(&self, manifest: &Manifest) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# manifest: {}", manifest.to_json());
@@ -227,6 +261,7 @@ impl Registry {
                 match &m.slot {
                     Slot::Counter(c) => {
                         if !typed {
+                            let _ = writeln!(out, "# HELP {name} {}", self.help_for(name));
                             let _ = writeln!(out, "# TYPE {name} counter");
                             typed = true;
                         }
@@ -234,6 +269,7 @@ impl Registry {
                     }
                     Slot::Gauge(g) => {
                         if !typed {
+                            let _ = writeln!(out, "# HELP {name} {}", self.help_for(name));
                             let _ = writeln!(out, "# TYPE {name} gauge");
                             typed = true;
                         }
@@ -243,6 +279,7 @@ impl Registry {
                     }
                     Slot::Histogram(h) => {
                         if !typed {
+                            let _ = writeln!(out, "# HELP {name} {}", self.help_for(name));
                             let _ = writeln!(out, "# TYPE {name} histogram");
                             typed = true;
                         }
@@ -418,6 +455,7 @@ mod tests {
         assert_eq!(
             body,
             "\
+# HELP q_cells phantom metric (no help registered)
 # TYPE q_cells histogram
 q_cells_bucket{port=\"0\",le=\"1\"} 1
 q_cells_bucket{port=\"0\",le=\"2\"} 2
@@ -433,6 +471,7 @@ q_cells_bucket{port=\"1\",le=\"4\"} 0
 q_cells_bucket{port=\"1\",le=\"+Inf\"} 1
 q_cells_sum{port=\"1\"} 9
 q_cells_count{port=\"1\"} 1
+# HELP tx_total phantom metric (no help registered)
 # TYPE tx_total counter
 tx_total{port=\"0\"} 1
 tx_total{port=\"1\"} 2
@@ -468,6 +507,44 @@ tx_total{port=\"1\"} 2
         let q0 = prom.find("q_cells{port=\"0\"}").unwrap();
         assert!(tx0 < tx1 && tx1 < q0, "families must be consecutive");
         assert_eq!(prom.matches("# TYPE").count(), 2);
+    }
+
+    #[test]
+    fn every_family_renders_help_and_type_exactly_once() {
+        // One registry carrying all three metric kinds, two of them
+        // multi-sample families, one with registered help and a
+        // newline to escape: each family must render `# HELP` and
+        // `# TYPE` exactly once, HELP immediately before TYPE.
+        let reg = Registry::new();
+        reg.counter("jobs_total", &[("state", "done")]).inc();
+        reg.counter("jobs_total", &[("state", "failed")]).inc();
+        reg.gauge("queue_depth", &[]).set(SimTime::ZERO, 3.0);
+        reg.histogram("run_seconds", &[("worker", "0")], 0.5, 4)
+            .record(0.7);
+        reg.histogram("run_seconds", &[("worker", "1")], 0.5, 4)
+            .record(1.2);
+        reg.set_help("jobs_total", "jobs admitted, by terminal state");
+        reg.set_help("queue_depth", "first\nsecond \\ line");
+        let prom = reg.to_prometheus(&manifest());
+        for name in ["jobs_total", "queue_depth", "run_seconds"] {
+            assert_eq!(
+                prom.matches(&format!("# HELP {name} ")).count(),
+                1,
+                "{name}: HELP must appear exactly once"
+            );
+            assert_eq!(
+                prom.matches(&format!("# TYPE {name} ")).count(),
+                1,
+                "{name}: TYPE must appear exactly once"
+            );
+            let help = prom.find(&format!("# HELP {name} ")).unwrap();
+            let ty = prom.find(&format!("# TYPE {name} ")).unwrap();
+            assert!(help < ty, "{name}: HELP must precede TYPE");
+        }
+        assert!(prom.contains("# HELP jobs_total jobs admitted, by terminal state\n"));
+        assert!(prom.contains("# HELP queue_depth first\\nsecond \\\\ line\n"));
+        assert!(prom.contains("# HELP run_seconds phantom metric (no help registered)\n"));
+        assert_eq!(PROMETHEUS_CONTENT_TYPE, "text/plain; version=0.0.4");
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod tcp;
 pub mod tcp_ablation;
 pub mod wan;
 
-pub use registry::{all_experiments, run_experiment, ExperimentOutput};
+pub use registry::{all_experiments, run_experiment, suggest_from, suggest_id, ExperimentOutput};
 pub use sweep::{run_sweep, SweepJob, SweepRun};

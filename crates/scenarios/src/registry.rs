@@ -308,7 +308,18 @@ pub fn known_ids() -> Vec<String> {
 /// longest common prefix (so `fig90` suggests `fig9`, not `fig20`),
 /// then alphabetically.
 pub fn suggest_id(unknown: &str) -> Option<String> {
-    let ids = known_ids();
+    suggest_from(known_ids(), unknown)
+}
+
+/// [`suggest_id`] over an arbitrary candidate list — the same
+/// edit-distance hint for id namespaces other than the experiment
+/// registry (e.g. server job ids). Same tie-breaks: longest common
+/// prefix, then alphabetical; same cutoff (distance > half the longer
+/// length means no suggestion).
+pub fn suggest_from<I>(ids: I, unknown: &str) -> Option<String>
+where
+    I: IntoIterator<Item = String>,
+{
     let (dist, _, best) = ids
         .into_iter()
         .map(|id| {

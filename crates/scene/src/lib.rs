@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod compile;
 pub mod json;
 pub mod model;
 pub mod run;
 
+pub use check::{check_error_json, check_ok_json, CHECK_SCHEMA};
 pub use compile::{compile, CompiledScene};
 pub use json::Json;
 pub use model::{

@@ -1,0 +1,171 @@
+//! A minimal client for the daemon: `phantom submit` / `phantom jobs`
+//! and the integration tests speak to the server through these
+//! helpers, over the same [`crate::http`] wire code the server uses.
+
+use crate::http::{self, Response};
+use phantom_scene::Json;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Normalize a `--server` value to `host:port` (an optional `http://`
+/// prefix and trailing `/` are tolerated).
+fn host_port(server: &str) -> &str {
+    server.trim_start_matches("http://").trim_end_matches('/')
+}
+
+/// One request/response round trip (`Connection: close` per request).
+pub fn request(
+    server: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<Response, String> {
+    let addr = host_port(server);
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let body = body.unwrap_or(&[]);
+    use std::io::Write as _;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .and_then(|()| stream.write_all(body))
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    http::read_response(&mut stream).map_err(|e| format!("bad response: {e}"))
+}
+
+/// Submit a scene document; returns the raw response (202 + job record
+/// on success, 400/429/503 otherwise).
+pub fn submit(server: &str, scene_text: &str, seed: Option<u64>) -> Result<Response, String> {
+    let path = match seed {
+        Some(s) => format!("/v1/jobs?seed={s}"),
+        None => "/v1/jobs".to_string(),
+    };
+    request(server, "POST", &path, Some(scene_text.as_bytes()))
+}
+
+/// Fetch one job record.
+pub fn job_record(server: &str, id: &str) -> Result<Response, String> {
+    request(server, "GET", &format!("/v1/jobs/{id}"), None)
+}
+
+/// Fetch the job listing (records + queue depth).
+pub fn list(server: &str) -> Result<Response, String> {
+    request(server, "GET", "/v1/jobs", None)
+}
+
+/// Request cooperative cancellation.
+pub fn cancel(server: &str, id: &str) -> Result<Response, String> {
+    request(server, "DELETE", &format!("/v1/jobs/{id}"), None)
+}
+
+/// Stream a job's trace to completion; blocks (server-side) until the
+/// job is terminal, then returns the complete `phantom-trace/1` bytes.
+pub fn fetch_trace(server: &str, id: &str) -> Result<Vec<u8>, String> {
+    let resp = request(server, "GET", &format!("/v1/jobs/{id}/trace"), None)?;
+    if resp.status != 200 {
+        return Err(format!(
+            "trace fetch failed ({}): {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body).trim()
+        ));
+    }
+    Ok(resp.body)
+}
+
+/// Fetch the (final or incremental) analysis report.
+pub fn fetch_analysis(server: &str, id: &str) -> Result<Response, String> {
+    request(server, "GET", &format!("/v1/jobs/{id}/analysis"), None)
+}
+
+/// What a [`storm`] run observed.
+#[derive(Debug, Default)]
+pub struct StormReport {
+    /// Ids of the jobs the server admitted (in submission order).
+    pub admitted: Vec<String>,
+    /// Submissions the caller had to retry after a 429.
+    pub retries_429: u64,
+    /// 5xx responses observed anywhere in the storm.
+    pub server_errors: u64,
+    /// Submissions abandoned for any other reason.
+    pub dropped: u64,
+    /// Queue depth samples taken after the last admission, in order.
+    pub depth_samples: Vec<u64>,
+    /// `(id, terminal state)` for every admitted job.
+    pub final_states: Vec<(String, String)>,
+}
+
+/// Submit `n` copies of `scene_text` (seeds `seed0..seed0+n`) as fast
+/// as the bounded queue admits them — retrying 429s with a short
+/// backoff — then poll until every admitted job reaches a terminal
+/// state, sampling the queue depth on each poll.
+pub fn storm(server: &str, scene_text: &str, n: usize, seed0: u64) -> Result<StormReport, String> {
+    let mut report = StormReport::default();
+    for k in 0..n {
+        loop {
+            let resp = submit(server, scene_text, Some(seed0 + k as u64))?;
+            match resp.status {
+                202 => {
+                    let body = String::from_utf8_lossy(&resp.body);
+                    let j = Json::parse(body.trim()).map_err(|e| format!("bad job record: {e}"))?;
+                    let id = j
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or("job record missing id")?
+                        .to_string();
+                    report.admitted.push(id);
+                    break;
+                }
+                429 => {
+                    report.retries_429 += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                s if s >= 500 => {
+                    report.server_errors += 1;
+                    report.dropped += 1;
+                    break;
+                }
+                _ => {
+                    report.dropped += 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Poll to completion, sampling the queue depth each round.
+    loop {
+        let resp = list(server)?;
+        if resp.status >= 500 {
+            report.server_errors += 1;
+        }
+        let body = String::from_utf8_lossy(&resp.body);
+        let j = Json::parse(body.trim()).map_err(|e| format!("bad listing: {e}"))?;
+        let depth = j.get("queue_depth").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        report.depth_samples.push(depth);
+        let jobs = match j.get("jobs") {
+            Some(Json::Arr(jobs)) => jobs,
+            _ => return Err("listing missing jobs array".into()),
+        };
+        let state_of = |id: &str| {
+            jobs.iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+                .and_then(|r| r.get("state"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        let mut all_terminal = true;
+        let mut states = Vec::with_capacity(report.admitted.len());
+        for id in &report.admitted {
+            let state = state_of(id).unwrap_or_else(|| "missing".into());
+            if !matches!(state.as_str(), "done" | "failed" | "cancelled") {
+                all_terminal = false;
+            }
+            states.push((id.clone(), state));
+        }
+        if all_terminal {
+            report.final_states = states;
+            return Ok(report);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

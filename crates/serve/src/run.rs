@@ -1,0 +1,117 @@
+//! Run one admitted job on a worker thread.
+//!
+//! The probe and manifest assembly mirrors the CLI's scene runner
+//! (`phantom run scene.json --trace --analyze`) *exactly* — same
+//! [`Manifest::new`] arguments, same `JsonlProbe::with_manifest` spool,
+//! same [`run_standard`] drive — which is what makes a trace streamed
+//! from the daemon byte-identical to one written by `phantom run` for
+//! the same `(scene, seed)`. The only additions are a [`CancelToken`]
+//! installed for the engine thread (cooperative cancellation at
+//! calendar-slice granularity) and a heartbeat callback fired between
+//! pre-drive slices; both are pure observability and change no event.
+
+use phantom_analyze::{AnalysisSink, StreamingAnalyzer, DEFAULT_WINDOW_SECS};
+use phantom_metrics::manifest::{Manifest, TRACE_SCHEMA};
+use phantom_scenarios::atm::run_standard;
+use phantom_scene::{analysis_targets, compile, CompiledScene, Scene};
+use phantom_sim::probe::{Probe, ProbeGuard, TeeProbe};
+use phantom_sim::{telemetry, CancelGuard, CancelToken, SimTime};
+use std::path::Path;
+
+/// Heartbeat slices per run: the engine is pre-driven to the horizon in
+/// this many pieces so the job table can report live progress. The
+/// results are identical to one big `run_until` (the PR 7 contract).
+const HEARTBEAT_SLICES: u64 = 20;
+
+/// Cap on the sim-time width of one heartbeat slice (10 ms). Without
+/// it a long-horizon job on a big scene would report no progress for
+/// minutes of wall time between beats.
+const MAX_HEARTBEAT_STEP_NS: u64 = 10_000_000;
+
+/// What one finished run produced.
+pub struct JobOutcome {
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// True when the run stopped on the cancel token.
+    pub cancelled: bool,
+    /// Wall-clock seconds spent driving the engine.
+    pub wall_secs: f64,
+}
+
+/// Compile and run `scene` under `seed`, spooling the trace to
+/// `trace_path` and the final `phantom-analysis/1` report to
+/// `analysis_path`. `heartbeat(events, sim_secs)` fires after every
+/// pre-drive slice; `cancel` stops the run cooperatively.
+pub fn run_job(
+    scene: &Scene,
+    seed: u64,
+    trace_path: &Path,
+    analysis_path: &Path,
+    cancel: CancelToken,
+    heartbeat: &mut dyn FnMut(u64, f64),
+) -> Result<JobOutcome, String> {
+    let wall_start = std::time::Instant::now();
+    let manifest = Manifest::new(TRACE_SCHEMA, &scene.id, seed, &scene.id);
+    let CompiledScene {
+        mut engine,
+        net,
+        until,
+        bottleneck,
+        traced,
+        tail_from_secs,
+    } = compile(scene, seed);
+
+    let analyzer = StreamingAnalyzer::new(&manifest, analysis_targets(scene), DEFAULT_WINDOW_SECS);
+    let (sink, handle) = AnalysisSink::new(analyzer);
+    let file = std::fs::File::create(trace_path)
+        .map_err(|e| format!("cannot create spool {}: {e}", trace_path.display()))?;
+    let trace = phantom_sim::JsonlProbe::with_manifest(file, &manifest.to_json())
+        .map_err(|e| format!("cannot write spool {}: {e}", trace_path.display()))?;
+    // Probe order matches the CLI runner: analysis tap, then trace.
+    let _guard = ProbeGuard::install(Box::new(
+        TeeProbe::new()
+            .and(Box::new(sink) as Box<dyn Probe>)
+            .and(Box::new(trace)),
+    ));
+    let _cancel_guard = CancelGuard::new(cancel);
+
+    let marker = telemetry::begin_run();
+    let events_before = phantom_sim::thread_events_dispatched();
+    // Pre-drive to the horizon in heartbeat slices (the engine checks
+    // the cancel token once per calendar slice inside each call);
+    // `run_standard`'s own `run_until(until)` then finds no work left.
+    let step = (until.0 / HEARTBEAT_SLICES).clamp(1, MAX_HEARTBEAT_STEP_NS);
+    let mut target = 0u64;
+    while target < until.0 && !engine.cancelled() {
+        target = (target + step).min(until.0);
+        engine.run_until(SimTime(target));
+        heartbeat(
+            phantom_sim::thread_events_dispatched() - events_before,
+            engine.now().as_secs_f64(),
+        );
+    }
+    let (engine, _net, _result) = run_standard(
+        engine,
+        net,
+        until,
+        &scene.id,
+        &scene.describe,
+        "compiled from a phantom-scene/1 file",
+        bottleneck,
+        &traced,
+        tail_from_secs,
+    );
+    let cancelled = engine.cancelled();
+    let events = phantom_sim::thread_events_dispatched() - events_before;
+    let _counters = marker.finish();
+    drop(_guard); // flush the spooled trace before the state flips
+    if let Some(report) = handle.finish() {
+        std::fs::write(analysis_path, report.to_json())
+            .map_err(|e| format!("cannot write analysis {}: {e}", analysis_path.display()))?;
+    }
+    Ok(JobOutcome {
+        events,
+        cancelled,
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+    })
+}

@@ -1,0 +1,52 @@
+//! SIGTERM → drain, without a libc crate.
+//!
+//! The container has no external crates, but `std` already links libc
+//! on unix, so the one symbol needed — `signal(2)` — is declared here
+//! directly. The handler does the only thing that is async-signal-safe
+//! and useful: it sets an atomic flag, which the serve loop polls at
+//! 50 ms cadence to initiate the graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the SIGTERM handler once installed.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Has a SIGTERM arrived since [`install_sigterm_flag`]?
+pub fn sigterm_seen() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM to the drain flag. No-op off unix.
+#[cfg(unix)]
+pub fn install_sigterm_flag() {
+    // SAFETY: `signal` is the POSIX libc function std already links;
+    // the handler only stores to an atomic, which is async-signal-safe.
+    #[allow(unsafe_code)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        signal(SIGTERM, on_term as *const () as usize);
+    }
+}
+
+/// Route SIGTERM to the drain flag. No-op off unix.
+#[cfg(not(unix))]
+pub fn install_sigterm_flag() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_sets_the_flag() {
+        assert!(!sigterm_seen());
+        on_term(15);
+        assert!(sigterm_seen());
+    }
+}

@@ -426,6 +426,10 @@ pub struct Engine<M> {
     shard_hints: Option<ShardHints>,
     /// Cached partition for the current `(shard count, node count)`.
     shard_plan: Option<ShardPlan>,
+    /// Sticky flag: a [`crate::cancel::CancelToken`] stopped a run call
+    /// early. Once set it never clears — a cancelled engine is for
+    /// post-mortem inspection, not further simulation.
+    cancelled: bool,
 }
 
 /// A computed node-to-shard assignment, cached across `run_until` slices.
@@ -453,6 +457,7 @@ impl<M: 'static> Engine<M> {
             send_seq: Vec::new(),
             shard_hints: None,
             shard_plan: None,
+            cancelled: false,
         }
     }
 
@@ -579,6 +584,13 @@ impl<M: 'static> Engine<M> {
         self.queue.len()
     }
 
+    /// Did a [`crate::cancel::CancelToken`] stop a run call early? Sticky
+    /// once set. A cancelled engine's clock sits at the last dispatched
+    /// event, not the requested horizon.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
+    }
+
     /// Deliver one already-popped event: advance the clock, run the
     /// destination node, and move anything it sent into the calendar.
     #[inline]
@@ -668,8 +680,9 @@ impl<M: 'static> Engine<M> {
         let done = self.events_processed - start;
         note_dispatched(done);
         // `done` can overshoot `max_events` via coalescing; either way a
-        // cap-limited stop must not advance the clock past real events.
-        if done < max_events && self.now < t {
+        // cap-limited stop must not advance the clock past real events —
+        // and neither must a cancelled one.
+        if done < max_events && self.now < t && !self.cancelled {
             self.now = t;
         }
         done
@@ -697,10 +710,19 @@ impl<M: 'static> Engine<M> {
             self.queue.set_profiling(true);
         }
         let start = self.events_processed;
+        // The instrumented loop already pays per-event timestamps, so the
+        // cancel token is simply checked before every pop.
+        let cancel = crate::cancel::token();
         let mut prof = profiling.then(|| LoopProf::new(self.arenas.len()));
         let loop_start = Instant::now();
         let mut mark = loop_start;
         while self.events_processed - start < max_events {
+            if let Some(tok) = &cancel {
+                if tok.is_cancelled() {
+                    self.cancelled = true;
+                    break;
+                }
+            }
             let ev = match until {
                 Some(t) => self.queue.pop_at_or_before(t),
                 None => self.queue.pop(),
@@ -993,8 +1015,14 @@ impl<M: 'static + Send> Engine<M> {
     /// count, so the invariance contract still holds.
     pub fn run_until(&mut self, t: SimTime) {
         let start = self.events_processed;
+        let cancel = crate::cancel::token();
         let k = crate::shard::shards();
+        // An armed cancel token forces the serial loop, like a trace
+        // hook: a cancelled sharded epoch would have no deterministic
+        // truncation point. Consistent at every shard count, so the
+        // shard-invariance contract holds.
         let sharded = k > 0
+            && cancel.is_none()
             && self.trace.is_none()
             && !crate::flight::armed()
             && self
@@ -1004,16 +1032,61 @@ impl<M: 'static + Send> Engine<M> {
         if sharded {
             self.run_sharded(t, k);
         } else if !self.instrumented() {
-            // Fast path: no per-event hook check, one heap access per event.
-            while let Some(ev) = self.queue.pop_at_or_before(t) {
-                self.dispatch(ev.time, ev.dst, ev.msg);
+            match &cancel {
+                None => {
+                    // Fast path: no per-event hook check, one heap
+                    // access per event.
+                    while let Some(ev) = self.queue.pop_at_or_before(t) {
+                        self.dispatch(ev.time, ev.dst, ev.msg);
+                    }
+                }
+                Some(tok) => self.run_cancellable(t, tok),
             }
         } else {
             self.run_instrumented(Some(t), u64::MAX);
         }
         note_dispatched(self.events_processed - start);
-        if self.now < t {
+        if self.now < t && !self.cancelled {
             self.now = t;
+        }
+    }
+
+    /// The cancellable serial loop: dispatch order is identical to the
+    /// fast path, with the thread's [`crate::cancel::CancelToken`]
+    /// consulted whenever the next event enters a new calendar slice
+    /// ([`crate::event::SLICE_NS`] ns) — plus an every-64Ki-events
+    /// fallback so a degenerate single-slice run still observes the
+    /// token. The check runs *before* the pop, so a cancelled run stops
+    /// clean: the event the check rejects stays in the calendar and
+    /// every probe has seen complete events only.
+    #[cold]
+    fn run_cancellable(&mut self, t: SimTime, tok: &crate::cancel::CancelToken) {
+        const EVENT_CHECK_PERIOD: u64 = 1 << 16;
+        if tok.is_cancelled() {
+            self.cancelled = true;
+            return;
+        }
+        let mut slice = self.now.0 >> crate::event::SLICE_SHIFT;
+        let mut unchecked: u64 = 0;
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return;
+            };
+            if next > t {
+                return;
+            }
+            let s = next.0 >> crate::event::SLICE_SHIFT;
+            if s != slice || unchecked >= EVENT_CHECK_PERIOD {
+                slice = s;
+                unchecked = 0;
+                if tok.is_cancelled() {
+                    self.cancelled = true;
+                    return;
+                }
+            }
+            unchecked += 1;
+            let ev = self.queue.pop_at_or_before(t).expect("peeked non-empty");
+            self.dispatch(ev.time, ev.dst, ev.msg);
         }
     }
 
@@ -1622,6 +1695,113 @@ mod tests {
         );
         assert_eq!(e.now(), SimTime::from_millis(1));
         assert_eq!(m.finish().schedule_past, 1);
+    }
+
+    /// Ticks itself every `period` and cancels the shared token at tick
+    /// `cancel_at` — cancellation requested *from inside* the run, the
+    /// way a server's DELETE handler flips the flag mid-job.
+    struct CancellingTicker {
+        ticks: u64,
+        cancel_at: u64,
+        period: SimDuration,
+        token: crate::cancel::CancelToken,
+    }
+    impl Node<u32> for CancellingTicker {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, _msg: u32) {
+            self.ticks += 1;
+            if self.ticks == self.cancel_at {
+                self.token.cancel();
+            }
+            ctx.send_self(self.period, 0);
+        }
+    }
+
+    #[test]
+    fn cancel_token_stops_the_run_within_one_calendar_slice() {
+        // One event per µs: a calendar slice (8192 ns) holds at most 9
+        // of them, so a cancel must bite within 9 further dispatches.
+        let token = crate::cancel::CancelToken::new();
+        let _g = crate::cancel::CancelGuard::new(token.clone());
+        let mut e = Engine::<u32>::new(1);
+        let t = e.add_node(CancellingTicker {
+            ticks: 0,
+            cancel_at: 1000,
+            period: SimDuration::from_micros(1),
+            token,
+        });
+        e.schedule(SimTime::ZERO, t, 0);
+        let horizon = SimTime::from_secs(1);
+        e.run_until(horizon);
+        assert!(e.cancelled(), "token must mark the engine cancelled");
+        let ticks = e.node::<CancellingTicker>(t).ticks;
+        let per_slice = crate::event::SLICE_NS / 1_000 + 1;
+        assert!(
+            (1000..=1000 + per_slice).contains(&ticks),
+            "cancel latency bounded by one slice: {ticks} ticks"
+        );
+        assert!(
+            e.now() < horizon,
+            "a cancelled run's clock stays at the last event, got {:?}",
+            e.now()
+        );
+    }
+
+    #[test]
+    fn already_cancelled_token_stops_before_the_first_pop() {
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let _g = crate::cancel::CancelGuard::new(token);
+        let mut e = Engine::<u32>::new(1);
+        let c = e.add_node(Collector::default());
+        e.schedule(SimTime::from_micros(1), c, 7);
+        e.run_until(SimTime::from_millis(1));
+        assert!(e.cancelled());
+        assert_eq!(e.events_processed(), 0, "no event may run after cancel");
+        assert_eq!(e.pending_events(), 1, "the rejected event stays queued");
+        assert_eq!(e.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn armed_but_uncancelled_token_changes_nothing() {
+        let run = |armed: bool| {
+            let _g =
+                armed.then(|| crate::cancel::CancelGuard::new(crate::cancel::CancelToken::new()));
+            let mut e = Engine::<u32>::new(5);
+            let c = e.add_node(Collector::default());
+            let r = e.add_node(Relay { dst: c });
+            for i in 0..50u64 {
+                e.schedule(SimTime::from_micros(i * 7), r, i as u32);
+            }
+            e.run_until(SimTime::from_millis(1));
+            assert!(!e.cancelled());
+            (e.node::<Collector>(c).got.clone(), e.events_processed())
+        };
+        assert_eq!(run(false), run(true), "armed token must not perturb runs");
+    }
+
+    #[test]
+    fn cancelled_instrumented_run_stops_and_keeps_the_trace_consistent() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let token = crate::cancel::CancelToken::new();
+        let _g = crate::cancel::CancelGuard::new(token.clone());
+        let mut e = Engine::<u32>::new(1);
+        let t = e.add_node(CancellingTicker {
+            ticks: 0,
+            cancel_at: 100,
+            period: SimDuration::from_micros(1),
+            token,
+        });
+        let seen: Rc<RefCell<u64>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        e.set_trace_hook(Box::new(move |_, _, _| *sink.borrow_mut() += 1));
+        e.schedule(SimTime::ZERO, t, 0);
+        e.run_until(SimTime::from_secs(1));
+        assert!(e.cancelled());
+        // Instrumented loop checks per event: exactly the cancelling
+        // dispatch runs last, and the hook saw every dispatched event.
+        assert_eq!(e.node::<CancellingTicker>(t).ticks, 100);
+        assert_eq!(*seen.borrow(), e.events_processed());
     }
 
     #[test]

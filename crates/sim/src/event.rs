@@ -42,7 +42,7 @@ pub const CALENDAR: &str = "timer-wheel/4096x8192ns";
 /// 8192 ns ≈ 2.9 OC-3 cell times — measured fastest across the repro
 /// sweep (4096 ns pays more cursor advances, 16384 ns more same-slice
 /// sorted inserts).
-const SLICE_SHIFT: u32 = 13;
+pub const SLICE_SHIFT: u32 = 13;
 
 /// Nanoseconds per wheel slice.
 pub const SLICE_NS: u64 = 1 << SLICE_SHIFT;

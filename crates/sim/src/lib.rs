@@ -73,6 +73,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod engine;
 pub mod event;
 pub mod fifo;
@@ -87,6 +88,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
+pub use cancel::{CancelGuard, CancelToken};
 pub use engine::{thread_events_dispatched, ArenaStats, Ctx, Engine, Node, NodeId, TraceHook};
 pub use event::CALENDAR;
 pub use fifo::BoundedFifo;

@@ -6,5 +6,6 @@ pub use phantom_core as core;
 pub use phantom_metrics as metrics;
 pub use phantom_scenarios as scenarios;
 pub use phantom_scene as scene;
+pub use phantom_serve as serve;
 pub use phantom_sim as sim;
 pub use phantom_tcp as tcp;
